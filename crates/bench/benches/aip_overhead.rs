@@ -1,0 +1,45 @@
+//! The §VI-A overhead question under Criterion: how much does cost-based
+//! AIP bookkeeping cost when it never builds a filter? The paper measured
+//! ≈4% on Q1A and ≈2.5% on Q2A.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sip_core::{run_query, AipConfig, Strategy};
+use sip_data::{generate, TpchConfig};
+use sip_engine::ExecOptions;
+use sip_queries::build_query;
+
+fn bench_overhead(c: &mut Criterion) {
+    let catalog = generate(&TpchConfig::uniform(0.01)).unwrap();
+    for id in ["Q1A", "Q2A"] {
+        let spec = build_query(id, &catalog).unwrap();
+        let mut group = c.benchmark_group(format!("overhead_{id}"));
+        group.sample_size(10);
+        let cells = [
+            ("baseline", Strategy::Baseline, AipConfig::paper()),
+            (
+                "cb_decisions_only",
+                Strategy::CostBased,
+                AipConfig {
+                    ship_cost_per_byte: 1e15, // reject every candidate set
+                    ..AipConfig::paper()
+                },
+            ),
+            ("cb_full", Strategy::CostBased, AipConfig::paper()),
+        ];
+        for (label, strategy, aip) in cells {
+            group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &s| {
+                b.iter(|| {
+                    let opts = ExecOptions {
+                        collect_rows: false,
+                        ..Default::default()
+                    };
+                    run_query(&spec, &catalog, s, opts, &aip).unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

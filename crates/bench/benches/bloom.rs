@@ -1,0 +1,71 @@
+//! Microbenchmarks for the AIP-set substrate: Bloom insert/probe/intersect
+//! and exact-hash-set probes, across the paper's parameter space.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sip_common::hash::fx_hash64;
+use sip_common::Value;
+use sip_filter::{AipSetBuilder, AipSetKind, BloomFilter};
+
+fn bench_bloom_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_insert");
+    for k in [1u32, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
+            b.iter_batched(
+                || BloomFilter::with_fpr(100_000, 0.05, k),
+                |mut f| {
+                    for i in 0..10_000u64 {
+                        f.insert(fx_hash64(&i));
+                    }
+                    f
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aip_probe");
+    let n = 100_000usize;
+    for (label, kind) in [("bloom", AipSetKind::Bloom), ("hash", AipSetKind::Hash)] {
+        let mut b = AipSetBuilder::new(kind, n, 0.05, 1);
+        for i in 0..n as i64 {
+            let key = vec![Value::Int(i)];
+            b.insert(sip_common::hash_key(&key), &key);
+        }
+        let set = b.finish();
+        group.bench_function(label, |bench| {
+            let mut i = 0i64;
+            bench.iter(|| {
+                i = (i + 1) % (2 * n as i64);
+                let key = vec![Value::Int(i)];
+                black_box(set.probe(sip_common::hash_key(&key), &key))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    c.bench_function("bloom_intersect_1mbit", |bench| {
+        let mut a = BloomFilter::with_bits(1 << 20, 1);
+        let mut b = BloomFilter::with_bits(1 << 20, 1);
+        for i in 0..50_000u64 {
+            a.insert(fx_hash64(&i));
+            b.insert(fx_hash64(&(i + 25_000)));
+        }
+        bench.iter(|| {
+            let mut x = a.clone();
+            x.intersect(&b).unwrap();
+            black_box(x)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bloom_insert, bench_probe, bench_intersect
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Full-query benchmarks: representative cells of Figures 5, 6, and 13
+//! under Criterion statistics (small scale factor so each sample is fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sip_bench::measure::ExperimentConfig;
+use sip_core::{run_query, AipConfig, Strategy};
+use sip_data::{generate, TpchConfig};
+use sip_engine::ExecOptions;
+use sip_queries::build_query;
+
+fn bench_strategies(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        scale_factor: 0.01,
+        ..Default::default()
+    };
+    let catalog = generate(&TpchConfig {
+        scale_factor: config.scale_factor,
+        seed: config.seed,
+        zipf_z: 0.0,
+    })
+    .unwrap();
+    for id in ["Q2A", "Q3A", "Q4A"] {
+        let spec = build_query(id, &catalog).unwrap();
+        let mut group = c.benchmark_group(format!("query_{id}"));
+        group.sample_size(10);
+        for strategy in Strategy::ALL {
+            // Magic only applies to the nested families.
+            if strategy == Strategy::Magic && id == "Q4A" {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::from_parameter(strategy.name()),
+                &strategy,
+                |b, &strategy| {
+                    b.iter(|| {
+                        let opts = ExecOptions {
+                            collect_rows: false,
+                            ..Default::default()
+                        };
+                        run_query(&spec, &catalog, strategy, opts, &AipConfig::paper()).unwrap()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p sip-bench --bin repro -- --figure all --sf 0.05 --repeats 3
+//! cargo run --release -p sip-bench --bin repro -- --figure fig5
+//! ```
+//!
+//! Figures: table1, fig1, fig2, fig5..fig14 (time/space pairs run
+//! together), overhead, ablation-sets, ablation-fpr, ablation-minmax, all.
+
+use sip_bench::figures::Harness;
+use sip_bench::measure::ExperimentConfig;
+use std::process::ExitCode;
+
+struct Args {
+    figure: String,
+    config: ExperimentConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut figure = "all".to_string();
+    let mut config = ExperimentConfig::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--figure" | "-f" => figure = take(&mut i)?,
+            "--sf" => {
+                config.scale_factor = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --sf: {e}"))?
+            }
+            "--repeats" | "-r" => {
+                config.repeats = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --repeats: {e}"))?
+            }
+            "--seed" => {
+                config.seed = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--batch" => {
+                config.batch_size = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --batch: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--figure all|table1|fig1|fig2|fig5|fig6|fig9|fig10|fig13|\
+overhead|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] [--repeats N] [--seed S] [--batch N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(Args { figure, config })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# generating data (sf={}, seed={}, repeats={}) ...",
+        args.config.scale_factor, args.config.seed, args.config.repeats
+    );
+    let harness = match Harness::new(args.config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fig = args.figure.to_ascii_lowercase();
+    let run_all = fig == "all";
+    let mut failed = false;
+    let mut section = |name: &str, body: Result<String, sip_common::SipError>| {
+        if !(run_all || fig == name || alias(&fig) == name) {
+            return;
+        }
+        eprintln!("# running {name} ...");
+        match body {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error in {name}: {e}");
+                failed = true;
+            }
+        }
+    };
+
+    section("table1", Ok(harness.table1()));
+    section("fig1", harness.fig1());
+    section("fig2", harness.fig2());
+    section(
+        "fig5",
+        harness
+            .fig5_7()
+            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
+    );
+    section(
+        "fig6",
+        harness
+            .fig6_8()
+            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
+    );
+    section(
+        "fig9",
+        harness
+            .fig9_11()
+            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
+    );
+    section(
+        "fig10",
+        harness
+            .fig10_12()
+            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
+    );
+    section(
+        "fig13",
+        harness
+            .fig13_14()
+            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
+    );
+    section("overhead", harness.overhead().map(|r| r.to_markdown()));
+    section(
+        "ablation-sets",
+        harness.ablation_sets().map(|r| r.to_markdown()),
+    );
+    section(
+        "ablation-fpr",
+        harness.ablation_fpr().map(|r| r.to_markdown()),
+    );
+    section(
+        "ablation-minmax",
+        harness.ablation_minmax().map(|r| r.to_markdown()),
+    );
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Figure aliases: asking for a space figure runs its time/space pair.
+fn alias(f: &str) -> &str {
+    match f {
+        "fig7" => "fig5",
+        "fig8" => "fig6",
+        "fig11" => "fig9",
+        "fig12" => "fig10",
+        "fig14" => "fig13",
+        other => other,
+    }
+}

@@ -1,0 +1,150 @@
+//! Repeated, summarized query measurements.
+
+use sip_common::Result;
+use sip_core::{run_query, AipConfig, QuerySpec, Strategy};
+use sip_data::Catalog;
+use sip_engine::{DelayModel, ExecOptions};
+
+/// Global experiment parameters.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Scale factor for generated data (1.0 = classic 1 GB row counts).
+    pub scale_factor: f64,
+    /// Data-generation seed.
+    pub seed: u64,
+    /// Repetitions per measurement (the paper uses ≥5).
+    pub repeats: usize,
+    /// Batch size for the engine.
+    pub batch_size: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale_factor: 0.05,
+            seed: 0xC0FFEE,
+            repeats: 3,
+            batch_size: 1024,
+        }
+    }
+}
+
+/// Summary of repeated runs of one (query, strategy) cell.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Mean wall-clock seconds.
+    pub secs_mean: f64,
+    /// Half-width of a 95% confidence interval over the repeats.
+    pub secs_ci95: f64,
+    /// Mean peak intermediate state, MB.
+    pub state_mb: f64,
+    /// Result rows (identical across repeats by the correctness gate).
+    pub rows: u64,
+    /// AIP filters injected (mean).
+    pub filters: f64,
+    /// Rows dropped by AIP filters (mean).
+    pub dropped: f64,
+}
+
+/// Run one cell `repeats` times and summarize.
+pub fn measure(
+    spec: &QuerySpec,
+    catalog: &Catalog,
+    strategy: Strategy,
+    config: &ExperimentConfig,
+    aip: &AipConfig,
+    delays: &[(&str, DelayModel)],
+) -> Result<Measurement> {
+    let mut secs = Vec::with_capacity(config.repeats);
+    let mut state = Vec::with_capacity(config.repeats);
+    let mut filters = Vec::with_capacity(config.repeats);
+    let mut dropped = Vec::with_capacity(config.repeats);
+    let mut rows = 0u64;
+    for _ in 0..config.repeats {
+        let mut opts = ExecOptions {
+            batch_size: config.batch_size,
+            collect_rows: false,
+            ..Default::default()
+        };
+        for (name, model) in delays {
+            opts = opts.with_delay(*name, model.clone());
+        }
+        let out = run_query(spec, catalog, strategy, opts, aip)?;
+        secs.push(out.metrics.wall_time.as_secs_f64());
+        state.push(out.metrics.peak_state_mb());
+        filters.push(out.metrics.filters_injected as f64);
+        dropped.push(out.metrics.aip_dropped_total as f64);
+        rows = out.metrics.rows_out;
+    }
+    Ok(Measurement {
+        secs_mean: mean(&secs),
+        secs_ci95: ci95(&secs),
+        state_mb: mean(&state),
+        rows,
+        filters: mean(&filters),
+        dropped: mean(&dropped),
+    })
+}
+
+pub(crate) fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// 95% CI half-width with the small-sample t factor (df ≤ 9 table).
+pub(crate) fn ci95(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+    let se = (var / n as f64).sqrt();
+    const T: [f64; 9] = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262];
+    let t = T.get(n - 2).copied().unwrap_or(1.96);
+    t * se
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_ci() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(ci95(&[5.0]), 0.0);
+        let tight = ci95(&[1.0, 1.0, 1.0]);
+        assert_eq!(tight, 0.0);
+        let loose = ci95(&[1.0, 3.0, 5.0]);
+        assert!(loose > 0.0);
+    }
+
+    #[test]
+    fn measure_runs_a_cell() {
+        let config = ExperimentConfig {
+            scale_factor: 0.003,
+            repeats: 2,
+            ..Default::default()
+        };
+        let catalog = sip_data::generate(&sip_data::TpchConfig {
+            scale_factor: config.scale_factor,
+            seed: config.seed,
+            zipf_z: 0.0,
+        })
+        .unwrap();
+        let spec = sip_queries::build_query("Q2A", &catalog).unwrap();
+        let m = measure(
+            &spec,
+            &catalog,
+            sip_core::Strategy::FeedForward,
+            &config,
+            &sip_core::AipConfig::paper(),
+            &[],
+        )
+        .unwrap();
+        assert!(m.secs_mean > 0.0);
+        assert!(m.rows >= 1);
+    }
+}

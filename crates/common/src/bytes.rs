@@ -1,0 +1,139 @@
+//! Global intermediate-state byte accounting.
+//!
+//! The paper's space figures (Figs. 7, 8, 11, 12, 14) plot the *peak of the
+//! sum* of intermediate state across all stateful operators. Each operator
+//! reports deltas to a shared [`StateTracker`]; the tracker maintains the
+//! exact running sum and its high-water mark with lock-free atomics, so
+//! accounting is accurate even with every operator on its own thread.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe tracker of current and peak intermediate-state bytes.
+#[derive(Debug, Default)]
+pub struct StateTracker {
+    current: AtomicI64,
+    peak: AtomicU64,
+}
+
+impl StateTracker {
+    /// New tracker at zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(StateTracker::default())
+    }
+
+    /// Record `delta` bytes of state growth (positive) or release (negative).
+    ///
+    /// The peak is updated with a CAS loop on the post-add value, so the
+    /// recorded peak is an exact high-water mark of the sum (not a sample).
+    pub fn add(&self, delta: i64) {
+        let now = self.current.fetch_add(delta, Ordering::Relaxed) + delta;
+        if delta > 0 {
+            let now_u = now.max(0) as u64;
+            let mut seen = self.peak.load(Ordering::Relaxed);
+            while now_u > seen {
+                match self.peak.compare_exchange_weak(
+                    seen,
+                    now_u,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(cur) => seen = cur,
+                }
+            }
+        }
+    }
+
+    /// Current total bytes (may transiently go negative under racy release
+    /// ordering; clamped at read).
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// High-water mark of the total.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset both counters (between benchmark iterations).
+    pub fn reset(&self) {
+        self.current.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Pretty-print a byte count as `12.3 MB` style.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn tracks_current_and_peak() {
+        let t = StateTracker::new();
+        t.add(100);
+        t.add(200);
+        assert_eq!(t.current(), 300);
+        assert_eq!(t.peak(), 300);
+        t.add(-250);
+        assert_eq!(t.current(), 50);
+        assert_eq!(t.peak(), 300);
+        t.add(400);
+        assert_eq!(t.peak(), 450);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let t = StateTracker::new();
+        t.add(1000);
+        t.reset();
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_balance_to_zero() {
+        let t = StateTracker::new();
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let t = Arc::clone(&t);
+            handles.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    t.add(16);
+                    t.add(-16);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.current(), 0);
+        assert!(t.peak() >= 16);
+        // Peak cannot exceed everything held simultaneously.
+        assert!(t.peak() <= 8 * 16);
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KB");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.00 MB");
+        assert_eq!(human_bytes(0), "0 B");
+    }
+}

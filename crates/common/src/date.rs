@@ -1,0 +1,196 @@
+//! Calendar dates as days since 1970-01-01 (proleptic Gregorian).
+//!
+//! TPC-H predicates compare and extract years from dates
+//! (`o_orderdate >= '1995-01-01'`, `year(o_orderdate)`); a compact `i32`
+//! day-count with civil-calendar conversion covers everything the workload
+//! needs without an external chrono dependency.
+
+use crate::error::{Result, SipError};
+use std::fmt;
+
+/// A calendar date, stored as days since the Unix epoch.
+///
+/// Ordering and equality follow the natural timeline. The civil-calendar
+/// conversions use Howard Hinnant's `days_from_civil` algorithm, exact over
+/// the full `i32` range.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    days: i32,
+}
+
+impl Date {
+    /// Construct from a raw day count since 1970-01-01.
+    #[inline]
+    pub const fn from_days(days: i32) -> Self {
+        Date { days }
+    }
+
+    /// The raw day count since 1970-01-01.
+    #[inline]
+    pub const fn days(self) -> i32 {
+        self.days
+    }
+
+    /// Build from a civil (year, month, day) triple. Months are 1-12 and
+    /// days 1-31; out-of-range inputs are an error.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(SipError::Data(format!("month {month} out of range")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(SipError::Data(format!(
+                "day {day} out of range for {year}-{month:02}"
+            )));
+        }
+        Ok(Date {
+            days: days_from_civil(year, month, day),
+        })
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Self> {
+        let bad = || SipError::Data(format!("invalid date literal {s:?}"));
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let m: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Date::from_ymd(y, m, d)
+    }
+
+    /// Decompose into (year, month, day).
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.days)
+    }
+
+    /// The calendar year, as used by TPC-H Q9's `year(o_orderdate)`.
+    #[inline]
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// Date `n` days later (negative `n` allowed).
+    #[inline]
+    pub fn plus_days(self, n: i32) -> Self {
+        Date {
+            days: self.days + n,
+        }
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({self})")
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 from a civil date (Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146_097 + doe - 719_468) as i32
+}
+
+/// Civil date from days since 1970-01-01 (Hinnant's algorithm).
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        let d = Date::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(d.days(), 0);
+        assert_eq!(d.to_string(), "1970-01-01");
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["1992-01-01", "1998-12-31", "2007-01-01", "1996-02-29"] {
+            assert_eq!(Date::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn known_day_counts() {
+        assert_eq!(Date::parse("1970-01-02").unwrap().days(), 1);
+        assert_eq!(Date::parse("1971-01-01").unwrap().days(), 365);
+        // 2000-01-01 is 10957 days after the epoch.
+        assert_eq!(Date::parse("2000-01-01").unwrap().days(), 10_957);
+    }
+
+    #[test]
+    fn ordering_follows_timeline() {
+        let a = Date::parse("1995-01-01").unwrap();
+        let b = Date::parse("1996-01-01").unwrap();
+        assert!(a < b);
+        assert_eq!(a.plus_days(365), b);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(Date::from_ymd(1996, 2, 29).is_ok());
+        assert!(Date::from_ymd(1900, 2, 29).is_err()); // century, not leap
+        assert!(Date::from_ymd(2000, 2, 29).is_ok()); // 400-year rule
+        assert!(Date::from_ymd(1997, 2, 29).is_err());
+    }
+
+    #[test]
+    fn invalid_literals_rejected() {
+        for s in ["", "1995", "1995-13-01", "1995-00-10", "1995-04-31", "x-y-z"] {
+            assert!(Date::parse(s).is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(Date::parse("1994-06-15").unwrap().year(), 1994);
+        assert_eq!(Date::parse("1998-12-31").unwrap().year(), 1998);
+    }
+
+    #[test]
+    fn round_trip_every_day_for_a_decade() {
+        let start = Date::parse("1992-01-01").unwrap().days();
+        for d in start..start + 3653 {
+            let date = Date::from_days(d);
+            let (y, m, dd) = date.ymd();
+            assert_eq!(Date::from_ymd(y, m, dd).unwrap().days(), d);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Result alias used across all SIP crates.
+pub type Result<T, E = SipError> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the SIP stack.
+///
+/// The variants mirror the layer that raised them; the payload is a
+/// human-readable description. Query processing errors are not recoverable
+/// mid-pipeline, so a descriptive string is the appropriate granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SipError {
+    /// Malformed input data or data-generation failure.
+    Data(String),
+    /// Invalid expression (type mismatch, unbound column, ...).
+    Expr(String),
+    /// Invalid logical plan (unknown attribute, arity mismatch, ...).
+    Plan(String),
+    /// Optimizer failure (no join order, missing statistics, ...).
+    Optimize(String),
+    /// Runtime execution failure (channel teardown, operator panic, ...).
+    Exec(String),
+    /// Simulated-network failure (unknown site, link misconfiguration, ...).
+    Net(String),
+    /// Configuration error in a harness or example.
+    Config(String),
+}
+
+impl SipError {
+    /// The layer tag, useful for compact logging.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            SipError::Data(_) => "data",
+            SipError::Expr(_) => "expr",
+            SipError::Plan(_) => "plan",
+            SipError::Optimize(_) => "optimize",
+            SipError::Exec(_) => "exec",
+            SipError::Net(_) => "net",
+            SipError::Config(_) => "config",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            SipError::Data(m)
+            | SipError::Expr(m)
+            | SipError::Plan(m)
+            | SipError::Optimize(m)
+            | SipError::Exec(m)
+            | SipError::Net(m)
+            | SipError::Config(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for SipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.layer(), self.message())
+    }
+}
+
+impl std::error::Error for SipError {}
+
+/// Shorthand constructors: `plan_err!("bad attr {a}")`.
+#[macro_export]
+macro_rules! plan_err {
+    ($($arg:tt)*) => { $crate::error::SipError::Plan(format!($($arg)*)) };
+}
+
+/// Shorthand constructor for [`SipError::Exec`].
+#[macro_export]
+macro_rules! exec_err {
+    ($($arg:tt)*) => { $crate::error::SipError::Exec(format!($($arg)*)) };
+}
+
+/// Shorthand constructor for [`SipError::Expr`].
+#[macro_export]
+macro_rules! expr_err {
+    ($($arg:tt)*) => { $crate::error::SipError::Expr(format!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_layer_and_message() {
+        let e = SipError::Plan("attribute #4 unknown".into());
+        assert_eq!(e.to_string(), "plan error: attribute #4 unknown");
+        assert_eq!(e.layer(), "plan");
+        assert_eq!(e.message(), "attribute #4 unknown");
+    }
+
+    #[test]
+    fn macros_build_correct_variants() {
+        let e = plan_err!("x = {}", 3);
+        assert_eq!(e, SipError::Plan("x = 3".into()));
+        let e = exec_err!("boom");
+        assert_eq!(e, SipError::Exec("boom".into()));
+        let e = expr_err!("bad type");
+        assert_eq!(e, SipError::Expr("bad type".into()));
+    }
+
+    #[test]
+    fn all_layers_are_distinct() {
+        let layers: Vec<&str> = [
+            SipError::Data(String::new()),
+            SipError::Expr(String::new()),
+            SipError::Plan(String::new()),
+            SipError::Optimize(String::new()),
+            SipError::Exec(String::new()),
+            SipError::Net(String::new()),
+            SipError::Config(String::new()),
+        ]
+        .iter()
+        .map(|e| e.layer())
+        .collect();
+        let set: std::collections::HashSet<_> = layers.iter().collect();
+        assert_eq!(set.len(), layers.len());
+    }
+}

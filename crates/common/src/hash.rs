@@ -1,0 +1,161 @@
+//! A fast, deterministic, non-cryptographic hasher (FxHash-style).
+//!
+//! Join keys and AIP-set probes hash millions of small values; SipHash (the
+//! std default) is needlessly slow for that, and HashDoS is not a concern for
+//! an embedded query engine operating on its own data. The algorithm below is
+//! the Firefox/rustc "Fx" multiply-rotate hash. It is implemented in-repo to
+//! stay within the approved dependency list.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher: word-at-a-time multiply-rotate.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            // Length in the final word disambiguates e.g. [0] from [0, 0].
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hash any `Hash` value to a stable 64-bit digest with [`FxHasher`].
+///
+/// This digest is what Bloom filters and AIP hash sets operate on, so it must
+/// be identical across threads, sites, and runs — it is, because `FxHasher`
+/// has no random state.
+#[inline]
+pub fn fx_hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Splitmix64 finalizer: full-avalanche mixing of a 64-bit word.
+///
+/// Fx digests of sequential integers are a bare multiply (a Weyl sequence),
+/// which is fine for hash-table slotting but makes Bloom-filter bit indices
+/// pathologically regular. Structures that reduce a digest modulo a size
+/// should mix it first.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derive `k` independent-enough hashes from one 64-bit digest using the
+/// standard double-hashing construction `g_i(x) = h1(x) + i*h2(x)`.
+#[inline]
+pub fn double_hash(digest: u64, i: u32) -> u64 {
+    let h1 = digest;
+    let h2 = mix64(digest);
+    h1.wrapping_add((i as u64).wrapping_mul(h2 | 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(fx_hash64(&42u64), fx_hash64(&42u64));
+        assert_eq!(fx_hash64("partkey"), fx_hash64("partkey"));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(fx_hash64(&1u64), fx_hash64(&2u64));
+        assert_ne!(fx_hash64("a"), fx_hash64("b"));
+        // Length disambiguation in the remainder path.
+        assert_ne!(fx_hash64(&[0u8][..]), fx_hash64(&[0u8, 0u8][..]));
+    }
+
+    #[test]
+    fn double_hash_varies_with_index() {
+        let d = fx_hash64(&1234u64);
+        let h0 = double_hash(d, 0);
+        let h1 = double_hash(d, 1);
+        let h2 = double_hash(d, 2);
+        assert_eq!(h0, d);
+        assert_ne!(h0, h1);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn fx_map_behaves_like_hashmap() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn distribution_smoke_test() {
+        // Hash 10k consecutive ints into 64 buckets; no bucket should be
+        // pathologically over-full (uniform expectation ~156 each).
+        let mut buckets = [0u32; 64];
+        for i in 0..10_000u64 {
+            buckets[(fx_hash64(&i) % 64) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 60 && c < 320), "{buckets:?}");
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # sip-common
+//!
+//! Foundation types shared by every crate in the SIP (sideways information
+//! passing) workspace: scalar [`Value`]s and [`Date`]s, [`Row`]s and
+//! [`Batch`]es, [`Schema`]s, strongly-typed identifiers, a fast
+//! non-cryptographic hasher, and the common [`SipError`] type.
+//!
+//! Nothing in this crate knows about plans, operators, or AIP — it is the
+//! vocabulary the rest of the system is written in.
+
+pub mod bytes;
+pub mod date;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use date::Date;
+pub use error::{Result, SipError};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{AttrId, OpId, SiteId, TableId};
+pub use row::{Batch, Row};
+pub use schema::{DataType, Field, Schema};
+pub use value::{hash_key, Value};

@@ -1,0 +1,218 @@
+//! Rows and batches — the units of dataflow between operators.
+
+use crate::value::Value;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// One tuple. The payload is a shared boxed slice so that rows can be
+/// buffered in join state, re-emitted, and copied between operators without
+/// duplicating the values.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Row {
+    values: Arc<[Value]>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row {
+            values: values.into(),
+        }
+    }
+
+    /// The values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Row::new(v)
+    }
+
+    /// Project columns by position into a new row.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Approximate memory footprint: slice header + per-value footprint.
+    /// Shared string payloads are counted once per referencing row — a
+    /// deliberate over-count that keeps accounting monotone and cheap, and
+    /// mirrors what a non-interned engine (like the paper's C++ Tukwila)
+    /// would hold.
+    pub fn size_bytes(&self) -> usize {
+        16 + self.values.iter().map(Value::size_bytes).sum::<usize>()
+    }
+
+    /// Combined 64-bit digest of the values at `positions` — the join /
+    /// AIP probe key. Order-sensitive.
+    pub fn key_hash(&self, positions: &[usize]) -> u64 {
+        let mut h = crate::hash::FxHasher::default();
+        for &p in positions {
+            self.values[p].hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Clone the values at `positions` into a key vector (for exact sets).
+    pub fn key_values(&self, positions: &[usize]) -> Vec<Value> {
+        positions.iter().map(|&p| self.values[p].clone()).collect()
+    }
+}
+
+impl Hash for Row {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in self.values.iter() {
+            v.hash(state);
+        }
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+/// A batch of rows — the unit sent over inter-operator channels. Batching
+/// amortizes channel synchronization without changing per-tuple semantics.
+#[derive(Clone, Debug, Default)]
+pub struct Batch {
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Batch {
+    /// An empty batch with capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Batch {
+            rows: Vec::with_capacity(n),
+        }
+    }
+
+    /// Build from rows.
+    pub fn new(rows: Vec<Row>) -> Self {
+        Batch { rows }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total payload bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.rows.iter().map(Row::size_bytes).sum()
+    }
+}
+
+impl FromIterator<Row> for Batch {
+    fn from_iter<T: IntoIterator<Item = Row>>(iter: T) -> Self {
+        Batch {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let r = row(&[1, 2]).concat(&row(&[3]));
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(2), &Value::Int(3));
+    }
+
+    #[test]
+    fn project_selects_positions() {
+        let r = row(&[10, 20, 30]).project(&[2, 0]);
+        assert_eq!(r.values(), &[Value::Int(30), Value::Int(10)]);
+    }
+
+    #[test]
+    fn key_hash_depends_on_selected_columns_only() {
+        let a = Row::new(vec![Value::Int(1), Value::str("x")]);
+        let b = Row::new(vec![Value::Int(1), Value::str("y")]);
+        assert_eq!(a.key_hash(&[0]), b.key_hash(&[0]));
+        assert_ne!(a.key_hash(&[1]), b.key_hash(&[1]));
+    }
+
+    #[test]
+    fn key_hash_is_order_sensitive() {
+        let r = row(&[1, 2]);
+        assert_ne!(r.key_hash(&[0, 1]), r.key_hash(&[1, 0]));
+    }
+
+    #[test]
+    fn equal_rows_hash_equal() {
+        use crate::hash::fx_hash64;
+        let a = Row::new(vec![Value::Int(5), Value::str("q")]);
+        let b = Row::new(vec![Value::Int(5), Value::str("q")]);
+        assert_eq!(a, b);
+        assert_eq!(fx_hash64(&a), fx_hash64(&b));
+    }
+
+    #[test]
+    fn sharing_rows_is_cheap() {
+        let r = Row::new(vec![Value::str("long-ish string payload here")]);
+        let r2 = r.clone();
+        // Same Arc — pointer equality on the payload.
+        assert!(std::ptr::eq(r.values().as_ptr(), r2.values().as_ptr()));
+    }
+
+    #[test]
+    fn batch_size_accounting() {
+        let b = Batch::new(vec![row(&[1]), row(&[2])]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.size_bytes(), row(&[1]).size_bytes() * 2);
+        assert!(!b.is_empty());
+        assert!(Batch::default().is_empty());
+    }
+
+    #[test]
+    fn key_values_clone_selected() {
+        let r = Row::new(vec![Value::Int(7), Value::str("z")]);
+        assert_eq!(r.key_values(&[1]), vec![Value::str("z")]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Schemas: ordered, named, typed field lists.
+
+use crate::error::{Result, SipError};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// The static type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Calendar date.
+    Date,
+}
+
+impl DataType {
+    /// Can a value of type `self` be compared with one of `other`?
+    pub fn comparable_with(self, other: DataType) -> bool {
+        self == other
+            || matches!(
+                (self, other),
+                (DataType::Int, DataType::Float) | (DataType::Float, DataType::Int)
+            )
+    }
+
+    /// Is this a numeric type?
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STR",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One named, typed column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (lower-case by convention, e.g. `p_partkey`).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of fields describing a row layout.
+///
+/// Schemas are immutable and shared (`Arc`) between operators.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema {
+            fields: fields.into(),
+        }
+    }
+
+    /// The fields, in row order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| SipError::Plan(format!("column {name:?} not found in schema {self}")))
+    }
+
+    /// The field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Validate that `row` matches this schema (arity + value types, with
+    /// NULL wild). Used by debug assertions and tests, not the hot path.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.fields.len() {
+            return Err(SipError::Data(format!(
+                "row arity {} != schema arity {}",
+                row.len(),
+                self.fields.len()
+            )));
+        }
+        for (v, f) in row.iter().zip(self.fields.iter()) {
+            if let Some(dt) = v.data_type() {
+                if dt != f.dtype && !(dt.is_numeric() && f.dtype.is_numeric()) {
+                    return Err(SipError::Data(format!(
+                        "value {v:?} does not match field {} ({})",
+                        f.name, f.dtype
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two schemas (join output layout).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields: Vec<Field> = self.fields.to_vec();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// Project a subset of columns by position.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", fld.name, fld.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("p_partkey", DataType::Int),
+            Field::new("p_name", DataType::Str),
+            Field::new("p_retailprice", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("p_name").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = sample();
+        let ok = vec![Value::Int(1), Value::str("bolt"), Value::Float(9.5)];
+        assert!(s.check_row(&ok).is_ok());
+        let bad_arity = vec![Value::Int(1)];
+        assert!(s.check_row(&bad_arity).is_err());
+        let bad_type = vec![Value::str("x"), Value::str("bolt"), Value::Float(1.0)];
+        assert!(s.check_row(&bad_type).is_err());
+        // Int into Float column is fine (numeric widening).
+        let widened = vec![Value::Int(1), Value::str("bolt"), Value::Int(9)];
+        assert!(s.check_row(&widened).is_ok());
+        // NULL is wild.
+        let with_null = vec![Value::Null, Value::Null, Value::Null];
+        assert!(s.check_row(&with_null).is_ok());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = sample();
+        let t = Schema::new(vec![Field::new("ps_partkey", DataType::Int)]);
+        let j = s.join(&t);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.index_of("ps_partkey").unwrap(), 3);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.field(0).name, "p_retailprice");
+        assert_eq!(p.field(1).name, "p_partkey");
+    }
+
+    #[test]
+    fn comparability_rules() {
+        assert!(DataType::Int.comparable_with(DataType::Float));
+        assert!(DataType::Float.comparable_with(DataType::Int));
+        assert!(DataType::Str.comparable_with(DataType::Str));
+        assert!(!DataType::Str.comparable_with(DataType::Int));
+        assert!(!DataType::Date.comparable_with(DataType::Int));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(
+            Schema::new(vec![Field::new("k", DataType::Int)]).to_string(),
+            "(k:INT)"
+        );
+    }
+}

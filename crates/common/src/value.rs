@@ -1,0 +1,333 @@
+//! The dynamic scalar value type flowing through the engine.
+
+use crate::date::Date;
+use crate::error::{Result, SipError};
+use crate::hash::FxHasher;
+use crate::schema::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A scalar runtime value.
+///
+/// Strings are reference-counted so that projections and join outputs can
+/// duplicate rows without copying string payloads. `Float` is totally ordered
+/// via `total_cmp` so values can key hash tables and sort deterministically;
+/// NaN never occurs in the TPC-H-shaped workloads but is handled anyway.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// SQL NULL. Compares equal to itself for grouping purposes; predicate
+    /// evaluation treats comparisons against NULL as false (two-valued
+    /// approximation, sufficient for the paper's workloads, which are
+    /// NULL-free).
+    Null,
+    /// 64-bit integer (keys, quantities, sizes).
+    Int(i64),
+    /// 64-bit float (prices, costs, aggregates).
+    Float(f64),
+    /// UTF-8 string (names, types, comments).
+    Str(Arc<str>),
+    /// Calendar date.
+    Date(Date),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Is this SQL NULL?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer payload, or a type error.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(SipError::Expr(format!("expected Int, got {other:?}"))),
+        }
+    }
+
+    /// Float payload (Ints widen), or a type error.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(SipError::Expr(format!("expected Float, got {other:?}"))),
+        }
+    }
+
+    /// String payload, or a type error.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(SipError::Expr(format!("expected Str, got {other:?}"))),
+        }
+    }
+
+    /// Date payload, or a type error.
+    pub fn as_date(&self) -> Result<Date> {
+        match self {
+            Value::Date(d) => Ok(*d),
+            other => Err(SipError::Expr(format!("expected Date, got {other:?}"))),
+        }
+    }
+
+    /// Boolean interpretation: Int 0 is false, non-zero true. The engine
+    /// encodes booleans as Ints (SQL-style predicates produce them).
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Int(v) => Ok(*v != 0),
+            Value::Null => Ok(false),
+            other => Err(SipError::Expr(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// Heap + inline footprint in bytes, used for intermediate-state
+    /// accounting (the paper's "Intermediate State (MB)" figures).
+    pub fn size_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Value>();
+        match self {
+            // Arc<str> payload: the string bytes plus the two ref-counts.
+            Value::Str(s) => inline + s.len() + 16,
+            _ => inline,
+        }
+    }
+
+    /// SQL-style comparison. Numeric types compare cross-type (Int vs Float);
+    /// NULL compares as less-than-everything for deterministic sorting, but
+    /// predicate evaluation short-circuits NULLs before reaching here.
+    pub fn sql_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => norm_zero(*a).total_cmp(&norm_zero(*b)),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(&norm_zero(*b)),
+            (Float(a), Int(b)) => norm_zero(*a).total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            // Heterogeneous comparisons order by type tag; plans are typed so
+            // this only happens on programmer error, but stay total.
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// The stable 64-bit digest used for join keys, Bloom filters, and AIP
+    /// hash sets. Int and the equal-valued Float hash differently — join keys
+    /// are always same-typed, enforced by plan validation.
+    pub fn hash64(&self) -> u64 {
+        let mut h = FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// The canonical key digest over a value sequence — hashes the values in
+/// order with **no length prefix**, matching [`crate::Row::key_hash`].
+/// Every AIP set, join table, and filter probe must use this digest so that
+/// sets built in one operator probe correctly in another.
+pub fn hash_key(values: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Map -0.0 to 0.0 so SQL equality and hashing agree.
+#[inline]
+fn norm_zero(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) => 1,
+        Value::Float(_) => 2,
+        Value::Str(_) => 3,
+        Value::Date(_) => 4,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.sql_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sql_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(v) => {
+                state.write_u8(1);
+                state.write_u64(*v as u64);
+            }
+            Value::Float(v) => {
+                state.write_u8(2);
+                // Normalize -0.0 to 0.0 so equal floats hash equal.
+                let v = if *v == 0.0 { 0.0 } else { *v };
+                state.write_u64(v.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                state.write(s.as_bytes());
+            }
+            Value::Date(d) => {
+                state.write_u8(4);
+                state.write_u64(d.days() as u64);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.4}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert!(Value::str("x").as_int().is_err());
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+        assert_eq!(Value::str("abc").as_str().unwrap(), "abc");
+        assert!(Value::Float(1.0).as_date().is_err());
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(3.5) > Value::Int(3));
+    }
+
+    #[test]
+    fn nulls_sort_first_and_equal() {
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(!Value::Null.as_bool().unwrap());
+    }
+
+    #[test]
+    fn hash_is_consistent_with_eq_for_same_type() {
+        let a = Value::str("FRANCE");
+        let b = Value::str("FRANCE");
+        assert_eq!(a, b);
+        assert_eq!(a.hash64(), b.hash64());
+        assert_ne!(Value::str("FRANCE").hash64(), Value::str("GERMANY").hash64());
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        assert_eq!(Value::Float(-0.0).hash64(), Value::Float(0.0).hash64());
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+    }
+
+    #[test]
+    fn size_accounting_counts_string_payload() {
+        let small = Value::Int(1).size_bytes();
+        let s = Value::str("0123456789").size_bytes();
+        assert!(s > small + 9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(
+            Value::Date(Date::parse("1995-03-09").unwrap()).to_string(),
+            "1995-03-09"
+        );
+    }
+
+    #[test]
+    fn hash_key_matches_row_key_hash() {
+        use crate::row::Row;
+        let vals = vec![Value::Int(42), Value::str("FRANCE")];
+        let row = Row::new(vec![Value::str("pad"), Value::Int(42), Value::str("FRANCE")]);
+        assert_eq!(hash_key(&vals), row.key_hash(&[1, 2]));
+        // And no length-prefix artifacts: single value matches too.
+        assert_eq!(hash_key(&vals[..1]), row.key_hash(&[1]));
+    }
+
+    #[test]
+    fn bool_encoding() {
+        assert!(Value::Int(1).as_bool().unwrap());
+        assert!(!Value::Int(0).as_bool().unwrap());
+        assert!(Value::str("t").as_bool().is_err());
+    }
+}

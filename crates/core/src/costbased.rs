@@ -1,0 +1,353 @@
+//! Cost-Based AIP (§IV-B): the AIP Manager and `ESTIMATEBENEFIT` (Fig. 4).
+//!
+//! Execution proceeds normally until an input subexpression of a stateful
+//! operator completes. The manager then re-derives cardinality estimates
+//! from live counters (`UPDATEESTIMATES`), prices the construction of an
+//! AIP set over the completed state, walks the interested operators
+//! deepest-first summing `COST(n ⋈ n′) − COST((n < A) ⋈ n′)` while marking
+//! ancestors to avoid double counting, and only on positive net benefit
+//! scans the state, builds the set, and injects it.
+
+use crate::candidates::{AipSource, AipUser, Candidates};
+use crate::config::AipConfig;
+use crate::registry::AipRegistry;
+use parking_lot::Mutex;
+use sip_common::{FxHashSet, OpId};
+use sip_engine::{
+    CompletionEvent, ExecContext, ExecMonitor, InjectedFilter, MergePolicy, PhysKind, StateView,
+};
+use sip_filter::{AipSetBuilder, AipSetKind};
+use sip_optimizer::{CostModel, Estimator, RuntimeActual};
+use sip_plan::EqClasses;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Decision counters for reporting and the overhead experiments.
+#[derive(Debug, Default)]
+pub struct CbStats {
+    /// Candidate sets evaluated.
+    pub considered: AtomicU64,
+    /// Sets judged beneficial and built.
+    pub built: AtomicU64,
+    /// Sets rejected by the cost model.
+    pub rejected: AtomicU64,
+}
+
+/// The cost-based AIP manager. Install as the engine monitor.
+pub struct CostBased {
+    config: AipConfig,
+    cost: CostModel,
+    eq: EqClasses,
+    registry: Arc<AipRegistry>,
+    candidates: Mutex<Option<Arc<Candidates>>>,
+    /// Decision log for explainability (one line per considered set).
+    decisions: Mutex<Vec<String>>,
+    /// Counters.
+    pub stats: CbStats,
+}
+
+impl CostBased {
+    /// Build a manager for a query with equality classes `eq`.
+    pub fn new(eq: EqClasses, config: AipConfig, cost: CostModel) -> Arc<Self> {
+        Arc::new(CostBased {
+            config,
+            cost,
+            eq,
+            registry: AipRegistry::new(),
+            candidates: Mutex::new(None),
+            decisions: Mutex::new(Vec::new()),
+            stats: CbStats::default(),
+        })
+    }
+
+    /// The registry (inspection / Fig. 2 reproduction).
+    pub fn registry(&self) -> Arc<AipRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The decision log.
+    pub fn decisions(&self) -> Vec<String> {
+        self.decisions.lock().clone()
+    }
+
+    fn gather_actuals(&self, ctx: &ExecContext) -> Vec<RuntimeActual> {
+        ctx.hub
+            .ops
+            .iter()
+            .map(|m| RuntimeActual {
+                rows_out: m.rows_out.load(Ordering::Relaxed),
+                finished: m.finished.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// `ESTIMATEBENEFIT` (Fig. 4) for one candidate source. Returns the
+    /// accepted injection sites (empty = not beneficial).
+    #[allow(clippy::too_many_arguments)]
+    fn estimate_benefit(
+        &self,
+        ctx: &ExecContext,
+        cands: &Candidates,
+        source: &AipSource,
+        view: &dyn StateView,
+        est: &Estimator,
+    ) -> (f64, f64, Vec<AipUser>) {
+        let plan = &ctx.plan;
+        let state_rows = view.len() as f64;
+        // createCost (line 2) — plus shipping for remote injection sites.
+        let create_cost = self.cost.aip_create_cost(state_rows);
+        let child = plan.node(source.op).inputs[source.input];
+        // Distinct keys in the AIP set: exact when the operator's hash
+        // structure already counts them (§IV-B's "operators that maintain
+        // information about the cardinality of the results computed so
+        // far"), otherwise the estimator's scaled figure.
+        let d_keys = view
+            .distinct_hint(source.pos)
+            .map(|d| d as f64)
+            .unwrap_or_else(|| est.node(child).distinct(source.attr).min(state_rows))
+            .max(1.0);
+
+        let mut savings = 0.0;
+        let mut used: FxHashSet<u32> = FxHashSet::default();
+        let mut accepted: Vec<AipUser> = Vec::new();
+        // Mutable cardinalities for propagation (line 10).
+        let mut rows: Vec<f64> = plan
+            .nodes
+            .iter()
+            .map(|n| est.node(n.id).rows)
+            .collect();
+
+        for user in cands.users_for_source(plan, &self.eq, source) {
+            if ctx.hub.op(user.site).finished.load(Ordering::Relaxed) {
+                continue; // nothing left to filter
+            }
+            let n = user.consumer;
+            let site_rows = rows[user.site.index()];
+            let d_site = est.node(user.site).distinct(user.attr).max(1.0);
+            let sel = (d_keys / d_site).min(1.0);
+            // Bloom false positives leak through (§III-B's θ-probe).
+            let sel_eff = if self.config.set_kind == AipSetKind::Bloom {
+                sel + self.config.fpr * (1.0 - sel)
+            } else {
+                sel
+            };
+            let use_benefit = match &plan.node(n).kind {
+                PhysKind::HashJoin { left_keys, right_keys, .. } => {
+                    // Which input of n does the site feed?
+                    let inputs = &plan.node(n).inputs;
+                    let (fed, other) = if cands.in_subtree(inputs[0], user.site) {
+                        (0usize, 1usize)
+                    } else {
+                        (1usize, 0usize)
+                    };
+                    let fed_rows = rows[inputs[fed].index()];
+                    let other_rows = rows[inputs[other].index()];
+                    let out_rows = rows[n.index()];
+                    // Does the filter cut join output too? Only when the
+                    // filtered attribute is (equated to) n's join key.
+                    let fed_keys = if fed == 0 { left_keys } else { right_keys };
+                    let fed_layout = &plan.node(inputs[fed]).layout;
+                    let key_filter = fed_keys
+                        .iter()
+                        .any(|&k| self.eq.class(fed_layout[k]) == self.eq.class(user.attr));
+                    let out_scale = if key_filter { sel_eff } else { 1.0 };
+                    let before = self.cost.join_cost(fed_rows, other_rows, out_rows);
+                    let after = self
+                        .cost
+                        .join_cost(fed_rows * sel_eff, other_rows, out_rows * out_scale)
+                        + self.cost.aip_filter_cost(site_rows);
+                    before - after
+                }
+                PhysKind::Aggregate { .. } | PhysKind::Distinct | PhysKind::SemiJoin { .. } => {
+                    let in_rows = rows[plan.node(n).inputs[0].index()];
+                    let before = self.cost.agg_cost(in_rows);
+                    let after = self.cost.agg_cost(in_rows * sel_eff)
+                        + self.cost.aip_filter_cost(site_rows);
+                    before - after
+                }
+                _ => 0.0,
+            };
+            if use_benefit > 0.0 && !used.contains(&n.0) {
+                savings += use_benefit;
+                // Line 10: propagate revised cardinalities upward.
+                rows[user.site.index()] *= sel_eff;
+                for a in plan.ancestors(user.site) {
+                    rows[a.index()] *= sel_eff;
+                }
+                accepted.push(user.clone());
+            }
+            if use_benefit > 0.0 {
+                // Lines 12-15: mark n's ancestors up to the common ancestor
+                // with the source so they are not double counted.
+                for a in ancestors_to_common(plan, n, source.op) {
+                    used.insert(a.0);
+                }
+                used.insert(n.0);
+            }
+        }
+        (savings, create_cost, accepted)
+    }
+}
+
+/// Ancestors of `n` (exclusive) up to, but not including, the lowest common
+/// ancestor of `n` and `s`.
+fn ancestors_to_common(plan: &sip_engine::PhysPlan, n: OpId, s: OpId) -> Vec<OpId> {
+    let s_anc: FxHashSet<u32> = plan
+        .ancestors(s)
+        .into_iter()
+        .map(|o| o.0)
+        .chain(std::iter::once(s.0))
+        .collect();
+    let mut out = Vec::new();
+    for a in plan.ancestors(n) {
+        if s_anc.contains(&a.0) {
+            break;
+        }
+        out.push(a);
+    }
+    out
+}
+
+impl ExecMonitor for CostBased {
+    fn on_query_start(&self, ctx: &Arc<ExecContext>) {
+        let cands = Arc::new(Candidates::compute(&ctx.plan, &self.eq));
+        for (class, cc) in &cands.classes {
+            self.registry.register_interest(*class, cc.users.len());
+        }
+        *self.candidates.lock() = Some(cands);
+    }
+
+    fn on_input_complete(&self, ctx: &Arc<ExecContext>, ev: &CompletionEvent<'_>) {
+        if !ev.view.complete() {
+            return; // short-circuited state is partial: unusable (§III-B)
+        }
+        let Some(cands) = self.candidates.lock().clone() else {
+            return;
+        };
+        let sources: Vec<AipSource> = cands
+            .sources_at(ev.op, ev.input)
+            .into_iter()
+            .cloned()
+            .collect();
+        if sources.is_empty() {
+            return;
+        }
+        // UPDATEESTIMATES (line 1).
+        let actuals = self.gather_actuals(ctx);
+        let est = Estimator::estimate_with_actuals(&ctx.plan, &actuals);
+
+        for source in sources {
+            self.stats.considered.fetch_add(1, Ordering::Relaxed);
+            let (savings, mut create_cost, accepted) =
+                self.estimate_benefit(ctx, &cands, &source, ev.view, &est);
+            // Distributed extension: add the shipping term for the set.
+            if self.config.ship_cost_per_byte > 0.0 {
+                let approx_bytes = estimate_set_bytes(&self.config, ev.view.len());
+                create_cost += self.config.ship_cost_per_byte * approx_bytes;
+            }
+            let attr_name = ctx.plan.attrs.name(source.attr);
+            if savings <= create_cost || accepted.is_empty() {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.decisions.lock().push(format!(
+                    "reject {attr_name} from {}/in{}: savings {savings:.0} <= cost {create_cost:.0}",
+                    source.op, source.input
+                ));
+                continue;
+            }
+            // Build the set by scanning the operator state — the real cost
+            // the model just priced.
+            let kind = self.pick_kind(ctx, &source);
+            let mut builder = AipSetBuilder::new(
+                kind,
+                ev.view.len().max(self.config.min_expected_keys),
+                self.config.fpr,
+                self.config.n_hashes,
+            );
+            let pos = source.pos;
+            ev.view.for_each(&mut |row| {
+                let digest = row.key_hash(&[pos]);
+                let key = [row.get(pos).clone()];
+                builder.insert(digest, &key);
+            });
+            let set = Arc::new(builder.finish());
+            self.stats.built.fetch_add(1, Ordering::Relaxed);
+            self.decisions.lock().push(format!(
+                "build {attr_name} ({kind:?}, {} keys) from {}/in{}: savings {savings:.0} > cost {create_cost:.0}; inject at {:?}",
+                set.n_keys(),
+                source.op,
+                source.input,
+                accepted.iter().map(|u| u.site).collect::<Vec<_>>()
+            ));
+            self.registry.publish(
+                self.eq.class(source.attr),
+                Arc::clone(&set),
+                format!("{}/input{} on {attr_name}", source.op, source.input),
+            );
+            for u in &accepted {
+                let filter = InjectedFilter::new(
+                    format!("cb[{attr_name}] @{}", u.site),
+                    vec![u.pos],
+                    Arc::clone(&set),
+                );
+                ctx.inject_filter(u.site, filter, MergePolicy::Intersect);
+            }
+        }
+    }
+}
+
+impl CostBased {
+    /// §V-B: "in some cases a hash table from an operator (e.g., a join)
+    /// may be directly reused as an AIP set, if it has an appropriate key"
+    /// — when the completed join side is keyed by exactly the candidate
+    /// attribute, an exact hash set costs nothing extra in false positives.
+    fn pick_kind(&self, ctx: &ExecContext, source: &AipSource) -> AipSetKind {
+        if !self.config.reuse_hash_tables {
+            return self.config.set_kind;
+        }
+        match &ctx.plan.node(source.op).kind {
+            PhysKind::HashJoin {
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                let keys = if source.input == 0 { left_keys } else { right_keys };
+                if keys.as_slice() == [source.pos] {
+                    AipSetKind::Hash
+                } else {
+                    self.config.set_kind
+                }
+            }
+            _ => self.config.set_kind,
+        }
+    }
+}
+
+/// Approximate serialized size of a prospective AIP set, used to price
+/// shipping before the set exists.
+fn estimate_set_bytes(config: &AipConfig, n_keys: usize) -> f64 {
+    match config.set_kind {
+        AipSetKind::Bloom => {
+            // m = -k·n / ln(1 - fpr^(1/k)) bits.
+            let k = config.n_hashes.max(1) as f64;
+            let per_hash = config.fpr.powf(1.0 / k);
+            let bits = -k * (n_keys.max(1) as f64) / (1.0 - per_hash).ln();
+            bits / 8.0
+        }
+        AipSetKind::Hash => n_keys as f64 * 24.0,
+        AipSetKind::MinMax => 64.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_byte_estimate_tracks_kind() {
+        let bloom = estimate_set_bytes(&AipConfig::paper(), 10_000);
+        // ~19.5 bits/key ≈ 2.4 bytes/key.
+        assert!((20_000.0..30_000.0).contains(&bloom), "{bloom}");
+        let hash = estimate_set_bytes(&AipConfig::hash_sets(), 10_000);
+        assert!(hash > bloom * 5.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Greedy Feed-Forward Filtering (§IV-A).
+//!
+//! "Our first algorithm, which requires minimal runtime decision-making and
+//! no runtime statistics collection, optimistically creates and uses every
+//! potentially useful AIP set."
+//!
+//! Each stateful-operator input with AIP candidates gets a *working copy*
+//! AIP set, built incrementally as tuples are admitted. When the input
+//! completes, the working set is published to the registry and injected as
+//! a semijoin filter at every interested site outside the producing
+//! subtree; same-geometry Bloom filters over the same site are merged by
+//! bitwise intersection. Sets whose prospective users have all finished are
+//! discarded instead of published.
+
+use crate::candidates::{AipSource, Candidates};
+use crate::config::AipConfig;
+use crate::registry::AipRegistry;
+use parking_lot::Mutex;
+use sip_common::{OpId, Row};
+use sip_engine::{
+    CompletionEvent, ExecContext, ExecMonitor, InjectedFilter, MergePolicy, RowCollector,
+};
+use sip_filter::AipSetBuilder;
+use sip_optimizer::Estimator;
+use sip_plan::EqClasses;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Shared, read-mostly state for the feed-forward controller.
+struct Shared {
+    config: AipConfig,
+    eq: EqClasses,
+    registry: Arc<AipRegistry>,
+    candidates: Mutex<Option<Arc<Candidates>>>,
+}
+
+/// The feed-forward AIP controller. Install as the engine monitor.
+pub struct FeedForward {
+    shared: Arc<Shared>,
+}
+
+impl FeedForward {
+    /// Build a controller for a query with equality classes `eq`.
+    pub fn new(eq: EqClasses, config: AipConfig) -> Arc<Self> {
+        Arc::new(FeedForward {
+            shared: Arc::new(Shared {
+                config,
+                eq,
+                registry: AipRegistry::new(),
+                candidates: Mutex::new(None),
+            }),
+        })
+    }
+
+    /// The registry (for inspection / the Fig. 2 reproduction).
+    pub fn registry(&self) -> Arc<AipRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// The computed candidate index (available after query start).
+    pub fn candidates(&self) -> Option<Arc<Candidates>> {
+        self.shared.candidates.lock().clone()
+    }
+}
+
+/// One incrementally-built working set.
+struct WorkingEntry {
+    source: AipSource,
+    class: u32,
+    builder: AipSetBuilder,
+}
+
+/// Per-(op, input) collector feeding all working sets for that input.
+struct FfCollector {
+    shared: Arc<Shared>,
+    entries: Vec<WorkingEntry>,
+}
+
+impl RowCollector for FfCollector {
+    fn admit(&mut self, row: &Row) {
+        for e in &mut self.entries {
+            let digest = row.key_hash(&[e.source.pos]);
+            let key = [row.get(e.source.pos).clone()];
+            e.builder.insert(digest, &key);
+        }
+    }
+
+    fn finish(&mut self, ctx: &Arc<ExecContext>) {
+        let Some(cands) = self.shared.candidates.lock().clone() else {
+            return;
+        };
+        for e in self.entries.drain(..) {
+            publish_and_inject(&self.shared, &cands, ctx, e);
+        }
+    }
+}
+
+fn publish_and_inject(
+    shared: &Shared,
+    cands: &Candidates,
+    ctx: &Arc<ExecContext>,
+    entry: WorkingEntry,
+) {
+    let plan = &ctx.plan;
+    let users = cands.users_for_source(plan, &shared.eq, &entry.source);
+    // "all other operators check if there is still interest in the AIP sets
+    // they are computing; if not, they discard their local AIP sets."
+    let live_users: Vec<_> = users
+        .iter()
+        .filter(|u| {
+            !ctx.hub
+                .op(u.site)
+                .finished
+                .load(Ordering::Relaxed)
+        })
+        .collect();
+    if live_users.is_empty() {
+        return; // discard the working set
+    }
+    let set = Arc::new(entry.builder.finish());
+    let attr_name = plan.attrs.name(entry.source.attr);
+    let prov = format!(
+        "{}/input{} on {attr_name}",
+        entry.source.op, entry.source.input
+    );
+    shared
+        .registry
+        .publish(entry.class, Arc::clone(&set), prov.clone());
+    for u in live_users {
+        let filter = InjectedFilter::new(
+            format!("ff[{}] @{}", attr_name, u.site),
+            vec![u.pos],
+            Arc::clone(&set),
+        );
+        ctx.inject_filter(u.site, filter, MergePolicy::Intersect);
+    }
+}
+
+impl ExecMonitor for FeedForward {
+    fn on_query_start(&self, ctx: &Arc<ExecContext>) {
+        let plan = &ctx.plan;
+        let cands = Arc::new(Candidates::compute(plan, &self.shared.eq));
+        // Static estimates size the Bloom filters; feed-forward collects no
+        // runtime statistics (§IV-A).
+        let est = Estimator::estimate(plan);
+        // Register interest: one unit per user per class.
+        for (class, cc) in &cands.classes {
+            self.shared.registry.register_interest(*class, cc.users.len());
+        }
+        // Group sources by (op, input) into collectors.
+        let mut grouped: sip_common::FxHashMap<(u32, usize), Vec<AipSource>> =
+            sip_common::FxHashMap::default();
+        for cc in cands.classes.values() {
+            for s in &cc.sources {
+                grouped.entry((s.op.0, s.input)).or_default().push(s.clone());
+            }
+        }
+        for ((op, input), sources) in grouped {
+            let op = OpId(op);
+            let child = plan.node(op).inputs[input];
+            let expected = est.node(child).rows.max(self.shared.config.min_expected_keys as f64);
+            let entries: Vec<WorkingEntry> = sources
+                .into_iter()
+                .map(|source| WorkingEntry {
+                    class: self.shared.eq.class(source.attr),
+                    builder: AipSetBuilder::new(
+                        self.shared.config.set_kind,
+                        expected as usize,
+                        self.shared.config.fpr,
+                        self.shared.config.n_hashes,
+                    ),
+                    source,
+                })
+                .collect();
+            ctx.install_collector(
+                op,
+                input,
+                Box::new(FfCollector {
+                    shared: Arc::clone(&self.shared),
+                    entries,
+                }),
+            );
+        }
+        *self.shared.candidates.lock() = Some(cands);
+    }
+
+    fn on_input_complete(&self, _ctx: &Arc<ExecContext>, ev: &CompletionEvent<'_>) {
+        // Feed-forward consumes completions via collectors; here we only
+        // decrement interest for the classes this operator could have used.
+        let Some(cands) = self.shared.candidates.lock().clone() else {
+            return;
+        };
+        for (class, cc) in &cands.classes {
+            if cc.users.iter().any(|u| u.consumer == ev.op) {
+                self.shared.registry.decrement_interest(*class);
+            }
+        }
+    }
+}

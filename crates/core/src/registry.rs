@@ -1,0 +1,156 @@
+//! The AIP Registry (Fig. 2b): completed AIP sets and interest tracking,
+//! keyed by attribute-equivalence class.
+
+use parking_lot::Mutex;
+use sip_common::FxHashMap;
+use sip_filter::AipSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Per-class registry state.
+#[derive(Clone, Debug, Default)]
+pub struct ClassState {
+    /// Completed AIP sets for the class, in completion order — the paper's
+    /// "vector to hold associated and completed AIP sets" (§IV-A).
+    pub completed: Vec<Arc<AipSet>>,
+    /// Remaining interested parties. When it reaches zero, producers may
+    /// discard working sets.
+    pub interest: usize,
+    /// Human-readable provenance, parallel to `completed`.
+    pub provenance: Vec<String>,
+}
+
+/// Thread-safe registry shared by all operators of one query.
+#[derive(Debug, Default)]
+pub struct AipRegistry {
+    classes: Mutex<FxHashMap<u32, ClassState>>,
+}
+
+impl AipRegistry {
+    /// Fresh registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(AipRegistry::default())
+    }
+
+    /// Declare `n` interested parties for a class (query initialization).
+    pub fn register_interest(&self, class: u32, n: usize) {
+        self.classes.lock().entry(class).or_default().interest += n;
+    }
+
+    /// An interested party is done consuming (its input finished); returns
+    /// the remaining interest.
+    pub fn decrement_interest(&self, class: u32) -> usize {
+        let mut g = self.classes.lock();
+        let st = g.entry(class).or_default();
+        st.interest = st.interest.saturating_sub(1);
+        st.interest
+    }
+
+    /// Remaining interest for a class.
+    pub fn interest(&self, class: u32) -> usize {
+        self.classes
+            .lock()
+            .get(&class)
+            .map(|c| c.interest)
+            .unwrap_or(0)
+    }
+
+    /// Publish a completed AIP set. Returns `false` (and drops the set)
+    /// when nobody is interested anymore.
+    pub fn publish(&self, class: u32, set: Arc<AipSet>, provenance: impl Into<String>) -> bool {
+        let mut g = self.classes.lock();
+        let st = g.entry(class).or_default();
+        if st.interest == 0 {
+            return false;
+        }
+        st.completed.push(set);
+        st.provenance.push(provenance.into());
+        true
+    }
+
+    /// All completed sets for a class.
+    pub fn completed(&self, class: u32) -> Vec<Arc<AipSet>> {
+        self.classes
+            .lock()
+            .get(&class)
+            .map(|c| c.completed.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of completed sets across classes.
+    pub fn total_published(&self) -> usize {
+        self.classes.lock().values().map(|c| c.completed.len()).sum()
+    }
+
+    /// Render registry contents (the Fig. 2b reproduction).
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        let g = self.classes.lock();
+        let mut classes: Vec<_> = g.iter().collect();
+        classes.sort_by_key(|(k, _)| **k);
+        let _ = writeln!(out, "AIP registry");
+        for (class, st) in classes {
+            let _ = writeln!(
+                out,
+                "  class #{class}: interest={}, {} completed set(s)",
+                st.interest,
+                st.completed.len()
+            );
+            for (set, prov) in st.completed.iter().zip(st.provenance.iter()) {
+                let _ = writeln!(
+                    out,
+                    "    {:?} keys={} bytes={}  <- {prov}",
+                    set.kind(),
+                    set.n_keys(),
+                    set.size_bytes()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_filter::AipSetBuilder;
+
+    fn a_set() -> Arc<AipSet> {
+        Arc::new(AipSetBuilder::paper_default(16).finish())
+    }
+
+    #[test]
+    fn interest_gates_publication() {
+        let r = AipRegistry::new();
+        assert!(!r.publish(1, a_set(), "early"), "no interest yet");
+        r.register_interest(1, 2);
+        assert!(r.publish(1, a_set(), "src A"));
+        assert_eq!(r.completed(1).len(), 1);
+        assert_eq!(r.decrement_interest(1), 1);
+        assert_eq!(r.decrement_interest(1), 0);
+        assert!(!r.publish(1, a_set(), "late"));
+        assert_eq!(r.total_published(), 1);
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let r = AipRegistry::new();
+        r.register_interest(1, 1);
+        r.register_interest(2, 1);
+        r.publish(1, a_set(), "one");
+        assert_eq!(r.completed(1).len(), 1);
+        assert!(r.completed(2).is_empty());
+        assert_eq!(r.interest(2), 1);
+        assert_eq!(r.interest(99), 0);
+    }
+
+    #[test]
+    fn display_lists_sets() {
+        let r = AipRegistry::new();
+        r.register_interest(7, 3);
+        r.publish(7, a_set(), "op4/input0 on ps2.ps_partkey");
+        let text = r.display();
+        assert!(text.contains("class #7"));
+        assert!(text.contains("ps2.ps_partkey"));
+    }
+}

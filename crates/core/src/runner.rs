@@ -1,0 +1,116 @@
+//! Uniform query execution under the paper's four strategies.
+
+use crate::config::AipConfig;
+use crate::costbased::CostBased;
+use crate::feedforward::FeedForward;
+use sip_common::Result;
+use sip_data::Catalog;
+use sip_engine::{execute, execute_baseline, lower, ExecOptions, PhysPlan, QueryOutput};
+use sip_optimizer::{magic_rewrite, CostModel};
+use sip_plan::{AttrCatalog, LogicalPlan, PredicateIndex};
+use std::fmt;
+use std::sync::Arc;
+
+/// The execution strategies compared throughout §VI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Push execution with no information passing.
+    Baseline,
+    /// The pipelined magic-sets rewriting baseline (ref. \[18\], §VI).
+    Magic,
+    /// Greedy feed-forward filtering (§IV-A).
+    FeedForward,
+    /// Cost-based AIP (§IV-B).
+    CostBased,
+}
+
+impl Strategy {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Baseline,
+        Strategy::Magic,
+        Strategy::FeedForward,
+        Strategy::CostBased,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Baseline => "Baseline",
+            Strategy::Magic => "Magic",
+            Strategy::FeedForward => "Feed-forward",
+            Strategy::CostBased => "Cost-based",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A logical query ready to run: plan + attribute catalog.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// The (decorrelated) logical plan.
+    pub plan: LogicalPlan,
+    /// Its attribute catalog.
+    pub attrs: AttrCatalog,
+}
+
+impl QuerySpec {
+    /// Build and validate.
+    pub fn new(plan: LogicalPlan, attrs: AttrCatalog) -> Result<Self> {
+        plan.validate()?;
+        Ok(QuerySpec { plan, attrs })
+    }
+
+    /// Lower to a physical plan under a strategy (Magic rewrites first).
+    pub fn lower(&self, catalog: &Catalog, strategy: Strategy) -> Result<PhysPlan> {
+        match strategy {
+            Strategy::Magic => {
+                let rw = magic_rewrite(&self.plan);
+                lower(&rw.plan, self.attrs.clone(), catalog)
+            }
+            _ => lower(&self.plan, self.attrs.clone(), catalog),
+        }
+    }
+}
+
+/// Execute a query under a strategy. `aip` configures both AIP algorithms;
+/// it is ignored for Baseline and Magic.
+pub fn run_query(
+    spec: &QuerySpec,
+    catalog: &Catalog,
+    strategy: Strategy,
+    options: ExecOptions,
+    aip: &AipConfig,
+) -> Result<QueryOutput> {
+    let phys = Arc::new(spec.lower(catalog, strategy)?);
+    match strategy {
+        Strategy::Baseline | Strategy::Magic => execute_baseline(phys, options),
+        Strategy::FeedForward => {
+            let eq = PredicateIndex::build(&spec.plan).eq;
+            let ff = FeedForward::new(eq, aip.clone());
+            execute(phys, ff, options)
+        }
+        Strategy::CostBased => {
+            let eq = PredicateIndex::build(&spec.plan).eq;
+            let cb = CostBased::new(eq, aip.clone(), CostModel::default());
+            execute(phys, cb, options)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::Baseline.name(), "Baseline");
+        assert_eq!(Strategy::ALL.len(), 4);
+        assert_eq!(Strategy::CostBased.to_string(), "Cost-based");
+    }
+}

@@ -1,0 +1,270 @@
+//! In-memory tables, statistics, and the catalog.
+//!
+//! The optimizer's cost model (paper §V-A) "does not require histograms:
+//! instead, it relies on cardinality estimates and information about keys and
+//! foreign keys". [`TableMeta`] carries exactly that: row counts, primary
+//! keys, foreign keys, and per-column distinct/min/max statistics computed at
+//! load time.
+
+use sip_common::{Result, Row, Schema, SipError, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-column statistics (exact, computed over generated data).
+#[derive(Clone, Debug)]
+pub struct ColumnStats {
+    /// Number of distinct non-NULL values.
+    pub distinct: u64,
+    /// Minimum value (None for all-NULL / empty).
+    pub min: Option<Value>,
+    /// Maximum value.
+    pub max: Option<Value>,
+}
+
+/// A foreign-key reference: `columns` of this table reference the primary
+/// key of `parent_table`.
+#[derive(Clone, Debug)]
+pub struct ForeignKey {
+    /// Referencing column positions in this table.
+    pub columns: Vec<usize>,
+    /// Referenced table name.
+    pub parent_table: String,
+}
+
+/// Static + statistical metadata about a table.
+#[derive(Clone, Debug)]
+pub struct TableMeta {
+    /// Table name (`lineitem`, `partsupp`, ...).
+    pub name: String,
+    /// Column layout.
+    pub schema: Schema,
+    /// Primary-key column positions (empty = no declared key).
+    pub primary_key: Vec<usize>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+    /// Row count.
+    pub row_count: u64,
+    /// Per-column stats, parallel to the schema.
+    pub column_stats: Vec<ColumnStats>,
+}
+
+/// An immutable in-memory table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    meta: TableMeta,
+    rows: Arc<[Row]>,
+}
+
+impl Table {
+    /// Build a table, computing exact column statistics.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        primary_key: Vec<usize>,
+        foreign_keys: Vec<ForeignKey>,
+        rows: Vec<Row>,
+    ) -> Result<Table> {
+        let name = name.into();
+        for row in rows.iter().take(16) {
+            schema.check_row(row.values()).map_err(|e| {
+                SipError::Data(format!("table {name}: {e}"))
+            })?;
+        }
+        let column_stats = compute_stats(&schema, &rows);
+        let meta = TableMeta {
+            name,
+            schema,
+            primary_key,
+            foreign_keys,
+            row_count: rows.len() as u64,
+            column_stats,
+        };
+        Ok(Table {
+            meta,
+            rows: rows.into(),
+        })
+    }
+
+    /// Metadata.
+    pub fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Schema.
+    pub fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Distinct count for a column (1 if unknown/empty, keeping division
+    /// safe in selectivity formulas).
+    pub fn distinct(&self, col: usize) -> u64 {
+        self.meta
+            .column_stats
+            .get(col)
+            .map(|s| s.distinct.max(1))
+            .unwrap_or(1)
+    }
+}
+
+fn compute_stats(schema: &Schema, rows: &[Row]) -> Vec<ColumnStats> {
+    let mut sets: Vec<sip_common::FxHashSet<u64>> =
+        (0..schema.len()).map(|_| Default::default()).collect();
+    let mut mins: Vec<Option<Value>> = vec![None; schema.len()];
+    let mut maxs: Vec<Option<Value>> = vec![None; schema.len()];
+    for row in rows {
+        for (c, v) in row.values().iter().enumerate() {
+            if v.is_null() {
+                continue;
+            }
+            sets[c].insert(v.hash64());
+            match &mins[c] {
+                None => mins[c] = Some(v.clone()),
+                Some(m) if v < m => mins[c] = Some(v.clone()),
+                _ => {}
+            }
+            match &maxs[c] {
+                None => maxs[c] = Some(v.clone()),
+                Some(m) if v > m => maxs[c] = Some(v.clone()),
+                _ => {}
+            }
+        }
+    }
+    sets.into_iter()
+        .zip(mins)
+        .zip(maxs)
+        .map(|((set, min), max)| ColumnStats {
+            distinct: set.len() as u64,
+            min,
+            max,
+        })
+        .collect()
+}
+
+/// A named collection of tables — what a site serves.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table (replacing any previous one of the same name).
+    pub fn add(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), Arc::new(table));
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SipError::Data(format!("table {name:?} not in catalog")))
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Total rows across tables.
+    pub fn total_rows(&self) -> u64 {
+        self.tables.values().map(|t| t.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_common::{DataType, Field};
+
+    fn small_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Str),
+        ]);
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::str("a")]),
+            Row::new(vec![Value::Int(2), Value::str("b")]),
+            Row::new(vec![Value::Int(3), Value::str("a")]),
+        ];
+        Table::new("t", schema, vec![0], vec![], rows).unwrap()
+    }
+
+    #[test]
+    fn stats_are_exact() {
+        let t = small_table();
+        assert_eq!(t.meta().row_count, 3);
+        assert_eq!(t.distinct(0), 3);
+        assert_eq!(t.distinct(1), 2);
+        assert_eq!(t.meta().column_stats[0].min, Some(Value::Int(1)));
+        assert_eq!(t.meta().column_stats[0].max, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let rows = vec![Row::new(vec![Value::str("oops")])];
+        assert!(Table::new("bad", schema, vec![], vec![], rows).is_err());
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        let mut c = Catalog::new();
+        c.add(small_table());
+        assert!(c.get("t").is_ok());
+        assert!(c.get("nope").is_err());
+        assert_eq!(c.table_names(), vec!["t"]);
+        assert_eq!(c.total_rows(), 3);
+    }
+
+    #[test]
+    fn distinct_of_unknown_column_is_one() {
+        let t = small_table();
+        assert_eq!(t.distinct(99), 1);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let t = Table::new("e", schema, vec![0], vec![], vec![]).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.distinct(0), 1);
+        assert_eq!(t.meta().column_stats[0].min, None);
+    }
+
+    #[test]
+    fn nulls_excluded_from_stats() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let rows = vec![
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::Int(5)]),
+        ];
+        let t = Table::new("n", schema, vec![], vec![], rows).unwrap();
+        assert_eq!(t.distinct(0), 1);
+        assert_eq!(t.meta().column_stats[0].min, Some(Value::Int(5)));
+    }
+}

@@ -1,0 +1,198 @@
+//! TPC-H text pools: the word lists dbgen composes names and categorical
+//! columns from. Deterministic, allocation-light helpers used by the
+//! generators.
+
+use rand::Rng;
+
+/// The five TPC-H regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nations with their region index.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("VIETNAM", 2),
+    ("CHINA", 2),
+];
+
+/// p_type syllables — 6 × 5 × 5 = 150 distinct types like
+/// `"STANDARD ANODIZED TIN"`. The last syllable is what `%TIN` / `%BRASS`
+/// predicates select on.
+pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Second p_type syllable.
+pub const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Third p_type syllable (the metal).
+pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// p_container syllables — 5 × 8 = 40 containers like `"MED CAN"`.
+pub const CONTAINER_S1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+/// Second container syllable.
+pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Colour words used in p_name (dbgen uses 92; this 40-word pool keeps the
+/// `p_name like '%black%'` selectivity in the same regime).
+pub const COLORS: [&str; 40] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki",
+];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Short comment fragments (full dbgen comments average ~50 bytes; these are
+/// shorter but preserve the "wide string column" shape).
+pub const COMMENT_WORDS: [&str; 16] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "requests", "packages",
+    "accounts", "theodolites", "pinto beans", "foxes", "ideas", "dependencies", "instructions",
+    "platelets",
+];
+
+/// A p_type drawn uniformly (or by explicit indices).
+pub fn part_type(rng: &mut impl Rng) -> String {
+    format!(
+        "{} {} {}",
+        TYPE_S1[rng.gen_range(0..TYPE_S1.len())],
+        TYPE_S2[rng.gen_range(0..TYPE_S2.len())],
+        TYPE_S3[rng.gen_range(0..TYPE_S3.len())]
+    )
+}
+
+/// A p_container drawn uniformly.
+pub fn container(rng: &mut impl Rng) -> String {
+    format!(
+        "{} {}",
+        CONTAINER_S1[rng.gen_range(0..CONTAINER_S1.len())],
+        CONTAINER_S2[rng.gen_range(0..CONTAINER_S2.len())]
+    )
+}
+
+/// A brand `Brand#MN`, M,N ∈ 1..=5.
+pub fn brand(rng: &mut impl Rng) -> String {
+    format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))
+}
+
+/// A part name: five colour words, dbgen-style.
+pub fn part_name(rng: &mut impl Rng) -> String {
+    let mut words = Vec::with_capacity(5);
+    for _ in 0..5 {
+        words.push(COLORS[rng.gen_range(0..COLORS.len())]);
+    }
+    words.join(" ")
+}
+
+/// A short pseudo-sentence comment.
+pub fn comment(rng: &mut impl Rng) -> String {
+    let n = rng.gen_range(2..=4);
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())]);
+    }
+    words.join(" ")
+}
+
+/// A phone number shaped like TPC-H's `NN-NNN-NNN-NNNN`.
+pub fn phone(rng: &mut impl Rng, nation: usize) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nation,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+/// A street-ish address.
+pub fn address(rng: &mut impl Rng) -> String {
+    format!(
+        "{} {} st",
+        rng.gen_range(1..10000),
+        COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nations_reference_valid_regions() {
+        for (name, region) in NATIONS {
+            assert!(region < REGIONS.len(), "{name} has bad region {region}");
+            assert!(!name.is_empty());
+        }
+        // FRANCE must exist (the IBM query filters on it) and be in EUROPE.
+        let france = NATIONS.iter().find(|(n, _)| *n == "FRANCE").unwrap();
+        assert_eq!(REGIONS[france.1], "EUROPE");
+    }
+
+    #[test]
+    fn nation_names_unique() {
+        let set: std::collections::HashSet<_> = NATIONS.iter().map(|(n, _)| n).collect();
+        assert_eq!(set.len(), 25);
+    }
+
+    #[test]
+    fn composed_strings_have_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = part_type(&mut rng);
+        assert_eq!(t.split(' ').count(), 3);
+        let c = container(&mut rng);
+        assert_eq!(c.split(' ').count(), 2);
+        let b = brand(&mut rng);
+        assert!(b.starts_with("Brand#") && b.len() == 8);
+        let n = part_name(&mut rng);
+        assert_eq!(n.split(' ').count(), 5);
+        let p = phone(&mut rng, 6);
+        assert_eq!(p.len(), 15);
+        assert!(p.starts_with("16-"));
+    }
+
+    #[test]
+    fn some_part_types_end_in_tin() {
+        // ~1/5 of types end in TIN; over 200 draws we should see several.
+        let mut rng = StdRng::seed_from_u64(2);
+        let tins = (0..200).filter(|_| part_type(&mut rng).ends_with("TIN")).count();
+        assert!(tins > 10, "{tins}");
+    }
+
+    #[test]
+    fn some_part_names_contain_black() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let blacks = (0..500)
+            .filter(|_| part_name(&mut rng).contains("black"))
+            .count();
+        assert!(blacks > 10, "{blacks}");
+    }
+}

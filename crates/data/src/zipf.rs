@@ -1,0 +1,168 @@
+//! Zipfian sampling for the skewed ("TPC-D, z = 0.5") data sets.
+//!
+//! The paper's skewed experiments use the Microsoft skewed TPC-D generator
+//! with Zipf parameter z = 0.5 (§VI). We implement Zipf(N, z) by rejection
+//! inversion (Hörmann & Derflinger's algorithm, the same one `rand_distr`
+//! uses), which samples in O(1) without precomputing the N-term harmonic
+//! table — important because N can be millions of keys.
+
+use rand::Rng;
+
+/// A Zipf(n, s) distribution over ranks `1..=n`: P(k) ∝ 1/k^s.
+///
+/// `s = 0` degenerates to the uniform distribution over `1..=n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants for rejection inversion.
+    h_x1: f64,
+    h_n: f64,
+    dd: f64,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `1..=n` with exponent `s >= 0`.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be >= 0");
+        let h_x1 = h(1.5, s) - 1.0;
+        let h_n = h(n as f64 + 0.5, s);
+        let dd = 1.0 - h_inv(h(2.5, s) - pow_s(2.0, s), s);
+        Zipf { n, s, h_x1, h_n, dd }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.s == 0.0 {
+            return rng.gen_range(1..=self.n);
+        }
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = h_inv(u, self.s);
+            let k64 = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            let k = k64 as u64;
+            if k64 - x <= self.dd || u >= h(k64 + 0.5, self.s) - pow_s(k64, self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+/// `x^(-s)` via exp/ln for stability at fractional s.
+#[inline]
+fn pow_s(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// H(x) = integral of x^-s: (x^{1-s} - 1)/(1-s), with the s→1 limit ln(x).
+#[inline]
+fn h(x: f64, s: f64) -> f64 {
+    let t = 1.0 - s;
+    if t.abs() < 1e-9 {
+        x.ln()
+    } else {
+        (x.powf(t) - 1.0) / t
+    }
+}
+
+/// Inverse of `h`.
+#[inline]
+fn h_inv(v: f64, s: f64) -> f64 {
+    let t = 1.0 - s;
+    if t.abs() < 1e-9 {
+        v.exp()
+    } else {
+        (1.0 + v * t).powf(1.0 / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, s: f64, draws: usize) -> Vec<u64> {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            let k = z.sample(&mut rng);
+            assert!((1..=n).contains(&k));
+            counts[k as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let counts = histogram(10, 0.0, 100_000);
+        for k in 1..=10 {
+            let c = counts[k] as f64;
+            assert!((7_000.0..13_000.0).contains(&c), "rank {k}: {c}");
+        }
+    }
+
+    #[test]
+    fn skew_favors_low_ranks() {
+        let counts = histogram(1000, 1.0, 100_000);
+        assert!(counts[1] > counts[10] * 5, "{} vs {}", counts[1], counts[10]);
+        assert!(counts[1] > counts[100] * 20);
+    }
+
+    #[test]
+    fn z_half_matches_theory() {
+        // For z=0.5, P(1)/P(4) = 4^0.5 = 2.
+        let counts = histogram(100, 0.5, 400_000);
+        let ratio = counts[1] as f64 / counts[4] as f64;
+        assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn covers_full_range() {
+        let counts = histogram(50, 0.5, 200_000);
+        for k in 1..=50 {
+            assert!(counts[k] > 0, "rank {k} never drawn");
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerate() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(1000, 0.5);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 0.5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Scale-behaviour tests for the generator: row counts track the scale
+//! factor linearly, statistics stay sane, and (ignored by default) a
+//! larger-scale smoke test for soak runs.
+
+use sip_data::{generate, TpchConfig};
+
+#[test]
+fn row_counts_scale_linearly() {
+    let small = generate(&TpchConfig::uniform(0.005)).unwrap();
+    let large = generate(&TpchConfig::uniform(0.02)).unwrap();
+    for table in ["part", "supplier", "partsupp", "customer", "orders"] {
+        let s = small.get(table).unwrap().len() as f64;
+        let l = large.get(table).unwrap().len() as f64;
+        let ratio = l / s;
+        assert!(
+            (3.5..4.5).contains(&ratio),
+            "{table}: {s} -> {l} (ratio {ratio})"
+        );
+    }
+    // Lineitem is stochastic (1-7 lines per order) but still ~linear.
+    let s = small.get("lineitem").unwrap().len() as f64;
+    let l = large.get("lineitem").unwrap().len() as f64;
+    assert!((3.0..5.0).contains(&(l / s)));
+}
+
+#[test]
+fn fixed_tables_do_not_scale() {
+    let small = generate(&TpchConfig::uniform(0.005)).unwrap();
+    let large = generate(&TpchConfig::uniform(0.05)).unwrap();
+    assert_eq!(small.get("region").unwrap().len(), 5);
+    assert_eq!(large.get("region").unwrap().len(), 5);
+    assert_eq!(small.get("nation").unwrap().len(), 25);
+    assert_eq!(large.get("nation").unwrap().len(), 25);
+}
+
+#[test]
+fn key_statistics_are_exact_at_scale() {
+    let c = generate(&TpchConfig::uniform(0.01)).unwrap();
+    let part = c.get("part").unwrap();
+    // Primary key: distinct == row count.
+    assert_eq!(part.distinct(0), part.len() as u64);
+    // p_size covers 1..=50.
+    let size_col = part.schema().index_of("p_size").unwrap();
+    assert!(part.distinct(size_col) <= 50);
+    let stats = &part.meta().column_stats[size_col];
+    assert_eq!(stats.min, Some(sip_common::Value::Int(1)));
+    assert_eq!(stats.max, Some(sip_common::Value::Int(50)));
+}
+
+#[test]
+fn skewed_and_uniform_have_identical_shape() {
+    // Skew changes distributions, not schema or cardinality structure.
+    let u = generate(&TpchConfig::uniform(0.005)).unwrap();
+    let z = generate(&TpchConfig::skewed(0.005)).unwrap();
+    for table in u.table_names() {
+        let tu = u.get(table).unwrap();
+        let tz = z.get(table).unwrap();
+        assert_eq!(tu.schema(), tz.schema(), "{table}");
+        if table == "lineitem" {
+            // Lines-per-order draws interleave differently with the Zipf
+            // sampler's RNG consumption, so the total is only ~equal.
+            let ratio = tz.len() as f64 / tu.len() as f64;
+            assert!((0.9..1.1).contains(&ratio), "lineitem ratio {ratio}");
+        } else {
+            assert_eq!(tu.len(), tz.len(), "{table}");
+        }
+    }
+}
+
+/// Soak test at a production-ish scale — run explicitly with
+/// `cargo test -p sip-data -- --ignored`.
+#[test]
+#[ignore = "large-scale soak test (~1 GB-class generation)"]
+fn soak_generate_sf_half() {
+    let c = generate(&TpchConfig::uniform(0.5)).unwrap();
+    assert_eq!(c.get("part").unwrap().len(), 100_000);
+    assert!(c.get("lineitem").unwrap().len() > 2_000_000);
+}

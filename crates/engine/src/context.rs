@@ -1,0 +1,155 @@
+//! Shared per-execution context: options, taps, metrics, collectors.
+
+use crate::delay::DelayModel;
+use crate::metrics::MetricsHub;
+use crate::monitor::RowCollector;
+use crate::physical::PhysPlan;
+use crate::taps::{FilterTap, InjectedFilter, MergePolicy};
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use sip_common::{AttrId, Batch, FxHashMap, OpId};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A message flowing between operators.
+#[derive(Debug)]
+pub enum Msg {
+    /// A batch of rows.
+    Batch(Batch),
+    /// End of stream.
+    Eof,
+}
+
+/// Options for one execution.
+#[derive(Debug)]
+pub struct ExecOptions {
+    /// Rows per inter-operator batch.
+    pub batch_size: usize,
+    /// Bounded-channel capacity (batches) — the backpressure window.
+    pub channel_capacity: usize,
+    /// Delay models, keyed by scan binding (then by table name as fallback).
+    pub delays: FxHashMap<String, DelayModel>,
+    /// Collect result rows at the sink (disable for pure timing runs of
+    /// large outputs).
+    pub collect_rows: bool,
+    /// Feeding channels for [`crate::physical::PhysKind::ExternalSource`]
+    /// nodes, keyed by operator id. Taken (not cloned) at spawn time.
+    pub external_inputs: Mutex<FxHashMap<u32, Receiver<Msg>>>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            batch_size: 1024,
+            channel_capacity: 16,
+            delays: FxHashMap::default(),
+            collect_rows: true,
+            external_inputs: Mutex::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Add a delay model for a binding or table name.
+    pub fn with_delay(mut self, binding: impl Into<String>, model: DelayModel) -> Self {
+        self.delays.insert(binding.into(), model);
+        self
+    }
+
+    /// Look up the delay for a scan.
+    pub fn delay_for(&self, binding: &str, table: &str) -> Option<&DelayModel> {
+        self.delays.get(binding).or_else(|| self.delays.get(table))
+    }
+}
+
+/// Shared state for one run: the plan, metrics hub, tap points, and
+/// controller-installed collectors.
+pub struct ExecContext {
+    /// The executing plan.
+    pub plan: Arc<PhysPlan>,
+    /// Metrics hub.
+    pub hub: Arc<MetricsHub>,
+    /// One tap per operator (indexed by OpId), applied to that operator's
+    /// output rows.
+    pub taps: Vec<FilterTap>,
+    /// Execution options.
+    pub options: ExecOptions,
+    collectors: Mutex<FxHashMap<(u32, usize), Box<dyn RowCollector>>>,
+}
+
+impl ExecContext {
+    /// Build a context for `plan`.
+    pub fn new(plan: Arc<PhysPlan>, options: ExecOptions) -> Arc<Self> {
+        let n = plan.nodes.len();
+        Arc::new(ExecContext {
+            hub: MetricsHub::new(n),
+            taps: (0..n).map(|_| FilterTap::new()).collect(),
+            plan,
+            options,
+            collectors: Mutex::new(FxHashMap::default()),
+        })
+    }
+
+    /// The output layout of an operator.
+    pub fn layout(&self, op: OpId) -> &[AttrId] {
+        &self.plan.node(op).layout
+    }
+
+    /// Inject a semijoin filter at `op`'s output. Counts toward
+    /// `filters_injected`.
+    pub fn inject_filter(&self, op: OpId, filter: InjectedFilter, policy: MergePolicy) {
+        self.taps[op.index()].inject(filter, policy);
+        self.hub.filters_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Install a per-input row collector (controllers call this from
+    /// `on_query_start`; later installs are ignored by operators already
+    /// past startup).
+    pub fn install_collector(&self, op: OpId, input: usize, c: Box<dyn RowCollector>) {
+        self.collectors.lock().insert((op.0, input), c);
+    }
+
+    /// Used by operator threads to claim their collectors.
+    pub(crate) fn take_collector(&self, op: OpId, input: usize) -> Option<Box<dyn RowCollector>> {
+        self.collectors.lock().remove(&(op.0, input))
+    }
+}
+
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("nodes", &self.plan.nodes.len())
+            .field("taps", &self.taps.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn delay_lookup_prefers_binding() {
+        let opts = ExecOptions::default()
+            .with_delay("partsupp", DelayModel::paper_delayed())
+            .with_delay("ps2", DelayModel::initial_only(Duration::from_millis(1)));
+        assert_eq!(
+            opts.delay_for("ps2", "partsupp"),
+            Some(&DelayModel::initial_only(Duration::from_millis(1)))
+        );
+        assert_eq!(
+            opts.delay_for("ps1", "partsupp"),
+            Some(&DelayModel::paper_delayed())
+        );
+        assert_eq!(opts.delay_for("l", "lineitem"), None);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let opts = ExecOptions::default();
+        assert!(opts.batch_size >= 64);
+        assert!(opts.channel_capacity >= 1);
+        assert!(opts.collect_rows);
+    }
+}

@@ -1,0 +1,138 @@
+//! Source-delay models.
+//!
+//! §VI-B of the paper delays the PARTSUPP relation "by 100msec and
+//! rate-limited by injecting a 5msec delay every 1000 tuples" to emulate
+//! wide-area sources. [`DelayModel`] reproduces exactly that shape.
+
+use std::time::Duration;
+
+/// A delay model applied by a scan (or simulated remote source).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayModel {
+    /// One-time delay before the first tuple.
+    pub initial: Duration,
+    /// Emit a pause every `every_n` tuples (0 disables rate limiting).
+    pub every_n: u64,
+    /// The recurring pause.
+    pub pause: Duration,
+}
+
+impl DelayModel {
+    /// No delay at all.
+    pub fn none() -> Self {
+        DelayModel {
+            initial: Duration::ZERO,
+            every_n: 0,
+            pause: Duration::ZERO,
+        }
+    }
+
+    /// The paper's §VI-B configuration: 100 ms initial + 5 ms per 1000 tuples.
+    pub fn paper_delayed() -> Self {
+        DelayModel {
+            initial: Duration::from_millis(100),
+            every_n: 1000,
+            pause: Duration::from_millis(5),
+        }
+    }
+
+    /// A pure initial delay.
+    pub fn initial_only(d: Duration) -> Self {
+        DelayModel {
+            initial: d,
+            every_n: 0,
+            pause: Duration::ZERO,
+        }
+    }
+
+    /// Is this effectively no delay?
+    pub fn is_none(&self) -> bool {
+        self.initial.is_zero() && (self.every_n == 0 || self.pause.is_zero())
+    }
+
+    /// Total sleep this model adds across `n` tuples.
+    pub fn total_for(&self, n: u64) -> Duration {
+        let pauses = if self.every_n == 0 { 0 } else { n / self.every_n };
+        self.initial + self.pause * pauses as u32
+    }
+}
+
+/// Tracks progress through a [`DelayModel`] during a scan.
+#[derive(Debug)]
+pub struct DelayState {
+    model: DelayModel,
+    emitted: u64,
+    started: bool,
+}
+
+impl DelayState {
+    /// Start tracking a model.
+    pub fn new(model: DelayModel) -> Self {
+        DelayState {
+            model,
+            emitted: 0,
+            started: false,
+        }
+    }
+
+    /// Account for `n` more tuples; returns how long the caller must sleep
+    /// before emitting them.
+    pub fn advance(&mut self, n: u64) -> Duration {
+        let mut sleep = Duration::ZERO;
+        if !self.started {
+            self.started = true;
+            sleep += self.model.initial;
+        }
+        if self.model.every_n > 0 {
+            let before = self.emitted / self.model.every_n;
+            let after = (self.emitted + n) / self.model.every_n;
+            sleep += self.model.pause * (after - before) as u32;
+        }
+        self.emitted += n;
+        sleep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero() {
+        let m = DelayModel::none();
+        assert!(m.is_none());
+        assert_eq!(m.total_for(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn paper_model_matches_spec() {
+        let m = DelayModel::paper_delayed();
+        assert_eq!(m.initial, Duration::from_millis(100));
+        // 10k tuples → 10 pauses of 5 ms + 100 ms initial.
+        assert_eq!(m.total_for(10_000), Duration::from_millis(150));
+    }
+
+    #[test]
+    fn state_advances_in_batches() {
+        let mut s = DelayState::new(DelayModel {
+            initial: Duration::from_millis(7),
+            every_n: 100,
+            pause: Duration::from_millis(1),
+        });
+        // First batch pays the initial delay.
+        assert_eq!(s.advance(50), Duration::from_millis(7));
+        // Crossing the 100-tuple boundary pays one pause.
+        assert_eq!(s.advance(60), Duration::from_millis(1));
+        // Not crossing: no pause.
+        assert_eq!(s.advance(10), Duration::ZERO);
+        // Crossing three boundaries at once pays three pauses.
+        assert_eq!(s.advance(300), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn initial_only_fires_once() {
+        let mut s = DelayState::new(DelayModel::initial_only(Duration::from_millis(5)));
+        assert_eq!(s.advance(1), Duration::from_millis(5));
+        assert_eq!(s.advance(1_000), Duration::ZERO);
+    }
+}

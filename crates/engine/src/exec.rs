@@ -1,0 +1,156 @@
+//! The threaded push executor.
+//!
+//! Every operator runs on its own OS thread, connected by bounded channels:
+//! the multithreaded, nondeterministically-scheduled execution model of
+//! Tukwila (§V-A), where the CPU naturally switches to whatever part of the
+//! bushy plan has data available.
+
+use crate::context::{ExecContext, ExecOptions, Msg};
+use crate::metrics::ExecMetrics;
+use crate::monitor::ExecMonitor;
+use crate::operators;
+use crate::physical::{PhysKind, PhysPlan};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sip_common::{Result, Row, SipError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The outcome of one query execution.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// Result rows (empty when `collect_rows` is off).
+    pub rows: Vec<Row>,
+    /// Collected metrics.
+    pub metrics: ExecMetrics,
+}
+
+/// Execute `plan` with `monitor` receiving runtime callbacks.
+///
+/// Returns when the root operator has emitted EOF and all operator threads
+/// have joined. The first operator error (if any) is propagated.
+pub fn execute(
+    plan: Arc<PhysPlan>,
+    monitor: Arc<dyn ExecMonitor>,
+    options: ExecOptions,
+) -> Result<QueryOutput> {
+    plan.validate()?;
+    let ctx = ExecContext::new(Arc::clone(&plan), options);
+    execute_ctx(ctx, monitor)
+}
+
+/// Execute with a caller-constructed context — used by the distributed
+/// harness, whose simulated remote sites need shared access to the taps
+/// (so shipped filters can be applied *before* transmission).
+pub fn execute_ctx(
+    ctx: Arc<ExecContext>,
+    monitor: Arc<dyn ExecMonitor>,
+) -> Result<QueryOutput> {
+    let plan = Arc::clone(&ctx.plan);
+    plan.validate()?;
+    monitor.on_query_start(&ctx);
+
+    let start = Instant::now();
+    let error_slot: Arc<Mutex<Option<SipError>>> = Arc::new(Mutex::new(None));
+    let mut senders: Vec<Option<Sender<Msg>>> = Vec::with_capacity(plan.nodes.len());
+    let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(plan.nodes.len());
+    for _ in &plan.nodes {
+        let (tx, rx) = bounded(ctx.options.channel_capacity);
+        senders.push(Some(tx));
+        receivers.push(Some(rx));
+    }
+    let root_rx = receivers[plan.root.index()]
+        .take()
+        .expect("root receiver present");
+
+    let mut handles = Vec::with_capacity(plan.nodes.len());
+    for node in &plan.nodes {
+        let op = node.id;
+        let out = senders[op.index()].take().expect("sender unused");
+        let mut ins: Vec<Receiver<Msg>> = node
+            .inputs
+            .iter()
+            .map(|c| receivers[c.index()].take().expect("input receiver unused"))
+            .collect();
+        let ctx = Arc::clone(&ctx);
+        let monitor = Arc::clone(&monitor);
+        let errs = Arc::clone(&error_slot);
+        let kind_name = node.kind.name();
+        let handle = std::thread::Builder::new()
+            .name(format!("sip-{op}-{kind_name}"))
+            .spawn(move || {
+                let result = match &ctx.plan.node(op).kind {
+                    PhysKind::Scan { .. } => operators::scan::run_scan(&ctx, op, out),
+                    PhysKind::ExternalSource { .. } => {
+                        operators::scan::run_external(&ctx, op, out)
+                    }
+                    PhysKind::Filter { .. } => {
+                        operators::stateless::run_filter(&ctx, op, ins.remove(0), out)
+                    }
+                    PhysKind::Project { .. } => {
+                        operators::stateless::run_project(&ctx, op, ins.remove(0), out)
+                    }
+                    PhysKind::HashJoin { .. } => {
+                        let right = ins.remove(1);
+                        let left = ins.remove(0);
+                        operators::hash_join::run_hash_join(&ctx, &monitor, op, left, right, out)
+                    }
+                    PhysKind::Aggregate { .. } => {
+                        operators::aggregate::run_aggregate(&ctx, &monitor, op, ins.remove(0), out)
+                    }
+                    PhysKind::Distinct => {
+                        operators::aggregate::run_distinct(&ctx, &monitor, op, ins.remove(0), out)
+                    }
+                    PhysKind::SemiJoin { .. } => {
+                        let build = ins.remove(1);
+                        let probe = ins.remove(0);
+                        operators::semi_join::run_semi_join(&ctx, &monitor, op, probe, build, out)
+                    }
+                };
+                if let Err(e) = result {
+                    errs.lock().get_or_insert(e);
+                }
+            })
+            .expect("spawn operator thread");
+        handles.push(handle);
+    }
+    drop(senders);
+    drop(receivers);
+
+    // Drain the root.
+    let mut rows: Vec<Row> = Vec::new();
+    let mut rows_out = 0u64;
+    loop {
+        match root_rx.recv() {
+            Ok(Msg::Batch(b)) => {
+                rows_out += b.len() as u64;
+                if ctx.options.collect_rows {
+                    rows.extend(b.rows);
+                }
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let wall = start.elapsed();
+    monitor.on_query_end(&ctx);
+
+    if let Some(e) = error_slot.lock().take() {
+        return Err(e);
+    }
+    Ok(QueryOutput {
+        rows,
+        metrics: ctx.hub.finish(wall, rows_out),
+    })
+}
+
+/// Convenience: execute with no monitor (pure baseline).
+pub fn execute_baseline(plan: Arc<PhysPlan>, options: ExecOptions) -> Result<QueryOutput> {
+    execute(
+        plan,
+        Arc::new(crate::monitor::NoopMonitor),
+        options,
+    )
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # sip-engine
+//!
+//! A push-style, multithreaded query execution engine in the mold of the
+//! paper's Tukwila substrate (§V): symmetric pipelined hash joins, hash
+//! aggregation, bushy plans, one thread per operator with bounded-channel
+//! backpressure, per-operator cardinality counters, byte-accurate
+//! intermediate-state accounting, source-delay simulation, and — crucially
+//! for AIP — runtime-injectable semijoin filter taps plus state views and
+//! completion callbacks that controllers (in `sip-core`) consume.
+
+pub mod context;
+pub mod delay;
+pub mod exec;
+pub mod metrics;
+pub mod monitor;
+pub(crate) mod operators;
+pub mod oracle;
+pub mod physical;
+pub mod report;
+pub mod taps;
+
+pub use context::{ExecContext, ExecOptions, Msg};
+pub use delay::DelayModel;
+pub use exec::{execute, execute_baseline, execute_ctx, QueryOutput};
+pub use metrics::{ExecMetrics, MetricsHub, OpMetrics, OpMetricsSnapshot};
+pub use monitor::{CompletionEvent, ExecMonitor, NoopMonitor, RowCollector, StateView};
+pub use oracle::{canonical, execute_oracle};
+pub use physical::{lower, BoundAgg, PhysKind, PhysNode, PhysPlan};
+pub use report::explain_analyze;
+pub use taps::{FilterTap, InjectedFilter, MergePolicy};

@@ -1,0 +1,220 @@
+//! Per-operator and per-query metrics.
+//!
+//! Tukwila "supplement\[s\] all query operators with cardinality counters"
+//! (§V-A); those counters are what the cost-based AIP manager's
+//! `UPDATEESTIMATES` reads at runtime. State bytes feed both per-operator
+//! peaks and the global [`StateTracker`] whose high-water mark is the
+//! paper's "Intermediate State (MB)" metric.
+
+use sip_common::bytes::StateTracker;
+use sip_common::OpId;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Live counters for one operator. All relaxed atomics — they are
+/// monotonically-increasing counters, not synchronization.
+#[derive(Debug, Default)]
+pub struct OpMetrics {
+    /// Rows received per input (index 0/1).
+    pub rows_in: [AtomicU64; 2],
+    /// Rows emitted.
+    pub rows_out: AtomicU64,
+    /// Rows probed against injected AIP filters at this node's output.
+    pub aip_probed: AtomicU64,
+    /// Rows dropped by injected AIP filters.
+    pub aip_dropped: AtomicU64,
+    /// Current buffered state bytes.
+    pub state_bytes: AtomicI64,
+    /// Peak buffered state bytes for this operator.
+    pub state_peak: AtomicU64,
+    /// Input EOF flags.
+    pub input_done: [AtomicBool; 2],
+    /// Set once the operator has emitted its own EOF.
+    pub finished: AtomicBool,
+}
+
+impl OpMetrics {
+    /// Record state growth/shrink, updating the per-op peak and the global
+    /// tracker.
+    pub fn add_state(&self, delta: i64, global: &StateTracker) {
+        let now = self.state_bytes.fetch_add(delta, Ordering::Relaxed) + delta;
+        if delta > 0 {
+            let now_u = now.max(0) as u64;
+            let mut seen = self.state_peak.load(Ordering::Relaxed);
+            while now_u > seen {
+                match self.state_peak.compare_exchange_weak(
+                    seen,
+                    now_u,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(cur) => seen = cur,
+                }
+            }
+        }
+        global.add(delta);
+    }
+
+    /// Snapshot for reporting.
+    pub fn snapshot(&self, op: OpId) -> OpMetricsSnapshot {
+        OpMetricsSnapshot {
+            op,
+            rows_in: [
+                self.rows_in[0].load(Ordering::Relaxed),
+                self.rows_in[1].load(Ordering::Relaxed),
+            ],
+            rows_out: self.rows_out.load(Ordering::Relaxed),
+            aip_probed: self.aip_probed.load(Ordering::Relaxed),
+            aip_dropped: self.aip_dropped.load(Ordering::Relaxed),
+            state_peak: self.state_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen per-operator counters.
+#[derive(Clone, Debug)]
+pub struct OpMetricsSnapshot {
+    /// Operator id.
+    pub op: OpId,
+    /// Rows received per input.
+    pub rows_in: [u64; 2],
+    /// Rows emitted.
+    pub rows_out: u64,
+    /// AIP probes at this operator.
+    pub aip_probed: u64,
+    /// AIP drops at this operator.
+    pub aip_dropped: u64,
+    /// Peak buffered bytes.
+    pub state_peak: u64,
+}
+
+/// Whole-query result metrics.
+#[derive(Clone, Debug)]
+pub struct ExecMetrics {
+    /// Wall-clock execution time.
+    pub wall_time: Duration,
+    /// Exact peak of summed intermediate state (bytes).
+    pub peak_state_bytes: u64,
+    /// Intermediate-state bytes still held when the query finished (should
+    /// be zero: every operator must release what it buffered).
+    pub final_state_bytes: u64,
+    /// Per-operator snapshots, indexed by operator id.
+    pub per_op: Vec<OpMetricsSnapshot>,
+    /// Rows the root produced.
+    pub rows_out: u64,
+    /// Total rows dropped by AIP filters anywhere in the plan.
+    pub aip_dropped_total: u64,
+    /// Number of AIP filters injected during the run.
+    pub filters_injected: u64,
+    /// Simulated bytes shipped between sites (0 for local queries).
+    pub network_bytes: u64,
+}
+
+impl ExecMetrics {
+    /// Peak state in MB (the paper's y-axis).
+    pub fn peak_state_mb(&self) -> f64 {
+        self.peak_state_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Shared metrics hub for one execution.
+#[derive(Debug)]
+pub struct MetricsHub {
+    /// Per-op metrics, indexed by OpId.
+    pub ops: Vec<Arc<OpMetrics>>,
+    /// Global intermediate-state tracker.
+    pub state: Arc<StateTracker>,
+    /// Filters injected (incremented by controllers).
+    pub filters_injected: AtomicU64,
+    /// Simulated network bytes (incremented by sip-net).
+    pub network_bytes: AtomicU64,
+}
+
+impl MetricsHub {
+    /// A hub for `n_ops` operators.
+    pub fn new(n_ops: usize) -> Arc<Self> {
+        Arc::new(MetricsHub {
+            ops: (0..n_ops).map(|_| Arc::new(OpMetrics::default())).collect(),
+            state: StateTracker::new(),
+            filters_injected: AtomicU64::new(0),
+            network_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Metrics for one op.
+    pub fn op(&self, op: OpId) -> &OpMetrics {
+        &self.ops[op.index()]
+    }
+
+    /// Freeze into an [`ExecMetrics`].
+    pub fn finish(&self, wall_time: Duration, rows_out: u64) -> ExecMetrics {
+        let per_op: Vec<OpMetricsSnapshot> = self
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.snapshot(OpId(i as u32)))
+            .collect();
+        let aip_dropped_total = per_op.iter().map(|m| m.aip_dropped).sum();
+        ExecMetrics {
+            wall_time,
+            peak_state_bytes: self.state.peak(),
+            final_state_bytes: self.state.current(),
+            per_op,
+            rows_out,
+            aip_dropped_total,
+            filters_injected: self.filters_injected.load(Ordering::Relaxed),
+            network_bytes: self.network_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_op_peak_tracks_max() {
+        let hub = MetricsHub::new(2);
+        let m = hub.op(OpId(0));
+        m.add_state(100, &hub.state);
+        m.add_state(-40, &hub.state);
+        m.add_state(20, &hub.state);
+        assert_eq!(m.state_bytes.load(Ordering::Relaxed), 80);
+        assert_eq!(m.state_peak.load(Ordering::Relaxed), 100);
+        assert_eq!(hub.state.peak(), 100);
+    }
+
+    #[test]
+    fn global_peak_sums_operators() {
+        let hub = MetricsHub::new(2);
+        hub.op(OpId(0)).add_state(100, &hub.state);
+        hub.op(OpId(1)).add_state(100, &hub.state);
+        hub.op(OpId(0)).add_state(-100, &hub.state);
+        assert_eq!(hub.state.peak(), 200);
+        assert_eq!(hub.state.current(), 100);
+    }
+
+    #[test]
+    fn finish_aggregates() {
+        let hub = MetricsHub::new(2);
+        hub.op(OpId(0)).aip_dropped.store(5, Ordering::Relaxed);
+        hub.op(OpId(1)).aip_dropped.store(7, Ordering::Relaxed);
+        hub.filters_injected.store(2, Ordering::Relaxed);
+        let m = hub.finish(Duration::from_millis(10), 42);
+        assert_eq!(m.rows_out, 42);
+        assert_eq!(m.aip_dropped_total, 12);
+        assert_eq!(m.filters_injected, 2);
+        assert_eq!(m.per_op.len(), 2);
+        assert_eq!(m.per_op[1].op, OpId(1));
+    }
+
+    #[test]
+    fn mb_conversion() {
+        let hub = MetricsHub::new(1);
+        hub.op(OpId(0)).add_state(2 * 1024 * 1024, &hub.state);
+        let m = hub.finish(Duration::ZERO, 0);
+        assert!((m.peak_state_mb() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,245 @@
+//! Hash aggregation (blocking) and pipelined distinct.
+//!
+//! Both are "state-producing operators" in the paper's sense: their hash
+//! tables hold a completed subexpression once their input finishes, which is
+//! exactly the state AIP summarizes (Examples 3.1/3.2 build AIP sets from
+//! the PARTKEY state of aggregation and distinct operators).
+
+use super::{count_in, key_of, Emitter};
+use crate::context::{ExecContext, Msg};
+use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
+use crate::physical::{BoundAgg, PhysKind};
+use crossbeam::channel::{Receiver, Sender};
+use sip_common::{exec_err, AttrId, FxHashMap, FxHashSet, OpId, Result, Row};
+use sip_expr::AggAccumulator;
+use std::sync::Arc;
+
+struct Group {
+    key: Row,
+    accs: Vec<AggAccumulator>,
+}
+
+struct GroupStateView<'a> {
+    layout: &'a [AttrId],
+    groups: &'a FxHashMap<u64, Vec<Group>>,
+    bytes: usize,
+}
+
+impl StateView for GroupStateView<'_> {
+    fn layout(&self) -> &[AttrId] {
+        self.layout
+    }
+    fn len(&self) -> usize {
+        self.groups.values().map(Vec::len).sum()
+    }
+    fn state_bytes(&self) -> usize {
+        self.bytes
+    }
+    fn complete(&self) -> bool {
+        true
+    }
+    fn for_each(&self, f: &mut dyn FnMut(&Row)) {
+        for gs in self.groups.values() {
+            for g in gs {
+                f(&g.key);
+            }
+        }
+    }
+    fn distinct_hint(&self, pos: usize) -> Option<usize> {
+        // Rows yielded are the group keys; with a single group column the
+        // group count is its exact distinct count.
+        (self.layout.len() == 1 && pos == 0)
+            .then(|| self.groups.values().map(Vec::len).sum())
+    }
+}
+
+/// Run an `Aggregate` node.
+pub(crate) fn run_aggregate(
+    ctx: &Arc<ExecContext>,
+    monitor: &Arc<dyn ExecMonitor>,
+    op: OpId,
+    input: Receiver<Msg>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let node = ctx.plan.node(op);
+    let (group_cols, aggs): (Vec<usize>, Vec<BoundAgg>) = match &node.kind {
+        PhysKind::Aggregate { group_cols, aggs } => (group_cols.clone(), aggs.clone()),
+        other => return Err(exec_err!("run_aggregate on {}", other.name())),
+    };
+    // The group keys' attribute layout = the first |group_cols| output attrs.
+    let key_layout: Vec<AttrId> = node.layout[..group_cols.len()].to_vec();
+    let mut groups: FxHashMap<u64, Vec<Group>> = FxHashMap::default();
+    let mut bytes = 0usize;
+    let mut rows_in = 0u64;
+    let mut collector = ctx.take_collector(op, 0);
+    let metrics = ctx.hub.op(op);
+
+    loop {
+        match input.recv() {
+            Ok(Msg::Batch(batch)) => {
+                count_in(ctx, op, 0, batch.len());
+                rows_in += batch.len() as u64;
+                for row in batch.rows {
+                    if let Some(c) = collector.as_mut() {
+                        c.admit(&row);
+                    }
+                    let Some((digest, _key)) = key_of(&row, &group_cols) else {
+                        continue; // NULL group keys are skipped (workloads are NULL-free)
+                    };
+                    let bucket = groups.entry(digest).or_default();
+                    let existing = bucket.iter_mut().find(|g| {
+                        group_cols
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &p)| g.key.get(i) == row.get(p))
+                    });
+                    let group = match existing {
+                        Some(g) => g,
+                        None => {
+                            let key = row.project(&group_cols);
+                            let accs: Vec<AggAccumulator> =
+                                aggs.iter().map(|a| a.func.accumulator()).collect();
+                            let delta = key.size_bytes()
+                                + accs.iter().map(|a| a.size_bytes()).sum::<usize>()
+                                + 16;
+                            bytes += delta;
+                            metrics.add_state(delta as i64, &ctx.hub.state);
+                            bucket.push(Group { key, accs });
+                            bucket.last_mut().unwrap()
+                        }
+                    };
+                    for (acc, spec) in group.accs.iter_mut().zip(aggs.iter()) {
+                        acc.update(&spec.input.eval(&row)?)?;
+                    }
+                }
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
+    }
+
+    if let Some(mut c) = collector.take() {
+        c.finish(ctx);
+    }
+    // The subexpression below this aggregate is now fully computed; its
+    // group keys are a candidate AIP set (Example 3.2).
+    let view = GroupStateView {
+        layout: &key_layout,
+        groups: &groups,
+        bytes,
+    };
+    monitor.on_input_complete(
+        ctx,
+        &CompletionEvent {
+            op,
+            input: 0,
+            rows_in,
+            view: &view,
+        },
+    );
+
+    // Emit results.
+    let mut emitter = Emitter::new(ctx, op, out);
+    for bucket in groups.values() {
+        for g in bucket {
+            let mut vals: Vec<sip_common::Value> = g.key.values().to_vec();
+            for acc in &g.accs {
+                vals.push(acc.finish());
+            }
+            emitter.push(Row::new(vals))?;
+        }
+    }
+    metrics.add_state(-(bytes as i64), &ctx.hub.state);
+    emitter.finish()
+}
+
+struct DistinctStateView<'a> {
+    layout: &'a [AttrId],
+    seen: &'a FxHashSet<Row>,
+    bytes: usize,
+}
+
+impl StateView for DistinctStateView<'_> {
+    fn layout(&self) -> &[AttrId] {
+        self.layout
+    }
+    fn len(&self) -> usize {
+        self.seen.len()
+    }
+    fn state_bytes(&self) -> usize {
+        self.bytes
+    }
+    fn complete(&self) -> bool {
+        true
+    }
+    fn for_each(&self, f: &mut dyn FnMut(&Row)) {
+        for r in self.seen {
+            f(r);
+        }
+    }
+    fn distinct_hint(&self, pos: usize) -> Option<usize> {
+        (self.layout.len() == 1 && pos == 0).then_some(self.seen.len())
+    }
+}
+
+/// Run a `Distinct` node — pipelined: first occurrences are emitted
+/// immediately (§III's running example reads the distinct operator's state
+/// while the query continues).
+pub(crate) fn run_distinct(
+    ctx: &Arc<ExecContext>,
+    monitor: &Arc<dyn ExecMonitor>,
+    op: OpId,
+    input: Receiver<Msg>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let node = ctx.plan.node(op);
+    let layout = node.layout.clone();
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    let mut bytes = 0usize;
+    let mut rows_in = 0u64;
+    let mut collector = ctx.take_collector(op, 0);
+    let metrics = ctx.hub.op(op);
+    let mut emitter = Emitter::new(ctx, op, out);
+
+    loop {
+        match input.recv() {
+            Ok(Msg::Batch(batch)) => {
+                count_in(ctx, op, 0, batch.len());
+                rows_in += batch.len() as u64;
+                for row in batch.rows {
+                    if let Some(c) = collector.as_mut() {
+                        c.admit(&row);
+                    }
+                    if !seen.contains(&row) {
+                        let delta = row.size_bytes() + 16;
+                        bytes += delta;
+                        metrics.add_state(delta as i64, &ctx.hub.state);
+                        seen.insert(row.clone());
+                        emitter.push(row)?;
+                    }
+                }
+                emitter.flush()?;
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
+    }
+
+    if let Some(mut c) = collector.take() {
+        c.finish(ctx);
+    }
+    let view = DistinctStateView {
+        layout: &layout,
+        seen: &seen,
+        bytes,
+    };
+    monitor.on_input_complete(
+        ctx,
+        &CompletionEvent {
+            op,
+            input: 0,
+            rows_in,
+            view: &view,
+        },
+    );
+    metrics.add_state(-(bytes as i64), &ctx.hub.state);
+    emitter.finish()
+}

@@ -1,0 +1,253 @@
+//! The symmetric (doubly-pipelined) hash join — the workhorse of push-style
+//! query processing (§I, [10], [11]).
+//!
+//! Each arriving tuple is inserted into its side's hash table and probed
+//! against the opposite table, so results stream out as soon as both
+//! matching tuples have arrived, regardless of input order or delays.
+//!
+//! Implements the short-circuit optimization §VI-A describes: "if one of the
+//! join inputs completes, the other input 'short-circuits' and stops
+//! buffering input that will not be needed later" — when side X reaches
+//! EOF, no future X-tuple will ever probe the opposite table, so the
+//! opposite table is dropped and arriving tuples on that side become
+//! probe-only.
+
+use super::{count_in, key_of, Emitter};
+use crate::context::{ExecContext, Msg};
+use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
+use crate::physical::PhysKind;
+use crossbeam::channel::{Receiver, Sender};
+use sip_common::{exec_err, AttrId, FxHashMap, OpId, Result, Row, Value};
+use sip_expr::Expr;
+use std::sync::Arc;
+
+/// One side's buffered state.
+struct Side {
+    keys: Vec<usize>,
+    table: FxHashMap<u64, Vec<Row>>,
+    bytes: usize,
+    rows_in: u64,
+    done: bool,
+    /// Set when the opposite side finished first and this table was dropped.
+    dropped: bool,
+}
+
+impl Side {
+    fn new(keys: Vec<usize>) -> Self {
+        Side {
+            keys,
+            table: FxHashMap::default(),
+            bytes: 0,
+            rows_in: 0,
+            done: false,
+            dropped: false,
+        }
+    }
+
+    fn insert(&mut self, digest: u64, row: Row) -> i64 {
+        let delta = row.size_bytes() as i64 + 16;
+        self.bytes += delta as usize;
+        self.table.entry(digest).or_default().push(row);
+        delta
+    }
+
+    /// Matching buffered rows for a probe key (hash bucket + exact key
+    /// re-check, so 64-bit collisions cannot produce wrong joins).
+    fn probe<'a>(&'a self, digest: u64, key: &'a [Value]) -> impl Iterator<Item = &'a Row> + 'a {
+        self.table
+            .get(&digest)
+            .into_iter()
+            .flatten()
+            .filter(move |r| {
+                self.keys
+                    .iter()
+                    .zip(key.iter())
+                    .all(|(&p, k)| r.get(p) == k)
+            })
+    }
+
+    fn release(&mut self) -> i64 {
+        let freed = self.bytes as i64;
+        self.table = FxHashMap::default();
+        self.bytes = 0;
+        -freed
+    }
+}
+
+struct JoinStateView<'a> {
+    layout: &'a [AttrId],
+    side: &'a Side,
+}
+
+impl StateView for JoinStateView<'_> {
+    fn layout(&self) -> &[AttrId] {
+        self.layout
+    }
+    fn len(&self) -> usize {
+        self.side.table.values().map(Vec::len).sum()
+    }
+    fn state_bytes(&self) -> usize {
+        self.side.bytes
+    }
+    fn complete(&self) -> bool {
+        !self.side.dropped
+    }
+    fn for_each(&self, f: &mut dyn FnMut(&Row)) {
+        for rows in self.side.table.values() {
+            for r in rows {
+                f(r);
+            }
+        }
+    }
+    fn distinct_hint(&self, pos: usize) -> Option<usize> {
+        // The table is bucketed by the side's join-key digest; the bucket
+        // count is the distinct count exactly when the probe column IS the
+        // (single) join key.
+        (self.side.keys.as_slice() == [pos]).then_some(self.side.table.len())
+    }
+}
+
+/// Run a `HashJoin` node.
+pub(crate) fn run_hash_join(
+    ctx: &Arc<ExecContext>,
+    monitor: &Arc<dyn ExecMonitor>,
+    op: OpId,
+    left_rx: Receiver<Msg>,
+    right_rx: Receiver<Msg>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let node = ctx.plan.node(op);
+    let (lk, rk, residual) = match &node.kind {
+        PhysKind::HashJoin {
+            left_keys,
+            right_keys,
+            residual,
+        } => (left_keys.clone(), right_keys.clone(), residual.clone()),
+        other => return Err(exec_err!("run_hash_join on {}", other.name())),
+    };
+    let left_layout = ctx.plan.node(node.inputs[0]).layout.clone();
+    let right_layout = ctx.plan.node(node.inputs[1]).layout.clone();
+    let mut sides = [Side::new(lk), Side::new(rk)];
+    let mut collectors = [
+        ctx.take_collector(op, 0),
+        ctx.take_collector(op, 1),
+    ];
+    let mut emitter = Emitter::new(ctx, op, out);
+    let metrics = ctx.hub.op(op);
+
+    loop {
+        // Receive from whichever side has data; block only on live sides.
+        let (idx, msg) = if sides[0].done {
+            (1, right_rx.recv())
+        } else if sides[1].done {
+            (0, left_rx.recv())
+        } else {
+            crossbeam::channel::select! {
+                recv(left_rx) -> m => (0, m),
+                recv(right_rx) -> m => (1, m),
+            }
+        };
+        match msg {
+            Ok(Msg::Batch(batch)) => {
+                count_in(ctx, op, idx, batch.len());
+                sides[idx].rows_in += batch.len() as u64;
+                for row in batch.rows {
+                    if let Some(c) = collectors[idx].as_mut() {
+                        c.admit(&row);
+                    }
+                    process_row(
+                        ctx,
+                        op,
+                        &mut sides,
+                        idx,
+                        row,
+                        &residual,
+                        &mut emitter,
+                    )?;
+                }
+                emitter.flush()?;
+            }
+            Ok(Msg::Eof) | Err(_) => {
+                sides[idx].done = true;
+                if let Some(mut c) = collectors[idx].take() {
+                    c.finish(ctx);
+                }
+                // Notify the controller while this side's state is intact.
+                let layout = if idx == 0 { &left_layout } else { &right_layout };
+                let view = JoinStateView {
+                    layout,
+                    side: &sides[idx],
+                };
+                monitor.on_input_complete(
+                    ctx,
+                    &CompletionEvent {
+                        op,
+                        input: idx,
+                        rows_in: sides[idx].rows_in,
+                        view: &view,
+                    },
+                );
+                // Short-circuit: the opposite table will never be probed
+                // again; release it and stop building it.
+                let other = 1 - idx;
+                if !sides[other].dropped {
+                    let delta = sides[other].release();
+                    sides[other].dropped = true;
+                    metrics.add_state(delta, &ctx.hub.state);
+                }
+                if sides[0].done && sides[1].done {
+                    break;
+                }
+            }
+        }
+    }
+    // Release any remaining state before EOF so peak accounting closes out.
+    for side in sides.iter_mut() {
+        let delta = side.release();
+        if delta != 0 {
+            metrics.add_state(delta, &ctx.hub.state);
+        }
+    }
+    emitter.finish()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_row(
+    ctx: &Arc<ExecContext>,
+    op: OpId,
+    sides: &mut [Side; 2],
+    idx: usize,
+    row: Row,
+    residual: &Option<Expr>,
+    emitter: &mut Emitter<'_>,
+) -> Result<()> {
+    let Some((digest, key)) = key_of(&row, &sides[idx].keys) else {
+        return Ok(()); // NULL keys never join
+    };
+    // The probe digest must be computed with the *other* side's key columns
+    // producing the same hash — true because key values hash identically.
+    let other = 1 - idx;
+    let other_digest = {
+        // Digest over the key values themselves (order matters, positions
+        // don't): both sides hash the same value sequence.
+        digest
+    };
+    // Probe the opposite table.
+    let mut matches: Vec<Row> = Vec::new();
+    for m in sides[other].probe(other_digest, &key) {
+        let joined = if idx == 0 { row.concat(m) } else { m.concat(&row) };
+        match residual {
+            Some(pred) if !pred.eval_bool(&joined)? => {}
+            _ => matches.push(joined),
+        }
+    }
+    for j in matches {
+        emitter.push(j)?;
+    }
+    // Buffer for future arrivals from the other side (unless short-circuited).
+    if !sides[idx].dropped {
+        let delta = sides[idx].insert(digest, row);
+        ctx.hub.op(op).add_state(delta, &ctx.hub.state);
+    }
+    Ok(())
+}

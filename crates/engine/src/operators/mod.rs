@@ -1,0 +1,141 @@
+//! Operator implementations. One OS thread runs each operator; rows flow
+//! through bounded channels, giving the nondeterministic, backpressured
+//! scheduling that push-style engines rely on (§I).
+
+pub(crate) mod aggregate;
+pub(crate) mod hash_join;
+pub(crate) mod scan;
+pub(crate) mod semi_join;
+pub(crate) mod stateless;
+
+use crate::context::{ExecContext, Msg};
+use crossbeam::channel::Sender;
+use sip_common::{Batch, OpId, Result, Row, Value};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Buffers output rows, applies this operator's filter tap once per batch,
+/// updates metrics, and pushes batches downstream. A failed send means the
+/// consumer is gone (query cancelled or failed elsewhere); the emitter turns
+/// into a sink so the operator can wind down cleanly.
+pub(crate) struct Emitter<'a> {
+    ctx: &'a Arc<ExecContext>,
+    op: OpId,
+    out: Sender<Msg>,
+    buf: Vec<Row>,
+    cancelled: bool,
+}
+
+impl<'a> Emitter<'a> {
+    pub(crate) fn new(ctx: &'a Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Self {
+        let cap = ctx.options.batch_size;
+        Emitter {
+            ctx,
+            op,
+            out,
+            buf: Vec::with_capacity(cap),
+            cancelled: false,
+        }
+    }
+
+    /// True once the downstream has hung up.
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// Queue one output row.
+    pub(crate) fn push(&mut self, row: Row) -> Result<()> {
+        if self.cancelled {
+            return Ok(());
+        }
+        self.buf.push(row);
+        if self.buf.len() >= self.ctx.options.batch_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Apply the tap and send buffered rows.
+    pub(crate) fn flush(&mut self) -> Result<()> {
+        if self.buf.is_empty() || self.cancelled {
+            self.buf.clear();
+            return Ok(());
+        }
+        let mut rows = std::mem::replace(&mut self.buf, Vec::with_capacity(self.ctx.options.batch_size));
+        let tap = self.ctx.taps[self.op.index()].snapshot();
+        if !tap.is_empty() {
+            let before = rows.len();
+            rows.retain(|r| tap.iter().all(|f| f.admits(r)));
+            let m = self.ctx.hub.op(self.op);
+            m.aip_probed.fetch_add(before as u64, Ordering::Relaxed);
+            m.aip_dropped
+                .fetch_add((before - rows.len()) as u64, Ordering::Relaxed);
+        }
+        if rows.is_empty() {
+            return Ok(());
+        }
+        self.ctx
+            .hub
+            .op(self.op)
+            .rows_out
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        if self.out.send(Msg::Batch(Batch::new(rows))).is_err() {
+            self.cancelled = true;
+        }
+        Ok(())
+    }
+
+    /// Flush and send EOF.
+    pub(crate) fn finish(mut self) -> Result<()> {
+        self.flush()?;
+        let _ = self.out.send(Msg::Eof);
+        self.ctx
+            .hub
+            .op(self.op)
+            .finished
+            .store(true, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Extract `(digest, key values)` for the key columns, or `None` when any
+/// key is NULL (SQL: NULL keys never join).
+#[inline]
+pub(crate) fn key_of(row: &Row, positions: &[usize]) -> Option<(u64, Vec<Value>)> {
+    for &p in positions {
+        if row.get(p).is_null() {
+            return None;
+        }
+    }
+    Some((row.key_hash(positions), row.key_values(positions)))
+}
+
+/// Record arrival metrics for an input.
+#[inline]
+pub(crate) fn count_in(ctx: &ExecContext, op: OpId, input: usize, n: usize) {
+    ctx.hub.op(op).rows_in[input].fetch_add(n as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_of_rejects_nulls() {
+        let r = Row::new(vec![Value::Int(1), Value::Null]);
+        assert!(key_of(&r, &[0]).is_some());
+        assert!(key_of(&r, &[1]).is_none());
+        assert!(key_of(&r, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn key_of_is_stable() {
+        let a = Row::new(vec![Value::Int(7), Value::str("x")]);
+        let b = Row::new(vec![Value::Int(7), Value::str("y")]);
+        assert_eq!(key_of(&a, &[0]).unwrap().0, key_of(&b, &[0]).unwrap().0);
+        assert_eq!(
+            key_of(&a, &[0]).unwrap().1,
+            vec![Value::Int(7)]
+        );
+    }
+}

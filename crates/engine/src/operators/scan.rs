@@ -1,0 +1,78 @@
+//! Table scans with delay simulation, plus external-source forwarding.
+
+use super::{count_in, Emitter};
+use crate::context::{ExecContext, Msg};
+use crate::delay::DelayState;
+use crate::physical::PhysKind;
+use crossbeam::channel::{Receiver, Sender};
+use sip_common::{exec_err, OpId, Result, Row};
+use std::sync::Arc;
+
+/// Run a `Scan` node: project the table's rows into the scan layout,
+/// honoring any configured delay model, and stream them out.
+pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Result<()> {
+    let node = ctx.plan.node(op);
+    let (table, cols, binding) = match &node.kind {
+        PhysKind::Scan {
+            table,
+            cols,
+            binding,
+        } => (table.clone(), cols.clone(), binding.clone()),
+        other => return Err(exec_err!("run_scan on {}", other.name())),
+    };
+    let mut delay = ctx
+        .options
+        .delay_for(&binding, table.name())
+        .cloned()
+        .map(DelayState::new);
+    let mut emitter = Emitter::new(ctx, op, out);
+    let batch = ctx.options.batch_size;
+    for chunk in table.rows().chunks(batch) {
+        if emitter.cancelled() {
+            break;
+        }
+        if let Some(d) = delay.as_mut() {
+            let pause = d.advance(chunk.len() as u64);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
+        for row in chunk {
+            emitter.push(row.project(&cols))?;
+        }
+        // Emit at batch granularity so delays interleave with consumption.
+        emitter.flush()?;
+    }
+    emitter.finish()
+}
+
+/// Run an `ExternalSource` node: forward batches from a channel provided by
+/// the harness (the receiving end of a simulated network link).
+pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Result<()> {
+    let rx: Receiver<Msg> = ctx
+        .options
+        .external_inputs
+        .lock()
+        .remove(&op.0)
+        .ok_or_else(|| exec_err!("no external input registered for {op}"))?;
+    let mut emitter = Emitter::new(ctx, op, out);
+    loop {
+        match rx.recv() {
+            Ok(Msg::Batch(b)) => {
+                count_in(ctx, op, 0, b.len());
+                for row in b.rows {
+                    emitter.push(row)?;
+                }
+                emitter.flush()?;
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
+    }
+    emitter.finish()
+}
+
+/// Project helper for tests.
+#[allow(dead_code)]
+pub(crate) fn project_row(row: &Row, cols: &[usize]) -> Row {
+    row.project(cols)
+}

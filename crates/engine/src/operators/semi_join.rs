@@ -1,0 +1,232 @@
+//! Pipelined semijoin — the operator the magic-sets baseline injects.
+//!
+//! The probe input (0) is reduced to the rows whose key appears in the build
+//! input (1). To stay fully pipelined (the paper's magic implementation
+//! "performs full pipelining when computing the filter set"), probe rows
+//! matching the partial build set are emitted immediately — matches only
+//! ever grow — and unmatched probe rows are buffered. When the build side
+//! completes, buffered rows are re-checked once and the rest discarded.
+
+use super::{count_in, key_of, Emitter};
+use crate::context::{ExecContext, Msg};
+use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
+use crate::physical::PhysKind;
+use crossbeam::channel::{Receiver, Sender};
+use sip_common::{exec_err, AttrId, FxHashMap, OpId, Result, Row, Value};
+use std::sync::Arc;
+
+struct BuildSet {
+    /// digest → distinct key values (exact re-check on probe).
+    keys: FxHashMap<u64, Vec<Vec<Value>>>,
+    bytes: usize,
+    n_keys: usize,
+}
+
+impl BuildSet {
+    fn insert(&mut self, digest: u64, key: Vec<Value>) -> i64 {
+        let bucket = self.keys.entry(digest).or_default();
+        if bucket.iter().any(|k| k == &key) {
+            return 0;
+        }
+        let delta = key.iter().map(Value::size_bytes).sum::<usize>() as i64 + 24;
+        self.bytes += delta as usize;
+        self.n_keys += 1;
+        bucket.push(key);
+        delta
+    }
+
+    fn contains(&self, digest: u64, key: &[Value]) -> bool {
+        self.keys
+            .get(&digest)
+            .map(|b| b.iter().any(|k| k == key))
+            .unwrap_or(false)
+    }
+}
+
+struct BuildStateView<'a> {
+    layout: &'a [AttrId],
+    set: &'a BuildSet,
+    rows: Vec<Row>,
+}
+
+impl StateView for BuildStateView<'_> {
+    fn layout(&self) -> &[AttrId] {
+        self.layout
+    }
+    fn len(&self) -> usize {
+        self.set.n_keys
+    }
+    fn state_bytes(&self) -> usize {
+        self.set.bytes
+    }
+    fn complete(&self) -> bool {
+        true
+    }
+    fn for_each(&self, f: &mut dyn FnMut(&Row)) {
+        for r in &self.rows {
+            f(r);
+        }
+    }
+    fn distinct_hint(&self, pos: usize) -> Option<usize> {
+        (self.layout.len() == 1 && pos == 0).then_some(self.set.n_keys)
+    }
+}
+
+/// Run a `SemiJoin` node.
+pub(crate) fn run_semi_join(
+    ctx: &Arc<ExecContext>,
+    monitor: &Arc<dyn ExecMonitor>,
+    op: OpId,
+    probe_rx: Receiver<Msg>,
+    build_rx: Receiver<Msg>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let node = ctx.plan.node(op);
+    let (probe_keys, build_keys) = match &node.kind {
+        PhysKind::SemiJoin {
+            probe_keys,
+            build_keys,
+        } => (probe_keys.clone(), build_keys.clone()),
+        other => return Err(exec_err!("run_semi_join on {}", other.name())),
+    };
+    let build_child = node.inputs[1];
+    let build_key_layout: Vec<AttrId> = build_keys
+        .iter()
+        .map(|&p| ctx.plan.node(build_child).layout[p])
+        .collect();
+    let mut build = BuildSet {
+        keys: FxHashMap::default(),
+        bytes: 0,
+        n_keys: 0,
+    };
+    // Unmatched probe rows waiting for the build side: digest → rows.
+    let mut pending: FxHashMap<u64, Vec<Row>> = FxHashMap::default();
+    let mut pending_bytes = 0usize;
+    let mut probe_done = false;
+    let mut build_done = false;
+    let mut build_rows_in = 0u64;
+    let mut collector_build = ctx.take_collector(op, 1);
+    let mut collector_probe = ctx.take_collector(op, 0);
+    let metrics = ctx.hub.op(op);
+    let mut emitter = Emitter::new(ctx, op, out);
+
+    while !(probe_done && build_done) {
+        let (is_build, msg) = if probe_done {
+            (true, build_rx.recv())
+        } else if build_done {
+            (false, probe_rx.recv())
+        } else {
+            crossbeam::channel::select! {
+                recv(probe_rx) -> m => (false, m),
+                recv(build_rx) -> m => (true, m),
+            }
+        };
+        match (is_build, msg) {
+            (true, Ok(Msg::Batch(batch))) => {
+                count_in(ctx, op, 1, batch.len());
+                build_rows_in += batch.len() as u64;
+                for row in batch.rows {
+                    if let Some(c) = collector_build.as_mut() {
+                        c.admit(&row);
+                    }
+                    let Some((digest, key)) = key_of(&row, &build_keys) else {
+                        continue;
+                    };
+                    let delta = build.insert(digest, key);
+                    if delta > 0 {
+                        metrics.add_state(delta, &ctx.hub.state);
+                        // Release any pending probe rows now matched.
+                        if let Some(rows) = pending.remove(&digest) {
+                            for r in rows {
+                                let (d2, k2) = key_of(&r, &probe_keys).expect("pending rows have keys");
+                                if build.contains(d2, &k2) {
+                                    pending_bytes -= r.size_bytes() + 16;
+                                    metrics.add_state(-(r.size_bytes() as i64 + 16), &ctx.hub.state);
+                                    emitter.push(r)?;
+                                } else {
+                                    // Same digest, different key: keep waiting.
+                                    pending_bytes += 0;
+                                    pending.entry(d2).or_default().push(r);
+                                }
+                            }
+                        }
+                    }
+                }
+                emitter.flush()?;
+            }
+            (false, Ok(Msg::Batch(batch))) => {
+                count_in(ctx, op, 0, batch.len());
+                for row in batch.rows {
+                    if let Some(c) = collector_probe.as_mut() {
+                        c.admit(&row);
+                    }
+                    let Some((digest, key)) = key_of(&row, &probe_keys) else {
+                        continue; // NULL keys never match
+                    };
+                    if build.contains(digest, &key) {
+                        emitter.push(row)?;
+                    } else if !build_done {
+                        let delta = row.size_bytes() + 16;
+                        pending_bytes += delta;
+                        metrics.add_state(delta as i64, &ctx.hub.state);
+                        pending.entry(digest).or_default().push(row);
+                    }
+                    // build done and no match: drop.
+                }
+                emitter.flush()?;
+            }
+            (true, Ok(Msg::Eof)) | (true, Err(_)) => {
+                build_done = true;
+                if let Some(mut c) = collector_build.take() {
+                    c.finish(ctx);
+                }
+                // Surface the completed build set (it is itself an AIP
+                // candidate: a completed, keyed subexpression).
+                let rows: Vec<Row> = build
+                    .keys
+                    .values()
+                    .flatten()
+                    .map(|k| Row::new(k.clone()))
+                    .collect();
+                let view = BuildStateView {
+                    layout: &build_key_layout,
+                    set: &build,
+                    rows,
+                };
+                monitor.on_input_complete(
+                    ctx,
+                    &CompletionEvent {
+                        op,
+                        input: 1,
+                        rows_in: build_rows_in,
+                        view: &view,
+                    },
+                );
+                // Resolve pending: emit late matches, discard the rest.
+                let drained = std::mem::take(&mut pending);
+                for (digest, rows) in drained {
+                    for r in rows {
+                        let (_, key) = key_of(&r, &probe_keys).expect("pending rows have keys");
+                        let delta = r.size_bytes() as i64 + 16;
+                        metrics.add_state(-delta, &ctx.hub.state);
+                        if build.contains(digest, &key) {
+                            emitter.push(r)?;
+                        }
+                    }
+                }
+                pending_bytes = 0;
+                emitter.flush()?;
+            }
+            (false, Ok(Msg::Eof)) | (false, Err(_)) => {
+                probe_done = true;
+                if let Some(mut c) = collector_probe.take() {
+                    c.finish(ctx);
+                }
+            }
+        }
+    }
+    // Release the build set.
+    metrics.add_state(-(build.bytes as i64), &ctx.hub.state);
+    debug_assert_eq!(pending_bytes, 0);
+    emitter.finish()
+}

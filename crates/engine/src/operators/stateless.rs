@@ -1,0 +1,74 @@
+//! Stateless unary operators: filter and project.
+
+use super::{count_in, Emitter};
+use crate::context::{ExecContext, Msg};
+use crate::physical::PhysKind;
+use crossbeam::channel::{Receiver, Sender};
+use sip_common::{exec_err, OpId, Result, Row};
+use std::sync::Arc;
+
+/// Run a `Filter` node.
+pub(crate) fn run_filter(
+    ctx: &Arc<ExecContext>,
+    op: OpId,
+    input: Receiver<Msg>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let pred = match &ctx.plan.node(op).kind {
+        PhysKind::Filter { predicate } => predicate.clone(),
+        other => return Err(exec_err!("run_filter on {}", other.name())),
+    };
+    let mut emitter = Emitter::new(ctx, op, out);
+    loop {
+        match input.recv() {
+            Ok(Msg::Batch(b)) => {
+                count_in(ctx, op, 0, b.len());
+                for row in b.rows {
+                    if pred.eval_bool(&row)? {
+                        emitter.push(row)?;
+                    }
+                }
+                emitter.flush()?;
+                if emitter.cancelled() {
+                    break;
+                }
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
+    }
+    emitter.finish()
+}
+
+/// Run a `Project` node.
+pub(crate) fn run_project(
+    ctx: &Arc<ExecContext>,
+    op: OpId,
+    input: Receiver<Msg>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let exprs = match &ctx.plan.node(op).kind {
+        PhysKind::Project { exprs } => exprs.clone(),
+        other => return Err(exec_err!("run_project on {}", other.name())),
+    };
+    let mut emitter = Emitter::new(ctx, op, out);
+    loop {
+        match input.recv() {
+            Ok(Msg::Batch(b)) => {
+                count_in(ctx, op, 0, b.len());
+                for row in b.rows {
+                    let mut vals = Vec::with_capacity(exprs.len());
+                    for e in &exprs {
+                        vals.push(e.eval(&row)?);
+                    }
+                    emitter.push(Row::new(vals))?;
+                }
+                emitter.flush()?;
+                if emitter.cancelled() {
+                    break;
+                }
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
+    }
+    emitter.finish()
+}

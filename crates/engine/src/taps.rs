@@ -1,0 +1,289 @@
+//! Tap points: runtime-injectable semijoin filters on operator outputs.
+//!
+//! This is the engine mechanism behind §V-B: "we extended our join and
+//! group-by implementations to support registration of new semijoin
+//! operators 'on the fly'; these semijoins are called when a tuple is
+//! received and before it is processed internally by the operator."
+//!
+//! Every operator owns one [`FilterTap`] applied to rows it is about to
+//! emit. Controllers (feed-forward or cost-based) inject [`InjectedFilter`]s
+//! at any point during execution; operators snapshot the filter list once
+//! per batch, so injection is wait-free on the hot path.
+
+use parking_lot::RwLock;
+use sip_common::{OpId, Row};
+use sip_filter::AipSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A semijoin filter probing specific output columns against an AIP set.
+#[derive(Debug)]
+pub struct InjectedFilter {
+    /// Display label (e.g. `aip[ps2.ps_partkey] from op4`).
+    pub label: String,
+    /// Key column positions in the host operator's output layout.
+    pub positions: Vec<usize>,
+    /// The AIP set probed.
+    pub set: Arc<AipSet>,
+    /// Rows probed.
+    pub probed: AtomicU64,
+    /// Rows dropped.
+    pub dropped: AtomicU64,
+}
+
+impl InjectedFilter {
+    /// Create a filter.
+    pub fn new(label: impl Into<String>, positions: Vec<usize>, set: Arc<AipSet>) -> Self {
+        InjectedFilter {
+            label: label.into(),
+            positions,
+            set,
+            probed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Probe a row; `true` = may pass, `false` = provably dead.
+    #[inline]
+    pub fn admits(&self, row: &Row) -> bool {
+        self.probed.fetch_add(1, Ordering::Relaxed);
+        let digest = row.key_hash(&self.positions);
+        let key = row.key_values(&self.positions);
+        let ok = self.set.probe(digest, &key);
+        if !ok {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+}
+
+/// How to combine a new filter with an existing one over the same columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Keep both; rows must pass every filter.
+    Stack,
+    /// Bitwise-intersect with an existing same-geometry Bloom filter
+    /// (§IV-B), falling back to stacking when geometries differ.
+    Intersect,
+    /// Replace any existing filter over the same columns (used when the new
+    /// filter is strictly stronger).
+    Replace,
+}
+
+/// The per-operator filter chain.
+#[derive(Debug, Default)]
+pub struct FilterTap {
+    filters: RwLock<Arc<Vec<Arc<InjectedFilter>>>>,
+}
+
+impl FilterTap {
+    /// Empty tap.
+    pub fn new() -> Self {
+        FilterTap::default()
+    }
+
+    /// Snapshot the current chain (cheap Arc clone; done once per batch).
+    #[inline]
+    pub fn snapshot(&self) -> Arc<Vec<Arc<InjectedFilter>>> {
+        self.filters.read().clone()
+    }
+
+    /// Inject a filter under a merge policy. Returns the resulting chain
+    /// length.
+    pub fn inject(&self, filter: InjectedFilter, policy: MergePolicy) -> usize {
+        let mut guard = self.filters.write();
+        let mut chain: Vec<Arc<InjectedFilter>> = guard.as_ref().clone();
+        match policy {
+            MergePolicy::Stack => chain.push(Arc::new(filter)),
+            MergePolicy::Replace => {
+                chain.retain(|f| f.positions != filter.positions);
+                chain.push(Arc::new(filter));
+            }
+            MergePolicy::Intersect => {
+                let mut merged = false;
+                for slot in chain.iter_mut() {
+                    if slot.positions == filter.positions {
+                        if let (AipSet::Bloom(a), AipSet::Bloom(b)) =
+                            (slot.set.as_ref(), filter.set.as_ref())
+                        {
+                            let mut combined = a.clone();
+                            if combined.intersect(b).is_ok() {
+                                *slot = Arc::new(InjectedFilter::new(
+                                    format!("{} ∩ {}", slot.label, filter.label),
+                                    filter.positions.clone(),
+                                    Arc::new(AipSet::Bloom(combined)),
+                                ));
+                                merged = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !merged {
+                    chain.push(Arc::new(filter));
+                }
+            }
+        }
+        let len = chain.len();
+        *guard = Arc::new(chain);
+        len
+    }
+
+    /// Drop all filters (memory-pressure safety valve; AIP is a performance
+    /// optimization, never required for correctness).
+    pub fn clear(&self) {
+        *self.filters.write() = Arc::new(Vec::new());
+    }
+
+    /// Number of active filters.
+    pub fn len(&self) -> usize {
+        self.filters.read().len()
+    }
+
+    /// True when no filters are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Identifies an injection site: the output of operator `op`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TapSite(pub OpId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_common::Value;
+    use sip_filter::AipSetBuilder;
+
+    fn set_of(keys: &[i64]) -> Arc<AipSet> {
+        let mut b = AipSetBuilder::new(sip_filter::AipSetKind::Hash, keys.len(), 0.05, 1);
+        for &k in keys {
+            let key = vec![Value::Int(k)];
+            b.insert(sip_common::hash_key(&key), &key);
+        }
+        Arc::new(b.finish())
+    }
+
+    fn row(k: i64) -> Row {
+        Row::new(vec![Value::Int(k), Value::str("payload")])
+    }
+
+    #[test]
+    fn filter_admits_members_only() {
+        let f = InjectedFilter::new("t", vec![0], set_of(&[1, 2, 3]));
+        assert!(f.admits(&row(2)));
+        assert!(!f.admits(&row(9)));
+        assert_eq!(f.probed.load(Ordering::Relaxed), 2);
+        assert_eq!(f.dropped.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stack_requires_all_filters() {
+        let tap = FilterTap::new();
+        tap.inject(
+            InjectedFilter::new("a", vec![0], set_of(&[1, 2])),
+            MergePolicy::Stack,
+        );
+        tap.inject(
+            InjectedFilter::new("b", vec![0], set_of(&[2, 3])),
+            MergePolicy::Stack,
+        );
+        let chain = tap.snapshot();
+        assert_eq!(chain.len(), 2);
+        let pass = |r: &Row| chain.iter().all(|f| f.admits(r));
+        assert!(pass(&row(2)));
+        assert!(!pass(&row(1)));
+        assert!(!pass(&row(3)));
+    }
+
+    #[test]
+    fn replace_removes_same_columns() {
+        let tap = FilterTap::new();
+        tap.inject(
+            InjectedFilter::new("a", vec![0], set_of(&[1])),
+            MergePolicy::Stack,
+        );
+        tap.inject(
+            InjectedFilter::new("b", vec![0], set_of(&[2])),
+            MergePolicy::Replace,
+        );
+        let chain = tap.snapshot();
+        assert_eq!(chain.len(), 1);
+        assert!(chain[0].admits(&row(2)));
+        // Filters over different columns survive a replace.
+        tap.inject(
+            InjectedFilter::new("c", vec![1], set_of(&[5])),
+            MergePolicy::Stack,
+        );
+        tap.inject(
+            InjectedFilter::new("d", vec![0], set_of(&[7])),
+            MergePolicy::Replace,
+        );
+        assert_eq!(tap.len(), 2);
+    }
+
+    #[test]
+    fn intersect_merges_blooms() {
+        let bloom_of = |keys: &[i64]| {
+            let mut b = AipSetBuilder::new(sip_filter::AipSetKind::Bloom, 64, 0.01, 1);
+            for &k in keys {
+                let key = vec![Value::Int(k)];
+                b.insert(sip_common::hash_key(&key), &key);
+            }
+            Arc::new(b.finish())
+        };
+        let tap = FilterTap::new();
+        tap.inject(
+            InjectedFilter::new("a", vec![0], bloom_of(&[1, 2, 3])),
+            MergePolicy::Intersect,
+        );
+        tap.inject(
+            InjectedFilter::new("b", vec![0], bloom_of(&[2, 3, 4])),
+            MergePolicy::Intersect,
+        );
+        // Merged into one filter that admits the intersection.
+        assert_eq!(tap.len(), 1);
+        let chain = tap.snapshot();
+        assert!(chain[0].admits(&row(2)));
+        assert!(chain[0].admits(&row(3)));
+    }
+
+    #[test]
+    fn intersect_falls_back_to_stack_for_hash_sets() {
+        let tap = FilterTap::new();
+        tap.inject(
+            InjectedFilter::new("a", vec![0], set_of(&[1, 2])),
+            MergePolicy::Intersect,
+        );
+        tap.inject(
+            InjectedFilter::new("b", vec![0], set_of(&[2, 3])),
+            MergePolicy::Intersect,
+        );
+        assert_eq!(tap.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_chain() {
+        let tap = FilterTap::new();
+        tap.inject(
+            InjectedFilter::new("a", vec![0], set_of(&[1])),
+            MergePolicy::Stack,
+        );
+        assert!(!tap.is_empty());
+        tap.clear();
+        assert!(tap.is_empty());
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_injection() {
+        let tap = FilterTap::new();
+        let snap = tap.snapshot();
+        tap.inject(
+            InjectedFilter::new("a", vec![0], set_of(&[1])),
+            MergePolicy::Stack,
+        );
+        assert_eq!(snap.len(), 0);
+        assert_eq!(tap.snapshot().len(), 1);
+    }
+}

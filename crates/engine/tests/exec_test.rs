@@ -1,0 +1,211 @@
+//! Differential tests: the threaded push engine must agree with the
+//! single-threaded oracle on every plan shape, batch size, and delay
+//! configuration.
+
+use sip_data::{generate, Catalog, TpchConfig};
+use sip_engine::{
+    canonical, execute_baseline, execute_oracle, lower, DelayModel, ExecOptions, PhysPlan,
+};
+use sip_expr::{AggFunc, CmpOp, Expr};
+use sip_plan::QueryBuilder;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn catalog() -> Catalog {
+    generate(&TpchConfig {
+        scale_factor: 0.005,
+        seed: 77,
+        zipf_z: 0.0,
+    })
+    .unwrap()
+}
+
+/// part(p_size=1) ⋈ partsupp — simple SPJ.
+fn spj_plan(c: &Catalog) -> PhysPlan {
+    let mut q = QueryBuilder::new(c);
+    let p = q
+        .scan("part", "p", &["p_partkey", "p_size", "p_retailprice"])
+        .unwrap();
+    let pred = p.col("p_size").unwrap().eq(Expr::lit(1i64));
+    let p = q.filter(p, pred);
+    let ps = q
+        .scan("partsupp", "ps", &["ps_partkey", "ps_supplycost"])
+        .unwrap();
+    let j = q.join(p, ps, &[("p.p_partkey", "ps.ps_partkey")]).unwrap();
+    let out = q
+        .project_cols(j, &["p.p_partkey", "ps.ps_supplycost"])
+        .unwrap();
+    let plan = out.into_plan();
+    lower(&plan, q.into_attrs(), c).unwrap()
+}
+
+/// Bushy plan with aggregation on both sides of the root join — the shape
+/// of the paper's Fig. 1.
+fn bushy_agg_plan(c: &Catalog) -> PhysPlan {
+    let mut q = QueryBuilder::new(c);
+    // Left: part ⋈ partsupp with a price predicate, projected + distinct.
+    let p = q
+        .scan("part", "p", &["p_partkey", "p_retailprice"])
+        .unwrap();
+    let ps1 = q
+        .scan("partsupp", "ps1", &["ps_partkey", "ps_supplycost"])
+        .unwrap();
+    let residual = ps1
+        .col("ps_supplycost")
+        .unwrap()
+        .mul(Expr::lit(2.0f64))
+        .cmp(CmpOp::Lt, p.col("p_retailprice").unwrap());
+    let left = q
+        .join_residual(p, ps1, &[("p.p_partkey", "ps1.ps_partkey")], Some(residual))
+        .unwrap();
+    let left = q.distinct(q.project_cols(left, &["p.p_partkey"]).unwrap());
+    // Right: sum of availqty per part.
+    let ps2 = q
+        .scan("partsupp", "ps2", &["ps_partkey", "ps_availqty"])
+        .unwrap();
+    let qty = ps2.col("ps_availqty").unwrap();
+    let avail = q
+        .aggregate(ps2, &["ps_partkey"], &[(AggFunc::Sum, qty, "avail")])
+        .unwrap();
+    let j = q
+        .join(left, avail, &[("p.p_partkey", "ps2.ps_partkey")])
+        .unwrap();
+    let out = q.project_cols(j, &["p.p_partkey", "avail"]).unwrap();
+    let plan = out.into_plan();
+    lower(&plan, q.into_attrs(), c).unwrap()
+}
+
+/// Aggregation above a join, with expressions (TPC-H 5 shape).
+fn agg_over_join_plan(c: &Catalog) -> PhysPlan {
+    let mut q = QueryBuilder::new(c);
+    let n = q.scan("nation", "n", &["n_nationkey", "n_name"]).unwrap();
+    let s = q
+        .scan("supplier", "s", &["s_suppkey", "s_nationkey"])
+        .unwrap();
+    let l = q
+        .scan(
+            "lineitem",
+            "l",
+            &["l_suppkey", "l_extendedprice", "l_discount"],
+        )
+        .unwrap();
+    let sn = q.join(s, n, &[("s.s_nationkey", "n.n_nationkey")]).unwrap();
+    let lsn = q.join(l, sn, &[("l.l_suppkey", "s.s_suppkey")]).unwrap();
+    let revenue = lsn
+        .col("l_extendedprice")
+        .unwrap()
+        .mul(Expr::lit(1.0f64).sub(lsn.col("l_discount").unwrap()));
+    let agg = q
+        .aggregate(lsn, &["n_name"], &[(AggFunc::Sum, revenue, "revenue")])
+        .unwrap();
+    let plan = agg.into_plan();
+    lower(&plan, q.into_attrs(), c).unwrap()
+}
+
+fn check_matches_oracle(plan: PhysPlan, opts: ExecOptions) {
+    let expected = canonical(&execute_oracle(&plan).unwrap());
+    let got = execute_baseline(Arc::new(plan), opts).unwrap();
+    assert_eq!(canonical(&got.rows), expected);
+}
+
+#[test]
+fn spj_matches_oracle() {
+    let c = catalog();
+    check_matches_oracle(spj_plan(&c), ExecOptions::default());
+}
+
+#[test]
+fn spj_matches_oracle_tiny_batches() {
+    let c = catalog();
+    let opts = ExecOptions {
+        batch_size: 3,
+        channel_capacity: 1,
+        ..Default::default()
+    };
+    check_matches_oracle(spj_plan(&c), opts);
+}
+
+#[test]
+fn bushy_agg_matches_oracle() {
+    let c = catalog();
+    check_matches_oracle(bushy_agg_plan(&c), ExecOptions::default());
+}
+
+#[test]
+fn bushy_agg_matches_oracle_under_delay() {
+    let c = catalog();
+    let opts = ExecOptions::default().with_delay(
+        "ps2",
+        DelayModel::initial_only(Duration::from_millis(30)),
+    );
+    check_matches_oracle(bushy_agg_plan(&c), opts);
+}
+
+#[test]
+fn agg_over_join_matches_oracle() {
+    let c = catalog();
+    check_matches_oracle(agg_over_join_plan(&c), ExecOptions::default());
+}
+
+#[test]
+fn repeated_runs_are_equivalent() {
+    // Scheduling nondeterminism must never change the result multiset.
+    let c = catalog();
+    let mut results = Vec::new();
+    for _ in 0..5 {
+        let got = execute_baseline(Arc::new(bushy_agg_plan(&c)), ExecOptions::default()).unwrap();
+        results.push(canonical(&got.rows));
+    }
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+}
+
+#[test]
+fn metrics_report_rows_and_state() {
+    let c = catalog();
+    let plan = bushy_agg_plan(&c);
+    let got = execute_baseline(Arc::new(plan), ExecOptions::default()).unwrap();
+    assert!(got.metrics.rows_out > 0);
+    assert_eq!(got.metrics.rows_out as usize, got.rows.len());
+    // Stateful operators buffered something.
+    assert!(got.metrics.peak_state_bytes > 0);
+    // All state released at the end.
+    assert!(got.metrics.wall_time > Duration::ZERO);
+    assert_eq!(got.metrics.filters_injected, 0);
+    assert_eq!(got.metrics.aip_dropped_total, 0);
+}
+
+#[test]
+fn delay_slows_execution() {
+    let c = catalog();
+    let fast = execute_baseline(Arc::new(spj_plan(&c)), ExecOptions::default())
+        .unwrap()
+        .metrics
+        .wall_time;
+    let slow_opts = ExecOptions::default().with_delay(
+        "ps",
+        DelayModel::initial_only(Duration::from_millis(150)),
+    );
+    let slow = execute_baseline(Arc::new(spj_plan(&c)), slow_opts)
+        .unwrap()
+        .metrics
+        .wall_time;
+    assert!(
+        slow >= fast + Duration::from_millis(100),
+        "slow {slow:?} vs fast {fast:?}"
+    );
+}
+
+#[test]
+fn collect_rows_off_still_counts() {
+    let c = catalog();
+    let opts = ExecOptions {
+        collect_rows: false,
+        ..Default::default()
+    };
+    let with = execute_baseline(Arc::new(spj_plan(&c)), ExecOptions::default()).unwrap();
+    let without = execute_baseline(Arc::new(spj_plan(&c)), opts).unwrap();
+    assert!(without.rows.is_empty());
+    assert_eq!(without.metrics.rows_out, with.metrics.rows_out);
+}

@@ -1,0 +1,241 @@
+//! Aggregate functions and their accumulators.
+//!
+//! The workloads need `SUM`, `MIN`, `AVG` (TPC-H 17), and `COUNT`; `MAX` is
+//! included for completeness. Accumulators are small value-typed state
+//! machines stored per group inside the hash-aggregation operator.
+
+use sip_common::{expr_err, Result, Value};
+use std::fmt;
+
+/// An aggregate function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Sum of a numeric column.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Row count (argument values ignored, NULLs skipped per SQL COUNT(x)).
+    Count,
+    /// Arithmetic mean.
+    Avg,
+}
+
+impl AggFunc {
+    /// Fresh accumulator.
+    pub fn accumulator(self) -> AggAccumulator {
+        match self {
+            AggFunc::Sum => AggAccumulator::Sum { total: None },
+            AggFunc::Min => AggAccumulator::Min { best: None },
+            AggFunc::Max => AggAccumulator::Max { best: None },
+            AggFunc::Count => AggAccumulator::Count { n: 0 },
+            AggFunc::Avg => AggAccumulator::Avg { total: 0.0, n: 0 },
+        }
+    }
+
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Running state for one aggregate over one group.
+#[derive(Clone, Debug)]
+pub enum AggAccumulator {
+    /// SUM state. `None` until the first non-NULL input (SQL: empty SUM is
+    /// NULL). Int inputs keep integer totals; any Float input widens.
+    Sum {
+        /// Running total.
+        total: Option<Value>,
+    },
+    /// MIN state.
+    Min {
+        /// Best so far.
+        best: Option<Value>,
+    },
+    /// MAX state.
+    Max {
+        /// Best so far.
+        best: Option<Value>,
+    },
+    /// COUNT state.
+    Count {
+        /// Non-NULL inputs seen.
+        n: i64,
+    },
+    /// AVG state.
+    Avg {
+        /// Sum of inputs.
+        total: f64,
+        /// Non-NULL inputs seen.
+        n: i64,
+    },
+}
+
+impl AggAccumulator {
+    /// Fold one input value in. NULLs are skipped, per SQL.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        match self {
+            AggAccumulator::Sum { total } => {
+                *total = Some(match total.take() {
+                    None => v.clone(),
+                    Some(Value::Int(a)) => match v {
+                        Value::Int(b) => Value::Int(a + b),
+                        _ => Value::Float(a as f64 + v.as_float()?),
+                    },
+                    Some(Value::Float(a)) => Value::Float(a + v.as_float()?),
+                    Some(other) => {
+                        return Err(expr_err!("SUM over non-numeric state {other:?}"))
+                    }
+                });
+            }
+            AggAccumulator::Min { best } => {
+                if best.as_ref().map(|b| v < b).unwrap_or(true) {
+                    *best = Some(v.clone());
+                }
+            }
+            AggAccumulator::Max { best } => {
+                if best.as_ref().map(|b| v > b).unwrap_or(true) {
+                    *best = Some(v.clone());
+                }
+            }
+            AggAccumulator::Count { n } => *n += 1,
+            AggAccumulator::Avg { total, n } => {
+                *total += v.as_float()?;
+                *n += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value (SQL semantics for empty groups: COUNT → 0, others NULL).
+    pub fn finish(&self) -> Value {
+        match self {
+            AggAccumulator::Sum { total } => total.clone().unwrap_or(Value::Null),
+            AggAccumulator::Min { best } | AggAccumulator::Max { best } => {
+                best.clone().unwrap_or(Value::Null)
+            }
+            AggAccumulator::Count { n } => Value::Int(*n),
+            AggAccumulator::Avg { total, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / *n as f64)
+                }
+            }
+        }
+    }
+
+    /// Approximate state footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(f: AggFunc, inputs: &[Value]) -> Value {
+        let mut acc = f.accumulator();
+        for v in inputs {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn sum_int_stays_int() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Value::Int(6)
+        );
+    }
+
+    #[test]
+    fn sum_widens_on_float() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn min_max_over_mixed_numerics() {
+        let vals = [Value::Int(5), Value::Float(2.5), Value::Int(9)];
+        assert_eq!(run(AggFunc::Min, &vals), Value::Float(2.5));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Int(9));
+    }
+
+    #[test]
+    fn min_works_on_strings_and_dates() {
+        use sip_common::Date;
+        assert_eq!(
+            run(AggFunc::Min, &[Value::str("b"), Value::str("a")]),
+            Value::str("a")
+        );
+        let d1 = Value::Date(Date::parse("1995-01-01").unwrap());
+        let d2 = Value::Date(Date::parse("1994-01-01").unwrap());
+        assert_eq!(run(AggFunc::Max, &[d2.clone(), d1.clone()]), d1);
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        assert_eq!(
+            run(AggFunc::Count, &[Value::Int(1), Value::Null, Value::Int(2)]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn avg_mean() {
+        assert_eq!(
+            run(AggFunc::Avg, &[Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Value::Float(2.0)
+        );
+    }
+
+    #[test]
+    fn empty_group_semantics() {
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Count, &[]), Value::Int(0));
+        assert_eq!(run(AggFunc::Avg, &[]), Value::Null);
+    }
+
+    #[test]
+    fn nulls_ignored_everywhere() {
+        assert_eq!(run(AggFunc::Sum, &[Value::Null]), Value::Null);
+        assert_eq!(
+            run(AggFunc::Min, &[Value::Null, Value::Int(4)]),
+            Value::Int(4)
+        );
+        assert_eq!(
+            run(AggFunc::Avg, &[Value::Null, Value::Int(4)]),
+            Value::Float(4.0)
+        );
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let mut acc = AggFunc::Sum.accumulator();
+        acc.update(&Value::Int(1)).unwrap();
+        assert!(acc.update(&Value::str("x")).is_err());
+    }
+}

@@ -1,0 +1,502 @@
+//! Scalar expression trees and their evaluation.
+
+use crate::like::like_match;
+use sip_common::{expr_err, AttrId, Result, Row, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an ordering.
+    #[inline]
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl ArithOp {
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// A scalar expression.
+///
+/// `Attr` references are plan-time names; `Col` references are physical row
+/// positions. [`Expr::bind`] rewrites the former into the latter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A query-global attribute reference (unbound).
+    Attr(AttrId),
+    /// A physical column position (bound).
+    Col(usize),
+    /// A literal value.
+    Lit(Value),
+    /// Comparison producing a boolean (Int 0/1).
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Arithmetic over numerics.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Logical AND (short-circuit).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (short-circuit).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// SQL LIKE over a string operand and a constant pattern.
+    Like(Box<Expr>, String),
+    /// Extract the year from a date (TPC-H Q9).
+    Year(Box<Expr>),
+}
+
+impl Expr {
+    /// Attribute reference.
+    pub fn attr(a: AttrId) -> Expr {
+        Expr::Attr(a)
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self op other`.
+    pub fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), op, Box::new(other))
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Eq, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Lt, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Gt, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Ge, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Le, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Mul, Box::new(other))
+    }
+
+    /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Add, Box::new(other))
+    }
+
+    /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Sub, Box::new(other))
+    }
+
+    /// `self / other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Div, Box::new(other))
+    }
+
+    /// `self LIKE pattern`.
+    pub fn like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like(Box::new(self), pattern.into())
+    }
+
+    /// `year(self)`.
+    pub fn year(self) -> Expr {
+        Expr::Year(Box::new(self))
+    }
+
+    /// Rewrite `Attr` references into `Col` positions using `layout`, the
+    /// attribute at each physical position. Unknown attributes error.
+    pub fn bind(&self, layout: &[AttrId]) -> Result<Expr> {
+        Ok(match self {
+            Expr::Attr(a) => {
+                let pos = layout
+                    .iter()
+                    .position(|x| x == a)
+                    .ok_or_else(|| expr_err!("attribute {a} not in layout {layout:?}"))?;
+                Expr::Col(pos)
+            }
+            Expr::Col(_) | Expr::Lit(_) => self.clone(),
+            Expr::Cmp(l, op, r) => Expr::Cmp(Box::new(l.bind(layout)?), *op, Box::new(r.bind(layout)?)),
+            Expr::Arith(l, op, r) => {
+                Expr::Arith(Box::new(l.bind(layout)?), *op, Box::new(r.bind(layout)?))
+            }
+            Expr::And(l, r) => Expr::And(Box::new(l.bind(layout)?), Box::new(r.bind(layout)?)),
+            Expr::Or(l, r) => Expr::Or(Box::new(l.bind(layout)?), Box::new(r.bind(layout)?)),
+            Expr::Not(e) => Expr::Not(Box::new(e.bind(layout)?)),
+            Expr::Like(e, p) => Expr::Like(Box::new(e.bind(layout)?), p.clone()),
+            Expr::Year(e) => Expr::Year(Box::new(e.bind(layout)?)),
+        })
+    }
+
+    /// All attributes referenced (for planning / predicate analysis).
+    pub fn attrs(&self) -> Vec<AttrId> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<AttrId>) {
+        match self {
+            Expr::Attr(a) => {
+                if !out.contains(a) {
+                    out.push(*a);
+                }
+            }
+            Expr::Col(_) | Expr::Lit(_) => {}
+            Expr::Cmp(l, _, r) | Expr::Arith(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_attrs(out);
+                r.collect_attrs(out);
+            }
+            Expr::Not(e) | Expr::Like(e, _) | Expr::Year(e) => e.collect_attrs(out),
+        }
+    }
+
+    /// Evaluate against a row. The expression must be bound.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        Ok(match self {
+            Expr::Attr(a) => return Err(expr_err!("unbound attribute {a} at eval time")),
+            Expr::Col(i) => row.get(*i).clone(),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(l, op, r) => {
+                let lv = l.eval(row)?;
+                let rv = r.eval(row)?;
+                if lv.is_null() || rv.is_null() {
+                    // Two-valued NULL handling: comparisons with NULL fail.
+                    Value::Int(0)
+                } else {
+                    Value::Int(op.matches(lv.sql_cmp(&rv)) as i64)
+                }
+            }
+            Expr::Arith(l, op, r) => {
+                let lv = l.eval(row)?;
+                let rv = r.eval(row)?;
+                eval_arith(&lv, *op, &rv)?
+            }
+            Expr::And(l, r) => {
+                if !l.eval(row)?.as_bool()? {
+                    Value::Int(0)
+                } else {
+                    Value::Int(r.eval(row)?.as_bool()? as i64)
+                }
+            }
+            Expr::Or(l, r) => {
+                if l.eval(row)?.as_bool()? {
+                    Value::Int(1)
+                } else {
+                    Value::Int(r.eval(row)?.as_bool()? as i64)
+                }
+            }
+            Expr::Not(e) => Value::Int(!e.eval(row)?.as_bool()? as i64),
+            Expr::Like(e, p) => {
+                let v = e.eval(row)?;
+                if v.is_null() {
+                    Value::Int(0)
+                } else {
+                    Value::Int(like_match(v.as_str()?, p) as i64)
+                }
+            }
+            Expr::Year(e) => {
+                let v = e.eval(row)?;
+                if v.is_null() {
+                    Value::Null
+                } else {
+                    Value::Int(v.as_date()?.year() as i64)
+                }
+            }
+        })
+    }
+
+    /// Evaluate as a predicate.
+    #[inline]
+    pub fn eval_bool(&self, row: &Row) -> Result<bool> {
+        self.eval(row)?.as_bool()
+    }
+
+    /// Split a conjunctive expression into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::And(l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Fold a list of predicates into one conjunction (`None` for empty).
+    pub fn conjoin(preds: Vec<Expr>) -> Option<Expr> {
+        preds.into_iter().reduce(|a, b| a.and(b))
+    }
+}
+
+fn eval_arith(l: &Value, op: ArithOp, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(match op {
+            ArithOp::Add => Value::Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            ArithOp::Div => {
+                if *b == 0 {
+                    return Err(expr_err!("integer division by zero"));
+                }
+                Value::Int(a / b)
+            }
+        }),
+        _ => {
+            let a = l.as_float()?;
+            let b = r.as_float()?;
+            Ok(match op {
+                ArithOp::Add => Value::Float(a + b),
+                ArithOp::Sub => Value::Float(a - b),
+                ArithOp::Mul => Value::Float(a * b),
+                ArithOp::Div => Value::Float(a / b),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Attr(a) => write!(f, "{a}"),
+            Expr::Col(i) => write!(f, "#{i}"),
+            Expr::Lit(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Cmp(l, op, r) => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::Arith(l, op, r) => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Like(e, p) => write!(f, "({e} LIKE '{p}')"),
+            Expr::Year(e) => write!(f, "year({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_common::Date;
+
+    fn row(vals: Vec<Value>) -> Row {
+        Row::new(vals)
+    }
+
+    #[test]
+    fn comparison_semantics() {
+        let r = row(vec![Value::Int(5), Value::Float(2.5)]);
+        assert!(Expr::Col(0).gt(Expr::lit(4i64)).eval_bool(&r).unwrap());
+        assert!(Expr::Col(0).ge(Expr::lit(5i64)).eval_bool(&r).unwrap());
+        assert!(!Expr::Col(0).lt(Expr::lit(5i64)).eval_bool(&r).unwrap());
+        // Cross-type: Int 5 vs Float.
+        assert!(Expr::Col(0).gt(Expr::Col(1)).eval_bool(&r).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let r = row(vec![Value::Int(10), Value::Float(4.0)]);
+        assert_eq!(
+            Expr::Col(0).mul(Expr::lit(2i64)).eval(&r).unwrap(),
+            Value::Int(20)
+        );
+        assert_eq!(
+            Expr::Col(0).div(Expr::Col(1)).eval(&r).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            Expr::Col(1).add(Expr::lit(0.5f64)).eval(&r).unwrap(),
+            Value::Float(4.5)
+        );
+        assert!(Expr::Col(0)
+            .div(Expr::lit(0i64))
+            .eval(&r)
+            .is_err());
+    }
+
+    #[test]
+    fn null_propagation() {
+        let r = row(vec![Value::Null, Value::Int(1)]);
+        // NULL comparisons are false.
+        assert!(!Expr::Col(0).eq(Expr::Col(0)).eval_bool(&r).unwrap());
+        // NULL arithmetic is NULL.
+        assert!(Expr::Col(0).add(Expr::Col(1)).eval(&r).unwrap().is_null());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let r = row(vec![Value::Int(1)]);
+        let t = Expr::lit(1i64);
+        let fls = Expr::lit(0i64);
+        assert!(t.clone().and(t.clone()).eval_bool(&r).unwrap());
+        assert!(!t.clone().and(fls.clone()).eval_bool(&r).unwrap());
+        assert!(t.clone().or(fls.clone()).eval_bool(&r).unwrap());
+        assert!(!fls.clone().or(fls.clone()).eval_bool(&r).unwrap());
+        assert!(Expr::Not(Box::new(fls)).eval_bool(&r).unwrap());
+    }
+
+    #[test]
+    fn like_and_year() {
+        let r = row(vec![
+            Value::str("SMALL ANODIZED TIN"),
+            Value::Date(Date::parse("1995-06-01").unwrap()),
+        ]);
+        assert!(Expr::Col(0).like("%TIN").eval_bool(&r).unwrap());
+        assert!(!Expr::Col(0).like("%BRASS").eval_bool(&r).unwrap());
+        assert_eq!(Expr::Col(1).year().eval(&r).unwrap(), Value::Int(1995));
+    }
+
+    #[test]
+    fn binding_rewrites_attrs() {
+        let e = Expr::attr(AttrId(10)).gt(Expr::attr(AttrId(20)));
+        let bound = e.bind(&[AttrId(20), AttrId(10)]).unwrap();
+        assert_eq!(
+            bound,
+            Expr::Col(1).gt(Expr::Col(0)),
+        );
+        // Unknown attribute errors.
+        assert!(e.bind(&[AttrId(20)]).is_err());
+        // Evaluating unbound errors.
+        let r = row(vec![Value::Int(0)]);
+        assert!(Expr::attr(AttrId(1)).eval(&r).is_err());
+    }
+
+    #[test]
+    fn attrs_collects_unique() {
+        let e = Expr::attr(AttrId(1))
+            .eq(Expr::attr(AttrId(2)))
+            .and(Expr::attr(AttrId(1)).gt(Expr::lit(0i64)));
+        assert_eq!(e.attrs(), vec![AttrId(1), AttrId(2)]);
+    }
+
+    #[test]
+    fn conjunct_split_and_join() {
+        let e = Expr::lit(1i64)
+            .and(Expr::lit(2i64))
+            .and(Expr::lit(3i64));
+        assert_eq!(e.conjuncts().len(), 3);
+        let rejoined = Expr::conjoin(vec![Expr::lit(1i64), Expr::lit(2i64)]).unwrap();
+        assert_eq!(rejoined.conjuncts().len(), 2);
+        assert!(Expr::conjoin(vec![]).is_none());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::attr(AttrId(3)).mul(Expr::lit(2i64)).lt(Expr::attr(AttrId(4)));
+        assert_eq!(e.to_string(), "((a3 * 2) < a4)");
+        assert_eq!(Expr::lit("AFRICA").to_string(), "'AFRICA'");
+    }
+
+    #[test]
+    fn flip_preserves_meaning() {
+        let r = row(vec![Value::Int(3), Value::Int(7)]);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let a = Expr::Col(0).cmp(op, Expr::Col(1)).eval_bool(&r).unwrap();
+            let b = Expr::Col(1).cmp(op.flip(), Expr::Col(0)).eval_bool(&r).unwrap();
+            assert_eq!(a, b, "{op:?}");
+        }
+    }
+}

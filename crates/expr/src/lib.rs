@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! # sip-expr
+//!
+//! Scalar expressions and aggregate accumulators.
+//!
+//! Expressions are written over query-global [`sip_common::AttrId`]s when a
+//! plan is being built (`Expr::Attr`), then *bound* to physical row positions
+//! (`Expr::Col`) once an operator's input layout is known. Evaluation only
+//! accepts fully-bound expressions — probing an unbound expression is a
+//! reported error, not a silent misread.
+
+pub mod agg;
+pub mod expr;
+pub mod like;
+
+pub use agg::{AggAccumulator, AggFunc};
+pub use expr::{ArithOp, CmpOp, Expr};
+pub use like::like_match;

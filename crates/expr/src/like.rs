@@ -1,0 +1,104 @@
+//! SQL `LIKE` pattern matching (`%` = any run, `_` = any single char).
+
+/// Match `text` against SQL LIKE `pattern`.
+///
+/// Iterative two-pointer algorithm with backtracking to the last `%` — linear
+/// in practice, worst-case O(n·m), no allocation. Case-sensitive, as TPC-H
+/// patterns are (`'%TIN'`, `'%black%'`).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(like_match("BRASS", "BRASS"));
+        assert!(!like_match("BRASS", "BRAS"));
+        assert!(!like_match("BRAS", "BRASS"));
+    }
+
+    #[test]
+    fn trailing_percent() {
+        assert!(like_match("PROMO POLISHED", "PROMO%"));
+        assert!(!like_match("STANDARD", "PROMO%"));
+    }
+
+    #[test]
+    fn leading_percent() {
+        assert!(like_match("SMALL ANODIZED TIN", "%TIN"));
+        assert!(!like_match("SMALL ANODIZED TIN ", "%TIN"));
+        assert!(!like_match("SMALL ANODIZED COPPER", "%TIN"));
+    }
+
+    #[test]
+    fn infix_percent() {
+        assert!(like_match("midnight black metallic", "%black%"));
+        assert!(like_match("black", "%black%"));
+        assert!(!like_match("blak", "%black%"));
+    }
+
+    #[test]
+    fn underscore_single_char() {
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("caat", "c_t"));
+        assert!(like_match("cat", "___"));
+        assert!(!like_match("cat", "____"));
+    }
+
+    #[test]
+    fn multiple_percents() {
+        assert!(like_match("abcXdefYghi", "%X%Y%"));
+        assert!(like_match("XY", "%X%Y%"));
+        assert!(!like_match("YX", "%X%Y%"));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(!like_match("a", ""));
+        assert!(like_match("anything", "%%"));
+    }
+
+    #[test]
+    fn backtracking_stress() {
+        // Pattern needing repeated % backtracking.
+        assert!(like_match("aaaaaaaaab", "%aab"));
+        assert!(!like_match("aaaaaaaaac", "%aab"));
+        assert!(like_match("mississippi", "%iss%ppi"));
+    }
+
+    #[test]
+    fn percent_underscore_combo() {
+        assert!(like_match("Brand#34", "Brand#__"));
+        assert!(like_match("MED CAN", "MED%"));
+        assert!(like_match("forest green", "%st_g%"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for expressions: the LIKE matcher against a naive
+//! reference, and algebraic properties of evaluation.
+
+use proptest::prelude::*;
+use sip_expr::{like_match, AggFunc, CmpOp, Expr};
+use sip_common::{Row, Value};
+
+/// Naive exponential reference matcher (correct by construction).
+fn reference_like(text: &[char], pat: &[char]) -> bool {
+    match (text.first(), pat.first()) {
+        (_, None) => text.is_empty(),
+        (_, Some('%')) => {
+            reference_like(text, &pat[1..])
+                || (!text.is_empty() && reference_like(&text[1..], pat))
+        }
+        (None, Some(_)) => false,
+        (Some(t), Some('_')) => {
+            let _ = t;
+            reference_like(&text[1..], &pat[1..])
+        }
+        (Some(t), Some(p)) => *t == *p && reference_like(&text[1..], &pat[1..]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn like_matches_reference(text in "[abc]{0,10}", pat in "[abc%_]{0,8}") {
+        let t: Vec<char> = text.chars().collect();
+        let p: Vec<char> = pat.chars().collect();
+        prop_assert_eq!(
+            like_match(&text, &pat),
+            reference_like(&t, &p),
+            "text={:?} pat={:?}", text, pat
+        );
+    }
+
+    #[test]
+    fn cmp_flip_is_involutive_and_consistent(a in any::<i64>(), b in any::<i64>()) {
+        let row = Row::new(vec![Value::Int(a), Value::Int(b)]);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            prop_assert_eq!(op.flip().flip(), op);
+            let direct = Expr::Col(0).cmp(op, Expr::Col(1)).eval_bool(&row).unwrap();
+            let flipped = Expr::Col(1).cmp(op.flip(), Expr::Col(0)).eval_bool(&row).unwrap();
+            prop_assert_eq!(direct, flipped);
+        }
+    }
+
+    #[test]
+    fn int_arithmetic_matches_native(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let row = Row::new(vec![Value::Int(a), Value::Int(b)]);
+        let add = Expr::Col(0).add(Expr::Col(1)).eval(&row).unwrap();
+        prop_assert_eq!(add, Value::Int(a + b));
+        let mul = Expr::Col(0).mul(Expr::Col(1)).eval(&row).unwrap();
+        prop_assert_eq!(mul, Value::Int(a * b));
+        if b != 0 {
+            let div = Expr::Col(0).div(Expr::Col(1)).eval(&row).unwrap();
+            prop_assert_eq!(div, Value::Int(a / b));
+        }
+    }
+
+    #[test]
+    fn demorgan_holds(a in any::<bool>(), b in any::<bool>()) {
+        let row = Row::new(vec![Value::Int(a as i64), Value::Int(b as i64)]);
+        let not_and = Expr::Not(Box::new(Expr::Col(0).and(Expr::Col(1))))
+            .eval_bool(&row)
+            .unwrap();
+        let or_nots = Expr::Not(Box::new(Expr::Col(0)))
+            .or(Expr::Not(Box::new(Expr::Col(1))))
+            .eval_bool(&row)
+            .unwrap();
+        prop_assert_eq!(not_and, or_nots);
+    }
+
+    #[test]
+    fn sum_is_order_independent(mut vals in prop::collection::vec(-10_000i64..10_000, 0..40)) {
+        let run = |xs: &[i64]| {
+            let mut acc = AggFunc::Sum.accumulator();
+            for &x in xs {
+                acc.update(&Value::Int(x)).unwrap();
+            }
+            acc.finish()
+        };
+        let forward = run(&vals);
+        vals.reverse();
+        let backward = run(&vals);
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn min_max_bound_all_inputs(vals in prop::collection::vec(any::<i64>(), 1..40)) {
+        let mut mn = AggFunc::Min.accumulator();
+        let mut mx = AggFunc::Max.accumulator();
+        for &x in &vals {
+            mn.update(&Value::Int(x)).unwrap();
+            mx.update(&Value::Int(x)).unwrap();
+        }
+        prop_assert_eq!(mn.finish(), Value::Int(*vals.iter().min().unwrap()));
+        prop_assert_eq!(mx.finish(), Value::Int(*vals.iter().max().unwrap()));
+    }
+
+    #[test]
+    fn conjuncts_rejoin_equivalently(n in 1usize..6, vals in prop::collection::vec(any::<bool>(), 6)) {
+        // Build a conjunction of n boolean literals, split, rejoin: same value.
+        let exprs: Vec<Expr> = vals.iter().take(n).map(|&b| Expr::lit(b as i64)).collect();
+        let joined = Expr::conjoin(exprs.clone()).unwrap();
+        let row = Row::new(vec![]);
+        let expected = vals.iter().take(n).all(|&b| b);
+        prop_assert_eq!(joined.eval_bool(&row).unwrap(), expected);
+        prop_assert_eq!(joined.conjuncts().len(), n);
+    }
+}

@@ -1,0 +1,259 @@
+//! The unified AIP-set abstraction.
+//!
+//! An *AIP set* (§III-A) is a summary of a completed subexpression's key
+//! values, probed by semijoins injected elsewhere in the plan. The paper's
+//! implementation supports Bloom filters (small, false positives) and hash
+//! tables (exact, larger); this module adds the optional min/max range
+//! summary of §III-C. All variants share one probe interface so operators
+//! are agnostic to the representation.
+
+use crate::bloom::BloomFilter;
+use crate::hashset::BucketedKeySet;
+use crate::minmax::MinMaxSummary;
+use sip_common::{Result, SipError, Value};
+
+/// Which summary representation to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AipSetKind {
+    /// Bloom filter — the paper's default (1 hash function, 5% FPR).
+    Bloom,
+    /// Exact bucketed hash set — no false positives, more memory.
+    Hash,
+    /// Min/max envelope — range pruning only (§III-C extension).
+    MinMax,
+}
+
+/// A completed, immutable AIP set.
+#[derive(Clone, Debug)]
+pub enum AipSet {
+    /// Bloom-filter summary (probe by key digest).
+    Bloom(BloomFilter),
+    /// Exact key set (probe by digest + key values).
+    Hash(BucketedKeySet),
+    /// Range envelope over a single attribute.
+    MinMax(MinMaxSummary),
+}
+
+impl AipSet {
+    /// Probe with a key digest and the exact key values.
+    ///
+    /// Returns `true` when the key *may* have a join partner in the
+    /// summarized subexpression (false positives allowed), `false` when it
+    /// provably does not (never a false negative).
+    #[inline]
+    pub fn probe(&self, digest: u64, key: &[Value]) -> bool {
+        match self {
+            AipSet::Bloom(b) => b.contains(digest),
+            AipSet::Hash(h) => h.contains(digest, key),
+            AipSet::MinMax(m) => key.len() == 1 && m.may_contain(&key[0]),
+        }
+    }
+
+    /// Number of keys the producer inserted (with multiplicity for Bloom).
+    pub fn n_keys(&self) -> u64 {
+        match self {
+            AipSet::Bloom(b) => b.n_inserted(),
+            AipSet::Hash(h) => h.n_keys() as u64,
+            AipSet::MinMax(m) => m.n_inserted(),
+        }
+    }
+
+    /// Memory footprint — also the simulated shipping cost in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            AipSet::Bloom(b) => b.size_bytes(),
+            AipSet::Hash(h) => h.size_bytes(),
+            AipSet::MinMax(m) => m.size_bytes(),
+        }
+    }
+
+    /// The representation tag.
+    pub fn kind(&self) -> AipSetKind {
+        match self {
+            AipSet::Bloom(_) => AipSetKind::Bloom,
+            AipSet::Hash(_) => AipSetKind::Hash,
+            AipSet::MinMax(_) => AipSetKind::MinMax,
+        }
+    }
+
+    /// Intersect with another set of the same representation, tightening the
+    /// filter (both constraints must hold). Used by the registry when a
+    /// second producer covers the same attribute class (§IV-B: "that filter
+    /// can either be intersected or ... directly replaced").
+    pub fn intersect(&mut self, other: &AipSet) -> Result<()> {
+        match (self, other) {
+            (AipSet::Bloom(a), AipSet::Bloom(b)) => a.intersect(b),
+            (AipSet::MinMax(a), AipSet::MinMax(b)) => {
+                a.intersect(b);
+                Ok(())
+            }
+            (a, b) => Err(SipError::Exec(format!(
+                "cannot intersect AIP sets of kinds {:?} and {:?}",
+                a.kind(),
+                b.kind()
+            ))),
+        }
+    }
+}
+
+/// Incremental builder for an [`AipSet`], fed tuple-by-tuple by the
+/// feed-forward algorithm's "working copy" (§IV-A) or by a bulk state scan
+/// in the cost-based algorithm (§IV-B).
+#[derive(Clone, Debug)]
+pub struct AipSetBuilder {
+    inner: AipSet,
+}
+
+impl AipSetBuilder {
+    /// Start building. `expected_keys` sizes Bloom filters; `fpr` and
+    /// `n_hashes` carry the paper's defaults (0.05, 1) unless overridden.
+    pub fn new(kind: AipSetKind, expected_keys: usize, fpr: f64, n_hashes: u32) -> Self {
+        let inner = match kind {
+            AipSetKind::Bloom => AipSet::Bloom(BloomFilter::with_fpr(expected_keys, fpr, n_hashes)),
+            AipSetKind::Hash => AipSet::Hash(BucketedKeySet::new()),
+            AipSetKind::MinMax => AipSet::MinMax(MinMaxSummary::new()),
+        };
+        AipSetBuilder { inner }
+    }
+
+    /// Builder with the paper's defaults: Bloom, 5% FPR, one hash function.
+    pub fn paper_default(expected_keys: usize) -> Self {
+        Self::new(AipSetKind::Bloom, expected_keys, 0.05, 1)
+    }
+
+    /// Insert one key.
+    #[inline]
+    pub fn insert(&mut self, digest: u64, key: &[Value]) {
+        match &mut self.inner {
+            AipSet::Bloom(b) => b.insert(digest),
+            AipSet::Hash(h) => h.insert(digest, key.to_vec()),
+            AipSet::MinMax(m) => {
+                if let [v] = key {
+                    m.insert(v);
+                }
+            }
+        }
+    }
+
+    /// Current footprint while building.
+    pub fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    /// Finish and freeze.
+    pub fn finish(self) -> AipSet {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_common::hash::fx_hash64;
+
+    fn key(i: i64) -> Vec<Value> {
+        vec![Value::Int(i)]
+    }
+
+    fn digest(k: &[Value]) -> u64 {
+        fx_hash64(k)
+    }
+
+    fn build(kind: AipSetKind, keys: impl Iterator<Item = i64>) -> AipSet {
+        let keys: Vec<_> = keys.collect();
+        let mut b = AipSetBuilder::new(kind, keys.len(), 0.05, 1);
+        for i in keys {
+            let k = key(i);
+            b.insert(digest(&k), &k);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn all_kinds_have_no_false_negatives() {
+        for kind in [AipSetKind::Bloom, AipSetKind::Hash, AipSetKind::MinMax] {
+            let s = build(kind, 0..500);
+            for i in 0..500 {
+                let k = key(i);
+                assert!(s.probe(digest(&k), &k), "{kind:?} lost key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_kind_is_exact() {
+        let s = build(AipSetKind::Hash, 0..500);
+        for i in 500..1500 {
+            let k = key(i);
+            assert!(!s.probe(digest(&k), &k));
+        }
+    }
+
+    #[test]
+    fn minmax_prunes_out_of_range_only() {
+        let s = build(AipSetKind::MinMax, 100..200);
+        let inside = key(150); // not inserted? 150 IS inserted; use range check
+        assert!(s.probe(digest(&inside), &inside));
+        let below = key(50);
+        assert!(!s.probe(digest(&below), &below));
+        let above = key(1000);
+        assert!(!s.probe(digest(&above), &above));
+    }
+
+    #[test]
+    fn bloom_mostly_prunes_non_members() {
+        let s = build(AipSetKind::Bloom, 0..2000);
+        let fp = (2000..12_000)
+            .filter(|&i| {
+                let k = key(i);
+                s.probe(digest(&k), &k)
+            })
+            .count();
+        let rate = fp as f64 / 10_000.0;
+        assert!(rate < 0.09, "FPR {rate}");
+    }
+
+    #[test]
+    fn paper_default_is_bloom() {
+        let b = AipSetBuilder::paper_default(10).finish();
+        assert_eq!(b.kind(), AipSetKind::Bloom);
+        if let AipSet::Bloom(f) = &b {
+            assert_eq!(f.n_hashes(), 1);
+        }
+    }
+
+    #[test]
+    fn intersect_same_kind_tightens() {
+        let mut a = build(AipSetKind::MinMax, 0..100);
+        let b = build(AipSetKind::MinMax, 50..150);
+        a.intersect(&b).unwrap();
+        let k = key(75);
+        assert!(a.probe(digest(&k), &k));
+        let k = key(25);
+        assert!(!a.probe(digest(&k), &k));
+    }
+
+    #[test]
+    fn intersect_mismatched_kinds_errors() {
+        let mut a = build(AipSetKind::Bloom, 0..10);
+        let b = build(AipSetKind::Hash, 0..10);
+        assert!(a.intersect(&b).is_err());
+    }
+
+    #[test]
+    fn n_keys_reported() {
+        assert_eq!(build(AipSetKind::Hash, 0..42).n_keys(), 42);
+        assert_eq!(build(AipSetKind::Bloom, 0..42).n_keys(), 42);
+    }
+
+    #[test]
+    fn multi_attr_keys_probe_exactly() {
+        let mut b = AipSetBuilder::new(AipSetKind::Hash, 4, 0.05, 1);
+        let k1 = vec![Value::Int(1), Value::str("x")];
+        b.insert(fx_hash64(&k1), &k1);
+        let s = b.finish();
+        assert!(s.probe(fx_hash64(&k1), &k1));
+        let k2 = vec![Value::Int(1), Value::str("y")];
+        assert!(!s.probe(fx_hash64(&k2), &k2));
+    }
+}

@@ -1,0 +1,239 @@
+//! Exact key sets with per-bucket discard.
+//!
+//! §V of the paper: "With a hash-based AIP set one can discard portions, on a
+//! per-bucket basis: any probe tuple that corresponds to a discarded bucket
+//! will simply be passed through the filter, and any probe tuple that
+//! corresponds to an existing bucket will be matched against the hash table."
+//!
+//! Keys are stored as exact value vectors (no false positives), partitioned
+//! into a fixed number of buckets by digest so that memory pressure can be
+//! relieved incrementally without giving up the whole filter.
+
+use sip_common::{FxHashSet, Value};
+
+/// Number of discardable partitions. 64 gives fine-grained relief while
+/// keeping the discarded-bitmap a single word.
+const N_BUCKETS: usize = 64;
+
+/// An exact, bucketed key set.
+#[derive(Clone, Debug)]
+pub struct BucketedKeySet {
+    buckets: Vec<Option<FxHashSet<Vec<Value>>>>,
+    discarded_mask: u64,
+    n_keys: usize,
+    bytes: usize,
+}
+
+impl Default for BucketedKeySet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BucketedKeySet {
+    /// An empty set with all buckets live.
+    pub fn new() -> Self {
+        BucketedKeySet {
+            buckets: (0..N_BUCKETS).map(|_| Some(FxHashSet::default())).collect(),
+            discarded_mask: 0,
+            n_keys: 0,
+            bytes: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(digest: u64) -> usize {
+        // High bits: the low bits also pick hash-table slots downstream.
+        (digest >> 58) as usize % N_BUCKETS
+    }
+
+    /// Insert a key (digest must be the key's `Row::key_hash`-style digest).
+    /// Inserts into a discarded bucket are dropped — the bucket already
+    /// passes everything through.
+    pub fn insert(&mut self, digest: u64, key: Vec<Value>) {
+        let b = Self::bucket_of(digest);
+        if let Some(set) = &mut self.buckets[b] {
+            let key_bytes: usize = key.iter().map(Value::size_bytes).sum::<usize>() + 24;
+            if set.insert(key) {
+                self.n_keys += 1;
+                self.bytes += key_bytes;
+            }
+        }
+    }
+
+    /// Probe: `true` means "may contribute to the result" (exact match or
+    /// discarded bucket), `false` means "provably cannot".
+    pub fn contains(&self, digest: u64, key: &[Value]) -> bool {
+        let b = Self::bucket_of(digest);
+        match &self.buckets[b] {
+            None => true, // discarded: pass-through, never a false negative
+            Some(set) => set.contains(key),
+        }
+    }
+
+    /// Discard bucket `b` (0..64), releasing its memory. Probes hitting it
+    /// pass through from now on. Returns bytes released.
+    pub fn discard_bucket(&mut self, b: usize) -> usize {
+        assert!(b < N_BUCKETS);
+        if let Some(set) = self.buckets[b].take() {
+            self.discarded_mask |= 1 << b;
+            let released: usize = set
+                .iter()
+                .map(|k| k.iter().map(Value::size_bytes).sum::<usize>() + 24)
+                .sum();
+            self.n_keys -= set.len();
+            self.bytes -= released;
+            released
+        } else {
+            0
+        }
+    }
+
+    /// Discard the largest live buckets until at least `target_bytes` have
+    /// been released. Returns total released.
+    pub fn shed(&mut self, target_bytes: usize) -> usize {
+        let mut released = 0;
+        while released < target_bytes {
+            let victim = self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.as_ref().map(|s| (i, s.len())))
+                .max_by_key(|&(_, len)| len);
+            match victim {
+                Some((i, len)) if len > 0 => released += self.discard_bucket(i),
+                _ => break,
+            }
+        }
+        released
+    }
+
+    /// Number of live (still-exact) keys.
+    pub fn n_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Number of discarded buckets.
+    pub fn n_discarded(&self) -> usize {
+        self.discarded_mask.count_ones() as usize
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes + std::mem::size_of::<Self>() + N_BUCKETS * 8
+    }
+
+    /// True once every bucket has been discarded (the filter is useless and
+    /// should be dropped entirely).
+    pub fn fully_discarded(&self) -> bool {
+        self.discarded_mask == u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_common::hash::fx_hash64;
+
+    fn key(i: i64) -> Vec<Value> {
+        vec![Value::Int(i)]
+    }
+
+    fn digest(i: i64) -> u64 {
+        fx_hash64(&key(i))
+    }
+
+    #[test]
+    fn exact_membership() {
+        let mut s = BucketedKeySet::new();
+        for i in 0..1000 {
+            s.insert(digest(i), key(i));
+        }
+        for i in 0..1000 {
+            assert!(s.contains(digest(i), &key(i)));
+        }
+        for i in 1000..2000 {
+            assert!(!s.contains(digest(i), &key(i)), "false positive at {i}");
+        }
+        assert_eq!(s.n_keys(), 1000);
+    }
+
+    #[test]
+    fn duplicate_inserts_counted_once() {
+        let mut s = BucketedKeySet::new();
+        s.insert(digest(7), key(7));
+        s.insert(digest(7), key(7));
+        assert_eq!(s.n_keys(), 1);
+    }
+
+    #[test]
+    fn discarded_bucket_passes_through() {
+        let mut s = BucketedKeySet::new();
+        for i in 0..1000 {
+            s.insert(digest(i), key(i));
+        }
+        // Find the bucket holding key 0 and discard it.
+        let b = (digest(0) >> 58) as usize % 64;
+        let released = s.discard_bucket(b);
+        assert!(released > 0);
+        // Key 0 now passes through (no false negative).
+        assert!(s.contains(digest(0), &key(0)));
+        // A non-member hashing to the same bucket also passes (pass-through).
+        let stranger = (1000..).find(|&i| (digest(i) >> 58) as usize % 64 == b).unwrap();
+        assert!(s.contains(digest(stranger), &key(stranger)));
+        assert_eq!(s.n_discarded(), 1);
+    }
+
+    #[test]
+    fn inserts_into_discarded_bucket_are_dropped() {
+        let mut s = BucketedKeySet::new();
+        let b = (digest(42) >> 58) as usize % 64;
+        s.discard_bucket(b);
+        let before = s.n_keys();
+        s.insert(digest(42), key(42));
+        assert_eq!(s.n_keys(), before);
+        assert!(s.contains(digest(42), &key(42))); // pass-through
+    }
+
+    #[test]
+    fn shed_releases_at_least_target() {
+        let mut s = BucketedKeySet::new();
+        for i in 0..10_000 {
+            s.insert(digest(i), key(i));
+        }
+        let before = s.size_bytes();
+        let released = s.shed(before / 2);
+        assert!(released >= before / 4, "released {released} of {before}");
+        assert!(s.size_bytes() < before);
+        // All remaining live keys are still exact members.
+        for i in 0..10_000 {
+            let b = (digest(i) >> 58) as usize % 64;
+            if s.n_discarded() < 64 && (s.buckets[b].is_some()) {
+                assert!(s.contains(digest(i), &key(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn fully_discarded_detection() {
+        let mut s = BucketedKeySet::new();
+        s.insert(digest(1), key(1));
+        for b in 0..64 {
+            s.discard_bucket(b);
+        }
+        assert!(s.fully_discarded());
+        assert_eq!(s.n_keys(), 0);
+        assert!(s.contains(digest(9999), &key(9999)));
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let mut s = BucketedKeySet::new();
+        let k = vec![Value::Int(1), Value::str("FRANCE")];
+        let d = fx_hash64(&k);
+        s.insert(d, k.clone());
+        assert!(s.contains(d, &k));
+        let other = vec![Value::Int(1), Value::str("GERMANY")];
+        assert!(!s.contains(fx_hash64(&other), &other));
+    }
+}

@@ -1,0 +1,186 @@
+//! Min/max range summaries — the §III-C extension.
+//!
+//! The paper restricts its implementation to equality conditions evaluated
+//! with Bloom filters, noting that "range conditions ... are in principle
+//! simple to implement" but need different summary structures. This module
+//! provides the simplest such structure: a [min, max] envelope over a key
+//! attribute, usable to prune tuples that fall outside the range of any
+//! possible join partner. It is exercised by the ablation benches.
+
+use sip_common::Value;
+
+/// A closed [min, max] envelope over an ordered attribute.
+///
+/// Probes return `true` ("may join") for any value inside the envelope —
+/// never a false negative for values actually present, since the envelope
+/// contains every inserted value.
+#[derive(Clone, Debug, Default)]
+pub struct MinMaxSummary {
+    bounds: Option<(Value, Value)>,
+    n_inserted: u64,
+}
+
+impl MinMaxSummary {
+    /// An empty summary (matches nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a value, widening the envelope. NULLs are ignored (they never
+    /// satisfy equality or range predicates).
+    pub fn insert(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.n_inserted += 1;
+        match &mut self.bounds {
+            None => self.bounds = Some((v.clone(), v.clone())),
+            Some((lo, hi)) => {
+                if v < lo {
+                    *lo = v.clone();
+                }
+                if v > hi {
+                    *hi = v.clone();
+                }
+            }
+        }
+    }
+
+    /// May `v` equal some inserted value?
+    pub fn may_contain(&self, v: &Value) -> bool {
+        match &self.bounds {
+            None => false,
+            Some((lo, hi)) => !v.is_null() && v >= lo && v <= hi,
+        }
+    }
+
+    /// The current envelope.
+    pub fn bounds(&self) -> Option<(&Value, &Value)> {
+        self.bounds.as_ref().map(|(lo, hi)| (lo, hi))
+    }
+
+    /// Number of inserted (non-NULL) values.
+    pub fn n_inserted(&self) -> u64 {
+        self.n_inserted
+    }
+
+    /// Merge another summary in (envelope union).
+    pub fn merge(&mut self, other: &MinMaxSummary) {
+        if let Some((lo, hi)) = &other.bounds {
+            self.insert(lo);
+            self.insert(hi);
+            // insert() bumped n_inserted twice for bookkeeping we don't want:
+            self.n_inserted = self.n_inserted - 2 + other.n_inserted;
+        }
+    }
+
+    /// Envelope intersection: keep only the overlapping range. If the ranges
+    /// are disjoint the summary becomes empty (matches nothing).
+    pub fn intersect(&mut self, other: &MinMaxSummary) {
+        self.bounds = match (&self.bounds, &other.bounds) {
+            (Some((alo, ahi)), Some((blo, bhi))) => {
+                let lo = alo.clone().max(blo.clone());
+                let hi = ahi.clone().min(bhi.clone());
+                if lo <= hi {
+                    Some((lo, hi))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+    }
+
+    /// Memory footprint.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .bounds
+                .as_ref()
+                .map(|(lo, hi)| lo.size_bytes() + hi.size_bytes())
+                .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matches_nothing() {
+        let s = MinMaxSummary::new();
+        assert!(!s.may_contain(&Value::Int(0)));
+        assert_eq!(s.bounds(), None);
+    }
+
+    #[test]
+    fn envelope_widens() {
+        let mut s = MinMaxSummary::new();
+        s.insert(&Value::Int(10));
+        s.insert(&Value::Int(5));
+        s.insert(&Value::Int(20));
+        assert!(s.may_contain(&Value::Int(5)));
+        assert!(s.may_contain(&Value::Int(12))); // inside envelope: may
+        assert!(s.may_contain(&Value::Int(20)));
+        assert!(!s.may_contain(&Value::Int(4)));
+        assert!(!s.may_contain(&Value::Int(21)));
+        assert_eq!(s.n_inserted(), 3);
+    }
+
+    #[test]
+    fn nulls_ignored() {
+        let mut s = MinMaxSummary::new();
+        s.insert(&Value::Null);
+        assert_eq!(s.n_inserted(), 0);
+        s.insert(&Value::Int(1));
+        assert!(!s.may_contain(&Value::Null));
+    }
+
+    #[test]
+    fn merge_unions_envelopes() {
+        let mut a = MinMaxSummary::new();
+        a.insert(&Value::Int(0));
+        a.insert(&Value::Int(10));
+        let mut b = MinMaxSummary::new();
+        b.insert(&Value::Int(50));
+        b.insert(&Value::Int(60));
+        a.merge(&b);
+        assert!(a.may_contain(&Value::Int(55)));
+        assert!(a.may_contain(&Value::Int(5)));
+        assert_eq!(a.n_inserted(), 4);
+    }
+
+    #[test]
+    fn intersect_narrows_or_empties() {
+        let mut a = MinMaxSummary::new();
+        a.insert(&Value::Int(0));
+        a.insert(&Value::Int(10));
+        let mut b = MinMaxSummary::new();
+        b.insert(&Value::Int(5));
+        b.insert(&Value::Int(15));
+        a.intersect(&b);
+        assert!(a.may_contain(&Value::Int(7)));
+        assert!(!a.may_contain(&Value::Int(3)));
+        let mut c = MinMaxSummary::new();
+        c.insert(&Value::Int(100));
+        a.intersect(&c);
+        assert!(!a.may_contain(&Value::Int(100)));
+        assert_eq!(a.bounds(), None);
+    }
+
+    #[test]
+    fn works_over_dates_and_strings() {
+        use sip_common::Date;
+        let mut s = MinMaxSummary::new();
+        s.insert(&Value::Date(Date::parse("1995-01-01").unwrap()));
+        s.insert(&Value::Date(Date::parse("1996-01-01").unwrap()));
+        assert!(s.may_contain(&Value::Date(Date::parse("1995-06-15").unwrap())));
+        assert!(!s.may_contain(&Value::Date(Date::parse("1994-12-31").unwrap())));
+
+        let mut t = MinMaxSummary::new();
+        t.insert(&Value::str("FRANCE"));
+        t.insert(&Value::str("GERMANY"));
+        assert!(t.may_contain(&Value::str("FRANCE")));
+        assert!(!t.may_contain(&Value::str("ALGERIA")));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the AIP-set substrate: the §III-B guarantee —
+//! summaries may admit extra tuples but may never reject a genuine match —
+//! must hold for every representation over arbitrary key sets.
+
+use proptest::prelude::*;
+use sip_common::{hash_key, Value};
+use sip_filter::{AipSet, AipSetBuilder, AipSetKind, BloomFilter, BucketedKeySet, MinMaxSummary};
+
+fn key(v: i64) -> Vec<Value> {
+    vec![Value::Int(v)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bloom_never_false_negative(keys in prop::collection::vec(any::<i64>(), 0..300), k in 1u32..4) {
+        let mut f = BloomFilter::with_fpr(keys.len().max(1), 0.05, k);
+        for &x in &keys {
+            f.insert(hash_key(&key(x)));
+        }
+        for &x in &keys {
+            prop_assert!(f.contains(hash_key(&key(x))), "lost {x}");
+        }
+    }
+
+    #[test]
+    fn bloom_intersection_superset_of_common(
+        a in prop::collection::hash_set(0i64..500, 0..120),
+        b in prop::collection::hash_set(0i64..500, 0..120),
+    ) {
+        let mut fa = BloomFilter::with_bits(1 << 13, 1);
+        let mut fb = BloomFilter::with_bits(1 << 13, 1);
+        for &x in &a { fa.insert(hash_key(&key(x))); }
+        for &x in &b { fb.insert(hash_key(&key(x))); }
+        fa.intersect(&fb).unwrap();
+        for x in a.intersection(&b) {
+            prop_assert!(fa.contains(hash_key(&key(*x))), "lost common {x}");
+        }
+    }
+
+    #[test]
+    fn bloom_union_covers_both(
+        a in prop::collection::vec(any::<i64>(), 0..100),
+        b in prop::collection::vec(any::<i64>(), 0..100),
+    ) {
+        let mut fa = BloomFilter::with_bits(1 << 12, 2);
+        let mut fb = BloomFilter::with_bits(1 << 12, 2);
+        for &x in &a { fa.insert(hash_key(&key(x))); }
+        for &x in &b { fb.insert(hash_key(&key(x))); }
+        fa.union(&fb).unwrap();
+        for &x in a.iter().chain(b.iter()) {
+            prop_assert!(fa.contains(hash_key(&key(x))));
+        }
+    }
+
+    #[test]
+    fn bucketed_set_is_exact(
+        members in prop::collection::hash_set(any::<i64>(), 0..200),
+        probes in prop::collection::vec(any::<i64>(), 0..200),
+    ) {
+        let mut s = BucketedKeySet::new();
+        for &x in &members {
+            s.insert(hash_key(&key(x)), key(x));
+        }
+        for &x in &probes {
+            let expected = members.contains(&x);
+            prop_assert_eq!(s.contains(hash_key(&key(x)), &key(x)), expected, "probe {}", x);
+        }
+    }
+
+    #[test]
+    fn bucketed_discard_never_false_negative(
+        members in prop::collection::hash_set(any::<i64>(), 1..200),
+        discard in prop::collection::vec(0usize..64, 0..32),
+    ) {
+        let mut s = BucketedKeySet::new();
+        for &x in &members {
+            s.insert(hash_key(&key(x)), key(x));
+        }
+        for b in discard {
+            s.discard_bucket(b);
+        }
+        // Every member still passes (either matched or passed-through).
+        for &x in &members {
+            prop_assert!(s.contains(hash_key(&key(x)), &key(x)));
+        }
+    }
+
+    #[test]
+    fn minmax_envelope_sound(values in prop::collection::vec(any::<i64>(), 1..200)) {
+        let mut m = MinMaxSummary::new();
+        for &v in &values {
+            m.insert(&Value::Int(v));
+        }
+        for &v in &values {
+            prop_assert!(m.may_contain(&Value::Int(v)));
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        if lo > i64::MIN {
+            prop_assert!(!m.may_contain(&Value::Int(lo - 1)));
+        }
+        if hi < i64::MAX {
+            prop_assert!(!m.may_contain(&Value::Int(hi + 1)));
+        }
+    }
+
+    #[test]
+    fn every_kind_admits_members(
+        members in prop::collection::vec(any::<i64>(), 0..150),
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [AipSetKind::Bloom, AipSetKind::Hash, AipSetKind::MinMax][kind_idx];
+        let mut b = AipSetBuilder::new(kind, members.len().max(1), 0.05, 1);
+        for &x in &members {
+            b.insert(hash_key(&key(x)), &key(x));
+        }
+        let set: AipSet = b.finish();
+        for &x in &members {
+            prop_assert!(set.probe(hash_key(&key(x)), &key(x)), "{kind:?} lost {x}");
+        }
+    }
+
+    #[test]
+    fn string_keys_work_everywhere(
+        members in prop::collection::hash_set("[a-z]{1,8}", 0..100),
+        probes in prop::collection::vec("[a-z]{1,8}", 0..100),
+    ) {
+        let mut s = BucketedKeySet::new();
+        for m in &members {
+            let k = vec![Value::str(m)];
+            s.insert(hash_key(&k), k);
+        }
+        for p in &probes {
+            let k = vec![Value::str(p)];
+            prop_assert_eq!(s.contains(hash_key(&k), &k), members.contains(p));
+        }
+    }
+}

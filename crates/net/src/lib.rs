@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # sip-net
+//!
+//! Simulated multi-site execution (§V-B's distributed query extensions).
+//!
+//! A *remote site* serves one or more base tables over a link of configured
+//! bandwidth and latency. The master's plan replaces each remote scan with
+//! an [`sip_engine::PhysKind::ExternalSource`]; a feeder thread plays the
+//! site, streaming the table across the simulated link (sleeping
+//! `bytes / bandwidth` per batch) into the master pipeline.
+//!
+//! AIP enters exactly as the paper describes: "when an AIP filter is
+//! estimated to be useful, the AIP Manager requests it from the source,
+//! relays it to the target node if necessary, and injects it into the
+//! appropriate query plan operator". Here the AIP managers inject at the
+//! external-source node (the lowest operator carrying the correlated
+//! attribute); the feeder observes the injection, pays the simulated
+//! shipping delay for the filter's bytes, and then applies it **before**
+//! transmission — so, as with a Bloomjoin, pruned tuples never cross the
+//! link. The cost-based manager prices that shipment via
+//! `sip_core::AipConfig::ship_cost_per_byte`.
+
+pub mod link;
+pub mod remote;
+
+pub use link::LinkSpec;
+pub use remote::{run_distributed, DistributedRun, NetStats, RemoteConfig};

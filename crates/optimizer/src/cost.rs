@@ -1,0 +1,131 @@
+//! The cost model the AIP manager consults at runtime.
+//!
+//! Costs are in abstract work units (≈ microseconds of CPU on the reference
+//! machine); only *ratios* matter for the decisions `ESTIMATEBENEFIT` makes.
+//! Network terms use the paper's assumption set: filters are shipped as raw
+//! Bloom-filter bytes over a link of configured bandwidth (§V-B: "we simply
+//! estimate the cost of shipping n bytes").
+
+/// Tunable cost constants.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Cost to move one row through a stateless operator.
+    pub cpu_row: f64,
+    /// Cost to insert one row into a hash table.
+    pub cpu_build: f64,
+    /// Cost to probe a hash table once.
+    pub cpu_probe: f64,
+    /// Cost to emit one join output row.
+    pub cpu_output: f64,
+    /// Cost to probe one row against one AIP filter.
+    pub aip_probe: f64,
+    /// Cost to insert one key while building an AIP set.
+    pub aip_insert: f64,
+    /// Cost to scan one buffered state row when constructing an AIP set.
+    pub state_scan: f64,
+    /// Link bandwidth for shipping filters, bytes per cost unit.
+    pub net_bytes_per_unit: f64,
+    /// Fixed per-message network latency, in cost units.
+    pub net_latency: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cpu_row: 1.0,
+            cpu_build: 2.0,
+            cpu_probe: 1.0,
+            cpu_output: 0.5,
+            aip_probe: 0.4,
+            aip_insert: 0.5,
+            state_scan: 0.3,
+            // 10 Mbps (the paper's default WAN assumption) expressed as
+            // bytes per microsecond-equivalent unit: 1.25 bytes/unit.
+            net_bytes_per_unit: 1.25,
+            net_latency: 20_000.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model with network parameters for a given bandwidth in Mbps.
+    pub fn with_bandwidth_mbps(mut self, mbps: f64) -> Self {
+        self.net_bytes_per_unit = mbps * 1_000_000.0 / 8.0 / 1_000_000.0;
+        self
+    }
+
+    /// Cost of a symmetric hash join processing `left` and `right` input
+    /// rows and emitting `out` rows: both sides build + probe.
+    pub fn join_cost(&self, left: f64, right: f64, out: f64) -> f64 {
+        (self.cpu_build + self.cpu_probe) * (left.max(0.0) + right.max(0.0))
+            + self.cpu_output * out.max(0.0)
+    }
+
+    /// Cost of hash aggregation over `rows` inputs.
+    pub fn agg_cost(&self, rows: f64) -> f64 {
+        (self.cpu_build + self.cpu_probe) * rows.max(0.0)
+    }
+
+    /// Cost of constructing an AIP set by scanning `state_rows` buffered
+    /// rows and inserting their keys (Fig. 4 line 2, `createCost`).
+    pub fn aip_create_cost(&self, state_rows: f64) -> f64 {
+        (self.state_scan + self.aip_insert) * state_rows.max(0.0)
+    }
+
+    /// Cost of probing `rows` against one injected filter.
+    pub fn aip_filter_cost(&self, rows: f64) -> f64 {
+        self.aip_probe * rows.max(0.0)
+    }
+
+    /// Cost of shipping `bytes` over the configured link.
+    pub fn ship_cost(&self, bytes: f64) -> f64 {
+        self.net_latency + bytes.max(0.0) / self.net_bytes_per_unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_cost_monotone_in_inputs() {
+        let m = CostModel::default();
+        assert!(m.join_cost(100.0, 100.0, 10.0) < m.join_cost(1000.0, 100.0, 10.0));
+        assert!(m.join_cost(100.0, 100.0, 10.0) < m.join_cost(100.0, 100.0, 1000.0));
+    }
+
+    #[test]
+    fn filtering_a_join_input_saves_cost() {
+        // The core inequality behind ESTIMATEBENEFIT: COST(n ⋈ n') >
+        // COST((n < A) ⋈ n') when the filter is selective.
+        let m = CostModel::default();
+        let full = m.join_cost(10_000.0, 500.0, 2_000.0);
+        let filtered = m.join_cost(1_000.0, 500.0, 2_000.0) + m.aip_filter_cost(10_000.0);
+        assert!(filtered < full, "{filtered} vs {full}");
+    }
+
+    #[test]
+    fn unselective_filter_does_not_pay() {
+        let m = CostModel::default();
+        let full = m.join_cost(10_000.0, 500.0, 2_000.0);
+        // Filter keeps 99.5% of rows: benefit below probe overhead.
+        let filtered = m.join_cost(9_950.0, 500.0, 2_000.0) + m.aip_filter_cost(10_000.0);
+        assert!(filtered > full - m.aip_create_cost(500.0));
+    }
+
+    #[test]
+    fn ship_cost_scales_with_bytes_and_bandwidth() {
+        let slow = CostModel::default().with_bandwidth_mbps(10.0);
+        let fast = CostModel::default().with_bandwidth_mbps(100.0);
+        let bytes = 100_000.0;
+        assert!(slow.ship_cost(bytes) > fast.ship_cost(bytes));
+        assert!(slow.ship_cost(bytes) > slow.ship_cost(0.0));
+    }
+
+    #[test]
+    fn negative_inputs_clamped() {
+        let m = CostModel::default();
+        assert_eq!(m.join_cost(-5.0, -5.0, -5.0), 0.0);
+        assert_eq!(m.aip_create_cost(-1.0), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! # sip-optimizer
+//!
+//! The optimizer services AIP consumes at runtime, modeled on Tukwila's
+//! (§V-A): histogram-free cardinality estimation from row counts, key/FK
+//! metadata and uniformity assumptions ([`stats::Estimator`], including the
+//! `UPDATEESTIMATES` runtime re-derivation), an abstract cost model
+//! ([`cost::CostModel`]), and the magic-sets rewriting baseline
+//! ([`magic::magic_rewrite`]).
+//!
+//! "The Tukwila optimizer and its sub-components can be invoked at any time
+//! during execution" — here, estimation is a pure function of the plan plus
+//! live counters, so the cost-based AIP manager can re-run it on every
+//! completion event.
+
+pub mod cost;
+pub mod magic;
+pub mod stats;
+
+pub use cost::CostModel;
+pub use magic::{magic_rewrite, MagicRewrite};
+pub use stats::{expr_selectivity, ColMeta, Estimator, NodeEst, RuntimeActual};

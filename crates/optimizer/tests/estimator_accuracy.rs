@@ -1,0 +1,139 @@
+//! Estimator sanity against ground truth: static estimates must be exact
+//! for scans, near-exact for key/FK joins and aggregates, and within an
+//! order of magnitude for filtered paths — the regime the paper's
+//! uniformity-based optimizer (§V-A) is designed for.
+
+use sip_data::{generate, TpchConfig};
+use sip_engine::{execute_oracle, lower, PhysKind, PhysPlan};
+use sip_expr::{AggFunc, Expr};
+use sip_optimizer::Estimator;
+use sip_plan::QueryBuilder;
+
+fn catalog() -> sip_data::Catalog {
+    generate(&TpchConfig::uniform(0.01)).unwrap()
+}
+
+/// Oracle row counts per node, by evaluating each subtree independently.
+fn actual_rows(plan: &PhysPlan) -> Vec<f64> {
+    plan.nodes
+        .iter()
+        .map(|n| {
+            let sub = subplan(plan, n.id);
+            execute_oracle(&sub).unwrap().len() as f64
+        })
+        .collect()
+}
+
+/// Extract the subtree rooted at `op` as a standalone plan.
+fn subplan(plan: &PhysPlan, op: sip_common::OpId) -> PhysPlan {
+    // Collect subtree nodes in arena order and remap ids.
+    let mut keep = vec![false; plan.nodes.len()];
+    fn mark(plan: &PhysPlan, op: sip_common::OpId, keep: &mut [bool]) {
+        keep[op.index()] = true;
+        for &c in &plan.node(op).inputs {
+            mark(plan, c, keep);
+        }
+    }
+    mark(plan, op, &mut keep);
+    let mut remap = vec![u32::MAX; plan.nodes.len()];
+    let mut nodes = Vec::new();
+    for (i, k) in keep.iter().enumerate() {
+        if *k {
+            remap[i] = nodes.len() as u32;
+            let mut n = plan.nodes[i].clone();
+            n.id = sip_common::OpId(remap[i]);
+            n.inputs = n.inputs.iter().map(|c| sip_common::OpId(remap[c.index()])).collect();
+            nodes.push(n);
+        }
+    }
+    let root = sip_common::OpId(remap[op.index()]);
+    PhysPlan::from_nodes(nodes, root, plan.attrs.clone()).unwrap()
+}
+
+#[test]
+fn estimates_track_actuals_on_q17_shape() {
+    let c = catalog();
+    let mut q = QueryBuilder::new(&c);
+    let p = q.scan("part", "p", &["p_partkey", "p_brand"]).unwrap();
+    let pred = p.col("p_brand").unwrap().eq(Expr::lit("Brand#34"));
+    let p = q.filter(p, pred);
+    let l = q.scan("lineitem", "l", &["l_partkey", "l_quantity"]).unwrap();
+    let pl = q.join(p, l, &[("p.p_partkey", "l.l_partkey")]).unwrap();
+    let l2 = q.scan("lineitem", "l2", &["l_partkey", "l_quantity"]).unwrap();
+    let qty = l2.col("l_quantity").unwrap();
+    let avg = q
+        .aggregate(l2, &["l_partkey"], &[(AggFunc::Avg, qty, "avg")])
+        .unwrap();
+    let j = q.join(pl, avg, &[("p.p_partkey", "l2.l_partkey")]).unwrap();
+    let plan = lower(j.plan(), q.attrs().clone(), &c).unwrap();
+
+    let est = Estimator::estimate(&plan);
+    let actuals = actual_rows(&plan);
+    for node in &plan.nodes {
+        let e = est.node(node.id).rows;
+        let a = actuals[node.id.index()];
+        match &node.kind {
+            PhysKind::Scan { .. } => {
+                assert_eq!(e, a, "scan estimate must be exact at {}", node.id)
+            }
+            PhysKind::Aggregate { .. } => {
+                let ratio = e / a.max(1.0);
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "aggregate {}: est {e} vs actual {a}",
+                    node.id
+                );
+            }
+            PhysKind::Filter { .. } | PhysKind::HashJoin { .. } => {
+                if a > 0.0 {
+                    let ratio = e / a;
+                    assert!(
+                        (0.1..10.0).contains(&ratio),
+                        "{} {}: est {e} vs actual {a}",
+                        node.kind.name(),
+                        node.id
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn runtime_actuals_pin_finished_nodes() {
+    let c = catalog();
+    let mut q = QueryBuilder::new(&c);
+    let p = q.scan("part", "p", &["p_partkey", "p_size"]).unwrap();
+    let pred = p.col("p_size").unwrap().eq(Expr::lit(1i64));
+    let p = q.filter(p, pred);
+    let ps = q.scan("partsupp", "ps", &["ps_partkey"]).unwrap();
+    let j = q.join(p, ps, &[("p.p_partkey", "ps.ps_partkey")]).unwrap();
+    let plan = lower(j.plan(), q.attrs().clone(), &c).unwrap();
+    let actual = actual_rows(&plan);
+    // Pretend the filter finished with its true cardinality: the join
+    // estimate must then land within a few percent of truth (FK join).
+    let mut rt = vec![sip_optimizer::RuntimeActual::default(); plan.nodes.len()];
+    let filter_id = plan
+        .nodes
+        .iter()
+        .find(|n| matches!(n.kind, PhysKind::Filter { .. }))
+        .unwrap()
+        .id;
+    rt[filter_id.index()] = sip_optimizer::RuntimeActual {
+        rows_out: actual[filter_id.index()] as u64,
+        finished: true,
+    };
+    let est = Estimator::estimate_with_actuals(&plan, &rt);
+    let join = plan
+        .nodes
+        .iter()
+        .find(|n| matches!(n.kind, PhysKind::HashJoin { .. }))
+        .unwrap()
+        .id;
+    let ratio = est.node(join).rows / actual[join.index()].max(1.0);
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "join after UPDATEESTIMATES: ratio {ratio}"
+    );
+}

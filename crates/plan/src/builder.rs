@@ -1,0 +1,377 @@
+//! Fluent construction of logical plans against a data catalog.
+//!
+//! The builder resolves column names, allocates global attribute ids, and
+//! keeps a name scope per relation so queries read close to their SQL:
+//!
+//! ```
+//! use sip_data::{generate, TpchConfig};
+//! use sip_expr::Expr;
+//! use sip_plan::QueryBuilder;
+//!
+//! let catalog = generate(&TpchConfig::uniform(0.002)).unwrap();
+//! let mut q = QueryBuilder::new(&catalog);
+//! let part = q.scan("part", "p", &["p_partkey", "p_size"]).unwrap();
+//! let pred = part.col("p_size").unwrap().eq(Expr::lit(1i64));
+//! let small = q.filter(part, pred);
+//! assert!(small.plan().validate().is_ok());
+//! ```
+//!
+//! See `sip-queries` for the complete paper workload built with this API.
+
+use crate::attrs::AttrCatalog;
+use crate::logical::{AggSpec, LogicalPlan};
+use sip_common::{plan_err, AttrId, DataType, Result};
+use sip_data::Catalog;
+use sip_expr::{AggFunc, Expr};
+
+/// A relation under construction: a plan plus its name scope.
+#[derive(Clone, Debug)]
+pub struct Rel {
+    plan: LogicalPlan,
+    scope: Vec<(String, AttrId)>,
+}
+
+impl Rel {
+    /// Resolve a column name. Accepts `binding.column` or a bare column name
+    /// when unambiguous.
+    pub fn attr(&self, name: &str) -> Result<AttrId> {
+        let mut hit = None;
+        for (n, a) in &self.scope {
+            let matches = n == name
+                || (!name.contains('.') && n.rsplit('.').next() == Some(name));
+            if matches {
+                if let Some(prev) = hit {
+                    if prev != *a {
+                        return Err(plan_err!("column name {name:?} is ambiguous"));
+                    }
+                }
+                hit = Some(*a);
+            }
+        }
+        hit.ok_or_else(|| plan_err!("column {name:?} not in scope {:?}", self.names()))
+    }
+
+    /// Expression referencing a column by name.
+    pub fn col(&self, name: &str) -> Result<Expr> {
+        Ok(Expr::attr(self.attr(name)?))
+    }
+
+    /// All names in scope.
+    pub fn names(&self) -> Vec<&str> {
+        self.scope.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// Consume into the plan.
+    pub fn into_plan(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+/// Builder owning the attribute catalog for one query.
+#[derive(Debug)]
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    attrs: AttrCatalog,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Start building against a data catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        QueryBuilder {
+            catalog,
+            attrs: AttrCatalog::new(),
+        }
+    }
+
+    /// The attribute catalog built so far.
+    pub fn attrs(&self) -> &AttrCatalog {
+        &self.attrs
+    }
+
+    /// Consume the builder, returning the attribute catalog.
+    pub fn into_attrs(self) -> AttrCatalog {
+        self.attrs
+    }
+
+    /// Scan `table` under `binding`, emitting `cols` (base-table column
+    /// names, in the requested order).
+    pub fn scan(&mut self, table: &str, binding: &str, cols: &[&str]) -> Result<Rel> {
+        let t = self.catalog.get(table)?;
+        let schema = t.schema().clone();
+        let mut plan_cols = Vec::with_capacity(cols.len());
+        let mut scope = Vec::with_capacity(cols.len());
+        for name in cols {
+            let pos = schema.index_of(name)?;
+            let dtype = schema.field(pos).dtype;
+            let id = self.attrs.base(table, binding, name, pos, dtype);
+            plan_cols.push((pos, id));
+            scope.push((format!("{binding}.{name}"), id));
+        }
+        Ok(Rel {
+            plan: LogicalPlan::Scan {
+                table: table.to_string(),
+                binding: binding.to_string(),
+                cols: plan_cols,
+            },
+            scope,
+        })
+    }
+
+    /// Filter by a predicate (attributes must come from `rel`'s scope).
+    pub fn filter(&self, rel: Rel, predicate: Expr) -> Rel {
+        Rel {
+            plan: LogicalPlan::Filter {
+                input: Box::new(rel.plan),
+                predicate,
+            },
+            scope: rel.scope,
+        }
+    }
+
+    /// Equi-join two relations on named key pairs, e.g.
+    /// `[("p.p_partkey", "ps.ps_partkey")]`.
+    pub fn join(&self, left: Rel, right: Rel, keys: &[(&str, &str)]) -> Result<Rel> {
+        self.join_residual(left, right, keys, None)
+    }
+
+    /// Equi-join with an extra residual predicate over the joined scope.
+    pub fn join_residual(
+        &self,
+        left: Rel,
+        right: Rel,
+        keys: &[(&str, &str)],
+        residual: Option<Expr>,
+    ) -> Result<Rel> {
+        let mut key_ids = Vec::with_capacity(keys.len());
+        for (l, r) in keys {
+            key_ids.push((left.attr(l)?, right.attr(r)?));
+        }
+        let mut scope = left.scope;
+        scope.extend(right.scope);
+        Ok(Rel {
+            plan: LogicalPlan::Join {
+                left: Box::new(left.plan),
+                right: Box::new(right.plan),
+                keys: key_ids,
+                residual,
+            },
+            scope,
+        })
+    }
+
+    /// Hash aggregation: group by named columns, computing aggregates.
+    /// Each aggregate is `(func, input expression, output name)`; the output
+    /// type is Float for AVG and the input's nominal type otherwise (Float
+    /// used as the safe default for SUM over mixed numerics).
+    pub fn aggregate(
+        &mut self,
+        rel: Rel,
+        group_by: &[&str],
+        aggs: &[(AggFunc, Expr, &str)],
+    ) -> Result<Rel> {
+        let mut group_ids = Vec::with_capacity(group_by.len());
+        let mut scope = Vec::new();
+        for g in group_by {
+            let id = rel.attr(g)?;
+            group_ids.push(id);
+            // Keep the qualified name visible downstream.
+            for (n, a) in &rel.scope {
+                if *a == id {
+                    scope.push((n.clone(), id));
+                    break;
+                }
+            }
+        }
+        let mut specs = Vec::with_capacity(aggs.len());
+        for (func, input, name) in aggs {
+            let dtype = match func {
+                AggFunc::Count => DataType::Int,
+                _ => DataType::Float,
+            };
+            let out = self.attrs.derived(name, dtype);
+            specs.push(AggSpec {
+                func: *func,
+                input: input.clone(),
+                output: out,
+            });
+            scope.push((name.to_string(), out));
+        }
+        Ok(Rel {
+            plan: LogicalPlan::Aggregate {
+                input: Box::new(rel.plan),
+                group_by: group_ids,
+                aggs: specs,
+            },
+            scope,
+        })
+    }
+
+    /// Pass-through projection: keep only the named columns, preserving
+    /// attribute identity (no new ids).
+    pub fn project_cols(&self, rel: Rel, cols: &[&str]) -> Result<Rel> {
+        let mut exprs = Vec::with_capacity(cols.len());
+        let mut scope = Vec::with_capacity(cols.len());
+        for name in cols {
+            let id = rel.attr(name)?;
+            exprs.push((Expr::attr(id), id));
+            for (n, a) in &rel.scope {
+                if *a == id {
+                    scope.push((n.clone(), id));
+                    break;
+                }
+            }
+        }
+        Ok(Rel {
+            plan: LogicalPlan::Project {
+                input: Box::new(rel.plan),
+                exprs,
+            },
+            scope,
+        })
+    }
+
+    /// Computing projection: derive new attributes from expressions.
+    pub fn project(
+        &mut self,
+        rel: Rel,
+        exprs: &[(Expr, &str, DataType)],
+    ) -> Result<Rel> {
+        let mut out_exprs = Vec::with_capacity(exprs.len());
+        let mut scope = Vec::with_capacity(exprs.len());
+        for (e, name, dtype) in exprs {
+            // Pass-through attr refs keep their identity.
+            let id = match e {
+                Expr::Attr(a) => *a,
+                _ => self.attrs.derived(name, *dtype),
+            };
+            out_exprs.push((e.clone(), id));
+            scope.push((name.to_string(), id));
+        }
+        Ok(Rel {
+            plan: LogicalPlan::Project {
+                input: Box::new(rel.plan),
+                exprs: out_exprs,
+            },
+            scope,
+        })
+    }
+
+    /// Duplicate elimination.
+    pub fn distinct(&self, rel: Rel) -> Rel {
+        Rel {
+            plan: LogicalPlan::Distinct {
+                input: Box::new(rel.plan),
+            },
+            scope: rel.scope,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_data::{generate, TpchConfig};
+
+    fn tiny_catalog() -> Catalog {
+        generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 11,
+            zipf_z: 0.0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_resolves_columns() {
+        let c = tiny_catalog();
+        let mut q = QueryBuilder::new(&c);
+        let p = q.scan("part", "p", &["p_partkey", "p_size"]).unwrap();
+        assert!(p.attr("p_partkey").is_ok());
+        assert!(p.attr("p.p_partkey").is_ok());
+        assert!(p.attr("nope").is_err());
+        assert!(q.scan("part", "p2", &["ghost_col"]).is_err());
+        assert!(q.scan("ghost_table", "g", &["x"]).is_err());
+    }
+
+    #[test]
+    fn join_merges_scopes_and_detects_ambiguity() {
+        let c = tiny_catalog();
+        let mut q = QueryBuilder::new(&c);
+        let ps1 = q.scan("partsupp", "ps1", &["ps_partkey"]).unwrap();
+        let ps2 = q.scan("partsupp", "ps2", &["ps_partkey"]).unwrap();
+        let j = q
+            .join(ps1, ps2, &[("ps1.ps_partkey", "ps2.ps_partkey")])
+            .unwrap();
+        // Bare name now ambiguous; qualified names resolve.
+        assert!(j.attr("ps_partkey").is_err());
+        assert!(j.attr("ps1.ps_partkey").is_ok());
+        assert_ne!(
+            j.attr("ps1.ps_partkey").unwrap(),
+            j.attr("ps2.ps_partkey").unwrap()
+        );
+        j.plan().validate().unwrap();
+    }
+
+    #[test]
+    fn aggregate_scope_and_identity() {
+        let c = tiny_catalog();
+        let mut q = QueryBuilder::new(&c);
+        let ps = q
+            .scan("partsupp", "ps2", &["ps_partkey", "ps_availqty"])
+            .unwrap();
+        let key_before = ps.attr("ps_partkey").unwrap();
+        let qty = ps.col("ps_availqty").unwrap();
+        let agg = q
+            .aggregate(ps, &["ps_partkey"], &[(AggFunc::Sum, qty, "avail")])
+            .unwrap();
+        // Group key identity preserved across the blocking operator.
+        assert_eq!(agg.attr("ps_partkey").unwrap(), key_before);
+        assert!(agg.attr("avail").is_ok());
+        agg.plan().validate().unwrap();
+    }
+
+    #[test]
+    fn projection_identity_rules() {
+        let c = tiny_catalog();
+        let mut q = QueryBuilder::new(&c);
+        let p = q
+            .scan("part", "p", &["p_partkey", "p_retailprice"])
+            .unwrap();
+        let id_before = p.attr("p_partkey").unwrap();
+        let pass = q.project_cols(p.clone(), &["p_partkey"]).unwrap();
+        assert_eq!(pass.attr("p_partkey").unwrap(), id_before);
+        // Computed projection derives a fresh id.
+        let half = p.col("p_retailprice").unwrap().mul(Expr::lit(0.5f64));
+        let derived = q
+            .project(p, &[(half, "half_price", DataType::Float)])
+            .unwrap();
+        assert!(derived.attr("half_price").is_ok());
+        derived.plan().validate().unwrap();
+    }
+
+    #[test]
+    fn full_mini_query_validates() {
+        let c = tiny_catalog();
+        let mut q = QueryBuilder::new(&c);
+        let p = q.scan("part", "p", &["p_partkey", "p_size"]).unwrap();
+        let sized = {
+            let pred = p.col("p_size").unwrap().eq(Expr::lit(1i64));
+            q.filter(p, pred)
+        };
+        let ps = q
+            .scan("partsupp", "ps", &["ps_partkey", "ps_supplycost"])
+            .unwrap();
+        let joined = q
+            .join(sized, ps, &[("p.p_partkey", "ps.ps_partkey")])
+            .unwrap();
+        let dist = q.distinct(q.project_cols(joined, &["p.p_partkey"]).unwrap());
+        dist.plan().validate().unwrap();
+        assert_eq!(dist.plan().output_attrs().len(), 1);
+        assert_eq!(dist.plan().bindings(), vec!["p", "ps"]);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # sip-plan
+//!
+//! Logical query plans and the structures sideways information passing is
+//! planned over: a query-global attribute catalog, transitive attribute
+//! equivalence (the paper's `EQ` function, via union-find), and the
+//! source-predicate graph of Fig. 2(a).
+//!
+//! Plans are built with [`builder::QueryBuilder`], which allocates global
+//! [`sip_common::AttrId`]s. Attribute *identity is preserved* through joins,
+//! group-bys and pass-through projections, which is what lets an AIP set
+//! built above a blocking operator filter a scan far away in the plan.
+
+pub mod attrs;
+pub mod builder;
+pub mod logical;
+pub mod predgraph;
+pub mod unionfind;
+
+pub use attrs::{AttrCatalog, AttrInfo, AttrOrigin};
+pub use builder::{QueryBuilder, Rel};
+pub use logical::{AggSpec, LogicalPlan};
+pub use predgraph::{EqClasses, PredicateIndex, SourcePredGraph};
+pub use unionfind::UnionFind;

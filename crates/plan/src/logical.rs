@@ -1,0 +1,477 @@
+//! Logical plan trees.
+//!
+//! Logical plans are *structural*: they fix which relations are scanned,
+//! which predicates apply, and where blocking (aggregate/distinct) operators
+//! sit — exactly the information the AIP algorithms reason over. Physical
+//! concerns (row layouts, threading, filter taps) appear only when the
+//! optimizer lowers a logical plan.
+
+use crate::attrs::AttrCatalog;
+use sip_common::{plan_err, AttrId, Result};
+use sip_expr::{AggFunc, Expr};
+use std::fmt::Write as _;
+
+/// One aggregate computation inside an [`LogicalPlan::Aggregate`].
+#[derive(Clone, Debug)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input expression, over the aggregate's input attributes.
+    pub input: Expr,
+    /// The derived output attribute.
+    pub output: AttrId,
+}
+
+/// A logical plan node.
+#[derive(Clone, Debug)]
+pub enum LogicalPlan {
+    /// Scan a base table under a binding, emitting selected columns.
+    Scan {
+        /// Base table name.
+        table: String,
+        /// The binding (alias) — distinct scans of one table are distinct
+        /// table variables in the source-predicate graph.
+        binding: String,
+        /// `(base column position, global attribute)` pairs, in output order.
+        cols: Vec<(usize, AttrId)>,
+    },
+    /// Filter rows by a predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate over input attributes.
+        predicate: Expr,
+    },
+    /// Compute expressions (projection; may rename/derive attributes).
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, output attribute)` pairs, in output order.
+        exprs: Vec<(Expr, AttrId)>,
+    },
+    /// Equi-join with optional residual predicate.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Equality key pairs `(left attr, right attr)`.
+        keys: Vec<(AttrId, AttrId)>,
+        /// Extra non-equi predicate over the concatenated output.
+        residual: Option<Expr>,
+    },
+    /// Hash aggregation. Group attributes keep their identity; aggregate
+    /// outputs are fresh derived attributes.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping attributes (pass through with identity preserved).
+        group_by: Vec<AttrId>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+    },
+    /// Duplicate elimination over the full row.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Semijoin: keep probe rows whose key appears in the build side.
+    /// Used by the magic-sets baseline rewrite; AIP never creates plan
+    /// nodes — it injects filters into existing operators instead.
+    SemiJoin {
+        /// Probe input (reduced).
+        probe: Box<LogicalPlan>,
+        /// Build input (the filter set).
+        build: Box<LogicalPlan>,
+        /// Equality key pairs `(probe attr, build attr)`.
+        keys: Vec<(AttrId, AttrId)>,
+    },
+}
+
+impl LogicalPlan {
+    /// The output attributes, in row order.
+    pub fn output_attrs(&self) -> Vec<AttrId> {
+        match self {
+            LogicalPlan::Scan { cols, .. } => cols.iter().map(|&(_, a)| a).collect(),
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Distinct { input } => {
+                input.output_attrs()
+            }
+            LogicalPlan::Project { exprs, .. } => exprs.iter().map(|&(_, a)| a).collect(),
+            LogicalPlan::Join { left, right, .. } => {
+                let mut out = left.output_attrs();
+                out.extend(right.output_attrs());
+                out
+            }
+            LogicalPlan::SemiJoin { probe, .. } => probe.output_attrs(),
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                let mut out = group_by.clone();
+                out.extend(aggs.iter().map(|a| a.output));
+                out
+            }
+        }
+    }
+
+    /// Child plans.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+            LogicalPlan::SemiJoin { probe, build, .. } => vec![probe, build],
+        }
+    }
+
+    /// All scan bindings in the subtree, depth-first.
+    pub fn bindings(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |n| {
+            if let LogicalPlan::Scan { binding, .. } = n {
+                out.push(binding.as_str());
+            }
+        });
+        out
+    }
+
+    /// Visit every node, pre-order.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a LogicalPlan)) {
+        f(self);
+        for c in self.children() {
+            c.walk(f);
+        }
+    }
+
+    /// Collect every conjunctive predicate that must hold over contributing
+    /// tuples: filter conjuncts, join key equalities (as `Expr`s), and join
+    /// residual conjuncts. This is the list `P` fed to `AIPCANDIDATES`
+    /// (Fig. 3).
+    pub fn all_conjuncts(&self) -> Vec<Expr> {
+        let mut out = Vec::new();
+        self.walk(&mut |n| match n {
+            LogicalPlan::Filter { predicate, .. } => {
+                out.extend(predicate.conjuncts().into_iter().cloned());
+            }
+            LogicalPlan::Join { keys, residual, .. } => {
+                for &(l, r) in keys {
+                    out.push(Expr::attr(l).eq(Expr::attr(r)));
+                }
+                if let Some(res) = residual {
+                    out.extend(res.conjuncts().into_iter().cloned());
+                }
+            }
+            LogicalPlan::SemiJoin { keys, .. } => {
+                for &(p, b) in keys {
+                    out.push(Expr::attr(p).eq(Expr::attr(b)));
+                }
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Validate attribute flow: every expression references only attributes
+    /// its input produces; join keys come from the matching side.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            LogicalPlan::Scan { cols, table, .. } => {
+                if cols.is_empty() {
+                    return Err(plan_err!("scan of {table} emits no columns"));
+                }
+                Ok(())
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                input.validate()?;
+                check_attrs_in(&predicate.attrs(), &input.output_attrs(), "filter")
+            }
+            LogicalPlan::Project { input, exprs } => {
+                input.validate()?;
+                let avail = input.output_attrs();
+                for (e, _) in exprs {
+                    check_attrs_in(&e.attrs(), &avail, "project")?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                keys,
+                residual,
+            } => {
+                left.validate()?;
+                right.validate()?;
+                let la = left.output_attrs();
+                let ra = right.output_attrs();
+                if keys.is_empty() {
+                    return Err(plan_err!("join without keys (cross products unsupported)"));
+                }
+                for &(l, r) in keys {
+                    check_attrs_in(&[l], &la, "join left key")?;
+                    check_attrs_in(&[r], &ra, "join right key")?;
+                }
+                if let Some(res) = residual {
+                    let mut all = la;
+                    all.extend(ra);
+                    check_attrs_in(&res.attrs(), &all, "join residual")?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                input.validate()?;
+                let avail = input.output_attrs();
+                check_attrs_in(group_by, &avail, "group-by")?;
+                for a in aggs {
+                    check_attrs_in(&a.input.attrs(), &avail, "aggregate input")?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Distinct { input } => input.validate(),
+            LogicalPlan::SemiJoin { probe, build, keys } => {
+                probe.validate()?;
+                build.validate()?;
+                if keys.is_empty() {
+                    return Err(plan_err!("semijoin without keys"));
+                }
+                let pa = probe.output_attrs();
+                let ba = build.output_attrs();
+                for &(p, b) in keys {
+                    check_attrs_in(&[p], &pa, "semijoin probe key")?;
+                    check_attrs_in(&[b], &ba, "semijoin build key")?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Pretty-print the tree with attribute names from `attrs`.
+    pub fn display(&self, attrs: &AttrCatalog) -> String {
+        let mut out = String::new();
+        self.fmt_indent(attrs, 0, &mut out);
+        out
+    }
+
+    fn fmt_indent(&self, attrs: &AttrCatalog, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { table, binding, cols } => {
+                let names: Vec<String> = cols.iter().map(|&(_, a)| attrs.name(a)).collect();
+                let _ = writeln!(out, "{pad}Scan {table} as {binding} [{}]", names.join(", "));
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter {}", pretty_expr(predicate, attrs));
+                input.fmt_indent(attrs, depth + 1, out);
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .map(|(e, a)| format!("{} as {}", pretty_expr(e, attrs), attrs.name(*a)))
+                    .collect();
+                let _ = writeln!(out, "{pad}Project [{}]", cols.join(", "));
+                input.fmt_indent(attrs, depth + 1, out);
+            }
+            LogicalPlan::Join { left, right, keys, residual } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|&(l, r)| format!("{} = {}", attrs.name(l), attrs.name(r)))
+                    .collect();
+                let res = residual
+                    .as_ref()
+                    .map(|e| format!(" and {}", pretty_expr(e, attrs)))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "{pad}HashJoin on {}{}", ks.join(" AND "), res);
+                left.fmt_indent(attrs, depth + 1, out);
+                right.fmt_indent(attrs, depth + 1, out);
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let g: Vec<String> = group_by.iter().map(|&a| attrs.name(a)).collect();
+                let ag: Vec<String> = aggs
+                    .iter()
+                    .map(|a| {
+                        format!(
+                            "{}({}) as {}",
+                            a.func,
+                            pretty_expr(&a.input, attrs),
+                            attrs.name(a.output)
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(out, "{pad}Aggregate group=[{}] aggs=[{}]", g.join(", "), ag.join(", "));
+                input.fmt_indent(attrs, depth + 1, out);
+            }
+            LogicalPlan::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.fmt_indent(attrs, depth + 1, out);
+            }
+            LogicalPlan::SemiJoin { probe, build, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|&(p, b)| format!("{} = {}", attrs.name(p), attrs.name(b)))
+                    .collect();
+                let _ = writeln!(out, "{pad}SemiJoin on {}", ks.join(" AND "));
+                probe.fmt_indent(attrs, depth + 1, out);
+                build.fmt_indent(attrs, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Render an expression with attribute names substituted.
+pub fn pretty_expr(e: &Expr, attrs: &AttrCatalog) -> String {
+    match e {
+        Expr::Attr(a) => attrs.name(*a),
+        Expr::Col(i) => format!("#{i}"),
+        Expr::Lit(v) => match v {
+            sip_common::Value::Str(s) => format!("'{s}'"),
+            other => other.to_string(),
+        },
+        Expr::Cmp(l, op, r) => format!(
+            "({} {} {})",
+            pretty_expr(l, attrs),
+            op.symbol(),
+            pretty_expr(r, attrs)
+        ),
+        Expr::Arith(l, op, r) => format!(
+            "({} {} {})",
+            pretty_expr(l, attrs),
+            op.symbol(),
+            pretty_expr(r, attrs)
+        ),
+        Expr::And(l, r) => format!("({} AND {})", pretty_expr(l, attrs), pretty_expr(r, attrs)),
+        Expr::Or(l, r) => format!("({} OR {})", pretty_expr(l, attrs), pretty_expr(r, attrs)),
+        Expr::Not(x) => format!("(NOT {})", pretty_expr(x, attrs)),
+        Expr::Like(x, p) => format!("({} LIKE '{p}')", pretty_expr(x, attrs)),
+        Expr::Year(x) => format!("year({})", pretty_expr(x, attrs)),
+    }
+}
+
+fn check_attrs_in(needed: &[AttrId], avail: &[AttrId], ctx: &str) -> Result<()> {
+    for a in needed {
+        if !avail.contains(a) {
+            return Err(plan_err!("{ctx}: attribute {a} not produced by input"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_common::DataType;
+
+    fn scan(attrs: &mut AttrCatalog, table: &str, cols: &[&str]) -> (LogicalPlan, Vec<AttrId>) {
+        let ids: Vec<AttrId> = cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| attrs.base(table, table, c, i, DataType::Int))
+            .collect();
+        (
+            LogicalPlan::Scan {
+                table: table.into(),
+                binding: table.into(),
+                cols: ids.iter().enumerate().map(|(i, &a)| (i, a)).collect(),
+            },
+            ids,
+        )
+    }
+
+    #[test]
+    fn output_attrs_flow() {
+        let mut attrs = AttrCatalog::new();
+        let (s1, a1) = scan(&mut attrs, "t", &["x", "y"]);
+        let (s2, a2) = scan(&mut attrs, "u", &["z"]);
+        let join = LogicalPlan::Join {
+            left: Box::new(s1),
+            right: Box::new(s2),
+            keys: vec![(a1[0], a2[0])],
+            residual: None,
+        };
+        assert_eq!(join.output_attrs(), vec![a1[0], a1[1], a2[0]]);
+        join.validate().unwrap();
+    }
+
+    #[test]
+    fn aggregate_preserves_group_identity() {
+        let mut attrs = AttrCatalog::new();
+        let (s, a) = scan(&mut attrs, "t", &["k", "v"]);
+        let out = attrs.derived("total", DataType::Int);
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(s),
+            group_by: vec![a[0]],
+            aggs: vec![AggSpec {
+                func: AggFunc::Sum,
+                input: Expr::attr(a[1]),
+                output: out,
+            }],
+        };
+        // Group key keeps its AttrId through the blocking operator.
+        assert_eq!(agg.output_attrs(), vec![a[0], out]);
+        agg.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_unknown_attrs() {
+        let mut attrs = AttrCatalog::new();
+        let (s, _a) = scan(&mut attrs, "t", &["x"]);
+        let ghost = AttrId(99);
+        let bad = LogicalPlan::Filter {
+            input: Box::new(s),
+            predicate: Expr::attr(ghost).gt(Expr::lit(0i64)),
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_cross_product() {
+        let mut attrs = AttrCatalog::new();
+        let (s1, _) = scan(&mut attrs, "t", &["x"]);
+        let (s2, _) = scan(&mut attrs, "u", &["y"]);
+        let j = LogicalPlan::Join {
+            left: Box::new(s1),
+            right: Box::new(s2),
+            keys: vec![],
+            residual: None,
+        };
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn conjunct_collection_includes_join_keys() {
+        let mut attrs = AttrCatalog::new();
+        let (s1, a1) = scan(&mut attrs, "t", &["x"]);
+        let (s2, a2) = scan(&mut attrs, "u", &["y"]);
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(s1),
+            predicate: Expr::attr(a1[0]).gt(Expr::lit(5i64)).and(Expr::attr(a1[0]).lt(Expr::lit(50i64))),
+        };
+        let join = LogicalPlan::Join {
+            left: Box::new(filtered),
+            right: Box::new(s2),
+            keys: vec![(a1[0], a2[0])],
+            residual: None,
+        };
+        let cj = join.all_conjuncts();
+        assert_eq!(cj.len(), 3); // two filter conjuncts + one key equality
+    }
+
+    #[test]
+    fn bindings_and_display() {
+        let mut attrs = AttrCatalog::new();
+        let (s1, a1) = scan(&mut attrs, "part", &["pk"]);
+        let (s2, a2) = scan(&mut attrs, "partsupp", &["fk"]);
+        let j = LogicalPlan::Join {
+            left: Box::new(s1),
+            right: Box::new(s2),
+            keys: vec![(a1[0], a2[0])],
+            residual: None,
+        };
+        assert_eq!(j.bindings(), vec!["part", "partsupp"]);
+        let text = j.display(&attrs);
+        assert!(text.contains("HashJoin on part.pk = partsupp.fk"), "{text}");
+        assert!(text.contains("Scan part as part"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Attribute equivalence and the source-predicate graph (Fig. 2a).
+//!
+//! [`EqClasses`] is the paper's `EQ` function: the transitive closure of all
+//! equality predicates in the query, over global attribute ids.
+//! [`PredicateIndex`] bundles `EQ` with the conjunct list `P` consumed by
+//! `AIPCANDIDATES` (Fig. 3). [`SourcePredGraph`] is the optimizer-built
+//! graph "describing the predicates (edges) between table variables (nodes),
+//! and whether these predicates are directional" (§IV-A).
+
+use crate::attrs::AttrCatalog;
+use crate::logical::{pretty_expr, LogicalPlan};
+use crate::unionfind::UnionFind;
+use sip_common::AttrId;
+use sip_expr::{CmpOp, Expr};
+use std::fmt::Write as _;
+
+/// Transitive attribute equivalence (the paper's `EQ`).
+#[derive(Clone, Debug, Default)]
+pub struct EqClasses {
+    uf: UnionFind,
+    known: Vec<AttrId>,
+}
+
+impl EqClasses {
+    /// Build from a conjunct list: every `attr = attr` conjunct merges two
+    /// classes.
+    pub fn from_conjuncts(conjuncts: &[Expr]) -> Self {
+        let mut eq = EqClasses::default();
+        for c in conjuncts {
+            for a in c.attrs() {
+                eq.touch(a);
+            }
+            if let Expr::Cmp(l, CmpOp::Eq, r) = c {
+                if let (Expr::Attr(a), Expr::Attr(b)) = (l.as_ref(), r.as_ref()) {
+                    eq.uf.union(a.0, b.0);
+                }
+            }
+        }
+        eq
+    }
+
+    fn touch(&mut self, a: AttrId) {
+        self.uf.find(a.0);
+        if !self.known.contains(&a) {
+            self.known.push(a);
+        }
+    }
+
+    /// Are two attributes transitively equated?
+    pub fn same(&mut self, a: AttrId, b: AttrId) -> bool {
+        self.uf.same(a.0, b.0)
+    }
+
+    /// Class representative.
+    pub fn class(&self, a: AttrId) -> u32 {
+        self.uf.find_const(a.0)
+    }
+
+    /// All attributes equated with `a` (including `a` itself when known).
+    pub fn members(&mut self, a: AttrId) -> Vec<AttrId> {
+        let root = self.uf.find(a.0);
+        self.known
+            .iter()
+            .copied()
+            .filter(|x| self.uf.find_const(x.0) == root)
+            .collect()
+    }
+
+    /// Every attribute seen in any conjunct.
+    pub fn known_attrs(&self) -> &[AttrId] {
+        &self.known
+    }
+}
+
+/// `EQ` plus the conjunct list `P` for `AIPCANDIDATES`.
+#[derive(Clone, Debug)]
+pub struct PredicateIndex {
+    /// Every conjunct that must hold over contributing tuples.
+    pub conjuncts: Vec<Expr>,
+    /// Transitive equality over attributes.
+    pub eq: EqClasses,
+}
+
+impl PredicateIndex {
+    /// Build from a validated logical plan.
+    pub fn build(plan: &LogicalPlan) -> Self {
+        let conjuncts = plan.all_conjuncts();
+        let eq = EqClasses::from_conjuncts(&conjuncts);
+        PredicateIndex { conjuncts, eq }
+    }
+
+    /// Conjuncts that mention attribute `a`.
+    pub fn conjuncts_over(&self, a: AttrId) -> Vec<&Expr> {
+        self.conjuncts
+            .iter()
+            .filter(|c| c.attrs().contains(&a))
+            .collect()
+    }
+}
+
+/// One edge of the source-predicate graph.
+#[derive(Clone, Debug)]
+pub struct PredEdge {
+    /// Binding of one endpoint.
+    pub from: String,
+    /// Binding of the other endpoint.
+    pub to: String,
+    /// Pretty-printed predicate.
+    pub label: String,
+    /// Directional edges arise "when the correlated attribute is projected
+    /// away" — i.e., one endpoint's attribute does not survive to the query
+    /// output, so information can only usefully flow one way.
+    pub directional: bool,
+}
+
+/// The source-predicate graph of Fig. 2(a): table variables as nodes,
+/// predicates as edges, single-variable predicates as node annotations.
+#[derive(Clone, Debug, Default)]
+pub struct SourcePredGraph {
+    /// Scan bindings, in plan order.
+    pub nodes: Vec<String>,
+    /// Cross-binding predicate edges.
+    pub edges: Vec<PredEdge>,
+    /// `(binding, predicate)` annotations for single-binding predicates.
+    pub local_predicates: Vec<(String, String)>,
+}
+
+impl SourcePredGraph {
+    /// Build from a plan and its attribute catalog.
+    pub fn build(plan: &LogicalPlan, attrs: &AttrCatalog) -> Self {
+        let nodes: Vec<String> = plan.bindings().iter().map(|s| s.to_string()).collect();
+        let root_attrs = plan.output_attrs();
+        let mut edges = Vec::new();
+        let mut local = Vec::new();
+        for c in plan.all_conjuncts() {
+            let mut bindings: Vec<&str> = Vec::new();
+            for a in c.attrs() {
+                if let Some(b) = attrs.binding(a) {
+                    if !bindings.contains(&b) {
+                        bindings.push(b);
+                    }
+                }
+            }
+            match bindings.len() {
+                1 => local.push((bindings[0].to_string(), pretty_expr(&c, attrs))),
+                2 => {
+                    // Directional when any referenced attribute is projected
+                    // away before the root.
+                    let directional = c.attrs().iter().any(|a| !root_attrs.contains(a));
+                    edges.push(PredEdge {
+                        from: bindings[0].to_string(),
+                        to: bindings[1].to_string(),
+                        label: pretty_expr(&c, attrs),
+                        directional,
+                    });
+                }
+                _ => {
+                    // Predicates over derived attributes or 3+ bindings do
+                    // not become graph edges; they stay global conjuncts.
+                }
+            }
+        }
+        SourcePredGraph {
+            nodes,
+            edges,
+            local_predicates: local,
+        }
+    }
+
+    /// Render in a compact textual form (the Fig. 2 reproduction).
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "source-predicate graph");
+        let _ = writeln!(out, "  nodes: {}", self.nodes.join(", "));
+        for e in &self.edges {
+            let arrow = if e.directional { "->" } else { "--" };
+            let _ = writeln!(out, "  {} {} {} : {}", e.from, arrow, e.to, e.label);
+        }
+        for (b, p) in &self.local_predicates {
+            let _ = writeln!(out, "  [{b}] {p}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use sip_data::{generate, TpchConfig};
+    use sip_expr::AggFunc;
+
+    fn catalog() -> sip_data::Catalog {
+        generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 21,
+            zipf_z: 0.0,
+        })
+        .unwrap()
+    }
+
+    /// Build a miniature version of the paper's running example:
+    /// part ⋈ partsupp ⋈ (aggregate over partsupp ps2).
+    fn mini_example(
+        c: &sip_data::Catalog,
+    ) -> (LogicalPlan, AttrCatalog, AttrId, AttrId, AttrId) {
+        let mut q = QueryBuilder::new(c);
+        let p = q.scan("part", "p", &["p_partkey", "p_retailprice"]).unwrap();
+        let ps1 = q
+            .scan("partsupp", "ps1", &["ps_partkey", "ps_supplycost"])
+            .unwrap();
+        let ps2 = q
+            .scan("partsupp", "ps2", &["ps_partkey", "ps_availqty"])
+            .unwrap();
+        let p_key = p.attr("p_partkey").unwrap();
+        let ps1_key = ps1.attr("ps_partkey").unwrap();
+        let ps2_key = ps2.attr("ps_partkey").unwrap();
+        let qty = ps2.col("ps_availqty").unwrap();
+        let avail = q
+            .aggregate(ps2, &["ps_partkey"], &[(AggFunc::Sum, qty, "avail")])
+            .unwrap();
+        let j1 = q
+            .join(p, ps1, &[("p.p_partkey", "ps1.ps_partkey")])
+            .unwrap();
+        let j2 = q
+            .join(j1, avail, &[("p.p_partkey", "ps2.ps_partkey")])
+            .unwrap();
+        let out = q.project_cols(j2, &["p.p_partkey"]).unwrap();
+        let plan = out.into_plan();
+        plan.validate().unwrap();
+        (plan, q.into_attrs(), p_key, ps1_key, ps2_key)
+    }
+
+    #[test]
+    fn eq_spans_blocking_operators() {
+        let c = catalog();
+        let (plan, _attrs, p_key, ps1_key, ps2_key) = mini_example(&c);
+        let mut idx = PredicateIndex::build(&plan);
+        // p_partkey = ps1.ps_partkey and p_partkey = ps2.ps_partkey (through
+        // the aggregate!) are all one class.
+        assert!(idx.eq.same(p_key, ps1_key));
+        assert!(idx.eq.same(p_key, ps2_key));
+        assert!(idx.eq.same(ps1_key, ps2_key));
+        let members = idx.eq.members(p_key);
+        assert_eq!(members.len(), 3, "{members:?}");
+    }
+
+    #[test]
+    fn unrelated_attrs_stay_separate() {
+        let c = catalog();
+        let mut q = QueryBuilder::new(&c);
+        let p = q.scan("part", "p", &["p_partkey", "p_size"]).unwrap();
+        let s = q.scan("supplier", "s", &["s_suppkey"]).unwrap();
+        let pk = p.attr("p_partkey").unwrap();
+        let size = p.attr("p_size").unwrap();
+        let sk = s.attr("s_suppkey").unwrap();
+        let pred = p.col("p_size").unwrap().eq(Expr::lit(1i64));
+        let fp = q.filter(p, pred);
+        let plan = fp.into_plan();
+        let mut idx = PredicateIndex::build(&plan);
+        assert!(!idx.eq.same(pk, size));
+        assert!(!idx.eq.same(pk, sk));
+    }
+
+    #[test]
+    fn conjuncts_over_finds_predicates() {
+        let c = catalog();
+        let (plan, _attrs, p_key, _, _) = mini_example(&c);
+        let idx = PredicateIndex::build(&plan);
+        let over = idx.conjuncts_over(p_key);
+        assert_eq!(over.len(), 2, "{over:?}"); // two join equalities
+    }
+
+    #[test]
+    fn graph_nodes_and_edges() {
+        let c = catalog();
+        let (plan, attrs, _, _, _) = mini_example(&c);
+        let g = SourcePredGraph::build(&plan, &attrs);
+        assert_eq!(g.nodes, vec!["p", "ps1", "ps2"]);
+        assert_eq!(g.edges.len(), 2);
+        // ps1 / ps2 keys don't reach the root output (only p_partkey does),
+        // so both edges are directional.
+        assert!(g.edges.iter().all(|e| e.directional));
+        let text = g.display();
+        assert!(text.contains("p -> ps1"), "{text}");
+    }
+
+    #[test]
+    fn local_predicates_annotate_nodes() {
+        let c = catalog();
+        let mut q = QueryBuilder::new(&c);
+        let p = q.scan("part", "p", &["p_partkey", "p_size"]).unwrap();
+        let ps = q.scan("partsupp", "ps", &["ps_partkey"]).unwrap();
+        let pred = p.col("p_size").unwrap().eq(Expr::lit(1i64));
+        let fp = q.filter(p, pred);
+        let j = q.join(fp, ps, &[("p.p_partkey", "ps.ps_partkey")]).unwrap();
+        let plan = j.into_plan();
+        let g = SourcePredGraph::build(&plan, q.attrs());
+        assert_eq!(g.local_predicates.len(), 1);
+        assert_eq!(g.local_predicates[0].0, "p");
+        assert!(g.local_predicates[0].1.contains("p_size"));
+    }
+}

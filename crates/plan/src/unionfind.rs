@@ -1,0 +1,157 @@
+//! Union-find over dense `u32` ids, used for transitive attribute
+//! equivalence (the paper's `EQ` function in `AIPCANDIDATES`, Fig. 3).
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Clone, Debug, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// An empty structure; ids are added on demand.
+    pub fn new() -> Self {
+        UnionFind::default()
+    }
+
+    fn ensure(&mut self, id: u32) {
+        while self.parent.len() <= id as usize {
+            self.parent.push(self.parent.len() as u32);
+            self.size.push(1);
+        }
+    }
+
+    /// Representative of `id`'s class.
+    pub fn find(&mut self, id: u32) -> u32 {
+        self.ensure(id);
+        let mut x = id;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Representative without mutation (no path compression); ids never seen
+    /// are their own class.
+    pub fn find_const(&self, id: u32) -> u32 {
+        let mut x = id;
+        loop {
+            let p = self
+                .parent
+                .get(x as usize)
+                .copied()
+                .unwrap_or(x);
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Merge the classes of `a` and `b`.
+    pub fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+
+    /// Are `a` and `b` in the same class?
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// All members of `id`'s class among ids seen so far.
+    pub fn class_members(&mut self, id: u32) -> Vec<u32> {
+        let root = self.find(id);
+        (0..self.parent.len() as u32)
+            .filter(|&x| self.find_const(x) == root)
+            .collect()
+    }
+
+    /// Number of ids tracked.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when no ids tracked.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_until_union() {
+        let mut uf = UnionFind::new();
+        assert_ne!(uf.find(1), uf.find(2));
+        assert!(!uf.same(1, 2));
+    }
+
+    #[test]
+    fn union_is_transitive() {
+        let mut uf = UnionFind::new();
+        uf.union(1, 2);
+        uf.union(2, 3);
+        uf.union(7, 8);
+        assert!(uf.same(1, 3));
+        assert!(uf.same(3, 1));
+        assert!(!uf.same(1, 7));
+        assert!(uf.same(7, 8));
+    }
+
+    #[test]
+    fn class_members_lists_whole_class() {
+        let mut uf = UnionFind::new();
+        uf.union(0, 4);
+        uf.union(4, 2);
+        uf.find(5); // materialize 5 as singleton
+        let mut m = uf.class_members(2);
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 2, 4]);
+        assert_eq!(uf.class_members(5), vec![5]);
+    }
+
+    #[test]
+    fn idempotent_unions() {
+        let mut uf = UnionFind::new();
+        uf.union(1, 2);
+        uf.union(1, 2);
+        uf.union(2, 1);
+        assert!(uf.same(1, 2));
+        assert_eq!(uf.class_members(1).len(), 2);
+    }
+
+    #[test]
+    fn find_const_matches_find() {
+        let mut uf = UnionFind::new();
+        uf.union(3, 9);
+        uf.union(9, 12);
+        let r = uf.find(3);
+        assert_eq!(uf.find_const(12), r);
+        assert_eq!(uf.find_const(100), 100); // unseen id
+    }
+
+    #[test]
+    fn large_chain() {
+        let mut uf = UnionFind::new();
+        for i in 0..999 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.same(0, 999));
+        assert_eq!(uf.class_members(500).len(), 1000);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests: union-find equivalence laws and source-predicate
+//! graph construction invariants.
+
+use proptest::prelude::*;
+use sip_common::AttrId;
+use sip_expr::Expr;
+use sip_plan::{EqClasses, UnionFind};
+use std::collections::HashMap;
+
+/// A naive partition via map-to-representative rebuilding.
+#[derive(Default)]
+struct NaivePartition {
+    rep: HashMap<u32, u32>,
+}
+
+impl NaivePartition {
+    fn find(&mut self, x: u32) -> u32 {
+        let r = *self.rep.get(&x).unwrap_or(&x);
+        if r == x {
+            x
+        } else {
+            let root = self.find(r);
+            self.rep.insert(x, root);
+            root
+        }
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.rep.insert(ra, rb);
+        }
+    }
+
+    fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_find_matches_naive_partition(
+        unions in prop::collection::vec((0u32..40, 0u32..40), 0..80),
+        queries in prop::collection::vec((0u32..40, 0u32..40), 0..40),
+    ) {
+        let mut uf = UnionFind::new();
+        let mut naive = NaivePartition::default();
+        for &(a, b) in &unions {
+            uf.union(a, b);
+            naive.union(a, b);
+        }
+        for &(a, b) in &queries {
+            prop_assert_eq!(uf.same(a, b), naive.same(a, b), "({}, {})", a, b);
+        }
+    }
+
+    #[test]
+    fn union_find_classes_partition_the_domain(
+        unions in prop::collection::vec((0u32..30, 0u32..30), 0..60),
+    ) {
+        let mut uf = UnionFind::new();
+        for &(a, b) in &unions {
+            uf.union(a, b);
+        }
+        uf.find(29); // materialize the whole domain
+        // Every element appears in exactly one class.
+        let mut seen = [0u32; 30];
+        for x in 0..30u32 {
+            for m in uf.class_members(x) {
+                if m < 30 && uf.find(m) == uf.find(x) {
+                    // counted when x is the smallest member of its class
+                    if uf.class_members(x)[0] == x {
+                        seen[m as usize] += 1;
+                    }
+                }
+            }
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            prop_assert_eq!(count, 1, "element {} in {} classes", i, count);
+        }
+    }
+
+    #[test]
+    fn eq_classes_transitive_closure(
+        pairs in prop::collection::vec((0u32..20, 0u32..20), 0..30),
+        probe in (0u32..20, 0u32..20),
+    ) {
+        let conjuncts: Vec<Expr> = pairs
+            .iter()
+            .map(|&(a, b)| Expr::attr(AttrId(a)).eq(Expr::attr(AttrId(b))))
+            .collect();
+        let mut eq = EqClasses::from_conjuncts(&conjuncts);
+        let mut naive = NaivePartition::default();
+        for &(a, b) in &pairs {
+            naive.union(a, b);
+        }
+        prop_assert_eq!(
+            eq.same(AttrId(probe.0), AttrId(probe.1)),
+            naive.same(probe.0, probe.1)
+        );
+    }
+
+    #[test]
+    fn non_equality_conjuncts_do_not_merge(
+        a in 0u32..10, b in 10u32..20,
+    ) {
+        // A less-than predicate must not equate attributes.
+        let conjuncts = vec![Expr::attr(AttrId(a)).lt(Expr::attr(AttrId(b)))];
+        let mut eq = EqClasses::from_conjuncts(&conjuncts);
+        prop_assert!(!eq.same(AttrId(a), AttrId(b)));
+    }
+}

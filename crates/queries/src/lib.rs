@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+//! # sip-queries
+//!
+//! The complete experimental workload of Table I: five query families over
+//! the TPC-H-shaped schema, each with the paper's selectivity variants,
+//! plus the running-example query of Fig. 1.
+//!
+//! Constants that encode absolute selectivities in the paper (`l_partkey <
+//! 1000` against 200 k parts, `l_suppkey < 1000` against 10 k suppliers)
+//! are expressed as *fractions of the generated domain* so that every
+//! variant keeps the paper's selectivity at any scale factor; each builder
+//! documents its scaling.
+
+pub mod example;
+pub mod ibm;
+pub mod tpch17;
+pub mod tpch2;
+pub mod tpch5;
+pub mod tpch9;
+
+use sip_common::{Result, SipError};
+use sip_core::QuerySpec;
+use sip_data::Catalog;
+
+/// Descriptor for one catalog query.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryDef {
+    /// The paper's id (`Q1A` ... `Q5B`, `EX`).
+    pub id: &'static str,
+    /// Query family (`TPCH-2`, `TPCH-17`, `IBM`, `TPCH-5`, `TPCH-9`, `Fig.1`).
+    pub family: &'static str,
+    /// Variant description from Table I.
+    pub description: &'static str,
+    /// SQL text (as in Table I, modulo scale-fraction constants).
+    pub sql: &'static str,
+    /// Runs against the Zipf-skewed data set.
+    pub skewed_data: bool,
+    /// Table fetched from a remote site in the distributed experiments.
+    pub remote_table: Option<&'static str>,
+}
+
+/// Every query of Table I plus the running example.
+pub fn all_queries() -> Vec<QueryDef> {
+    let mut v = Vec::new();
+    v.extend(tpch2::DEFS);
+    v.extend(tpch17::DEFS);
+    v.extend(ibm::DEFS);
+    v.extend(tpch5::DEFS);
+    v.extend(tpch9::DEFS);
+    v.push(example::DEF);
+    v
+}
+
+/// Look up a descriptor by id.
+pub fn query_def(id: &str) -> Result<QueryDef> {
+    all_queries()
+        .into_iter()
+        .find(|q| q.id.eq_ignore_ascii_case(id))
+        .ok_or_else(|| SipError::Config(format!("unknown query id {id:?}")))
+}
+
+/// Build the logical plan for a query id against a catalog.
+pub fn build_query(id: &str, catalog: &Catalog) -> Result<QuerySpec> {
+    match id.to_ascii_uppercase().as_str() {
+        "Q1A" | "Q1B" | "Q1C" => tpch2::build(catalog, tpch2::Variant::Normal),
+        "Q1D" => tpch2::build(catalog, tpch2::Variant::ChildWeaker),
+        "Q1E" => tpch2::build(catalog, tpch2::Variant::ParentWeaker),
+        "Q2A" | "Q2B" => tpch17::build(catalog, tpch17::Variant::Normal),
+        "Q2C" => tpch17::build(catalog, tpch17::Variant::ParentStronger),
+        "Q2D" => tpch17::build(catalog, tpch17::Variant::ChildStronger),
+        "Q2E" => tpch17::build(catalog, tpch17::Variant::ParentWeaker),
+        "Q3A" | "Q3B" | "Q3C" => ibm::build(catalog, ibm::Variant::Normal),
+        "Q3D" => ibm::build(catalog, ibm::Variant::ChildWeaker),
+        "Q3E" => ibm::build(catalog, ibm::Variant::ParentWeaker),
+        "Q4A" => tpch5::build(catalog, tpch5::Variant::Normal),
+        "Q4B" => tpch5::build(catalog, tpch5::Variant::FewerSuppliers),
+        "Q5A" => tpch9::build(catalog, tpch9::Variant::Normal),
+        "Q5B" => tpch9::build(catalog, tpch9::Variant::FewerNations),
+        "EX" => example::build(catalog),
+        other => Err(SipError::Config(format!("unknown query id {other:?}"))),
+    }
+}
+
+/// A fraction of a table's key domain, used to scale the paper's absolute
+/// key-range constants (`< 1000`) to any scale factor.
+pub(crate) fn key_cut(catalog: &Catalog, table: &str, fraction: f64) -> i64 {
+    let n = catalog
+        .get(table)
+        .map(|t| t.len() as f64)
+        .unwrap_or(1000.0);
+    ((n * fraction).round() as i64).max(2)
+}

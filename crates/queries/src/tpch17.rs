@@ -1,0 +1,171 @@
+//! TPC-H Query 17 family: Q2A (normal), Q2B (skewed data), Q2C (parent
+//! stronger), Q2D (child stronger), Q2E (parent weaker).
+//!
+//! `l_quantity < (select 0.2 * avg(l_quantity) from lineitem l2 where
+//! l2.l_partkey = p_partkey)` decorrelates into a per-partkey AVG
+//! aggregation over a second lineitem scan, joined back on partkey with the
+//! quantity residual.
+
+use crate::{key_cut, QueryDef};
+use sip_common::Result;
+use sip_core::QuerySpec;
+use sip_data::Catalog;
+use sip_expr::{AggFunc, CmpOp, Expr};
+use sip_plan::QueryBuilder;
+
+/// The Q2 variants of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Q2A/Q2B.
+    Normal,
+    /// Q2C: parent additionally restricted to the low 0.5% of partkeys
+    /// (the paper's `l_partkey < 1000` against 200 k parts).
+    ParentStronger,
+    /// Q2D: child restricted the same way (`p_partkey < 1000` in Table I,
+    /// applied to the subquery's lineitem).
+    ChildStronger,
+    /// Q2E: parent omits the `p_brand` predicate.
+    ParentWeaker,
+}
+
+/// Descriptors for the family.
+pub const DEFS: [QueryDef; 5] = [
+    QueryDef {
+        id: "Q2A",
+        family: "TPCH-17",
+        description: "normal",
+        sql: SQL,
+        skewed_data: false,
+        remote_table: None,
+    },
+    QueryDef {
+        id: "Q2B",
+        family: "TPCH-17",
+        description: "skewed data (Zipf z=0.5)",
+        sql: SQL,
+        skewed_data: true,
+        remote_table: None,
+    },
+    QueryDef {
+        id: "Q2C",
+        family: "TPCH-17",
+        description: "parent stronger: parent l_partkey in lowest 0.5% of keys",
+        sql: SQL,
+        skewed_data: false,
+        remote_table: None,
+    },
+    QueryDef {
+        id: "Q2D",
+        family: "TPCH-17",
+        description: "child stronger: child partkey in lowest 0.5% of keys",
+        sql: SQL,
+        skewed_data: false,
+        remote_table: None,
+    },
+    QueryDef {
+        id: "Q2E",
+        family: "TPCH-17",
+        description: "parent weaker: omit p_brand predicate",
+        sql: SQL,
+        skewed_data: false,
+        remote_table: None,
+    },
+];
+
+const SQL: &str = "select sum(l_extendedprice) / 7.0 from lineitem, part where p_partkey = \
+l_partkey and p_brand = 'Brand#34' and p_container = 'MED CAN' and l_quantity < (select 0.2 \
+* avg(l_quantity) from lineitem where l_partkey = p_partkey)";
+
+/// Build a Q2 variant.
+pub fn build(catalog: &Catalog, variant: Variant) -> Result<QuerySpec> {
+    // The paper's absolute `< 1000` cut over 200 k parts = 0.5% of keys.
+    let cut = key_cut(catalog, "part", 0.005);
+    let mut q = QueryBuilder::new(catalog);
+
+    let p = q.scan("part", "p", &["p_partkey", "p_brand", "p_container"])?;
+    let p_pred = match variant {
+        Variant::ParentWeaker => p.col("p_container")?.eq(Expr::lit("MED CAN")),
+        _ => p
+            .col("p_brand")?
+            .eq(Expr::lit("Brand#34"))
+            .and(p.col("p_container")?.eq(Expr::lit("MED CAN"))),
+    };
+    let p = q.filter(p, p_pred);
+
+    let l = q.scan("lineitem", "l", &["l_partkey", "l_quantity", "l_extendedprice"])?;
+    let l = match variant {
+        Variant::ParentStronger => {
+            let pred = l.col("l_partkey")?.cmp(CmpOp::Lt, Expr::lit(cut));
+            q.filter(l, pred)
+        }
+        _ => l,
+    };
+    let pl = q.join(p, l, &[("p.p_partkey", "l.l_partkey")])?;
+
+    let l2 = q.scan("lineitem", "l2", &["l_partkey", "l_quantity"])?;
+    let l2 = match variant {
+        Variant::ChildStronger => {
+            let pred = l2.col("l_partkey")?.cmp(CmpOp::Lt, Expr::lit(cut));
+            q.filter(l2, pred)
+        }
+        _ => l2,
+    };
+    let qty = l2.col("l_quantity")?;
+    let avg = q.aggregate(l2, &["l_partkey"], &[(AggFunc::Avg, qty, "avg_qty")])?;
+
+    let residual = pl
+        .col("l.l_quantity")?
+        .cmp(CmpOp::Lt, Expr::lit(0.2f64).mul(avg.col("avg_qty")?));
+    let joined = q.join_residual(
+        pl,
+        avg,
+        &[("p.p_partkey", "l2.l_partkey")],
+        Some(residual),
+    )?;
+    let price = joined.col("l.l_extendedprice")?;
+    let total = q.aggregate(joined, &[], &[(AggFunc::Sum, price, "sum_price")])?;
+    // Final `sum(l_extendedprice) / 7.0` projection.
+    let div = total.col("sum_price")?.div(Expr::lit(7.0f64));
+    let result = q.project(total, &[(div, "avg_yearly", sip_common::DataType::Float)])?;
+    QuerySpec::new(result.into_plan(), q.into_attrs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_data::{generate, TpchConfig};
+
+    #[test]
+    fn all_variants_validate() {
+        let c = generate(&TpchConfig::uniform(0.005)).unwrap();
+        for v in [
+            Variant::Normal,
+            Variant::ParentStronger,
+            Variant::ChildStronger,
+            Variant::ParentWeaker,
+        ] {
+            let spec = build(&c, v).unwrap();
+            spec.plan.validate().unwrap();
+            assert_eq!(spec.plan.output_attrs().len(), 1, "{v:?}");
+            assert_eq!(spec.plan.bindings(), vec!["p", "l", "l2"], "{v:?}");
+        }
+    }
+
+    #[test]
+    fn normal_produces_single_row() {
+        let c = generate(&TpchConfig::uniform(0.01)).unwrap();
+        let spec = build(&c, Variant::Normal).unwrap();
+        let phys = spec.lower(&c, sip_core::Strategy::Baseline).unwrap();
+        let rows = sip_engine::execute_oracle(&phys).unwrap();
+        assert_eq!(rows.len(), 1); // global aggregate: one row
+    }
+
+    #[test]
+    fn parent_weaker_keeps_container_only() {
+        let c = generate(&TpchConfig::uniform(0.005)).unwrap();
+        let spec = build(&c, Variant::ParentWeaker).unwrap();
+        let text = spec.plan.display(&spec.attrs);
+        assert!(text.contains("MED CAN"));
+        assert!(!text.contains("Brand#34"));
+    }
+}

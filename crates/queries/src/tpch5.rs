@@ -1,0 +1,140 @@
+//! TPC-H Query 5 family (single-block, many-way join): Q4A (normal), Q4B
+//! (fewer suppliers).
+
+use crate::{key_cut, QueryDef};
+use sip_common::Result;
+use sip_core::QuerySpec;
+use sip_data::Catalog;
+use sip_expr::{AggFunc, CmpOp, Expr};
+use sip_plan::QueryBuilder;
+
+/// The Q4 variants of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Q4A.
+    Normal,
+    /// Q4B: lineitem restricted to the low 10% of supplier keys (the
+    /// paper's `l_suppkey < 1000` against 10 k suppliers).
+    FewerSuppliers,
+}
+
+/// Descriptors for the family.
+pub const DEFS: [QueryDef; 2] = [
+    QueryDef {
+        id: "Q4A",
+        family: "TPCH-5",
+        description: "normal",
+        sql: SQL,
+        skewed_data: false,
+        remote_table: None,
+    },
+    QueryDef {
+        id: "Q4B",
+        family: "TPCH-5",
+        description: "fewer suppliers: l_suppkey in lowest 10% of keys",
+        sql: SQL,
+        skewed_data: false,
+        remote_table: None,
+    },
+];
+
+const SQL: &str = "select n_name, sum(l_extendedprice * (1 - l_discount)) from customer, \
+orders, lineitem, supplier, nation, region where c_custkey = o_custkey and l_orderkey = \
+o_orderkey and l_suppkey = s_suppkey and c_nationkey = s_nationkey and s_nationkey = \
+n_nationkey and n_regionkey = r_regionkey and r_name = 'MIDDLE EAST' and o_orderdate >= \
+'1995-01-01' and o_orderdate < '1996-01-01' group by n_name";
+
+/// Build a Q4 variant.
+pub fn build(catalog: &Catalog, variant: Variant) -> Result<QuerySpec> {
+    let supp_cut = key_cut(catalog, "supplier", 0.10);
+    let mut q = QueryBuilder::new(catalog);
+
+    // Left bushy side: customer ⋈ orders(σ date) ⋈ lineitem.
+    let cst = q.scan("customer", "c", &["c_custkey", "c_nationkey"])?;
+    let o = q.scan("orders", "o", &["o_orderkey", "o_custkey", "o_orderdate"])?;
+    let date_lo = Expr::lit(sip_common::Date::parse("1995-01-01").unwrap());
+    let date_hi = Expr::lit(sip_common::Date::parse("1996-01-01").unwrap());
+    let o_pred = o
+        .col("o_orderdate")?
+        .ge(date_lo)
+        .and(o.col("o_orderdate")?.cmp(CmpOp::Lt, date_hi));
+    let o = q.filter(o, o_pred);
+    let co = q.join(cst, o, &[("c.c_custkey", "o.o_custkey")])?;
+    let l = q.scan(
+        "lineitem",
+        "l",
+        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+    )?;
+    let l = match variant {
+        Variant::FewerSuppliers => {
+            let pred = l.col("l_suppkey")?.cmp(CmpOp::Lt, Expr::lit(supp_cut));
+            q.filter(l, pred)
+        }
+        Variant::Normal => l,
+    };
+    let col = q.join(co, l, &[("o.o_orderkey", "l.l_orderkey")])?;
+
+    // Right bushy side: supplier ⋈ (nation ⋈ region(σ)).
+    let s = q.scan("supplier", "s", &["s_suppkey", "s_nationkey"])?;
+    let n = q.scan("nation", "n", &["n_nationkey", "n_name", "n_regionkey"])?;
+    let r = q.scan("region", "r", &["r_regionkey", "r_name"])?;
+    let r_pred = r.col("r_name")?.eq(Expr::lit("MIDDLE EAST"));
+    let r = q.filter(r, r_pred);
+    let nr = q.join(n, r, &[("n.n_regionkey", "r.r_regionkey")])?;
+    let snr = q.join(s, nr, &[("s.s_nationkey", "n.n_nationkey")])?;
+
+    // Top join: supplier key AND the customer-supplier nation equality.
+    let joined = q.join(
+        col,
+        snr,
+        &[
+            ("l.l_suppkey", "s.s_suppkey"),
+            ("c.c_nationkey", "s.s_nationkey"),
+        ],
+    )?;
+    let revenue = joined
+        .col("l_extendedprice")?
+        .mul(Expr::lit(1.0f64).sub(joined.col("l_discount")?));
+    let agg = q.aggregate(joined, &["n_name"], &[(AggFunc::Sum, revenue, "revenue")])?;
+    QuerySpec::new(agg.into_plan(), q.into_attrs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_data::{generate, TpchConfig};
+
+    #[test]
+    fn variants_validate() {
+        let c = generate(&TpchConfig::uniform(0.005)).unwrap();
+        for v in [Variant::Normal, Variant::FewerSuppliers] {
+            let spec = build(&c, v).unwrap();
+            spec.plan.validate().unwrap();
+            assert_eq!(spec.plan.output_attrs().len(), 2, "{v:?}");
+            assert_eq!(spec.plan.bindings().len(), 6, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn produces_grouped_rows() {
+        let c = generate(&TpchConfig::uniform(0.01)).unwrap();
+        let spec = build(&c, Variant::Normal).unwrap();
+        let phys = spec.lower(&c, sip_core::Strategy::Baseline).unwrap();
+        let rows = sip_engine::execute_oracle(&phys).unwrap();
+        assert!(!rows.is_empty());
+        // At most 5 nations in the MIDDLE EAST region.
+        assert!(rows.len() <= 5, "{}", rows.len());
+    }
+
+    #[test]
+    fn fewer_suppliers_is_subset_sized() {
+        let c = generate(&TpchConfig::uniform(0.01)).unwrap();
+        let a = build(&c, Variant::Normal).unwrap();
+        let b = build(&c, Variant::FewerSuppliers).unwrap();
+        let ra = sip_engine::execute_oracle(&a.lower(&c, sip_core::Strategy::Baseline).unwrap())
+            .unwrap();
+        let rb = sip_engine::execute_oracle(&b.lower(&c, sip_core::Strategy::Baseline).unwrap())
+            .unwrap();
+        assert!(rb.len() <= ra.len());
+    }
+}

@@ -1,0 +1,42 @@
+//! Wide-area scenario (§VI-B): the PARTSUPP relation is delayed 100 ms and
+//! rate-limited (5 ms per 1000 tuples). Push engines tolerate the delay by
+//! working elsewhere in the bushy plan; AIP exploits it — the undelayed
+//! subexpressions complete first and their AIP sets prune the late data on
+//! arrival.
+//!
+//! ```text
+//! cargo run --release --example delayed_sources
+//! ```
+
+use sip::core::{run_query, AipConfig, Strategy};
+use sip::data::{generate, TpchConfig};
+use sip::engine::{DelayModel, ExecOptions};
+use sip::queries::build_query;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = generate(&TpchConfig::uniform(0.02))?;
+    let spec = build_query("Q1A", &catalog)?;
+    println!("TPC-H Q2 (Q1A) with PARTSUPP delayed 100 ms + 5 ms/1000 tuples\n");
+    println!(
+        "{:<14} {:>9} {:>12} {:>9} {:>12}",
+        "strategy", "time", "peak state", "filters", "rows pruned"
+    );
+    for strategy in Strategy::ALL {
+        let opts = ExecOptions::default().with_delay("partsupp", DelayModel::paper_delayed());
+        let out = run_query(&spec, &catalog, strategy, opts, &AipConfig::paper())?;
+        println!(
+            "{:<14} {:>8.1?} {:>12} {:>9} {:>12}",
+            strategy.name(),
+            out.metrics.wall_time,
+            sip::common::bytes::human_bytes(out.metrics.peak_state_bytes),
+            out.metrics.filters_injected,
+            out.metrics.aip_dropped_total,
+        );
+    }
+    println!(
+        "\nAs in the paper's Figs. 9/11: delays compress the running-time gaps\n\
+         (I/O dominates), but the state savings persist — valuable when many\n\
+         queries share memory."
+    );
+    Ok(())
+}

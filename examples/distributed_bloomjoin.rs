@@ -1,0 +1,51 @@
+//! Distributed AIP as an adaptive Bloomjoin (§V-B, §VI-C): PARTSUPP lives
+//! on a remote site behind a simulated 100 Mbps link. With AIP, the master
+//! ships a Bloom filter of the locally-completed subexpression to the site,
+//! which prunes tuples *before* they cross the link.
+//!
+//! ```text
+//! cargo run --release --example distributed_bloomjoin
+//! ```
+
+use sip::core::{AipConfig, Strategy};
+use sip::data::{generate, TpchConfig};
+use sip::engine::ExecOptions;
+use sip::net::{run_distributed, LinkSpec, RemoteConfig};
+use sip::queries::build_query;
+use std::sync::atomic::Ordering;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = generate(&TpchConfig::uniform(0.02))?;
+    let spec = build_query("Q3C", &catalog)?;
+    let remote = RemoteConfig::new("partsupp", LinkSpec::lan_100mbps());
+    println!("IBM query (Q3C) with PARTSUPP fetched over a 100 Mbps link\n");
+    println!(
+        "{:<14} {:>9} {:>12} {:>12} {:>14} {:>14}",
+        "strategy", "time", "rows sent", "pruned@site", "row MB", "filter KB"
+    );
+    for strategy in [Strategy::Baseline, Strategy::FeedForward, Strategy::CostBased] {
+        let run = run_distributed(
+            &spec,
+            &catalog,
+            strategy,
+            ExecOptions::default(),
+            &AipConfig::paper(),
+            &remote,
+        )?;
+        println!(
+            "{:<14} {:>8.1?} {:>12} {:>12} {:>14.2} {:>14.1}",
+            strategy.name(),
+            run.output.metrics.wall_time,
+            run.net.rows_shipped.load(Ordering::Relaxed),
+            run.net.rows_pruned_remote.load(Ordering::Relaxed),
+            run.net.row_bytes.load(Ordering::Relaxed) as f64 / 1e6,
+            run.net.filter_bytes.load(Ordering::Relaxed) as f64 / 1e3,
+        );
+    }
+    println!(
+        "\nAIP derives the Bloomjoin's savings adaptively: the filter is only\n\
+         built and shipped once a local subexpression has actually completed,\n\
+         and the cost-based manager prices the transfer against the link."
+    );
+    Ok(())
+}

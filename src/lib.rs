@@ -1,0 +1,48 @@
+//! # sip — Sideways Information Passing for Push-Style Query Processing
+//!
+//! A from-scratch Rust reproduction of Ives & Taylor (ICDE 2008): a
+//! multithreaded push-style query engine with **adaptive information
+//! passing (AIP)** — runtime construction and injection of Bloom-filter /
+//! hash-set semijoins from completed subexpression state into correlated
+//! parts of a bushy plan, across blocking operators.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`common`] — values, rows, schemas, ids, hashing.
+//! * [`filter`] — Bloom filters and AIP-set summaries.
+//! * [`expr`] — scalar expressions and aggregates.
+//! * [`data`] — TPC-H-shaped generators (uniform and Zipf-skewed) + catalog.
+//! * [`plan`] — logical plans, attribute equivalence, source-predicate graph.
+//! * [`optimizer`] — cardinality estimation, cost model, magic-sets rewrite.
+//! * [`engine`] — the push executor (pipelined hash joins, taps, metrics).
+//! * [`core`] — the AIP algorithms (feed-forward §IV-A, cost-based §IV-B).
+//! * [`net`] — simulated multi-site execution and filter shipping.
+//! * [`queries`] — the Table I workload catalog.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sip::core::{run_query, AipConfig, Strategy};
+//! use sip::data::{generate, TpchConfig};
+//! use sip::engine::ExecOptions;
+//! use sip::queries::build_query;
+//!
+//! let catalog = generate(&TpchConfig::uniform(0.005)).unwrap();
+//! let spec = build_query("Q2A", &catalog).unwrap();
+//! let out = run_query(&spec, &catalog, Strategy::FeedForward,
+//!                     ExecOptions::default(), &AipConfig::paper()).unwrap();
+//! println!("{} rows in {:?}, peak state {} bytes",
+//!          out.metrics.rows_out, out.metrics.wall_time,
+//!          out.metrics.peak_state_bytes);
+//! ```
+
+pub use sip_common as common;
+pub use sip_core as core;
+pub use sip_data as data;
+pub use sip_engine as engine;
+pub use sip_expr as expr;
+pub use sip_filter as filter;
+pub use sip_net as net;
+pub use sip_optimizer as optimizer;
+pub use sip_plan as plan;
+pub use sip_queries as queries;

@@ -1,0 +1,100 @@
+//! Randomized differential testing: small synthetic join/aggregate plans
+//! with random data and random predicates, executed by the threaded engine
+//! under every strategy, must match the single-threaded oracle.
+
+use proptest::prelude::*;
+use sip::core::{run_query, AipConfig, QuerySpec, Strategy};
+use sip::data::{Catalog, Table};
+use sip::engine::{canonical, execute_oracle, ExecOptions};
+use sip::expr::{AggFunc, CmpOp, Expr};
+use sip::plan::QueryBuilder;
+use sip::common::{DataType, Field, Row, Schema, Value};
+
+/// Build a tiny catalog with two fact tables and a dimension, from raw
+/// integer tuples chosen by proptest.
+fn mini_catalog(facts: &[(i64, i64)], dims: &[(i64, i64)]) -> Catalog {
+    let fact_schema = Schema::new(vec![
+        Field::new("f_key", DataType::Int),
+        Field::new("f_val", DataType::Int),
+    ]);
+    let dim_schema = Schema::new(vec![
+        Field::new("d_key", DataType::Int),
+        Field::new("d_weight", DataType::Int),
+    ]);
+    let fact_rows: Vec<Row> = facts
+        .iter()
+        .map(|&(k, v)| Row::new(vec![Value::Int(k), Value::Int(v)]))
+        .collect();
+    let dim_rows: Vec<Row> = dims
+        .iter()
+        .map(|&(k, w)| Row::new(vec![Value::Int(k), Value::Int(w)]))
+        .collect();
+    let mut c = Catalog::new();
+    c.add(Table::new("fact", fact_schema, vec![], vec![], fact_rows).unwrap());
+    c.add(Table::new("dim", dim_schema, vec![0], vec![], dim_rows).unwrap());
+    c
+}
+
+/// fact ⋈ dim ⋈ (sum of f_val per key) with a random residual threshold —
+/// the Fig. 1 shape in miniature.
+fn mini_query(c: &Catalog, dim_cut: i64, sum_cut: i64) -> QuerySpec {
+    let mut q = QueryBuilder::new(c);
+    let f = q.scan("fact", "f", &["f_key", "f_val"]).unwrap();
+    let d = q.scan("dim", "d", &["d_key", "d_weight"]).unwrap();
+    let d_pred = d.col("d_weight").unwrap().cmp(CmpOp::Lt, Expr::lit(dim_cut));
+    let d = q.filter(d, d_pred);
+    let fd = q.join(f, d, &[("f.f_key", "d.d_key")]).unwrap();
+
+    let f2 = q.scan("fact", "f2", &["f_key", "f_val"]).unwrap();
+    let val = f2.col("f_val").unwrap();
+    let sums = q
+        .aggregate(f2, &["f_key"], &[(AggFunc::Sum, val, "total")])
+        .unwrap();
+    let residual = fd
+        .col("f.f_val")
+        .unwrap()
+        .add(Expr::lit(sum_cut))
+        .cmp(CmpOp::Lt, Expr::attr(sums.attr("total").unwrap()));
+    let joined = q
+        .join_residual(fd, sums, &[("f.f_key", "f2.f_key")], Some(residual))
+        .unwrap();
+    let out = q
+        .project_cols(joined, &["f.f_key", "f.f_val", "total"])
+        .unwrap();
+    QuerySpec::new(out.into_plan(), q.into_attrs()).unwrap()
+}
+
+proptest! {
+    // Each case spins up threads for four strategies; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_plans_agree_with_oracle(
+        facts in prop::collection::vec((0i64..30, -50i64..50), 1..120),
+        dims in prop::collection::vec((0i64..30, -50i64..50), 1..40),
+        dim_cut in -40i64..40,
+        sum_cut in -100i64..100,
+        batch in 1usize..64,
+    ) {
+        let catalog = mini_catalog(&facts, &dims);
+        let spec = mini_query(&catalog, dim_cut, sum_cut);
+        let phys = spec.lower(&catalog, Strategy::Baseline).unwrap();
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        for strategy in Strategy::ALL {
+            let opts = ExecOptions {
+                batch_size: batch,
+                channel_capacity: 2,
+                ..Default::default()
+            };
+            let out = run_query(&spec, &catalog, strategy, opts, &AipConfig::paper()).unwrap();
+            prop_assert_eq!(
+                canonical(&out.rows),
+                expected.clone(),
+                "strategy {} diverged (facts={}, dims={})",
+                strategy,
+                facts.len(),
+                dims.len()
+            );
+        }
+    }
+}
