@@ -9,18 +9,22 @@ use sip_filter::{AipSetBuilder, AipSetKind, BloomFilter};
 fn bench_bloom_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("bloom_insert");
     for k in [1u32, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
-            b.iter_batched(
-                || BloomFilter::with_fpr(100_000, 0.05, k),
-                |mut f| {
-                    for i in 0..10_000u64 {
-                        f.insert(fx_hash64(&i));
-                    }
-                    f
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k={k}")),
+            &k,
+            |b, &k| {
+                b.iter_batched(
+                    || BloomFilter::with_fpr(100_000, 0.05, k),
+                    |mut f| {
+                        for i in 0..10_000u64 {
+                            f.insert(fx_hash64(&i));
+                        }
+                        f
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }

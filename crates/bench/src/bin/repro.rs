@@ -51,10 +51,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --batch: {e}"))?
             }
+            "--dop" => {
+                config.dop = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --dop: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--figure all|table1|fig1|fig2|fig5|fig6|fig9|fig10|fig13|\
-overhead|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] [--repeats N] [--seed S] [--batch N]"
+overhead|scaling|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] [--repeats N] [--seed S] \
+[--batch N] [--dop N]\n\n\
+  --dop N   max degree of partition parallelism swept by the `scaling`\n\
+            benchmark (powers of two up to N; default 4, 1 = serial only)"
                 );
                 std::process::exit(0);
             }
@@ -135,6 +143,7 @@ fn main() -> ExitCode {
             .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
     );
     section("overhead", harness.overhead().map(|r| r.to_markdown()));
+    section("scaling", harness.scaling().map(|r| r.to_markdown()));
     section(
         "ablation-sets",
         harness.ablation_sets().map(|r| r.to_markdown()),

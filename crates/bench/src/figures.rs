@@ -1,6 +1,6 @@
 //! Per-figure experiment runners.
 
-use crate::measure::{ci95, mean, measure, ExperimentConfig, Measurement};
+use crate::measure::{ci95, mean, measure, measure_dop, ExperimentConfig, Measurement};
 use sip_common::Result;
 use sip_core::{AipConfig, FeedForward, QuerySpec, Strategy};
 use sip_data::{generate, Catalog, TpchConfig};
@@ -49,7 +49,10 @@ impl FigureReport {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
-        let _ = writeln!(out, "| query | strategy | time (s) | ±95% | state (MB) | rows | notes |");
+        let _ = writeln!(
+            out,
+            "| query | strategy | time (s) | ±95% | state (MB) | rows | notes |"
+        );
         let _ = writeln!(out, "|---|---|---|---|---|---|---|");
         for r in &self.rows {
             let _ = writeln!(
@@ -134,8 +137,14 @@ impl Harness {
         let rows = self.run_set(&FIG5_QUERIES, &Strategy::ALL, &[])?;
         Ok(split_time_space(
             rows,
-            ("fig5", "Running times: variations on TPC-H Query 2 and the IBM query"),
-            ("fig7", "Space usage: variations on TPC-H Query 2 and IBM variant"),
+            (
+                "fig5",
+                "Running times: variations on TPC-H Query 2 and the IBM query",
+            ),
+            (
+                "fig7",
+                "Space usage: variations on TPC-H Query 2 and IBM variant",
+            ),
             vec![],
         ))
     }
@@ -158,8 +167,14 @@ impl Harness {
         let rows = self.run_set(&FIG5_QUERIES, &Strategy::ALL, &delays)?;
         Ok(split_time_space(
             rows,
-            ("fig9", "Running times with delayed PARTSUPP: TPC-H Query 2 and IBM variants"),
-            ("fig11", "Space usage under delay: TPC-H Query 2 and IBM variants"),
+            (
+                "fig9",
+                "Running times with delayed PARTSUPP: TPC-H Query 2 and IBM variants",
+            ),
+            (
+                "fig11",
+                "Space usage under delay: TPC-H Query 2 and IBM variants",
+            ),
             vec![],
         ))
     }
@@ -172,18 +187,23 @@ impl Harness {
         let rows = self.run_set(&FIG6_QUERIES, &Strategy::ALL, &delays)?;
         Ok(split_time_space(
             rows,
-            ("fig10", "Running times with delayed large input: TPC-H Query 17 variants"),
+            (
+                "fig10",
+                "Running times with delayed large input: TPC-H Query 17 variants",
+            ),
             ("fig12", "Space usage under delay: TPC-H Query 17 variants"),
-            vec![
-                "Q17 has no PARTSUPP; LINEITEM (its large input) is delayed instead.".into(),
-            ],
+            vec!["Q17 has no PARTSUPP; LINEITEM (its large input) is delayed instead.".into()],
         ))
     }
 
     /// Figures 13 (times) and 14 (space): join queries Q4/Q5 locally and
     /// Q3C/Q1C with PARTSUPP fetched over a simulated 100 Mbps link.
     pub fn fig13_14(&self) -> Result<(FigureReport, FigureReport)> {
-        let strategies = [Strategy::Baseline, Strategy::FeedForward, Strategy::CostBased];
+        let strategies = [
+            Strategy::Baseline,
+            Strategy::FeedForward,
+            Strategy::CostBased,
+        ];
         let mut rows = self.run_set(&["Q4A", "Q5A", "Q4B", "Q5B"], &strategies, &[])?;
         for id in ["Q3C", "Q1C"] {
             let catalog = self.catalog_for(id)?;
@@ -200,7 +220,10 @@ impl Harness {
         }
         Ok(split_time_space(
             rows,
-            ("fig13", "Running times for join and distributed join queries"),
+            (
+                "fig13",
+                "Running times for join and distributed join queries",
+            ),
             ("fig14", "Space usage for join and distributed join queries"),
             vec!["Q3C/Q1C fetch PARTSUPP over a simulated 100 Mbps link.".into()],
         ))
@@ -320,6 +343,59 @@ impl Harness {
         })
     }
 
+    /// Partition-parallel scaling (`sip-parallel`): the Fig. 1 running
+    /// example over skewed data with the paper's slow-source delay model,
+    /// swept over dop ∈ {1, 2, 4, ..., `--dop`}. Partition pushdown lets
+    /// the partitioned scans overlap source latency, and each worker's AIP
+    /// taps report their own probe/drop counters.
+    pub fn scaling(&self) -> Result<FigureReport> {
+        let id = "EX";
+        let catalog = &self.skewed;
+        let spec = build_query(id, catalog)?;
+        let delays = [
+            ("l", DelayModel::paper_delayed()),
+            ("ps1", DelayModel::paper_delayed()),
+            ("ps2", DelayModel::paper_delayed()),
+        ];
+        let mut dops = vec![1u32];
+        let mut d = 2;
+        while d <= self.config.dop.max(1) {
+            dops.push(d);
+            d *= 2;
+        }
+        let mut rows = Vec::new();
+        let mut notes = Vec::new();
+        let mut base = None;
+        for dop in dops {
+            let (m, workers) = measure_dop(
+                &spec,
+                catalog,
+                Strategy::FeedForward,
+                &self.config,
+                &AipConfig::paper(),
+                &delays,
+                dop,
+            )?;
+            let speedup = match base {
+                None => {
+                    base = Some(m.secs_mean);
+                    1.0
+                }
+                Some(b) => b / m.secs_mean,
+            };
+            let mut r = to_row(id, &format!("FF dop={dop}"), &m);
+            r.extra = format!("{} filters, speedup {speedup:.2}x", m.filters.round());
+            rows.push(r);
+            notes.extend(workers);
+        }
+        Ok(FigureReport {
+            id: "scaling".into(),
+            title: "sip-parallel: partition-parallel scaling on slow sources".into(),
+            rows,
+            notes,
+        })
+    }
+
     /// §V preliminary experiment: Bloom-filter vs hash-set AIP sets.
     pub fn ablation_sets(&self) -> Result<FigureReport> {
         let mut rows = Vec::new();
@@ -330,7 +406,14 @@ impl Harness {
                 ("FF/bloom", AipConfig::paper()),
                 ("FF/hash", AipConfig::hash_sets()),
             ] {
-                let m = measure(&spec, catalog, Strategy::FeedForward, &self.config, &cfg, &[])?;
+                let m = measure(
+                    &spec,
+                    catalog,
+                    Strategy::FeedForward,
+                    &self.config,
+                    &cfg,
+                    &[],
+                )?;
                 rows.push(to_row(id, label, &m));
             }
         }
@@ -339,8 +422,7 @@ impl Harness {
             title: "AIP-set representation: Bloom filters vs exact hash sets".into(),
             rows,
             notes: vec![
-                "The paper found Bloom filters superior overall and shipped only them (§V)."
-                    .into(),
+                "The paper found Bloom filters superior overall and shipped only them (§V).".into(),
             ],
         })
     }
@@ -356,7 +438,14 @@ impl Harness {
                 fpr,
                 ..AipConfig::paper()
             };
-            let m = measure(&spec, catalog, Strategy::FeedForward, &self.config, &cfg, &[])?;
+            let m = measure(
+                &spec,
+                catalog,
+                Strategy::FeedForward,
+                &self.config,
+                &cfg,
+                &[],
+            )?;
             let mut r = to_row(id, "Feed-forward", &m);
             r.extra = format!("fpr={fpr}");
             rows.push(r);
@@ -375,12 +464,22 @@ impl Harness {
         let id = "Q2A";
         let catalog = self.catalog_for(id)?;
         let spec = build_query(id, catalog)?;
-        for (label, kind) in [("FF/bloom", AipSetKind::Bloom), ("FF/minmax", AipSetKind::MinMax)] {
+        for (label, kind) in [
+            ("FF/bloom", AipSetKind::Bloom),
+            ("FF/minmax", AipSetKind::MinMax),
+        ] {
             let cfg = AipConfig {
                 set_kind: kind,
                 ..AipConfig::paper()
             };
-            let m = measure(&spec, catalog, Strategy::FeedForward, &self.config, &cfg, &[])?;
+            let m = measure(
+                &spec,
+                catalog,
+                Strategy::FeedForward,
+                &self.config,
+                &cfg,
+                &[],
+            )?;
             rows.push(to_row(id, label, &m));
         }
         Ok(FigureReport {

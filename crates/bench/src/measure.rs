@@ -16,6 +16,9 @@ pub struct ExperimentConfig {
     pub repeats: usize,
     /// Batch size for the engine.
     pub batch_size: usize,
+    /// Maximum degree of parallelism swept by the `scaling` benchmark
+    /// (`--dop` on the repro CLI); 1 disables partition parallelism.
+    pub dop: u32,
 }
 
 impl Default for ExperimentConfig {
@@ -25,6 +28,7 @@ impl Default for ExperimentConfig {
             seed: 0xC0FFEE,
             repeats: 3,
             batch_size: 1024,
+            dop: 4,
         }
     }
 }
@@ -86,6 +90,68 @@ pub fn measure(
     })
 }
 
+/// Run one cell `repeats` times at a fixed degree of parallelism.
+///
+/// Returns the summary plus one per-worker metric line per partition of the
+/// final repeat (`aip_probed` / `aip_dropped` per worker), empty when the
+/// serial fallback ran.
+pub fn measure_dop(
+    spec: &QuerySpec,
+    catalog: &Catalog,
+    strategy: Strategy,
+    config: &ExperimentConfig,
+    aip: &AipConfig,
+    delays: &[(&str, DelayModel)],
+    dop: u32,
+) -> Result<(Measurement, Vec<String>)> {
+    let mut secs = Vec::with_capacity(config.repeats);
+    let mut state = Vec::with_capacity(config.repeats);
+    let mut filters = Vec::with_capacity(config.repeats);
+    let mut dropped = Vec::with_capacity(config.repeats);
+    let mut rows = 0u64;
+    let mut workers = Vec::new();
+    for _ in 0..config.repeats {
+        let mut opts = ExecOptions {
+            batch_size: config.batch_size,
+            collect_rows: false,
+            ..Default::default()
+        };
+        for (name, model) in delays {
+            opts = opts.with_delay(*name, model.clone());
+        }
+        let (out, map) = sip_core::run_query_dop(spec, catalog, strategy, opts, aip, dop)?;
+        secs.push(out.metrics.wall_time.as_secs_f64());
+        state.push(out.metrics.peak_state_mb());
+        filters.push(out.metrics.filters_injected as f64);
+        dropped.push(out.metrics.aip_dropped_total as f64);
+        rows = out.metrics.rows_out;
+        if let Some(map) = map {
+            workers = out
+                .metrics
+                .per_partition(&map)
+                .iter()
+                .map(|s| {
+                    format!(
+                        "dop {dop} worker {}: rows_out {} aip_probed {} aip_dropped {}",
+                        s.partition, s.rows_out, s.aip_probed, s.aip_dropped
+                    )
+                })
+                .collect();
+        }
+    }
+    Ok((
+        Measurement {
+            secs_mean: mean(&secs),
+            secs_ci95: ci95(&secs),
+            state_mb: mean(&state),
+            rows,
+            filters: mean(&filters),
+            dropped: mean(&dropped),
+        },
+        workers,
+    ))
+}
+
 pub(crate) fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
@@ -102,7 +168,9 @@ pub(crate) fn ci95(xs: &[f64]) -> f64 {
     let m = mean(xs);
     let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
     let se = (var / n as f64).sqrt();
-    const T: [f64; 9] = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262];
+    const T: [f64; 9] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    ];
     let t = T.get(n - 2).copied().unwrap_or(1.96);
     t * se
 }
@@ -123,8 +191,11 @@ mod tests {
 
     #[test]
     fn measure_runs_a_cell() {
+        // Use the Fig. 1 running example: its value-based predicates keep
+        // rows at any scale, unlike Q2A's ~1/1000 categorical part filter,
+        // which selects zero parts at tiny scale factors.
         let config = ExperimentConfig {
-            scale_factor: 0.003,
+            scale_factor: 0.01,
             repeats: 2,
             ..Default::default()
         };
@@ -134,7 +205,7 @@ mod tests {
             zipf_z: 0.0,
         })
         .unwrap();
-        let spec = sip_queries::build_query("Q2A", &catalog).unwrap();
+        let spec = sip_queries::build_query("EX", &catalog).unwrap();
         let m = measure(
             &spec,
             &catalog,

@@ -173,7 +173,14 @@ mod tests {
 
     #[test]
     fn invalid_literals_rejected() {
-        for s in ["", "1995", "1995-13-01", "1995-00-10", "1995-04-31", "x-y-z"] {
+        for s in [
+            "",
+            "1995",
+            "1995-13-01",
+            "1995-00-10",
+            "1995-04-31",
+            "x-y-z",
+        ] {
             assert!(Date::parse(s).is_err(), "{s} should fail");
         }
     }

@@ -110,6 +110,20 @@ pub fn double_hash(digest: u64, i: u32) -> u64 {
     h1.wrapping_add((i as u64).wrapping_mul(h2 | 1))
 }
 
+/// Map a key digest to one of `dop` hash partitions.
+///
+/// This is THE partitioning function of the workspace: partitioned scans,
+/// `Exchange` operators, and partition-scoped AIP filters must all agree on
+/// it, because a row filtered into partition `p` at a scan is only ever
+/// probed against partition `p`'s join state. The digest is mixed first for
+/// the same reason as in [`mix64`]'s docs: raw Fx digests of sequential
+/// keys are too regular to reduce modulo a small `dop`.
+#[inline]
+pub fn partition_of(digest: u64, dop: u32) -> u32 {
+    debug_assert!(dop > 0);
+    (mix64(digest) % dop.max(1) as u64) as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +140,23 @@ mod tests {
         assert_ne!(fx_hash64("a"), fx_hash64("b"));
         // Length disambiguation in the remainder path.
         assert_ne!(fx_hash64(&[0u8][..]), fx_hash64(&[0u8, 0u8][..]));
+    }
+
+    #[test]
+    fn partitions_cover_and_balance() {
+        let dop = 4u32;
+        let mut counts = [0usize; 4];
+        for key in 0..10_000u64 {
+            let p = partition_of(fx_hash64(&key), dop);
+            assert!(p < dop);
+            counts[p as usize] += 1;
+        }
+        for &c in &counts {
+            // Sequential keys must not collapse into few partitions.
+            assert!((1_500..4_000).contains(&c), "partition skew: {counts:?}");
+        }
+        // dop = 1 always maps to partition 0.
+        assert_eq!(partition_of(fx_hash64(&7u64), 1), 0);
     }
 
     #[test]

@@ -287,7 +287,10 @@ mod tests {
         let b = Value::str("FRANCE");
         assert_eq!(a, b);
         assert_eq!(a.hash64(), b.hash64());
-        assert_ne!(Value::str("FRANCE").hash64(), Value::str("GERMANY").hash64());
+        assert_ne!(
+            Value::str("FRANCE").hash64(),
+            Value::str("GERMANY").hash64()
+        );
     }
 
     #[test]
@@ -318,7 +321,11 @@ mod tests {
     fn hash_key_matches_row_key_hash() {
         use crate::row::Row;
         let vals = vec![Value::Int(42), Value::str("FRANCE")];
-        let row = Row::new(vec![Value::str("pad"), Value::Int(42), Value::str("FRANCE")]);
+        let row = Row::new(vec![
+            Value::str("pad"),
+            Value::Int(42),
+            Value::str("FRANCE"),
+        ]);
         assert_eq!(hash_key(&vals), row.key_hash(&[1, 2]));
         // And no length-prefix artifacts: single value matches too.
         assert_eq!(hash_key(&vals[..1]), row.key_hash(&[1]));

@@ -80,7 +80,8 @@ impl Candidates {
                     let class = eq.class(attr);
                     // Candidate only when some class member is introduced
                     // outside this child's subtree.
-                    let external = class_has_external_member(plan, eq, attr, &subtrees[child.index()]);
+                    let external =
+                        class_has_external_member(plan, eq, attr, &subtrees[child.index()]);
                     if external {
                         classes.entry(class).or_default().sources.push(AipSource {
                             op: node.id,
@@ -249,7 +250,9 @@ mod tests {
         let pred = p.col("p_size").unwrap().eq(Expr::lit(1i64));
         let p = q.filter(p, pred);
         let ps1 = q.scan("partsupp", "ps1", &["ps_partkey"]).unwrap();
-        let j1 = q.join(p, ps1, &[("p.p_partkey", "ps1.ps_partkey")]).unwrap();
+        let j1 = q
+            .join(p, ps1, &[("p.p_partkey", "ps1.ps_partkey")])
+            .unwrap();
         let ps2 = q
             .scan("partsupp", "ps2", &["ps_partkey", "ps_availqty"])
             .unwrap();

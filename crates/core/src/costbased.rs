@@ -82,7 +82,11 @@ impl CostBased {
     }
 
     /// `ESTIMATEBENEFIT` (Fig. 4) for one candidate source. Returns the
-    /// accepted injection sites (empty = not beneficial).
+    /// accepted injection sites (empty = not beneficial). `view_pos` is the
+    /// position of the source attribute in `view.layout()` — which differs
+    /// from `source.pos` (a *child-layout* position) for operators whose
+    /// buffered state is not the raw input (aggregate group keys, semijoin
+    /// build keys).
     #[allow(clippy::too_many_arguments)]
     fn estimate_benefit(
         &self,
@@ -90,6 +94,7 @@ impl CostBased {
         cands: &Candidates,
         source: &AipSource,
         view: &dyn StateView,
+        view_pos: usize,
         est: &Estimator,
     ) -> (f64, f64, Vec<AipUser>) {
         let plan = &ctx.plan;
@@ -102,7 +107,7 @@ impl CostBased {
         // information about the cardinality of the results computed so
         // far"), otherwise the estimator's scaled figure.
         let d_keys = view
-            .distinct_hint(source.pos)
+            .distinct_hint(view_pos)
             .map(|d| d as f64)
             .unwrap_or_else(|| est.node(child).distinct(source.attr).min(state_rows))
             .max(1.0);
@@ -111,11 +116,7 @@ impl CostBased {
         let mut used: FxHashSet<u32> = FxHashSet::default();
         let mut accepted: Vec<AipUser> = Vec::new();
         // Mutable cardinalities for propagation (line 10).
-        let mut rows: Vec<f64> = plan
-            .nodes
-            .iter()
-            .map(|n| est.node(n.id).rows)
-            .collect();
+        let mut rows: Vec<f64> = plan.nodes.iter().map(|n| est.node(n.id).rows).collect();
 
         for user in cands.users_for_source(plan, &self.eq, source) {
             if ctx.hub.op(user.site).finished.load(Ordering::Relaxed) {
@@ -132,7 +133,11 @@ impl CostBased {
                 sel
             };
             let use_benefit = match &plan.node(n).kind {
-                PhysKind::HashJoin { left_keys, right_keys, .. } => {
+                PhysKind::HashJoin {
+                    left_keys,
+                    right_keys,
+                    ..
+                } => {
                     // Which input of n does the site feed?
                     let inputs = &plan.node(n).inputs;
                     let (fed, other) = if cands.in_subtree(inputs[0], user.site) {
@@ -152,10 +157,10 @@ impl CostBased {
                         .any(|&k| self.eq.class(fed_layout[k]) == self.eq.class(user.attr));
                     let out_scale = if key_filter { sel_eff } else { 1.0 };
                     let before = self.cost.join_cost(fed_rows, other_rows, out_rows);
-                    let after = self
-                        .cost
-                        .join_cost(fed_rows * sel_eff, other_rows, out_rows * out_scale)
-                        + self.cost.aip_filter_cost(site_rows);
+                    let after =
+                        self.cost
+                            .join_cost(fed_rows * sel_eff, other_rows, out_rows * out_scale)
+                            + self.cost.aip_filter_cost(site_rows);
                     before - after
                 }
                 PhysKind::Aggregate { .. } | PhysKind::Distinct | PhysKind::SemiJoin { .. } => {
@@ -224,9 +229,24 @@ impl ExecMonitor for CostBased {
         let Some(cands) = self.candidates.lock().clone() else {
             return;
         };
+        // In a partition-parallel plan, a completed input covers only its
+        // partition's hash class. Sets over the partitioning class are
+        // priced (with the per-partition cardinalities the estimator
+        // already derives from the expanded plan) and injected under a
+        // partition scope; sets over other attributes would be partial
+        // without a usable scope, so they are skipped — the feed-forward
+        // controller handles those via OR-merge.
+        let partition = ctx
+            .partitions
+            .as_ref()
+            .and_then(|m| m.partition(ev.op).map(|p| (Arc::clone(m), p)));
         let sources: Vec<AipSource> = cands
             .sources_at(ev.op, ev.input)
             .into_iter()
+            .filter(|s| match &partition {
+                Some((map, _)) => map.in_class(s.attr),
+                None => true,
+            })
             .cloned()
             .collect();
         if sources.is_empty() {
@@ -237,9 +257,16 @@ impl ExecMonitor for CostBased {
         let est = Estimator::estimate_with_actuals(&ctx.plan, &actuals);
 
         for source in sources {
+            // The buffered state's rows follow the *view's* layout, which
+            // for aggregates/semijoins is the key layout, not the child
+            // layout `source.pos` indexes. State that does not materialize
+            // the attribute (e.g. a global aggregate) cannot source a set.
+            let Some(view_pos) = ev.view.layout().iter().position(|a| *a == source.attr) else {
+                continue;
+            };
             self.stats.considered.fetch_add(1, Ordering::Relaxed);
             let (savings, mut create_cost, accepted) =
-                self.estimate_benefit(ctx, &cands, &source, ev.view, &est);
+                self.estimate_benefit(ctx, &cands, &source, ev.view, view_pos, &est);
             // Distributed extension: add the shipping term for the set.
             if self.config.ship_cost_per_byte > 0.0 {
                 let approx_bytes = estimate_set_bytes(&self.config, ev.view.len());
@@ -263,10 +290,9 @@ impl ExecMonitor for CostBased {
                 self.config.fpr,
                 self.config.n_hashes,
             );
-            let pos = source.pos;
             ev.view.for_each(&mut |row| {
-                let digest = row.key_hash(&[pos]);
-                let key = [row.get(pos).clone()];
+                let digest = row.key_hash(&[view_pos]);
+                let key = [row.get(view_pos).clone()];
                 builder.insert(digest, &key);
             });
             let set = Arc::new(builder.finish());
@@ -283,11 +309,23 @@ impl ExecMonitor for CostBased {
                 Arc::clone(&set),
                 format!("{}/input{} on {attr_name}", source.op, source.input),
             );
+            let scope = partition.as_ref().map(|(map, p)| sip_engine::FilterScope {
+                partition: *p,
+                dop: map.dop,
+            });
             for u in &accepted {
-                let filter = InjectedFilter::new(
+                if let Some((map, p)) = &partition {
+                    // A scoped filter never applies at another partition's
+                    // sites; inject only where partition-`p` rows flow.
+                    if matches!(map.partition(u.site), Some(q) if q != *p) {
+                        continue;
+                    }
+                }
+                let filter = InjectedFilter::scoped(
                     format!("cb[{attr_name}] @{}", u.site),
                     vec![u.pos],
                     Arc::clone(&set),
+                    scope,
                 );
                 ctx.inject_filter(u.site, filter, MergePolicy::Intersect);
             }
@@ -310,7 +348,11 @@ impl CostBased {
                 right_keys,
                 ..
             } => {
-                let keys = if source.input == 0 { left_keys } else { right_keys };
+                let keys = if source.input == 0 {
+                    left_keys
+                } else {
+                    right_keys
+                };
                 if keys.as_slice() == [source.pos] {
                     AipSetKind::Hash
                 } else {

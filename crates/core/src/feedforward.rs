@@ -16,15 +16,20 @@ use crate::candidates::{AipSource, Candidates};
 use crate::config::AipConfig;
 use crate::registry::AipRegistry;
 use parking_lot::Mutex;
-use sip_common::{OpId, Row};
+use sip_common::{FxHashMap, OpId, Row};
 use sip_engine::{
-    CompletionEvent, ExecContext, ExecMonitor, InjectedFilter, MergePolicy, RowCollector,
+    CompletionEvent, ExecContext, ExecMonitor, FilterScope, InjectedFilter, MergePolicy,
+    PartitionMap, RowCollector,
 };
-use sip_filter::AipSetBuilder;
+use sip_filter::{AipSet, AipSetBuilder};
 use sip_optimizer::Estimator;
 use sip_plan::EqClasses;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// Per-partition AIP sets keyed by the *source plan* identity of their
+/// producer: (logical op, input, attr).
+type PartialSets = FxHashMap<(u32, usize, u32), Vec<Arc<AipSet>>>;
 
 /// Shared, read-mostly state for the feed-forward controller.
 struct Shared {
@@ -32,6 +37,10 @@ struct Shared {
     eq: EqClasses,
     registry: Arc<AipRegistry>,
     candidates: Mutex<Option<Arc<Candidates>>>,
+    /// Per-partition sets awaiting their OR-merge. When all `dop`
+    /// partitions of one producer have completed, the union covers the
+    /// whole logical subexpression and is injected plan-wide.
+    partial_sets: Mutex<PartialSets>,
 }
 
 /// The feed-forward AIP controller. Install as the engine monitor.
@@ -48,6 +57,7 @@ impl FeedForward {
                 eq,
                 registry: AipRegistry::new(),
                 candidates: Mutex::new(None),
+                partial_sets: Mutex::new(FxHashMap::default()),
             }),
         })
     }
@@ -101,18 +111,29 @@ fn publish_and_inject(
     ctx: &Arc<ExecContext>,
     entry: WorkingEntry,
 ) {
+    let partition = ctx
+        .partitions
+        .as_ref()
+        .and_then(|m| m.partition(entry.source.op).map(|p| (Arc::clone(m), p)));
+    match partition {
+        None => publish_and_inject_serial(shared, cands, ctx, entry),
+        Some((map, p)) => publish_and_inject_partitioned(shared, cands, ctx, entry, &map, p),
+    }
+}
+
+fn publish_and_inject_serial(
+    shared: &Shared,
+    cands: &Candidates,
+    ctx: &Arc<ExecContext>,
+    entry: WorkingEntry,
+) {
     let plan = &ctx.plan;
     let users = cands.users_for_source(plan, &shared.eq, &entry.source);
     // "all other operators check if there is still interest in the AIP sets
     // they are computing; if not, they discard their local AIP sets."
     let live_users: Vec<_> = users
         .iter()
-        .filter(|u| {
-            !ctx.hub
-                .op(u.site)
-                .finished
-                .load(Ordering::Relaxed)
-        })
+        .filter(|u| !ctx.hub.op(u.site).finished.load(Ordering::Relaxed))
         .collect();
     if live_users.is_empty() {
         return; // discard the working set
@@ -136,6 +157,115 @@ fn publish_and_inject(
     }
 }
 
+/// Partition-aware publication: a set built from partition `p`'s state
+/// covers only `p`'s hash class of the logical subexpression.
+///
+/// * When the source attribute is *in the partitioning class*, the set is
+///   injected immediately under a [`FilterScope`] — rows of other
+///   partitions pass unprobed — so partition `p` starts pruning sideways
+///   the moment its build side completes, well before slow (skewed)
+///   partitions finish.
+/// * Either way the set is parked in `partial_sets`; once all `dop`
+///   partitions of the same logical producer have reported, their OR-merge
+///   ([`AipSet::union`]) covers the whole subexpression and replaces the
+///   scoped partials with one plan-wide filter.
+fn publish_and_inject_partitioned(
+    shared: &Shared,
+    cands: &Candidates,
+    ctx: &Arc<ExecContext>,
+    entry: WorkingEntry,
+    map: &PartitionMap,
+    p: u32,
+) {
+    let plan = &ctx.plan;
+    let set = Arc::new(entry.builder.finish());
+    let attr_name = plan.attrs.name(entry.source.attr);
+
+    // Park the partial; take the batch out when the last partition arrives.
+    let union_key = (
+        map.logical(entry.source.op).0,
+        entry.source.input,
+        entry.source.attr.0,
+    );
+    let complete = {
+        let mut pending = shared.partial_sets.lock();
+        let slot = pending.entry(union_key).or_default();
+        slot.push(Arc::clone(&set));
+        if slot.len() as u32 == map.dop {
+            Some(std::mem::take(slot))
+        } else {
+            None
+        }
+    };
+
+    let users = cands.users_for_source(plan, &shared.eq, &entry.source);
+    let live = |site: OpId| !ctx.hub.op(site).finished.load(Ordering::Relaxed);
+
+    if map.in_class(entry.source.attr) {
+        shared.registry.publish(
+            entry.class,
+            Arc::clone(&set),
+            format!(
+                "{}/input{} on {attr_name} [part {p}/{}]",
+                entry.source.op, entry.source.input, map.dop
+            ),
+        );
+        let scope = FilterScope {
+            partition: p,
+            dop: map.dop,
+        };
+        for u in users.iter().filter(|u| live(u.site)) {
+            // Rows at partition q != p can never be in scope; skip those
+            // sites outright and only pay the scope check where rows of
+            // partition p (or the serial tail) actually flow.
+            match map.partition(u.site) {
+                Some(q) if q != p => continue,
+                _ => {}
+            }
+            let filter = InjectedFilter::scoped(
+                format!("ff[{attr_name}] @{} part{p}", u.site),
+                vec![u.pos],
+                Arc::clone(&set),
+                Some(scope),
+            );
+            ctx.inject_filter(u.site, filter, MergePolicy::Intersect);
+        }
+    }
+
+    if let Some(partials) = complete {
+        // OR-merge all partitions into one plan-wide set. Geometry
+        // mismatches (differently sized Blooms) abandon the merge — the
+        // scoped partials already injected keep working.
+        let mut merged = (*partials[0]).clone();
+        if partials[1..].iter().all(|s| merged.union(s).is_ok()) {
+            let merged = Arc::new(merged);
+            shared.registry.publish(
+                entry.class,
+                Arc::clone(&merged),
+                format!(
+                    "{}/input{} on {attr_name} [union of {} parts]",
+                    map.logical(entry.source.op),
+                    entry.source.input,
+                    map.dop
+                ),
+            );
+            for u in users.iter().filter(|u| live(u.site)) {
+                let filter = InjectedFilter::new(
+                    format!("ff[{attr_name}] @{} union", u.site),
+                    vec![u.pos],
+                    Arc::clone(&merged),
+                );
+                // Intersect, not Replace: other logical sources may have
+                // injected their own (still-needed) filters over the same
+                // columns. The subsumed scoped partials stay in the chain;
+                // they are correct, cheap (scope check first), and bounded
+                // by dop per source.
+                ctx.inject_filter(u.site, filter, MergePolicy::Intersect);
+            }
+        }
+    }
+}
+
 impl ExecMonitor for FeedForward {
     fn on_query_start(&self, ctx: &Arc<ExecContext>) {
         let plan = &ctx.plan;
@@ -145,20 +275,28 @@ impl ExecMonitor for FeedForward {
         let est = Estimator::estimate(plan);
         // Register interest: one unit per user per class.
         for (class, cc) in &cands.classes {
-            self.shared.registry.register_interest(*class, cc.users.len());
+            self.shared
+                .registry
+                .register_interest(*class, cc.users.len());
         }
         // Group sources by (op, input) into collectors.
         let mut grouped: sip_common::FxHashMap<(u32, usize), Vec<AipSource>> =
             sip_common::FxHashMap::default();
         for cc in cands.classes.values() {
             for s in &cc.sources {
-                grouped.entry((s.op.0, s.input)).or_default().push(s.clone());
+                grouped
+                    .entry((s.op.0, s.input))
+                    .or_default()
+                    .push(s.clone());
             }
         }
         for ((op, input), sources) in grouped {
             let op = OpId(op);
             let child = plan.node(op).inputs[input];
-            let expected = est.node(child).rows.max(self.shared.config.min_expected_keys as f64);
+            let expected = est
+                .node(child)
+                .rows
+                .max(self.shared.config.min_expected_keys as f64);
             let entries: Vec<WorkingEntry> = sources
                 .into_iter()
                 .map(|source| WorkingEntry {

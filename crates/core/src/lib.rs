@@ -33,4 +33,4 @@ pub use config::AipConfig;
 pub use costbased::{CbStats, CostBased};
 pub use feedforward::FeedForward;
 pub use registry::AipRegistry;
-pub use runner::{run_query, QuerySpec, Strategy};
+pub use runner::{run_query, run_query_dop, QuerySpec, Strategy};

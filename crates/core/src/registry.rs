@@ -79,7 +79,11 @@ impl AipRegistry {
 
     /// Number of completed sets across classes.
     pub fn total_published(&self) -> usize {
-        self.classes.lock().values().map(|c| c.completed.len()).sum()
+        self.classes
+            .lock()
+            .values()
+            .map(|c| c.completed.len())
+            .sum()
     }
 
     /// Render registry contents (the Fig. 2b reproduction).

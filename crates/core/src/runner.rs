@@ -5,8 +5,12 @@ use crate::costbased::CostBased;
 use crate::feedforward::FeedForward;
 use sip_common::Result;
 use sip_data::Catalog;
-use sip_engine::{execute, execute_baseline, lower, ExecOptions, PhysPlan, QueryOutput};
+use sip_engine::{
+    execute, execute_baseline, lower, ExecMonitor, ExecOptions, NoopMonitor, PartitionMap,
+    PhysPlan, QueryOutput,
+};
 use sip_optimizer::{magic_rewrite, CostModel};
+use sip_parallel::PartitionedExec;
 use sip_plan::{AttrCatalog, LogicalPlan, PredicateIndex};
 use std::fmt;
 use std::sync::Arc;
@@ -101,6 +105,39 @@ pub fn run_query(
             execute(phys, cb, options)
         }
     }
+}
+
+/// Execute a query under a strategy with `dop`-way hash-partition
+/// parallelism (`sip-parallel`).
+///
+/// Drop-in sibling of [`run_query`]: plans with no safe parallel region —
+/// and any run with `dop <= 1` — execute serially. Also returns the
+/// [`PartitionMap`] when the partitioned path ran, for per-partition
+/// metrics rollups ([`sip_engine::ExecMetrics::per_partition`]).
+pub fn run_query_dop(
+    spec: &QuerySpec,
+    catalog: &Catalog,
+    strategy: Strategy,
+    options: ExecOptions,
+    aip: &AipConfig,
+    dop: u32,
+) -> Result<(QueryOutput, Option<Arc<PartitionMap>>)> {
+    if dop <= 1 {
+        return Ok((run_query(spec, catalog, strategy, options, aip)?, None));
+    }
+    let phys = Arc::new(spec.lower(catalog, strategy)?);
+    let monitor: Arc<dyn ExecMonitor> = match strategy {
+        Strategy::Baseline | Strategy::Magic => Arc::new(NoopMonitor),
+        Strategy::FeedForward => {
+            let eq = PredicateIndex::build(&spec.plan).eq;
+            FeedForward::new(eq, aip.clone())
+        }
+        Strategy::CostBased => {
+            let eq = PredicateIndex::build(&spec.plan).eq;
+            CostBased::new(eq, aip.clone(), CostModel::default())
+        }
+    };
+    PartitionedExec::new(dop).execute(phys, monitor, options)
 }
 
 #[cfg(test)]

@@ -47,7 +47,11 @@ fn running_example(c: &Catalog) -> QuerySpec {
         .unwrap();
 
     let l = q
-        .scan("lineitem", "l", &["l_partkey", "l_quantity", "l_receiptdate"])
+        .scan(
+            "lineitem",
+            "l",
+            &["l_partkey", "l_quantity", "l_receiptdate"],
+        )
         .unwrap();
     let recent = l
         .col("l_receiptdate")
@@ -89,7 +93,11 @@ fn q17_shape(c: &Catalog) -> QuerySpec {
         .and(p.col("p_container").unwrap().eq(Expr::lit("MED CAN")));
     let p = q.filter(p, pred);
     let l = q
-        .scan("lineitem", "l", &["l_partkey", "l_quantity", "l_extendedprice"])
+        .scan(
+            "lineitem",
+            "l",
+            &["l_partkey", "l_quantity", "l_extendedprice"],
+        )
         .unwrap();
     let pl = q.join(p, l, &[("p.p_partkey", "l.l_partkey")]).unwrap();
     let l2 = q
@@ -99,10 +107,10 @@ fn q17_shape(c: &Catalog) -> QuerySpec {
     let avg = q
         .aggregate(l2, &["l_partkey"], &[(AggFunc::Avg, q2, "avg_qty")])
         .unwrap();
-    let residual = pl
-        .col("l.l_quantity")
-        .unwrap()
-        .cmp(CmpOp::Lt, Expr::lit(0.2f64).mul(avg.col("avg_qty").unwrap()));
+    let residual = pl.col("l.l_quantity").unwrap().cmp(
+        CmpOp::Lt,
+        Expr::lit(0.2f64).mul(avg.col("avg_qty").unwrap()),
+    );
     let joined = q
         .join_residual(pl, avg, &[("p.p_partkey", "l2.l_partkey")], Some(residual))
         .unwrap();
@@ -196,11 +204,24 @@ fn aip_reduces_state_on_selective_query() {
     // scenario the paper's Example 3.1 describes. Both strategies run under
     // the same delay so only information passing differs.
     let delayed = || {
-        ExecOptions::default()
-            .with_delay("l2", DelayModel::initial_only(Duration::from_millis(60)))
+        ExecOptions::default().with_delay("l2", DelayModel::initial_only(Duration::from_millis(60)))
     };
-    let base = run_query(&spec, &c, Strategy::Baseline, delayed(), &AipConfig::paper()).unwrap();
-    let ff = run_query(&spec, &c, Strategy::FeedForward, delayed(), &AipConfig::paper()).unwrap();
+    let base = run_query(
+        &spec,
+        &c,
+        Strategy::Baseline,
+        delayed(),
+        &AipConfig::paper(),
+    )
+    .unwrap();
+    let ff = run_query(
+        &spec,
+        &c,
+        Strategy::FeedForward,
+        delayed(),
+        &AipConfig::paper(),
+    )
+    .unwrap();
     // Locate the per-part aggregation over the delayed l2 scan: the
     // aggregate whose child is the scan bound as "l2" (lowering is
     // deterministic, so node ids match across strategies).

@@ -20,16 +20,18 @@ fn selective_spec(c: &Catalog) -> QuerySpec {
     let p = q.scan("part", "p", &["p_partkey", "p_brand"]).unwrap();
     let pred = p.col("p_brand").unwrap().eq(Expr::lit("Brand#34"));
     let p = q.filter(p, pred);
-    let l = q.scan("lineitem", "l", &["l_partkey", "l_quantity"]).unwrap();
+    let l = q
+        .scan("lineitem", "l", &["l_partkey", "l_quantity"])
+        .unwrap();
     let pl = q.join(p, l, &[("p.p_partkey", "l.l_partkey")]).unwrap();
-    let l2 = q.scan("lineitem", "l2", &["l_partkey", "l_quantity"]).unwrap();
+    let l2 = q
+        .scan("lineitem", "l2", &["l_partkey", "l_quantity"])
+        .unwrap();
     let qty = l2.col("l_quantity").unwrap();
     let avg = q
         .aggregate(l2, &["l_partkey"], &[(AggFunc::Avg, qty, "avg_qty")])
         .unwrap();
-    let j = q
-        .join(pl, avg, &[("p.p_partkey", "l2.l_partkey")])
-        .unwrap();
+    let j = q.join(pl, avg, &[("p.p_partkey", "l2.l_partkey")]).unwrap();
     let out = q.project_cols(j, &["p.p_partkey", "avg_qty"]).unwrap();
     QuerySpec::new(out.into_plan(), q.into_attrs()).unwrap()
 }
@@ -93,7 +95,12 @@ fn hash_table_reuse_produces_exact_sets() {
     let eq = PredicateIndex::build(&spec.plan).eq;
     let with_reuse = CostBased::new(eq.clone(), AipConfig::paper(), CostModel::default());
     let phys = Arc::new(spec.lower(&c, Strategy::CostBased).unwrap());
-    execute(Arc::clone(&phys), with_reuse.clone(), ExecOptions::default()).unwrap();
+    execute(
+        Arc::clone(&phys),
+        with_reuse.clone(),
+        ExecOptions::default(),
+    )
+    .unwrap();
     let log = with_reuse.decisions().join("\n");
     // At least one decision should mention a Hash build (join-side reuse).
     if log.contains("build") {
@@ -109,7 +116,10 @@ fn hash_table_reuse_produces_exact_sets() {
     let no_reuse = CostBased::new(eq, no_reuse_cfg, CostModel::default());
     execute(phys, no_reuse.clone(), ExecOptions::default()).unwrap();
     let log = no_reuse.decisions().join("\n");
-    assert!(!log.contains("(Hash,"), "reuse disabled but Hash built: {log}");
+    assert!(
+        !log.contains("(Hash,"),
+        "reuse disabled but Hash built: {log}"
+    );
 }
 
 #[test]
@@ -131,7 +141,14 @@ fn min_expected_keys_floors_bloom_sizing() {
         fpr: 0.5,
         ..AipConfig::paper()
     };
-    let out = run_query(&spec, &c, Strategy::FeedForward, ExecOptions::default(), &tiny).unwrap();
+    let out = run_query(
+        &spec,
+        &c,
+        Strategy::FeedForward,
+        ExecOptions::default(),
+        &tiny,
+    )
+    .unwrap();
     assert_eq!(
         sip_engine::canonical(&out.rows),
         sip_engine::canonical(&base.rows)

@@ -87,7 +87,8 @@ pub fn generate(config: &TpchConfig) -> Result<Catalog> {
     catalog.add(gen_part(config, n_parts)?);
     catalog.add(gen_partsupp(config, n_parts, n_suppliers)?);
     catalog.add(gen_customer(config, n_customers)?);
-    let (orders, lineitem) = gen_orders_lineitem(config, n_orders, n_customers, n_parts, n_suppliers)?;
+    let (orders, lineitem) =
+        gen_orders_lineitem(config, n_orders, n_customers, n_parts, n_suppliers)?;
     catalog.add(orders);
     catalog.add(lineitem);
     Ok(catalog)
@@ -107,7 +108,7 @@ fn skewed_key(rng: &mut StdRng, zipf: Option<&Zipf>, n: i64) -> i64 {
         None => rng.gen_range(1..=n),
         Some(z) => {
             let rank = z.sample(rng) as i64; // 1..=n
-            // Map rank r to key (r * stride) mod n + 1 with stride coprime-ish.
+                                             // Map rank r to key (r * stride) mod n + 1 with stride coprime-ish.
             let stride = (n / 3).max(1) | 1;
             ((rank - 1) * stride).rem_euclid(n) + 1
         }
@@ -401,7 +402,11 @@ fn gen_orders_lineitem(
                 Value::Float(discount),
                 Value::Float(tax),
                 Value::str(if rng.gen_bool(0.25) { "R" } else { "N" }),
-                Value::str(if shipdate.days() > base_date.days() + 1200 { "O" } else { "F" }),
+                Value::str(if shipdate.days() > base_date.days() + 1200 {
+                    "O"
+                } else {
+                    "F"
+                }),
                 Value::Date(shipdate),
                 Value::Date(commitdate),
                 Value::Date(receiptdate),
@@ -624,8 +629,7 @@ mod tests {
             .rows()
             .iter()
             .filter(|r| {
-                r.get(3).as_str().unwrap() == "Brand#34"
-                    && r.get(6).as_str().unwrap() == "MED CAN"
+                r.get(3).as_str().unwrap() == "Brand#34" && r.get(6).as_str().unwrap() == "MED CAN"
             })
             .count();
         assert!(hits > 0, "Brand#34/MED CAN selects nothing");

@@ -66,9 +66,9 @@ impl Table {
     ) -> Result<Table> {
         let name = name.into();
         for row in rows.iter().take(16) {
-            schema.check_row(row.values()).map_err(|e| {
-                SipError::Data(format!("table {name}: {e}"))
-            })?;
+            schema
+                .check_row(row.values())
+                .map_err(|e| SipError::Data(format!("table {name}: {e}")))?;
         }
         let column_stats = compute_stats(&schema, &rows);
         let meta = TableMeta {
@@ -174,7 +174,8 @@ impl Catalog {
 
     /// Register a table (replacing any previous one of the same name).
     pub fn add(&mut self, table: Table) {
-        self.tables.insert(table.name().to_string(), Arc::new(table));
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
     }
 
     /// Look up a table.
@@ -259,10 +260,7 @@ mod tests {
     #[test]
     fn nulls_excluded_from_stats() {
         let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
-        let rows = vec![
-            Row::new(vec![Value::Null]),
-            Row::new(vec![Value::Int(5)]),
-        ];
+        let rows = vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Int(5)])];
         let t = Table::new("n", schema, vec![], vec![], rows).unwrap();
         assert_eq!(t.distinct(0), 1);
         assert_eq!(t.meta().column_stats[0].min, Some(Value::Int(5)));

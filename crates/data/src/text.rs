@@ -53,11 +53,46 @@ pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
 /// Colour words used in p_name (dbgen uses 92; this 40-word pool keeps the
 /// `p_name like '%black%'` selectivity in the same regime).
 pub const COLORS: [&str; 40] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
-    "hot", "indian", "ivory", "khaki",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
 ];
 
 /// Order priorities.
@@ -67,13 +102,32 @@ pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPEC
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Short comment fragments (full dbgen comments average ~50 bytes; these are
 /// shorter but preserve the "wide string column" shape).
 pub const COMMENT_WORDS: [&str; 16] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "requests", "packages",
-    "accounts", "theodolites", "pinto beans", "foxes", "ideas", "dependencies", "instructions",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "requests",
+    "packages",
+    "accounts",
+    "theodolites",
+    "pinto beans",
+    "foxes",
+    "ideas",
+    "dependencies",
+    "instructions",
     "platelets",
 ];
 
@@ -183,7 +237,9 @@ mod tests {
     fn some_part_types_end_in_tin() {
         // ~1/5 of types end in TIN; over 200 draws we should see several.
         let mut rng = StdRng::seed_from_u64(2);
-        let tins = (0..200).filter(|_| part_type(&mut rng).ends_with("TIN")).count();
+        let tins = (0..200)
+            .filter(|_| part_type(&mut rng).ends_with("TIN"))
+            .count();
         assert!(tins > 10, "{tins}");
     }
 

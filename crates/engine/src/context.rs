@@ -7,9 +7,51 @@ use crate::physical::PhysPlan;
 use crate::taps::{FilterTap, InjectedFilter, MergePolicy};
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
-use sip_common::{AttrId, Batch, FxHashMap, OpId};
+use sip_common::{AttrId, Batch, FxHashMap, FxHashSet, OpId};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// Describes how an expanded (partition-parallel) plan maps back onto the
+/// serial plan it was built from. Produced by `sip-parallel`, consumed by
+/// AIP controllers (to scope per-partition filters and OR-merge them into
+/// plan-wide ones) and by per-partition metrics rollups.
+#[derive(Clone, Debug)]
+pub struct PartitionMap {
+    /// Degree of parallelism the plan was expanded for.
+    pub dop: u32,
+    /// For each expanded operator: `Some(p)` when the operator is part of
+    /// partition `p`'s clone (including replicated subtrees instantiated
+    /// for that partition), `None` for the serial section (merges, final
+    /// aggregates, the tail above the region).
+    pub partition_of: Vec<Option<u32>>,
+    /// For each expanded operator: the operator of the *source* plan it was
+    /// cloned from (synthesized Exchange/Merge nodes map to the source
+    /// operator they wrap).
+    pub logical_of: Vec<OpId>,
+    /// The attribute-equivalence class the plan is hash-partitioned on.
+    /// A per-partition AIP set over one of these attributes covers exactly
+    /// its partition's hash class and may be injected plan-wide under a
+    /// [`crate::taps::FilterScope`]; sets over other attributes are partial
+    /// and only usable once every partition's set is OR-merged.
+    pub class_attrs: FxHashSet<AttrId>,
+}
+
+impl PartitionMap {
+    /// The partition an expanded operator belongs to, if any.
+    pub fn partition(&self, op: OpId) -> Option<u32> {
+        self.partition_of.get(op.index()).copied().flatten()
+    }
+
+    /// The source-plan operator an expanded operator was cloned from.
+    pub fn logical(&self, op: OpId) -> OpId {
+        self.logical_of[op.index()]
+    }
+
+    /// Is `attr` part of the partitioning class?
+    pub fn in_class(&self, attr: AttrId) -> bool {
+        self.class_attrs.contains(&attr)
+    }
+}
 
 /// A message flowing between operators.
 #[derive(Debug)]
@@ -74,18 +116,41 @@ pub struct ExecContext {
     pub taps: Vec<FilterTap>,
     /// Execution options.
     pub options: ExecOptions,
+    /// Partition structure when this context executes an expanded
+    /// partition-parallel plan (`None` for serial plans).
+    pub partitions: Option<Arc<PartitionMap>>,
     collectors: Mutex<FxHashMap<(u32, usize), Box<dyn RowCollector>>>,
 }
 
 impl ExecContext {
     /// Build a context for `plan`.
     pub fn new(plan: Arc<PhysPlan>, options: ExecOptions) -> Arc<Self> {
+        Self::build(plan, options, None)
+    }
+
+    /// Build a context for an expanded partition-parallel plan. Every
+    /// partition clone gets its own [`FilterTap`] and metrics slot simply by
+    /// being its own operator.
+    pub fn new_partitioned(
+        plan: Arc<PhysPlan>,
+        options: ExecOptions,
+        partitions: Arc<PartitionMap>,
+    ) -> Arc<Self> {
+        Self::build(plan, options, Some(partitions))
+    }
+
+    fn build(
+        plan: Arc<PhysPlan>,
+        options: ExecOptions,
+        partitions: Option<Arc<PartitionMap>>,
+    ) -> Arc<Self> {
         let n = plan.nodes.len();
         Arc::new(ExecContext {
             hub: MetricsHub::new(n),
             taps: (0..n).map(|_| FilterTap::new()).collect(),
             plan,
             options,
+            partitions,
             collectors: Mutex::new(FxHashMap::default()),
         })
     }

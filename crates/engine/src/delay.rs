@@ -52,7 +52,7 @@ impl DelayModel {
 
     /// Total sleep this model adds across `n` tuples.
     pub fn total_for(&self, n: u64) -> Duration {
-        let pauses = if self.every_n == 0 { 0 } else { n / self.every_n };
+        let pauses = n.checked_div(self.every_n).unwrap_or(0);
         self.initial + self.pause * pauses as u32
     }
 }
@@ -83,8 +83,7 @@ impl DelayState {
             self.started = true;
             sleep += self.model.initial;
         }
-        if self.model.every_n > 0 {
-            let before = self.emitted / self.model.every_n;
+        if let Some(before) = self.emitted.checked_div(self.model.every_n) {
             let after = (self.emitted + n) / self.model.every_n;
             sleep += self.model.pause * (after - before) as u32;
         }

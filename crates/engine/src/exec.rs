@@ -42,10 +42,7 @@ pub fn execute(
 /// Execute with a caller-constructed context — used by the distributed
 /// harness, whose simulated remote sites need shared access to the taps
 /// (so shipped filters can be applied *before* transmission).
-pub fn execute_ctx(
-    ctx: Arc<ExecContext>,
-    monitor: Arc<dyn ExecMonitor>,
-) -> Result<QueryOutput> {
+pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Result<QueryOutput> {
     let plan = Arc::clone(&ctx.plan);
     plan.validate()?;
     monitor.on_query_start(&ctx);
@@ -81,9 +78,7 @@ pub fn execute_ctx(
             .spawn(move || {
                 let result = match &ctx.plan.node(op).kind {
                     PhysKind::Scan { .. } => operators::scan::run_scan(&ctx, op, out),
-                    PhysKind::ExternalSource { .. } => {
-                        operators::scan::run_external(&ctx, op, out)
-                    }
+                    PhysKind::ExternalSource { .. } => operators::scan::run_external(&ctx, op, out),
                     PhysKind::Filter { .. } => {
                         operators::stateless::run_filter(&ctx, op, ins.remove(0), out)
                     }
@@ -106,6 +101,10 @@ pub fn execute_ctx(
                         let probe = ins.remove(0);
                         operators::semi_join::run_semi_join(&ctx, &monitor, op, probe, build, out)
                     }
+                    PhysKind::Exchange { .. } => {
+                        operators::exchange::run_exchange(&ctx, op, ins.remove(0), out)
+                    }
+                    PhysKind::Merge => operators::exchange::run_merge(&ctx, op, ins, out),
                 };
                 if let Err(e) = result {
                     errs.lock().get_or_insert(e);
@@ -120,15 +119,11 @@ pub fn execute_ctx(
     // Drain the root.
     let mut rows: Vec<Row> = Vec::new();
     let mut rows_out = 0u64;
-    loop {
-        match root_rx.recv() {
-            Ok(Msg::Batch(b)) => {
-                rows_out += b.len() as u64;
-                if ctx.options.collect_rows {
-                    rows.extend(b.rows);
-                }
-            }
-            Ok(Msg::Eof) | Err(_) => break,
+    while let Ok(msg) = root_rx.recv() {
+        let Msg::Batch(b) = msg else { break };
+        rows_out += b.len() as u64;
+        if ctx.options.collect_rows {
+            rows.extend(b.rows);
         }
     }
     for h in handles {
@@ -148,9 +143,5 @@ pub fn execute_ctx(
 
 /// Convenience: execute with no monitor (pure baseline).
 pub fn execute_baseline(plan: Arc<PhysPlan>, options: ExecOptions) -> Result<QueryOutput> {
-    execute(
-        plan,
-        Arc::new(crate::monitor::NoopMonitor),
-        options,
-    )
+    execute(plan, Arc::new(crate::monitor::NoopMonitor), options)
 }

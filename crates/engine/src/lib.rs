@@ -20,12 +20,12 @@ pub mod physical;
 pub mod report;
 pub mod taps;
 
-pub use context::{ExecContext, ExecOptions, Msg};
+pub use context::{ExecContext, ExecOptions, Msg, PartitionMap};
 pub use delay::DelayModel;
 pub use exec::{execute, execute_baseline, execute_ctx, QueryOutput};
-pub use metrics::{ExecMetrics, MetricsHub, OpMetrics, OpMetricsSnapshot};
+pub use metrics::{ExecMetrics, MetricsHub, OpMetrics, OpMetricsSnapshot, PartitionSnapshot};
 pub use monitor::{CompletionEvent, ExecMonitor, NoopMonitor, RowCollector, StateView};
 pub use oracle::{canonical, execute_oracle};
-pub use physical::{lower, BoundAgg, PhysKind, PhysNode, PhysPlan};
+pub use physical::{lower, BoundAgg, PhysKind, PhysNode, PhysPlan, ScanPartition};
 pub use report::explain_analyze;
-pub use taps::{FilterTap, InjectedFilter, MergePolicy};
+pub use taps::{FilterScope, FilterTap, InjectedFilter, MergePolicy};

@@ -117,6 +117,46 @@ impl ExecMetrics {
     pub fn peak_state_mb(&self) -> f64 {
         self.peak_state_bytes as f64 / (1024.0 * 1024.0)
     }
+
+    /// Roll the per-operator counters of a partition-parallel run up to one
+    /// row per worker partition (serial-section operators are excluded).
+    pub fn per_partition(&self, map: &crate::context::PartitionMap) -> Vec<PartitionSnapshot> {
+        let mut out: Vec<PartitionSnapshot> = (0..map.dop)
+            .map(|p| PartitionSnapshot {
+                partition: p,
+                rows_out: 0,
+                aip_probed: 0,
+                aip_dropped: 0,
+                state_peak: 0,
+            })
+            .collect();
+        for m in &self.per_op {
+            if let Some(p) = map.partition(m.op) {
+                let s = &mut out[p as usize];
+                s.rows_out += m.rows_out;
+                s.aip_probed += m.aip_probed;
+                s.aip_dropped += m.aip_dropped;
+                s.state_peak += m.state_peak;
+            }
+        }
+        out
+    }
+}
+
+/// Counters of one worker partition of a parallel run, summed over the
+/// partition's operator clones.
+#[derive(Clone, Debug)]
+pub struct PartitionSnapshot {
+    /// The partition index.
+    pub partition: u32,
+    /// Rows emitted by the partition's operators.
+    pub rows_out: u64,
+    /// Rows probed against AIP filters inside the partition.
+    pub aip_probed: u64,
+    /// Rows dropped by AIP filters inside the partition.
+    pub aip_dropped: u64,
+    /// Sum of the partition operators' peak state bytes.
+    pub state_peak: u64,
 }
 
 /// Shared metrics hub for one execution.

@@ -48,8 +48,7 @@ impl StateView for GroupStateView<'_> {
     fn distinct_hint(&self, pos: usize) -> Option<usize> {
         // Rows yielded are the group keys; with a single group column the
         // group count is its exact distinct count.
-        (self.layout.len() == 1 && pos == 0)
-            .then(|| self.groups.values().map(Vec::len).sum())
+        (self.layout.len() == 1 && pos == 0).then(|| self.groups.values().map(Vec::len).sum())
     }
 }
 
@@ -74,46 +73,41 @@ pub(crate) fn run_aggregate(
     let mut collector = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
 
-    loop {
-        match input.recv() {
-            Ok(Msg::Batch(batch)) => {
-                count_in(ctx, op, 0, batch.len());
-                rows_in += batch.len() as u64;
-                for row in batch.rows {
-                    if let Some(c) = collector.as_mut() {
-                        c.admit(&row);
-                    }
-                    let Some((digest, _key)) = key_of(&row, &group_cols) else {
-                        continue; // NULL group keys are skipped (workloads are NULL-free)
-                    };
-                    let bucket = groups.entry(digest).or_default();
-                    let existing = bucket.iter_mut().find(|g| {
-                        group_cols
-                            .iter()
-                            .enumerate()
-                            .all(|(i, &p)| g.key.get(i) == row.get(p))
-                    });
-                    let group = match existing {
-                        Some(g) => g,
-                        None => {
-                            let key = row.project(&group_cols);
-                            let accs: Vec<AggAccumulator> =
-                                aggs.iter().map(|a| a.func.accumulator()).collect();
-                            let delta = key.size_bytes()
-                                + accs.iter().map(|a| a.size_bytes()).sum::<usize>()
-                                + 16;
-                            bytes += delta;
-                            metrics.add_state(delta as i64, &ctx.hub.state);
-                            bucket.push(Group { key, accs });
-                            bucket.last_mut().unwrap()
-                        }
-                    };
-                    for (acc, spec) in group.accs.iter_mut().zip(aggs.iter()) {
-                        acc.update(&spec.input.eval(&row)?)?;
-                    }
-                }
+    while let Ok(msg) = input.recv() {
+        let Msg::Batch(batch) = msg else { break };
+        count_in(ctx, op, 0, batch.len());
+        rows_in += batch.len() as u64;
+        for row in batch.rows {
+            if let Some(c) = collector.as_mut() {
+                c.admit(&row);
             }
-            Ok(Msg::Eof) | Err(_) => break,
+            let Some((digest, _key)) = key_of(&row, &group_cols) else {
+                continue; // NULL group keys are skipped (workloads are NULL-free)
+            };
+            let bucket = groups.entry(digest).or_default();
+            let existing = bucket.iter_mut().find(|g| {
+                group_cols
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &p)| g.key.get(i) == row.get(p))
+            });
+            let group = match existing {
+                Some(g) => g,
+                None => {
+                    let key = row.project(&group_cols);
+                    let accs: Vec<AggAccumulator> =
+                        aggs.iter().map(|a| a.func.accumulator()).collect();
+                    let delta =
+                        key.size_bytes() + accs.iter().map(|a| a.size_bytes()).sum::<usize>() + 16;
+                    bytes += delta;
+                    metrics.add_state(delta as i64, &ctx.hub.state);
+                    bucket.push(Group { key, accs });
+                    bucket.last_mut().unwrap()
+                }
+            };
+            for (acc, spec) in group.accs.iter_mut().zip(aggs.iter()) {
+                acc.update(&spec.input.eval(&row)?)?;
+            }
         }
     }
 
@@ -200,27 +194,23 @@ pub(crate) fn run_distinct(
     let metrics = ctx.hub.op(op);
     let mut emitter = Emitter::new(ctx, op, out);
 
-    loop {
-        match input.recv() {
-            Ok(Msg::Batch(batch)) => {
-                count_in(ctx, op, 0, batch.len());
-                rows_in += batch.len() as u64;
-                for row in batch.rows {
-                    if let Some(c) = collector.as_mut() {
-                        c.admit(&row);
-                    }
-                    if !seen.contains(&row) {
-                        let delta = row.size_bytes() + 16;
-                        bytes += delta;
-                        metrics.add_state(delta as i64, &ctx.hub.state);
-                        seen.insert(row.clone());
-                        emitter.push(row)?;
-                    }
-                }
-                emitter.flush()?;
+    while let Ok(msg) = input.recv() {
+        let Msg::Batch(batch) = msg else { break };
+        count_in(ctx, op, 0, batch.len());
+        rows_in += batch.len() as u64;
+        for row in batch.rows {
+            if let Some(c) = collector.as_mut() {
+                c.admit(&row);
             }
-            Ok(Msg::Eof) | Err(_) => break,
+            if !seen.contains(&row) {
+                let delta = row.size_bytes() + 16;
+                bytes += delta;
+                metrics.add_state(delta as i64, &ctx.hub.state);
+                seen.insert(row.clone());
+                emitter.push(row)?;
+            }
         }
+        emitter.flush()?;
     }
 
     if let Some(mut c) = collector.take() {

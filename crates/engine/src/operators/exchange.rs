@@ -1,0 +1,109 @@
+//! Partition-parallel plumbing operators: `Exchange` (hash-repartition
+//! filter) and `Merge` (N-ary stream union).
+//!
+//! Both are pure plumbing for `sip-parallel`: an `Exchange` keeps exactly
+//! the rows whose partition key hashes to its partition, so `dop` sibling
+//! Exchanges over clones of the same input stream realize an all-to-all
+//! repartition within the engine's tree-shaped channel topology; a `Merge`
+//! fans partition clones back into one stream, selecting across its inputs
+//! so no partition is stalled behind a slower sibling's backpressure
+//! window.
+
+use super::{count_in, Emitter};
+use crate::context::{ExecContext, Msg};
+use crate::physical::PhysKind;
+use crossbeam::channel::{Receiver, Select, Sender};
+use sip_common::{exec_err, hash::partition_of, OpId, Result};
+use std::sync::Arc;
+
+/// Run an `Exchange` node: forward rows owned by this partition.
+pub(crate) fn run_exchange(
+    ctx: &Arc<ExecContext>,
+    op: OpId,
+    input: Receiver<Msg>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let node = ctx.plan.node(op);
+    let (col, partition, dop) = match &node.kind {
+        PhysKind::Exchange {
+            col,
+            partition,
+            dop,
+        } => (*col, *partition, *dop),
+        other => return Err(exec_err!("run_exchange on {}", other.name())),
+    };
+    let mut emitter = Emitter::new(ctx, op, out);
+    while let Ok(msg) = input.recv() {
+        let Msg::Batch(batch) = msg else { break };
+        count_in(ctx, op, 0, batch.len());
+        for row in batch.rows {
+            // NULL keys hash like any value: every NULL row lands in
+            // the same single partition, so the union over all
+            // partitions stays multiset-correct even for rows that
+            // can never join.
+            let owner = partition_of(row.key_hash(&[col]), dop);
+            if owner == partition {
+                emitter.push(row)?;
+            }
+        }
+        emitter.flush()?;
+        if emitter.cancelled() {
+            // Downstream hung up: stop pulling so upstream winds down too.
+            break;
+        }
+    }
+    emitter.finish()
+}
+
+/// Run a `Merge` node: union all inputs, ending when every input ends.
+pub(crate) fn run_merge(
+    ctx: &Arc<ExecContext>,
+    op: OpId,
+    inputs: Vec<Receiver<Msg>>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let node = ctx.plan.node(op);
+    if !matches!(node.kind, PhysKind::Merge) {
+        return Err(exec_err!("run_merge on {}", node.kind.name()));
+    }
+    let mut emitter = Emitter::new(ctx, op, out);
+    // Indices of inputs that have not yet reached EOF. The Select session
+    // is registered once per *live-set change* (EOF), not per batch —
+    // registration takes a lock per input.
+    let mut live: Vec<usize> = (0..inputs.len()).collect();
+    'rebuild: while !live.is_empty() {
+        let mut sel = Select::new();
+        for &i in &live {
+            sel.recv(&inputs[i]);
+        }
+        loop {
+            let (slot, msg) = if live.len() == 1 {
+                (0, inputs[live[0]].recv())
+            } else {
+                let opn = sel.select();
+                let slot = opn.index();
+                (slot, opn.recv(&inputs[live[slot]]))
+            };
+            match msg {
+                Ok(Msg::Batch(batch)) => {
+                    count_in(ctx, op, 0, batch.len());
+                    for row in batch.rows {
+                        emitter.push(row)?;
+                    }
+                    emitter.flush()?;
+                    if emitter.cancelled() {
+                        // Downstream hung up: dropping the inputs here lets
+                        // every partition wind down instead of running the
+                        // failed query to completion.
+                        break 'rebuild;
+                    }
+                }
+                Ok(Msg::Eof) | Err(_) => {
+                    live.remove(slot);
+                    continue 'rebuild;
+                }
+            }
+        }
+    }
+    emitter.finish()
+}

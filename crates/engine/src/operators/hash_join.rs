@@ -128,10 +128,7 @@ pub(crate) fn run_hash_join(
     let left_layout = ctx.plan.node(node.inputs[0]).layout.clone();
     let right_layout = ctx.plan.node(node.inputs[1]).layout.clone();
     let mut sides = [Side::new(lk), Side::new(rk)];
-    let mut collectors = [
-        ctx.take_collector(op, 0),
-        ctx.take_collector(op, 1),
-    ];
+    let mut collectors = [ctx.take_collector(op, 0), ctx.take_collector(op, 1)];
     let mut emitter = Emitter::new(ctx, op, out);
     let metrics = ctx.hub.op(op);
 
@@ -155,15 +152,7 @@ pub(crate) fn run_hash_join(
                     if let Some(c) = collectors[idx].as_mut() {
                         c.admit(&row);
                     }
-                    process_row(
-                        ctx,
-                        op,
-                        &mut sides,
-                        idx,
-                        row,
-                        &residual,
-                        &mut emitter,
-                    )?;
+                    process_row(ctx, op, &mut sides, idx, row, &residual, &mut emitter)?;
                 }
                 emitter.flush()?;
             }
@@ -173,7 +162,11 @@ pub(crate) fn run_hash_join(
                     c.finish(ctx);
                 }
                 // Notify the controller while this side's state is intact.
-                let layout = if idx == 0 { &left_layout } else { &right_layout };
+                let layout = if idx == 0 {
+                    &left_layout
+                } else {
+                    &right_layout
+                };
                 let view = JoinStateView {
                     layout,
                     side: &sides[idx],
@@ -235,7 +228,11 @@ fn process_row(
     // Probe the opposite table.
     let mut matches: Vec<Row> = Vec::new();
     for m in sides[other].probe(other_digest, &key) {
-        let joined = if idx == 0 { row.concat(m) } else { m.concat(&row) };
+        let joined = if idx == 0 {
+            row.concat(m)
+        } else {
+            m.concat(&row)
+        };
         match residual {
             Some(pred) if !pred.eval_bool(&joined)? => {}
             _ => matches.push(joined),

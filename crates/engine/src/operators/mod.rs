@@ -3,6 +3,7 @@
 //! scheduling that push-style engines rely on (§I).
 
 pub(crate) mod aggregate;
+pub(crate) mod exchange;
 pub(crate) mod hash_join;
 pub(crate) mod scan;
 pub(crate) mod semi_join;
@@ -56,22 +57,64 @@ impl<'a> Emitter<'a> {
     }
 
     /// Apply the tap and send buffered rows.
+    ///
+    /// The tap is snapshotted and the AIP counters are updated **once per
+    /// batch** (per-row atomics would dominate the probe cost), and the
+    /// cancelled path neither snapshots nor allocates a replacement buffer
+    /// — a drained operator winding down after downstream hangup does no
+    /// further work here.
     pub(crate) fn flush(&mut self) -> Result<()> {
         if self.buf.is_empty() || self.cancelled {
             self.buf.clear();
             return Ok(());
         }
-        let mut rows = std::mem::replace(&mut self.buf, Vec::with_capacity(self.ctx.options.batch_size));
+        let mut rows = std::mem::take(&mut self.buf);
         let tap = self.ctx.taps[self.op.index()].snapshot();
         if !tap.is_empty() {
+            // Per-batch counting: accumulate per-filter tallies locally and
+            // publish each with a single atomic add per batch. A row counts
+            // as probed only when at least one filter actually applied —
+            // partition-scoped filters pass foreign rows untouched.
             let before = rows.len();
-            rows.retain(|r| tap.iter().all(|f| f.admits(r)));
+            let mut probed_rows = 0u64;
+            let mut counts = vec![(0u64, 0u64); tap.len()];
+            rows.retain(|r| {
+                let mut probed_any = false;
+                let mut keep = true;
+                for (f, c) in tap.iter().zip(counts.iter_mut()) {
+                    match f.probe_quiet(r) {
+                        None => {} // outside the filter's partition scope
+                        Some(true) => {
+                            probed_any = true;
+                            c.0 += 1;
+                        }
+                        Some(false) => {
+                            probed_any = true;
+                            c.0 += 1;
+                            c.1 += 1;
+                            keep = false;
+                            break;
+                        }
+                    }
+                }
+                if probed_any {
+                    probed_rows += 1;
+                }
+                keep
+            });
+            for (f, (p, d)) in tap.iter().zip(counts) {
+                f.probed.fetch_add(p, Ordering::Relaxed);
+                f.dropped.fetch_add(d, Ordering::Relaxed);
+            }
             let m = self.ctx.hub.op(self.op);
-            m.aip_probed.fetch_add(before as u64, Ordering::Relaxed);
+            m.aip_probed.fetch_add(probed_rows, Ordering::Relaxed);
             m.aip_dropped
                 .fetch_add((before - rows.len()) as u64, Ordering::Relaxed);
         }
         if rows.is_empty() {
+            // The tap dropped the whole batch: hand the (emptied, still
+            // allocated) buffer back so the next batch reuses its capacity.
+            self.buf = rows;
             return Ok(());
         }
         self.ctx
@@ -81,6 +124,9 @@ impl<'a> Emitter<'a> {
             .fetch_add(rows.len() as u64, Ordering::Relaxed);
         if self.out.send(Msg::Batch(Batch::new(rows))).is_err() {
             self.cancelled = true;
+        } else {
+            // Only a live emitter needs a fresh buffer at batch capacity.
+            self.buf = Vec::with_capacity(self.ctx.options.batch_size);
         }
         Ok(())
     }
@@ -119,6 +165,94 @@ pub(crate) fn count_in(ctx: &ExecContext, op: OpId, input: usize, n: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::physical::lower;
+    use crate::taps::MergePolicy;
+    use crate::InjectedFilter;
+    use sip_common::{hash_key, DataType, Field, Schema};
+    use sip_data::{Catalog, Table};
+    use sip_filter::{AipSetBuilder, AipSetKind};
+    use sip_plan::QueryBuilder;
+
+    fn scan_ctx(batch_size: usize) -> Arc<ExecContext> {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let rows: Vec<Row> = (0..8).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let mut c = Catalog::new();
+        c.add(Table::new("t", schema, vec![], vec![], rows).unwrap());
+        let mut q = QueryBuilder::new(&c);
+        let t = q.scan("t", "t", &["k"]).unwrap();
+        let plan = lower(t.plan(), q.attrs().clone(), &c).unwrap();
+        ExecContext::new(
+            Arc::new(plan),
+            crate::context::ExecOptions {
+                batch_size,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn keys_filter(keys: &[i64]) -> InjectedFilter {
+        let mut b = AipSetBuilder::new(AipSetKind::Hash, keys.len().max(1), 0.05, 1);
+        for &k in keys {
+            let key = vec![Value::Int(k)];
+            b.insert(hash_key(&key), &key);
+        }
+        InjectedFilter::new("test", vec![0], Arc::new(b.finish()))
+    }
+
+    #[test]
+    fn flush_applies_tap_and_counts_once_per_batch() {
+        let ctx = scan_ctx(64);
+        let op = OpId(0);
+        ctx.inject_filter(op, keys_filter(&[1, 3]), MergePolicy::Stack);
+        let (tx, rx) = crossbeam::channel::bounded(4);
+        let mut e = Emitter::new(&ctx, op, tx);
+        for i in 0..4 {
+            e.push(Row::new(vec![Value::Int(i)])).unwrap();
+        }
+        e.flush().unwrap();
+        // 4 probed, 2 dropped — tallied exactly once for the whole batch,
+        // on both the hub and the per-filter counters.
+        let m = ctx.hub.op(op);
+        assert_eq!(m.aip_probed.load(Ordering::Relaxed), 4);
+        assert_eq!(m.aip_dropped.load(Ordering::Relaxed), 2);
+        let chain = ctx.taps[op.index()].snapshot();
+        assert_eq!(chain[0].probed.load(Ordering::Relaxed), 4);
+        assert_eq!(chain[0].dropped.load(Ordering::Relaxed), 2);
+        match rx.try_recv() {
+            Ok(Msg::Batch(b)) => assert_eq!(b.len(), 2),
+            other => panic!("expected surviving batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_emitter_stops_probing_and_buffering() {
+        let ctx = scan_ctx(2);
+        let op = OpId(0);
+        ctx.inject_filter(op, keys_filter(&[0, 1, 2, 3]), MergePolicy::Stack);
+        let (tx, rx) = crossbeam::channel::bounded(4);
+        let mut e = Emitter::new(&ctx, op, tx);
+        drop(rx); // downstream hangs up
+        e.push(Row::new(vec![Value::Int(0)])).unwrap();
+        e.push(Row::new(vec![Value::Int(1)])).unwrap(); // batch full → flush → send fails
+        assert!(e.cancelled());
+        let probed_at_cancel = ctx.hub.op(op).aip_probed.load(Ordering::Relaxed);
+        let rows_out_at_cancel = ctx.hub.op(op).rows_out.load(Ordering::Relaxed);
+        // Everything after cancellation is a no-op: no buffering, no tap
+        // snapshots, no counter movement.
+        for i in 0..100 {
+            e.push(Row::new(vec![Value::Int(i)])).unwrap();
+        }
+        e.flush().unwrap();
+        assert_eq!(
+            ctx.hub.op(op).aip_probed.load(Ordering::Relaxed),
+            probed_at_cancel
+        );
+        assert_eq!(
+            ctx.hub.op(op).rows_out.load(Ordering::Relaxed),
+            rows_out_at_cancel
+        );
+        e.finish().unwrap();
+    }
 
     #[test]
     fn key_of_rejects_nulls() {
@@ -133,9 +267,6 @@ mod tests {
         let a = Row::new(vec![Value::Int(7), Value::str("x")]);
         let b = Row::new(vec![Value::Int(7), Value::str("y")]);
         assert_eq!(key_of(&a, &[0]).unwrap().0, key_of(&b, &[0]).unwrap().0);
-        assert_eq!(
-            key_of(&a, &[0]).unwrap().1,
-            vec![Value::Int(7)]
-        );
+        assert_eq!(key_of(&a, &[0]).unwrap().1, vec![Value::Int(7)]);
     }
 }

@@ -10,14 +10,21 @@ use std::sync::Arc;
 
 /// Run a `Scan` node: project the table's rows into the scan layout,
 /// honoring any configured delay model, and stream them out.
+///
+/// When the scan carries a [`ScanPartition`], only rows hashing to its
+/// partition are shipped, and the delay model is charged per *shipped* row
+/// — the partition predicate is pushed down to the (possibly remote, slow)
+/// source, which is what lets `dop` partitioned scans overlap a slow
+/// source's transmission latency.
 pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Result<()> {
     let node = ctx.plan.node(op);
-    let (table, cols, binding) = match &node.kind {
+    let (table, cols, binding, part) = match &node.kind {
         PhysKind::Scan {
             table,
             cols,
             binding,
-        } => (table.clone(), cols.clone(), binding.clone()),
+            part,
+        } => (table.clone(), cols.clone(), binding.clone(), part.clone()),
         other => return Err(exec_err!("run_scan on {}", other.name())),
     };
     let mut delay = ctx
@@ -31,14 +38,40 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
         if emitter.cancelled() {
             break;
         }
-        if let Some(d) = delay.as_mut() {
-            let pause = d.advance(chunk.len() as u64);
-            if !pause.is_zero() {
-                std::thread::sleep(pause);
+        match &part {
+            None => {
+                // Serial scan: rows go straight to the emitter, delay
+                // charged for the whole chunk up front.
+                if let Some(d) = delay.as_mut() {
+                    let pause = d.advance(chunk.len() as u64);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                for row in chunk {
+                    emitter.push(row.project(&cols))?;
+                }
             }
-        }
-        for row in chunk {
-            emitter.push(row.project(&cols))?;
+            Some(p) => {
+                // Partitioned scan: count the shipped rows first so the
+                // delay model charges only this partition's share.
+                let mut rows: Vec<Row> = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    let projected = row.project(&cols);
+                    if p.owns(projected.key_hash(&[p.col])) {
+                        rows.push(projected);
+                    }
+                }
+                if let Some(d) = delay.as_mut() {
+                    let pause = d.advance(rows.len() as u64);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                for row in rows {
+                    emitter.push(row)?;
+                }
+            }
         }
         // Emit at batch granularity so delays interleave with consumption.
         emitter.flush()?;
@@ -56,17 +89,13 @@ pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -
         .remove(&op.0)
         .ok_or_else(|| exec_err!("no external input registered for {op}"))?;
     let mut emitter = Emitter::new(ctx, op, out);
-    loop {
-        match rx.recv() {
-            Ok(Msg::Batch(b)) => {
-                count_in(ctx, op, 0, b.len());
-                for row in b.rows {
-                    emitter.push(row)?;
-                }
-                emitter.flush()?;
-            }
-            Ok(Msg::Eof) | Err(_) => break,
+    while let Ok(msg) = rx.recv() {
+        let Msg::Batch(b) = msg else { break };
+        count_in(ctx, op, 0, b.len());
+        for row in b.rows {
+            emitter.push(row)?;
         }
+        emitter.flush()?;
     }
     emitter.finish()
 }

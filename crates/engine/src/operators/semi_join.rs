@@ -138,10 +138,12 @@ pub(crate) fn run_semi_join(
                         // Release any pending probe rows now matched.
                         if let Some(rows) = pending.remove(&digest) {
                             for r in rows {
-                                let (d2, k2) = key_of(&r, &probe_keys).expect("pending rows have keys");
+                                let (d2, k2) =
+                                    key_of(&r, &probe_keys).expect("pending rows have keys");
                                 if build.contains(d2, &k2) {
                                     pending_bytes -= r.size_bytes() + 16;
-                                    metrics.add_state(-(r.size_bytes() as i64 + 16), &ctx.hub.state);
+                                    metrics
+                                        .add_state(-(r.size_bytes() as i64 + 16), &ctx.hub.state);
                                     emitter.push(r)?;
                                 } else {
                                     // Same digest, different key: keep waiting.

@@ -19,21 +19,17 @@ pub(crate) fn run_filter(
         other => return Err(exec_err!("run_filter on {}", other.name())),
     };
     let mut emitter = Emitter::new(ctx, op, out);
-    loop {
-        match input.recv() {
-            Ok(Msg::Batch(b)) => {
-                count_in(ctx, op, 0, b.len());
-                for row in b.rows {
-                    if pred.eval_bool(&row)? {
-                        emitter.push(row)?;
-                    }
-                }
-                emitter.flush()?;
-                if emitter.cancelled() {
-                    break;
-                }
+    while let Ok(msg) = input.recv() {
+        let Msg::Batch(b) = msg else { break };
+        count_in(ctx, op, 0, b.len());
+        for row in b.rows {
+            if pred.eval_bool(&row)? {
+                emitter.push(row)?;
             }
-            Ok(Msg::Eof) | Err(_) => break,
+        }
+        emitter.flush()?;
+        if emitter.cancelled() {
+            break;
         }
     }
     emitter.finish()
@@ -51,23 +47,19 @@ pub(crate) fn run_project(
         other => return Err(exec_err!("run_project on {}", other.name())),
     };
     let mut emitter = Emitter::new(ctx, op, out);
-    loop {
-        match input.recv() {
-            Ok(Msg::Batch(b)) => {
-                count_in(ctx, op, 0, b.len());
-                for row in b.rows {
-                    let mut vals = Vec::with_capacity(exprs.len());
-                    for e in &exprs {
-                        vals.push(e.eval(&row)?);
-                    }
-                    emitter.push(Row::new(vals))?;
-                }
-                emitter.flush()?;
-                if emitter.cancelled() {
-                    break;
-                }
+    while let Ok(msg) = input.recv() {
+        let Msg::Batch(b) = msg else { break };
+        count_in(ctx, op, 0, b.len());
+        for row in b.rows {
+            let mut vals = Vec::with_capacity(exprs.len());
+            for e in &exprs {
+                vals.push(e.eval(&row)?);
             }
-            Ok(Msg::Eof) | Err(_) => break,
+            emitter.push(Row::new(vals))?;
+        }
+        emitter.flush()?;
+        if emitter.cancelled() {
+            break;
         }
     }
     emitter.finish()

@@ -27,16 +27,20 @@ fn take_input(outputs: &mut [Option<Vec<Row>>], op: OpId) -> Vec<Row> {
     outputs[op.index()].take().expect("child already evaluated")
 }
 
-fn eval_node(
-    plan: &PhysPlan,
-    op: OpId,
-    outputs: &mut [Option<Vec<Row>>],
-) -> Result<Vec<Row>> {
+fn eval_node(plan: &PhysPlan, op: OpId, outputs: &mut [Option<Vec<Row>>]) -> Result<Vec<Row>> {
     let node = plan.node(op);
     match &node.kind {
-        PhysKind::Scan { table, cols, .. } => {
-            Ok(table.rows().iter().map(|r| r.project(cols)).collect())
-        }
+        PhysKind::Scan {
+            table, cols, part, ..
+        } => Ok(table
+            .rows()
+            .iter()
+            .map(|r| r.project(cols))
+            .filter(|r| match part {
+                Some(p) => p.owns(r.key_hash(&[p.col])),
+                None => true,
+            })
+            .collect()),
         PhysKind::ExternalSource { label } => {
             Err(exec_err!("oracle cannot evaluate external source {label}"))
         }
@@ -102,8 +106,7 @@ fn eval_node(
         }
         PhysKind::Aggregate { group_cols, aggs } => {
             let input = take_input(outputs, node.inputs[0]);
-            let mut groups: FxHashMap<u64, Vec<(Row, Vec<AggAccumulator>)>> =
-                FxHashMap::default();
+            let mut groups: FxHashMap<u64, Vec<(Row, Vec<AggAccumulator>)>> = FxHashMap::default();
             for row in &input {
                 let Some((d, _)) = key_of(row, group_cols) else {
                     continue;
@@ -152,6 +155,24 @@ fn eval_node(
             }
             Ok(out)
         }
+        PhysKind::Exchange {
+            col,
+            partition,
+            dop,
+        } => {
+            let input = take_input(outputs, node.inputs[0]);
+            Ok(input
+                .into_iter()
+                .filter(|r| sip_common::hash::partition_of(r.key_hash(&[*col]), *dop) == *partition)
+                .collect())
+        }
+        PhysKind::Merge => {
+            let mut out = Vec::new();
+            for &c in &node.inputs {
+                out.extend(take_input(outputs, c));
+            }
+            Ok(out)
+        }
         PhysKind::SemiJoin {
             probe_keys,
             build_keys,
@@ -172,7 +193,11 @@ fn eval_node(
                 let Some((d, k)) = key_of(&row, probe_keys) else {
                     continue;
                 };
-                if keys.get(&d).map(|b| b.iter().any(|x| x == &k)).unwrap_or(false) {
+                if keys
+                    .get(&d)
+                    .map(|b| b.iter().any(|x| x == &k))
+                    .unwrap_or(false)
+                {
                     out.push(row);
                 }
             }

@@ -21,6 +21,32 @@ pub struct BoundAgg {
     pub input: Expr,
 }
 
+/// Hash-partition pushdown on a scan: emit only the rows owned by one
+/// partition of a `dop`-way hash partitioning (see `sip-parallel`).
+///
+/// Semantically this is an [`PhysKind::Exchange`] fused into the scan. The
+/// fusion matters for delayed sources: the delay model charges transmission
+/// time per *shipped* row, so a partitioned scan of a slow source pays only
+/// its own partition's share — the distributed-pushdown effect that lets
+/// `dop` partitions overlap source latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanPartition {
+    /// Position in the scan's *output* layout whose value is hashed.
+    pub col: usize,
+    /// This scan's partition index (`< dop`).
+    pub partition: u32,
+    /// Total number of partitions.
+    pub dop: u32,
+}
+
+impl ScanPartition {
+    /// Does this partition own `digest`?
+    #[inline]
+    pub fn owns(&self, digest: u64) -> bool {
+        sip_common::hash::partition_of(digest, self.dop) == self.partition
+    }
+}
+
 /// The operator algebra the engine executes.
 #[derive(Clone, Debug)]
 pub enum PhysKind {
@@ -32,6 +58,9 @@ pub enum PhysKind {
         cols: Vec<usize>,
         /// The scan binding (used to look up delay models).
         binding: String,
+        /// Hash-partition pushdown, if this scan belongs to one partition
+        /// of a parallel plan.
+        part: Option<ScanPartition>,
     },
     /// Row filter; predicate bound to the input layout.
     Filter {
@@ -76,6 +105,22 @@ pub enum PhysKind {
         /// Display label (e.g. `remote:partsupp@site1`).
         label: String,
     },
+    /// Hash-repartition boundary: forward only the input rows owned by one
+    /// partition of a `dop`-way hash partitioning. Inserted by
+    /// `sip-parallel` above replicated subtrees feeding co-partitioned
+    /// joins; the scan-level fusion is [`ScanPartition`].
+    Exchange {
+        /// Position in the input layout whose value is hashed.
+        col: usize,
+        /// The partition this operator keeps (`< dop`).
+        partition: u32,
+        /// Total number of partitions.
+        dop: u32,
+    },
+    /// Union of N same-layout input streams: forwards every input batch,
+    /// finishing when all inputs reach EOF. The join point where partition
+    /// clones rejoin the serial tail of a parallel plan.
+    Merge,
 }
 
 impl PhysKind {
@@ -101,6 +146,8 @@ impl PhysKind {
             PhysKind::Distinct => "Distinct",
             PhysKind::SemiJoin { .. } => "SemiJoin",
             PhysKind::ExternalSource { .. } => "ExternalSource",
+            PhysKind::Exchange { .. } => "Exchange",
+            PhysKind::Merge => "Merge",
         }
     }
 }
@@ -146,18 +193,58 @@ impl PhysPlan {
             if n.id.index() != i {
                 return Err(plan_err!("node at {i} has id {}", n.id));
             }
-            let arity = match &n.kind {
-                PhysKind::Scan { .. } | PhysKind::ExternalSource { .. } => 0,
-                PhysKind::HashJoin { .. } | PhysKind::SemiJoin { .. } => 2,
-                _ => 1,
-            };
-            if n.inputs.len() != arity {
-                return Err(plan_err!(
-                    "node {} ({}) expects {arity} inputs, has {}",
-                    n.id,
-                    n.kind.name(),
-                    n.inputs.len()
-                ));
+            match &n.kind {
+                // Merge is the one variadic operator: any positive arity.
+                PhysKind::Merge => {
+                    if n.inputs.is_empty() {
+                        return Err(plan_err!("node {} (Merge) needs at least one input", n.id));
+                    }
+                    for &c in &n.inputs {
+                        if c.index() < i && self.nodes[c.index()].layout != n.layout {
+                            return Err(plan_err!(
+                                "node {} (Merge) input {c} layout differs from merge layout",
+                                n.id
+                            ));
+                        }
+                    }
+                }
+                other => {
+                    let arity = match other {
+                        PhysKind::Scan { .. } | PhysKind::ExternalSource { .. } => 0,
+                        PhysKind::HashJoin { .. } | PhysKind::SemiJoin { .. } => 2,
+                        _ => 1,
+                    };
+                    if n.inputs.len() != arity {
+                        return Err(plan_err!(
+                            "node {} ({}) expects {arity} inputs, has {}",
+                            n.id,
+                            n.kind.name(),
+                            n.inputs.len()
+                        ));
+                    }
+                }
+            }
+            if let Some((col, partition, dop)) = match &n.kind {
+                PhysKind::Scan { part: Some(p), .. } => Some((p.col, p.partition, p.dop)),
+                PhysKind::Exchange {
+                    col,
+                    partition,
+                    dop,
+                } => Some((*col, *partition, *dop)),
+                _ => None,
+            } {
+                if dop == 0 || partition >= dop {
+                    return Err(plan_err!(
+                        "node {} has partition {partition} out of range for dop {dop}",
+                        n.id
+                    ));
+                }
+                if col >= n.layout.len() {
+                    return Err(plan_err!(
+                        "node {} partitions on column {col} outside its layout",
+                        n.id
+                    ));
+                }
             }
             for c in &n.inputs {
                 if c.index() >= i {
@@ -242,8 +329,22 @@ impl PhysPlan {
         let n = self.node(op);
         let pad = "  ".repeat(depth);
         let detail = match &n.kind {
-            PhysKind::Scan { table, binding, .. } => {
-                format!("{} as {} ({} rows)", table.name(), binding, table.len())
+            PhysKind::Scan {
+                table,
+                binding,
+                part,
+                ..
+            } => {
+                let part = match part {
+                    Some(p) => format!(" [part {}/{}]", p.partition, p.dop),
+                    None => String::new(),
+                };
+                format!(
+                    "{} as {} ({} rows){part}",
+                    table.name(),
+                    binding,
+                    table.len()
+                )
             }
             PhysKind::Filter { predicate } => format!("{predicate}"),
             PhysKind::Project { exprs } => format!("{} exprs", exprs.len()),
@@ -256,10 +357,19 @@ impl PhysPlan {
                 format!("group{group_cols:?} x {} aggs", aggs.len())
             }
             PhysKind::Distinct => String::new(),
-            PhysKind::SemiJoin { probe_keys, build_keys } => {
+            PhysKind::SemiJoin {
+                probe_keys,
+                build_keys,
+            } => {
                 format!("P{probe_keys:?} ⋉ B{build_keys:?}")
             }
             PhysKind::ExternalSource { label } => label.clone(),
+            PhysKind::Exchange {
+                col,
+                partition,
+                dop,
+            } => format!("hash(col{col}) -> {partition}/{dop}"),
+            PhysKind::Merge => format!("{} inputs", n.inputs.len()),
         };
         let names: Vec<String> = n.layout.iter().map(|&a| self.attrs.name(a)).collect();
         let _ = writeln!(
@@ -285,7 +395,12 @@ pub fn lower(plan: &LogicalPlan, attrs: AttrCatalog, catalog: &Catalog) -> Resul
     PhysPlan::from_nodes(nodes, root, attrs)
 }
 
-fn push_node(nodes: &mut Vec<PhysNode>, kind: PhysKind, inputs: Vec<OpId>, layout: Vec<AttrId>) -> OpId {
+fn push_node(
+    nodes: &mut Vec<PhysNode>,
+    kind: PhysKind,
+    inputs: Vec<OpId>,
+    layout: Vec<AttrId>,
+) -> OpId {
     let id = OpId(nodes.len() as u32);
     nodes.push(PhysNode {
         id,
@@ -296,11 +411,7 @@ fn push_node(nodes: &mut Vec<PhysNode>, kind: PhysKind, inputs: Vec<OpId>, layou
     id
 }
 
-fn lower_node(
-    plan: &LogicalPlan,
-    catalog: &Catalog,
-    nodes: &mut Vec<PhysNode>,
-) -> Result<OpId> {
+fn lower_node(plan: &LogicalPlan, catalog: &Catalog, nodes: &mut Vec<PhysNode>) -> Result<OpId> {
     match plan {
         LogicalPlan::Scan {
             table,
@@ -316,6 +427,7 @@ fn lower_node(
                     table: t,
                     cols: positions,
                     binding: binding.clone(),
+                    part: None,
                 },
                 vec![],
                 layout,
@@ -485,9 +597,7 @@ mod tests {
         let agg = q
             .aggregate(ps, &["ps_partkey"], &[(AggFunc::Sum, qty, "avail")])
             .unwrap();
-        let j = q
-            .join(p, agg, &[("p.p_partkey", "ps.ps_partkey")])
-            .unwrap();
+        let j = q.join(p, agg, &[("p.p_partkey", "ps.ps_partkey")]).unwrap();
         let out = q.project_cols(j, &["p.p_partkey", "avail"]).unwrap();
         let plan = out.into_plan();
         lower(&plan, q.into_attrs(), c).unwrap()
@@ -501,7 +611,10 @@ mod tests {
         assert_eq!(plan.root.index(), plan.nodes.len() - 1);
         // Scan, Filter, Scan, Aggregate, HashJoin, Project.
         assert_eq!(plan.nodes.len(), 6);
-        assert!(matches!(plan.node(plan.root).kind, PhysKind::Project { .. }));
+        assert!(matches!(
+            plan.node(plan.root).kind,
+            PhysKind::Project { .. }
+        ));
     }
 
     #[test]
@@ -558,8 +671,13 @@ mod tests {
         let plan = sample_plan(&c);
         let stateful = plan.stateful_nodes();
         assert_eq!(stateful.len(), 2); // aggregate + join
-        // p_partkey appears at the part scan, filter, join, project.
-        let p_partkey = plan.attrs.iter().find(|i| i.name == "p.p_partkey").unwrap().id;
+                                       // p_partkey appears at the part scan, filter, join, project.
+        let p_partkey = plan
+            .attrs
+            .iter()
+            .find(|i| i.name == "p.p_partkey")
+            .unwrap()
+            .id;
         let nodes = plan.nodes_with_attr(p_partkey);
         assert!(nodes.len() >= 3);
         assert_eq!(plan.introducer(p_partkey), Some(nodes[0]));

@@ -11,10 +11,36 @@
 //! per batch, so injection is wait-free on the hot path.
 
 use parking_lot::RwLock;
+use sip_common::hash::partition_of;
 use sip_common::{OpId, Row};
 use sip_filter::AipSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Restricts a filter built from *one partition's* state to the rows that
+/// partition owns.
+///
+/// A per-partition AIP set summarizes only its own hash class of the
+/// producing subexpression, so a row from another partition is outside the
+/// set's domain — it must pass unprobed, never be dropped. With the scope
+/// attached, a partition's filter can be injected plan-wide the moment that
+/// partition's build side completes: early (small) partitions start pruning
+/// sideways while slow (skewed) partitions are still building.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FilterScope {
+    /// The producing partition.
+    pub partition: u32,
+    /// Total partitions in the producing plan.
+    pub dop: u32,
+}
+
+impl FilterScope {
+    /// Does the scoped filter apply to a row with this key digest?
+    #[inline]
+    pub fn applies(&self, digest: u64) -> bool {
+        partition_of(digest, self.dop) == self.partition
+    }
+}
 
 /// A semijoin filter probing specific output columns against an AIP set.
 #[derive(Debug)]
@@ -25,6 +51,9 @@ pub struct InjectedFilter {
     pub positions: Vec<usize>,
     /// The AIP set probed.
     pub set: Arc<AipSet>,
+    /// Partition restriction for sets built from per-partition state;
+    /// `None` = the set covers the whole subexpression.
+    pub scope: Option<FilterScope>,
     /// Rows probed.
     pub probed: AtomicU64,
     /// Rows dropped.
@@ -32,28 +61,58 @@ pub struct InjectedFilter {
 }
 
 impl InjectedFilter {
-    /// Create a filter.
+    /// Create an unscoped (plan-wide) filter.
     pub fn new(label: impl Into<String>, positions: Vec<usize>, set: Arc<AipSet>) -> Self {
+        Self::scoped(label, positions, set, None)
+    }
+
+    /// Create a filter, optionally restricted to one partition's rows.
+    pub fn scoped(
+        label: impl Into<String>,
+        positions: Vec<usize>,
+        set: Arc<AipSet>,
+        scope: Option<FilterScope>,
+    ) -> Self {
         InjectedFilter {
             label: label.into(),
             positions,
             set,
+            scope,
             probed: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         }
     }
 
-    /// Probe a row; `true` = may pass, `false` = provably dead.
+    /// Probe a row without touching the metric counters; `Some(ok)` when the
+    /// filter applied, `None` when the row is outside this filter's
+    /// partition scope (must pass, uncounted).
+    #[inline]
+    pub fn probe_quiet(&self, row: &Row) -> Option<bool> {
+        let digest = row.key_hash(&self.positions);
+        if let Some(scope) = &self.scope {
+            if !scope.applies(digest) {
+                return None;
+            }
+        }
+        let key = row.key_values(&self.positions);
+        Some(self.set.probe(digest, &key))
+    }
+
+    /// Probe a row; `true` = may pass, `false` = provably dead. Updates the
+    /// per-filter counters one row at a time — batch paths should prefer
+    /// [`InjectedFilter::probe_quiet`] plus one counter update per batch.
     #[inline]
     pub fn admits(&self, row: &Row) -> bool {
-        self.probed.fetch_add(1, Ordering::Relaxed);
-        let digest = row.key_hash(&self.positions);
-        let key = row.key_values(&self.positions);
-        let ok = self.set.probe(digest, &key);
-        if !ok {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+        match self.probe_quiet(row) {
+            None => true,
+            Some(ok) => {
+                self.probed.fetch_add(1, Ordering::Relaxed);
+                if !ok {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            }
         }
-        ok
     }
 }
 
@@ -102,16 +161,19 @@ impl FilterTap {
             MergePolicy::Intersect => {
                 let mut merged = false;
                 for slot in chain.iter_mut() {
-                    if slot.positions == filter.positions {
+                    // Scopes must match: intersecting sets from different
+                    // partitions would conflate different key domains.
+                    if slot.positions == filter.positions && slot.scope == filter.scope {
                         if let (AipSet::Bloom(a), AipSet::Bloom(b)) =
                             (slot.set.as_ref(), filter.set.as_ref())
                         {
                             let mut combined = a.clone();
                             if combined.intersect(b).is_ok() {
-                                *slot = Arc::new(InjectedFilter::new(
+                                *slot = Arc::new(InjectedFilter::scoped(
                                     format!("{} ∩ {}", slot.label, filter.label),
                                     filter.positions.clone(),
                                     Arc::new(AipSet::Bloom(combined)),
+                                    filter.scope,
                                 ));
                                 merged = true;
                                 break;
@@ -273,6 +335,72 @@ mod tests {
         assert!(!tap.is_empty());
         tap.clear();
         assert!(tap.is_empty());
+    }
+
+    #[test]
+    fn scoped_filter_passes_foreign_partitions_unprobed() {
+        let dop = 2u32;
+        // Find keys owned by partition 0 and partition 1.
+        let owned_by = |p: u32| {
+            (0i64..)
+                .find(|&k| {
+                    sip_common::hash::partition_of(sip_common::hash_key(&[Value::Int(k)]), dop) == p
+                })
+                .unwrap()
+        };
+        let mine = owned_by(0);
+        let foreign = owned_by(1);
+        // Partition 0's set contains nothing → drops every partition-0 key.
+        let f = InjectedFilter::scoped(
+            "p0",
+            vec![0],
+            set_of(&[]),
+            Some(FilterScope { partition: 0, dop }),
+        );
+        // Foreign rows pass without being probed or dropped.
+        assert!(f.admits(&row(foreign)));
+        assert_eq!(f.probed.load(Ordering::Relaxed), 0);
+        // Owned rows are probed (and dropped: the set is empty).
+        assert!(!f.admits(&row(mine)));
+        assert_eq!(f.probed.load(Ordering::Relaxed), 1);
+        assert_eq!(f.dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(f.probe_quiet(&row(foreign)), None);
+        assert_eq!(f.probe_quiet(&row(mine)), Some(false));
+    }
+
+    #[test]
+    fn intersect_keeps_different_scopes_apart() {
+        let bloom_of = |keys: &[i64]| {
+            let mut b = AipSetBuilder::new(sip_filter::AipSetKind::Bloom, 64, 0.01, 1);
+            for &k in keys {
+                let key = vec![Value::Int(k)];
+                b.insert(sip_common::hash_key(&key), &key);
+            }
+            Arc::new(b.finish())
+        };
+        let tap = FilterTap::new();
+        let scope = |p| {
+            Some(FilterScope {
+                partition: p,
+                dop: 2,
+            })
+        };
+        tap.inject(
+            InjectedFilter::scoped("a", vec![0], bloom_of(&[1]), scope(0)),
+            MergePolicy::Intersect,
+        );
+        tap.inject(
+            InjectedFilter::scoped("b", vec![0], bloom_of(&[2]), scope(1)),
+            MergePolicy::Intersect,
+        );
+        // Different partitions: stacked, not merged.
+        assert_eq!(tap.len(), 2);
+        tap.inject(
+            InjectedFilter::scoped("c", vec![0], bloom_of(&[3]), scope(1)),
+            MergePolicy::Intersect,
+        );
+        // Same partition: merged.
+        assert_eq!(tap.len(), 2);
     }
 
     #[test]

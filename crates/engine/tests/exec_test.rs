@@ -134,10 +134,8 @@ fn bushy_agg_matches_oracle() {
 #[test]
 fn bushy_agg_matches_oracle_under_delay() {
     let c = catalog();
-    let opts = ExecOptions::default().with_delay(
-        "ps2",
-        DelayModel::initial_only(Duration::from_millis(30)),
-    );
+    let opts = ExecOptions::default()
+        .with_delay("ps2", DelayModel::initial_only(Duration::from_millis(30)));
     check_matches_oracle(bushy_agg_plan(&c), opts);
 }
 
@@ -183,10 +181,8 @@ fn delay_slows_execution() {
         .unwrap()
         .metrics
         .wall_time;
-    let slow_opts = ExecOptions::default().with_delay(
-        "ps",
-        DelayModel::initial_only(Duration::from_millis(150)),
-    );
+    let slow_opts = ExecOptions::default()
+        .with_delay("ps", DelayModel::initial_only(Duration::from_millis(150)));
     let slow = execute_baseline(Arc::new(spj_plan(&c)), slow_opts)
         .unwrap()
         .metrics

@@ -72,11 +72,7 @@ fn filters_cleared_mid_query_never_change_results() {
                 }
             }
         }
-        fn on_input_complete(
-            &self,
-            ctx: &Arc<ExecContext>,
-            _ev: &sip_engine::CompletionEvent<'_>,
-        ) {
+        fn on_input_complete(&self, ctx: &Arc<ExecContext>, _ev: &sip_engine::CompletionEvent<'_>) {
             // Memory pressure: drop every filter.
             for tap in &ctx.taps {
                 tap.clear();
@@ -194,15 +190,10 @@ fn external_source_feeds_pipeline() {
         }
         tx.send(Msg::Eof).unwrap();
     });
-    let out: QueryOutput =
-        execute(plan, Arc::new(NoopMonitor), options).unwrap();
+    let out: QueryOutput = execute(plan, Arc::new(NoopMonitor), options).unwrap();
     feeder.join().unwrap();
     assert_eq!(out.rows.len(), 4); // four groups
-    let total: f64 = out
-        .rows
-        .iter()
-        .map(|r| r.get(1).as_float().unwrap())
-        .sum();
+    let total: f64 = out.rows.iter().map(|r| r.get(1).as_float().unwrap()).sum();
     // Sum of 0..100 = 4950.
     assert_eq!(total, 4950.0);
 }
@@ -232,10 +223,7 @@ fn semijoin_matches_oracle_under_tiny_channels() {
     let u = q.scan("u", "u", &["k", "v"]).unwrap();
     let pred = u.col("v").unwrap().lt(Expr::lit(40i64));
     let u = q.filter(u, pred);
-    let keys = vec![(
-        t.attr("k").unwrap(),
-        u.attr("k").unwrap(),
-    )];
+    let keys = vec![(t.attr("k").unwrap(), u.attr("k").unwrap())];
     let plan = sip_plan::LogicalPlan::SemiJoin {
         probe: Box::new(t.into_plan()),
         build: Box::new(u.into_plan()),

@@ -100,9 +100,7 @@ impl AggAccumulator {
                         _ => Value::Float(a as f64 + v.as_float()?),
                     },
                     Some(Value::Float(a)) => Value::Float(a + v.as_float()?),
-                    Some(other) => {
-                        return Err(expr_err!("SUM over non-numeric state {other:?}"))
-                    }
+                    Some(other) => return Err(expr_err!("SUM over non-numeric state {other:?}")),
                 });
             }
             AggAccumulator::Min { best } => {

@@ -210,7 +210,9 @@ impl Expr {
                 Expr::Col(pos)
             }
             Expr::Col(_) | Expr::Lit(_) => self.clone(),
-            Expr::Cmp(l, op, r) => Expr::Cmp(Box::new(l.bind(layout)?), *op, Box::new(r.bind(layout)?)),
+            Expr::Cmp(l, op, r) => {
+                Expr::Cmp(Box::new(l.bind(layout)?), *op, Box::new(r.bind(layout)?))
+            }
             Expr::Arith(l, op, r) => {
                 Expr::Arith(Box::new(l.bind(layout)?), *op, Box::new(r.bind(layout)?))
             }
@@ -411,10 +413,7 @@ mod tests {
             Expr::Col(1).add(Expr::lit(0.5f64)).eval(&r).unwrap(),
             Value::Float(4.5)
         );
-        assert!(Expr::Col(0)
-            .div(Expr::lit(0i64))
-            .eval(&r)
-            .is_err());
+        assert!(Expr::Col(0).div(Expr::lit(0i64)).eval(&r).is_err());
     }
 
     #[test]
@@ -453,10 +452,7 @@ mod tests {
     fn binding_rewrites_attrs() {
         let e = Expr::attr(AttrId(10)).gt(Expr::attr(AttrId(20)));
         let bound = e.bind(&[AttrId(20), AttrId(10)]).unwrap();
-        assert_eq!(
-            bound,
-            Expr::Col(1).gt(Expr::Col(0)),
-        );
+        assert_eq!(bound, Expr::Col(1).gt(Expr::Col(0)),);
         // Unknown attribute errors.
         assert!(e.bind(&[AttrId(20)]).is_err());
         // Evaluating unbound errors.
@@ -474,9 +470,7 @@ mod tests {
 
     #[test]
     fn conjunct_split_and_join() {
-        let e = Expr::lit(1i64)
-            .and(Expr::lit(2i64))
-            .and(Expr::lit(3i64));
+        let e = Expr::lit(1i64).and(Expr::lit(2i64)).and(Expr::lit(3i64));
         assert_eq!(e.conjuncts().len(), 3);
         let rejoined = Expr::conjoin(vec![Expr::lit(1i64), Expr::lit(2i64)]).unwrap();
         assert_eq!(rejoined.conjuncts().len(), 2);
@@ -485,7 +479,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = Expr::attr(AttrId(3)).mul(Expr::lit(2i64)).lt(Expr::attr(AttrId(4)));
+        let e = Expr::attr(AttrId(3))
+            .mul(Expr::lit(2i64))
+            .lt(Expr::attr(AttrId(4)));
         assert_eq!(e.to_string(), "((a3 * 2) < a4)");
         assert_eq!(Expr::lit("AFRICA").to_string(), "'AFRICA'");
     }
@@ -493,9 +489,19 @@ mod tests {
     #[test]
     fn flip_preserves_meaning() {
         let r = row(vec![Value::Int(3), Value::Int(7)]);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             let a = Expr::Col(0).cmp(op, Expr::Col(1)).eval_bool(&r).unwrap();
-            let b = Expr::Col(1).cmp(op.flip(), Expr::Col(0)).eval_bool(&r).unwrap();
+            let b = Expr::Col(1)
+                .cmp(op.flip(), Expr::Col(0))
+                .eval_bool(&r)
+                .unwrap();
             assert_eq!(a, b, "{op:?}");
         }
     }

@@ -2,16 +2,15 @@
 //! reference, and algebraic properties of evaluation.
 
 use proptest::prelude::*;
-use sip_expr::{like_match, AggFunc, CmpOp, Expr};
 use sip_common::{Row, Value};
+use sip_expr::{like_match, AggFunc, CmpOp, Expr};
 
 /// Naive exponential reference matcher (correct by construction).
 fn reference_like(text: &[char], pat: &[char]) -> bool {
     match (text.first(), pat.first()) {
         (_, None) => text.is_empty(),
         (_, Some('%')) => {
-            reference_like(text, &pat[1..])
-                || (!text.is_empty() && reference_like(&text[1..], pat))
+            reference_like(text, &pat[1..]) || (!text.is_empty() && reference_like(&text[1..], pat))
         }
         (None, Some(_)) => false,
         (Some(t), Some('_')) => {

@@ -76,6 +76,31 @@ impl AipSet {
         }
     }
 
+    /// Union with another set of the same representation, *widening* the
+    /// filter so it admits everything either side admits. This is the
+    /// OR-merge applied to per-partition AIP sets: each partition's set
+    /// covers only its hash class of the producing subexpression, and the
+    /// union of all `dop` of them covers the whole subexpression, making
+    /// the merged filter safe to probe unscoped anywhere in the plan.
+    pub fn union(&mut self, other: &AipSet) -> Result<()> {
+        match (self, other) {
+            (AipSet::Bloom(a), AipSet::Bloom(b)) => a.union(b),
+            (AipSet::Hash(a), AipSet::Hash(b)) => {
+                a.union(b);
+                Ok(())
+            }
+            (AipSet::MinMax(a), AipSet::MinMax(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (a, b) => Err(SipError::Exec(format!(
+                "cannot union AIP sets of kinds {:?} and {:?}",
+                a.kind(),
+                b.kind()
+            ))),
+        }
+    }
+
     /// Intersect with another set of the same representation, tightening the
     /// filter (both constraints must hold). Used by the registry when a
     /// second producer covers the same attribute class (§IV-B: "that filter
@@ -238,6 +263,27 @@ mod tests {
         let mut a = build(AipSetKind::Bloom, 0..10);
         let b = build(AipSetKind::Hash, 0..10);
         assert!(a.intersect(&b).is_err());
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn union_admits_both_sides_for_all_kinds() {
+        for kind in [AipSetKind::Bloom, AipSetKind::Hash, AipSetKind::MinMax] {
+            let mut a = build(kind, 0..50);
+            let b = build(kind, 200..250);
+            a.union(&b).unwrap();
+            for i in (0..50).chain(200..250) {
+                let k = key(i);
+                assert!(a.probe(digest(&k), &k), "{kind:?} union lost key {i}");
+            }
+        }
+        // The exact hash union stays exact outside both inputs.
+        let mut a = build(AipSetKind::Hash, 0..50);
+        let b = build(AipSetKind::Hash, 200..250);
+        a.union(&b).unwrap();
+        let k = key(100);
+        assert!(!a.probe(digest(&k), &k));
+        assert_eq!(a.n_keys(), 100);
     }
 
     #[test]

@@ -193,7 +193,10 @@ mod tests {
             }
         }
         let rate = fp as f64 / 50_000.0;
-        assert!(rate < 0.025, "observed FPR {rate} too high for k=4 target 1%");
+        assert!(
+            rate < 0.025,
+            "observed FPR {rate} too high for k=4 target 1%"
+        );
     }
 
     #[test]
@@ -211,9 +214,7 @@ mod tests {
             assert!(a.contains(fx_hash64(&i)), "lost common key {i}");
         }
         // Most non-common keys should now miss.
-        let misses = (500..750u64)
-            .filter(|i| !a.contains(fx_hash64(i)))
-            .count();
+        let misses = (500..750u64).filter(|i| !a.contains(fx_hash64(i))).count();
         assert!(misses > 200, "intersection barely filtered: {misses}");
     }
 

@@ -108,6 +108,34 @@ impl BucketedKeySet {
         released
     }
 
+    /// Union another set in, bucket by bucket (used to OR-merge the
+    /// per-partition AIP sets of a parallel plan into one plan-wide set).
+    ///
+    /// A bucket discarded on *either* side is discarded in the result — it
+    /// must pass everything through, because the discarded side's keys for
+    /// that bucket are unknown.
+    pub fn union(&mut self, other: &BucketedKeySet) {
+        for b in 0..N_BUCKETS {
+            if other.buckets[b].is_none() {
+                self.discard_bucket(b);
+                continue;
+            }
+            let Some(dst) = self.buckets[b].as_mut() else {
+                continue;
+            };
+            let mut added_keys = 0usize;
+            let mut added_bytes = 0usize;
+            for key in other.buckets[b].as_ref().expect("checked above") {
+                if dst.insert(key.clone()) {
+                    added_keys += 1;
+                    added_bytes += key.iter().map(Value::size_bytes).sum::<usize>() + 24;
+                }
+            }
+            self.n_keys += added_keys;
+            self.bytes += added_bytes;
+        }
+    }
+
     /// Number of live (still-exact) keys.
     pub fn n_keys(&self) -> usize {
         self.n_keys
@@ -179,7 +207,9 @@ mod tests {
         // Key 0 now passes through (no false negative).
         assert!(s.contains(digest(0), &key(0)));
         // A non-member hashing to the same bucket also passes (pass-through).
-        let stranger = (1000..).find(|&i| (digest(i) >> 58) as usize % 64 == b).unwrap();
+        let stranger = (1000..)
+            .find(|&i| (digest(i) >> 58) as usize % 64 == b)
+            .unwrap();
         assert!(s.contains(digest(stranger), &key(stranger)));
         assert_eq!(s.n_discarded(), 1);
     }
@@ -224,6 +254,31 @@ mod tests {
         assert!(s.fully_discarded());
         assert_eq!(s.n_keys(), 0);
         assert!(s.contains(digest(9999), &key(9999)));
+    }
+
+    #[test]
+    fn union_merges_keys_and_discards() {
+        let mut a = BucketedKeySet::new();
+        let mut b = BucketedKeySet::new();
+        for i in 0..100 {
+            a.insert(digest(i), key(i));
+        }
+        for i in 50..150 {
+            b.insert(digest(i), key(i));
+        }
+        // Discard one bucket on b; the union must pass that bucket through.
+        let victim = (digest(50) >> 58) as usize % 64;
+        b.discard_bucket(victim);
+        a.union(&b);
+        for i in 0..150 {
+            assert!(a.contains(digest(i), &key(i)), "union lost key {i}");
+        }
+        assert!(a.n_discarded() >= 1);
+        // A live-bucket non-member still misses.
+        let stranger = (1000..)
+            .find(|&i| (digest(i) >> 58) as usize % 64 != victim)
+            .unwrap();
+        assert!(!a.contains(digest(stranger), &key(stranger)));
     }
 
     #[test]

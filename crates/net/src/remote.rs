@@ -149,6 +149,7 @@ fn externalize_remote_scans(plan: &mut PhysPlan, tables: &[String]) -> Result<Ve
             table,
             cols,
             binding,
+            ..
         } = &node.kind
         {
             if tables.iter().any(|t| t == table.name()) {
@@ -208,7 +209,9 @@ fn feed_remote_scan(
         let batch = Batch::new(rows);
         let bytes = batch.size_bytes() as u64;
         stats.row_bytes.fetch_add(bytes, Ordering::Relaxed);
-        stats.rows_shipped.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        stats
+            .rows_shipped
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         std::thread::sleep(link.transfer_time(bytes));
         if tx.send(Msg::Batch(batch)).is_err() {
             return; // master cancelled
@@ -248,7 +251,11 @@ mod tests {
             &AipConfig::paper(),
         )
         .unwrap();
-        for strategy in [Strategy::Baseline, Strategy::FeedForward, Strategy::CostBased] {
+        for strategy in [
+            Strategy::Baseline,
+            Strategy::FeedForward,
+            Strategy::CostBased,
+        ] {
             let run = run_distributed(
                 &spec,
                 &c,

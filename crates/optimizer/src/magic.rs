@@ -70,9 +70,7 @@ fn strip_blocks(p: &LogicalPlan) -> Option<LogicalPlan> {
                 Some(inner)
             }
         }
-        LogicalPlan::Project { input, .. } | LogicalPlan::Distinct { input } => {
-            strip_blocks(input)
-        }
+        LogicalPlan::Project { input, .. } | LogicalPlan::Distinct { input } => strip_blocks(input),
         // Aggregates reached here are *outer* aggregates (true subquery
         // blocks are cut off at their parent join and never recursed into);
         // strip through to the raw join tree beneath.
@@ -84,7 +82,11 @@ fn strip_blocks(p: &LogicalPlan) -> Option<LogicalPlan> {
             keys,
             residual,
         } => {
-            let l = if is_agg_block(left) { None } else { strip_blocks(left) };
+            let l = if is_agg_block(left) {
+                None
+            } else {
+                strip_blocks(left)
+            };
             let r = if is_agg_block(right) {
                 None
             } else {
@@ -104,11 +106,9 @@ fn strip_blocks(p: &LogicalPlan) -> Option<LogicalPlan> {
                         // larger side (a superset-producing choice).
                         return Some(l);
                     }
-                    let residual = residual.as_ref().filter(|e| {
-                        e.attrs()
-                            .iter()
-                            .all(|a| la.contains(a) || ra.contains(a))
-                    });
+                    let residual = residual
+                        .as_ref()
+                        .filter(|e| e.attrs().iter().all(|a| la.contains(a) || ra.contains(a)));
                     Some(LogicalPlan::Join {
                         left: Box::new(l),
                         right: Box::new(r),
@@ -290,18 +290,24 @@ mod tests {
         let pred = p.col("p_brand").unwrap().eq(Expr::lit("Brand#34"));
         let p = q.filter(p, pred);
         let l = q
-            .scan("lineitem", "l", &["l_partkey", "l_quantity", "l_extendedprice"])
+            .scan(
+                "lineitem",
+                "l",
+                &["l_partkey", "l_quantity", "l_extendedprice"],
+            )
             .unwrap();
         let pl = q.join(p, l, &[("p.p_partkey", "l.l_partkey")]).unwrap();
-        let l2 = q.scan("lineitem", "l2", &["l_partkey", "l_quantity"]).unwrap();
+        let l2 = q
+            .scan("lineitem", "l2", &["l_partkey", "l_quantity"])
+            .unwrap();
         let qty2 = l2.col("l_quantity").unwrap();
         let avg = q
             .aggregate(l2, &["l_partkey"], &[(AggFunc::Avg, qty2, "avg_qty")])
             .unwrap();
-        let residual = pl
-            .col("l.l_quantity")
-            .unwrap()
-            .cmp(CmpOp::Lt, Expr::lit(0.2f64).mul(avg.col("avg_qty").unwrap()));
+        let residual = pl.col("l.l_quantity").unwrap().cmp(
+            CmpOp::Lt,
+            Expr::lit(0.2f64).mul(avg.col("avg_qty").unwrap()),
+        );
         let joined = q
             .join_residual(pl, avg, &[("p.p_partkey", "l2.l_partkey")], Some(residual))
             .unwrap();

@@ -56,7 +56,9 @@ impl ColMeta {
         let r = (rows_after / n).clamp(0.0, 1.0);
         let surviving = d * (1.0 - (1.0 - r).powf(n / d));
         ColMeta {
-            distinct: surviving.max(if rows_after > 0.0 { 1.0 } else { 0.0 }).min(rows_after.max(1.0)),
+            distinct: surviving
+                .max(if rows_after > 0.0 { 1.0 } else { 0.0 })
+                .min(rows_after.max(1.0)),
             min: self.min.clone(),
             max: self.max.clone(),
         }
@@ -75,7 +77,10 @@ pub struct NodeEst {
 impl NodeEst {
     /// Distinct estimate for an attribute (1 when unknown, division-safe).
     pub fn distinct(&self, attr: AttrId) -> f64 {
-        self.cols.get(&attr).map(|c| c.distinct.max(1.0)).unwrap_or(1.0)
+        self.cols
+            .get(&attr)
+            .map(|c| c.distinct.max(1.0))
+            .unwrap_or(1.0)
     }
 }
 
@@ -153,20 +158,38 @@ fn estimate_node(
 ) -> NodeEst {
     let node = &plan.nodes[idx];
     match &node.kind {
-        PhysKind::Scan { table, cols, .. } => {
-            let rows = table.len() as f64;
+        PhysKind::Scan {
+            table, cols, part, ..
+        } => {
+            // A hash-partitioned scan ships ~1/dop of the table. Only the
+            // partitioning column's *value domain* splits 1/dop (values,
+            // not rows, are partitioned); other columns keep their full
+            // domain and thin out like any uncorrelated row reduction
+            // (Yao, via ColMeta::scaled).
+            let frac = part.as_ref().map(|p| 1.0 / p.dop as f64).unwrap_or(1.0);
+            let full_rows = table.len() as f64;
+            let rows = full_rows * frac;
+            let part_col = part.as_ref().map(|p| p.col);
             let mut metas = FxHashMap::default();
             for (out_pos, &base_col) in cols.iter().enumerate() {
                 let attr = node.layout[out_pos];
                 let stats = &table.meta().column_stats[base_col];
-                metas.insert(
-                    attr,
+                let full = ColMeta {
+                    distinct: stats.distinct.max(1) as f64,
+                    min: stats.min.clone(),
+                    max: stats.max.clone(),
+                };
+                let meta = if part_col == Some(out_pos) {
                     ColMeta {
-                        distinct: stats.distinct.max(1) as f64,
-                        min: stats.min.clone(),
-                        max: stats.max.clone(),
-                    },
-                );
+                        distinct: (full.distinct * frac).max(1.0),
+                        ..full
+                    }
+                } else if frac < 1.0 {
+                    full.scaled(full_rows, rows)
+                } else {
+                    full
+                };
+                metas.insert(attr, meta);
             }
             NodeEst { rows, cols: metas }
         }
@@ -206,7 +229,11 @@ fn estimate_node(
                         let src = child_layout[*p];
                         cols.insert(
                             attr,
-                            child.cols.get(&src).cloned().unwrap_or(ColMeta::derived(rows)),
+                            child
+                                .cols
+                                .get(&src)
+                                .cloned()
+                                .unwrap_or(ColMeta::derived(rows)),
                         );
                     }
                     _ => {
@@ -258,7 +285,9 @@ fn estimate_node(
             for &g in group_cols {
                 groups *= child.distinct(child_layout[g]);
             }
-            let rows = groups.min(child.rows).max(if child.rows > 0.0 { 1.0 } else { 0.0 });
+            let rows = groups
+                .min(child.rows)
+                .max(if child.rows > 0.0 { 1.0 } else { 0.0 });
             let mut cols = FxHashMap::default();
             for (i, &g) in group_cols.iter().enumerate() {
                 let attr = node.layout[i];
@@ -312,6 +341,52 @@ fn estimate_node(
                 .iter()
                 .map(|(a, m)| (*a, m.scaled(p.rows, rows)))
                 .collect();
+            NodeEst { rows, cols }
+        }
+        PhysKind::Exchange { dop, .. } => {
+            // A hash repartition keeps 1/dop of the rows (and of the key
+            // values — partitioning splits the value domain).
+            let child = &ests[node.inputs[0].index()];
+            let frac = 1.0 / (*dop).max(1) as f64;
+            let rows = child.rows * frac;
+            let cols = child
+                .cols
+                .iter()
+                .map(|(a, m)| (*a, m.scaled(child.rows, rows)))
+                .collect();
+            NodeEst { rows, cols }
+        }
+        PhysKind::Merge => {
+            // Union of partition streams: rows add. Distinct counts add
+            // only for the partitioning column (whose value domain is
+            // split); lacking that knowledge here, summing capped by total
+            // rows keeps every column inside the sound
+            // [max(children), min(sum, rows)] interval. Min/max envelopes
+            // widen to cover every child.
+            let mut rows = 0.0;
+            let mut cols: FxHashMap<sip_common::AttrId, ColMeta> = FxHashMap::default();
+            for &c in &node.inputs {
+                let child = &ests[c.index()];
+                rows += child.rows;
+                for (a, m) in child.cols.iter() {
+                    cols.entry(*a)
+                        .and_modify(|acc| {
+                            acc.distinct += m.distinct;
+                            acc.min = match (acc.min.take(), m.min.clone()) {
+                                (Some(x), Some(y)) => Some(if y < x { y } else { x }),
+                                _ => None,
+                            };
+                            acc.max = match (acc.max.take(), m.max.clone()) {
+                                (Some(x), Some(y)) => Some(if y > x { y } else { x }),
+                                _ => None,
+                            };
+                        })
+                        .or_insert_with(|| m.clone());
+                }
+            }
+            for meta in cols.values_mut() {
+                meta.distinct = meta.distinct.min(rows.max(1.0));
+            }
             NodeEst { rows, cols }
         }
     }
@@ -467,9 +542,11 @@ mod tests {
             .find(|n| matches!(n.kind, PhysKind::Filter { .. }))
             .unwrap();
         let scan_est = est.node(plan.node(filter.id).inputs[0]).rows;
-        let d_size = c.get("part").unwrap().distinct(
-            c.get("part").unwrap().schema().index_of("p_size").unwrap(),
-        ) as f64;
+        let d_size = c
+            .get("part")
+            .unwrap()
+            .distinct(c.get("part").unwrap().schema().index_of("p_size").unwrap())
+            as f64;
         let expected = scan_est / d_size;
         let got = est.node(filter.id).rows;
         assert!((got - expected).abs() < 1e-6, "{got} vs {expected}");

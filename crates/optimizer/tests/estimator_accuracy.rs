@@ -42,7 +42,11 @@ fn subplan(plan: &PhysPlan, op: sip_common::OpId) -> PhysPlan {
             remap[i] = nodes.len() as u32;
             let mut n = plan.nodes[i].clone();
             n.id = sip_common::OpId(remap[i]);
-            n.inputs = n.inputs.iter().map(|c| sip_common::OpId(remap[c.index()])).collect();
+            n.inputs = n
+                .inputs
+                .iter()
+                .map(|c| sip_common::OpId(remap[c.index()]))
+                .collect();
             nodes.push(n);
         }
     }
@@ -57,9 +61,13 @@ fn estimates_track_actuals_on_q17_shape() {
     let p = q.scan("part", "p", &["p_partkey", "p_brand"]).unwrap();
     let pred = p.col("p_brand").unwrap().eq(Expr::lit("Brand#34"));
     let p = q.filter(p, pred);
-    let l = q.scan("lineitem", "l", &["l_partkey", "l_quantity"]).unwrap();
+    let l = q
+        .scan("lineitem", "l", &["l_partkey", "l_quantity"])
+        .unwrap();
     let pl = q.join(p, l, &[("p.p_partkey", "l.l_partkey")]).unwrap();
-    let l2 = q.scan("lineitem", "l2", &["l_partkey", "l_quantity"]).unwrap();
+    let l2 = q
+        .scan("lineitem", "l2", &["l_partkey", "l_quantity"])
+        .unwrap();
     let qty = l2.col("l_quantity").unwrap();
     let avg = q
         .aggregate(l2, &["l_partkey"], &[(AggFunc::Avg, qty, "avg")])
@@ -84,16 +92,14 @@ fn estimates_track_actuals_on_q17_shape() {
                     node.id
                 );
             }
-            PhysKind::Filter { .. } | PhysKind::HashJoin { .. } => {
-                if a > 0.0 {
-                    let ratio = e / a;
-                    assert!(
-                        (0.1..10.0).contains(&ratio),
-                        "{} {}: est {e} vs actual {a}",
-                        node.kind.name(),
-                        node.id
-                    );
-                }
+            PhysKind::Filter { .. } | PhysKind::HashJoin { .. } if a > 0.0 => {
+                let ratio = e / a;
+                assert!(
+                    (0.1..10.0).contains(&ratio),
+                    "{} {}: est {e} vs actual {a}",
+                    node.kind.name(),
+                    node.id
+                );
             }
             _ => {}
         }

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # sip-parallel — partition-parallel execution for the push engine
+//!
+//! The seed engine runs every operator on exactly one OS thread, so a join
+//! can never use more than one core. This crate adds **intra-operator,
+//! hash-partition parallelism** on top of the unchanged executor:
+//!
+//! 1. [`partition_plan`] analyzes a serial [`sip_engine::PhysPlan`], picks
+//!    the attribute-equivalence class its joins agree on, and expands the
+//!    plan into `dop` partition clones — partitioned scans (the fused form
+//!    of an `Exchange`), per-partition joins / semijoins / aggregates,
+//!    `Exchange` nodes above replicated subtrees feeding co-partitioned
+//!    joins, and `Merge` boundaries where partitions rejoin the serial
+//!    tail (including partial-aggregate + final-merge splits).
+//! 2. [`PartitionedExec`] runs the expanded plan on the ordinary threaded
+//!    executor: every clone is just an operator, so each partition gets its
+//!    own thread, its own metrics slot, and — crucially for AIP — its own
+//!    `FilterTap`.
+//! 3. The [`sip_engine::PartitionMap`] returned alongside the plan tells
+//!    AIP controllers which clone belongs to which partition, so a filter
+//!    built from one partition's completed build side can be injected
+//!    plan-wide immediately under a [`sip_engine::FilterScope`], and
+//!    OR-merged (`AipSet::union`) into an unscoped plan-wide filter once
+//!    every partition has reported — early partitions start pruning
+//!    sideways while slow (Zipf-skewed) partitions are still building.
+//!
+//! Expansion is *correctness-conservative*: joins partition only when their
+//! keys lie in the partitioning class (or one side is replicated),
+//! aggregates either group by the class, split into partial + final merge,
+//! or fall back to a serial aggregate above the merge, and plans that offer
+//! no safe parallelism at all are reported as
+//! [`PartitionError::NotPartitionable`] so callers can fall back to serial
+//! execution.
+
+mod partition;
+
+pub mod exec;
+
+pub use exec::PartitionedExec;
+pub use partition::{partition_plan, PartitionError};

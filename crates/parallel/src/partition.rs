@@ -1,0 +1,811 @@
+//! Plan analysis and expansion: serial [`PhysPlan`] → `dop`-way
+//! hash-partitioned [`PhysPlan`] + [`PartitionMap`].
+
+use sip_common::{AttrId, FxHashMap, FxHashSet, OpId};
+use sip_engine::{PartitionMap, PhysKind, PhysNode, PhysPlan, ScanPartition};
+use sip_expr::{AggFunc, Expr};
+use sip_plan::UnionFind;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a plan could not be partitioned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `dop` must be at least 2 for partitioning to mean anything.
+    DopTooSmall,
+    /// No attribute-equivalence class yields any partitioned scan, or the
+    /// plan is parallelism-free (e.g. a single scan with no stateful work).
+    NotPartitionable,
+    /// The plan contains operators that cannot be cloned across partitions
+    /// (external sources are fed by op-id-keyed channels; already-expanded
+    /// plans must not be expanded again).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::DopTooSmall => f.write_str("degree of parallelism must be >= 2"),
+            PartitionError::NotPartitionable => {
+                f.write_str("plan offers no hash-partitionable region")
+            }
+            PartitionError::Unsupported(what) => {
+                write!(f, "plan contains unpartitionable operator: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Expand `plan` into `dop` hash partitions.
+///
+/// On success, returns the expanded plan (Exchange/Merge boundaries
+/// inserted, every partition-compatible operator cloned per partition) and
+/// the [`PartitionMap`] describing clone → partition / source-operator
+/// relationships for AIP controllers and metrics rollups.
+pub fn partition_plan(
+    plan: &PhysPlan,
+    dop: u32,
+) -> Result<(Arc<PhysPlan>, Arc<PartitionMap>), PartitionError> {
+    if dop < 2 {
+        return Err(PartitionError::DopTooSmall);
+    }
+    for node in &plan.nodes {
+        match node.kind {
+            PhysKind::ExternalSource { .. } => {
+                return Err(PartitionError::Unsupported("ExternalSource"))
+            }
+            PhysKind::Exchange { .. } | PhysKind::Merge => {
+                return Err(PartitionError::Unsupported("already partitioned"))
+            }
+            _ => {}
+        }
+    }
+    let class = choose_class(plan).ok_or(PartitionError::NotPartitionable)?;
+    let mut ex = Expander {
+        old: plan,
+        dop,
+        class,
+        nodes: Vec::new(),
+        partition_of: Vec::new(),
+        logical_of: Vec::new(),
+        made_parallel: false,
+    };
+    let built = ex.build(plan.root);
+    let root = ex.single_stream(built, plan.root);
+    if !ex.made_parallel {
+        return Err(PartitionError::NotPartitionable);
+    }
+    let map = PartitionMap {
+        dop,
+        partition_of: ex.partition_of,
+        logical_of: ex.logical_of,
+        class_attrs: ex.class,
+    };
+    let expanded = PhysPlan::from_nodes(ex.nodes, root, plan.attrs.clone())
+        .expect("expansion produced an invalid plan");
+    Ok((Arc::new(expanded), Arc::new(map)))
+}
+
+/// Union-find over the plan's join-key attribute equalities, then pick the
+/// class that covers the most stateful work.
+fn choose_class(plan: &PhysPlan) -> Option<FxHashSet<AttrId>> {
+    let mut uf = UnionFind::default();
+    let mut key_attrs: Vec<AttrId> = Vec::new();
+    for node in &plan.nodes {
+        let (ik, jk) = match &node.kind {
+            PhysKind::HashJoin {
+                left_keys,
+                right_keys,
+                ..
+            } => (left_keys, right_keys),
+            PhysKind::SemiJoin {
+                probe_keys,
+                build_keys,
+            } => (probe_keys, build_keys),
+            _ => continue,
+        };
+        let il = &plan.node(node.inputs[0]).layout;
+        let jl = &plan.node(node.inputs[1]).layout;
+        for (&a, &b) in ik.iter().zip(jk.iter()) {
+            uf.union(il[a].0, jl[b].0);
+            key_attrs.push(il[a]);
+            key_attrs.push(jl[b]);
+        }
+    }
+    // Score each class: joins co-keyed on it count double (both sides
+    // partition), aggregates grouped by it count once. Two passes — all
+    // joins, then all aggregates — because an aggregate sits *below* its
+    // consuming join in arena order, so a single interleaved pass would
+    // miss every aggregate bonus (the class entry would not exist yet).
+    let mut scores: FxHashMap<u32, u32> = FxHashMap::default();
+    for node in &plan.nodes {
+        match &node.kind {
+            PhysKind::HashJoin {
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                let ll = &plan.node(node.inputs[0]).layout;
+                for (&lk, _) in left_keys.iter().zip(right_keys.iter()) {
+                    *scores.entry(uf.find(ll[lk].0)).or_default() += 2;
+                }
+            }
+            PhysKind::SemiJoin {
+                probe_keys,
+                build_keys,
+            } => {
+                let pl = &plan.node(node.inputs[0]).layout;
+                for (&pk, _) in probe_keys.iter().zip(build_keys.iter()) {
+                    *scores.entry(uf.find(pl[pk].0)).or_default() += 2;
+                }
+            }
+            _ => {}
+        }
+    }
+    for node in &plan.nodes {
+        if let PhysKind::Aggregate { group_cols, .. } = &node.kind {
+            let cl = &plan.node(node.inputs[0]).layout;
+            for &g in group_cols {
+                let root = uf.find(cl[g].0);
+                if scores.contains_key(&root) {
+                    *scores.entry(root).or_default() += 1;
+                }
+            }
+        }
+    }
+    let (&best, _) = scores
+        .iter()
+        .max_by_key(|&(&root, &score)| (score, std::cmp::Reverse(root)))?;
+    // The class holds exactly the attrs appearing as join keys of the
+    // winning equivalence class. An equated attribute re-exposed under a
+    // different AttrId (e.g. through a projection alias) that never appears
+    // as a join key is not included — its scan is conservatively treated as
+    // replicable rather than partitioned.
+    let class: FxHashSet<AttrId> = key_attrs
+        .iter()
+        .copied()
+        .filter(|a| uf.find(a.0) == best)
+        .collect();
+    Some(class)
+}
+
+/// The result of expanding one source subtree.
+enum Built {
+    /// One clone output per partition, in partition order.
+    PerPartition(Vec<OpId>),
+    /// The subtree holds no partitioned source; it can be instantiated
+    /// per partition on demand (the id is the *source-plan* subtree root).
+    Replicable(OpId),
+    /// A single already-materialized stream in the new plan.
+    Single(OpId),
+}
+
+struct Expander<'a> {
+    old: &'a PhysPlan,
+    dop: u32,
+    class: FxHashSet<AttrId>,
+    nodes: Vec<PhysNode>,
+    partition_of: Vec<Option<u32>>,
+    logical_of: Vec<OpId>,
+    made_parallel: bool,
+}
+
+impl Expander<'_> {
+    fn push(
+        &mut self,
+        kind: PhysKind,
+        inputs: Vec<OpId>,
+        layout: Vec<AttrId>,
+        partition: Option<u32>,
+        logical: OpId,
+    ) -> OpId {
+        let id = OpId(self.nodes.len() as u32);
+        self.nodes.push(PhysNode {
+            id,
+            kind,
+            inputs,
+            layout,
+        });
+        self.partition_of.push(partition);
+        self.logical_of.push(logical);
+        id
+    }
+
+    /// First layout position carrying a partitioning-class attribute.
+    fn class_pos(&self, layout: &[AttrId]) -> Option<usize> {
+        layout.iter().position(|a| self.class.contains(a))
+    }
+
+    /// Do the join keys equate attributes of the partitioning class?
+    fn co_keyed(&self, left_layout: &[AttrId], left_keys: &[usize]) -> bool {
+        left_keys
+            .iter()
+            .any(|&k| self.class.contains(&left_layout[k]))
+    }
+
+    /// Deep-copy a source subtree into the new arena, unchanged, attributed
+    /// to `partition`.
+    fn instantiate(&mut self, op: OpId, partition: Option<u32>) -> OpId {
+        let node = self.old.node(op);
+        let inputs: Vec<OpId> = node
+            .inputs
+            .iter()
+            .map(|&c| self.instantiate(c, partition))
+            .collect();
+        self.push(
+            node.kind.clone(),
+            inputs,
+            node.layout.clone(),
+            partition,
+            op,
+        )
+    }
+
+    /// Materialize any [`Built`] as one stream (inserting a Merge above
+    /// partition clones).
+    fn single_stream(&mut self, built: Built, logical: OpId) -> OpId {
+        match built {
+            Built::Single(id) => id,
+            Built::Replicable(op) => self.instantiate(op, None),
+            Built::PerPartition(clones) => {
+                let layout = self.nodes[clones[0].index()].layout.clone();
+                self.push(PhysKind::Merge, clones, layout, None, logical)
+            }
+        }
+    }
+
+    /// Clone a unary source operator over each partition stream.
+    fn map_clones(&mut self, op: OpId, children: Vec<OpId>) -> Vec<OpId> {
+        let node = self.old.node(op);
+        children
+            .into_iter()
+            .enumerate()
+            .map(|(p, c)| {
+                self.push(
+                    node.kind.clone(),
+                    vec![c],
+                    node.layout.clone(),
+                    Some(p as u32),
+                    op,
+                )
+            })
+            .collect()
+    }
+
+    /// Expand one source subtree.
+    fn build(&mut self, op: OpId) -> Built {
+        let node = self.old.node(op);
+        match &node.kind {
+            PhysKind::Scan { .. } => match self.class_pos(&node.layout) {
+                Some(col) => {
+                    self.made_parallel = true;
+                    let clones = (0..self.dop)
+                        .map(|p| {
+                            let mut kind = node.kind.clone();
+                            if let PhysKind::Scan { part, .. } = &mut kind {
+                                *part = Some(ScanPartition {
+                                    col,
+                                    partition: p,
+                                    dop: self.dop,
+                                });
+                            }
+                            self.push(kind, vec![], node.layout.clone(), Some(p), op)
+                        })
+                        .collect();
+                    Built::PerPartition(clones)
+                }
+                None => Built::Replicable(op),
+            },
+            PhysKind::Filter { .. } | PhysKind::Project { .. } => {
+                match self.build(node.inputs[0]) {
+                    Built::PerPartition(cs) => Built::PerPartition(self.map_clones(op, cs)),
+                    Built::Replicable(_) => Built::Replicable(op),
+                    Built::Single(c) => Built::Single(self.push(
+                        node.kind.clone(),
+                        vec![c],
+                        node.layout.clone(),
+                        None,
+                        op,
+                    )),
+                }
+            }
+            PhysKind::HashJoin {
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                let co = self.co_keyed(&self.old.node(node.inputs[0]).layout, left_keys)
+                    && self.co_keyed(&self.old.node(node.inputs[1]).layout, right_keys);
+                self.build_binary(op, co)
+            }
+            PhysKind::SemiJoin {
+                probe_keys,
+                build_keys,
+            } => {
+                let co = self.co_keyed(&self.old.node(node.inputs[0]).layout, probe_keys)
+                    && self.co_keyed(&self.old.node(node.inputs[1]).layout, build_keys);
+                self.build_binary(op, co)
+            }
+            PhysKind::Aggregate { group_cols, aggs } => {
+                let child_layout = &self.old.node(node.inputs[0]).layout;
+                let grouped_by_class = group_cols
+                    .iter()
+                    .any(|&g| self.class.contains(&child_layout[g]));
+                let merge_funcs: Option<Vec<AggFunc>> =
+                    aggs.iter().map(|a| merge_func(a.func)).collect();
+                let n_groups = group_cols.len();
+                match self.build(node.inputs[0]) {
+                    Built::PerPartition(cs) => {
+                        if grouped_by_class {
+                            // Equal group keys share a partition: each
+                            // partition's groups are complete and final.
+                            Built::PerPartition(self.map_clones(op, cs))
+                        } else if let Some(funcs) = merge_funcs {
+                            // Partial aggregate per partition, merged, then
+                            // a final aggregate combining partial states.
+                            let partials = self.map_clones(op, cs);
+                            let merged =
+                                self.push(PhysKind::Merge, partials, node.layout.clone(), None, op);
+                            let final_aggs = self
+                                .old
+                                .node(op)
+                                .layout
+                                .iter()
+                                .skip(n_groups)
+                                .zip(funcs)
+                                .enumerate()
+                                .map(|(i, (_, func))| sip_engine::BoundAgg {
+                                    func,
+                                    input: Expr::Col(n_groups + i),
+                                })
+                                .collect();
+                            Built::Single(self.push(
+                                PhysKind::Aggregate {
+                                    group_cols: (0..n_groups).collect(),
+                                    aggs: final_aggs,
+                                },
+                                vec![merged],
+                                node.layout.clone(),
+                                None,
+                                op,
+                            ))
+                        } else {
+                            // Unmergeable aggregate (e.g. AVG): aggregate
+                            // serially above the merge.
+                            let merged_in = self.single_stream(Built::PerPartition(cs), op);
+                            Built::Single(self.push(
+                                node.kind.clone(),
+                                vec![merged_in],
+                                node.layout.clone(),
+                                None,
+                                op,
+                            ))
+                        }
+                    }
+                    Built::Replicable(_) => Built::Replicable(op),
+                    Built::Single(c) => Built::Single(self.push(
+                        node.kind.clone(),
+                        vec![c],
+                        node.layout.clone(),
+                        None,
+                        op,
+                    )),
+                }
+            }
+            PhysKind::Distinct => match self.build(node.inputs[0]) {
+                Built::PerPartition(cs) => {
+                    if self.class_pos(&node.layout).is_some() {
+                        // Rows equal on every column share a partition.
+                        Built::PerPartition(self.map_clones(op, cs))
+                    } else {
+                        // Partial dedup per partition shrinks the merge;
+                        // the serial distinct finishes the job.
+                        let partials = self.map_clones(op, cs);
+                        let merged =
+                            self.push(PhysKind::Merge, partials, node.layout.clone(), None, op);
+                        Built::Single(self.push(
+                            PhysKind::Distinct,
+                            vec![merged],
+                            node.layout.clone(),
+                            None,
+                            op,
+                        ))
+                    }
+                }
+                Built::Replicable(_) => Built::Replicable(op),
+                Built::Single(c) => Built::Single(self.push(
+                    PhysKind::Distinct,
+                    vec![c],
+                    node.layout.clone(),
+                    None,
+                    op,
+                )),
+            },
+            PhysKind::ExternalSource { .. } | PhysKind::Exchange { .. } | PhysKind::Merge => {
+                unreachable!("rejected before expansion")
+            }
+        }
+    }
+
+    /// Expand a join/semijoin. `co` = the operator equates partitioning-class
+    /// attributes on both inputs, so co-partitioned inputs line up.
+    fn build_binary(&mut self, op: OpId, co: bool) -> Built {
+        let node = self.old.node(op);
+        let (l_old, r_old) = (node.inputs[0], node.inputs[1]);
+        let l = self.build(l_old);
+        let r = self.build(r_old);
+        match (l, r) {
+            (Built::PerPartition(ls), Built::PerPartition(rs)) => {
+                if co {
+                    let clones = ls
+                        .into_iter()
+                        .zip(rs)
+                        .enumerate()
+                        .map(|(p, (lc, rc))| {
+                            self.push(
+                                node.kind.clone(),
+                                vec![lc, rc],
+                                node.layout.clone(),
+                                Some(p as u32),
+                                op,
+                            )
+                        })
+                        .collect();
+                    Built::PerPartition(clones)
+                } else {
+                    // Partitioned on a class this operator does not equate:
+                    // matching rows could sit in different partitions. End
+                    // the parallel region below this operator.
+                    let lm = self.single_stream(Built::PerPartition(ls), l_old);
+                    let rm = self.single_stream(Built::PerPartition(rs), r_old);
+                    Built::Single(self.push(
+                        node.kind.clone(),
+                        vec![lm, rm],
+                        node.layout.clone(),
+                        None,
+                        op,
+                    ))
+                }
+            }
+            (Built::PerPartition(ls), Built::Replicable(r_op)) => {
+                Built::PerPartition(self.join_with_replica(op, ls, r_op, co, false))
+            }
+            (Built::Replicable(l_op), Built::PerPartition(rs)) => {
+                // A semijoin's output is its *probe* (left) side: with a
+                // replicated probe over a non-co-keyed partitioned build,
+                // a probe row matching build rows in several partitions
+                // would be emitted once per partition — a semijoin is not
+                // distributive over a union of its build side. Only the
+                // co-keyed case is safe (the Exchange routes each probe
+                // row to exactly one partition); otherwise end the region.
+                if matches!(node.kind, PhysKind::SemiJoin { .. }) && !co {
+                    let lm = self.single_stream(Built::Replicable(l_op), l_old);
+                    let rm = self.single_stream(Built::PerPartition(rs), r_old);
+                    Built::Single(self.push(
+                        node.kind.clone(),
+                        vec![lm, rm],
+                        node.layout.clone(),
+                        None,
+                        op,
+                    ))
+                } else {
+                    Built::PerPartition(self.join_with_replica(op, rs, l_op, co, true))
+                }
+            }
+            (Built::Replicable(_), Built::Replicable(_)) => Built::Replicable(op),
+            (l, r) => {
+                // At least one side is already Single: the region ended
+                // below; run this operator serially.
+                let lm = self.single_stream(l, l_old);
+                let rm = self.single_stream(r, r_old);
+                Built::Single(self.push(
+                    node.kind.clone(),
+                    vec![lm, rm],
+                    node.layout.clone(),
+                    None,
+                    op,
+                ))
+            }
+        }
+    }
+
+    /// Join partition streams against per-partition instantiations of a
+    /// replicable subtree. When the join equates class attributes and the
+    /// replica exposes one, an [`PhysKind::Exchange`] prunes each replica
+    /// to its partition's hash class, shrinking build state by ~`dop`×;
+    /// otherwise each partition keeps a full replica (correct because each
+    /// partitioned-side row lives in exactly one partition).
+    fn join_with_replica(
+        &mut self,
+        op: OpId,
+        streams: Vec<OpId>,
+        replica_op: OpId,
+        co: bool,
+        replica_is_left: bool,
+    ) -> Vec<OpId> {
+        let node = self.old.node(op);
+        let replica_layout = self.old.node(replica_op).layout.clone();
+        let exchange_col = if co {
+            self.class_pos(&replica_layout)
+        } else {
+            None
+        };
+        streams
+            .into_iter()
+            .enumerate()
+            .map(|(p, stream)| {
+                let p32 = p as u32;
+                let mut replica = self.instantiate(replica_op, Some(p32));
+                if let Some(col) = exchange_col {
+                    replica = self.push(
+                        PhysKind::Exchange {
+                            col,
+                            partition: p32,
+                            dop: self.dop,
+                        },
+                        vec![replica],
+                        replica_layout.clone(),
+                        Some(p32),
+                        replica_op,
+                    );
+                }
+                let inputs = if replica_is_left {
+                    vec![replica, stream]
+                } else {
+                    vec![stream, replica]
+                };
+                self.push(
+                    node.kind.clone(),
+                    inputs,
+                    node.layout.clone(),
+                    Some(p32),
+                    op,
+                )
+            })
+            .collect()
+    }
+}
+
+/// How a partial aggregate's outputs combine in the final merge aggregate;
+/// `None` = the function cannot be split (serial fallback).
+fn merge_func(f: AggFunc) -> Option<AggFunc> {
+    match f {
+        AggFunc::Sum => Some(AggFunc::Sum),
+        AggFunc::Count => Some(AggFunc::Sum),
+        AggFunc::Min => Some(AggFunc::Min),
+        AggFunc::Max => Some(AggFunc::Max),
+        AggFunc::Avg => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_data::{generate, Catalog, TpchConfig};
+    use sip_engine::{canonical, execute_oracle, lower};
+    use sip_plan::QueryBuilder;
+
+    fn catalog() -> Catalog {
+        generate(&TpchConfig {
+            scale_factor: 0.004,
+            seed: 11,
+            zipf_z: 0.5,
+        })
+        .unwrap()
+    }
+
+    /// part ⋈ (sum availqty per partkey): joins and groups on one class.
+    fn partkey_plan(c: &Catalog) -> PhysPlan {
+        let mut q = QueryBuilder::new(c);
+        let p = q.scan("part", "p", &["p_partkey", "p_size"]).unwrap();
+        let ps = q
+            .scan("partsupp", "ps", &["ps_partkey", "ps_availqty"])
+            .unwrap();
+        let qty = ps.col("ps_availqty").unwrap();
+        let agg = q
+            .aggregate(ps, &["ps_partkey"], &[(AggFunc::Sum, qty, "avail")])
+            .unwrap();
+        let j = q.join(p, agg, &[("p.p_partkey", "ps.ps_partkey")]).unwrap();
+        let plan = j.into_plan();
+        lower(&plan, q.into_attrs(), c).unwrap()
+    }
+
+    #[test]
+    fn expansion_matches_oracle_and_maps_partitions() {
+        let c = catalog();
+        let plan = partkey_plan(&c);
+        let expected = canonical(&execute_oracle(&plan).unwrap());
+        for dop in [2u32, 3, 4] {
+            let (expanded, map) = partition_plan(&plan, dop).unwrap();
+            expanded.validate().unwrap();
+            assert_eq!(map.dop, dop);
+            assert_eq!(map.partition_of.len(), expanded.nodes.len());
+            // The expanded plan computes the same multiset.
+            let got = canonical(&execute_oracle(&expanded).unwrap());
+            assert_eq!(got, expected, "dop {dop} diverged");
+            // Every partition owns at least one operator; a merge exists.
+            for p in 0..dop {
+                assert!(map.partition_of.contains(&Some(p)), "partition {p} empty");
+            }
+            assert!(expanded
+                .nodes
+                .iter()
+                .any(|n| matches!(n.kind, PhysKind::Merge)));
+            // Scans are partition-pruned.
+            let parts: Vec<_> = expanded
+                .nodes
+                .iter()
+                .filter_map(|n| match &n.kind {
+                    PhysKind::Scan { part: Some(p), .. } => Some(p.partition),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(parts.len(), 2 * dop as usize, "both scans split");
+        }
+    }
+
+    #[test]
+    fn global_aggregate_splits_into_partial_and_final() {
+        let c = catalog();
+        let mut q = QueryBuilder::new(&c);
+        let ps = q
+            .scan("partsupp", "ps", &["ps_partkey", "ps_availqty"])
+            .unwrap();
+        let qty = ps.col("ps_availqty").unwrap();
+        let per_key = q
+            .aggregate(ps, &["ps_partkey"], &[(AggFunc::Sum, qty, "avail")])
+            .unwrap();
+        let p = q.scan("part", "p", &["p_partkey"]).unwrap();
+        let j = q
+            .join(p, per_key, &[("p.p_partkey", "ps.ps_partkey")])
+            .unwrap();
+        let avail = j.col("avail").unwrap();
+        let total = q
+            .aggregate(j, &[], &[(AggFunc::Sum, avail, "total")])
+            .unwrap();
+        let plan = total.into_plan();
+        let phys = lower(&plan, q.into_attrs(), &c).unwrap();
+
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        let (expanded, _map) = partition_plan(&phys, 4).unwrap();
+        // The global SUM has no class column: partial aggregates per
+        // partition + a final merge aggregate above the Merge.
+        let aggs = expanded
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, PhysKind::Aggregate { .. }))
+            .count();
+        // 4 per-key (partitioned) + 4 partial SUM + 1 final SUM.
+        assert_eq!(aggs, 9, "{}", expanded.display());
+        assert_eq!(canonical(&execute_oracle(&expanded).unwrap()), expected);
+    }
+
+    #[test]
+    fn single_scan_plan_is_not_partitionable() {
+        let c = catalog();
+        let mut q = QueryBuilder::new(&c);
+        let p = q.scan("part", "p", &["p_partkey"]).unwrap();
+        let plan = p.into_plan();
+        let phys = lower(&plan, q.into_attrs(), &c).unwrap();
+        assert_eq!(
+            partition_plan(&phys, 4).unwrap_err(),
+            PartitionError::NotPartitionable
+        );
+        assert_eq!(
+            partition_plan(&phys, 1).unwrap_err(),
+            PartitionError::DopTooSmall
+        );
+    }
+
+    #[test]
+    fn replicated_side_gets_exchange_when_co_keyed() {
+        let c = catalog();
+        let mut q = QueryBuilder::new(&c);
+        // Aggregate the supplier side by suppkey — no partkey → replicable.
+        // Join partsupp against it on suppkey... then partkey cannot win;
+        // instead: partition class = partkey via ps1 ⋈ ps2, with a
+        // part-side filter subtree that stays replicable-free.
+        let ps1 = q
+            .scan("partsupp", "ps1", &["ps_partkey", "ps_availqty"])
+            .unwrap();
+        let ps2 = q.scan("partsupp", "ps2", &["ps_partkey"]).unwrap();
+        let j = q
+            .join(ps1, ps2, &[("ps1.ps_partkey", "ps2.ps_partkey")])
+            .unwrap();
+        let plan = j.into_plan();
+        let phys = lower(&plan, q.into_attrs(), &c).unwrap();
+        let (expanded, map) = partition_plan(&phys, 2).unwrap();
+        // Both sides carry partkey → both scans partitioned, no Exchange.
+        assert!(expanded
+            .nodes
+            .iter()
+            .all(|n| !matches!(n.kind, PhysKind::Exchange { .. })));
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        assert_eq!(canonical(&execute_oracle(&expanded).unwrap()), expected);
+        assert!(map.class_attrs.len() >= 2);
+    }
+
+    #[test]
+    fn semijoin_with_replicated_probe_on_off_class_key_stays_serial() {
+        // Partition class = partkey: it scores 3 (the ps1 ⋈ agg join plus
+        // the aggregate's group-key bonus) against the semijoin's suppkey
+        // at 2. The semijoin probes supplier (no partkey → replicable)
+        // against the partitioned stream on *suppkey*, which is off-class:
+        // build rows with one suppkey spread across partkey partitions, so
+        // a partitioned semijoin would emit the probe row once per
+        // matching partition. The expander must run this semijoin
+        // serially.
+        let c = catalog();
+        let mut q = QueryBuilder::new(&c);
+        let s = q.scan("supplier", "s", &["s_suppkey"]).unwrap();
+        let ps1 = q
+            .scan("partsupp", "ps1", &["ps_partkey", "ps_suppkey"])
+            .unwrap();
+        let ps2 = q
+            .scan("partsupp", "ps2", &["ps_partkey", "ps_availqty"])
+            .unwrap();
+        let qty = ps2.col("ps_availqty").unwrap();
+        let agg = q
+            .aggregate(ps2, &["ps_partkey"], &[(AggFunc::Sum, qty, "avail")])
+            .unwrap();
+        let j = q
+            .join(ps1, agg, &[("ps1.ps_partkey", "ps2.ps_partkey")])
+            .unwrap();
+        let keys = vec![(
+            s.attr("s_suppkey").unwrap(),
+            j.attr("ps1.ps_suppkey").unwrap(),
+        )];
+        let plan = sip_plan::LogicalPlan::SemiJoin {
+            probe: Box::new(s.into_plan()),
+            build: Box::new(j.into_plan()),
+            keys,
+        };
+        let phys = lower(&plan, q.into_attrs(), &c).unwrap();
+
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        for dop in [2u32, 4] {
+            let (expanded, _) = partition_plan(&phys, dop).unwrap();
+            assert_eq!(
+                canonical(&execute_oracle(&expanded).unwrap()),
+                expected,
+                "dop {dop}: replicated-probe semijoin duplicated rows\n{}",
+                expanded.display()
+            );
+            // The semijoin itself runs once, above the merge.
+            let semis = expanded
+                .nodes
+                .iter()
+                .filter(|n| matches!(n.kind, PhysKind::SemiJoin { .. }))
+                .count();
+            assert_eq!(semis, 1, "{}", expanded.display());
+        }
+    }
+
+    #[test]
+    fn avg_aggregate_falls_back_to_serial_merge() {
+        let c = catalog();
+        let mut q = QueryBuilder::new(&c);
+        let ps = q
+            .scan("partsupp", "ps", &["ps_partkey", "ps_availqty"])
+            .unwrap();
+        let p = q.scan("part", "p", &["p_partkey"]).unwrap();
+        let j = q.join(p, ps, &[("p.p_partkey", "ps.ps_partkey")]).unwrap();
+        let qty = j.col("ps_availqty").unwrap();
+        // Global AVG: not splittable into partials.
+        let avg = q.aggregate(j, &[], &[(AggFunc::Avg, qty, "mean")]).unwrap();
+        let plan = avg.into_plan();
+        let phys = lower(&plan, q.into_attrs(), &c).unwrap();
+        let (expanded, _) = partition_plan(&phys, 3).unwrap();
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        assert_eq!(canonical(&execute_oracle(&expanded).unwrap()), expected);
+        // Exactly one Aggregate survives (serial, above the merge).
+        let aggs = expanded
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, PhysKind::Aggregate { .. }))
+            .count();
+        assert_eq!(aggs, 1, "{}", expanded.display());
+    }
+}

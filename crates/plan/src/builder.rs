@@ -37,8 +37,7 @@ impl Rel {
     pub fn attr(&self, name: &str) -> Result<AttrId> {
         let mut hit = None;
         for (n, a) in &self.scope {
-            let matches = n == name
-                || (!name.contains('.') && n.rsplit('.').next() == Some(name));
+            let matches = n == name || (!name.contains('.') && n.rsplit('.').next() == Some(name));
             if matches {
                 if let Some(prev) = hit {
                     if prev != *a {
@@ -236,11 +235,7 @@ impl<'a> QueryBuilder<'a> {
     }
 
     /// Computing projection: derive new attributes from expressions.
-    pub fn project(
-        &mut self,
-        rel: Rel,
-        exprs: &[(Expr, &str, DataType)],
-    ) -> Result<Rel> {
+    pub fn project(&mut self, rel: Rel, exprs: &[(Expr, &str, DataType)]) -> Result<Rel> {
         let mut out_exprs = Vec::with_capacity(exprs.len());
         let mut scope = Vec::with_capacity(exprs.len());
         for (e, name, dtype) in exprs {

@@ -258,7 +258,11 @@ impl LogicalPlan {
     fn fmt_indent(&self, attrs: &AttrCatalog, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         match self {
-            LogicalPlan::Scan { table, binding, cols } => {
+            LogicalPlan::Scan {
+                table,
+                binding,
+                cols,
+            } => {
                 let names: Vec<String> = cols.iter().map(|&(_, a)| attrs.name(a)).collect();
                 let _ = writeln!(out, "{pad}Scan {table} as {binding} [{}]", names.join(", "));
             }
@@ -274,7 +278,12 @@ impl LogicalPlan {
                 let _ = writeln!(out, "{pad}Project [{}]", cols.join(", "));
                 input.fmt_indent(attrs, depth + 1, out);
             }
-            LogicalPlan::Join { left, right, keys, residual } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                keys,
+                residual,
+            } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|&(l, r)| format!("{} = {}", attrs.name(l), attrs.name(r)))
@@ -287,7 +296,11 @@ impl LogicalPlan {
                 left.fmt_indent(attrs, depth + 1, out);
                 right.fmt_indent(attrs, depth + 1, out);
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let g: Vec<String> = group_by.iter().map(|&a| attrs.name(a)).collect();
                 let ag: Vec<String> = aggs
                     .iter()
@@ -300,7 +313,12 @@ impl LogicalPlan {
                         )
                     })
                     .collect();
-                let _ = writeln!(out, "{pad}Aggregate group=[{}] aggs=[{}]", g.join(", "), ag.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate group=[{}] aggs=[{}]",
+                    g.join(", "),
+                    ag.join(", ")
+                );
                 input.fmt_indent(attrs, depth + 1, out);
             }
             LogicalPlan::Distinct { input } => {
@@ -446,7 +464,9 @@ mod tests {
         let (s2, a2) = scan(&mut attrs, "u", &["y"]);
         let filtered = LogicalPlan::Filter {
             input: Box::new(s1),
-            predicate: Expr::attr(a1[0]).gt(Expr::lit(5i64)).and(Expr::attr(a1[0]).lt(Expr::lit(50i64))),
+            predicate: Expr::attr(a1[0])
+                .gt(Expr::lit(5i64))
+                .and(Expr::attr(a1[0]).lt(Expr::lit(50i64))),
         };
         let join = LogicalPlan::Join {
             left: Box::new(filtered),

@@ -201,11 +201,11 @@ mod tests {
 
     /// Build a miniature version of the paper's running example:
     /// part ⋈ partsupp ⋈ (aggregate over partsupp ps2).
-    fn mini_example(
-        c: &sip_data::Catalog,
-    ) -> (LogicalPlan, AttrCatalog, AttrId, AttrId, AttrId) {
+    fn mini_example(c: &sip_data::Catalog) -> (LogicalPlan, AttrCatalog, AttrId, AttrId, AttrId) {
         let mut q = QueryBuilder::new(c);
-        let p = q.scan("part", "p", &["p_partkey", "p_retailprice"]).unwrap();
+        let p = q
+            .scan("part", "p", &["p_partkey", "p_retailprice"])
+            .unwrap();
         let ps1 = q
             .scan("partsupp", "ps1", &["ps_partkey", "ps_supplycost"])
             .unwrap();

@@ -39,11 +39,7 @@ impl UnionFind {
     pub fn find_const(&self, id: u32) -> u32 {
         let mut x = id;
         loop {
-            let p = self
-                .parent
-                .get(x as usize)
-                .copied()
-                .unwrap_or(x);
+            let p = self.parent.get(x as usize).copied().unwrap_or(x);
             if p == x {
                 return x;
             }

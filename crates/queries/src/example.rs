@@ -2,9 +2,10 @@
 //! much less than retail whose stock on hand is low relative to sales.
 //!
 //! The plan matches Fig. 1 exactly: a DISTINCT over the top join of
-//!   * σ(2·supplycost < retailprice)(P ⋈ PS1), projected to PARTKEY (†),
-//!   * γ SUM(availqty) per PARTKEY over PS2,
-//!   * γ SUM(quantity) per PARTKEY over σ(receiptdate > cutoff)(L)  (‡),
+//! * σ(2·supplycost < retailprice)(P ⋈ PS1), projected to PARTKEY (†),
+//! * γ SUM(availqty) per PARTKEY over PS2,
+//! * γ SUM(quantity) per PARTKEY over σ(receiptdate > cutoff)(L)  (‡),
+//!
 //! with the `avail` vs `numsold` comparison as the top residual.
 //!
 //! Two constants are rescaled to the generated data regime (documented in
@@ -55,7 +56,11 @@ pub fn build(catalog: &Catalog) -> Result<QuerySpec> {
     let avail = q.aggregate(ps2, &["ps_partkey"], &[(AggFunc::Sum, qty, "avail")])?;
 
     // Sales (‡): γ SUM(l_quantity) per partkey over recent lineitems.
-    let l = q.scan("lineitem", "l", &["l_partkey", "l_quantity", "l_receiptdate"])?;
+    let l = q.scan(
+        "lineitem",
+        "l",
+        &["l_partkey", "l_quantity", "l_receiptdate"],
+    )?;
     let recent = l
         .col("l_receiptdate")?
         .gt(Expr::lit(Date::parse("1996-01-01").unwrap()));

@@ -91,7 +91,11 @@ pub fn build(catalog: &Catalog, variant: Variant) -> Result<QuerySpec> {
             .and(p.col("p_type")?.like("%BRASS")),
     };
     let p = q.filter(p, p_pred);
-    let ps1 = q.scan("partsupp", "ps1", &["ps_partkey", "ps_suppkey", "ps_supplycost"])?;
+    let ps1 = q.scan(
+        "partsupp",
+        "ps1",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    )?;
     let p_ps = q.join(p, ps1, &[("p.p_partkey", "ps1.ps_partkey")])?;
     let s1 = q.scan(
         "supplier",
@@ -113,7 +117,11 @@ pub fn build(catalog: &Catalog, variant: Variant) -> Result<QuerySpec> {
     let outer = q.join(p_ps, sn1, &[("ps1.ps_suppkey", "s1.s_suppkey")])?;
 
     // Subquery block: min supplycost per partkey among FRANCE-ish suppliers.
-    let ps2 = q.scan("partsupp", "ps2", &["ps_partkey", "ps_suppkey", "ps_supplycost"])?;
+    let ps2 = q.scan(
+        "partsupp",
+        "ps2",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    )?;
     let s2 = q.scan("supplier", "s2", &["s_suppkey", "s_nationkey"])?;
     let n2 = q.scan("nation", "n2", &["n_nationkey", "n_name"])?;
     let child_pred = match variant {

@@ -84,9 +84,6 @@ pub fn build_query(id: &str, catalog: &Catalog) -> Result<QuerySpec> {
 /// A fraction of a table's key domain, used to scale the paper's absolute
 /// key-range constants (`< 1000`) to any scale factor.
 pub(crate) fn key_cut(catalog: &Catalog, table: &str, fraction: f64) -> i64 {
-    let n = catalog
-        .get(table)
-        .map(|t| t.len() as f64)
-        .unwrap_or(1000.0);
+    let n = catalog.get(table).map(|t| t.len() as f64).unwrap_or(1000.0);
     ((n * fraction).round() as i64).max(2)
 }

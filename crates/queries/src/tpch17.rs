@@ -92,7 +92,11 @@ pub fn build(catalog: &Catalog, variant: Variant) -> Result<QuerySpec> {
     };
     let p = q.filter(p, p_pred);
 
-    let l = q.scan("lineitem", "l", &["l_partkey", "l_quantity", "l_extendedprice"])?;
+    let l = q.scan(
+        "lineitem",
+        "l",
+        &["l_partkey", "l_quantity", "l_extendedprice"],
+    )?;
     let l = match variant {
         Variant::ParentStronger => {
             let pred = l.col("l_partkey")?.cmp(CmpOp::Lt, Expr::lit(cut));
@@ -116,12 +120,7 @@ pub fn build(catalog: &Catalog, variant: Variant) -> Result<QuerySpec> {
     let residual = pl
         .col("l.l_quantity")?
         .cmp(CmpOp::Lt, Expr::lit(0.2f64).mul(avg.col("avg_qty")?));
-    let joined = q.join_residual(
-        pl,
-        avg,
-        &[("p.p_partkey", "l2.l_partkey")],
-        Some(residual),
-    )?;
+    let joined = q.join_residual(pl, avg, &[("p.p_partkey", "l2.l_partkey")], Some(residual))?;
     let price = joined.col("l.l_extendedprice")?;
     let total = q.aggregate(joined, &[], &[(AggFunc::Sum, price, "sum_price")])?;
     // Final `sum(l_extendedprice) / 7.0` projection.

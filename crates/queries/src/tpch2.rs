@@ -132,7 +132,11 @@ pub fn build(catalog: &Catalog, variant: Variant) -> Result<QuerySpec> {
             .and(p.col("p_size")?.eq(Expr::lit(1i64))),
     };
     let p = q.filter(p, p_pred);
-    let ps1 = q.scan("partsupp", "ps1", &["ps_partkey", "ps_suppkey", "ps_supplycost"])?;
+    let ps1 = q.scan(
+        "partsupp",
+        "ps1",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    )?;
     let p_ps = q.join(p, ps1, &[("p.p_partkey", "ps1.ps_partkey")])?;
     let outer_region: fn(&Rel) -> Result<Expr> = match variant {
         Variant::ParentWeaker => |r| Ok(r.col("r_name")?.cmp(CmpOp::Lt, Expr::lit("S"))),
@@ -155,7 +159,11 @@ pub fn build(catalog: &Catalog, variant: Variant) -> Result<QuerySpec> {
     let outer = q.join(p_ps, snr, &[("ps1.ps_suppkey", "s1.s_suppkey")])?;
 
     // Subquery block: min supplycost per partkey over ps2 ⋈ s2 ⋈ n2 ⋈ r2(σ).
-    let ps2 = q.scan("partsupp", "ps2", &["ps_partkey", "ps_suppkey", "ps_supplycost"])?;
+    let ps2 = q.scan(
+        "partsupp",
+        "ps2",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    )?;
     let child_region: fn(&Rel) -> Result<Expr> = match variant {
         Variant::ChildWeaker => |r| Ok(r.col("r_name")?.cmp(CmpOp::Lt, Expr::lit("S"))),
         _ => |r| Ok(r.col("r_name")?.eq(Expr::lit("AFRICA"))),

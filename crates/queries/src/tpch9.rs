@@ -65,7 +65,11 @@ pub fn build(catalog: &Catalog, variant: Variant) -> Result<QuerySpec> {
     )?;
     let pl = q.join(p, l, &[("p.p_partkey", "l.l_partkey")])?;
 
-    let ps = q.scan("partsupp", "ps", &["ps_partkey", "ps_suppkey", "ps_supplycost"])?;
+    let ps = q.scan(
+        "partsupp",
+        "ps",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    )?;
     let plps = q.join(
         pl,
         ps,

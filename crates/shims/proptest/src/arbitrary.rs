@@ -1,0 +1,89 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Canonical strategy for `T` covering its whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix edge values in (upstream biases toward them too):
+                // ~1/16 of draws pick from {MIN, -1, 0, 1, MAX}.
+                if rng.below(16) == 0 {
+                    const EDGES: [i128; 5] = [<$t>::MIN as i128, -1, 0, 1, <$t>::MAX as i128];
+                    let e = EDGES[rng.below(5) as usize];
+                    // -1 may be out of domain for unsigned types; clamp.
+                    if e >= <$t>::MIN as i128 && e <= <$t>::MAX as i128 {
+                        return e as $t;
+                    }
+                }
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only (matches how the workspace uses floats).
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(61) as i32 - 30;
+        mantissa * (2f64).powi(exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_edges_eventually() {
+        let mut r = TestRng::for_case("any_edges", 0);
+        let mut saw_zero = false;
+        let mut saw_negative = false;
+        for _ in 0..2000 {
+            let v: i64 = any::<i64>().generate(&mut r);
+            saw_zero |= v == 0;
+            saw_negative |= v < 0;
+        }
+        assert!(saw_zero && saw_negative);
+    }
+
+    #[test]
+    fn floats_are_finite() {
+        let mut r = TestRng::for_case("finite", 0);
+        for _ in 0..1000 {
+            assert!(any::<f64>().generate(&mut r).is_finite());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Size specifications accepted by collection strategies: a fixed `usize`
+/// or a `Range<usize>`.
+pub trait SizeRange {
+    /// Draw a concrete size.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty collection size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` with *up to* `size` elements (duplicates
+/// collapse, like upstream when the element domain is small).
+pub fn hash_set<S, Z>(element: S, size: Z) -> HashSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    Z: SizeRange,
+{
+    HashSetStrategy { element, size }
+}
+
+/// The strategy returned by [`hash_set`].
+pub struct HashSetStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S, Z> Strategy for HashSetStrategy<S, Z>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    Z: SizeRange,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(n);
+        // A couple of extra draws compensate for collisions without risking
+        // an unbounded loop on tiny domains.
+        for _ in 0..(n + n / 2 + 2) {
+            if out.len() >= n {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_and_elements() {
+        let mut r = TestRng::for_case("vec", 0);
+        for _ in 0..200 {
+            let v = vec(0i64..10, 2usize..5).generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+        let fixed = vec(0i64..10, 6usize).generate(&mut r);
+        assert_eq!(fixed.len(), 6);
+    }
+
+    #[test]
+    fn hash_set_respects_bound() {
+        let mut r = TestRng::for_case("set", 0);
+        for _ in 0..200 {
+            let s = hash_set(0i64..500, 0usize..20).generate(&mut r);
+            assert!(s.len() < 20);
+        }
+    }
+}

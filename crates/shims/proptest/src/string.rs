@@ -1,0 +1,141 @@
+//! String strategies from a regex subset.
+//!
+//! Upstream proptest treats `&str` as a regex-driven string strategy. The
+//! workspace only uses patterns of the form
+//! `[<class>]{m,n}` — a single character class with a repetition count —
+//! optionally preceded/followed by literal characters, so that is the
+//! subset implemented here. Unsupported patterns panic with a clear
+//! message rather than silently generating wrong data.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One parsed element of a pattern.
+enum Piece {
+    /// A set of candidate characters with a repetition range `[lo, hi]`.
+    Class { chars: Vec<char>, lo: u32, hi: u32 },
+    /// A literal character.
+    Lit(char),
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i
+                    + 1;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (a, b) = (chars[j], chars[j + 2]);
+                        assert!(a <= b, "bad range {a}-{b} in pattern {pattern:?}");
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                        + i
+                        + 1;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("bad repeat lower bound"),
+                            b.trim().parse().expect("bad repeat upper bound"),
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().expect("bad repeat count");
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                pieces.push(Piece::Class { chars: set, lo, hi });
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '\\' => {
+                panic!(
+                    "string pattern {pattern:?} uses regex syntax beyond the \
+                     vendored proptest shim's `[class]{{m,n}}` subset"
+                )
+            }
+            lit => {
+                pieces.push(Piece::Lit(lit));
+                i += 1;
+            }
+        }
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            match piece {
+                Piece::Lit(c) => out.push(c),
+                Piece::Class { chars, lo, hi } => {
+                    let n = lo + rng.below((hi - lo + 1) as u64) as u32;
+                    for _ in 0..n {
+                        out.push(chars[rng.below(chars.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut r = TestRng::for_case("pat", 0);
+        for _ in 0..300 {
+            let s = "[a-zA-Z0-9 ]{0,12}".generate(&mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+        for _ in 0..300 {
+            let s = "[abc%_]{0,8}".generate(&mut r);
+            assert!(s.chars().all(|c| "abc%_".contains(c)));
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literal_prefix() {
+        let mut r = TestRng::for_case("pat2", 0);
+        let s = "x[ab]{3}".generate(&mut r);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the")]
+    fn unsupported_syntax_panics() {
+        let mut r = TestRng::for_case("pat3", 0);
+        let _ = "(a|b)+".generate(&mut r);
+    }
+}

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<14} {:>12} {:>16} {:>14}",
         "strategy", "makespan", "sum peak state", "rows pruned"
     );
-    for strategy in [Strategy::Baseline, Strategy::FeedForward, Strategy::CostBased] {
+    for strategy in [
+        Strategy::Baseline,
+        Strategy::FeedForward,
+        Strategy::CostBased,
+    ] {
         let start = std::time::Instant::now();
         let mut handles = Vec::new();
         for id in ids {

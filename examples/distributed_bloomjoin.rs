@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<14} {:>9} {:>12} {:>12} {:>14} {:>14}",
         "strategy", "time", "rows sent", "pruned@site", "row MB", "filter KB"
     );
-    for strategy in [Strategy::Baseline, Strategy::FeedForward, Strategy::CostBased] {
+    for strategy in [
+        Strategy::Baseline,
+        Strategy::FeedForward,
+        Strategy::CostBased,
+    ] {
         let run = run_distributed(
             &spec,
             &catalog,

@@ -29,8 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eq = PredicateIndex::build(&spec.plan).eq;
     let ff = FeedForward::new(eq.clone(), AipConfig::paper());
     let out = execute(Arc::clone(&phys), ff.clone(), ExecOptions::default())?;
-    println!("feed-forward run: {} rows, {} filters injected, {} rows pruned\n",
-        out.metrics.rows_out, out.metrics.filters_injected, out.metrics.aip_dropped_total);
+    println!(
+        "feed-forward run: {} rows, {} filters injected, {} rows pruned\n",
+        out.metrics.rows_out, out.metrics.filters_injected, out.metrics.aip_dropped_total
+    );
     println!("{}", ff.registry().display());
 
     // Run under the cost-based manager and show its decision log.
@@ -44,6 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in cb.decisions() {
         println!("  {d}");
     }
-    println!("\nEXPLAIN ANALYZE (cost-based run):\n{}", sip::engine::explain_analyze(&phys, &out.metrics));
+    println!(
+        "\nEXPLAIN ANALYZE (cost-based run):\n{}",
+        sip::engine::explain_analyze(&phys, &out.metrics)
+    );
     Ok(())
 }

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let uniform = generate(&TpchConfig::uniform(sf))?;
     let skewed = generate(&TpchConfig::skewed(sf))?;
 
-    for (label, catalog) in [("uniform (TPC-H)", &uniform), ("skewed z=0.5 (TPC-D)", &skewed)] {
+    for (label, catalog) in [
+        ("uniform (TPC-H)", &uniform),
+        ("skewed z=0.5 (TPC-D)", &skewed),
+    ] {
         println!("\n== {label} ==");
         let spec = build_query("Q2A", catalog)?;
         println!(

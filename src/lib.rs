@@ -15,6 +15,8 @@
 //! * [`plan`] — logical plans, attribute equivalence, source-predicate graph.
 //! * [`optimizer`] — cardinality estimation, cost model, magic-sets rewrite.
 //! * [`engine`] — the push executor (pipelined hash joins, taps, metrics).
+//! * [`parallel`] — hash-partition parallelism: Exchange/Merge plan
+//!   expansion with per-partition AIP taps.
 //! * [`core`] — the AIP algorithms (feed-forward §IV-A, cost-based §IV-B).
 //! * [`net`] — simulated multi-site execution and filter shipping.
 //! * [`queries`] — the Table I workload catalog.
@@ -44,5 +46,6 @@ pub use sip_expr as expr;
 pub use sip_filter as filter;
 pub use sip_net as net;
 pub use sip_optimizer as optimizer;
+pub use sip_parallel as parallel;
 pub use sip_plan as plan;
 pub use sip_queries as queries;

@@ -27,7 +27,11 @@ fn distributed_queries_match_local_oracle() {
         let phys = spec.lower(&catalog, Strategy::Baseline).unwrap();
         let expected = canonical(&execute_oracle(&phys).unwrap());
         let remote_table = query_def(id).unwrap().remote_table.unwrap();
-        for strategy in [Strategy::Baseline, Strategy::FeedForward, Strategy::CostBased] {
+        for strategy in [
+            Strategy::Baseline,
+            Strategy::FeedForward,
+            Strategy::CostBased,
+        ] {
             let run = run_distributed(
                 &spec,
                 &catalog,

@@ -1,14 +1,16 @@
 //! Randomized differential testing: small synthetic join/aggregate plans
 //! with random data and random predicates, executed by the threaded engine
-//! under every strategy, must match the single-threaded oracle.
+//! under every strategy — and by the partition-parallel executor at every
+//! dop — must match the single-threaded oracle.
 
 use proptest::prelude::*;
-use sip::core::{run_query, AipConfig, QuerySpec, Strategy};
-use sip::data::{Catalog, Table};
+use sip::common::{DataType, Field, Row, Schema, Value};
+use sip::core::{run_query, run_query_dop, AipConfig, QuerySpec, Strategy};
+use sip::data::{generate, Catalog, Table, TpchConfig};
 use sip::engine::{canonical, execute_oracle, ExecOptions};
 use sip::expr::{AggFunc, CmpOp, Expr};
 use sip::plan::QueryBuilder;
-use sip::common::{DataType, Field, Row, Schema, Value};
+use sip::queries::{all_queries, build_query};
 
 /// Build a tiny catalog with two fact tables and a dimension, from raw
 /// integer tuples chosen by proptest.
@@ -41,7 +43,10 @@ fn mini_query(c: &Catalog, dim_cut: i64, sum_cut: i64) -> QuerySpec {
     let mut q = QueryBuilder::new(c);
     let f = q.scan("fact", "f", &["f_key", "f_val"]).unwrap();
     let d = q.scan("dim", "d", &["d_key", "d_weight"]).unwrap();
-    let d_pred = d.col("d_weight").unwrap().cmp(CmpOp::Lt, Expr::lit(dim_cut));
+    let d_pred = d
+        .col("d_weight")
+        .unwrap()
+        .cmp(CmpOp::Lt, Expr::lit(dim_cut));
     let d = q.filter(d, d_pred);
     let fd = q.join(f, d, &[("f.f_key", "d.d_key")]).unwrap();
 
@@ -62,6 +67,51 @@ fn mini_query(c: &Catalog, dim_cut: i64, sum_cut: i64) -> QuerySpec {
         .project_cols(joined, &["f.f_key", "f.f_val", "total"])
         .unwrap();
     QuerySpec::new(out.into_plan(), q.into_attrs()).unwrap()
+}
+
+/// Every query of the Table I workload, executed partition-parallel at
+/// dop ∈ {1, 2, 4} over Zipf-skewed data (`sip_data::zipf`), must produce
+/// the same multiset of rows as the single-threaded oracle. This is the
+/// correctness gate for the whole `sip-parallel` subsystem: partitioned
+/// scans, Exchange/Merge boundaries, partial+final aggregate splits, and
+/// partition-scoped AIP filters all sit on this path.
+#[test]
+fn partitioned_execution_matches_serial_for_all_catalog_queries() {
+    let catalog = generate(&TpchConfig {
+        scale_factor: 0.004,
+        seed: 0xBEEF,
+        zipf_z: 0.5,
+    })
+    .unwrap();
+    for def in all_queries() {
+        let spec = build_query(def.id, &catalog).unwrap();
+        let phys = spec.lower(&catalog, Strategy::Baseline).unwrap();
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        for dop in [1u32, 2, 4] {
+            let (out, map) = run_query_dop(
+                &spec,
+                &catalog,
+                Strategy::FeedForward,
+                ExecOptions::default(),
+                &AipConfig::paper(),
+                dop,
+            )
+            .unwrap();
+            assert_eq!(
+                canonical(&out.rows),
+                expected,
+                "{} diverged at dop {dop}",
+                def.id
+            );
+            if dop > 1 {
+                assert!(
+                    map.is_some(),
+                    "{} offered no parallel region at dop {dop}",
+                    def.id
+                );
+            }
+        }
+    }
 }
 
 proptest! {
@@ -92,6 +142,38 @@ proptest! {
                 expected.clone(),
                 "strategy {} diverged (facts={}, dims={})",
                 strategy,
+                facts.len(),
+                dims.len()
+            );
+        }
+    }
+
+    #[test]
+    fn random_plans_agree_with_oracle_partitioned(
+        facts in prop::collection::vec((0i64..30, -50i64..50), 1..120),
+        dims in prop::collection::vec((0i64..30, -50i64..50), 1..40),
+        dim_cut in -40i64..40,
+        sum_cut in -100i64..100,
+        dop in 2u32..5,
+    ) {
+        let catalog = mini_catalog(&facts, &dims);
+        let spec = mini_query(&catalog, dim_cut, sum_cut);
+        let phys = spec.lower(&catalog, Strategy::Baseline).unwrap();
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        for strategy in [Strategy::Baseline, Strategy::FeedForward, Strategy::CostBased] {
+            let opts = ExecOptions {
+                batch_size: 7,
+                channel_capacity: 2,
+                ..Default::default()
+            };
+            let (out, _) =
+                run_query_dop(&spec, &catalog, strategy, opts, &AipConfig::paper(), dop).unwrap();
+            prop_assert_eq!(
+                canonical(&out.rows),
+                expected.clone(),
+                "strategy {} dop {} diverged (facts={}, dims={})",
+                strategy,
+                dop,
                 facts.len(),
                 dims.len()
             );
