@@ -344,18 +344,32 @@ impl Harness {
     }
 
     /// Partition-parallel scaling (`sip-parallel`): the Fig. 1 running
-    /// example over skewed data with the paper's slow-source delay model,
-    /// swept over dop ∈ {1, 2, 4, ..., `--dop`}. Partition pushdown lets
-    /// the partitioned scans overlap source latency, and each worker's AIP
-    /// taps report their own probe/drop counters.
+    /// example *and* a multi-class join chain (TPC-H 5) over skewed data
+    /// with the paper's slow-source delay model, swept over dop ∈ {1, 2,
+    /// 4, ..., `--dop`}. The running example scales through partitioned
+    /// scans alone; the multi-class chain additionally crosses shuffle
+    /// meshes at every partitioning-class change — the configuration that
+    /// previously collapsed to replicated scans or a serial region.
     pub fn scaling(&self) -> Result<FigureReport> {
-        let id = "EX";
-        let catalog = &self.skewed;
-        let spec = build_query(id, catalog)?;
-        let delays = [
-            ("l", DelayModel::paper_delayed()),
-            ("ps1", DelayModel::paper_delayed()),
-            ("ps2", DelayModel::paper_delayed()),
+        let queries: [(&str, &[(&str, DelayModel)]); 2] = [
+            (
+                "EX",
+                &[
+                    ("l", DelayModel::paper_delayed()),
+                    ("ps1", DelayModel::paper_delayed()),
+                    ("ps2", DelayModel::paper_delayed()),
+                ],
+            ),
+            // Multi-class chain: custkey → orderkey → suppkey/nationkey
+            // partitioning classes, with slow fact sources on both sides
+            // of the first repartition boundary.
+            (
+                "Q4A",
+                &[
+                    ("l", DelayModel::paper_delayed()),
+                    ("o", DelayModel::paper_delayed()),
+                ],
+            ),
         ];
         let mut dops = vec![1u32];
         let mut d = 2;
@@ -365,28 +379,36 @@ impl Harness {
         }
         let mut rows = Vec::new();
         let mut notes = Vec::new();
-        let mut base = None;
-        for dop in dops {
-            let (m, workers) = measure_dop(
-                &spec,
-                catalog,
-                Strategy::FeedForward,
-                &self.config,
-                &AipConfig::paper(),
-                &delays,
-                dop,
-            )?;
-            let speedup = match base {
-                None => {
-                    base = Some(m.secs_mean);
-                    1.0
-                }
-                Some(b) => b / m.secs_mean,
+        for (id, delays) in queries {
+            let catalog = if id == "EX" {
+                &self.skewed
+            } else {
+                self.catalog_for(id)?
             };
-            let mut r = to_row(id, &format!("FF dop={dop}"), &m);
-            r.extra = format!("{} filters, speedup {speedup:.2}x", m.filters.round());
-            rows.push(r);
-            notes.extend(workers);
+            let spec = build_query(id, catalog)?;
+            let mut base = None;
+            for &dop in &dops {
+                let (m, workers) = measure_dop(
+                    &spec,
+                    catalog,
+                    Strategy::FeedForward,
+                    &self.config,
+                    &AipConfig::paper(),
+                    delays,
+                    dop,
+                )?;
+                let speedup = match base {
+                    None => {
+                        base = Some(m.secs_mean);
+                        1.0
+                    }
+                    Some(b) => b / m.secs_mean,
+                };
+                let mut r = to_row(id, &format!("FF dop={dop}"), &m);
+                r.extra = format!("{} filters, speedup {speedup:.2}x", m.filters.round());
+                rows.push(r);
+                notes.extend(workers);
+            }
         }
         Ok(FigureReport {
             id: "scaling".into(),

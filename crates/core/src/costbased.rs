@@ -122,6 +122,15 @@ impl CostBased {
             if ctx.hub.op(user.site).finished.load(Ordering::Relaxed) {
                 continue; // nothing left to filter
             }
+            // Partial-aggregate value columns are not filterable: their
+            // values are not final until the merge aggregate runs.
+            if ctx
+                .partitions
+                .as_ref()
+                .is_some_and(|m| !m.filterable_at(user.site, user.pos))
+            {
+                continue;
+            }
             let n = user.consumer;
             let site_rows = rows[user.site.index()];
             let d_site = est.node(user.site).distinct(user.attr).max(1.0);
@@ -230,21 +239,24 @@ impl ExecMonitor for CostBased {
             return;
         };
         // In a partition-parallel plan, a completed input covers only its
-        // partition's hash class. Sets over the partitioning class are
-        // priced (with the per-partition cardinalities the estimator
-        // already derives from the expanded plan) and injected under a
-        // partition scope; sets over other attributes would be partial
-        // without a usable scope, so they are skipped — the feed-forward
-        // controller handles those via OR-merge.
+        // partition's hash class. Sets over the *input stream's*
+        // partitioning class — which a shuffle changes mid-plan, so the
+        // check is per-operator ([`PartitionMap::in_class_at`]), not
+        // plan-wide — are priced (with the per-partition cardinalities the
+        // estimator already derives from the expanded plan) and injected
+        // under a partition scope; sets over other attributes would be
+        // partial without a usable scope, so they are skipped — the
+        // feed-forward controller handles those via OR-merge.
         let partition = ctx
             .partitions
             .as_ref()
             .and_then(|m| m.partition(ev.op).map(|p| (Arc::clone(m), p)));
+        let state_stream = ctx.plan.node(ev.op).inputs[ev.input];
         let sources: Vec<AipSource> = cands
             .sources_at(ev.op, ev.input)
             .into_iter()
             .filter(|s| match &partition {
-                Some((map, _)) => map.in_class(s.attr),
+                Some((map, _)) => map.in_class_at(state_stream, s.attr),
                 None => true,
             })
             .cloned()
@@ -315,9 +327,14 @@ impl ExecMonitor for CostBased {
             });
             for u in &accepted {
                 if let Some((map, p)) = &partition {
-                    // A scoped filter never applies at another partition's
-                    // sites; inject only where partition-`p` rows flow.
-                    if matches!(map.partition(u.site), Some(q) if q != *p) {
+                    // A site whose stream is partitioned on the probed
+                    // attribute and owned by another partition never sees
+                    // an in-scope row; skip it. Sites partitioned on a
+                    // different class (across a shuffle) mix hash classes
+                    // and keep the filter — the scope check routes per row.
+                    if matches!(map.partition(u.site), Some(q) if q != *p)
+                        && map.in_class_at(u.site, u.attr)
+                    {
                         continue;
                     }
                 }

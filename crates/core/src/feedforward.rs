@@ -131,9 +131,16 @@ fn publish_and_inject_serial(
     let users = cands.users_for_source(plan, &shared.eq, &entry.source);
     // "all other operators check if there is still interest in the AIP sets
     // they are computing; if not, they discard their local AIP sets."
+    // Partial-aggregate value columns are never filterable: their values
+    // are not final until the merge aggregate runs.
     let live_users: Vec<_> = users
         .iter()
         .filter(|u| !ctx.hub.op(u.site).finished.load(Ordering::Relaxed))
+        .filter(|u| {
+            ctx.partitions
+                .as_ref()
+                .is_none_or(|m| m.filterable_at(u.site, u.pos))
+        })
         .collect();
     if live_users.is_empty() {
         return; // discard the working set
@@ -160,15 +167,23 @@ fn publish_and_inject_serial(
 /// Partition-aware publication: a set built from partition `p`'s state
 /// covers only `p`'s hash class of the logical subexpression.
 ///
-/// * When the source attribute is *in the partitioning class*, the set is
-///   injected immediately under a [`FilterScope`] — rows of other
-///   partitions pass unprobed — so partition `p` starts pruning sideways
-///   the moment its build side completes, well before slow (skewed)
-///   partitions finish.
+/// * When the source attribute is in the *producing stream's* partitioning
+///   class ([`PartitionMap::in_class_at`] on the state's input — a shuffle
+///   changes the class mid-plan, so the plan-wide `class_attrs` is not
+///   enough), the set is injected immediately under a [`FilterScope`] —
+///   rows of other partitions pass unprobed — so partition `p` starts
+///   pruning sideways the moment its build side completes, well before
+///   slow (skewed) partitions finish. The scope check hashes the probed
+///   key itself, so the filter stays valid at sites on the far side of a
+///   shuffle (or in serial sections) whose rows mix hash classes; only
+///   sites provably confined to a *different* hash class of the same
+///   attribute are skipped.
 /// * Either way the set is parked in `partial_sets`; once all `dop`
 ///   partitions of the same logical producer have reported, their OR-merge
 ///   ([`AipSet::union`]) covers the whole subexpression and replaces the
-///   scoped partials with one plan-wide filter.
+///   scoped partials with one plan-wide filter — this is how sideways
+///   information passes *through* a repartition boundary instead of dying
+///   at it.
 fn publish_and_inject_partitioned(
     shared: &Shared,
     cands: &Candidates,
@@ -200,8 +215,15 @@ fn publish_and_inject_partitioned(
 
     let users = cands.users_for_source(plan, &shared.eq, &entry.source);
     let live = |site: OpId| !ctx.hub.op(site).finished.load(Ordering::Relaxed);
+    // Never prune a partial-aggregate value column (not final until the
+    // merge aggregate runs).
+    let usable = |u: &crate::candidates::AipUser| live(u.site) && map.filterable_at(u.site, u.pos);
 
-    if map.in_class(entry.source.attr) {
+    // The state summarizes the *input* stream of the source operator; that
+    // stream's partitioning class decides whether a partition scope is
+    // sound for this attribute.
+    let state_stream = plan.node(entry.source.op).inputs[entry.source.input];
+    if map.in_class_at(state_stream, entry.source.attr) {
         shared.registry.publish(
             entry.class,
             Arc::clone(&set),
@@ -214,12 +236,15 @@ fn publish_and_inject_partitioned(
             partition: p,
             dop: map.dop,
         };
-        for u in users.iter().filter(|u| live(u.site)) {
-            // Rows at partition q != p can never be in scope; skip those
-            // sites outright and only pay the scope check where rows of
-            // partition p (or the serial tail) actually flow.
+        for u in users.iter().filter(|u| usable(u)) {
+            // A site whose own stream is partitioned on the probed
+            // attribute and owned by partition q != p can never carry an
+            // in-scope row; skip it outright. Sites partitioned on a
+            // *different* class (the far side of a shuffle) mix hash
+            // classes of this attribute, so they keep the filter and let
+            // the per-row scope check route.
             match map.partition(u.site) {
-                Some(q) if q != p => continue,
+                Some(q) if q != p && map.in_class_at(u.site, u.attr) => continue,
                 _ => {}
             }
             let filter = InjectedFilter::scoped(
@@ -249,7 +274,7 @@ fn publish_and_inject_partitioned(
                     map.dop
                 ),
             );
-            for u in users.iter().filter(|u| live(u.site)) {
+            for u in users.iter().filter(|u| usable(u)) {
                 let filter = InjectedFilter::new(
                     format!("ff[{attr_name}] @{} union", u.site),
                     vec![u.pos],

@@ -3,9 +3,9 @@
 use crate::delay::DelayModel;
 use crate::metrics::MetricsHub;
 use crate::monitor::RowCollector;
-use crate::physical::PhysPlan;
+use crate::physical::{PhysKind, PhysPlan};
 use crate::taps::{FilterTap, InjectedFilter, MergePolicy};
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sip_common::{AttrId, Batch, FxHashMap, FxHashSet, OpId};
 use std::sync::atomic::Ordering;
@@ -28,12 +28,29 @@ pub struct PartitionMap {
     /// cloned from (synthesized Exchange/Merge nodes map to the source
     /// operator they wrap).
     pub logical_of: Vec<OpId>,
-    /// The attribute-equivalence class the plan is hash-partitioned on.
-    /// A per-partition AIP set over one of these attributes covers exactly
-    /// its partition's hash class and may be injected plan-wide under a
-    /// [`crate::taps::FilterScope`]; sets over other attributes are partial
-    /// and only usable once every partition's set is OR-merged.
+    /// The attribute-equivalence class the plan's partitioned *scans* are
+    /// hash-split on (the expander's top-scoring class). Kept for display
+    /// and back-compat; per-operator scoping should use
+    /// [`PartitionMap::in_class_at`], which understands that a shuffle
+    /// changes the partitioning class mid-plan.
     pub class_attrs: FxHashSet<AttrId>,
+    /// For each expanded operator in a partition region: the id (into
+    /// [`PartitionMap::classes`]) of the partitioning class its *output
+    /// rows* obey — i.e. every row at partition `p` hashes to `p` on every
+    /// attribute of that class. `None` for serial-section operators.
+    pub op_class: Vec<Option<u32>>,
+    /// The interned partitioning classes. Unlike `class_attrs` (a whole
+    /// equivalence class), these hold only attributes whose *values*
+    /// provably obey the partition-hash invariant on that stream.
+    pub classes: Vec<FxHashSet<AttrId>>,
+    /// Expanded operators whose aggregate-value columns hold *partial*
+    /// (per-partition) accumulator states awaiting the final merge
+    /// aggregate — the partial clones themselves and the Merge feeding the
+    /// final aggregate. Maps op index → number of leading group columns.
+    /// An injected filter probing a value column here would prune a
+    /// partition's contribution and corrupt the merged aggregate; group
+    /// columns stay filterable (they prune whole groups, by value).
+    pub partial_agg_group_cols: FxHashMap<u32, usize>,
 }
 
 impl PartitionMap {
@@ -47,9 +64,32 @@ impl PartitionMap {
         self.logical_of[op.index()]
     }
 
-    /// Is `attr` part of the partitioning class?
+    /// Is `attr` part of the scan partitioning class?
     pub fn in_class(&self, attr: AttrId) -> bool {
         self.class_attrs.contains(&attr)
+    }
+
+    /// May an injected filter probe position `pos` of `op`'s output?
+    /// False only for the aggregate-value columns of partial-aggregate
+    /// sites, whose values are not final until the merge aggregate runs.
+    pub fn filterable_at(&self, op: OpId, pos: usize) -> bool {
+        match self.partial_agg_group_cols.get(&op.0) {
+            Some(&n_groups) => pos < n_groups,
+            None => true,
+        }
+    }
+
+    /// Does `attr` obey the partition-hash invariant on `op`'s output
+    /// stream? True exactly when a per-partition AIP set built from state
+    /// fed by `op` can be injected plan-wide under a
+    /// [`crate::taps::FilterScope`] keyed by `attr`.
+    pub fn in_class_at(&self, op: OpId, attr: AttrId) -> bool {
+        self.op_class
+            .get(op.index())
+            .copied()
+            .flatten()
+            .map(|c| self.classes[c as usize].contains(&attr))
+            .unwrap_or(false)
     }
 }
 
@@ -120,7 +160,19 @@ pub struct ExecContext {
     /// partition-parallel plan (`None` for serial plans).
     pub partitions: Option<Arc<PartitionMap>>,
     collectors: Mutex<FxHashMap<(u32, usize), Box<dyn RowCollector>>>,
+    /// Shuffle-mesh producer channels, `(mesh, writer)` → one bounded
+    /// `Sender` per consumer partition, in partition order. Built from the
+    /// plan's `ShuffleWrite`/`ShuffleRead` nodes; taken once by each
+    /// writer thread at spawn.
+    shuffle_tx: Mutex<MeshEndpoints<Sender<Msg>>>,
+    /// Shuffle-mesh consumer channels, `(mesh, partition)` → one bounded
+    /// `Receiver` per writer, in writer order. Taken once by each reader
+    /// thread at spawn.
+    shuffle_rx: Mutex<MeshEndpoints<Receiver<Msg>>>,
 }
+
+/// Per-mesh channel endpoints keyed by `(mesh, writer-or-partition)`.
+type MeshEndpoints<T> = FxHashMap<(u32, u32), Vec<T>>;
 
 impl ExecContext {
     /// Build a context for `plan`.
@@ -145,6 +197,7 @@ impl ExecContext {
         partitions: Option<Arc<PartitionMap>>,
     ) -> Arc<Self> {
         let n = plan.nodes.len();
+        let (shuffle_tx, shuffle_rx) = Self::build_meshes(&plan, options.channel_capacity.max(1));
         Arc::new(ExecContext {
             hub: MetricsHub::new(n),
             taps: (0..n).map(|_| FilterTap::new()).collect(),
@@ -152,7 +205,59 @@ impl ExecContext {
             options,
             partitions,
             collectors: Mutex::new(FxHashMap::default()),
+            shuffle_tx: Mutex::new(shuffle_tx),
+            shuffle_rx: Mutex::new(shuffle_rx),
         })
+    }
+
+    /// Materialize every shuffle mesh in the plan as a `writers × dop`
+    /// grid of bounded channels — one dedicated channel per (writer,
+    /// reader) edge, so each edge carries its own backpressure window and
+    /// a slow reader only ever stalls the writers actually sending to it.
+    fn build_meshes(
+        plan: &PhysPlan,
+        capacity: usize,
+    ) -> (MeshEndpoints<Sender<Msg>>, MeshEndpoints<Receiver<Msg>>) {
+        let mut txs: MeshEndpoints<Sender<Msg>> = FxHashMap::default();
+        // Receivers are tagged with their writer index so each reader's
+        // list can be sorted into writer order before handoff.
+        let mut rxs: MeshEndpoints<(u32, Receiver<Msg>)> = FxHashMap::default();
+        for node in &plan.nodes {
+            if let PhysKind::ShuffleWrite {
+                mesh, writer, dop, ..
+            } = node.kind
+            {
+                let mut per_partition = Vec::with_capacity(dop as usize);
+                for p in 0..dop {
+                    let (tx, rx) = bounded(capacity);
+                    per_partition.push(tx);
+                    rxs.entry((mesh, p)).or_default().push((writer, rx));
+                }
+                txs.insert((mesh, writer), per_partition);
+            }
+        }
+        let rxs = rxs
+            .into_iter()
+            .map(|(k, mut v)| {
+                v.sort_by_key(|&(w, _)| w);
+                (k, v.into_iter().map(|(_, rx)| rx).collect())
+            })
+            .collect();
+        (txs, rxs)
+    }
+
+    /// Claim a shuffle writer's mesh senders (one per consumer partition).
+    pub(crate) fn take_shuffle_senders(&self, mesh: u32, writer: u32) -> Option<Vec<Sender<Msg>>> {
+        self.shuffle_tx.lock().remove(&(mesh, writer))
+    }
+
+    /// Claim a shuffle reader's mesh receivers (one per writer).
+    pub(crate) fn take_shuffle_receivers(
+        &self,
+        mesh: u32,
+        partition: u32,
+    ) -> Option<Vec<Receiver<Msg>>> {
+        self.shuffle_rx.lock().remove(&(mesh, partition))
     }
 
     /// The output layout of an operator.

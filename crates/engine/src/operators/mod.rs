@@ -7,6 +7,7 @@ pub(crate) mod exchange;
 pub(crate) mod hash_join;
 pub(crate) mod scan;
 pub(crate) mod semi_join;
+pub(crate) mod shuffle;
 pub(crate) mod stateless;
 
 use crate::context::{ExecContext, Msg};

@@ -1,0 +1,147 @@
+//! The all-to-all hash-repartition (shuffle) operators.
+//!
+//! A shuffle mesh lets `sip-parallel` change the partitioning class in the
+//! middle of a plan: `writers` producer streams (each owning one hash
+//! partition of the *old* class) are re-dealt into `dop` consumer streams
+//! (each owning one hash partition of the *new* class) over a grid of
+//! bounded channels held by the [`ExecContext`].
+//!
+//! Deadlock freedom: writers only ever *send* into the mesh and readers
+//! only ever *receive* from it, so every blocking edge — producer → writer
+//! (tree), writer → reader (mesh), reader → consumer (tree) — points
+//! toward the root, whose channel the driver drains. The wait-for graph is
+//! acyclic at any channel capacity, including the capacity-1 stress
+//! configuration the property tests run.
+
+use super::{count_in, Emitter};
+use crate::context::{ExecContext, Msg};
+use crate::physical::PhysKind;
+use crossbeam::channel::{Receiver, Select, Sender};
+use sip_common::{exec_err, hash::partition_of, OpId, Result};
+use std::sync::Arc;
+
+/// Run a `ShuffleWrite` node: route each input row to the mesh channel of
+/// the consumer partition owning its key hash. The tree output stays empty
+/// (EOF only) — it exists so the paired reader anchors the writer in the
+/// plan tree.
+pub(crate) fn run_shuffle_write(
+    ctx: &Arc<ExecContext>,
+    op: OpId,
+    input: Receiver<Msg>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let node = ctx.plan.node(op);
+    let (mesh, col, writer, dop) = match &node.kind {
+        PhysKind::ShuffleWrite {
+            mesh,
+            col,
+            writer,
+            dop,
+        } => (*mesh, *col, *writer, *dop),
+        other => return Err(exec_err!("run_shuffle_write on {}", other.name())),
+    };
+    let txs = ctx
+        .take_shuffle_senders(mesh, writer)
+        .ok_or_else(|| exec_err!("mesh {mesh} writer {writer} has no senders"))?;
+    // One emitter per destination: each applies this operator's filter tap
+    // (every row lands in exactly one destination, so taps probe each row
+    // once), counts rows_out, and batches independently so a full window
+    // toward one reader never blocks traffic toward the others until this
+    // thread actually has a row for the full one.
+    let mut emitters: Vec<Emitter<'_>> = txs
+        .into_iter()
+        .map(|tx| Emitter::new(ctx, op, tx))
+        .collect();
+    while let Ok(msg) = input.recv() {
+        let Msg::Batch(batch) = msg else { break };
+        count_in(ctx, op, 0, batch.len());
+        for row in batch.rows {
+            // NULL routing keys hash like any value: all NULL rows of a
+            // stream land in one consistent partition, keeping the union
+            // across readers multiset-correct even for rows that can
+            // never join.
+            let owner = partition_of(row.key_hash(&[col]), dop) as usize;
+            emitters[owner].push(row)?;
+        }
+        if emitters.iter().all(|e| e.cancelled()) {
+            // Every reader hung up (query failed/cancelled downstream):
+            // stop pulling so the producer side winds down too.
+            break;
+        }
+    }
+    for e in emitters {
+        e.finish()?;
+    }
+    let _ = out.send(Msg::Eof);
+    Ok(())
+}
+
+/// Run a `ShuffleRead` node: select-drain all mesh channels addressed to
+/// this partition, forwarding batches downstream, finishing when every
+/// writer has sent EOF. The optional tree input (the paired writer) only
+/// ever carries an EOF and is drained last.
+pub(crate) fn run_shuffle_read(
+    ctx: &Arc<ExecContext>,
+    op: OpId,
+    tree_inputs: Vec<Receiver<Msg>>,
+    out: Sender<Msg>,
+) -> Result<()> {
+    let node = ctx.plan.node(op);
+    let (mesh, partition) = match &node.kind {
+        PhysKind::ShuffleRead {
+            mesh, partition, ..
+        } => (*mesh, *partition),
+        other => return Err(exec_err!("run_shuffle_read on {}", other.name())),
+    };
+    let inputs = ctx
+        .take_shuffle_receivers(mesh, partition)
+        .ok_or_else(|| exec_err!("mesh {mesh} partition {partition} has no receivers"))?;
+    let mut emitter = Emitter::new(ctx, op, out);
+    // Same live-set select loop as Merge: re-register only when an input
+    // reaches EOF, never per batch.
+    let mut live: Vec<usize> = (0..inputs.len()).collect();
+    'rebuild: while !live.is_empty() {
+        let mut sel = Select::new();
+        for &i in &live {
+            sel.recv(&inputs[i]);
+        }
+        loop {
+            let (slot, msg) = if live.len() == 1 {
+                (0, inputs[live[0]].recv())
+            } else {
+                let opn = sel.select();
+                let slot = opn.index();
+                (slot, opn.recv(&inputs[live[slot]]))
+            };
+            match msg {
+                Ok(Msg::Batch(batch)) => {
+                    count_in(ctx, op, 0, batch.len());
+                    for row in batch.rows {
+                        emitter.push(row)?;
+                    }
+                    emitter.flush()?;
+                    if emitter.cancelled() {
+                        // Downstream hung up: fall through to drop the mesh
+                        // receivers, which fails the writers' sends and
+                        // unwinds the whole parallel region.
+                        break 'rebuild;
+                    }
+                }
+                Ok(Msg::Eof) | Err(_) => {
+                    live.remove(slot);
+                    continue 'rebuild;
+                }
+            }
+        }
+    }
+    // Release the mesh receivers first: on the cancellation path writers
+    // may still be blocked mid-send into them, and they must observe the
+    // disconnect before they can reach their tree EOF.
+    drop(inputs);
+    // The paired writer finishes its mesh sends before its tree EOF, so by
+    // the time the mesh has fully EOF'd this drain returns promptly.
+    for rx in tree_inputs {
+        while let Ok(Msg::Batch(_)) = rx.recv() {}
+    }
+    emitter.finish()
+}

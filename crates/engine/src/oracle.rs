@@ -173,6 +173,39 @@ fn eval_node(plan: &PhysPlan, op: OpId, outputs: &mut [Option<Vec<Row>>]) -> Res
             }
             Ok(out)
         }
+        // A writer's materialized "output" is its full input — the rows it
+        // would spray over the mesh. Readers gather from every writer of
+        // their mesh by *cloning* (not taking): a mesh has `dop` readers
+        // but each writer has at most one tree parent, so ownership-based
+        // take_input cannot model the all-to-all edge.
+        PhysKind::ShuffleWrite { .. } => Ok(take_input(outputs, node.inputs[0])),
+        PhysKind::ShuffleRead {
+            mesh,
+            partition,
+            dop,
+            ..
+        } => {
+            let mut out = Vec::new();
+            for w in &plan.nodes {
+                let PhysKind::ShuffleWrite { mesh: m, col, .. } = &w.kind else {
+                    continue;
+                };
+                if m != mesh {
+                    continue;
+                }
+                let rows = outputs[w.id.index()]
+                    .as_ref()
+                    .expect("mesh writers precede readers (validate_meshes)");
+                out.extend(
+                    rows.iter()
+                        .filter(|r| {
+                            sip_common::hash::partition_of(r.key_hash(&[*col]), *dop) == *partition
+                        })
+                        .cloned(),
+                );
+            }
+            Ok(out)
+        }
         PhysKind::SemiJoin {
             probe_keys,
             build_keys,

@@ -121,6 +121,37 @@ pub enum PhysKind {
     /// finishing when all inputs reach EOF. The join point where partition
     /// clones rejoin the serial tail of a parallel plan.
     Merge,
+    /// Producer half of an all-to-all hash repartition (shuffle): routes
+    /// every input row to the [`PhysKind::ShuffleRead`] of mesh `mesh`
+    /// owning `hash(col) % dop`, over a `writers × dop` grid of bounded
+    /// channels held by the [`crate::ExecContext`]. Its tree output carries
+    /// no rows — only EOF, consumed by the paired reader — so the plan
+    /// stays a valid tree while data crosses partition boundaries sideways.
+    ShuffleWrite {
+        /// Mesh this writer feeds (shared by its readers).
+        mesh: u32,
+        /// Position in the input layout whose value is hashed for routing.
+        col: usize,
+        /// This writer's index in the mesh (`< writers` of the readers).
+        writer: u32,
+        /// Number of consumer partitions (the hash modulus).
+        dop: u32,
+    },
+    /// Consumer half of a shuffle: drains the `writers` mesh channels
+    /// addressed to `partition`, emitting their union downstream. Finishes
+    /// when every writer has sent EOF. Takes the paired writer (same index)
+    /// as an optional tree input purely for plan structure; a distribute
+    /// mesh (`writers == 1`) pairs only partition 0.
+    ShuffleRead {
+        /// Mesh this reader drains.
+        mesh: u32,
+        /// The partition of the hash space this reader owns (`< dop`).
+        partition: u32,
+        /// Number of writers feeding the mesh.
+        writers: u32,
+        /// Total consumer partitions.
+        dop: u32,
+    },
 }
 
 impl PhysKind {
@@ -148,6 +179,8 @@ impl PhysKind {
             PhysKind::ExternalSource { .. } => "ExternalSource",
             PhysKind::Exchange { .. } => "Exchange",
             PhysKind::Merge => "Merge",
+            PhysKind::ShuffleWrite { .. } => "ShuffleWrite",
+            PhysKind::ShuffleRead { .. } => "ShuffleRead",
         }
     }
 }
@@ -208,6 +241,26 @@ impl PhysPlan {
                         }
                     }
                 }
+                // A shuffle reader's real inputs arrive over the mesh; its
+                // single optional tree input is the paired writer (EOF
+                // only). Distribute meshes (one writer, dop readers) leave
+                // the unpaired readers with no tree input at all.
+                PhysKind::ShuffleRead { .. } => {
+                    if n.inputs.len() > 1 {
+                        return Err(plan_err!(
+                            "node {} (ShuffleRead) takes at most one tree input",
+                            n.id
+                        ));
+                    }
+                    if let Some(&c) = n.inputs.first() {
+                        if !matches!(self.nodes[c.index()].kind, PhysKind::ShuffleWrite { .. }) {
+                            return Err(plan_err!(
+                                "node {} (ShuffleRead) tree input {c} is not a ShuffleWrite",
+                                n.id
+                            ));
+                        }
+                    }
+                }
                 other => {
                     let arity = match other {
                         PhysKind::Scan { .. } | PhysKind::ExternalSource { .. } => 0,
@@ -231,6 +284,11 @@ impl PhysPlan {
                     partition,
                     dop,
                 } => Some((*col, *partition, *dop)),
+                // A writer routes on `col` across `dop` partitions; it has
+                // no partition index of its own, so check `col` against a
+                // synthetic in-range partition.
+                PhysKind::ShuffleWrite { col, dop, .. } => Some((*col, 0, *dop)),
+                PhysKind::ShuffleRead { partition, dop, .. } => Some((0, *partition, *dop)),
                 _ => None,
             } {
                 if dop == 0 || partition >= dop {
@@ -250,6 +308,96 @@ impl PhysPlan {
                 if c.index() >= i {
                     return Err(plan_err!("node {} references non-prior child {c}", n.id));
                 }
+            }
+        }
+        self.validate_meshes()
+    }
+
+    /// Cross-node shuffle-mesh invariants: each mesh has exactly `writers`
+    /// writers (indices 0..writers) and `dop` readers (partitions 0..dop),
+    /// all agreeing on the grid shape and row layout, with every writer
+    /// preceding every reader in arena order (so the single-threaded oracle
+    /// can materialize writers before readers gather from them).
+    fn validate_meshes(&self) -> Result<()> {
+        #[derive(Default)]
+        struct Mesh {
+            writer_idx: Vec<u32>,
+            reader_parts: Vec<u32>,
+            dops: Vec<u32>,
+            expected_writers: Vec<u32>,
+            layouts: Vec<usize>, // arena index of each member, for layout checks
+            last_writer: usize,
+            first_reader: usize,
+        }
+        let mut meshes: std::collections::BTreeMap<u32, Mesh> = std::collections::BTreeMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            match &n.kind {
+                PhysKind::ShuffleWrite {
+                    mesh, writer, dop, ..
+                } => {
+                    let e = meshes.entry(*mesh).or_insert_with(|| Mesh {
+                        first_reader: usize::MAX,
+                        ..Mesh::default()
+                    });
+                    e.writer_idx.push(*writer);
+                    e.dops.push(*dop);
+                    e.layouts.push(i);
+                    e.last_writer = e.last_writer.max(i);
+                }
+                PhysKind::ShuffleRead {
+                    mesh,
+                    partition,
+                    writers,
+                    dop,
+                } => {
+                    let e = meshes.entry(*mesh).or_insert_with(|| Mesh {
+                        first_reader: usize::MAX,
+                        ..Mesh::default()
+                    });
+                    e.reader_parts.push(*partition);
+                    e.dops.push(*dop);
+                    e.expected_writers.push(*writers);
+                    e.layouts.push(i);
+                    e.first_reader = e.first_reader.min(i);
+                }
+                _ => {}
+            }
+        }
+        for (mesh, mut m) in meshes {
+            let dop = m.dops[0];
+            if m.dops.iter().any(|&d| d != dop) {
+                return Err(plan_err!("mesh {mesh} nodes disagree on dop"));
+            }
+            let writers = m.writer_idx.len() as u32;
+            if m.reader_parts.len() as u32 != dop {
+                return Err(plan_err!(
+                    "mesh {mesh} has {} readers for dop {dop}",
+                    m.reader_parts.len()
+                ));
+            }
+            if m.expected_writers.iter().any(|&w| w != writers) {
+                return Err(plan_err!(
+                    "mesh {mesh} readers expect a writer count other than {writers}"
+                ));
+            }
+            m.writer_idx.sort_unstable();
+            m.reader_parts.sort_unstable();
+            if m.writer_idx.iter().enumerate().any(|(i, &w)| w != i as u32)
+                || m.reader_parts
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &p)| p != i as u32)
+            {
+                return Err(plan_err!("mesh {mesh} writer/partition indices not dense"));
+            }
+            let layout = &self.nodes[m.layouts[0]].layout;
+            if m.layouts.iter().any(|&i| &self.nodes[i].layout != layout) {
+                return Err(plan_err!("mesh {mesh} members disagree on layout"));
+            }
+            if m.last_writer > m.first_reader {
+                return Err(plan_err!(
+                    "mesh {mesh} has a writer after a reader in arena order"
+                ));
             }
         }
         Ok(())
@@ -370,6 +518,18 @@ impl PhysPlan {
                 dop,
             } => format!("hash(col{col}) -> {partition}/{dop}"),
             PhysKind::Merge => format!("{} inputs", n.inputs.len()),
+            PhysKind::ShuffleWrite {
+                mesh,
+                col,
+                writer,
+                dop,
+            } => format!("mesh{mesh} hash(col{col}) from {writer} -> {dop} parts"),
+            PhysKind::ShuffleRead {
+                mesh,
+                partition,
+                writers,
+                dop,
+            } => format!("mesh{mesh} part {partition}/{dop} <- {writers} writers"),
         };
         let names: Vec<String> = n.layout.iter().map(|&a| self.attrs.name(a)).collect();
         let _ = writeln!(

@@ -27,6 +27,10 @@ pub struct CostModel {
     pub net_bytes_per_unit: f64,
     /// Fixed per-message network latency, in cost units.
     pub net_latency: f64,
+    /// Cost to hash-route one row across a shuffle mesh (hash + channel
+    /// hop). Used by `sip-parallel` to price mid-plan repartitioning
+    /// against its serial fallback.
+    pub cpu_shuffle_row: f64,
 }
 
 impl Default for CostModel {
@@ -43,6 +47,7 @@ impl Default for CostModel {
             // bytes per microsecond-equivalent unit: 1.25 bytes/unit.
             net_bytes_per_unit: 1.25,
             net_latency: 20_000.0,
+            cpu_shuffle_row: 0.8,
         }
     }
 }
@@ -80,6 +85,23 @@ impl CostModel {
     /// Cost of shipping `bytes` over the configured link.
     pub fn ship_cost(&self, bytes: f64) -> f64 {
         self.net_latency + bytes.max(0.0) / self.net_bytes_per_unit
+    }
+
+    /// Cost of hash-routing `rows` through a shuffle mesh.
+    pub fn shuffle_cost(&self, rows: f64) -> f64 {
+        self.cpu_shuffle_row * rows.max(0.0)
+    }
+
+    /// Should a non-co-partitioned join repartition (`moved` rows through
+    /// shuffle meshes, then a `dop`-way parallel join) rather than fall
+    /// back to a serial join above a merge? Compares per-worker critical
+    /// path: the parallel join does 1/dop of the build/probe work but pays
+    /// the mesh hop for every moved row.
+    pub fn repartition_wins(&self, left: f64, right: f64, out: f64, moved: f64, dop: u32) -> bool {
+        let d = (dop.max(1)) as f64;
+        let serial = self.join_cost(left, right, out);
+        let parallel = self.join_cost(left / d, right / d, out / d) + self.shuffle_cost(moved / d);
+        parallel < serial
     }
 }
 

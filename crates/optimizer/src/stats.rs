@@ -343,6 +343,35 @@ fn estimate_node(
                 .collect();
             NodeEst { rows, cols }
         }
+        PhysKind::ShuffleWrite { .. } => {
+            // A writer forwards every input row (over the mesh); its tree
+            // output is empty but its row counters see the full stream.
+            ests[node.inputs[0].index()].clone()
+        }
+        PhysKind::ShuffleRead { mesh, dop, .. } => {
+            // Each reader owns 1/dop of the mesh's total rows, which is
+            // the sum over the mesh's writers (all of which precede every
+            // reader in arena order, so their estimates exist).
+            let mut total = 0.0f64;
+            let mut cols: FxHashMap<sip_common::AttrId, ColMeta> = FxHashMap::default();
+            for w in &plan.nodes {
+                if let PhysKind::ShuffleWrite { mesh: m, .. } = &w.kind {
+                    if m == mesh {
+                        let west = &ests[w.id.index()];
+                        total += west.rows;
+                        for (a, meta) in west.cols.iter() {
+                            cols.entry(*a).or_insert_with(|| meta.clone());
+                        }
+                    }
+                }
+            }
+            let rows = total / (*dop).max(1) as f64;
+            let cols = cols
+                .into_iter()
+                .map(|(a, m)| (a, m.scaled(total.max(1.0), rows)))
+                .collect();
+            NodeEst { rows, cols }
+        }
         PhysKind::Exchange { dop, .. } => {
             // A hash repartition keeps 1/dop of the rows (and of the key
             // values — partitioning splits the value domain).

@@ -1,6 +1,7 @@
 //! Execution entry points for partition-parallel plans.
 
-use crate::partition::{partition_plan, PartitionError};
+use crate::partition::{partition_plan_cfg, PartitionError};
+use crate::shuffle::PartitionConfig;
 use sip_common::Result;
 use sip_engine::{
     execute, execute_ctx, ExecContext, ExecMonitor, ExecOptions, PartitionMap, PhysPlan,
@@ -16,15 +17,26 @@ use std::sync::Arc;
 /// threaded executor; plans with no safe parallel region transparently fall
 /// back to serial execution, so `PartitionedExec::new(n).execute(...)` is
 /// always a drop-in replacement for [`sip_engine::execute`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PartitionedExec {
     dop: u32,
+    config: PartitionConfig,
 }
 
 impl PartitionedExec {
-    /// An executor with `dop` partitions (`0` and `1` mean serial).
+    /// An executor with `dop` partitions (`0` and `1` mean serial) and the
+    /// default [`PartitionConfig`] (shuffling enabled).
     pub fn new(dop: u32) -> Self {
-        PartitionedExec { dop: dop.max(1) }
+        Self::with_config(dop, PartitionConfig::default())
+    }
+
+    /// An executor with explicit expansion knobs (shuffle on/off,
+    /// broadcast threshold, cost model).
+    pub fn with_config(dop: u32, config: PartitionConfig) -> Self {
+        PartitionedExec {
+            dop: dop.max(1),
+            config,
+        }
     }
 
     /// The configured degree of parallelism.
@@ -40,7 +52,7 @@ impl PartitionedExec {
         &self,
         plan: &PhysPlan,
     ) -> std::result::Result<(Arc<PhysPlan>, Arc<PartitionMap>), PartitionError> {
-        partition_plan(plan, self.dop)
+        partition_plan_cfg(plan, self.dop, &self.config)
     }
 
     /// Execute `plan`, partition-parallel when possible, serial otherwise.

@@ -1,0 +1,256 @@
+//! Shuffle planning: when (and how) a join whose inputs are partitioned on
+//! different attribute classes should repartition instead of collapsing the
+//! parallel region.
+//!
+//! The expander in [`crate::partition`] tracks, per partitioned stream, the
+//! set of attributes whose values provably obey the partition-hash
+//! invariant (`hash(value) % dop == partition` for every row). A join can
+//! run per-partition exactly when one of its key pairs is *co-aligned* —
+//! the left attribute holds the invariant on the left stream and the right
+//! attribute on the right stream; matching rows then share a hash and
+//! therefore a partition. Anything else needs rows to move: a shuffle mesh
+//! on one side, both sides, or — when the cost model says moving the rows
+//! costs more than the serial join saves — the old merge-then-serial
+//! fallback.
+
+use sip_common::{AttrId, FxHashSet};
+use sip_optimizer::CostModel;
+
+/// Expansion knobs for [`crate::partition_plan_cfg`].
+#[derive(Clone, Debug)]
+pub struct PartitionConfig {
+    /// Allow mid-plan repartitioning through shuffle meshes. With this off
+    /// the expander reproduces the PR-1 behaviour: non-co-keyed joins end
+    /// the parallel region (merge + serial operator).
+    pub shuffle: bool,
+    /// Replicable subtrees estimated at or below this many rows are
+    /// broadcast (one instance per partition); larger ones are instantiated
+    /// once and *distributed* over a `1 × dop` mesh so the underlying
+    /// (possibly slow) source is scanned a single time.
+    pub broadcast_max_rows: f64,
+    /// Scans of tables smaller than this stay replicable even when they
+    /// expose a join-key attribute — partitioning a handful of rows buys
+    /// nothing and costs threads.
+    pub min_scan_rows: u64,
+    /// Cost model pricing repartition against the serial fallback.
+    pub cost: CostModel,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            shuffle: true,
+            broadcast_max_rows: 1024.0,
+            min_scan_rows: 0,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// One equated key pair of a join, resolved to both sides' layouts.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct KeyPair {
+    /// Key position in the left input's layout.
+    pub l_pos: usize,
+    /// Key position in the right input's layout.
+    pub r_pos: usize,
+    /// Attribute at `l_pos`.
+    pub l_attr: AttrId,
+    /// Attribute at `r_pos`.
+    pub r_attr: AttrId,
+}
+
+/// How to make a join's two partitioned inputs co-partitioned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Alignment {
+    /// Key pair `pair` is already co-aligned: run the join per partition.
+    Colocated { pair: usize },
+    /// The left stream holds the invariant on `pair`; hash-repartition the
+    /// right stream on the pair's right key.
+    ShuffleRight { pair: usize },
+    /// Mirror image of `ShuffleRight`.
+    ShuffleLeft { pair: usize },
+    /// Neither side is aligned on any pair: repartition both on `pair`.
+    ShuffleBoth { pair: usize },
+    /// Repartitioning does not pay (or is disabled): merge the partitions
+    /// and run this operator serially.
+    Serial,
+}
+
+/// Source-plan cardinality estimates for one join, used to price moved
+/// rows against the serial fallback.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct JoinEst {
+    /// Estimated left-input rows.
+    pub left: f64,
+    /// Estimated right-input rows.
+    pub right: f64,
+    /// Estimated output rows.
+    pub out: f64,
+}
+
+/// Decide how a `(partitioned, partitioned)` join becomes co-partitioned.
+///
+/// Moved rows are priced with [`CostModel::repartition_wins`] against the
+/// serial fallback.
+pub(crate) fn plan_join_alignment(
+    pairs: &[KeyPair],
+    l_class: &FxHashSet<AttrId>,
+    r_class: &FxHashSet<AttrId>,
+    est: JoinEst,
+    dop: u32,
+    cfg: &PartitionConfig,
+) -> Alignment {
+    let (l_rows, r_rows, out_rows) = (est.left, est.right, est.out);
+    if let Some(pair) = pairs
+        .iter()
+        .position(|p| l_class.contains(&p.l_attr) && r_class.contains(&p.r_attr))
+    {
+        return Alignment::Colocated { pair };
+    }
+    if !cfg.shuffle || pairs.is_empty() {
+        return Alignment::Serial;
+    }
+    let wins = |moved: f64| {
+        cfg.cost
+            .repartition_wins(l_rows, r_rows, out_rows, moved, dop)
+    };
+    if let Some(pair) = pairs.iter().position(|p| l_class.contains(&p.l_attr)) {
+        if wins(r_rows) {
+            return Alignment::ShuffleRight { pair };
+        }
+        return Alignment::Serial;
+    }
+    if let Some(pair) = pairs.iter().position(|p| r_class.contains(&p.r_attr)) {
+        if wins(l_rows) {
+            return Alignment::ShuffleLeft { pair };
+        }
+        return Alignment::Serial;
+    }
+    if wins(l_rows + r_rows) {
+        return Alignment::ShuffleBoth { pair: 0 };
+    }
+    Alignment::Serial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_common::AttrId;
+
+    fn pair(l: u32, r: u32) -> KeyPair {
+        KeyPair {
+            l_pos: 0,
+            r_pos: 0,
+            l_attr: AttrId(l),
+            r_attr: AttrId(r),
+        }
+    }
+
+    fn set(ids: &[u32]) -> FxHashSet<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn colocated_beats_everything() {
+        let a = plan_join_alignment(
+            &[pair(1, 2), pair(3, 4)],
+            &set(&[3]),
+            &set(&[4]),
+            JoinEst {
+                left: 1e6,
+                right: 1e6,
+                out: 1e6,
+            },
+            4,
+            &PartitionConfig::default(),
+        );
+        assert_eq!(a, Alignment::Colocated { pair: 1 });
+    }
+
+    #[test]
+    fn one_sided_alignment_shuffles_the_other_side() {
+        let cfg = PartitionConfig::default();
+        let a = plan_join_alignment(
+            &[pair(1, 2)],
+            &set(&[1]),
+            &set(&[9]),
+            JoinEst {
+                left: 1e5,
+                right: 1e5,
+                out: 1e5,
+            },
+            4,
+            &cfg,
+        );
+        assert_eq!(a, Alignment::ShuffleRight { pair: 0 });
+        let a = plan_join_alignment(
+            &[pair(1, 2)],
+            &set(&[9]),
+            &set(&[2]),
+            JoinEst {
+                left: 1e5,
+                right: 1e5,
+                out: 1e5,
+            },
+            4,
+            &cfg,
+        );
+        assert_eq!(a, Alignment::ShuffleLeft { pair: 0 });
+    }
+
+    #[test]
+    fn no_alignment_shuffles_both() {
+        let a = plan_join_alignment(
+            &[pair(1, 2)],
+            &set(&[7]),
+            &set(&[9]),
+            JoinEst {
+                left: 1e5,
+                right: 1e5,
+                out: 1e5,
+            },
+            4,
+            &PartitionConfig::default(),
+        );
+        assert_eq!(a, Alignment::ShuffleBoth { pair: 0 });
+    }
+
+    #[test]
+    fn disabled_or_unprofitable_shuffle_goes_serial() {
+        let mut cfg = PartitionConfig {
+            shuffle: false,
+            ..Default::default()
+        };
+        let a = plan_join_alignment(
+            &[pair(1, 2)],
+            &set(&[1]),
+            &set(&[9]),
+            JoinEst {
+                left: 1e5,
+                right: 1e5,
+                out: 1e5,
+            },
+            4,
+            &cfg,
+        );
+        assert_eq!(a, Alignment::Serial);
+        // Shuffling priced off the table: a mesh hop so expensive the
+        // serial join always wins.
+        cfg.shuffle = true;
+        cfg.cost.cpu_shuffle_row = 1e9;
+        let a = plan_join_alignment(
+            &[pair(1, 2)],
+            &set(&[1]),
+            &set(&[9]),
+            JoinEst {
+                left: 1e5,
+                right: 1e5,
+                out: 1e5,
+            },
+            4,
+            &cfg,
+        );
+        assert_eq!(a, Alignment::Serial);
+    }
+}

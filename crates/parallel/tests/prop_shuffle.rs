@@ -1,0 +1,199 @@
+//! Property tests for the shuffle mesh: randomized mini-plans whose join
+//! keys fall in *random* attribute classes (so alignment, one-sided
+//! shuffles, and double shuffles all occur), executed at random dops —
+//! row-multiset equality against the serial oracle, plus a capacity-1
+//! stress mode proving no shuffle edge deadlocks when every channel in the
+//! mesh holds a single batch.
+
+use proptest::prelude::*;
+use sip_common::{DataType, Field, Row, Schema, Value};
+use sip_data::{Catalog, Table};
+use sip_engine::{
+    canonical, execute_ctx, execute_oracle, lower, ExecContext, ExecOptions, NoopMonitor, PhysKind,
+    PhysPlan,
+};
+use sip_expr::AggFunc;
+use sip_parallel::{partition_plan_cfg, PartitionConfig};
+use sip_plan::QueryBuilder;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Abort the whole process if a case wedges: a deadlocked mesh would
+/// otherwise hang the suite silently instead of failing it.
+fn with_watchdog<T>(f: impl FnOnce() -> T) -> T {
+    let done = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&done);
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs(300));
+        if !flag.load(Ordering::SeqCst) {
+            eprintln!("prop_shuffle: execution wedged (shuffle deadlock?) — aborting");
+            std::process::abort();
+        }
+    });
+    let out = f();
+    done.store(true, Ordering::SeqCst);
+    out
+}
+
+fn mini_catalog(facts: &[(i64, i64, i64)], bs: &[(i64, i64)], cs: &[i64]) -> Catalog {
+    let mut c = Catalog::new();
+    let int = |n: &str| Field::new(n, DataType::Int);
+    c.add(
+        Table::new(
+            "fact",
+            Schema::new(vec![int("f1"), int("f2"), int("v")]),
+            vec![],
+            vec![],
+            facts
+                .iter()
+                .map(|&(a, b, v)| Row::new(vec![Value::Int(a), Value::Int(b), Value::Int(v)]))
+                .collect(),
+        )
+        .unwrap(),
+    );
+    c.add(
+        Table::new(
+            "dimb",
+            Schema::new(vec![int("b1"), int("b2")]),
+            vec![],
+            vec![],
+            bs.iter()
+                .map(|&(a, b)| Row::new(vec![Value::Int(a), Value::Int(b)]))
+                .collect(),
+        )
+        .unwrap(),
+    );
+    c.add(
+        Table::new(
+            "dimc",
+            Schema::new(vec![int("c1")]),
+            vec![],
+            vec![],
+            cs.iter().map(|&a| Row::new(vec![Value::Int(a)])).collect(),
+        )
+        .unwrap(),
+    );
+    c
+}
+
+/// fact ⋈ dimb ⋈ dimc with randomly drawn key columns, optionally topped
+/// by a grouped SUM. The second join's key is drawn from all four
+/// first-join columns, so its class may or may not align with either
+/// side's partitioning — exercising co-located joins, one-sided shuffles,
+/// and (when neither aligns) double shuffles.
+fn mini_plan(c: &Catalog, fk: usize, bk: usize, gk: usize, agg: bool) -> PhysPlan {
+    let mut q = QueryBuilder::new(c);
+    let f = q.scan("fact", "f", &["f1", "f2", "v"]).unwrap();
+    let b = q.scan("dimb", "b", &["b1", "b2"]).unwrap();
+    let fk_name = ["f.f1", "f.f2"][fk];
+    let bk_name = ["b.b1", "b.b2"][bk];
+    let j1 = q.join(f, b, &[(fk_name, bk_name)]).unwrap();
+    let gk_name = ["f.f1", "f.f2", "b.b1", "b.b2"][gk];
+    let cc = q.scan("dimc", "c", &["c1"]).unwrap();
+    let j2 = q.join(j1, cc, &[(gk_name, "c.c1")]).unwrap();
+    let plan = if agg {
+        let v = j2.col("v").unwrap();
+        q.aggregate(j2, &[gk_name], &[(AggFunc::Sum, v, "total")])
+            .unwrap()
+            .into_plan()
+    } else {
+        j2.into_plan()
+    };
+    lower(&plan, q.into_attrs(), c).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Multiset equality vs. the serial oracle for random key classes,
+    /// random dops, and a capacity-1 backpressure window on every channel
+    /// (mesh edges included): completion at all is the no-deadlock proof,
+    /// backed by the process-level watchdog.
+    #[test]
+    fn random_key_classes_match_oracle_under_capacity_one(
+        facts in prop::collection::vec((0i64..12, 0i64..12, -20i64..20), 1..160),
+        bs in prop::collection::vec((0i64..12, 0i64..12), 1..48),
+        cs in prop::collection::vec(0i64..12, 1..24),
+        fk in 0usize..2,
+        bk in 0usize..2,
+        gk in 0usize..4,
+        aggflag in 0usize..2,
+        dop in 2u32..8,
+        batch in 1usize..32,
+    ) {
+        with_watchdog(|| {
+            let catalog = mini_catalog(&facts, &bs, &cs);
+            let phys = mini_plan(&catalog, fk, bk, gk, aggflag == 1);
+            let expected = canonical(&execute_oracle(&phys).unwrap());
+            let cfg = PartitionConfig::default();
+            let (expanded, map) = match partition_plan_cfg(&phys, dop, &cfg) {
+                Ok(x) => x,
+                // Degenerate shapes (no partitionable scan) fall back to
+                // serial — nothing to stress.
+                Err(_) => return,
+            };
+            prop_assert_eq!(
+                canonical(&execute_oracle(&expanded).unwrap()),
+                expected.clone(),
+                "oracle(expanded) diverged\n{}",
+                expanded.display()
+            );
+            let options = ExecOptions {
+                batch_size: batch,
+                channel_capacity: 1, // stress: one batch per edge
+                ..Default::default()
+            };
+            let ctx = ExecContext::new_partitioned(Arc::clone(&expanded), options, map);
+            let out = execute_ctx(ctx, Arc::new(NoopMonitor)).unwrap();
+            prop_assert_eq!(
+                canonical(&out.rows),
+                expected,
+                "threaded run diverged (dop {}, batch {})\n{}",
+                dop,
+                batch,
+                expanded.display()
+            );
+        });
+    }
+
+    /// Misaligned second-join keys must produce an actual shuffle mesh (not
+    /// a serial fallback) whenever the first join partitions both sides —
+    /// pinning the tentpole behaviour so a regression back to
+    /// merge-then-serial fails loudly.
+    #[test]
+    fn off_class_joins_repartition_instead_of_serializing(
+        dop in 2u32..6,
+        fk in 0usize..2,
+        bk in 0usize..2,
+    ) {
+        let facts: Vec<(i64, i64, i64)> = (0..60).map(|i| (i % 8, (i / 2) % 8, i)).collect();
+        let bs: Vec<(i64, i64)> = (0..24).map(|i| (i % 8, (i / 3) % 8)).collect();
+        let cs: Vec<i64> = (0..8).collect();
+        let catalog = mini_catalog(&facts, &bs, &cs);
+        // gk picks the fact column NOT used by the first join, so the
+        // second join is never aligned with the first join's class.
+        let gk = 1 - fk;
+        let phys = mini_plan(&catalog, fk, bk, gk, false);
+        let (expanded, map) = partition_plan_cfg(&phys, dop, &PartitionConfig::default()).unwrap();
+        let serial_joins = expanded
+            .nodes
+            .iter()
+            .filter(|n| {
+                matches!(n.kind, PhysKind::HashJoin { .. }) && map.partition(n.id).is_none()
+            })
+            .count();
+        prop_assert_eq!(serial_joins, 0, "serial fallback:\n{}", expanded.display());
+        prop_assert!(
+            expanded
+                .nodes
+                .iter()
+                .any(|n| matches!(n.kind, PhysKind::ShuffleWrite { .. })),
+            "no shuffle in:\n{}",
+            expanded.display()
+        );
+        prop_assert_eq!(
+            canonical(&execute_oracle(&expanded).unwrap()),
+            canonical(&execute_oracle(&phys).unwrap())
+        );
+    }
+}
