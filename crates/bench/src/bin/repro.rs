@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Figures: table1, fig1, fig2, fig5..fig14 (time/space pairs run
-//! together), overhead, ablation-sets, ablation-fpr, ablation-minmax, all.
+//! together), overhead, scaling, kernels, ablation-sets, ablation-fpr,
+//! ablation-minmax, all.
 
 use sip_bench::figures::Harness;
 use sip_bench::measure::ExperimentConfig;
@@ -46,10 +47,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
-            "--batch" => {
+            "--batch" | "--batch-size" => {
                 config.batch_size = take(&mut i)?
                     .parse()
-                    .map_err(|e| format!("bad --batch: {e}"))?
+                    .map_err(|e| format!("bad --batch-size: {e}"))?
+            }
+            "--channel-capacity" => {
+                config.channel_capacity = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --channel-capacity: {e}"))?
             }
             "--dop" => {
                 config.dop = take(&mut i)?
@@ -59,10 +65,15 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--figure all|table1|fig1|fig2|fig5|fig6|fig9|fig10|fig13|\
-overhead|scaling|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] [--repeats N] [--seed S] \
-[--batch N] [--dop N]\n\n\
-  --dop N   max degree of partition parallelism swept by the `scaling`\n\
-            benchmark (powers of two up to N; default 4, 1 = serial only)"
+overhead|scaling|kernels|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] [--repeats N] \
+[--seed S] [--batch-size N] [--channel-capacity N] [--dop N]\n\n\
+  --batch-size N        rows per engine batch (default 1024); also the\n\
+                        batch the `kernels` micro-figure sweeps\n\
+  --channel-capacity N  bounded-channel backpressure window, in batches\n\
+                        (default 16)\n\
+  --dop N               max degree of partition parallelism swept by the\n\
+                        `scaling` benchmark (powers of two up to N;\n\
+                        default 4, 1 = serial only)"
                 );
                 std::process::exit(0);
             }
@@ -144,6 +155,7 @@ fn main() -> ExitCode {
     );
     section("overhead", harness.overhead().map(|r| r.to_markdown()));
     section("scaling", harness.scaling().map(|r| r.to_markdown()));
+    section("kernels", harness.kernels().map(|r| r.to_markdown()));
     section(
         "ablation-sets",
         harness.ablation_sets().map(|r| r.to_markdown()),

@@ -241,11 +241,7 @@ impl Harness {
         let mut bytes = 0u64;
         let mut rows_out = 0u64;
         for _ in 0..self.config.repeats {
-            let opts = ExecOptions {
-                batch_size: self.config.batch_size,
-                collect_rows: false,
-                ..Default::default()
-            };
+            let opts = self.config.exec_options()?;
             let run = run_distributed(spec, catalog, strategy, opts, &AipConfig::paper(), remote)?;
             secs.push(run.output.metrics.wall_time.as_secs_f64());
             state.push(run.output.metrics.peak_state_mb());
@@ -415,6 +411,222 @@ impl Harness {
             title: "sip-parallel: partition-parallel scaling on slow sources".into(),
             rows,
             notes,
+        })
+    }
+
+    /// Batch-kernel micro-figure: the two hottest per-row paths — the
+    /// injected-filter tap probe and shuffle routing — measured
+    /// row-at-a-time (the pre-vectorization interior: one hash + one key
+    /// clone per row per filter via `probe_quiet`, plus a second routing
+    /// hash) against the batch kernels (`TapKernel`: one shared digest pass
+    /// per batch per key-column set, selection-vector routing, no key
+    /// materialization). Sweep `--batch-size` / `--channel-capacity` to
+    /// explore the space; the acceptance bar is ≥2× at batch 1024.
+    pub fn kernels(&self) -> Result<FigureReport> {
+        use sip_engine::{InjectedFilter, TapKernel};
+        use sip_filter::AipSetBuilder;
+        use std::hint::black_box;
+        use std::sync::Arc as StdArc;
+        use std::time::Instant;
+
+        let batch = self.config.batch_size.max(1);
+        let n_rows: usize = 1 << 17;
+        let key_space = 10_000i64;
+        let dop = 4u32;
+        // Join-output-shaped rows: key, payload int, payload string.
+        let rows: Vec<sip_common::Row> = (0..n_rows as i64)
+            .map(|i| {
+                sip_common::Row::new(vec![
+                    sip_common::Value::Int(i % key_space),
+                    sip_common::Value::Int(i),
+                    sip_common::Value::str("payload-string"),
+                ])
+            })
+            .collect();
+        // A realistic tap stack over the key column: a Bloom filter keeping
+        // roughly half the key domain, stacked with an exact hash set.
+        let build = |kind: AipSetKind, keys: std::ops::Range<i64>| {
+            let mut b = AipSetBuilder::new(kind, (keys.end - keys.start) as usize, 0.05, 1);
+            for k in keys {
+                let key = vec![sip_common::Value::Int(k)];
+                b.insert(sip_common::hash_key(&key), &key);
+            }
+            StdArc::new(b.finish())
+        };
+        let chain: Vec<StdArc<InjectedFilter>> = vec![
+            StdArc::new(InjectedFilter::new(
+                "bloom[k]",
+                vec![0],
+                build(AipSetKind::Bloom, 0..key_space / 2),
+            )),
+            StdArc::new(InjectedFilter::new(
+                "hash[k]",
+                vec![0],
+                build(AipSetKind::Hash, 0..key_space / 4),
+            )),
+        ];
+        let repeats = self.config.repeats.max(1);
+
+        // --- Tap probe: row-at-a-time (probe_quiet per row per filter) ---
+        let mut survivors = 0usize;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            for chunk in rows.chunks(batch) {
+                for row in chunk {
+                    let mut keep = true;
+                    for f in &chain {
+                        if f.probe_quiet(row) == Some(false) {
+                            keep = false;
+                            break;
+                        }
+                    }
+                    if keep {
+                        survivors += 1;
+                    }
+                }
+            }
+        }
+        let tap_row_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let row_survivors = black_box(survivors) / repeats;
+
+        // --- Tap probe: batch kernel ---
+        let mut kernel = TapKernel::new();
+        let mut survivors = 0usize;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            for chunk in rows.chunks(batch) {
+                kernel.begin(chunk.len());
+                kernel.probe_chain(&chain, chunk);
+                survivors += kernel.sel().len();
+            }
+        }
+        let tap_batch_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let batch_survivors = black_box(survivors) / repeats;
+        if row_survivors != batch_survivors {
+            return Err(sip_common::SipError::Exec(format!(
+                "kernel divergence: row tap kept {row_survivors}, batch tap kept {batch_survivors}"
+            )));
+        }
+
+        // --- Shuffle route: row-at-a-time (route hash per row, then the
+        // per-destination buffers tap-probe each row as the old emitters
+        // did) ---
+        let mut buckets: Vec<Vec<sip_common::Row>> =
+            (0..dop as usize).map(|_| Vec::new()).collect();
+        let mut routed = 0usize;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            for chunk in rows.chunks(batch) {
+                for b in buckets.iter_mut() {
+                    b.clear();
+                }
+                for row in chunk {
+                    let owner = sip_common::hash::partition_of(row.key_hash(&[0]), dop);
+                    buckets[owner as usize].push(row.clone());
+                }
+                for b in &buckets {
+                    for row in b {
+                        let mut keep = true;
+                        for f in &chain {
+                            if f.probe_quiet(row) == Some(false) {
+                                keep = false;
+                                break;
+                            }
+                        }
+                        if keep {
+                            routed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let route_row_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let row_routed = black_box(routed) / repeats;
+
+        // --- Shuffle route: batch kernel (tap + routing share one digest
+        // pass; per-destination selection vectors gathered into outgoing
+        // batches) ---
+        let mut kernel = TapKernel::new();
+        let mut route: Vec<sip_common::SelVec> = (0..dop as usize)
+            .map(|_| sip_common::SelVec::default())
+            .collect();
+        let mut owners: Vec<u32> = Vec::new();
+        let mut routed = 0usize;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            for chunk in rows.chunks(batch) {
+                kernel.begin(chunk.len());
+                kernel.probe_chain(&chain, chunk);
+                for s in route.iter_mut() {
+                    s.clear();
+                }
+                {
+                    let d = kernel.digests(chunk, &[0]).digests();
+                    owners.clear();
+                    owners.extend(d.iter().map(|&d| sip_common::hash::partition_of(d, dop)));
+                }
+                for i in kernel.sel().iter() {
+                    route[owners[i as usize] as usize].push(i);
+                }
+                for (b, s) in buckets.iter_mut().zip(route.iter()) {
+                    b.clear();
+                    b.extend(s.iter().map(|i| chunk[i as usize].clone()));
+                    routed += b.len();
+                }
+            }
+        }
+        let route_batch_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let batch_routed = black_box(routed) / repeats;
+        if row_routed != batch_routed {
+            return Err(sip_common::SipError::Exec(format!(
+                "kernel divergence: row route kept {row_routed}, batch route kept {batch_routed}"
+            )));
+        }
+
+        let mrows = |secs: f64| n_rows as f64 / secs / 1e6;
+        let cell =
+            |name: &str, variant: &str, secs: f64, kept: usize, speedup: Option<f64>| ReportRow {
+                query: name.into(),
+                strategy: variant.into(),
+                secs,
+                ci: 0.0,
+                state_mb: 0.0,
+                rows: kept as u64,
+                extra: match speedup {
+                    Some(s) => format!("{:.1} Mrows/s, speedup {s:.2}x", mrows(secs)),
+                    None => format!("{:.1} Mrows/s", mrows(secs)),
+                },
+            };
+        let rows_out = vec![
+            cell("tap-probe", "row", tap_row_secs, row_survivors, None),
+            cell(
+                "tap-probe",
+                "batch",
+                tap_batch_secs,
+                batch_survivors,
+                Some(tap_row_secs / tap_batch_secs),
+            ),
+            cell("shuffle-route", "row", route_row_secs, row_routed, None),
+            cell(
+                "shuffle-route",
+                "batch",
+                route_batch_secs,
+                batch_routed,
+                Some(route_row_secs / route_batch_secs),
+            ),
+        ];
+        Ok(FigureReport {
+            id: "kernels".into(),
+            title: format!(
+                "batch kernels vs row-at-a-time interiors ({} rows, batch {batch}, 2-filter tap, dop {dop} routing)",
+                n_rows
+            ),
+            rows: rows_out,
+            notes: vec![
+                "row = per-row digest + key clone per filter (probe_quiet) and a second routing hash; \
+batch = one shared digest pass per key-column set, selection-vector routing."
+                    .into(),
+            ],
         })
     }
 

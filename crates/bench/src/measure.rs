@@ -14,8 +14,11 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Repetitions per measurement (the paper uses ≥5).
     pub repeats: usize,
-    /// Batch size for the engine.
+    /// Batch size for the engine (`--batch-size` on the repro CLI).
     pub batch_size: usize,
+    /// Bounded-channel capacity in batches — the backpressure window
+    /// (`--channel-capacity` on the repro CLI).
+    pub channel_capacity: usize,
     /// Maximum degree of parallelism swept by the `scaling` benchmark
     /// (`--dop` on the repro CLI); 1 disables partition parallelism.
     pub dop: u32,
@@ -28,8 +31,19 @@ impl Default for ExperimentConfig {
             seed: 0xC0FFEE,
             repeats: 3,
             batch_size: 1024,
+            channel_capacity: 16,
             dop: 4,
         }
+    }
+}
+
+impl ExperimentConfig {
+    /// Engine options for one run: the validated sizing knobs, rows not
+    /// collected (pure timing).
+    pub fn exec_options(&self) -> Result<ExecOptions> {
+        let mut opts = ExecOptions::validated(self.batch_size, self.channel_capacity)?;
+        opts.collect_rows = false;
+        Ok(opts)
     }
 }
 
@@ -65,11 +79,7 @@ pub fn measure(
     let mut dropped = Vec::with_capacity(config.repeats);
     let mut rows = 0u64;
     for _ in 0..config.repeats {
-        let mut opts = ExecOptions {
-            batch_size: config.batch_size,
-            collect_rows: false,
-            ..Default::default()
-        };
+        let mut opts = config.exec_options()?;
         for (name, model) in delays {
             opts = opts.with_delay(*name, model.clone());
         }
@@ -111,11 +121,7 @@ pub fn measure_dop(
     let mut rows = 0u64;
     let mut workers = Vec::new();
     for _ in 0..config.repeats {
-        let mut opts = ExecOptions {
-            batch_size: config.batch_size,
-            collect_rows: false,
-            ..Default::default()
-        };
+        let mut opts = config.exec_options()?;
         for (name, model) in delays {
             opts = opts.with_delay(*name, model.clone());
         }

@@ -1,0 +1,331 @@
+//! Batch kernels: selection vectors and shared key-digest scratch.
+//!
+//! Operators move [`Batch`](crate::Batch)es between threads, but CPU cost is
+//! dominated by what happens *inside* an operator. The types here let those
+//! interiors work batch-at-a-time:
+//!
+//! * [`DigestBuffer`] — one hash pass writes the key digest of every row in
+//!   a batch; joins, filter taps, and shuffle routing all consume the same
+//!   buffer instead of re-hashing per row per consumer.
+//! * [`DigestCache`] — a set of [`DigestBuffer`]s keyed by key-column set,
+//!   so a batch is hashed **at most once per distinct key-column set** no
+//!   matter how many filters/routes probe it. Buffers are reused across
+//!   batches without reallocating.
+//! * [`SelVec`] — a selection vector: kernels drop rows by compacting an
+//!   index list instead of cloning or shifting the rows themselves; the
+//!   rows are gathered (or compacted in place) once at the end.
+
+use crate::hash::FxHasher;
+use crate::row::Row;
+use std::hash::{Hash, Hasher};
+
+/// A selection vector: ascending row indices of a batch's surviving rows.
+///
+/// Kernels narrow the selection (ownership checks, tap probes, predicate
+/// evaluation) and the surviving rows are materialized once, either by
+/// [`SelVec::compact`] (in place, order-preserving) or by gathering clones.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelVec {
+    idx: Vec<u32>,
+}
+
+impl SelVec {
+    /// An empty selection with capacity for `n` indices.
+    pub fn with_capacity(n: usize) -> Self {
+        SelVec {
+            idx: Vec::with_capacity(n),
+        }
+    }
+
+    /// Reset to the identity selection `0..n` (every row selected).
+    pub fn fill_identity(&mut self, n: usize) {
+        self.idx.clear();
+        self.idx.extend(0..n as u32);
+    }
+
+    /// Remove all indices.
+    pub fn clear(&mut self) {
+        self.idx.clear();
+    }
+
+    /// Append an index. Callers must keep the vector ascending for
+    /// [`SelVec::compact`] to be valid.
+    #[inline]
+    pub fn push(&mut self, i: u32) {
+        self.idx.push(i);
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// The selected indices, ascending.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.idx
+    }
+
+    /// Iterate the selected indices.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.idx.iter().copied()
+    }
+
+    /// Narrow the selection in place, keeping the indices `keep` approves.
+    /// Order (and therefore ascending-ness) is preserved.
+    #[inline]
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        self.idx.retain(|&i| keep(i));
+    }
+
+    /// Compact `rows` in place to exactly the selected indices, preserving
+    /// order. The selection must be ascending (as produced by
+    /// [`SelVec::fill_identity`] + [`SelVec::retain`]).
+    ///
+    /// A full selection is a no-op; otherwise each kept element is moved
+    /// with one `swap` (`dst <= src` always holds for an ascending
+    /// selection), so compaction never clones a row.
+    pub fn compact<T>(&self, rows: &mut Vec<T>) {
+        if self.idx.len() == rows.len() {
+            return;
+        }
+        for (dst, &src) in self.idx.iter().enumerate() {
+            debug_assert!(dst <= src as usize, "selection must be ascending");
+            rows.swap(dst, src as usize);
+        }
+        rows.truncate(self.idx.len());
+    }
+}
+
+/// Reusable per-batch key-digest scratch: one hash pass per batch.
+///
+/// [`DigestBuffer::compute`] writes, for every row, the same digest
+/// [`Row::key_hash`] would produce for the given key columns — NULLs hash
+/// like any value (filter taps probe them) — and additionally flags rows
+/// whose key contains a NULL so join-style kernels can skip them (SQL: NULL
+/// keys never join).
+#[derive(Clone, Debug, Default)]
+pub struct DigestBuffer {
+    digests: Vec<u64>,
+    null_mask: Vec<bool>,
+    any_null: bool,
+}
+
+impl DigestBuffer {
+    /// Hash every row's key columns in one pass, replacing prior contents.
+    /// Allocations are reused across calls.
+    pub fn compute(&mut self, rows: &[Row], positions: &[usize]) {
+        self.digests.clear();
+        self.digests.reserve(rows.len());
+        self.null_mask.clear();
+        self.null_mask.resize(rows.len(), false);
+        self.any_null = false;
+        for (i, row) in rows.iter().enumerate() {
+            let mut h = FxHasher::default();
+            let mut null = false;
+            for &p in positions {
+                let v = row.get(p);
+                null |= v.is_null();
+                v.hash(&mut h);
+            }
+            self.digests.push(h.finish());
+            if null {
+                self.null_mask[i] = true;
+                self.any_null = true;
+            }
+        }
+    }
+
+    /// The per-row digests, aligned with the batch the buffer was computed
+    /// over.
+    #[inline]
+    pub fn digests(&self) -> &[u64] {
+        &self.digests
+    }
+
+    /// Did row `i`'s key contain a NULL?
+    #[inline]
+    pub fn is_null_key(&self, i: usize) -> bool {
+        self.any_null && self.null_mask[i]
+    }
+
+    /// Did any row's key contain a NULL?
+    #[inline]
+    pub fn any_null(&self) -> bool {
+        self.any_null
+    }
+
+    /// Rows covered by the last [`DigestBuffer::compute`].
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// True when no rows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+}
+
+/// Shared digest buffers for one batch: at most one hash pass per distinct
+/// key-column set, with buffer allocations reused across batches.
+///
+/// An operator owns one cache for the lifetime of its thread. Per batch it
+/// calls [`DigestCache::begin_batch`] once, then [`DigestCache::get`] for
+/// every key-column set it needs — routing columns, each injected filter's
+/// probe columns, a join's key columns. Sets that repeat (the common case:
+/// AIP filters probe the very column the stream is partitioned on) hit the
+/// cache and cost nothing.
+#[derive(Debug, Default)]
+pub struct DigestCache {
+    epoch: u64,
+    entries: Vec<CacheEntry>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    positions: Vec<usize>,
+    epoch: u64,
+    buf: DigestBuffer,
+}
+
+impl DigestCache {
+    /// Invalidate all buffers: the next [`DigestCache::get`] per column set
+    /// recomputes (into the existing allocation).
+    pub fn begin_batch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The digest buffer for `positions` over `rows`, computed at most once
+    /// per batch epoch.
+    pub fn get(&mut self, rows: &[Row], positions: &[usize]) -> &DigestBuffer {
+        let slot = self
+            .entries
+            .iter()
+            .position(|e| e.positions == positions)
+            .unwrap_or_else(|| {
+                self.entries.push(CacheEntry {
+                    positions: positions.to_vec(),
+                    epoch: self.epoch.wrapping_sub(1),
+                    buf: DigestBuffer::default(),
+                });
+                self.entries.len() - 1
+            });
+        let entry = &mut self.entries[slot];
+        if entry.epoch != self.epoch {
+            entry.buf.compute(rows, positions);
+            entry.epoch = self.epoch;
+        }
+        &self.entries[slot].buf
+    }
+
+    /// Number of distinct key-column sets seen so far.
+    pub fn n_sets(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn digest_pass_matches_row_key_hash() {
+        let rows = vec![row(&[1, 10]), row(&[2, 20]), row(&[3, 30])];
+        let mut buf = DigestBuffer::default();
+        for positions in [&[0usize][..], &[1], &[0, 1], &[1, 0]] {
+            buf.compute(&rows, positions);
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(buf.digests()[i], r.key_hash(positions));
+                assert!(!buf.is_null_key(i));
+            }
+        }
+    }
+
+    #[test]
+    fn digest_pass_flags_null_keys() {
+        let rows = vec![
+            row(&[1]),
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::Int(2)]),
+        ];
+        let mut buf = DigestBuffer::default();
+        buf.compute(&rows, &[0]);
+        assert!(!buf.is_null_key(0));
+        assert!(buf.is_null_key(1));
+        assert!(!buf.is_null_key(2));
+        assert!(buf.any_null());
+        // NULLs still hash like values — taps probe them.
+        assert_eq!(buf.digests()[1], rows[1].key_hash(&[0]));
+        // Reuse clears the flag.
+        buf.compute(&rows[..1], &[0]);
+        assert!(!buf.any_null());
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn cache_hashes_once_per_column_set_per_batch() {
+        let rows = vec![row(&[1, 2]), row(&[3, 4])];
+        let mut cache = DigestCache::default();
+        cache.begin_batch();
+        let d0 = cache.get(&rows, &[0]).digests().to_vec();
+        let d0_again = cache.get(&rows, &[0]).digests().to_vec();
+        assert_eq!(d0, d0_again);
+        let d1 = cache.get(&rows, &[1]).digests().to_vec();
+        assert_ne!(d0, d1);
+        assert_eq!(cache.n_sets(), 2);
+        // New batch: same column sets, recomputed over new rows, no new
+        // entries.
+        let rows2 = vec![row(&[9, 9])];
+        cache.begin_batch();
+        let d = cache.get(&rows2, &[0]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.digests()[0], rows2[0].key_hash(&[0]));
+        assert_eq!(cache.n_sets(), 2);
+    }
+
+    #[test]
+    fn selvec_identity_retain_compact() {
+        let mut sel = SelVec::default();
+        sel.fill_identity(5);
+        assert_eq!(sel.len(), 5);
+        sel.retain(|i| i % 2 == 0);
+        assert_eq!(sel.as_slice(), &[0, 2, 4]);
+        let mut rows = vec![10, 11, 12, 13, 14];
+        sel.compact(&mut rows);
+        assert_eq!(rows, vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn selvec_full_selection_is_noop() {
+        let mut sel = SelVec::with_capacity(3);
+        sel.fill_identity(3);
+        let mut rows = vec![1, 2, 3];
+        sel.compact(&mut rows);
+        assert_eq!(rows, vec![1, 2, 3]);
+        sel.clear();
+        assert!(sel.is_empty());
+        sel.compact(&mut rows);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn selvec_compact_preserves_order_without_clones() {
+        let mut sel = SelVec::default();
+        for i in [1u32, 3, 4, 7] {
+            sel.push(i);
+        }
+        let mut rows: Vec<String> = (0..8).map(|i| format!("r{i}")).collect();
+        sel.compact(&mut rows);
+        assert_eq!(rows, vec!["r1", "r3", "r4", "r7"]);
+        assert_eq!(sel.iter().collect::<Vec<_>>(), vec![1, 3, 4, 7]);
+    }
+}

@@ -4,7 +4,9 @@
 //! Foundation types shared by every crate in the SIP (sideways information
 //! passing) workspace: scalar [`Value`]s and [`Date`]s, [`Row`]s and
 //! [`Batch`]es, [`Schema`]s, strongly-typed identifiers, a fast
-//! non-cryptographic hasher, and the common [`SipError`] type.
+//! non-cryptographic hasher, batch kernels ([`SelVec`] selection vectors
+//! and [`DigestBuffer`]/[`DigestCache`] key-digest scratch), and the common
+//! [`SipError`] type.
 //!
 //! Nothing in this crate knows about plans, operators, or AIP — it is the
 //! vocabulary the rest of the system is written in.
@@ -14,6 +16,7 @@ pub mod date;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod kernel;
 pub mod row;
 pub mod schema;
 pub mod value;
@@ -22,6 +25,7 @@ pub use date::Date;
 pub use error::{Result, SipError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{AttrId, OpId, SiteId, TableId};
+pub use kernel::{DigestBuffer, DigestCache, SelVec};
 pub use row::{Batch, Row};
 pub use schema::{DataType, Field, Schema};
 pub use value::{hash_key, Value};

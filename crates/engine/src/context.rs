@@ -132,6 +132,37 @@ impl Default for ExecOptions {
 }
 
 impl ExecOptions {
+    /// Validated construction: the two sizing knobs with everything else at
+    /// defaults. Returns a [`SipError::Config`](sip_common::SipError) for
+    /// values that would wedge or panic the executor instead of failing at
+    /// runtime inside an operator thread.
+    pub fn validated(batch_size: usize, channel_capacity: usize) -> sip_common::Result<Self> {
+        let opts = ExecOptions {
+            batch_size,
+            channel_capacity,
+            ..Default::default()
+        };
+        opts.validate()?;
+        Ok(opts)
+    }
+
+    /// Check the sizing invariants. Called by the executor entry points, so
+    /// a hand-assembled `ExecOptions` is rejected with a config error
+    /// before any operator thread spawns.
+    pub fn validate(&self) -> sip_common::Result<()> {
+        if self.batch_size == 0 {
+            return Err(sip_common::SipError::Config(
+                "batch_size must be at least 1 row".into(),
+            ));
+        }
+        if self.channel_capacity == 0 {
+            return Err(sip_common::SipError::Config(
+                "channel_capacity must hold at least 1 batch (the backpressure window)".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Add a delay model for a binding or table name.
     pub fn with_delay(mut self, binding: impl Into<String>, model: DelayModel) -> Self {
         self.delays.insert(binding.into(), model);
@@ -318,8 +349,19 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let opts = ExecOptions::default();
+        assert!(opts.validate().is_ok());
         assert!(opts.batch_size >= 64);
         assert!(opts.channel_capacity >= 1);
         assert!(opts.collect_rows);
+    }
+
+    #[test]
+    fn validated_rejects_degenerate_sizes() {
+        assert!(ExecOptions::validated(1024, 16).is_ok());
+        assert!(ExecOptions::validated(1, 1).is_ok());
+        let e = ExecOptions::validated(0, 16).unwrap_err();
+        assert_eq!(e.layer(), "config");
+        let e = ExecOptions::validated(1024, 0).unwrap_err();
+        assert_eq!(e.layer(), "config");
     }
 }

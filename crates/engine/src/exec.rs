@@ -45,6 +45,9 @@ pub fn execute(
 pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Result<QueryOutput> {
     let plan = Arc::clone(&ctx.plan);
     plan.validate()?;
+    // Reject degenerate sizing with a config error before any thread
+    // spawns (a zero batch size would panic inside the scan's chunking).
+    ctx.options.validate()?;
     monitor.on_query_start(&ctx);
 
     let start = Instant::now();

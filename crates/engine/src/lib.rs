@@ -28,4 +28,4 @@ pub use monitor::{CompletionEvent, ExecMonitor, NoopMonitor, RowCollector, State
 pub use oracle::{canonical, execute_oracle};
 pub use physical::{lower, BoundAgg, PhysKind, PhysNode, PhysPlan, ScanPartition};
 pub use report::explain_analyze;
-pub use taps::{FilterScope, FilterTap, InjectedFilter, MergePolicy};
+pub use taps::{FilterScope, FilterTap, InjectedFilter, MergePolicy, TapKernel};

@@ -4,13 +4,17 @@
 //! tables hold a completed subexpression once their input finishes, which is
 //! exactly the state AIP summarizes (Examples 3.1/3.2 build AIP sets from
 //! the PARTKEY state of aggregation and distinct operators).
+//!
+//! Group keys (and, for distinct, whole rows) are hashed with one digest
+//! pass per batch; the group probe compares values positionally, so the
+//! per-row path neither re-hashes nor clones a key.
 
-use super::{count_in, key_of, Emitter};
+use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::{BoundAgg, PhysKind};
 use crossbeam::channel::{Receiver, Sender};
-use sip_common::{exec_err, AttrId, FxHashMap, FxHashSet, OpId, Result, Row};
+use sip_common::{exec_err, AttrId, DigestBuffer, FxHashMap, OpId, Result, Row};
 use sip_expr::AggAccumulator;
 use std::sync::Arc;
 
@@ -72,24 +76,29 @@ pub(crate) fn run_aggregate(
     let mut rows_in = 0u64;
     let mut collector = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
+    let mut digests = DigestBuffer::default();
 
     while let Ok(msg) = input.recv() {
         let Msg::Batch(batch) = msg else { break };
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
-        for row in batch.rows {
-            if let Some(c) = collector.as_mut() {
-                c.admit(&row);
+        if let Some(c) = collector.as_mut() {
+            for row in &batch.rows {
+                c.admit(row);
             }
-            let Some((digest, _key)) = key_of(&row, &group_cols) else {
+        }
+        // One hash pass over the group columns for the whole batch.
+        digests.compute(&batch.rows, &group_cols);
+        for (i, row) in batch.rows.iter().enumerate() {
+            if digests.is_null_key(i) {
                 continue; // NULL group keys are skipped (workloads are NULL-free)
-            };
-            let bucket = groups.entry(digest).or_default();
+            }
+            let bucket = groups.entry(digests.digests()[i]).or_default();
             let existing = bucket.iter_mut().find(|g| {
                 group_cols
                     .iter()
                     .enumerate()
-                    .all(|(i, &p)| g.key.get(i) == row.get(p))
+                    .all(|(j, &p)| g.key.get(j) == row.get(p))
             });
             let group = match existing {
                 Some(g) => g,
@@ -106,7 +115,7 @@ pub(crate) fn run_aggregate(
                 }
             };
             for (acc, spec) in group.accs.iter_mut().zip(aggs.iter()) {
-                acc.update(&spec.input.eval(&row)?)?;
+                acc.update(&spec.input.eval(row)?)?;
             }
         }
     }
@@ -148,7 +157,8 @@ pub(crate) fn run_aggregate(
 
 struct DistinctStateView<'a> {
     layout: &'a [AttrId],
-    seen: &'a FxHashSet<Row>,
+    seen: &'a FxHashMap<u64, Vec<Row>>,
+    n_rows: usize,
     bytes: usize,
 }
 
@@ -157,7 +167,7 @@ impl StateView for DistinctStateView<'_> {
         self.layout
     }
     fn len(&self) -> usize {
-        self.seen.len()
+        self.n_rows
     }
     fn state_bytes(&self) -> usize {
         self.bytes
@@ -166,18 +176,21 @@ impl StateView for DistinctStateView<'_> {
         true
     }
     fn for_each(&self, f: &mut dyn FnMut(&Row)) {
-        for r in self.seen {
-            f(r);
+        for rows in self.seen.values() {
+            for r in rows {
+                f(r);
+            }
         }
     }
     fn distinct_hint(&self, pos: usize) -> Option<usize> {
-        (self.layout.len() == 1 && pos == 0).then_some(self.seen.len())
+        (self.layout.len() == 1 && pos == 0).then_some(self.n_rows)
     }
 }
 
 /// Run a `Distinct` node — pipelined: first occurrences are emitted
 /// immediately (§III's running example reads the distinct operator's state
-/// while the query continues).
+/// while the query continues). Rows are hashed once per batch (over all
+/// columns) and deduplicated by digest bucket + exact compare.
 pub(crate) fn run_distinct(
     ctx: &Arc<ExecContext>,
     monitor: &Arc<dyn ExecMonitor>,
@@ -187,26 +200,34 @@ pub(crate) fn run_distinct(
 ) -> Result<()> {
     let node = ctx.plan.node(op);
     let layout = node.layout.clone();
-    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    let all_cols: Vec<usize> = (0..layout.len()).collect();
+    let mut seen: FxHashMap<u64, Vec<Row>> = FxHashMap::default();
+    let mut n_rows = 0usize;
     let mut bytes = 0usize;
     let mut rows_in = 0u64;
     let mut collector = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut digests = DigestBuffer::default();
 
     while let Ok(msg) = input.recv() {
         let Msg::Batch(batch) = msg else { break };
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
-        for row in batch.rows {
-            if let Some(c) = collector.as_mut() {
-                c.admit(&row);
+        if let Some(c) = collector.as_mut() {
+            for row in &batch.rows {
+                c.admit(row);
             }
-            if !seen.contains(&row) {
+        }
+        digests.compute(&batch.rows, &all_cols);
+        for (i, row) in batch.rows.into_iter().enumerate() {
+            let bucket = seen.entry(digests.digests()[i]).or_default();
+            if !bucket.iter().any(|r| r == &row) {
                 let delta = row.size_bytes() + 16;
                 bytes += delta;
+                n_rows += 1;
                 metrics.add_state(delta as i64, &ctx.hub.state);
-                seen.insert(row.clone());
+                bucket.push(row.clone());
                 emitter.push(row)?;
             }
         }
@@ -219,6 +240,7 @@ pub(crate) fn run_distinct(
     let view = DistinctStateView {
         layout: &layout,
         seen: &seen,
+        n_rows,
         bytes,
     };
     monitor.on_input_complete(

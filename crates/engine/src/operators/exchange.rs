@@ -8,10 +8,15 @@
 //! fans partition clones back into one stream, selecting across its inputs
 //! so no partition is stalled behind a slower sibling's backpressure
 //! window.
+//!
+//! The Exchange fuses its filter tap with the ownership kernel: one digest
+//! pass per batch feeds both the partition check and (when a filter probes
+//! the partition column — the common AIP case) the tap stack.
 
 use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::physical::PhysKind;
+use crate::taps::TapKernel;
 use crossbeam::channel::{Receiver, Select, Sender};
 use sip_common::{exec_err, hash::partition_of, OpId, Result};
 use std::sync::Arc;
@@ -32,20 +37,24 @@ pub(crate) fn run_exchange(
         } => (*col, *partition, *dop),
         other => return Err(exec_err!("run_exchange on {}", other.name())),
     };
-    let mut emitter = Emitter::new(ctx, op, out);
+    // The tap runs here, fused with the ownership kernel, so the emitter
+    // must not apply it a second time.
+    let mut emitter = Emitter::passthrough(ctx, op, out);
+    let mut kernel = TapKernel::new();
     while let Ok(msg) = input.recv() {
-        let Msg::Batch(batch) = msg else { break };
+        let Msg::Batch(mut batch) = msg else { break };
         count_in(ctx, op, 0, batch.len());
-        for row in batch.rows {
-            // NULL keys hash like any value: every NULL row lands in
-            // the same single partition, so the union over all
-            // partitions stays multiset-correct even for rows that
-            // can never join.
-            let owner = partition_of(row.key_hash(&[col]), dop);
-            if owner == partition {
-                emitter.push(row)?;
-            }
-        }
+        kernel.begin(batch.len());
+        // NULL keys hash like any value: every NULL row lands in the same
+        // single partition, so the union over all partitions stays
+        // multiset-correct even for rows that can never join.
+        kernel.retain_by_digest(&batch.rows, &[col], |d| partition_of(d, dop) == partition);
+        // The tap applies to the rows this Exchange would emit — its own
+        // partition's rows only — sharing the digest pass above whenever a
+        // filter probes the partition column.
+        kernel.probe_op(ctx, op, &batch.rows);
+        kernel.compact(&mut batch.rows);
+        emitter.push_rows(batch.rows)?;
         emitter.flush()?;
         if emitter.cancelled() {
             // Downstream hung up: stop pulling so upstream winds down too.
@@ -56,6 +65,8 @@ pub(crate) fn run_exchange(
 }
 
 /// Run a `Merge` node: union all inputs, ending when every input ends.
+/// Batches are forwarded whole — the emitter adopts each incoming
+/// allocation rather than re-buffering row by row.
 pub(crate) fn run_merge(
     ctx: &Arc<ExecContext>,
     op: OpId,
@@ -87,9 +98,7 @@ pub(crate) fn run_merge(
             match msg {
                 Ok(Msg::Batch(batch)) => {
                     count_in(ctx, op, 0, batch.len());
-                    for row in batch.rows {
-                        emitter.push(row)?;
-                    }
+                    emitter.push_rows(batch.rows)?;
                     emitter.flush()?;
                     if emitter.cancelled() {
                         // Downstream hung up: dropping the inputs here lets

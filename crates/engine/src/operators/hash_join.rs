@@ -4,6 +4,9 @@
 //! Each arriving tuple is inserted into its side's hash table and probed
 //! against the opposite table, so results stream out as soon as both
 //! matching tuples have arrived, regardless of input order or delays.
+//! Arriving batches are hashed in **one pass** over the side's key columns
+//! ([`DigestBuffer`]); the probe re-checks exact key equality positionally
+//! against the buffered rows, so no per-row key vector is ever materialized.
 //!
 //! Implements the short-circuit optimization §VI-A describes: "if one of the
 //! join inputs completes, the other input 'short-circuits' and stops
@@ -12,13 +15,12 @@
 //! opposite table is dropped and arriving tuples on that side become
 //! probe-only.
 
-use super::{count_in, key_of, Emitter};
+use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
-use sip_common::{exec_err, AttrId, FxHashMap, OpId, Result, Row, Value};
-use sip_expr::Expr;
+use sip_common::{exec_err, AttrId, DigestBuffer, FxHashMap, OpId, Result, Row};
 use std::sync::Arc;
 
 /// One side's buffered state.
@@ -51,9 +53,15 @@ impl Side {
         delta
     }
 
-    /// Matching buffered rows for a probe key (hash bucket + exact key
-    /// re-check, so 64-bit collisions cannot produce wrong joins).
-    fn probe<'a>(&'a self, digest: u64, key: &'a [Value]) -> impl Iterator<Item = &'a Row> + 'a {
+    /// Matching buffered rows for a probe row (hash bucket + positional
+    /// exact key re-check, so 64-bit collisions cannot produce wrong joins
+    /// and no key vector is cloned).
+    fn probe<'a>(
+        &'a self,
+        digest: u64,
+        probe: &'a Row,
+        probe_keys: &'a [usize],
+    ) -> impl Iterator<Item = &'a Row> + 'a {
         self.table
             .get(&digest)
             .into_iter()
@@ -61,8 +69,8 @@ impl Side {
             .filter(move |r| {
                 self.keys
                     .iter()
-                    .zip(key.iter())
-                    .all(|(&p, k)| r.get(p) == k)
+                    .zip(probe_keys.iter())
+                    .all(|(&bp, &pp)| r.get(bp) == probe.get(pp))
             })
     }
 
@@ -131,6 +139,9 @@ pub(crate) fn run_hash_join(
     let mut collectors = [ctx.take_collector(op, 0), ctx.take_collector(op, 1)];
     let mut emitter = Emitter::new(ctx, op, out);
     let metrics = ctx.hub.op(op);
+    // One digest pass per arriving batch; the buffer is reused across
+    // batches from either side.
+    let mut digests = DigestBuffer::default();
 
     loop {
         // Receive from whichever side has data; block only on live sides.
@@ -148,11 +159,39 @@ pub(crate) fn run_hash_join(
             Ok(Msg::Batch(batch)) => {
                 count_in(ctx, op, idx, batch.len());
                 sides[idx].rows_in += batch.len() as u64;
-                for row in batch.rows {
-                    if let Some(c) = collectors[idx].as_mut() {
-                        c.admit(&row);
+                if let Some(c) = collectors[idx].as_mut() {
+                    for row in &batch.rows {
+                        c.admit(row);
                     }
-                    process_row(ctx, op, &mut sides, idx, row, &residual, &mut emitter)?;
+                }
+                // Both sides hash the same key-value sequence, so this
+                // side's digest doubles as the probe digest into the
+                // opposite table.
+                digests.compute(&batch.rows, &sides[idx].keys);
+                let other = 1 - idx;
+                for (i, row) in batch.rows.into_iter().enumerate() {
+                    if digests.is_null_key(i) {
+                        continue; // NULL keys never join
+                    }
+                    let digest = digests.digests()[i];
+                    let probe_keys: &[usize] = &sides[idx].keys;
+                    for m in sides[other].probe(digest, &row, probe_keys) {
+                        let joined = if idx == 0 {
+                            row.concat(m)
+                        } else {
+                            m.concat(&row)
+                        };
+                        match &residual {
+                            Some(pred) if !pred.eval_bool(&joined)? => {}
+                            _ => emitter.push(joined)?,
+                        }
+                    }
+                    // Buffer for future arrivals from the other side
+                    // (unless short-circuited).
+                    if !sides[idx].dropped {
+                        let delta = sides[idx].insert(digest, row);
+                        metrics.add_state(delta, &ctx.hub.state);
+                    }
                 }
                 emitter.flush()?;
             }
@@ -202,49 +241,4 @@ pub(crate) fn run_hash_join(
         }
     }
     emitter.finish()
-}
-
-#[allow(clippy::too_many_arguments)]
-fn process_row(
-    ctx: &Arc<ExecContext>,
-    op: OpId,
-    sides: &mut [Side; 2],
-    idx: usize,
-    row: Row,
-    residual: &Option<Expr>,
-    emitter: &mut Emitter<'_>,
-) -> Result<()> {
-    let Some((digest, key)) = key_of(&row, &sides[idx].keys) else {
-        return Ok(()); // NULL keys never join
-    };
-    // The probe digest must be computed with the *other* side's key columns
-    // producing the same hash — true because key values hash identically.
-    let other = 1 - idx;
-    let other_digest = {
-        // Digest over the key values themselves (order matters, positions
-        // don't): both sides hash the same value sequence.
-        digest
-    };
-    // Probe the opposite table.
-    let mut matches: Vec<Row> = Vec::new();
-    for m in sides[other].probe(other_digest, &key) {
-        let joined = if idx == 0 {
-            row.concat(m)
-        } else {
-            m.concat(&row)
-        };
-        match residual {
-            Some(pred) if !pred.eval_bool(&joined)? => {}
-            _ => matches.push(joined),
-        }
-    }
-    for j in matches {
-        emitter.push(j)?;
-    }
-    // Buffer for future arrivals from the other side (unless short-circuited).
-    if !sides[idx].dropped {
-        let delta = sides[idx].insert(digest, row);
-        ctx.hub.op(op).add_state(delta, &ctx.hub.state);
-    }
-    Ok(())
 }

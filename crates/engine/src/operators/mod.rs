@@ -1,6 +1,13 @@
 //! Operator implementations. One OS thread runs each operator; rows flow
 //! through bounded channels, giving the nondeterministic, backpressured
 //! scheduling that push-style engines rely on (§I).
+//!
+//! Operator *interiors* are batch-at-a-time: each incoming batch gets one
+//! key-digest pass per key-column set (shared between the join probe, the
+//! injected-filter tap stack, and shuffle routing via
+//! [`sip_common::DigestCache`]), and kernels drop or route rows through
+//! selection vectors instead of cloning them. The row-at-a-time reference
+//! semantics live in [`crate::oracle`].
 
 pub(crate) mod aggregate;
 pub(crate) mod exchange;
@@ -11,31 +18,66 @@ pub(crate) mod shuffle;
 pub(crate) mod stateless;
 
 use crate::context::{ExecContext, Msg};
+use crate::taps::TapKernel;
 use crossbeam::channel::Sender;
 use sip_common::{Batch, OpId, Result, Row, Value};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// Buffers output rows, applies this operator's filter tap once per batch,
-/// updates metrics, and pushes batches downstream. A failed send means the
-/// consumer is gone (query cancelled or failed elsewhere); the emitter turns
-/// into a sink so the operator can wind down cleanly.
+/// Buffers output rows, applies this operator's filter tap once per batch
+/// (as a batch kernel over shared digest buffers), updates metrics, and
+/// pushes batches downstream. A failed send means the consumer is gone
+/// (query cancelled or failed elsewhere); the emitter turns into a sink so
+/// the operator can wind down cleanly.
+///
+/// Buffer discipline (two-buffer swap): `buf` is the filling batch, `spare`
+/// is an idle recycled buffer. Sending hands `buf`'s allocation downstream
+/// (the consumer frees it) and promotes `spare`; a batch fully dropped by
+/// the tap keeps its buffer in place; [`Emitter::push_rows`] with an empty
+/// `buf` adopts the caller's allocation outright and parks the idle buffer
+/// as the spare. Forwarding operators therefore allocate nothing per batch
+/// in steady state, and row-at-a-time producers allocate exactly the one
+/// `Vec` that crosses the thread boundary.
 pub(crate) struct Emitter<'a> {
     ctx: &'a Arc<ExecContext>,
     op: OpId,
     out: Sender<Msg>,
     buf: Vec<Row>,
+    spare: Vec<Row>,
+    /// Batch tap state; `None` when the host operator fuses the tap with
+    /// its routing kernel and applies it before pushing (Exchange,
+    /// ShuffleWrite).
+    tap: Option<TapKernel>,
     cancelled: bool,
 }
 
 impl<'a> Emitter<'a> {
     pub(crate) fn new(ctx: &'a Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Self {
+        Self::build(ctx, op, out, Some(TapKernel::new()))
+    }
+
+    /// An emitter that does **not** apply `op`'s tap on flush — for
+    /// operators that already ran the tap kernel themselves (sharing its
+    /// digest pass with their routing kernel). Metrics (`rows_out`) and
+    /// batching behave identically.
+    pub(crate) fn passthrough(ctx: &'a Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Self {
+        Self::build(ctx, op, out, None)
+    }
+
+    fn build(
+        ctx: &'a Arc<ExecContext>,
+        op: OpId,
+        out: Sender<Msg>,
+        tap: Option<TapKernel>,
+    ) -> Self {
         let cap = ctx.options.batch_size;
         Emitter {
             ctx,
             op,
             out,
             buf: Vec::with_capacity(cap),
+            spare: Vec::new(),
+            tap,
             cancelled: false,
         }
     }
@@ -57,77 +99,81 @@ impl<'a> Emitter<'a> {
         Ok(())
     }
 
-    /// Apply the tap and send buffered rows.
+    /// Queue a whole batch of output rows. With an empty buffer the rows
+    /// become the batch buffer directly — the caller's allocation is
+    /// reused, so forwarding operators never copy or reallocate.
+    pub(crate) fn push_rows(&mut self, rows: Vec<Row>) -> Result<()> {
+        if self.cancelled || rows.is_empty() {
+            return Ok(());
+        }
+        if self.buf.is_empty() {
+            // Park the larger idle buffer as the spare, adopt the rows.
+            if self.buf.capacity() > self.spare.capacity() {
+                std::mem::swap(&mut self.buf, &mut self.spare);
+            }
+            self.buf = rows;
+            if self.buf.len() >= self.ctx.options.batch_size {
+                self.flush()?;
+            }
+        } else {
+            for row in rows {
+                self.push(row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Queue the selected rows of a batch (gather by selection vector; each
+    /// row is an `Arc` clone, never a deep copy).
+    pub(crate) fn extend_sel(&mut self, rows: &[Row], sel: &[u32]) -> Result<()> {
+        for &i in sel {
+            if self.cancelled {
+                return Ok(());
+            }
+            self.push(rows[i as usize].clone())?;
+        }
+        Ok(())
+    }
+
+    /// Apply the tap (batch kernel) and send buffered rows.
     ///
-    /// The tap is snapshotted and the AIP counters are updated **once per
-    /// batch** (per-row atomics would dominate the probe cost), and the
-    /// cancelled path neither snapshots nor allocates a replacement buffer
-    /// — a drained operator winding down after downstream hangup does no
-    /// further work here.
+    /// The tap is snapshotted and all counters are updated **once per
+    /// batch** (per-row atomics would dominate the probe cost). The
+    /// cancelled path neither snapshots nor allocates — a drained operator
+    /// winding down after downstream hangup does no further work here.
     pub(crate) fn flush(&mut self) -> Result<()> {
-        if self.buf.is_empty() || self.cancelled {
+        if self.cancelled {
             self.buf.clear();
             return Ok(());
         }
-        let mut rows = std::mem::take(&mut self.buf);
-        let tap = self.ctx.taps[self.op.index()].snapshot();
-        if !tap.is_empty() {
-            // Per-batch counting: accumulate per-filter tallies locally and
-            // publish each with a single atomic add per batch. A row counts
-            // as probed only when at least one filter actually applied —
-            // partition-scoped filters pass foreign rows untouched.
-            let before = rows.len();
-            let mut probed_rows = 0u64;
-            let mut counts = vec![(0u64, 0u64); tap.len()];
-            rows.retain(|r| {
-                let mut probed_any = false;
-                let mut keep = true;
-                for (f, c) in tap.iter().zip(counts.iter_mut()) {
-                    match f.probe_quiet(r) {
-                        None => {} // outside the filter's partition scope
-                        Some(true) => {
-                            probed_any = true;
-                            c.0 += 1;
-                        }
-                        Some(false) => {
-                            probed_any = true;
-                            c.0 += 1;
-                            c.1 += 1;
-                            keep = false;
-                            break;
-                        }
-                    }
-                }
-                if probed_any {
-                    probed_rows += 1;
-                }
-                keep
-            });
-            for (f, (p, d)) in tap.iter().zip(counts) {
-                f.probed.fetch_add(p, Ordering::Relaxed);
-                f.dropped.fetch_add(d, Ordering::Relaxed);
-            }
-            let m = self.ctx.hub.op(self.op);
-            m.aip_probed.fetch_add(probed_rows, Ordering::Relaxed);
-            m.aip_dropped
-                .fetch_add((before - rows.len()) as u64, Ordering::Relaxed);
-        }
-        if rows.is_empty() {
-            // The tap dropped the whole batch: hand the (emptied, still
-            // allocated) buffer back so the next batch reuses its capacity.
-            self.buf = rows;
+        if self.buf.is_empty() {
             return Ok(());
+        }
+        if let Some(kernel) = self.tap.as_mut() {
+            if !self.ctx.taps[self.op.index()].is_empty() {
+                kernel.begin(self.buf.len());
+                if kernel.probe_op(self.ctx, self.op, &self.buf) > 0 {
+                    kernel.compact(&mut self.buf);
+                }
+                if self.buf.is_empty() {
+                    // The tap dropped the whole batch: the emptied buffer
+                    // stays in place, its capacity reused by the next batch.
+                    return Ok(());
+                }
+            }
         }
         self.ctx
             .hub
             .op(self.op)
             .rows_out
-            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+            .fetch_add(self.buf.len() as u64, Ordering::Relaxed);
+        let rows = std::mem::replace(&mut self.buf, std::mem::take(&mut self.spare));
         if self.out.send(Msg::Batch(Batch::new(rows))).is_err() {
             self.cancelled = true;
-        } else {
-            // Only a live emitter needs a fresh buffer at batch capacity.
-            self.buf = Vec::with_capacity(self.ctx.options.batch_size);
+        } else if self.buf.capacity() == 0 {
+            // No recycled buffer available: provision batch capacity up
+            // front so row-at-a-time pushes don't grow it piecemeal.
+            self.buf.reserve(self.ctx.options.batch_size);
         }
         Ok(())
     }
@@ -146,7 +192,9 @@ impl<'a> Emitter<'a> {
 }
 
 /// Extract `(digest, key values)` for the key columns, or `None` when any
-/// key is NULL (SQL: NULL keys never join).
+/// key is NULL (SQL: NULL keys never join). Row-at-a-time — the oracle and
+/// key-materializing paths use it; batch kernels use
+/// [`sip_common::DigestBuffer`] instead.
 #[inline]
 pub(crate) fn key_of(row: &Row, positions: &[usize]) -> Option<(u64, Vec<Value>)> {
     for &p in positions {
@@ -223,6 +271,72 @@ mod tests {
             Ok(Msg::Batch(b)) => assert_eq!(b.len(), 2),
             other => panic!("expected surviving batch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn push_rows_forwards_whole_batches() {
+        let ctx = scan_ctx(4);
+        let op = OpId(0);
+        let (tx, rx) = crossbeam::channel::bounded(8);
+        let mut e = Emitter::new(&ctx, op, tx);
+        // A whole batch at/above batch_size flushes immediately, reusing
+        // the caller's allocation as the outgoing batch.
+        let rows: Vec<Row> = (0..5).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        e.push_rows(rows).unwrap();
+        match rx.try_recv() {
+            Ok(Msg::Batch(b)) => assert_eq!(b.len(), 5),
+            other => panic!("expected forwarded batch, got {other:?}"),
+        }
+        // A short batch buffers until an explicit flush.
+        e.push_rows(vec![Row::new(vec![Value::Int(9)])]).unwrap();
+        assert!(rx.try_recv().is_err());
+        e.flush().unwrap();
+        match rx.try_recv() {
+            Ok(Msg::Batch(b)) => assert_eq!(b.len(), 1),
+            other => panic!("expected flushed batch, got {other:?}"),
+        }
+        assert_eq!(ctx.hub.op(op).rows_out.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn extend_sel_gathers_selected_rows() {
+        let ctx = scan_ctx(64);
+        let op = OpId(0);
+        let (tx, rx) = crossbeam::channel::bounded(4);
+        let mut e = Emitter::new(&ctx, op, tx);
+        let rows: Vec<Row> = (0..6).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        e.extend_sel(&rows, &[1, 4, 5]).unwrap();
+        e.flush().unwrap();
+        match rx.try_recv() {
+            Ok(Msg::Batch(b)) => {
+                let got: Vec<i64> = b.rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+                assert_eq!(got, vec![1, 4, 5]);
+            }
+            other => panic!("expected gathered batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_batch_drop_keeps_buffer_and_counts() {
+        let ctx = scan_ctx(64);
+        let op = OpId(0);
+        // Empty filter set: every probed row drops.
+        ctx.inject_filter(op, keys_filter(&[]), MergePolicy::Stack);
+        let (tx, rx) = crossbeam::channel::bounded(4);
+        let mut e = Emitter::new(&ctx, op, tx);
+        for i in 0..4 {
+            e.push(Row::new(vec![Value::Int(i)])).unwrap();
+        }
+        e.flush().unwrap();
+        assert!(rx.try_recv().is_err(), "fully-dropped batch must not send");
+        let m = ctx.hub.op(op);
+        assert_eq!(m.aip_probed.load(Ordering::Relaxed), 4);
+        assert_eq!(m.aip_dropped.load(Ordering::Relaxed), 4);
+        assert_eq!(m.rows_out.load(Ordering::Relaxed), 0);
+        // The emitter is still usable afterwards.
+        e.push(Row::new(vec![Value::Int(7)])).unwrap();
+        e.finish().unwrap();
+        assert_eq!(m.aip_probed.load(Ordering::Relaxed), 5);
     }
 
     #[test]

@@ -5,17 +5,19 @@ use crate::context::{ExecContext, Msg};
 use crate::delay::DelayState;
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
-use sip_common::{exec_err, OpId, Result, Row};
+use sip_common::{exec_err, DigestBuffer, OpId, Result, Row, SelVec};
 use std::sync::Arc;
 
 /// Run a `Scan` node: project the table's rows into the scan layout,
 /// honoring any configured delay model, and stream them out.
 ///
-/// When the scan carries a [`ScanPartition`], only rows hashing to its
-/// partition are shipped, and the delay model is charged per *shipped* row
-/// — the partition predicate is pushed down to the (possibly remote, slow)
-/// source, which is what lets `dop` partitioned scans overlap a slow
-/// source's transmission latency.
+/// When the scan carries a [`ScanPartition`](crate::physical::ScanPartition),
+/// only rows hashing to its partition are shipped, and the delay model is
+/// charged per *shipped* row — the partition predicate is pushed down to the
+/// (possibly remote, slow) source, which is what lets `dop` partitioned
+/// scans overlap a slow source's transmission latency. Ownership is decided
+/// with one digest pass per chunk and a selection vector, not per-row
+/// re-hashing.
 pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Result<()> {
     let node = ctx.plan.node(op);
     let (table, cols, binding, part) = match &node.kind {
@@ -34,45 +36,30 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
         .map(DelayState::new);
     let mut emitter = Emitter::new(ctx, op, out);
     let batch = ctx.options.batch_size;
+    let mut digests = DigestBuffer::default();
+    let mut sel = SelVec::default();
     for chunk in table.rows().chunks(batch) {
         if emitter.cancelled() {
             break;
         }
-        match &part {
-            None => {
-                // Serial scan: rows go straight to the emitter, delay
-                // charged for the whole chunk up front.
-                if let Some(d) = delay.as_mut() {
-                    let pause = d.advance(chunk.len() as u64);
-                    if !pause.is_zero() {
-                        std::thread::sleep(pause);
-                    }
-                }
-                for row in chunk {
-                    emitter.push(row.project(&cols))?;
-                }
-            }
-            Some(p) => {
-                // Partitioned scan: count the shipped rows first so the
-                // delay model charges only this partition's share.
-                let mut rows: Vec<Row> = Vec::with_capacity(chunk.len());
-                for row in chunk {
-                    let projected = row.project(&cols);
-                    if p.owns(projected.key_hash(&[p.col])) {
-                        rows.push(projected);
-                    }
-                }
-                if let Some(d) = delay.as_mut() {
-                    let pause = d.advance(rows.len() as u64);
-                    if !pause.is_zero() {
-                        std::thread::sleep(pause);
-                    }
-                }
-                for row in rows {
-                    emitter.push(row)?;
-                }
+        let mut rows: Vec<Row> = chunk.iter().map(|r| r.project(&cols)).collect();
+        if let Some(p) = &part {
+            // Partitioned scan: one hash pass decides ownership for the
+            // whole chunk, so the delay model charges only this
+            // partition's share of shipped rows.
+            digests.compute(&rows, &[p.col]);
+            sel.fill_identity(rows.len());
+            let d = digests.digests();
+            sel.retain(|i| p.owns(d[i as usize]));
+            sel.compact(&mut rows);
+        }
+        if let Some(d) = delay.as_mut() {
+            let pause = d.advance(rows.len() as u64);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
             }
         }
+        emitter.push_rows(rows)?;
         // Emit at batch granularity so delays interleave with consumption.
         emitter.flush()?;
     }
@@ -80,7 +67,8 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
 }
 
 /// Run an `ExternalSource` node: forward batches from a channel provided by
-/// the harness (the receiving end of a simulated network link).
+/// the harness (the receiving end of a simulated network link). Whole
+/// batches pass straight through the emitter.
 pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Result<()> {
     let rx: Receiver<Msg> = ctx
         .options
@@ -92,9 +80,7 @@ pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -
     while let Ok(msg) = rx.recv() {
         let Msg::Batch(b) = msg else { break };
         count_in(ctx, op, 0, b.len());
-        for row in b.rows {
-            emitter.push(row)?;
-        }
+        emitter.push_rows(b.rows)?;
         emitter.flush()?;
     }
     emitter.finish()

@@ -6,13 +6,17 @@
 //! matching the partial build set are emitted immediately — matches only
 //! ever grow — and unmatched probe rows are buffered. When the build side
 //! completes, buffered rows are re-checked once and the rest discarded.
+//!
+//! Both inputs are hashed with one digest pass per batch; probe-side
+//! membership checks compare key values positionally against the stored
+//! build keys, so the probe path never materializes a key vector.
 
-use super::{count_in, key_of, Emitter};
+use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
-use sip_common::{exec_err, AttrId, FxHashMap, OpId, Result, Row, Value};
+use sip_common::{exec_err, AttrId, DigestBuffer, FxHashMap, OpId, Result, Row, Value};
 use std::sync::Arc;
 
 struct BuildSet {
@@ -35,10 +39,19 @@ impl BuildSet {
         delta
     }
 
-    fn contains(&self, digest: u64, key: &[Value]) -> bool {
+    /// Does the set contain `row`'s key at `positions`? Positional compare
+    /// against the stored key values — no clone, no re-hash.
+    fn contains_row(&self, digest: u64, row: &Row, positions: &[usize]) -> bool {
         self.keys
             .get(&digest)
-            .map(|b| b.iter().any(|k| k == key))
+            .map(|b| {
+                b.iter().any(|k| {
+                    k.len() == positions.len()
+                        && k.iter()
+                            .zip(positions.iter())
+                            .all(|(v, &p)| v == row.get(p))
+                })
+            })
             .unwrap_or(false)
     }
 }
@@ -109,6 +122,10 @@ pub(crate) fn run_semi_join(
     let mut collector_probe = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
     let mut emitter = Emitter::new(ctx, op, out);
+    // Reused per-batch digest scratch, one per input (key column sets
+    // differ).
+    let mut build_digests = DigestBuffer::default();
+    let mut probe_digests = DigestBuffer::default();
 
     while !(probe_done && build_done) {
         let (is_build, msg) = if probe_done {
@@ -125,30 +142,31 @@ pub(crate) fn run_semi_join(
             (true, Ok(Msg::Batch(batch))) => {
                 count_in(ctx, op, 1, batch.len());
                 build_rows_in += batch.len() as u64;
-                for row in batch.rows {
-                    if let Some(c) = collector_build.as_mut() {
-                        c.admit(&row);
+                if let Some(c) = collector_build.as_mut() {
+                    for row in &batch.rows {
+                        c.admit(row);
                     }
-                    let Some((digest, key)) = key_of(&row, &build_keys) else {
+                }
+                build_digests.compute(&batch.rows, &build_keys);
+                for (i, row) in batch.rows.iter().enumerate() {
+                    if build_digests.is_null_key(i) {
                         continue;
-                    };
-                    let delta = build.insert(digest, key);
+                    }
+                    let digest = build_digests.digests()[i];
+                    let delta = build.insert(digest, row.key_values(&build_keys));
                     if delta > 0 {
                         metrics.add_state(delta, &ctx.hub.state);
                         // Release any pending probe rows now matched.
                         if let Some(rows) = pending.remove(&digest) {
                             for r in rows {
-                                let (d2, k2) =
-                                    key_of(&r, &probe_keys).expect("pending rows have keys");
-                                if build.contains(d2, &k2) {
+                                if build.contains_row(digest, &r, &probe_keys) {
                                     pending_bytes -= r.size_bytes() + 16;
                                     metrics
                                         .add_state(-(r.size_bytes() as i64 + 16), &ctx.hub.state);
                                     emitter.push(r)?;
                                 } else {
                                     // Same digest, different key: keep waiting.
-                                    pending_bytes += 0;
-                                    pending.entry(d2).or_default().push(r);
+                                    pending.entry(digest).or_default().push(r);
                                 }
                             }
                         }
@@ -158,14 +176,18 @@ pub(crate) fn run_semi_join(
             }
             (false, Ok(Msg::Batch(batch))) => {
                 count_in(ctx, op, 0, batch.len());
-                for row in batch.rows {
-                    if let Some(c) = collector_probe.as_mut() {
-                        c.admit(&row);
+                if let Some(c) = collector_probe.as_mut() {
+                    for row in &batch.rows {
+                        c.admit(row);
                     }
-                    let Some((digest, key)) = key_of(&row, &probe_keys) else {
+                }
+                probe_digests.compute(&batch.rows, &probe_keys);
+                for (i, row) in batch.rows.into_iter().enumerate() {
+                    if probe_digests.is_null_key(i) {
                         continue; // NULL keys never match
-                    };
-                    if build.contains(digest, &key) {
+                    }
+                    let digest = probe_digests.digests()[i];
+                    if build.contains_row(digest, &row, &probe_keys) {
                         emitter.push(row)?;
                     } else if !build_done {
                         let delta = row.size_bytes() + 16;
@@ -208,10 +230,9 @@ pub(crate) fn run_semi_join(
                 let drained = std::mem::take(&mut pending);
                 for (digest, rows) in drained {
                     for r in rows {
-                        let (_, key) = key_of(&r, &probe_keys).expect("pending rows have keys");
                         let delta = r.size_bytes() as i64 + 16;
                         metrics.add_state(-delta, &ctx.hub.state);
-                        if build.contains(digest, &key) {
+                        if build.contains_row(digest, &r, &probe_keys) {
                             emitter.push(r)?;
                         }
                     }

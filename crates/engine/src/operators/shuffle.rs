@@ -6,6 +6,12 @@
 //! (each owning one hash partition of the *new* class) over a grid of
 //! bounded channels held by the [`ExecContext`].
 //!
+//! Routing is a batch kernel: one digest pass per incoming batch feeds the
+//! filter-tap stack (applied once, before routing — every row lands in
+//! exactly one destination either way) *and* the destination choice, and
+//! rows are dealt via per-destination selection vectors gathered into the
+//! outgoing batches.
+//!
 //! Deadlock freedom: writers only ever *send* into the mesh and readers
 //! only ever *receive* from it, so every blocking edge — producer → writer
 //! (tree), writer → reader (mesh), reader → consumer (tree) — points
@@ -16,8 +22,9 @@
 use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::physical::PhysKind;
+use crate::taps::TapKernel;
 use crossbeam::channel::{Receiver, Select, Sender};
-use sip_common::{exec_err, hash::partition_of, OpId, Result};
+use sip_common::{exec_err, hash::partition_of, OpId, Result, SelVec};
 use std::sync::Arc;
 
 /// Run a `ShuffleWrite` node: route each input row to the mesh channel of
@@ -43,25 +50,44 @@ pub(crate) fn run_shuffle_write(
     let txs = ctx
         .take_shuffle_senders(mesh, writer)
         .ok_or_else(|| exec_err!("mesh {mesh} writer {writer} has no senders"))?;
-    // One emitter per destination: each applies this operator's filter tap
-    // (every row lands in exactly one destination, so taps probe each row
-    // once), counts rows_out, and batches independently so a full window
-    // toward one reader never blocks traffic toward the others until this
-    // thread actually has a row for the full one.
+    // One emitter per destination: each counts rows_out and batches
+    // independently, so a full window toward one reader never blocks
+    // traffic toward the others until this thread actually has a row for
+    // the full one. The tap runs *here*, fused with the routing kernel
+    // (every row reaches exactly one destination, so probing before
+    // routing applies each filter to each row exactly once), hence the
+    // passthrough emitters.
     let mut emitters: Vec<Emitter<'_>> = txs
         .into_iter()
-        .map(|tx| Emitter::new(ctx, op, tx))
+        .map(|tx| Emitter::passthrough(ctx, op, tx))
         .collect();
+    let mut kernel = TapKernel::new();
+    let mut route: Vec<SelVec> = (0..dop as usize).map(|_| SelVec::default()).collect();
+    let mut owners: Vec<u32> = Vec::new();
     while let Ok(msg) = input.recv() {
         let Msg::Batch(batch) = msg else { break };
         count_in(ctx, op, 0, batch.len());
-        for row in batch.rows {
-            // NULL routing keys hash like any value: all NULL rows of a
-            // stream land in one consistent partition, keeping the union
-            // across readers multiset-correct even for rows that can
-            // never join.
-            let owner = partition_of(row.key_hash(&[col]), dop) as usize;
-            emitters[owner].push(row)?;
+        kernel.begin(batch.len());
+        kernel.probe_op(ctx, op, &batch.rows);
+        // Route the surviving selection. The routing digests come from the
+        // same cache as the tap's, so a filter over the shuffle key costs
+        // no extra hash pass. NULL routing keys hash like any value: all
+        // NULL rows of a stream land in one consistent partition, keeping
+        // the union across readers multiset-correct even for rows that can
+        // never join.
+        for s in route.iter_mut() {
+            s.clear();
+        }
+        {
+            let d = kernel.digests(&batch.rows, &[col]).digests();
+            owners.clear();
+            owners.extend(d.iter().map(|&d| partition_of(d, dop)));
+        }
+        for i in kernel.sel().iter() {
+            route[owners[i as usize] as usize].push(i);
+        }
+        for (owner, s) in route.iter().enumerate() {
+            emitters[owner].extend_sel(&batch.rows, s.as_slice())?;
         }
         if emitters.iter().all(|e| e.cancelled()) {
             // Every reader hung up (query failed/cancelled downstream):
@@ -77,9 +103,10 @@ pub(crate) fn run_shuffle_write(
 }
 
 /// Run a `ShuffleRead` node: select-drain all mesh channels addressed to
-/// this partition, forwarding batches downstream, finishing when every
-/// writer has sent EOF. The optional tree input (the paired writer) only
-/// ever carries an EOF and is drained last.
+/// this partition, forwarding batches downstream (whole-batch, allocation
+/// adopted by the emitter), finishing when every writer has sent EOF. The
+/// optional tree input (the paired writer) only ever carries an EOF and is
+/// drained last.
 pub(crate) fn run_shuffle_read(
     ctx: &Arc<ExecContext>,
     op: OpId,
@@ -116,9 +143,7 @@ pub(crate) fn run_shuffle_read(
             match msg {
                 Ok(Msg::Batch(batch)) => {
                     count_in(ctx, op, 0, batch.len());
-                    for row in batch.rows {
-                        emitter.push(row)?;
-                    }
+                    emitter.push_rows(batch.rows)?;
                     emitter.flush()?;
                     if emitter.cancelled() {
                         // Downstream hung up: fall through to drop the mesh

@@ -1,10 +1,13 @@
-//! Stateless unary operators: filter and project.
+//! Stateless unary operators: filter and project — batch kernels over
+//! selection vectors. Surviving rows are compacted in place and forwarded
+//! whole-batch, so the steady state moves allocations downstream instead of
+//! creating them.
 
 use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
-use sip_common::{exec_err, OpId, Result, Row};
+use sip_common::{exec_err, OpId, Result, Row, SelVec};
 use std::sync::Arc;
 
 /// Run a `Filter` node.
@@ -19,14 +22,18 @@ pub(crate) fn run_filter(
         other => return Err(exec_err!("run_filter on {}", other.name())),
     };
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut sel = SelVec::default();
     while let Ok(msg) = input.recv() {
-        let Msg::Batch(b) = msg else { break };
+        let Msg::Batch(mut b) = msg else { break };
         count_in(ctx, op, 0, b.len());
-        for row in b.rows {
-            if pred.eval_bool(&row)? {
-                emitter.push(row)?;
+        sel.clear();
+        for (i, row) in b.rows.iter().enumerate() {
+            if pred.eval_bool(row)? {
+                sel.push(i as u32);
             }
         }
+        sel.compact(&mut b.rows);
+        emitter.push_rows(b.rows)?;
         emitter.flush()?;
         if emitter.cancelled() {
             break;
@@ -50,13 +57,15 @@ pub(crate) fn run_project(
     while let Ok(msg) = input.recv() {
         let Msg::Batch(b) = msg else { break };
         count_in(ctx, op, 0, b.len());
-        for row in b.rows {
+        let mut rows = Vec::with_capacity(b.len());
+        for row in &b.rows {
             let mut vals = Vec::with_capacity(exprs.len());
             for e in &exprs {
-                vals.push(e.eval(&row)?);
+                vals.push(e.eval(row)?);
             }
-            emitter.push(Row::new(vals))?;
+            rows.push(Row::new(vals));
         }
+        emitter.push_rows(rows)?;
         emitter.flush()?;
         if emitter.cancelled() {
             break;

@@ -12,7 +12,7 @@
 
 use parking_lot::RwLock;
 use sip_common::hash::partition_of;
-use sip_common::{OpId, Row};
+use sip_common::{DigestBuffer, DigestCache, OpId, Row, SelVec};
 use sip_filter::AipSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -98,9 +98,49 @@ impl InjectedFilter {
         Some(self.set.probe(digest, &key))
     }
 
+    /// Batch kernel: narrow `sel` to the rows this filter admits.
+    ///
+    /// `digests[i]` must be row `i`'s digest over `self.positions` (one
+    /// shared hash pass per batch per key-column set — see
+    /// [`sip_common::DigestCache`]). Rows outside the filter's partition
+    /// scope pass unprobed; probed rows are flagged in `probed_mask` so the
+    /// caller can tally "rows touched by ≥1 filter" once per batch.
+    /// Returns `(probed, dropped)` for this filter — the caller publishes
+    /// them with one atomic add per batch.
+    pub fn probe_batch(
+        &self,
+        rows: &[Row],
+        digests: &[u64],
+        sel: &mut SelVec,
+        probed_mask: &mut [bool],
+    ) -> (u64, u64) {
+        let mut probed = 0u64;
+        let mut dropped = 0u64;
+        sel.retain(|i| {
+            let i = i as usize;
+            let digest = digests[i];
+            if let Some(scope) = &self.scope {
+                if !scope.applies(digest) {
+                    return true; // outside the filter's partition scope
+                }
+            }
+            probed += 1;
+            probed_mask[i] = true;
+            let ok = self.set.probe_at(digest, rows[i].values(), &self.positions);
+            if !ok {
+                dropped += 1;
+            }
+            ok
+        });
+        self.probed.fetch_add(probed, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        (probed, dropped)
+    }
+
     /// Probe a row; `true` = may pass, `false` = provably dead. Updates the
     /// per-filter counters one row at a time — batch paths should prefer
-    /// [`InjectedFilter::probe_quiet`] plus one counter update per batch.
+    /// [`InjectedFilter::probe_batch`], which shares one digest pass per
+    /// batch and publishes counters once per batch.
     #[inline]
     pub fn admits(&self, row: &Row) -> bool {
         match self.probe_quiet(row) {
@@ -211,6 +251,111 @@ impl FilterTap {
 /// Identifies an injection site: the output of operator `op`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TapSite(pub OpId);
+
+/// Per-operator batch-probe state: a selection vector, a probed-row mask,
+/// and the shared digest cache. One instance lives on each operator thread
+/// (inside its `Emitter`, or in the operator body when the tap is fused
+/// with routing) and is reused across batches, so steady state allocates
+/// nothing.
+///
+/// Usage per batch: [`TapKernel::begin`], optionally
+/// [`TapKernel::retain_by_digest`] to narrow the selection first (e.g. an
+/// `Exchange` keeping only its own partition's rows), then
+/// [`TapKernel::probe_chain`] to run the filter stack. Because routing and
+/// probing draw digests from the same [`DigestCache`], a filter over the
+/// routing columns costs no second hash pass.
+#[derive(Debug, Default)]
+pub struct TapKernel {
+    sel: SelVec,
+    probed_mask: Vec<bool>,
+    cache: DigestCache,
+}
+
+impl TapKernel {
+    /// Fresh kernel state.
+    pub fn new() -> Self {
+        TapKernel::default()
+    }
+
+    /// Start a new batch of `n` rows: identity selection, cleared probe
+    /// mask, invalidated digest buffers.
+    pub fn begin(&mut self, n: usize) {
+        self.sel.fill_identity(n);
+        self.probed_mask.clear();
+        self.probed_mask.resize(n, false);
+        self.cache.begin_batch();
+    }
+
+    /// The digest buffer for `positions` over `rows`, computed at most once
+    /// for the current batch.
+    pub fn digests(&mut self, rows: &[Row], positions: &[usize]) -> &DigestBuffer {
+        self.cache.get(rows, positions)
+    }
+
+    /// Narrow the selection by a predicate over each row's `positions`
+    /// digest (e.g. hash-partition ownership). Shares the digest cache with
+    /// [`TapKernel::probe_chain`].
+    pub fn retain_by_digest(
+        &mut self,
+        rows: &[Row],
+        positions: &[usize],
+        mut keep: impl FnMut(u64) -> bool,
+    ) {
+        let digests = self.cache.get(rows, positions);
+        // Field-disjoint borrows: `digests` borrows the cache, `sel` is its
+        // own field.
+        let d = digests.digests();
+        self.sel.retain(|i| keep(d[i as usize]));
+    }
+
+    /// Run the filter chain over the current selection: one digest pass per
+    /// distinct probe-column set, per-filter counters published once per
+    /// batch. Returns `(probed_rows, dropped_rows)` for the host operator's
+    /// metrics — `probed_rows` counts rows at least one filter actually
+    /// applied to (partition-scoped filters pass foreign rows untouched).
+    pub fn probe_chain(&mut self, chain: &[Arc<InjectedFilter>], rows: &[Row]) -> (u64, u64) {
+        let before = self.sel.len();
+        for f in chain {
+            if self.sel.is_empty() {
+                break;
+            }
+            let digests = self.cache.get(rows, &f.positions);
+            let d = digests.digests();
+            f.probe_batch(rows, d, &mut self.sel, &mut self.probed_mask);
+        }
+        let probed_rows = self.probed_mask.iter().filter(|&&p| p).count() as u64;
+        (probed_rows, (before - self.sel.len()) as u64)
+    }
+
+    /// Snapshot `op`'s tap chain, probe it over the current selection, and
+    /// publish the host operator's `aip_probed` / `aip_dropped` — the one
+    /// batch-tap entry point shared by the `Emitter` and the operators
+    /// that fuse the tap with routing (Exchange, ShuffleWrite), so the
+    /// counter semantics cannot drift between them. Returns the number of
+    /// rows dropped (callers compact only when it is non-zero).
+    pub fn probe_op(&mut self, ctx: &crate::context::ExecContext, op: OpId, rows: &[Row]) -> u64 {
+        let chain = ctx.taps[op.index()].snapshot();
+        if chain.is_empty() {
+            return 0;
+        }
+        let (probed, dropped) = self.probe_chain(&chain, rows);
+        let m = ctx.hub.op(op);
+        m.aip_probed.fetch_add(probed, Ordering::Relaxed);
+        m.aip_dropped.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// The current selection (valid after [`TapKernel::begin`]).
+    pub fn sel(&self) -> &SelVec {
+        &self.sel
+    }
+
+    /// Compact `rows` to the current selection (order-preserving, no
+    /// clones).
+    pub fn compact(&self, rows: &mut Vec<Row>) {
+        self.sel.compact(rows);
+    }
+}
 
 #[cfg(test)]
 mod tests {

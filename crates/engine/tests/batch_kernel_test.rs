@@ -1,0 +1,449 @@
+//! Differential suite for the batch-vectorized operator interiors.
+//!
+//! The batch kernels (one digest pass per batch per key-column set,
+//! selection-vector filtering, positional key re-checks) must be
+//! observationally identical to the row-at-a-time reference semantics:
+//! `probe_quiet` per row per filter for taps, and `execute_oracle` for
+//! whole plans. Beyond row multisets, the `aip_probed` / `aip_dropped`
+//! counters — per filter and per operator — must match an exact row-level
+//! replay, at every batch size including the boundary cases (1, 63/64/65,
+//! row_count ± 1).
+
+use proptest::prelude::*;
+use sip_common::{hash_key, DataType, Field, OpId, Row, Schema, Value};
+use sip_data::{Catalog, Table};
+use sip_engine::{
+    canonical, execute_ctx, execute_oracle, ExecContext, ExecOptions, FilterScope, InjectedFilter,
+    MergePolicy, NoopMonitor, PhysPlan,
+};
+use sip_expr::{AggFunc, CmpOp, Expr};
+use sip_filter::{AipSetBuilder, AipSetKind};
+use sip_plan::QueryBuilder;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A randomly generated injected filter, kept alongside the ingredients so
+/// the test can rebuild an identical one for the engine run and the replay.
+#[derive(Clone, Debug)]
+struct FilterSpec {
+    kind: u8,
+    positions: Vec<usize>,
+    keys: Vec<Vec<i64>>,
+    scope: Option<(u32, u32)>,
+}
+
+fn key_values(spec: &FilterSpec, raw: &[i64]) -> Vec<Value> {
+    // Type-match each key slot to the probed column: column 2 is a string.
+    spec.positions
+        .iter()
+        .zip(raw.iter())
+        .map(|(&p, &k)| {
+            if p == 2 {
+                Value::str(format!("s{k}"))
+            } else {
+                Value::Int(k)
+            }
+        })
+        .collect()
+}
+
+fn build_filter(spec: &FilterSpec, label: impl Into<String>) -> InjectedFilter {
+    let kind = match spec.kind % 3 {
+        0 => AipSetKind::Bloom,
+        1 => AipSetKind::Hash,
+        _ => AipSetKind::MinMax,
+    };
+    let mut b = AipSetBuilder::new(kind, spec.keys.len().max(1), 0.05, 1);
+    for raw in &spec.keys {
+        let key = key_values(spec, raw);
+        b.insert(hash_key(&key), &key);
+    }
+    InjectedFilter::scoped(
+        label,
+        spec.positions.clone(),
+        Arc::new(b.finish()),
+        spec.scope.map(|(partition, dop)| FilterScope {
+            partition: partition % dop,
+            dop,
+        }),
+    )
+}
+
+/// Row-at-a-time reference: apply the chain with `probe_quiet` (early break
+/// on the first drop), tallying exactly what the engine's batch kernel must
+/// report.
+struct Replay {
+    rows: Vec<Row>,
+    per_filter: Vec<(u64, u64)>,
+    probed_rows: u64,
+    dropped_rows: u64,
+}
+
+fn replay(rows: &[Row], chain: &[InjectedFilter]) -> Replay {
+    let mut out = Vec::new();
+    let mut per_filter = vec![(0u64, 0u64); chain.len()];
+    let mut probed_rows = 0u64;
+    let mut dropped_rows = 0u64;
+    for row in rows {
+        let mut probed_any = false;
+        let mut keep = true;
+        for (f, c) in chain.iter().zip(per_filter.iter_mut()) {
+            match f.probe_quiet(row) {
+                None => {}
+                Some(true) => {
+                    probed_any = true;
+                    c.0 += 1;
+                }
+                Some(false) => {
+                    probed_any = true;
+                    c.0 += 1;
+                    c.1 += 1;
+                    keep = false;
+                    break;
+                }
+            }
+        }
+        if probed_any {
+            probed_rows += 1;
+        }
+        if keep {
+            out.push(row.clone());
+        } else {
+            dropped_rows += 1;
+        }
+    }
+    Replay {
+        rows: out,
+        per_filter,
+        probed_rows,
+        dropped_rows,
+    }
+}
+
+/// Run `plan` with `chain` injected at `op`, returning output rows plus the
+/// engine's counters at that operator.
+#[allow(clippy::type_complexity)]
+fn run_with_taps(
+    plan: Arc<PhysPlan>,
+    op: OpId,
+    chain: &[FilterSpec],
+    batch_size: usize,
+) -> (Vec<Row>, Vec<(u64, u64)>, u64, u64) {
+    let opts = ExecOptions {
+        batch_size,
+        channel_capacity: 2,
+        ..Default::default()
+    };
+    let ctx = ExecContext::new(plan, opts);
+    for (i, spec) in chain.iter().enumerate() {
+        ctx.inject_filter(op, build_filter(spec, format!("f{i}")), MergePolicy::Stack);
+    }
+    let out = execute_ctx(Arc::clone(&ctx), Arc::new(NoopMonitor)).unwrap();
+    let snap = ctx.taps[op.index()].snapshot();
+    let per_filter: Vec<(u64, u64)> = snap
+        .iter()
+        .map(|f| {
+            (
+                f.probed.load(Ordering::Relaxed),
+                f.dropped.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    let m = ctx.hub.op(op);
+    (
+        out.rows,
+        per_filter,
+        m.aip_probed.load(Ordering::Relaxed),
+        m.aip_dropped.load(Ordering::Relaxed),
+    )
+}
+
+fn table_catalog(rows: &[(Option<i64>, i64)]) -> Catalog {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Int),
+        Field::new("s", DataType::Str),
+    ]);
+    let rows: Vec<Row> = rows
+        .iter()
+        .map(|&(k, v)| {
+            Row::new(vec![
+                k.map(Value::Int).unwrap_or(Value::Null),
+                Value::Int(v),
+                Value::str(format!("s{}", v.rem_euclid(5))),
+            ])
+        })
+        .collect();
+    let mut c = Catalog::new();
+    c.add(Table::new("t", schema, vec![], vec![], rows).unwrap());
+    c
+}
+
+fn scan_plan(catalog: &Catalog) -> Arc<PhysPlan> {
+    let mut q = QueryBuilder::new(catalog);
+    let t = q.scan("t", "t", &["k", "v", "s"]).unwrap();
+    Arc::new(sip_engine::lower(t.plan(), q.attrs().clone(), catalog).unwrap())
+}
+
+fn arb_filter_spec() -> impl Strategy<Value = FilterSpec> {
+    (
+        0u8..3,
+        1u8..8, // non-empty bitmask over probe columns {0, 1, 2}
+        prop::collection::vec(prop::collection::vec(-5i64..25, 3usize..4), 0..24),
+        (0u8..2, 0u32..4, 1u32..4), // scope: present flag, partition, dop
+    )
+        .prop_map(|(kind, mask, raw_keys, (scoped, partition, dop))| {
+            let positions: Vec<usize> = (0..3).filter(|b| mask & (1 << b) != 0).collect();
+            let arity = positions.len();
+            FilterSpec {
+                kind,
+                positions,
+                keys: raw_keys.into_iter().map(|k| k[..arity].to_vec()).collect(),
+                scope: (scoped == 1).then_some((partition, dop)),
+            }
+        })
+}
+
+/// Map a small selector to a batch size, hitting the documented boundary
+/// cases relative to the row count `n`.
+fn batch_size_for(choice: u8, extra: usize, n: usize) -> usize {
+    match choice % 8 {
+        0 => 1,
+        1 => 2,
+        2 => 63,
+        3 => 64,
+        4 => 65,
+        5 => n.saturating_sub(1).max(1),
+        6 => n + 1,
+        _ => extra.max(1),
+    }
+}
+
+proptest! {
+    // Each case spins up operator threads; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random tap stacks at a scan output: the engine's batch kernel must
+    /// reproduce the row-at-a-time reference bit-for-bit — surviving
+    /// multiset, per-filter probed/dropped, and the host operator's
+    /// aip_probed/aip_dropped.
+    #[test]
+    fn tap_kernel_counters_match_row_replay(
+        raw_data in prop::collection::vec(((0u8..4, 0i64..20), -50i64..50), 1..150),
+        chain_specs in prop::collection::vec(arb_filter_spec(), 1usize..4),
+        batch_choice in 0u8..8,
+        extra_batch in 1usize..200,
+    ) {
+        // ~25% of key values are NULL (flag 0), exercising the null path
+        // of the digest pass alongside the tap's hash-NULL-like-any-value
+        // semantics.
+        let data: Vec<(Option<i64>, i64)> = raw_data
+            .into_iter()
+            .map(|((flag, k), v)| ((flag > 0).then_some(k), v))
+            .collect();
+        let catalog = table_catalog(&data);
+        let plan = scan_plan(&catalog);
+        let op = plan.root;
+        let batch = batch_size_for(batch_choice, extra_batch, data.len());
+
+        // Reference: the scan's deterministic output (the projected table)
+        // through the row-at-a-time tap semantics.
+        let scanned = execute_oracle(&plan).unwrap();
+        let reference_chain: Vec<InjectedFilter> = chain_specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| build_filter(s, format!("f{i}")))
+            .collect();
+        let expected = replay(&scanned, &reference_chain);
+
+        let (rows, per_filter, probed, dropped) =
+            run_with_taps(Arc::clone(&plan), op, &chain_specs, batch);
+
+        prop_assert_eq!(canonical(&rows), canonical(&expected.rows),
+            "row multiset diverged at batch {}", batch);
+        prop_assert_eq!(&per_filter, &expected.per_filter,
+            "per-filter counters diverged at batch {}", batch);
+        prop_assert_eq!(probed, expected.probed_rows,
+            "aip_probed diverged at batch {}", batch);
+        prop_assert_eq!(dropped, expected.dropped_rows,
+            "aip_dropped diverged at batch {}", batch);
+    }
+
+    /// Random join/aggregate/distinct plans at boundary batch sizes, with a
+    /// random tap stack at the root: results must equal the oracle's rows
+    /// passed through the row-at-a-time tap replay, with exact counter
+    /// parity at the root operator.
+    #[test]
+    fn plan_kernels_match_oracle_at_boundary_batches(
+        facts in prop::collection::vec((0i64..25, -40i64..40), 1..120),
+        dims in prop::collection::vec((0i64..25, -40i64..40), 1..40),
+        dim_cut in -30i64..30,
+        shape in 0u8..3,
+        chain_specs in prop::collection::vec(arb_filter_spec(), 0usize..3),
+        batch_choice in 0u8..8,
+        extra_batch in 1usize..200,
+    ) {
+        let fact_schema = Schema::new(vec![
+            Field::new("f_key", DataType::Int),
+            Field::new("f_val", DataType::Int),
+        ]);
+        let dim_schema = Schema::new(vec![
+            Field::new("d_key", DataType::Int),
+            Field::new("d_weight", DataType::Int),
+        ]);
+        let fact_rows: Vec<Row> = facts.iter()
+            .map(|&(k, v)| Row::new(vec![Value::Int(k), Value::Int(v)]))
+            .collect();
+        let dim_rows: Vec<Row> = dims.iter()
+            .map(|&(k, w)| Row::new(vec![Value::Int(k), Value::Int(w)]))
+            .collect();
+        let mut catalog = Catalog::new();
+        catalog.add(Table::new("fact", fact_schema, vec![], vec![], fact_rows).unwrap());
+        catalog.add(Table::new("dim", dim_schema, vec![0], vec![], dim_rows).unwrap());
+
+        let mut q = QueryBuilder::new(&catalog);
+        let f = q.scan("fact", "f", &["f_key", "f_val"]).unwrap();
+        let d = q.scan("dim", "d", &["d_key", "d_weight"]).unwrap();
+        let d_pred = d.col("d_weight").unwrap().cmp(CmpOp::Lt, Expr::lit(dim_cut));
+        let d = q.filter(d, d_pred);
+        let joined = q.join(f, d, &[("f.f_key", "d.d_key")]).unwrap();
+        let out = match shape % 3 {
+            0 => joined,
+            1 => {
+                let val = joined.col("f.f_val").unwrap();
+                q.aggregate(joined, &["f.f_key"], &[(AggFunc::Sum, val, "total")])
+                    .unwrap()
+            }
+            _ => q.distinct(joined),
+        };
+        let plan = out.into_plan();
+        let phys = Arc::new(sip_engine::lower(&plan, q.into_attrs(), &catalog).unwrap());
+        let op = phys.root;
+        let batch = batch_size_for(batch_choice, extra_batch, facts.len());
+
+        // Filters at the root probe the root layout; clamp positions to it.
+        let arity = phys.node(op).layout.len();
+        let chain_specs: Vec<FilterSpec> = chain_specs
+            .into_iter()
+            .map(|mut s| {
+                s.positions.retain(|&p| p < arity);
+                if s.positions.is_empty() {
+                    s.positions.push(0);
+                }
+                let n = s.positions.len();
+                for k in s.keys.iter_mut() {
+                    k.truncate(n);
+                }
+                s
+            })
+            .collect();
+
+        let oracle_rows = execute_oracle(&phys).unwrap();
+        let reference_chain: Vec<InjectedFilter> = chain_specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| build_filter(s, format!("f{i}")))
+            .collect();
+        let expected = replay(&oracle_rows, &reference_chain);
+
+        let (rows, per_filter, probed, dropped) =
+            run_with_taps(Arc::clone(&phys), op, &chain_specs, batch);
+
+        prop_assert_eq!(canonical(&rows), canonical(&expected.rows),
+            "shape {} diverged at batch {}", shape, batch);
+        prop_assert_eq!(&per_filter, &expected.per_filter,
+            "per-filter counters diverged (shape {}, batch {})", shape, batch);
+        prop_assert_eq!(probed, expected.probed_rows);
+        prop_assert_eq!(dropped, expected.dropped_rows);
+    }
+}
+
+/// A filter whose set is a superset of every value flowing through an
+/// interior operator must drop nothing and leave the result untouched —
+/// the safety property AIP relies on, exercised through the batch kernels
+/// at an interior (join) tap rather than the root.
+#[test]
+fn superset_filter_at_interior_op_is_transparent() {
+    let data: Vec<(Option<i64>, i64)> = (0..100).map(|i| (Some(i % 20), i)).collect();
+    let catalog = {
+        let fact_schema = Schema::new(vec![
+            Field::new("f_key", DataType::Int),
+            Field::new("f_val", DataType::Int),
+        ]);
+        let rows: Vec<Row> = data
+            .iter()
+            .map(|&(k, v)| Row::new(vec![Value::Int(k.unwrap()), Value::Int(v)]))
+            .collect();
+        let dim_schema = Schema::new(vec![Field::new("d_key", DataType::Int)]);
+        let dim_rows: Vec<Row> = (0..20).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let mut c = Catalog::new();
+        c.add(Table::new("fact", fact_schema, vec![], vec![], rows).unwrap());
+        c.add(Table::new("dim", dim_schema, vec![0], vec![], dim_rows).unwrap());
+        c
+    };
+    let mut q = QueryBuilder::new(&catalog);
+    let f = q.scan("fact", "f", &["f_key", "f_val"]).unwrap();
+    let d = q.scan("dim", "d", &["d_key"]).unwrap();
+    let joined = q.join(f, d, &[("f.f_key", "d.d_key")]).unwrap();
+    let plan = joined.into_plan();
+    let phys = Arc::new(sip_engine::lower(&plan, q.into_attrs(), &catalog).unwrap());
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+
+    // Find the join node; inject a superset (full key domain) hash set on
+    // its first output column.
+    let join_op = phys
+        .nodes
+        .iter()
+        .find(|n| n.kind.name().contains("Join"))
+        .map(|n| n.id)
+        .expect("plan has a join");
+    for batch in [1usize, 7, 64, 65, 1024] {
+        let opts = ExecOptions {
+            batch_size: batch,
+            channel_capacity: 2,
+            ..Default::default()
+        };
+        let ctx = ExecContext::new(Arc::clone(&phys), opts);
+        let mut b = AipSetBuilder::new(AipSetKind::Hash, 20, 0.05, 1);
+        for k in 0..20i64 {
+            let key = vec![Value::Int(k)];
+            b.insert(hash_key(&key), &key);
+        }
+        ctx.inject_filter(
+            join_op,
+            InjectedFilter::new("superset", vec![0], Arc::new(b.finish())),
+            MergePolicy::Stack,
+        );
+        let out = execute_ctx(Arc::clone(&ctx), Arc::new(NoopMonitor)).unwrap();
+        assert_eq!(canonical(&out.rows), expected, "batch {batch}");
+        let snap = ctx.taps[join_op.index()].snapshot();
+        assert_eq!(snap[0].dropped.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            snap[0].probed.load(Ordering::Relaxed),
+            expected.len() as u64,
+            "every join output row is probed exactly once (batch {batch})"
+        );
+        assert_eq!(ctx.hub.op(join_op).aip_dropped.load(Ordering::Relaxed), 0);
+    }
+}
+
+/// Degenerate sizing is rejected with a config error before any operator
+/// thread spawns.
+#[test]
+fn zero_batch_size_is_a_config_error() {
+    let catalog = table_catalog(&[(Some(1), 1)]);
+    let plan = scan_plan(&catalog);
+    for (batch_size, channel_capacity) in [(0usize, 16usize), (16, 0)] {
+        let opts = ExecOptions {
+            batch_size,
+            channel_capacity,
+            ..Default::default()
+        };
+        let err = execute_ctx(
+            ExecContext::new(Arc::clone(&plan), opts),
+            Arc::new(NoopMonitor),
+        )
+        .unwrap_err();
+        assert_eq!(err.layer(), "config");
+    }
+}

@@ -45,7 +45,30 @@ impl AipSet {
         match self {
             AipSet::Bloom(b) => b.contains(digest),
             AipSet::Hash(h) => h.contains(digest, key),
-            AipSet::MinMax(m) => key.len() == 1 && m.may_contain(&key[0]),
+            // A range envelope only understands single-attribute keys; a
+            // key it cannot decide must pass (a drop here would be a false
+            // negative).
+            AipSet::MinMax(m) => match key {
+                [v] => m.may_contain(v),
+                _ => true,
+            },
+        }
+    }
+
+    /// Probe without materializing the key: the key is `values[p]` for each
+    /// `p` in `positions`, in order, and `digest` is its
+    /// `Row::key_hash`-style digest (batch kernels compute it once per batch
+    /// per key-column set). Semantically identical to [`AipSet::probe`] on
+    /// the gathered key, but the hot path never clones a `Value`.
+    #[inline]
+    pub fn probe_at(&self, digest: u64, values: &[Value], positions: &[usize]) -> bool {
+        match self {
+            AipSet::Bloom(b) => b.contains(digest),
+            AipSet::Hash(h) => h.contains_at(digest, values, positions),
+            AipSet::MinMax(m) => match positions {
+                [p] => m.may_contain(&values[*p]),
+                _ => true,
+            },
         }
     }
 

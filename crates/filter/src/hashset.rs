@@ -5,20 +5,28 @@
 //! will simply be passed through the filter, and any probe tuple that
 //! corresponds to an existing bucket will be matched against the hash table."
 //!
-//! Keys are stored as exact value vectors (no false positives), partitioned
-//! into a fixed number of buckets by digest so that memory pressure can be
-//! relieved incrementally without giving up the whole filter.
+//! Keys are stored as exact value vectors (no false positives) under their
+//! 64-bit digest, partitioned into a fixed number of buckets by digest so
+//! that memory pressure can be relieved incrementally without giving up the
+//! whole filter. Storing by digest lets batch kernels probe with a
+//! precomputed digest and compare key values in place
+//! ([`BucketedKeySet::contains_at`]) — the hot probe path never re-hashes
+//! nor clones a key.
 
-use sip_common::{FxHashSet, Value};
+use sip_common::{FxHashMap, Value};
 
 /// Number of discardable partitions. 64 gives fine-grained relief while
 /// keeping the discarded-bitmap a single word.
 const N_BUCKETS: usize = 64;
 
+/// Distinct keys sharing one digest (64-bit collisions are possible, never
+/// wrong: membership always re-checks the exact values).
+type KeyBucket = FxHashMap<u64, Vec<Vec<Value>>>;
+
 /// An exact, bucketed key set.
 #[derive(Clone, Debug)]
 pub struct BucketedKeySet {
-    buckets: Vec<Option<FxHashSet<Vec<Value>>>>,
+    buckets: Vec<Option<KeyBucket>>,
     discarded_mask: u64,
     n_keys: usize,
     bytes: usize,
@@ -34,7 +42,7 @@ impl BucketedKeySet {
     /// An empty set with all buckets live.
     pub fn new() -> Self {
         BucketedKeySet {
-            buckets: (0..N_BUCKETS).map(|_| Some(FxHashSet::default())).collect(),
+            buckets: (0..N_BUCKETS).map(|_| Some(KeyBucket::default())).collect(),
             discarded_mask: 0,
             n_keys: 0,
             bytes: 0,
@@ -52,22 +60,47 @@ impl BucketedKeySet {
     /// passes everything through.
     pub fn insert(&mut self, digest: u64, key: Vec<Value>) {
         let b = Self::bucket_of(digest);
-        if let Some(set) = &mut self.buckets[b] {
-            let key_bytes: usize = key.iter().map(Value::size_bytes).sum::<usize>() + 24;
-            if set.insert(key) {
-                self.n_keys += 1;
-                self.bytes += key_bytes;
+        if let Some(map) = &mut self.buckets[b] {
+            let slot = map.entry(digest).or_default();
+            if slot.iter().any(|k| k == &key) {
+                return;
             }
+            self.bytes += key.iter().map(Value::size_bytes).sum::<usize>() + 24;
+            self.n_keys += 1;
+            slot.push(key);
         }
     }
 
     /// Probe: `true` means "may contribute to the result" (exact match or
-    /// discarded bucket), `false` means "provably cannot".
+    /// discarded bucket), `false` means "provably cannot". `digest` must be
+    /// the digest of `key`.
     pub fn contains(&self, digest: u64, key: &[Value]) -> bool {
+        self.probe_keys(digest, |stored| stored == key)
+    }
+
+    /// Probe without materializing the key: the key is `values[p]` for each
+    /// `p` in `positions`, in order — the layout batch kernels already have
+    /// (a row's value slice plus the filter's probe columns). `digest` must
+    /// be the digest of that key sequence.
+    #[inline]
+    pub fn contains_at(&self, digest: u64, values: &[Value], positions: &[usize]) -> bool {
+        self.probe_keys(digest, |stored| {
+            stored.len() == positions.len()
+                && stored
+                    .iter()
+                    .zip(positions.iter())
+                    .all(|(k, &p)| k == &values[p])
+        })
+    }
+
+    #[inline]
+    fn probe_keys(&self, digest: u64, matches: impl Fn(&[Value]) -> bool) -> bool {
         let b = Self::bucket_of(digest);
         match &self.buckets[b] {
             None => true, // discarded: pass-through, never a false negative
-            Some(set) => set.contains(key),
+            Some(map) => map
+                .get(&digest)
+                .is_some_and(|keys| keys.iter().any(|k| matches(k))),
         }
     }
 
@@ -75,13 +108,15 @@ impl BucketedKeySet {
     /// pass through from now on. Returns bytes released.
     pub fn discard_bucket(&mut self, b: usize) -> usize {
         assert!(b < N_BUCKETS);
-        if let Some(set) = self.buckets[b].take() {
+        if let Some(map) = self.buckets[b].take() {
             self.discarded_mask |= 1 << b;
-            let released: usize = set
-                .iter()
-                .map(|k| k.iter().map(Value::size_bytes).sum::<usize>() + 24)
-                .sum();
-            self.n_keys -= set.len();
+            let mut released = 0usize;
+            let mut keys = 0usize;
+            for k in map.values().flatten() {
+                released += k.iter().map(Value::size_bytes).sum::<usize>() + 24;
+                keys += 1;
+            }
+            self.n_keys -= keys;
             self.bytes -= released;
             released
         } else {
@@ -98,7 +133,10 @@ impl BucketedKeySet {
                 .buckets
                 .iter()
                 .enumerate()
-                .filter_map(|(i, b)| b.as_ref().map(|s| (i, s.len())))
+                .filter_map(|(i, b)| {
+                    b.as_ref()
+                        .map(|m| (i, m.values().map(Vec::len).sum::<usize>()))
+                })
                 .max_by_key(|&(_, len)| len);
             match victim {
                 Some((i, len)) if len > 0 => released += self.discard_bucket(i),
@@ -125,10 +163,14 @@ impl BucketedKeySet {
             };
             let mut added_keys = 0usize;
             let mut added_bytes = 0usize;
-            for key in other.buckets[b].as_ref().expect("checked above") {
-                if dst.insert(key.clone()) {
-                    added_keys += 1;
-                    added_bytes += key.iter().map(Value::size_bytes).sum::<usize>() + 24;
+            for (&digest, keys) in other.buckets[b].as_ref().expect("checked above") {
+                let slot = dst.entry(digest).or_default();
+                for key in keys {
+                    if !slot.iter().any(|k| k == key) {
+                        added_keys += 1;
+                        added_bytes += key.iter().map(Value::size_bytes).sum::<usize>() + 24;
+                        slot.push(key.clone());
+                    }
                 }
             }
             self.n_keys += added_keys;
@@ -187,6 +229,30 @@ mod tests {
     }
 
     #[test]
+    fn contains_at_matches_contains() {
+        let mut s = BucketedKeySet::new();
+        for i in 0..200 {
+            s.insert(digest(i), key(i));
+        }
+        // A "row" whose key column sits at position 1.
+        for i in 0..400i64 {
+            let row_values = vec![Value::str("payload"), Value::Int(i)];
+            assert_eq!(
+                s.contains_at(digest(i), &row_values, &[1]),
+                s.contains(digest(i), &key(i)),
+                "diverged at {i}"
+            );
+        }
+        // Arity mismatch (same digest, different key length) never matches.
+        let k2 = vec![Value::Int(3), Value::Int(4)];
+        let d2 = fx_hash64(&k2);
+        s.insert(d2, k2.clone());
+        let row_values = vec![Value::Int(3)];
+        assert!(!s.contains_at(d2, &row_values, &[0]));
+        assert!(s.contains_at(d2, &[Value::Int(3), Value::Int(4)], &[0, 1]));
+    }
+
+    #[test]
     fn duplicate_inserts_counted_once() {
         let mut s = BucketedKeySet::new();
         s.insert(digest(7), key(7));
@@ -211,6 +277,7 @@ mod tests {
             .find(|&i| (digest(i) >> 58) as usize % 64 == b)
             .unwrap();
         assert!(s.contains(digest(stranger), &key(stranger)));
+        assert!(s.contains_at(digest(stranger), &key(stranger), &[0]));
         assert_eq!(s.n_discarded(), 1);
     }
 
@@ -279,6 +346,11 @@ mod tests {
             .find(|&i| (digest(i) >> 58) as usize % 64 != victim)
             .unwrap();
         assert!(!a.contains(digest(stranger), &key(stranger)));
+        // Union stays duplicate-free.
+        let n = a.n_keys();
+        let b2 = a.clone();
+        a.union(&b2);
+        assert_eq!(a.n_keys(), n);
     }
 
     #[test]
@@ -290,5 +362,9 @@ mod tests {
         assert!(s.contains(d, &k));
         let other = vec![Value::Int(1), Value::str("GERMANY")];
         assert!(!s.contains(fx_hash64(&other), &other));
+        // contains_at over a wider row with the key scattered.
+        let row_values = vec![Value::str("x"), Value::Int(1), Value::str("FRANCE")];
+        assert!(s.contains_at(d, &row_values, &[1, 2]));
+        assert!(!s.contains_at(fx_hash64(&other), &row_values, &[1, 0]));
     }
 }

@@ -128,3 +128,35 @@ fn multi_class_chains_stay_parallel_end_to_end() {
         assert_eq!(canonical(&out4.rows), expected, "{id} dop 4");
     }
 }
+
+/// The batch kernels must be batch-size independent *through shuffle
+/// meshes too*: sweep the boundary sizes (single-row batches, the 63/64/65
+/// neighborhood around the old minimum, and a size larger than most
+/// intermediate results) across repartitioning queries at dop 4.
+#[test]
+fn shuffle_kernels_are_batch_size_independent() {
+    let catalog = catalog();
+    for id in ["Q4A", "Q1A", "EX"] {
+        let spec = build_query(id, &catalog).unwrap();
+        let phys = spec.lower(&catalog, Strategy::Baseline).unwrap();
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        for batch in [1usize, 63, 64, 65, 4096] {
+            let opts = ExecOptions::validated(batch, 2).unwrap();
+            let (out, map) = run_query_dop(
+                &spec,
+                &catalog,
+                Strategy::FeedForward,
+                opts,
+                &AipConfig::paper(),
+                4,
+            )
+            .unwrap();
+            assert!(map.is_some(), "{id} fell back to serial at batch {batch}");
+            assert_eq!(
+                canonical(&out.rows),
+                expected,
+                "{id} diverged at batch {batch}"
+            );
+        }
+    }
+}

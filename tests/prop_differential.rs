@@ -124,8 +124,23 @@ proptest! {
         dims in prop::collection::vec((0i64..30, -50i64..50), 1..40),
         dim_cut in -40i64..40,
         sum_cut in -100i64..100,
-        batch in 1usize..64,
+        batch_choice in 0u8..8,
+        extra_batch in 1usize..128,
     ) {
+        // Hit the batch-kernel boundary cases deliberately: single-row
+        // batches, the 63/64/65 neighborhood, and row_count ± 1 (the last
+        // batch exactly full / one short / one over).
+        let n = facts.len();
+        let batch = match batch_choice % 8 {
+            0 => 1,
+            1 => 2,
+            2 => 63,
+            3 => 64,
+            4 => 65,
+            5 => n.saturating_sub(1).max(1),
+            6 => n + 1,
+            _ => extra_batch,
+        };
         let catalog = mini_catalog(&facts, &dims);
         let spec = mini_query(&catalog, dim_cut, sum_cut);
         let phys = spec.lower(&catalog, Strategy::Baseline).unwrap();
