@@ -6,21 +6,28 @@
 //! ```
 //!
 //! Figures: table1, fig1, fig2, fig5..fig14 (time/space pairs run
-//! together), overhead, scaling, kernels, ablation-sets, ablation-fpr,
-//! ablation-minmax, all.
+//! together), overhead, scaling, kernels, admit, ablation-sets,
+//! ablation-fpr, ablation-minmax, all.
+//!
+//! `--json <dir>` additionally writes one machine-readable
+//! `BENCH_<figure>.json` per measured figure into `<dir>` (created if
+//! missing), so the perf trajectory can be tracked across PRs.
 
-use sip_bench::figures::Harness;
+use sip_bench::figures::{FigureReport, Harness};
 use sip_bench::measure::ExperimentConfig;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     figure: String,
     config: ExperimentConfig,
+    json_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut figure = "all".to_string();
     let mut config = ExperimentConfig::default();
+    let mut json_dir = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -32,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match argv[i].as_str() {
             "--figure" | "-f" => figure = take(&mut i)?,
+            "--json" => json_dir = Some(PathBuf::from(take(&mut i)?)),
             "--sf" => {
                 config.scale_factor = take(&mut i)?
                     .parse()
@@ -62,18 +70,28 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --dop: {e}"))?
             }
+            "--merge-fanin" => {
+                config.merge_fanin = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --merge-fanin: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--figure all|table1|fig1|fig2|fig5|fig6|fig9|fig10|fig13|\
-overhead|scaling|kernels|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] [--repeats N] \
-[--seed S] [--batch-size N] [--channel-capacity N] [--dop N]\n\n\
+overhead|scaling|kernels|admit|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] \
+[--repeats N] [--seed S] [--batch-size N] [--channel-capacity N] [--dop N] \
+[--merge-fanin N] [--json DIR]\n\n\
   --batch-size N        rows per engine batch (default 1024); also the\n\
-                        batch the `kernels` micro-figure sweeps\n\
+                        batch the `kernels`/`admit` micro-figures sweep\n\
   --channel-capacity N  bounded-channel backpressure window, in batches\n\
                         (default 16)\n\
   --dop N               max degree of partition parallelism swept by the\n\
                         `scaling` benchmark (powers of two up to N;\n\
-                        default 4, 1 = serial only)"
+                        default 4, 1 = serial only)\n\
+  --merge-fanin N       merge-tree fan-in for parallel runs (0 = auto:\n\
+                        flat up to dop 4, binary tree above)\n\
+  --json DIR            also write BENCH_<figure>.json per measured\n\
+                        figure into DIR (created if missing)"
                 );
                 std::process::exit(0);
             }
@@ -81,7 +99,80 @@ overhead|scaling|kernels|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] [-
         }
         i += 1;
     }
-    Ok(Args { figure, config })
+    Ok(Args {
+        figure,
+        config,
+        json_dir,
+    })
+}
+
+/// Which figure(s) were asked for.
+struct Selection {
+    run_all: bool,
+    fig: String,
+}
+
+impl Selection {
+    fn wants(&self, name: &str) -> bool {
+        self.run_all || self.fig == name || alias(&self.fig) == name
+    }
+}
+
+/// Run a text-only section (Table I, plan dumps) when selected.
+fn run_section(
+    sel: &Selection,
+    name: &str,
+    failed: &mut bool,
+    body: impl FnOnce() -> Result<String, sip_common::SipError>,
+) {
+    if !sel.wants(name) {
+        return;
+    }
+    eprintln!("# running {name} ...");
+    match body() {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("error in {name}: {e}");
+            *failed = true;
+        }
+    }
+}
+
+/// Run a measured section when selected: markdown to stdout, plus one
+/// `BENCH_<figure>.json` per report when `--json` was given.
+fn run_figures(
+    sel: &Selection,
+    name: &str,
+    json_dir: Option<&PathBuf>,
+    config: &ExperimentConfig,
+    failed: &mut bool,
+    body: impl FnOnce() -> Result<Vec<FigureReport>, sip_common::SipError>,
+) {
+    if !sel.wants(name) {
+        return;
+    }
+    eprintln!("# running {name} ...");
+    match body() {
+        Ok(reports) => {
+            for r in &reports {
+                println!("{}", r.to_markdown());
+                if let Some(dir) = json_dir {
+                    let path = dir.join(format!("BENCH_{}.json", r.id));
+                    match std::fs::write(&path, r.to_json(config)) {
+                        Ok(()) => eprintln!("# wrote {}", path.display()),
+                        Err(e) => {
+                            eprintln!("error writing {}: {e}", path.display());
+                            *failed = true;
+                        }
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error in {name}: {e}");
+            *failed = true;
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -92,6 +183,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(dir) = &args.json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create --json dir {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
     eprintln!(
         "# generating data (sf={}, seed={}, repeats={}) ...",
         args.config.scale_factor, args.config.seed, args.config.repeats
@@ -103,71 +200,55 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let fig = args.figure.to_ascii_lowercase();
-    let run_all = fig == "all";
-    let mut failed = false;
-    let mut section = |name: &str, body: Result<String, sip_common::SipError>| {
-        if !(run_all || fig == name || alias(&fig) == name) {
-            return;
-        }
-        eprintln!("# running {name} ...");
-        match body {
-            Ok(text) => println!("{text}"),
-            Err(e) => {
-                eprintln!("error in {name}: {e}");
-                failed = true;
-            }
-        }
+    let sel = Selection {
+        run_all: args.figure.eq_ignore_ascii_case("all"),
+        fig: args.figure.to_ascii_lowercase(),
     };
+    let mut failed = false;
+    let json = args.json_dir.as_ref();
+    let cfg = &args.config;
 
-    section("table1", Ok(harness.table1()));
-    section("fig1", harness.fig1());
-    section("fig2", harness.fig2());
-    section(
-        "fig5",
-        harness
-            .fig5_7()
-            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
-    );
-    section(
-        "fig6",
-        harness
-            .fig6_8()
-            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
-    );
-    section(
-        "fig9",
-        harness
-            .fig9_11()
-            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
-    );
-    section(
-        "fig10",
-        harness
-            .fig10_12()
-            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
-    );
-    section(
-        "fig13",
-        harness
-            .fig13_14()
-            .map(|(t, s)| format!("{}\n{}", t.to_markdown(), s.to_markdown())),
-    );
-    section("overhead", harness.overhead().map(|r| r.to_markdown()));
-    section("scaling", harness.scaling().map(|r| r.to_markdown()));
-    section("kernels", harness.kernels().map(|r| r.to_markdown()));
-    section(
-        "ablation-sets",
-        harness.ablation_sets().map(|r| r.to_markdown()),
-    );
-    section(
-        "ablation-fpr",
-        harness.ablation_fpr().map(|r| r.to_markdown()),
-    );
-    section(
-        "ablation-minmax",
-        harness.ablation_minmax().map(|r| r.to_markdown()),
-    );
+    run_section(&sel, "table1", &mut failed, || Ok(harness.table1()));
+    run_section(&sel, "fig1", &mut failed, || harness.fig1());
+    run_section(&sel, "fig2", &mut failed, || harness.fig2());
+    let pair =
+        |r: Result<(FigureReport, FigureReport), sip_common::SipError>| r.map(|(t, s)| vec![t, s]);
+    run_figures(&sel, "fig5", json, cfg, &mut failed, || {
+        pair(harness.fig5_7())
+    });
+    run_figures(&sel, "fig6", json, cfg, &mut failed, || {
+        pair(harness.fig6_8())
+    });
+    run_figures(&sel, "fig9", json, cfg, &mut failed, || {
+        pair(harness.fig9_11())
+    });
+    run_figures(&sel, "fig10", json, cfg, &mut failed, || {
+        pair(harness.fig10_12())
+    });
+    run_figures(&sel, "fig13", json, cfg, &mut failed, || {
+        pair(harness.fig13_14())
+    });
+    run_figures(&sel, "overhead", json, cfg, &mut failed, || {
+        harness.overhead().map(|r| vec![r])
+    });
+    run_figures(&sel, "scaling", json, cfg, &mut failed, || {
+        harness.scaling().map(|r| vec![r])
+    });
+    run_figures(&sel, "kernels", json, cfg, &mut failed, || {
+        harness.kernels().map(|r| vec![r])
+    });
+    run_figures(&sel, "admit", json, cfg, &mut failed, || {
+        harness.admit().map(|r| vec![r])
+    });
+    run_figures(&sel, "ablation-sets", json, cfg, &mut failed, || {
+        harness.ablation_sets().map(|r| vec![r])
+    });
+    run_figures(&sel, "ablation-fpr", json, cfg, &mut failed, || {
+        harness.ablation_fpr().map(|r| vec![r])
+    });
+    run_figures(&sel, "ablation-minmax", json, cfg, &mut failed, || {
+        harness.ablation_minmax().map(|r| vec![r])
+    });
 
     if failed {
         ExitCode::FAILURE

@@ -45,6 +45,54 @@ pub struct FigureReport {
 }
 
 impl FigureReport {
+    /// Render as machine-readable JSON (the `repro --json <dir>` artifact,
+    /// one `BENCH_<id>.json` per figure) so the perf trajectory can be
+    /// tracked across PRs: figure id, the experiment config, and one point
+    /// per measured cell.
+    pub fn to_json(&self, config: &ExperimentConfig) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"figure\": {},", json_str(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(
+            out,
+            "  \"config\": {{\"scale_factor\": {}, \"seed\": {}, \"repeats\": {}, \
+\"batch_size\": {}, \"channel_capacity\": {}, \"dop\": {}, \"merge_fanin\": {}}},",
+            config.scale_factor,
+            config.seed,
+            config.repeats,
+            config.batch_size,
+            config.channel_capacity,
+            config.dop,
+            config.merge_fanin
+        );
+        out.push_str("  \"points\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"query\": {}, \"strategy\": {}, \"secs\": {:.6}, \"ci95\": {:.6}, \
+\"state_mb\": {:.3}, \"rows\": {}, \"extra\": {}}}",
+                json_str(&r.query),
+                json_str(&r.strategy),
+                r.secs,
+                r.ci,
+                r.state_mb,
+                r.rows,
+                json_str(&r.extra)
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(n));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
     /// Render as a Markdown table.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -66,6 +114,27 @@ impl FigureReport {
         }
         out
     }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The experiment harness: one uniform and one skewed data set plus config.
@@ -630,6 +699,190 @@ batch = one shared digest pass per key-column set, selection-vector routing."
         })
     }
 
+    /// Build-side micro-figure: the AIP working-copy *build* path (§IV-A's
+    /// feed-forward working sets and §IV-B's bulk state scan), row-admit vs
+    /// batch-admit.
+    ///
+    /// * `admit-build` — what a stateful operator's admit site pays per
+    ///   arriving batch. Both variants include the operator's own digest
+    ///   pass (the operator hashes its keys regardless); row then admits
+    ///   via the pre-PR `RowCollector::admit` semantics (one `key_hash` +
+    ///   one key `Value` clone per row per working set), batch via
+    ///   `admit_batch` (`AipSetBuilder::extend_batch` sharing the
+    ///   operator's digests — zero additional hashes, values cloned only
+    ///   for genuinely new exact keys).
+    /// * `state-scan` — the cost-based manager's set construction over a
+    ///   completed `StateView` (exact hash-set kind, the §V-B reuse case):
+    ///   per-row hash + key `Value` clone + insert (which re-allocates the
+    ///   key vector), vs per-row hash + `insert_at` (positional compare,
+    ///   a key vector built only for genuinely new keys — ~8% of rows
+    ///   here).
+    ///
+    /// The acceptance bar is ≥ 1.5× build throughput at batch 1024.
+    pub fn admit(&self) -> Result<FigureReport> {
+        use sip_common::{DigestBuffer, Row, Value};
+        use sip_filter::AipSetBuilder;
+        use std::hint::black_box;
+        use std::time::Instant;
+
+        let batch = self.config.batch_size.max(1);
+        let n_rows: usize = 1 << 17;
+        let key_space = 10_000i64;
+        // Stateful-operator-input-shaped rows: key, payload int, payload
+        // string; ~92% duplicate keys, as a fact input over a key domain.
+        let rows: Vec<Row> = (0..n_rows as i64)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i % key_space),
+                    Value::Int(i),
+                    Value::str("payload-string"),
+                ])
+            })
+            .collect();
+        // The feed-forward shape: every potentially useful working set at
+        // once — the paper's Bloom default stacked with an exact hash set.
+        let kinds = [AipSetKind::Bloom, AipSetKind::Hash];
+        let positions = [0usize];
+        let repeats = self.config.repeats.max(1);
+        let new_builders = || -> Vec<AipSetBuilder> {
+            kinds
+                .iter()
+                .map(|&k| AipSetBuilder::new(k, key_space as usize, 0.05, 1))
+                .collect()
+        };
+
+        // --- admit-build: row-at-a-time (pre-PR RowCollector::admit) ---
+        let mut row_keys = 0u64;
+        let mut digests = DigestBuffer::default();
+        let t = Instant::now();
+        for _ in 0..repeats {
+            let mut builders = new_builders();
+            for chunk in rows.chunks(batch) {
+                // The operator's own key pass — paid in both variants.
+                digests.compute(chunk, &positions);
+                for row in chunk {
+                    for b in builders.iter_mut() {
+                        let digest = row.key_hash(&positions);
+                        let key = [row.get(0).clone()];
+                        b.insert(digest, &key);
+                    }
+                }
+            }
+            row_keys = builders
+                .into_iter()
+                .map(|b| b.finish().n_keys())
+                .sum::<u64>();
+        }
+        let admit_row_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let row_keys = black_box(row_keys);
+
+        // --- admit-build: batch (admit_batch over the shared digests) ---
+        let mut batch_keys = 0u64;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            let mut builders = new_builders();
+            for chunk in rows.chunks(batch) {
+                digests.compute(chunk, &positions);
+                for b in builders.iter_mut() {
+                    b.extend_batch(chunk, &positions, &digests);
+                }
+            }
+            batch_keys = builders
+                .into_iter()
+                .map(|b| b.finish().n_keys())
+                .sum::<u64>();
+        }
+        let admit_batch_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let batch_keys = black_box(batch_keys);
+        if row_keys != batch_keys {
+            return Err(sip_common::SipError::Exec(format!(
+                "admit divergence: row build holds {row_keys} keys, batch build {batch_keys}"
+            )));
+        }
+
+        // --- state-scan: row-at-a-time (pre-PR cost-based for_each:
+        // hash + key clone + insert, which re-allocates the key) ---
+        let scan_kind = AipSetKind::Hash; // the §V-B hash-table reuse case
+        let mut scan_row_keys = 0u64;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            let mut b = AipSetBuilder::new(scan_kind, key_space as usize, 0.05, 1);
+            for row in &rows {
+                let digest = row.key_hash(&positions);
+                let key = [row.get(0).clone()];
+                b.insert(digest, &key);
+            }
+            scan_row_keys = b.finish().n_keys();
+        }
+        let scan_row_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let scan_row_keys = black_box(scan_row_keys);
+
+        // --- state-scan: positional (insert_at — no key materialization) ---
+        let mut scan_batch_keys = 0u64;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            let mut b = AipSetBuilder::new(scan_kind, key_space as usize, 0.05, 1);
+            for row in &rows {
+                b.insert_at(row.key_hash(&positions), row.values(), &positions);
+            }
+            scan_batch_keys = b.finish().n_keys();
+        }
+        let scan_batch_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let scan_batch_keys = black_box(scan_batch_keys);
+        if scan_row_keys != scan_batch_keys {
+            return Err(sip_common::SipError::Exec(format!(
+                "state-scan divergence: row {scan_row_keys} keys, bulk {scan_batch_keys}"
+            )));
+        }
+
+        let mrows = |secs: f64| n_rows as f64 / secs / 1e6;
+        let cell =
+            |name: &str, variant: &str, secs: f64, keys: u64, speedup: Option<f64>| ReportRow {
+                query: name.into(),
+                strategy: variant.into(),
+                secs,
+                ci: 0.0,
+                state_mb: 0.0,
+                rows: keys,
+                extra: match speedup {
+                    Some(s) => format!("{:.1} Mrows/s, speedup {s:.2}x", mrows(secs)),
+                    None => format!("{:.1} Mrows/s", mrows(secs)),
+                },
+            };
+        Ok(FigureReport {
+            id: "admit".into(),
+            title: format!(
+                "AIP build path: row admit vs batch admit ({n_rows} rows, batch {batch}, \
+Bloom+Hash working sets)"
+            ),
+            rows: vec![
+                cell("admit-build", "row", admit_row_secs, row_keys, None),
+                cell(
+                    "admit-build",
+                    "batch",
+                    admit_batch_secs,
+                    batch_keys,
+                    Some(admit_row_secs / admit_batch_secs),
+                ),
+                cell("state-scan", "row", scan_row_secs, scan_row_keys, None),
+                cell(
+                    "state-scan",
+                    "batch",
+                    scan_batch_secs,
+                    scan_batch_keys,
+                    Some(scan_row_secs / scan_batch_secs),
+                ),
+            ],
+            notes: vec![
+                "row = one key hash + one key Value clone per row per working set \
+(RowCollector::admit / StateView::for_each insert); batch = the operator's shared digest \
+pass + bulk inserts (admit_batch / extend_batch), cloning a value only for new exact keys. \
+Both admit-build variants pay the operator's own digest pass."
+                    .into(),
+            ],
+        })
+    }
+
     /// §V preliminary experiment: Bloom-filter vs hash-set AIP sets.
     pub fn ablation_sets(&self) -> Result<FigureReport> {
         let mut rows = Vec::new();
@@ -813,5 +1066,47 @@ mod tests {
         let md = r.to_markdown();
         assert!(md.contains("| Q1A | Baseline | 1.500 |"));
         assert!(md.contains("> note"));
+    }
+
+    /// The `BENCH_<figure>.json` schema smoke check CI relies on: figure
+    /// id, the full config block, one point per cell, escaped strings.
+    #[test]
+    fn report_json_shape() {
+        let r = FigureReport {
+            id: "admit".into(),
+            title: "quote \" and\nnewline".into(),
+            rows: vec![ReportRow {
+                query: "admit-build".into(),
+                strategy: "batch".into(),
+                secs: 0.25,
+                ci: 0.0,
+                state_mb: 0.0,
+                rows: 42,
+                extra: "speedup 2.00x".into(),
+            }],
+            notes: vec!["n1".into()],
+        };
+        let cfg = ExperimentConfig::default();
+        let j = r.to_json(&cfg);
+        for needle in [
+            "\"figure\": \"admit\"",
+            "\"title\": \"quote \\\" and\\nnewline\"",
+            "\"scale_factor\": 0.05",
+            "\"merge_fanin\": 0",
+            "\"query\": \"admit-build\"",
+            "\"strategy\": \"batch\"",
+            "\"secs\": 0.250000",
+            "\"rows\": 42",
+            "\"notes\": [\"n1\"]",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+        // Well-bracketed (cheap structural sanity without a parser).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 }

@@ -22,6 +22,9 @@ pub struct ExperimentConfig {
     /// Maximum degree of parallelism swept by the `scaling` benchmark
     /// (`--dop` on the repro CLI); 1 disables partition parallelism.
     pub dop: u32,
+    /// Merge-tree fan-in for partition-parallel runs (`--merge-fanin`);
+    /// 0 = auto (flat up to dop 4, binary tree above).
+    pub merge_fanin: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -33,6 +36,7 @@ impl Default for ExperimentConfig {
             batch_size: 1024,
             channel_capacity: 16,
             dop: 4,
+            merge_fanin: 0,
         }
     }
 }
@@ -43,6 +47,8 @@ impl ExperimentConfig {
     pub fn exec_options(&self) -> Result<ExecOptions> {
         let mut opts = ExecOptions::validated(self.batch_size, self.channel_capacity)?;
         opts.collect_rows = false;
+        opts.merge_fanin = self.merge_fanin;
+        opts.validate()?;
         Ok(opts)
     }
 }

@@ -12,11 +12,11 @@ use crate::candidates::{AipSource, AipUser, Candidates};
 use crate::config::AipConfig;
 use crate::registry::AipRegistry;
 use parking_lot::Mutex;
-use sip_common::{FxHashSet, OpId};
+use sip_common::{FxHashMap, FxHashSet, OpId};
 use sip_engine::{
     CompletionEvent, ExecContext, ExecMonitor, InjectedFilter, MergePolicy, PhysKind, StateView,
 };
-use sip_filter::{AipSetBuilder, AipSetKind};
+use sip_filter::{AipSet, AipSetBuilder, AipSetKind};
 use sip_optimizer::{CostModel, Estimator, RuntimeActual};
 use sip_plan::EqClasses;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,6 +33,13 @@ pub struct CbStats {
     pub rejected: AtomicU64,
 }
 
+/// Per-partition AIP sets keyed by the *source plan* identity of their
+/// producer: (logical op, input, attr) — the same union tracker the
+/// feed-forward controller uses, ported here so the cost-based manager's
+/// scoped per-partition filters OR-merge into one plan-wide filter once
+/// every partition of a producer has built (and accepted) its set.
+type PartialSets = FxHashMap<(u32, usize, u32), Vec<Arc<AipSet>>>;
+
 /// The cost-based AIP manager. Install as the engine monitor.
 pub struct CostBased {
     config: AipConfig,
@@ -40,6 +47,11 @@ pub struct CostBased {
     eq: EqClasses,
     registry: Arc<AipRegistry>,
     candidates: Mutex<Option<Arc<Candidates>>>,
+    /// Per-partition sets awaiting their cross-partition OR-merge. A
+    /// producer whose set was rejected by the cost model in *any*
+    /// partition never completes its union — the scoped partials that
+    /// were judged beneficial keep working on their own.
+    partial_sets: Mutex<PartialSets>,
     /// Decision log for explainability (one line per considered set).
     decisions: Mutex<Vec<String>>,
     /// Counters.
@@ -55,6 +67,7 @@ impl CostBased {
             eq,
             registry: AipRegistry::new(),
             candidates: Mutex::new(None),
+            partial_sets: Mutex::new(FxHashMap::default()),
             decisions: Mutex::new(Vec::new()),
             stats: CbStats::default(),
         })
@@ -294,7 +307,13 @@ impl ExecMonitor for CostBased {
                 continue;
             }
             // Build the set by scanning the operator state — the real cost
-            // the model just priced.
+            // the model just priced. The scan inserts positionally
+            // ([`AipSetBuilder::insert_at`]): no key vector is built per
+            // visited row, and exact sets clone a key value only when
+            // storing a genuinely new key. (A chunked gather + shared
+            // digest pass was measured slower here: `for_each` yields
+            // borrowed rows, and the per-row `Arc` clone a gather needs
+            // costs more than the hash it would save.)
             let kind = self.pick_kind(ctx, &source);
             let mut builder = AipSetBuilder::new(
                 kind,
@@ -302,10 +321,9 @@ impl ExecMonitor for CostBased {
                 self.config.fpr,
                 self.config.n_hashes,
             );
+            let positions = [view_pos];
             ev.view.for_each(&mut |row| {
-                let digest = row.key_hash(&[view_pos]);
-                let key = [row.get(view_pos).clone()];
-                builder.insert(digest, &key);
+                builder.insert_at(row.key_hash(&positions), row.values(), &positions);
             });
             let set = Arc::new(builder.finish());
             self.stats.built.fetch_add(1, Ordering::Relaxed);
@@ -345,6 +363,57 @@ impl ExecMonitor for CostBased {
                     scope,
                 );
                 ctx.inject_filter(u.site, filter, MergePolicy::Intersect);
+            }
+            // Cross-partition OR-merge: park the partial under its source-
+            // plan identity; once all `dop` partitions of the same logical
+            // producer have built (and accepted) their sets, the union
+            // covers the whole subexpression and is injected plan-wide,
+            // unscoped. Geometry mismatches (differently sized Blooms)
+            // abandon the merge — the scoped partials keep working.
+            if let Some((map, _)) = &partition {
+                let union_key = (map.logical(ev.op).0, ev.input, source.attr.0);
+                let complete = {
+                    let mut pending = self.partial_sets.lock();
+                    let slot = pending.entry(union_key).or_default();
+                    slot.push(Arc::clone(&set));
+                    (slot.len() as u32 == map.dop).then(|| std::mem::take(slot))
+                };
+                if let Some(partials) = complete {
+                    let mut merged = (*partials[0]).clone();
+                    if partials[1..].iter().all(|s| merged.union(s).is_ok()) {
+                        let merged = Arc::new(merged);
+                        self.registry.publish(
+                            self.eq.class(source.attr),
+                            Arc::clone(&merged),
+                            format!(
+                                "{}/input{} on {attr_name} [union of {} parts]",
+                                map.logical(ev.op),
+                                ev.input,
+                                map.dop
+                            ),
+                        );
+                        self.decisions.lock().push(format!(
+                            "union {attr_name}: OR-merged {} partition sets ({} keys) plan-wide",
+                            map.dop,
+                            merged.n_keys()
+                        ));
+                        let live = |site: OpId| !ctx.hub.op(site).finished.load(Ordering::Relaxed);
+                        for u in cands.users_for_source(&ctx.plan, &self.eq, &source) {
+                            if !live(u.site) || !map.filterable_at(u.site, u.pos) {
+                                continue;
+                            }
+                            // Intersect, not Replace: the subsumed scoped
+                            // partials stay in the chain — correct, cheap
+                            // (scope check first), bounded by dop.
+                            let filter = InjectedFilter::new(
+                                format!("cb[{attr_name}] @{} union", u.site),
+                                vec![u.pos],
+                                Arc::clone(&merged),
+                            );
+                            ctx.inject_filter(u.site, filter, MergePolicy::Intersect);
+                        }
+                    }
+                }
             }
         }
     }

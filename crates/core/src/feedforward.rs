@@ -16,7 +16,7 @@ use crate::candidates::{AipSource, Candidates};
 use crate::config::AipConfig;
 use crate::registry::AipRegistry;
 use parking_lot::Mutex;
-use sip_common::{FxHashMap, OpId, Row};
+use sip_common::{DigestBuffer, FxHashMap, OpId, Row};
 use sip_engine::{
     CompletionEvent, ExecContext, ExecMonitor, FilterScope, InjectedFilter, MergePolicy,
     PartitionMap, RowCollector,
@@ -84,6 +84,10 @@ struct WorkingEntry {
 struct FfCollector {
     shared: Arc<Shared>,
     entries: Vec<WorkingEntry>,
+    /// Reusable digest scratch for batch admits whose source column is not
+    /// the host operator's own key column (one hash pass per batch per
+    /// such entry; the common case reuses the operator's pass instead).
+    scratch: DigestBuffer,
 }
 
 impl RowCollector for FfCollector {
@@ -92,6 +96,27 @@ impl RowCollector for FfCollector {
             let digest = row.key_hash(&[e.source.pos]);
             let key = [row.get(e.source.pos).clone()];
             e.builder.insert(digest, &key);
+        }
+    }
+
+    /// The batch working-copy build (§IV-A at batch granularity): when the
+    /// entry's source column *is* the operator's key column — the common
+    /// AIP shape, e.g. an aggregate's group key feeding a partkey filter —
+    /// the operator's own digest pass is consumed as-is, so admitting a
+    /// batch re-hashes nothing; otherwise one digest pass per entry per
+    /// batch replaces a hash + `Value` clone per row.
+    fn admit_batch(&mut self, rows: &[Row], key_positions: &[usize], digests: &DigestBuffer) {
+        let FfCollector {
+            entries, scratch, ..
+        } = self;
+        for e in entries {
+            let pos = [e.source.pos];
+            if key_positions == pos {
+                e.builder.extend_batch(rows, &pos, digests);
+            } else {
+                scratch.compute(rows, &pos);
+                e.builder.extend_batch(rows, &pos, scratch);
+            }
         }
     }
 
@@ -341,6 +366,7 @@ impl ExecMonitor for FeedForward {
                 Box::new(FfCollector {
                     shared: Arc::clone(&self.shared),
                     entries,
+                    scratch: DigestBuffer::default(),
                 }),
             );
         }

@@ -100,6 +100,43 @@ fn partitioned_feed_forward_prunes_per_partition() {
     assert!(partition_drops > 0, "no per-partition pruning: {rollup:?}");
 }
 
+/// The cost-based manager's union tracker (ported from feed-forward):
+/// when every partition of one producer builds (and accepts) its scoped
+/// set, the OR-merge injects one plan-wide unscoped filter, logged as a
+/// `union` decision — and results stay exact.
+#[test]
+fn cost_based_or_merges_partition_sets_plan_wide() {
+    use std::sync::Arc;
+    let c = skewed_catalog();
+    let spec = partkey_query(&c);
+    let phys = spec.lower(&c, Strategy::CostBased).unwrap();
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    let eq = sip_plan::PredicateIndex::build(&spec.plan).eq;
+    let cb = sip_core::CostBased::new(
+        eq,
+        AipConfig::hash_sets(),
+        sip_optimizer::CostModel::default(),
+    );
+    // Delay the probed fact source (both partsupp scans) so every
+    // partition's build side completes while its users are still live —
+    // the acceptance decision is then deterministic across schedules.
+    let opts =
+        ExecOptions::default().with_delay("partsupp", sip_engine::DelayModel::paper_delayed());
+    let (out, map) = sip_parallel::PartitionedExec::new(3)
+        .execute(Arc::new(phys), cb.clone(), opts)
+        .unwrap();
+    assert!(map.is_some(), "partitioned path must run");
+    assert_eq!(canonical(&out.rows), expected);
+    let decisions = cb.decisions();
+    assert!(
+        decisions.iter().any(|d| d.starts_with("union")),
+        "no cross-partition OR-merge logged:\n{}",
+        decisions.join("\n")
+    );
+    // The merged set reached the registry as a plan-wide publication.
+    assert!(cb.registry().display().contains("union of 3 parts"));
+}
+
 #[test]
 fn exact_hash_sets_or_merge_across_partitions() {
     // Hash AIP sets union losslessly, so the plan-wide OR-merge path runs

@@ -114,6 +114,13 @@ pub struct ExecOptions {
     /// Collect result rows at the sink (disable for pure timing runs of
     /// large outputs).
     pub collect_rows: bool,
+    /// Fan-in of the tree-structured merge tail in partition-parallel
+    /// plans (consumed by `sip-parallel` at expansion time): `0` = auto
+    /// (one flat merge up to dop 4, a binary tree above — the flat merge
+    /// thread is the serial hop tree merging removes for large outputs);
+    /// values `>= 2` force that fan-in. `1` is rejected by validation (a
+    /// 1-ary merge tree cannot terminate).
+    pub merge_fanin: usize,
     /// Feeding channels for [`crate::physical::PhysKind::ExternalSource`]
     /// nodes, keyed by operator id. Taken (not cloned) at spawn time.
     pub external_inputs: Mutex<FxHashMap<u32, Receiver<Msg>>>,
@@ -126,6 +133,7 @@ impl Default for ExecOptions {
             channel_capacity: 16,
             delays: FxHashMap::default(),
             collect_rows: true,
+            merge_fanin: 0,
             external_inputs: Mutex::new(FxHashMap::default()),
         }
     }
@@ -158,6 +166,12 @@ impl ExecOptions {
         if self.channel_capacity == 0 {
             return Err(sip_common::SipError::Config(
                 "channel_capacity must hold at least 1 batch (the backpressure window)".into(),
+            ));
+        }
+        if self.merge_fanin == 1 {
+            return Err(sip_common::SipError::Config(
+                "merge_fanin must be 0 (auto) or at least 2 (a 1-ary merge tree cannot terminate)"
+                    .into(),
             ));
         }
         Ok(())
@@ -363,5 +377,16 @@ mod tests {
         assert_eq!(e.layer(), "config");
         let e = ExecOptions::validated(1024, 0).unwrap_err();
         assert_eq!(e.layer(), "config");
+    }
+
+    #[test]
+    fn merge_fanin_one_is_rejected() {
+        let mut opts = ExecOptions::default();
+        for fanin in [0usize, 2, 8] {
+            opts.merge_fanin = fanin;
+            assert!(opts.validate().is_ok(), "fanin {fanin}");
+        }
+        opts.merge_fanin = 1;
+        assert_eq!(opts.validate().unwrap_err().layer(), "config");
     }
 }

@@ -19,6 +19,8 @@ pub mod oracle;
 pub mod physical;
 pub mod report;
 pub mod taps;
+#[doc(hidden)]
+pub mod testkit;
 
 pub use context::{ExecContext, ExecOptions, Msg, PartitionMap};
 pub use delay::DelayModel;

@@ -10,7 +10,7 @@
 //! of this interface.
 
 use crate::context::ExecContext;
-use sip_common::{AttrId, OpId, Row};
+use sip_common::{AttrId, DigestBuffer, OpId, Row};
 use std::sync::Arc;
 
 /// Read-only view over the buffered state a stateful operator holds for one
@@ -60,6 +60,22 @@ pub struct CompletionEvent<'a> {
 pub trait RowCollector: Send {
     /// Called for every row admitted into the host operator's input.
     fn admit(&mut self, row: &Row);
+    /// Batch admit: every row of `rows` at once, with the digest pass the
+    /// host operator already paid for its own keys. `key_positions` names
+    /// the columns `digests` was computed over (the operator's group /
+    /// join / build key columns); a collector whose source column set
+    /// matches reuses the buffer outright, so the common AIP case — the
+    /// working set summarizes exactly the key the operator hashes — costs
+    /// **zero** additional hashes and zero key materialization.
+    ///
+    /// Must be observationally identical to calling
+    /// [`RowCollector::admit`] on each row in order; the default does
+    /// exactly that.
+    fn admit_batch(&mut self, rows: &[Row], _key_positions: &[usize], _digests: &DigestBuffer) {
+        for row in rows {
+            self.admit(row);
+        }
+    }
     /// Called exactly once when the input reaches EOF.
     fn finish(&mut self, ctx: &Arc<ExecContext>);
 }

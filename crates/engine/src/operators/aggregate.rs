@@ -82,13 +82,12 @@ pub(crate) fn run_aggregate(
         let Msg::Batch(batch) = msg else { break };
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
-        if let Some(c) = collector.as_mut() {
-            for row in &batch.rows {
-                c.admit(row);
-            }
-        }
-        // One hash pass over the group columns for the whole batch.
+        // One hash pass over the group columns for the whole batch — shared
+        // with the collector's working-copy build below.
         digests.compute(&batch.rows, &group_cols);
+        if let Some(c) = collector.as_mut() {
+            c.admit_batch(&batch.rows, &group_cols, &digests);
+        }
         for (i, row) in batch.rows.iter().enumerate() {
             if digests.is_null_key(i) {
                 continue; // NULL group keys are skipped (workloads are NULL-free)
@@ -214,12 +213,10 @@ pub(crate) fn run_distinct(
         let Msg::Batch(batch) = msg else { break };
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
-        if let Some(c) = collector.as_mut() {
-            for row in &batch.rows {
-                c.admit(row);
-            }
-        }
         digests.compute(&batch.rows, &all_cols);
+        if let Some(c) = collector.as_mut() {
+            c.admit_batch(&batch.rows, &all_cols, &digests);
+        }
         for (i, row) in batch.rows.into_iter().enumerate() {
             let bucket = seen.entry(digests.digests()[i]).or_default();
             if !bucket.iter().any(|r| r == &row) {

@@ -9,6 +9,13 @@
 //! so no partition is stalled behind a slower sibling's backpressure
 //! window.
 //!
+//! The operator itself is arity-agnostic; `sip-parallel` arranges `Merge`
+//! nodes into a *tree* (fan-in from `PartitionConfig::merge_fanin` /
+//! `ExecOptions::merge_fanin`, auto: binary above dop 4) so the per-batch
+//! merge work — select registration, input counters, the emit hop — is
+//! spread over several threads instead of funnelling every partition
+//! through one serial merge at the root of large outputs.
+//!
 //! The Exchange fuses its filter tap with the ownership kernel: one digest
 //! pass per batch feeds both the partition check and (when a filter probes
 //! the partition column — the common AIP case) the tap stack.

@@ -159,15 +159,13 @@ pub(crate) fn run_hash_join(
             Ok(Msg::Batch(batch)) => {
                 count_in(ctx, op, idx, batch.len());
                 sides[idx].rows_in += batch.len() as u64;
-                if let Some(c) = collectors[idx].as_mut() {
-                    for row in &batch.rows {
-                        c.admit(row);
-                    }
-                }
                 // Both sides hash the same key-value sequence, so this
                 // side's digest doubles as the probe digest into the
-                // opposite table.
+                // opposite table — and as the collector's build digest.
                 digests.compute(&batch.rows, &sides[idx].keys);
+                if let Some(c) = collectors[idx].as_mut() {
+                    c.admit_batch(&batch.rows, &sides[idx].keys, &digests);
+                }
                 let other = 1 - idx;
                 for (i, row) in batch.rows.into_iter().enumerate() {
                     if digests.is_null_key(i) {

@@ -142,12 +142,10 @@ pub(crate) fn run_semi_join(
             (true, Ok(Msg::Batch(batch))) => {
                 count_in(ctx, op, 1, batch.len());
                 build_rows_in += batch.len() as u64;
-                if let Some(c) = collector_build.as_mut() {
-                    for row in &batch.rows {
-                        c.admit(row);
-                    }
-                }
                 build_digests.compute(&batch.rows, &build_keys);
+                if let Some(c) = collector_build.as_mut() {
+                    c.admit_batch(&batch.rows, &build_keys, &build_digests);
+                }
                 for (i, row) in batch.rows.iter().enumerate() {
                     if build_digests.is_null_key(i) {
                         continue;
@@ -176,12 +174,10 @@ pub(crate) fn run_semi_join(
             }
             (false, Ok(Msg::Batch(batch))) => {
                 count_in(ctx, op, 0, batch.len());
-                if let Some(c) = collector_probe.as_mut() {
-                    for row in &batch.rows {
-                        c.admit(row);
-                    }
-                }
                 probe_digests.compute(&batch.rows, &probe_keys);
+                if let Some(c) = collector_probe.as_mut() {
+                    c.admit_batch(&batch.rows, &probe_keys, &probe_digests);
+                }
                 for (i, row) in batch.rows.into_iter().enumerate() {
                     if probe_digests.is_null_key(i) {
                         continue; // NULL keys never match

@@ -1,0 +1,268 @@
+//! Differential test harnesses shared by the engine's and `sip-parallel`'s
+//! integration suites. Not part of the public API surface — the types here
+//! exist so the admit-batch parity checks (serial boundary-batch sweeps in
+//! `crates/engine/tests/` and the dop sweeps in `crates/parallel/tests/`)
+//! run one implementation instead of two drifting copies.
+//!
+//! [`SelfCheckCollector`] is a [`RowCollector`] that, installed at a
+//! stateful operator's input, verifies the batched AIP build path against
+//! the row-at-a-time reference *from inside the engine*:
+//!
+//! * the engine's digest contract — every `admit_batch` call hands a digest
+//!   buffer covering exactly the admitted rows over exactly the named key
+//!   columns;
+//! * working-set parity — each entry builds one AIP set through the batch
+//!   path ([`sip_filter::AipSetBuilder::extend_batch`], reusing the
+//!   operator's digests when the source column matches, mirroring the
+//!   feed-forward collector) and one through the per-row `admit` replay
+//!   (`key_hash` + key clone + `insert`); at EOF the two must be
+//!   byte-identical (key count, footprint, probe behavior) and yield
+//!   exactly equal `aip_probed`/`aip_dropped` counters when probed as
+//!   injected filters;
+//! * accounting — the rows admitted equal the operator's `rows_in` counter.
+
+use crate::context::ExecContext;
+use crate::monitor::RowCollector;
+use crate::physical::{PhysKind, PhysPlan};
+use crate::taps::InjectedFilter;
+use sip_common::{DigestBuffer, OpId, Row};
+use sip_filter::{AipSetBuilder, AipSetKind};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+/// One mirrored working set: a single source column built through both the
+/// batch path and the per-row replay.
+struct CheckEntry {
+    pos: usize,
+    kind: AipSetKind,
+    batch: Option<AipSetBuilder>,
+    row: Option<AipSetBuilder>,
+}
+
+/// Shared outcome of an installed fleet of self-checking collectors.
+#[derive(Default)]
+pub struct AdmitParity {
+    /// Human-readable divergence reports; empty = parity held.
+    pub errors: Mutex<Vec<String>>,
+    /// Collectors whose `finish` ran (must equal the installed count).
+    pub finished: Mutex<usize>,
+}
+
+/// The self-checking collector (see module docs).
+pub struct SelfCheckCollector {
+    op: OpId,
+    input: usize,
+    entries: Vec<CheckEntry>,
+    scratch: DigestBuffer,
+    seen: Vec<Row>,
+    admitted: u64,
+    outcome: Arc<AdmitParity>,
+}
+
+impl RowCollector for SelfCheckCollector {
+    fn admit(&mut self, row: &Row) {
+        // The engine's hot path no longer calls this, but the replay
+        // semantics must stay available (the trait default routes
+        // admit_batch here row by row).
+        for e in &mut self.entries {
+            let d = row.key_hash(&[e.pos]);
+            let key = [row.get(e.pos).clone()];
+            e.batch.as_mut().unwrap().insert(d, &key);
+            e.row.as_mut().unwrap().insert(d, &key);
+        }
+        self.admitted += 1;
+    }
+
+    fn admit_batch(&mut self, rows: &[Row], key_positions: &[usize], digests: &DigestBuffer) {
+        let mut errs = Vec::new();
+        // The engine's digest contract.
+        if digests.len() != rows.len() {
+            errs.push(format!(
+                "{}/in{}: digest buffer covers {} rows, batch has {}",
+                self.op,
+                self.input,
+                digests.len(),
+                rows.len()
+            ));
+        } else {
+            for (i, row) in rows.iter().enumerate() {
+                if digests.digests()[i] != row.key_hash(key_positions) {
+                    errs.push(format!(
+                        "{}/in{}: digest {i} does not match key_hash over {key_positions:?}",
+                        self.op, self.input
+                    ));
+                    break;
+                }
+            }
+        }
+        // Batch build vs per-row replay.
+        let SelfCheckCollector {
+            entries, scratch, ..
+        } = self;
+        for e in entries {
+            let pos = [e.pos];
+            if key_positions == pos {
+                e.batch.as_mut().unwrap().extend_batch(rows, &pos, digests);
+            } else {
+                scratch.compute(rows, &pos);
+                e.batch.as_mut().unwrap().extend_batch(rows, &pos, scratch);
+            }
+            let rb = e.row.as_mut().unwrap();
+            for row in rows {
+                let d = row.key_hash(&pos);
+                let key = [row.get(e.pos).clone()];
+                rb.insert(d, &key);
+            }
+        }
+        self.admitted += rows.len() as u64;
+        if self.seen.len() < 4096 {
+            self.seen.extend_from_slice(rows);
+        }
+        if !errs.is_empty() {
+            self.outcome.errors.lock().unwrap().extend(errs);
+        }
+    }
+
+    fn finish(&mut self, ctx: &Arc<ExecContext>) {
+        let mut errs = Vec::new();
+        let rows_in = ctx.hub.op(self.op).rows_in[self.input].load(Ordering::Relaxed);
+        if rows_in != self.admitted {
+            errs.push(format!(
+                "{}/in{}: operator counted {rows_in} rows in, collector admitted {}",
+                self.op, self.input, self.admitted
+            ));
+        }
+        for e in self.entries.iter_mut() {
+            let a = e.batch.take().unwrap().finish();
+            let b = e.row.take().unwrap().finish();
+            if a.n_keys() != b.n_keys() || a.size_bytes() != b.size_bytes() {
+                errs.push(format!(
+                    "{}/in{} pos {} {:?}: batch set ({} keys, {} B) != row set ({} keys, {} B)",
+                    self.op,
+                    self.input,
+                    e.pos,
+                    e.kind,
+                    a.n_keys(),
+                    a.size_bytes(),
+                    b.n_keys(),
+                    b.size_bytes()
+                ));
+                continue;
+            }
+            // Probe both sets identically: members (the seen rows at the
+            // built column) and mostly-non-members (the seen rows probed
+            // at a shifted column), comparing per-row verdicts and the
+            // filters' probed/dropped counters exactly.
+            let fa = InjectedFilter::new("batch", vec![e.pos], Arc::new(a));
+            let fb = InjectedFilter::new("row", vec![e.pos], Arc::new(b));
+            for row in &self.seen {
+                if fa.admits(row) != fb.admits(row) {
+                    errs.push(format!(
+                        "{}/in{} pos {}: member probe diverged on {row:?}",
+                        self.op, self.input, e.pos
+                    ));
+                    break;
+                }
+            }
+            let arity = self.seen.first().map(|r| r.arity()).unwrap_or(1);
+            let shifted = (e.pos + 1) % arity.max(1);
+            let fa2 = InjectedFilter::new("batch2", vec![shifted], fa.set.clone());
+            let fb2 = InjectedFilter::new("row2", vec![shifted], fb.set.clone());
+            for row in &self.seen {
+                if fa2.admits(row) != fb2.admits(row) {
+                    errs.push(format!(
+                        "{}/in{} pos {}: non-member probe diverged on {row:?}",
+                        self.op, self.input, e.pos
+                    ));
+                    break;
+                }
+            }
+            let counters = |f: &InjectedFilter| {
+                (
+                    f.probed.load(Ordering::Relaxed),
+                    f.dropped.load(Ordering::Relaxed),
+                )
+            };
+            if counters(&fa) != counters(&fb) || counters(&fa2) != counters(&fb2) {
+                errs.push(format!(
+                    "{}/in{} pos {}: counters diverged: {:?}/{:?} vs {:?}/{:?}",
+                    self.op,
+                    self.input,
+                    e.pos,
+                    counters(&fa),
+                    counters(&fa2),
+                    counters(&fb),
+                    counters(&fb2)
+                ));
+            }
+        }
+        if !errs.is_empty() {
+            self.outcome.errors.lock().unwrap().extend(errs);
+        }
+        *self.outcome.finished.lock().unwrap() += 1;
+    }
+}
+
+/// Install self-checking collectors on every stateful (op, input) of
+/// `plan`: one entry on the operator's own first key column (the
+/// digest-reuse path) and, where the input is wide enough, one on a
+/// different column (the scratch path), cycling through all three AIP-set
+/// kinds. Returns the shared outcome and the number installed.
+pub fn install_admit_parity(ctx: &Arc<ExecContext>, plan: &PhysPlan) -> (Arc<AdmitParity>, usize) {
+    let outcome = Arc::new(AdmitParity::default());
+    let mut installed = 0usize;
+    let kinds = [AipSetKind::Bloom, AipSetKind::Hash, AipSetKind::MinMax];
+    let mut k = 0usize;
+    for node in &plan.nodes {
+        let sites: Vec<(usize, usize)> = match &node.kind {
+            PhysKind::Aggregate { group_cols, .. } => group_cols
+                .first()
+                .map(|&g| vec![(0usize, g)])
+                .unwrap_or_default(),
+            PhysKind::Distinct => vec![(0, 0)],
+            PhysKind::HashJoin {
+                left_keys,
+                right_keys,
+                ..
+            } => vec![(0, left_keys[0]), (1, right_keys[0])],
+            PhysKind::SemiJoin {
+                probe_keys,
+                build_keys,
+            } => vec![(0, probe_keys[0]), (1, build_keys[0])],
+            _ => vec![],
+        };
+        for (input, key_pos) in sites {
+            let arity = plan.node(node.inputs[input]).layout.len();
+            let mut new_entry = |pos: usize| {
+                let kind = kinds[k % 3];
+                k += 1;
+                CheckEntry {
+                    pos,
+                    kind,
+                    batch: Some(AipSetBuilder::new(kind, 64, 0.05, 1)),
+                    row: Some(AipSetBuilder::new(kind, 64, 0.05, 1)),
+                }
+            };
+            let mut entries = vec![new_entry(key_pos)];
+            let off = (key_pos + 1) % arity;
+            if off != key_pos {
+                entries.push(new_entry(off));
+            }
+            ctx.install_collector(
+                node.id,
+                input,
+                Box::new(SelfCheckCollector {
+                    op: node.id,
+                    input,
+                    entries,
+                    scratch: DigestBuffer::default(),
+                    seen: Vec::new(),
+                    admitted: 0,
+                    outcome: Arc::clone(&outcome),
+                }),
+            );
+            installed += 1;
+        }
+    }
+    (outcome, installed)
+}

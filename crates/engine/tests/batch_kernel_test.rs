@@ -427,6 +427,73 @@ fn superset_filter_at_interior_op_is_transparent() {
     }
 }
 
+/// Admit-batch differential parity over a join + aggregate + semijoin-free
+/// plan at every boundary batch size: byte-identical AIP sets and exact
+/// counter equality vs the per-row admit replay, at every stateful input.
+#[test]
+fn admit_batch_matches_row_admit_at_boundary_batches() {
+    let facts: Vec<(Option<i64>, i64)> = (0..157)
+        .map(|i| ((i % 11 != 0).then_some(i % 23), i))
+        .collect();
+    let catalog = {
+        let fact_schema = Schema::new(vec![
+            Field::new("f_key", DataType::Int),
+            Field::new("f_val", DataType::Int),
+        ]);
+        let dim_schema = Schema::new(vec![
+            Field::new("d_key", DataType::Int),
+            Field::new("d_weight", DataType::Int),
+        ]);
+        let fact_rows: Vec<Row> = facts
+            .iter()
+            .map(|&(k, v)| {
+                Row::new(vec![
+                    k.map(Value::Int).unwrap_or(Value::Null),
+                    Value::Int(v),
+                ])
+            })
+            .collect();
+        let dim_rows: Vec<Row> = (0..23)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i * 3 % 7)]))
+            .collect();
+        let mut c = Catalog::new();
+        c.add(Table::new("fact", fact_schema, vec![], vec![], fact_rows).unwrap());
+        c.add(Table::new("dim", dim_schema, vec![0], vec![], dim_rows).unwrap());
+        c
+    };
+    let mut q = QueryBuilder::new(&catalog);
+    let f = q.scan("fact", "f", &["f_key", "f_val"]).unwrap();
+    let d = q.scan("dim", "d", &["d_key", "d_weight"]).unwrap();
+    let joined = q.join(f, d, &[("f.f_key", "d.d_key")]).unwrap();
+    let val = joined.col("f.f_val").unwrap();
+    let agg = q
+        .aggregate(joined, &["f.f_key"], &[(AggFunc::Sum, val, "total")])
+        .unwrap();
+    let plan = agg.into_plan();
+    let phys = Arc::new(sip_engine::lower(&plan, q.into_attrs(), &catalog).unwrap());
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+
+    for batch in [1usize, 63, 64, 65, 156, 157, 158, 1024] {
+        let opts = ExecOptions {
+            batch_size: batch,
+            channel_capacity: 2,
+            ..Default::default()
+        };
+        let ctx = ExecContext::new(Arc::clone(&phys), opts);
+        let (outcome, installed) = sip_engine::testkit::install_admit_parity(&ctx, &phys);
+        assert!(installed >= 3, "expected several stateful inputs");
+        let out = execute_ctx(Arc::clone(&ctx), Arc::new(NoopMonitor)).unwrap();
+        assert_eq!(canonical(&out.rows), expected, "batch {batch}");
+        let errs = outcome.errors.lock().unwrap();
+        assert!(errs.is_empty(), "batch {batch}:\n{}", errs.join("\n"));
+        assert_eq!(
+            *outcome.finished.lock().unwrap(),
+            installed,
+            "batch {batch}: every collector must finish exactly once"
+        );
+    }
+}
+
 /// Degenerate sizing is rejected with a config error before any operator
 /// thread spawns.
 #[test]

@@ -10,7 +10,7 @@
 use crate::bloom::BloomFilter;
 use crate::hashset::BucketedKeySet;
 use crate::minmax::MinMaxSummary;
-use sip_common::{Result, SipError, Value};
+use sip_common::{DigestBuffer, Result, Row, SipError, Value};
 
 /// Which summary representation to build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -183,6 +183,55 @@ impl AipSetBuilder {
         }
     }
 
+    /// Insert without materializing the key: the key is `values[p]` for
+    /// each `p` in `positions`, in order, and `digest` is its
+    /// `Row::key_hash`-style digest. Semantically identical to
+    /// [`AipSetBuilder::insert`] on the gathered key, but the build hot
+    /// path clones a `Value` only when an exact set stores a genuinely new
+    /// key — Bloom and min/max builds never allocate at all.
+    #[inline]
+    pub fn insert_at(&mut self, digest: u64, values: &[Value], positions: &[usize]) {
+        match &mut self.inner {
+            AipSet::Bloom(b) => b.insert(digest),
+            AipSet::Hash(h) => h.insert_at(digest, values, positions),
+            AipSet::MinMax(m) => {
+                if let [p] = positions {
+                    m.insert(&values[*p]);
+                }
+            }
+        }
+    }
+
+    /// Bulk insert one batch: every row's key at `positions`, with the
+    /// digests taken from a shared per-batch hash pass (`digests[i]` must
+    /// cover row `i` over exactly `positions` — NULL keys hash like any
+    /// value and are inserted, matching the row-at-a-time working-copy
+    /// semantics). This is the feed-forward working copy's batch admit path
+    /// and the cost-based bulk state scan.
+    pub fn extend_batch(&mut self, rows: &[Row], positions: &[usize], digests: &DigestBuffer) {
+        debug_assert_eq!(rows.len(), digests.len());
+        match &mut self.inner {
+            // One tight loop over the digest slice; no per-row dispatch.
+            AipSet::Bloom(b) => {
+                for &d in digests.digests() {
+                    b.insert(d);
+                }
+            }
+            AipSet::Hash(h) => {
+                for (row, &d) in rows.iter().zip(digests.digests()) {
+                    h.insert_at(d, row.values(), positions);
+                }
+            }
+            AipSet::MinMax(m) => {
+                if let [p] = positions {
+                    for row in rows {
+                        m.insert(row.get(*p));
+                    }
+                }
+            }
+        }
+    }
+
     /// Current footprint while building.
     pub fn size_bytes(&self) -> usize {
         self.inner.size_bytes()
@@ -313,6 +362,64 @@ mod tests {
     fn n_keys_reported() {
         assert_eq!(build(AipSetKind::Hash, 0..42).n_keys(), 42);
         assert_eq!(build(AipSetKind::Bloom, 0..42).n_keys(), 42);
+    }
+
+    #[test]
+    fn extend_batch_matches_per_row_insert() {
+        use sip_common::DigestBuffer;
+        // Rows with the key scattered at position 1; duplicates included.
+        let rows: Vec<Row> = (0..200i64)
+            .map(|i| Row::new(vec![Value::str("pay"), Value::Int(i % 60)]))
+            .collect();
+        let positions = [1usize];
+        for kind in [AipSetKind::Bloom, AipSetKind::Hash, AipSetKind::MinMax] {
+            let mut by_row = AipSetBuilder::new(kind, rows.len(), 0.05, 1);
+            for r in &rows {
+                let k = r.key_values(&positions);
+                by_row.insert(r.key_hash(&positions), &k);
+            }
+            let mut by_batch = AipSetBuilder::new(kind, rows.len(), 0.05, 1);
+            let mut digests = DigestBuffer::default();
+            // Batch boundaries must not matter.
+            for chunk in rows.chunks(63) {
+                digests.compute(chunk, &positions);
+                by_batch.extend_batch(chunk, &positions, &digests);
+            }
+            let a = by_row.finish();
+            let b = by_batch.finish();
+            assert_eq!(a.n_keys(), b.n_keys(), "{kind:?} key counts");
+            assert_eq!(a.size_bytes(), b.size_bytes(), "{kind:?} footprint");
+            for i in -20..100i64 {
+                let k = key(i);
+                assert_eq!(
+                    a.probe(digest(&k), &k),
+                    b.probe(digest(&k), &k),
+                    "{kind:?} probe diverged at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_at_handles_nulls_like_insert() {
+        let rows = vec![
+            Row::new(vec![Value::Null, Value::Int(1)]),
+            Row::new(vec![Value::Int(2), Value::Int(3)]),
+        ];
+        for kind in [AipSetKind::Bloom, AipSetKind::Hash, AipSetKind::MinMax] {
+            let mut by_row = AipSetBuilder::new(kind, 4, 0.05, 1);
+            let mut by_pos = AipSetBuilder::new(kind, 4, 0.05, 1);
+            for r in &rows {
+                let k = r.key_values(&[0]);
+                by_row.insert(r.key_hash(&[0]), &k);
+                by_pos.insert_at(r.key_hash(&[0]), r.values(), &[0]);
+            }
+            let (a, b) = (by_row.finish(), by_pos.finish());
+            assert_eq!(a.n_keys(), b.n_keys(), "{kind:?}");
+            let null_key = vec![Value::Null];
+            let d = fx_hash64(&null_key);
+            assert_eq!(a.probe(d, &null_key), b.probe(d, &null_key), "{kind:?}");
+        }
     }
 
     #[test]

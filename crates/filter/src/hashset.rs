@@ -71,6 +71,32 @@ impl BucketedKeySet {
         }
     }
 
+    /// Insert without materializing the key up front: the key is
+    /// `values[p]` for each `p` in `positions`, in order — the layout bulk
+    /// build kernels already have (a row's value slice plus the source's
+    /// key columns). The key vector is cloned **only when it is actually
+    /// new**; duplicate keys (the common case while summarizing a stream)
+    /// and keys landing in discarded buckets allocate nothing. `digest`
+    /// must be the digest of that key sequence.
+    pub fn insert_at(&mut self, digest: u64, values: &[Value], positions: &[usize]) {
+        let b = Self::bucket_of(digest);
+        if let Some(map) = &mut self.buckets[b] {
+            let slot = map.entry(digest).or_default();
+            if slot.iter().any(|k| {
+                k.len() == positions.len()
+                    && k.iter()
+                        .zip(positions.iter())
+                        .all(|(v, &p)| v == &values[p])
+            }) {
+                return;
+            }
+            let key: Vec<Value> = positions.iter().map(|&p| values[p].clone()).collect();
+            self.bytes += key.iter().map(Value::size_bytes).sum::<usize>() + 24;
+            self.n_keys += 1;
+            slot.push(key);
+        }
+    }
+
     /// Probe: `true` means "may contribute to the result" (exact match or
     /// discarded bucket), `false` means "provably cannot". `digest` must be
     /// the digest of `key`.
@@ -250,6 +276,33 @@ mod tests {
         let row_values = vec![Value::Int(3)];
         assert!(!s.contains_at(d2, &row_values, &[0]));
         assert!(s.contains_at(d2, &[Value::Int(3), Value::Int(4)], &[0, 1]));
+    }
+
+    #[test]
+    fn insert_at_matches_insert() {
+        let mut by_key = BucketedKeySet::new();
+        let mut by_pos = BucketedKeySet::new();
+        for i in 0..300i64 {
+            // A "row" with the key scattered: payload, key, payload.
+            let row_values = vec![Value::str("x"), Value::Int(i % 100), Value::str("y")];
+            by_key.insert(digest(i % 100), key(i % 100));
+            by_pos.insert_at(digest(i % 100), &row_values, &[1]);
+        }
+        assert_eq!(by_pos.n_keys(), by_key.n_keys());
+        assert_eq!(by_pos.size_bytes(), by_key.size_bytes());
+        for i in 0..200 {
+            assert_eq!(
+                by_pos.contains(digest(i), &key(i)),
+                by_key.contains(digest(i), &key(i)),
+                "diverged at {i}"
+            );
+        }
+        // Inserts into a discarded bucket are dropped without allocating.
+        let b = (digest(7) >> 58) as usize % 64;
+        by_pos.discard_bucket(b);
+        let n = by_pos.n_keys();
+        by_pos.insert_at(digest(7), &[Value::Int(7)], &[0]);
+        assert_eq!(by_pos.n_keys(), n);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use sip_common::{Batch, OpId, Result, SipError};
 use sip_core::{AipConfig, CostBased, FeedForward, QuerySpec, Strategy};
 use sip_engine::{
     execute_ctx, ExecContext, ExecMonitor, ExecOptions, Msg, NoopMonitor, PhysKind, PhysPlan,
-    QueryOutput,
+    QueryOutput, TapKernel,
 };
 use sip_optimizer::CostModel;
 use sip_plan::PredicateIndex;
@@ -168,6 +168,12 @@ fn externalize_remote_scans(plan: &mut PhysPlan, tables: &[String]) -> Result<Ve
 }
 
 /// The remote site: scan, apply shipped filters, pay the link, send.
+///
+/// Shipped filters run as the same batch kernel the engine's taps use
+/// ([`sip_engine::TapKernel`]): one digest pass per batch per probe-column
+/// set, selection-vector compaction, per-filter counters published once
+/// per batch — the remote site is no longer the last per-row
+/// `admits` loop in the system.
 fn feed_remote_scan(
     ctx: &Arc<ExecContext>,
     stats: &NetStats,
@@ -177,6 +183,7 @@ fn feed_remote_scan(
 ) {
     let tap = &ctx.taps[feed.op.index()];
     let mut known_filters = 0usize;
+    let mut kernel = TapKernel::new();
     // Connection setup latency.
     std::thread::sleep(link.latency);
     let batch_size = ctx.options.batch_size;
@@ -192,15 +199,17 @@ fn feed_remote_scan(
             }
             known_filters = filters.len();
         }
-        // Remote-side projection + filtering (the Bloomjoin effect: pruned
-        // rows never cross the link).
-        let mut rows = Vec::with_capacity(chunk.len());
-        for row in chunk {
-            let projected = row.project(&feed.cols);
-            if filters.iter().all(|f| f.admits(&projected)) {
-                rows.push(projected);
-            } else {
-                stats.rows_pruned_remote.fetch_add(1, Ordering::Relaxed);
+        // Remote-side projection + batch filtering (the Bloomjoin effect:
+        // pruned rows never cross the link).
+        let mut rows: Vec<_> = chunk.iter().map(|row| row.project(&feed.cols)).collect();
+        if !filters.is_empty() {
+            kernel.begin(rows.len());
+            let (_, dropped) = kernel.probe_chain(&filters, &rows);
+            if dropped > 0 {
+                stats
+                    .rows_pruned_remote
+                    .fetch_add(dropped, Ordering::Relaxed);
+                kernel.compact(&mut rows);
             }
         }
         if rows.is_empty() {

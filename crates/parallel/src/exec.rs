@@ -58,13 +58,21 @@ impl PartitionedExec {
     /// Execute `plan`, partition-parallel when possible, serial otherwise.
     /// Returns the output together with the [`PartitionMap`] actually used
     /// (`None` = the serial fallback ran).
+    ///
+    /// [`ExecOptions::merge_fanin`] (when `>= 2`) overrides the config's
+    /// merge-tree fan-in, so runtime callers can reshape the merge tail
+    /// without constructing a [`PartitionConfig`].
     pub fn execute(
         &self,
         plan: Arc<PhysPlan>,
         monitor: Arc<dyn ExecMonitor>,
         options: ExecOptions,
     ) -> Result<(QueryOutput, Option<Arc<PartitionMap>>)> {
-        match self.plan(&plan) {
+        let mut cfg = self.config.clone();
+        if options.merge_fanin >= 2 {
+            cfg.merge_fanin = options.merge_fanin as u32;
+        }
+        match partition_plan_cfg(&plan, self.dop, &cfg) {
             Ok((expanded, map)) => {
                 let ctx = ExecContext::new_partitioned(expanded, options, Arc::clone(&map));
                 Ok((execute_ctx(ctx, monitor)?, Some(map)))

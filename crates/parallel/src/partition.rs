@@ -329,17 +329,81 @@ impl Expander<'_> {
         )
     }
 
-    /// Materialize any [`Built`] as one stream (inserting a Merge above
-    /// partition clones).
+    /// Materialize any [`Built`] as one stream (inserting a Merge tree
+    /// above partition clones).
     fn single_stream(&mut self, built: Built, logical: OpId) -> OpId {
         match built {
             Built::Single(id) => id,
             Built::Replicable(op) => self.instantiate(op, None),
             Built::Parts(stream) => {
                 let layout = self.nodes[stream.clones[0].index()].layout.clone();
-                self.push(PhysKind::Merge, stream.clones, layout, None, logical, None)
+                self.merge_tree(stream.clones, layout, logical, None)
             }
         }
+    }
+
+    /// The effective merge fan-in: an explicit `PartitionConfig::merge_fanin`
+    /// of at least 2 wins; auto (`0`) keeps the flat single merge up to
+    /// dop 4 and switches to a binary tree above, where one merge thread's
+    /// per-batch work (select across `dop` channels, counters, emit)
+    /// becomes the serial bottleneck of large outputs.
+    fn resolve_fanin(&self) -> usize {
+        match self.cfg.merge_fanin {
+            0 => {
+                if self.dop > 4 {
+                    2
+                } else {
+                    usize::MAX
+                }
+            }
+            1 => usize::MAX, // degenerate: treat as flat
+            f => f as usize,
+        }
+    }
+
+    /// Union `clones` into one stream through a tree of [`PhysKind::Merge`]
+    /// operators with at most [`Expander::resolve_fanin`] inputs each,
+    /// built bottom-up. An odd tail clone is passed through to the next
+    /// level rather than wrapped in a useless 1-ary merge. All tree nodes
+    /// belong to the serial section (`partition = None`); when the merged
+    /// rows carry *partial* aggregate values, every tree node is flagged in
+    /// `partial_aggs` so AIP filters never prune a value column mid-tree.
+    fn merge_tree(
+        &mut self,
+        clones: Vec<OpId>,
+        layout: Vec<AttrId>,
+        logical: OpId,
+        partial_agg_groups: Option<usize>,
+    ) -> OpId {
+        let fanin = self.resolve_fanin().max(2);
+        let mut level = clones;
+        while level.len() > fanin {
+            let mut next = Vec::with_capacity(level.len().div_ceil(fanin));
+            for group in level.chunks(fanin) {
+                if group.len() == 1 {
+                    next.push(group[0]);
+                } else {
+                    let id = self.push(
+                        PhysKind::Merge,
+                        group.to_vec(),
+                        layout.clone(),
+                        None,
+                        logical,
+                        None,
+                    );
+                    if let Some(n) = partial_agg_groups {
+                        self.partial_aggs.insert(id.0, n);
+                    }
+                    next.push(id);
+                }
+            }
+            level = next;
+        }
+        let root = self.push(PhysKind::Merge, level, layout, None, logical, None);
+        if let Some(n) = partial_agg_groups {
+            self.partial_aggs.insert(root.0, n);
+        }
+        root
     }
 
     /// Clone a unary source operator over each partition stream.
@@ -645,15 +709,8 @@ impl Expander<'_> {
                             for &pc in &partials {
                                 self.partial_aggs.insert(pc.0, n_groups);
                             }
-                            let merged = self.push(
-                                PhysKind::Merge,
-                                partials,
-                                out_layout.clone(),
-                                None,
-                                op,
-                                None,
-                            );
-                            self.partial_aggs.insert(merged.0, n_groups);
+                            let merged =
+                                self.merge_tree(partials, out_layout.clone(), op, Some(n_groups));
                             let final_aggs = out_layout
                                 .iter()
                                 .skip(n_groups)
@@ -732,14 +789,7 @@ impl Expander<'_> {
                             // Partial dedup per partition shrinks the merge;
                             // the serial distinct finishes the job.
                             let partials = self.map_clones(op, s.clones, None);
-                            let merged = self.push(
-                                PhysKind::Merge,
-                                partials,
-                                out_layout.clone(),
-                                None,
-                                op,
-                                None,
-                            );
+                            let merged = self.merge_tree(partials, out_layout.clone(), op, None);
                             Built::Single(self.push(
                                 PhysKind::Distinct,
                                 vec![merged],
@@ -1145,6 +1195,91 @@ mod tests {
             .count();
         // 4 per-key (partitioned) + 4 partial SUM + 1 final SUM.
         assert_eq!(aggs, 9, "{}", expanded.display());
+        assert_eq!(canonical(&execute_oracle(&expanded).unwrap()), expected);
+    }
+
+    #[test]
+    fn merge_tail_becomes_a_tree_above_dop_4_and_on_request() {
+        let c = catalog();
+        let plan = partkey_plan(&c);
+        let expected = canonical(&execute_oracle(&plan).unwrap());
+        let merges = |p: &PhysPlan| {
+            p.nodes
+                .iter()
+                .filter(|n| matches!(n.kind, PhysKind::Merge))
+                .count()
+        };
+        // Auto: flat single merge at dop 4.
+        let (flat, _) = partition_plan(&plan, 4).unwrap();
+        assert_eq!(merges(&flat), 1, "{}", flat.display());
+        // Auto: binary tree at dop 8 (8 → 4 → 2 → 1 = 7 merges).
+        let (tree8, map8) = partition_plan(&plan, 8).unwrap();
+        tree8.validate().unwrap();
+        assert_eq!(merges(&tree8), 7, "{}", tree8.display());
+        // Every tree merge is serial-section and binary.
+        for n in &tree8.nodes {
+            if matches!(n.kind, PhysKind::Merge) {
+                assert!(map8.partition(n.id).is_none());
+                assert!(n.inputs.len() <= 2, "{}", tree8.display());
+            }
+        }
+        assert_eq!(canonical(&execute_oracle(&tree8).unwrap()), expected);
+        // Forced fan-in reshapes the tail at any dop.
+        for (dop, fanin, want) in [(4u32, 2u32, 3usize), (8, 4, 3), (8, 3, 4)] {
+            let cfg = PartitionConfig {
+                merge_fanin: fanin,
+                ..Default::default()
+            };
+            let (expanded, _) = partition_plan_cfg(&plan, dop, &cfg).unwrap();
+            expanded.validate().unwrap();
+            assert_eq!(
+                merges(&expanded),
+                want,
+                "dop {dop} fanin {fanin}\n{}",
+                expanded.display()
+            );
+            assert_eq!(
+                canonical(&execute_oracle(&expanded).unwrap()),
+                expected,
+                "dop {dop} fanin {fanin} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_aggregate_merge_tree_is_flagged_unfilterable() {
+        // Global SUM at dop 8: partial aggregates per partition, a binary
+        // merge tree, then the final merge aggregate. Every tree node
+        // carries partial accumulator values, so AIP must not filter any
+        // of its columns (n_groups = 0 here).
+        let c = catalog();
+        let mut q = QueryBuilder::new(&c);
+        let ps = q
+            .scan("partsupp", "ps", &["ps_partkey", "ps_availqty"])
+            .unwrap();
+        let p = q.scan("part", "p", &["p_partkey"]).unwrap();
+        let j = q.join(p, ps, &[("p.p_partkey", "ps.ps_partkey")]).unwrap();
+        let qty = j.col("ps_availqty").unwrap();
+        let total = q
+            .aggregate(j, &[], &[(AggFunc::Sum, qty, "total")])
+            .unwrap();
+        let plan = total.into_plan();
+        let phys = lower(&plan, q.into_attrs(), &c).unwrap();
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        let (expanded, map) = partition_plan(&phys, 8).unwrap();
+        let mut tree_merges = 0;
+        for n in &expanded.nodes {
+            if matches!(n.kind, PhysKind::Merge) {
+                tree_merges += 1;
+                assert!(
+                    !map.filterable_at(n.id, 0),
+                    "partial-value column filterable at tree merge {}\n{}",
+                    n.id,
+                    expanded.display()
+                );
+            }
+        }
+        assert_eq!(tree_merges, 7, "{}", expanded.display());
         assert_eq!(canonical(&execute_oracle(&expanded).unwrap()), expected);
     }
 

@@ -32,6 +32,16 @@ pub struct PartitionConfig {
     /// expose a join-key attribute — partitioning a handful of rows buys
     /// nothing and costs threads.
     pub min_scan_rows: u64,
+    /// Fan-in of the tree-structured merge tail: every point where `dop`
+    /// partition streams rejoin a serial section (the root, partial
+    /// aggregates, partial dedups) becomes a tree of `Merge` operators
+    /// with at most this many inputs each, spreading the per-batch merge
+    /// work (select, counters, emit) over `~dop / fanin` threads instead
+    /// of funnelling all partitions through one serial `Merge`.
+    ///
+    /// `0` = auto: flat (single merge) up to dop 4, binary tree above.
+    /// Values `>= 2` force that fan-in at every dop.
+    pub merge_fanin: u32,
     /// Cost model pricing repartition against the serial fallback.
     pub cost: CostModel,
 }
@@ -42,6 +52,7 @@ impl Default for PartitionConfig {
             shuffle: true,
             broadcast_max_rows: 1024.0,
             min_scan_rows: 0,
+            merge_fanin: 0,
             cost: CostModel::default(),
         }
     }

@@ -6,9 +6,12 @@
 
 use sip_core::{run_query_dop, AipConfig, Strategy};
 use sip_data::{generate, TpchConfig};
-use sip_engine::{canonical, execute_oracle, ExecOptions, PhysKind};
-use sip_parallel::partition_plan;
+use sip_engine::{
+    canonical, execute_ctx, execute_oracle, ExecContext, ExecOptions, NoopMonitor, PhysKind,
+};
+use sip_parallel::{partition_plan, partition_plan_cfg, PartitionConfig};
 use sip_queries::{all_queries, build_query};
+use std::sync::Arc;
 
 const DOPS: [u32; 4] = [1, 2, 4, 8];
 
@@ -127,6 +130,115 @@ fn multi_class_chains_stay_parallel_end_to_end() {
         assert_eq!(canonical(&out1.rows), expected, "{id} dop 1");
         assert_eq!(canonical(&out4.rows), expected, "{id} dop 4");
     }
+}
+
+/// Admit-batch differential parity at dop ∈ {1, 2, 4} × batch sizes
+/// {1, 63, 64, 65}: self-checking collectors
+/// ([`sip_engine::testkit::install_admit_parity`]) at every stateful input
+/// of the (expanded) plan verify that the batched AIP build produces
+/// byte-identical working sets — and exactly equal `aip_probed` /
+/// `aip_dropped` counters when probed — versus the per-row `admit` replay.
+/// `EX` covers joins/aggregates through partitioned clones; the
+/// magic-rewritten `Q3A` adds semijoin admit sites.
+#[test]
+fn admit_batch_parity_across_dop_and_batch_sizes() {
+    let catalog = catalog();
+    for (id, strategy) in [("EX", Strategy::Baseline), ("Q3A", Strategy::Magic)] {
+        let spec = build_query(id, &catalog).unwrap();
+        let phys = Arc::new(spec.lower(&catalog, strategy).unwrap());
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        let mut semi_seen = false;
+        for dop in [1u32, 2, 4] {
+            for batch in [1usize, 63, 64, 65] {
+                let opts = ExecOptions::validated(batch, 2).unwrap();
+                let (plan, ctx) = if dop == 1 {
+                    (Arc::clone(&phys), ExecContext::new(Arc::clone(&phys), opts))
+                } else {
+                    let (expanded, map) = partition_plan(&phys, dop).unwrap();
+                    (
+                        Arc::clone(&expanded),
+                        ExecContext::new_partitioned(expanded, opts, map),
+                    )
+                };
+                semi_seen |= plan
+                    .nodes
+                    .iter()
+                    .any(|n| matches!(n.kind, PhysKind::SemiJoin { .. }));
+                let (outcome, installed) = sip_engine::testkit::install_admit_parity(&ctx, &plan);
+                assert!(installed >= 2, "{id} dop {dop}: too few stateful inputs");
+                let out = execute_ctx(Arc::clone(&ctx), Arc::new(NoopMonitor)).unwrap();
+                assert_eq!(
+                    canonical(&out.rows),
+                    expected,
+                    "{id} dop {dop} batch {batch} diverged"
+                );
+                let errs = outcome.errors.lock().unwrap();
+                assert!(
+                    errs.is_empty(),
+                    "{id} dop {dop} batch {batch}:\n{}",
+                    errs.join("\n")
+                );
+                assert_eq!(
+                    *outcome.finished.lock().unwrap(),
+                    installed,
+                    "{id} dop {dop} batch {batch}: every collector must finish once"
+                );
+            }
+        }
+        if strategy == Strategy::Magic {
+            assert!(semi_seen, "{id}: magic rewrite produced no semijoin");
+        }
+    }
+}
+
+/// Tree-merge row conservation under Zipf skew: a forced binary merge tail
+/// at dop 4 and the auto tree at dop 8 must conserve the serial plan's
+/// exact row multiset over the skewed catalog, every partition must report
+/// in the rollup, and the forced plan must actually stack merges.
+#[test]
+fn tree_merge_conserves_rows_under_zipf_skew() {
+    let catalog = catalog(); // zipf_z = 0.5
+    for id in ["EX", "Q4A"] {
+        let spec = build_query(id, &catalog).unwrap();
+        let phys = spec.lower(&catalog, Strategy::Baseline).unwrap();
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        for (dop, fanin) in [(4u32, 2usize), (8, 0)] {
+            let mut opts = ExecOptions::validated(64, 2).unwrap();
+            opts.merge_fanin = fanin;
+            let (out, map) = run_query_dop(
+                &spec,
+                &catalog,
+                Strategy::FeedForward,
+                opts,
+                &AipConfig::paper(),
+                dop,
+            )
+            .unwrap();
+            let map = map.expect("partitioned path");
+            assert_eq!(
+                canonical(&out.rows),
+                expected,
+                "{id} dop {dop} fanin {fanin} lost or duplicated rows"
+            );
+            let rollup = out.metrics.per_partition(&map);
+            assert_eq!(rollup.len(), dop as usize, "{id} dop {dop} rollup");
+        }
+    }
+    // The forced-fanin expansion stacks merges (a Merge feeding a Merge).
+    let spec = build_query("EX", &catalog).unwrap();
+    let phys = spec.lower(&catalog, Strategy::Baseline).unwrap();
+    let cfg = PartitionConfig {
+        merge_fanin: 2,
+        ..Default::default()
+    };
+    let (expanded, _) = partition_plan_cfg(&phys, 4, &cfg).unwrap();
+    let stacked = expanded.nodes.iter().any(|n| {
+        matches!(n.kind, PhysKind::Merge)
+            && n.inputs
+                .iter()
+                .any(|&c| matches!(expanded.node(c).kind, PhysKind::Merge))
+    });
+    assert!(stacked, "no merge tree:\n{}", expanded.display());
 }
 
 /// The batch kernels must be batch-size independent *through shuffle
