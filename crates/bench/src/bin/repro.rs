@@ -78,7 +78,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--figure all|table1|fig1|fig2|fig5|fig6|fig9|fig10|fig13|\
-overhead|scaling|kernels|admit|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] \
+overhead|scaling|skew|kernels|admit|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] \
 [--repeats N] [--seed S] [--batch-size N] [--channel-capacity N] [--dop N] \
 [--merge-fanin N] [--json DIR]\n\n\
   --batch-size N        rows per engine batch (default 1024); also the\n\
@@ -86,8 +86,8 @@ overhead|scaling|kernels|admit|ablation-sets|ablation-fpr|ablation-minmax] [--sf
   --channel-capacity N  bounded-channel backpressure window, in batches\n\
                         (default 16)\n\
   --dop N               max degree of partition parallelism swept by the\n\
-                        `scaling` benchmark (powers of two up to N;\n\
-                        default 4, 1 = serial only)\n\
+                        `scaling` and `skew` benchmarks (powers of two up\n\
+                        to N; default 4, 1 = serial only)\n\
   --merge-fanin N       merge-tree fan-in for parallel runs (0 = auto:\n\
                         flat up to dop 4, binary tree above)\n\
   --json DIR            also write BENCH_<figure>.json per measured\n\
@@ -233,6 +233,9 @@ fn main() -> ExitCode {
     });
     run_figures(&sel, "scaling", json, cfg, &mut failed, || {
         harness.scaling().map(|r| vec![r])
+    });
+    run_figures(&sel, "skew", json, cfg, &mut failed, || {
+        harness.skew().map(|r| vec![r])
     });
     run_figures(&sel, "kernels", json, cfg, &mut failed, || {
         harness.kernels().map(|r| vec![r])

@@ -144,8 +144,9 @@ pub fn measure_dop(
                 .iter()
                 .map(|s| {
                     format!(
-                        "dop {dop} worker {}: rows_out {} aip_probed {} aip_dropped {}",
-                        s.partition, s.rows_out, s.aip_probed, s.aip_dropped
+                        "dop {dop} worker {}: rows_out {} aip_probed {} aip_dropped {} \
+rows_routed_in {}",
+                        s.partition, s.rows_out, s.aip_probed, s.aip_dropped, s.rows_routed_in
                     )
                 })
                 .collect();

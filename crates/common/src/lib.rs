@@ -19,6 +19,7 @@ pub mod ids;
 pub mod kernel;
 pub mod row;
 pub mod schema;
+pub mod sketch;
 pub mod value;
 
 pub use date::Date;
@@ -28,4 +29,5 @@ pub use ids::{AttrId, OpId, SiteId, TableId};
 pub use kernel::{DigestBuffer, DigestCache, SelVec};
 pub use row::{Batch, Row};
 pub use schema::{DataType, Field, Schema};
+pub use sketch::{SketchEntry, SpaceSaving};
 pub use value::{hash_key, Value};

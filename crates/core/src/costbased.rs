@@ -343,6 +343,13 @@ impl ExecMonitor for CostBased {
                 partition: *p,
                 dop: map.dop,
             });
+            // Salted digests of the producing stream pass scoped filters
+            // unprobed — partition p's state does not cover a key whose
+            // rows were scattered or replicated outside the hash
+            // invariant; the OR-merged union below covers them.
+            let salted = partition
+                .as_ref()
+                .and_then(|(map, _)| map.salted_at(state_stream));
             for u in &accepted {
                 if let Some((map, p)) = &partition {
                     // A site whose stream is partitioned on the probed
@@ -356,11 +363,12 @@ impl ExecMonitor for CostBased {
                         continue;
                     }
                 }
-                let filter = InjectedFilter::scoped(
+                let filter = InjectedFilter::scoped_salted(
                     format!("cb[{attr_name}] @{}", u.site),
                     vec![u.pos],
                     Arc::clone(&set),
                     scope,
+                    salted.clone(),
                 );
                 ctx.inject_filter(u.site, filter, MergePolicy::Intersect);
             }

@@ -246,7 +246,11 @@ fn publish_and_inject_partitioned(
 
     // The state summarizes the *input* stream of the source operator; that
     // stream's partitioning class decides whether a partition scope is
-    // sound for this attribute.
+    // sound for this attribute. A salted stream's class is claimed with
+    // its exemption set: a salted key's rows were scattered or replicated
+    // outside the hash invariant, so partition p's working set does not
+    // cover them even when they hash home to p — the scoped filter must
+    // pass them unprobed and leave them to the OR-merged union below.
     let state_stream = plan.node(entry.source.op).inputs[entry.source.input];
     if map.in_class_at(state_stream, entry.source.attr) {
         shared.registry.publish(
@@ -261,6 +265,7 @@ fn publish_and_inject_partitioned(
             partition: p,
             dop: map.dop,
         };
+        let salted = map.salted_at(state_stream);
         for u in users.iter().filter(|u| usable(u)) {
             // A site whose own stream is partitioned on the probed
             // attribute and owned by partition q != p can never carry an
@@ -272,11 +277,12 @@ fn publish_and_inject_partitioned(
                 Some(q) if q != p && map.in_class_at(u.site, u.attr) => continue,
                 _ => {}
             }
-            let filter = InjectedFilter::scoped(
+            let filter = InjectedFilter::scoped_salted(
                 format!("ff[{attr_name}] @{} part{p}", u.site),
                 vec![u.pos],
                 Arc::clone(&set),
                 Some(scope),
+                salted.clone(),
             );
             ctx.inject_filter(u.site, filter, MergePolicy::Intersect);
         }

@@ -10,6 +10,12 @@ use sip_common::{Result, Row, Schema, SipError, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Heavy hitters retained per column: enough for any realistic hot-key
+/// threshold (a key must hold ≥ `hot_factor/dop` of the rows to salt, so
+/// at most `dop/hot_factor` keys qualify), small enough to keep stats
+/// cheap.
+const HOT_STATS_KEYS: usize = 64;
+
 /// Per-column statistics (exact, computed over generated data).
 #[derive(Clone, Debug)]
 pub struct ColumnStats {
@@ -19,6 +25,16 @@ pub struct ColumnStats {
     pub min: Option<Value>,
     /// Maximum value.
     pub max: Option<Value>,
+    /// Occurrences of the most frequent non-NULL value — the exact
+    /// heavy-hitter statistic skew-aware planning reads: `max_freq /
+    /// row_count` is the hot fraction a hash partitioning cannot split.
+    pub max_freq: u64,
+    /// The column's heaviest values as `(key digest, occurrences)`,
+    /// heaviest first, capped at [`HOT_STATS_KEYS`] (ties broken by
+    /// digest for determinism). The digests match `Row::key_hash` over
+    /// the single column, so the salt planner reads its hot set straight
+    /// from here instead of re-counting the table.
+    pub hot: Vec<(u64, u64)>,
 }
 
 /// A foreign-key reference: `columns` of this table reference the primary
@@ -124,10 +140,24 @@ impl Table {
             .map(|s| s.distinct.max(1))
             .unwrap_or(1)
     }
+
+    /// Fraction of rows holding the column's most frequent value — the hot
+    /// share a hash partitioning cannot split below one worker. 0 for
+    /// unknown columns or empty tables.
+    pub fn hot_fraction(&self, col: usize) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.meta
+            .column_stats
+            .get(col)
+            .map(|s| s.max_freq as f64 / self.rows.len() as f64)
+            .unwrap_or(0.0)
+    }
 }
 
 fn compute_stats(schema: &Schema, rows: &[Row]) -> Vec<ColumnStats> {
-    let mut sets: Vec<sip_common::FxHashSet<u64>> =
+    let mut counts: Vec<sip_common::FxHashMap<u64, u64>> =
         (0..schema.len()).map(|_| Default::default()).collect();
     let mut mins: Vec<Option<Value>> = vec![None; schema.len()];
     let mut maxs: Vec<Option<Value>> = vec![None; schema.len()];
@@ -136,7 +166,7 @@ fn compute_stats(schema: &Schema, rows: &[Row]) -> Vec<ColumnStats> {
             if v.is_null() {
                 continue;
             }
-            sets[c].insert(v.hash64());
+            *counts[c].entry(v.hash64()).or_default() += 1;
             match &mins[c] {
                 None => mins[c] = Some(v.clone()),
                 Some(m) if v < m => mins[c] = Some(v.clone()),
@@ -149,13 +179,28 @@ fn compute_stats(schema: &Schema, rows: &[Row]) -> Vec<ColumnStats> {
             }
         }
     }
-    sets.into_iter()
+    counts
+        .into_iter()
         .zip(mins)
         .zip(maxs)
-        .map(|((set, min), max)| ColumnStats {
-            distinct: set.len() as u64,
-            min,
-            max,
+        .map(|((counts, min), max)| {
+            let mut hot: Vec<(u64, u64)> = counts.iter().map(|(&d, &c)| (d, c)).collect();
+            let heaviest_first = |a: &(u64, u64), b: &(u64, u64)| (b.1, a.0).cmp(&(a.1, b.0));
+            // Keep only the top slots before sorting: a high-cardinality
+            // column (unique keys) should not pay an O(D log D) sort for
+            // 64 survivors.
+            if hot.len() > HOT_STATS_KEYS {
+                hot.select_nth_unstable_by(HOT_STATS_KEYS - 1, heaviest_first);
+                hot.truncate(HOT_STATS_KEYS);
+            }
+            hot.sort_by(heaviest_first);
+            ColumnStats {
+                distinct: counts.len() as u64,
+                max_freq: hot.first().map(|&(_, c)| c).unwrap_or(0),
+                hot,
+                min,
+                max,
+            }
         })
         .collect()
 }
@@ -223,6 +268,13 @@ mod tests {
         assert_eq!(t.distinct(1), 2);
         assert_eq!(t.meta().column_stats[0].min, Some(Value::Int(1)));
         assert_eq!(t.meta().column_stats[0].max, Some(Value::Int(3)));
+        // max_freq: the key column is unique, "a" repeats in the value
+        // column.
+        assert_eq!(t.meta().column_stats[0].max_freq, 1);
+        assert_eq!(t.meta().column_stats[1].max_freq, 2);
+        assert!((t.hot_fraction(0) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((t.hot_fraction(1) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.hot_fraction(99), 0.0);
     }
 
     #[test]

@@ -43,6 +43,15 @@ pub struct PartitionMap {
     /// equivalence class), these hold only attributes whose *values*
     /// provably obey the partition-hash invariant on that stream.
     pub classes: Vec<FxHashSet<AttrId>>,
+    /// Per interned class: the key digests a skew-adaptive shuffle routes
+    /// *outside* the partition-hash invariant (salted hot keys — scattered
+    /// probe rows, replicated build rows). A per-partition AIP filter
+    /// scoped to such a class must pass these digests unprobed: partition
+    /// `p`'s working set no longer covers `p`'s full hash class for them.
+    /// The plan-wide OR-merged union stays exempt-free — it covers the
+    /// whole subexpression regardless of routing. Classes absent from this
+    /// map are strict.
+    pub salted: FxHashMap<u32, Arc<sip_filter::SaltedKeys>>,
     /// Expanded operators whose aggregate-value columns hold *partial*
     /// (per-partition) accumulator states awaiting the final merge
     /// aggregate — the partial clones themselves and the Merge feeding the
@@ -80,9 +89,11 @@ impl PartitionMap {
     }
 
     /// Does `attr` obey the partition-hash invariant on `op`'s output
-    /// stream? True exactly when a per-partition AIP set built from state
-    /// fed by `op` can be injected plan-wide under a
-    /// [`crate::taps::FilterScope`] keyed by `attr`.
+    /// stream — for every key except the stream's salted digests
+    /// ([`PartitionMap::salted_at`])? True exactly when a per-partition
+    /// AIP set built from state fed by `op` can be injected plan-wide
+    /// under a [`crate::taps::FilterScope`] keyed by `attr`, with the
+    /// salted digests attached as the scope's pass-unprobed exemption.
     pub fn in_class_at(&self, op: OpId, attr: AttrId) -> bool {
         self.op_class
             .get(op.index())
@@ -90,6 +101,15 @@ impl PartitionMap {
             .flatten()
             .map(|c| self.classes[c as usize].contains(&attr))
             .unwrap_or(false)
+    }
+
+    /// The digests routed outside the partition-hash invariant on `op`'s
+    /// output stream (`None` = the stream's class is strict). Controllers
+    /// attach this to every [`crate::taps::FilterScope`]d filter whose set
+    /// summarizes state fed by `op`.
+    pub fn salted_at(&self, op: OpId) -> Option<Arc<sip_filter::SaltedKeys>> {
+        let class = self.op_class.get(op.index()).copied().flatten()?;
+        self.salted.get(&class).cloned()
     }
 }
 

@@ -28,6 +28,9 @@ pub use exec::{execute, execute_baseline, execute_ctx, QueryOutput};
 pub use metrics::{ExecMetrics, MetricsHub, OpMetrics, OpMetricsSnapshot, PartitionSnapshot};
 pub use monitor::{CompletionEvent, ExecMonitor, NoopMonitor, RowCollector, StateView};
 pub use oracle::{canonical, execute_oracle};
-pub use physical::{lower, BoundAgg, PhysKind, PhysNode, PhysPlan, ScanPartition};
+pub use physical::{
+    lower, BoundAgg, PhysKind, PhysNode, PhysPlan, SaltRole, SaltSpec, ScanPartition,
+};
 pub use report::explain_analyze;
+pub use sip_filter::SaltedKeys;
 pub use taps::{FilterScope, FilterTap, InjectedFilter, MergePolicy, TapKernel};

@@ -6,6 +6,7 @@
 //! peaks and the global [`StateTracker`] whose high-water mark is the
 //! paper's "Intermediate State (MB)" metric.
 
+use parking_lot::Mutex;
 use sip_common::bytes::StateTracker;
 use sip_common::OpId;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -32,6 +33,16 @@ pub struct OpMetrics {
     pub input_done: [AtomicBool; 2],
     /// Set once the operator has emitted its own EOF.
     pub finished: AtomicBool,
+    /// For routing operators (ShuffleWrite, Exchange): rows routed per
+    /// destination partition, published once at operator finish — the raw
+    /// material of the skew report (`max/mean` over destinations shows a
+    /// hot key saturating one reader, and whether salting levelled it).
+    pub routed: Mutex<Vec<u64>>,
+    /// Heavy-hitter keys the routing operator's online space-saving sketch
+    /// observed crossing the hot threshold (share of the stream above
+    /// `1/dop`) — near-zero-cost skew observability fed by the digest pass
+    /// the router already computes.
+    pub hot_keys_observed: AtomicU64,
 }
 
 impl OpMetrics {
@@ -57,6 +68,22 @@ impl OpMetrics {
         global.add(delta);
     }
 
+    /// Publish a routing operator's per-destination row counts and the
+    /// number of heavy hitters its online sketch observed (merging with
+    /// any sibling's counts — a distribute mesh has one writer, an
+    /// all-to-all mesh merges nothing because each writer is its own op).
+    pub fn record_routing(&self, routed: &[u64], hot_keys: u64) {
+        let mut guard = self.routed.lock();
+        if guard.len() < routed.len() {
+            guard.resize(routed.len(), 0);
+        }
+        for (slot, n) in guard.iter_mut().zip(routed.iter()) {
+            *slot += n;
+        }
+        self.hot_keys_observed
+            .fetch_add(hot_keys, Ordering::Relaxed);
+    }
+
     /// Snapshot for reporting.
     pub fn snapshot(&self, op: OpId) -> OpMetricsSnapshot {
         OpMetricsSnapshot {
@@ -69,6 +96,8 @@ impl OpMetrics {
             aip_probed: self.aip_probed.load(Ordering::Relaxed),
             aip_dropped: self.aip_dropped.load(Ordering::Relaxed),
             state_peak: self.state_peak.load(Ordering::Relaxed),
+            routed: self.routed.lock().clone(),
+            hot_keys_observed: self.hot_keys_observed.load(Ordering::Relaxed),
         }
     }
 }
@@ -88,6 +117,11 @@ pub struct OpMetricsSnapshot {
     pub aip_dropped: u64,
     /// Peak buffered bytes.
     pub state_peak: u64,
+    /// Rows routed per destination partition (routing operators only;
+    /// empty elsewhere).
+    pub routed: Vec<u64>,
+    /// Heavy hitters the routing operator's online sketch observed.
+    pub hot_keys_observed: u64,
 }
 
 /// Whole-query result metrics.
@@ -128,6 +162,7 @@ impl ExecMetrics {
                 aip_probed: 0,
                 aip_dropped: 0,
                 state_peak: 0,
+                rows_routed_in: 0,
             })
             .collect();
         for m in &self.per_op {
@@ -137,6 +172,16 @@ impl ExecMetrics {
                 s.aip_probed += m.aip_probed;
                 s.aip_dropped += m.aip_dropped;
                 s.state_peak += m.state_peak;
+            }
+            // Routing operators (wherever they live, including serial-
+            // section distribute writers) credit the rows they sent to
+            // each *destination* partition — the skew view: a hot key
+            // shows up as one partition's rows_routed_in towering over
+            // the others.
+            for (p, &n) in m.routed.iter().enumerate() {
+                if p < out.len() {
+                    out[p].rows_routed_in += n;
+                }
             }
         }
         out
@@ -157,6 +202,9 @@ pub struct PartitionSnapshot {
     pub aip_dropped: u64,
     /// Sum of the partition operators' peak state bytes.
     pub state_peak: u64,
+    /// Rows routing operators (ShuffleWrite/Exchange) sent *to* this
+    /// partition — the per-destination skew view.
+    pub rows_routed_in: u64,
 }
 
 /// Shared metrics hub for one execution.
@@ -248,6 +296,18 @@ mod tests {
         assert_eq!(m.filters_injected, 2);
         assert_eq!(m.per_op.len(), 2);
         assert_eq!(m.per_op[1].op, OpId(1));
+    }
+
+    #[test]
+    fn routing_counts_merge_and_snapshot() {
+        let hub = MetricsHub::new(2);
+        let m = hub.op(OpId(0));
+        m.record_routing(&[5, 0, 7], 1);
+        m.record_routing(&[1, 2, 3, 4], 2); // a wider merge grows the vec
+        let snap = m.snapshot(OpId(0));
+        assert_eq!(snap.routed, vec![6, 2, 10, 4]);
+        assert_eq!(snap.hot_keys_observed, 3);
+        assert!(hub.op(OpId(1)).snapshot(OpId(1)).routed.is_empty());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub(crate) fn run_exchange(
     // must not apply it a second time.
     let mut emitter = Emitter::passthrough(ctx, op, out);
     let mut kernel = TapKernel::new();
+    let mut kept = 0u64;
     while let Ok(msg) = input.recv() {
         let Msg::Batch(mut batch) = msg else { break };
         count_in(ctx, op, 0, batch.len());
@@ -60,6 +61,9 @@ pub(crate) fn run_exchange(
         // partition's rows only — sharing the digest pass above whenever a
         // filter probes the partition column.
         kernel.probe_op(ctx, op, &batch.rows);
+        // Count after the tap, matching ShuffleWrite's routed semantics
+        // (rows actually sent to the destination).
+        kept += kernel.sel().len() as u64;
         kernel.compact(&mut batch.rows);
         emitter.push_rows(batch.rows)?;
         emitter.flush()?;
@@ -68,6 +72,12 @@ pub(crate) fn run_exchange(
             break;
         }
     }
+    // An Exchange routes by keeping its own partition's rows: publish them
+    // as this destination's routed count so the per-partition skew view
+    // covers broadcast-pruned replicas too.
+    let mut routed = vec![0u64; dop as usize];
+    routed[partition as usize] = kept;
+    ctx.hub.op(op).record_routing(&routed, 0);
     emitter.finish()
 }
 

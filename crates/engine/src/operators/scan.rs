@@ -38,21 +38,35 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
     let batch = ctx.options.batch_size;
     let mut digests = DigestBuffer::default();
     let mut sel = SelVec::default();
+    let mut offset = 0u64;
     for chunk in table.rows().chunks(batch) {
         if emitter.cancelled() {
             break;
         }
+        let chunk_len = chunk.len() as u64;
         let mut rows: Vec<Row> = chunk.iter().map(|r| r.project(&cols)).collect();
-        if let Some(p) = &part {
-            // Partitioned scan: one hash pass decides ownership for the
-            // whole chunk, so the delay model charges only this
-            // partition's share of shipped rows.
-            digests.compute(&rows, &[p.col]);
-            sel.fill_identity(rows.len());
-            let d = digests.digests();
-            sel.retain(|i| p.owns(d[i as usize]));
-            sel.compact(&mut rows);
+        match &part {
+            // Rowid split: ownership by table row index — perfectly
+            // balanced regardless of the key distribution; used only for
+            // streams a shuffle mesh re-deals above.
+            Some(p) if p.rowid => {
+                sel.fill_identity(rows.len());
+                sel.retain(|i| p.owns_row(0, offset + i as u64));
+                sel.compact(&mut rows);
+            }
+            // Hash split: one digest pass decides ownership for the whole
+            // chunk, so the delay model charges only this partition's
+            // share of shipped rows.
+            Some(p) => {
+                digests.compute(&rows, &[p.col]);
+                sel.fill_identity(rows.len());
+                let d = digests.digests();
+                sel.retain(|i| p.owns(d[i as usize]));
+                sel.compact(&mut rows);
+            }
+            None => {}
         }
+        offset += chunk_len;
         if let Some(d) = delay.as_mut() {
             let pause = d.advance(rows.len() as u64);
             if !pause.is_zero() {

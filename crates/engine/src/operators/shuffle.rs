@@ -21,16 +21,36 @@
 
 use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
-use crate::physical::PhysKind;
+use crate::physical::{PhysKind, SaltRole};
 use crate::taps::TapKernel;
 use crossbeam::channel::{Receiver, Select, Sender};
-use sip_common::{exec_err, hash::partition_of, OpId, Result, SelVec};
+use sip_common::{exec_err, hash::partition_of, OpId, Result, SelVec, SpaceSaving};
 use std::sync::Arc;
 
+/// Candidate slots the per-writer space-saving sketch tracks. Guarantees
+/// any key above `1/64` of the *sampled* stream is observed, at a few KB
+/// of state per writer.
+const SKETCH_CAPACITY: usize = 64;
+
+/// The sketch sees every row until this many have been offered…
+const SKETCH_WARMUP: u64 = 4096;
+
+/// …then every `SKETCH_STRIDE`-th routed row. On a high-cardinality
+/// stream the sketch's eviction path (an O(capacity) min-scan per
+/// untracked key) would otherwise run per row and dwarf the routing push
+/// itself; stride sampling keeps the observability near-free while a key
+/// holding share `s` of the stream still holds share `s` of the sample,
+/// so heavy hitters remain detectable — estimates and thresholds all
+/// scale with the sampled total.
+const SKETCH_STRIDE: u64 = 16;
+
 /// Run a `ShuffleWrite` node: route each input row to the mesh channel of
-/// the consumer partition owning its key hash. The tree output stays empty
-/// (EOF only) — it exists so the paired reader anchors the writer in the
-/// plan tree.
+/// the consumer partition owning its key hash. Salted (hot) keys route
+/// outside the hash invariant — round-robin across all readers for a
+/// `Scatter` writer, to every reader for a `Broadcast` writer — which is
+/// what keeps a Zipf-hot key from saturating one reader (see
+/// [`crate::physical::SaltSpec`]). The tree output stays empty (EOF only) —
+/// it exists so the paired reader anchors the writer in the plan tree.
 pub(crate) fn run_shuffle_write(
     ctx: &Arc<ExecContext>,
     op: OpId,
@@ -38,13 +58,14 @@ pub(crate) fn run_shuffle_write(
     out: Sender<Msg>,
 ) -> Result<()> {
     let node = ctx.plan.node(op);
-    let (mesh, col, writer, dop) = match &node.kind {
+    let (mesh, col, writer, dop, salt) = match &node.kind {
         PhysKind::ShuffleWrite {
             mesh,
             col,
             writer,
             dop,
-        } => (*mesh, *col, *writer, *dop),
+            salt,
+        } => (*mesh, *col, *writer, *dop, salt.clone()),
         other => return Err(exec_err!("run_shuffle_write on {}", other.name())),
     };
     let txs = ctx
@@ -64,6 +85,18 @@ pub(crate) fn run_shuffle_write(
     let mut kernel = TapKernel::new();
     let mut route: Vec<SelVec> = (0..dop as usize).map(|_| SelVec::default()).collect();
     let mut owners: Vec<u32> = Vec::new();
+    let mut digs: Vec<u64> = Vec::new();
+    // Round-robin cursor for scattered (salted) rows; writers start at
+    // their own index so a mesh's writers do not all hammer reader 0
+    // first.
+    let mut rr = writer % dop;
+    // Online skew observability: every routing digest feeds a space-saving
+    // sketch (sharing the digest pass the router computed anyway), so the
+    // metrics report which keys actually ran hot — validating, or
+    // contradicting, the plan-time salt decision.
+    let mut sketch = SpaceSaving::new(SKETCH_CAPACITY);
+    let mut seen = 0u64;
+    let mut routed = vec![0u64; dop as usize];
     while let Ok(msg) = input.recv() {
         let Msg::Batch(batch) = msg else { break };
         count_in(ctx, op, 0, batch.len());
@@ -82,11 +115,32 @@ pub(crate) fn run_shuffle_write(
             let d = kernel.digests(&batch.rows, &[col]).digests();
             owners.clear();
             owners.extend(d.iter().map(|&d| partition_of(d, dop)));
+            digs.clear();
+            digs.extend_from_slice(d);
         }
         for i in kernel.sel().iter() {
-            route[owners[i as usize] as usize].push(i);
+            let iu = i as usize;
+            seen += 1;
+            if seen <= SKETCH_WARMUP || seen.is_multiple_of(SKETCH_STRIDE) {
+                sketch.offer(digs[iu]);
+            }
+            match &salt {
+                Some(s) if s.keys.covers(digs[iu]) => match s.role {
+                    SaltRole::Scatter => {
+                        route[rr as usize].push(i);
+                        rr = (rr + 1) % dop;
+                    }
+                    SaltRole::Broadcast => {
+                        for dest in route.iter_mut() {
+                            dest.push(i);
+                        }
+                    }
+                },
+                _ => route[owners[iu] as usize].push(i),
+            }
         }
         for (owner, s) in route.iter().enumerate() {
+            routed[owner] += s.len() as u64;
             emitters[owner].extend_sel(&batch.rows, s.as_slice())?;
         }
         if emitters.iter().all(|e| e.cancelled()) {
@@ -98,6 +152,12 @@ pub(crate) fn run_shuffle_write(
     for e in emitters {
         e.finish()?;
     }
+    // Publish routing observability once: per-destination row counts and
+    // the keys whose observed share of this writer's stream exceeded one
+    // reader's fair share.
+    let hot_threshold = (sketch.total() / dop.max(1) as u64).max(1);
+    let observed_hot = sketch.heavy_hitters(hot_threshold).len() as u64;
+    ctx.hub.op(op).record_routing(&routed, observed_hot);
     let _ = out.send(Msg::Eof);
     Ok(())
 }

@@ -35,11 +35,13 @@ fn eval_node(plan: &PhysPlan, op: OpId, outputs: &mut [Option<Vec<Row>>]) -> Res
         } => Ok(table
             .rows()
             .iter()
-            .map(|r| r.project(cols))
-            .filter(|r| match part {
-                Some(p) => p.owns(r.key_hash(&[p.col])),
+            .enumerate()
+            .map(|(i, r)| (i, r.project(cols)))
+            .filter(|(i, r)| match part {
+                Some(p) => p.owns_row(r.key_hash(&[p.col]), *i as u64),
                 None => true,
             })
+            .map(|(_, r)| r)
             .collect()),
         PhysKind::ExternalSource { label } => {
             Err(exec_err!("oracle cannot evaluate external source {label}"))
@@ -187,7 +189,14 @@ fn eval_node(plan: &PhysPlan, op: OpId, outputs: &mut [Option<Vec<Row>>]) -> Res
         } => {
             let mut out = Vec::new();
             for w in &plan.nodes {
-                let PhysKind::ShuffleWrite { mesh: m, col, .. } = &w.kind else {
+                let PhysKind::ShuffleWrite {
+                    mesh: m,
+                    col,
+                    writer,
+                    salt,
+                    ..
+                } = &w.kind
+                else {
                     continue;
                 };
                 if m != mesh {
@@ -196,13 +205,30 @@ fn eval_node(plan: &PhysPlan, op: OpId, outputs: &mut [Option<Vec<Row>>]) -> Res
                 let rows = outputs[w.id.index()]
                     .as_ref()
                     .expect("mesh writers precede readers (validate_meshes)");
-                out.extend(
-                    rows.iter()
-                        .filter(|r| {
-                            sip_common::hash::partition_of(r.key_hash(&[*col]), *dop) == *partition
-                        })
-                        .cloned(),
-                );
+                // Salted keys route outside the hash invariant: scattered
+                // rows are dealt round-robin (any single destination per
+                // row is correct because the matching build rows are
+                // replicated; the oracle picks a deterministic deal keyed
+                // on writer index + per-writer salted-row ordinal),
+                // broadcast rows reach every partition.
+                let mut salted_seen = 0u64;
+                for r in rows {
+                    let digest = r.key_hash(&[*col]);
+                    let keep = match salt {
+                        Some(s) if s.keys.covers(digest) => match s.role {
+                            crate::physical::SaltRole::Scatter => {
+                                let dest = ((*writer as u64 + salted_seen) % *dop as u64) as u32;
+                                salted_seen += 1;
+                                dest == *partition
+                            }
+                            crate::physical::SaltRole::Broadcast => true,
+                        },
+                        _ => sip_common::hash::partition_of(digest, *dop) == *partition,
+                    };
+                    if keep {
+                        out.push(r.clone());
+                    }
+                }
             }
             Ok(out)
         }

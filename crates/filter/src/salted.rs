@@ -1,0 +1,103 @@
+//! Salted-key sets: the key domain whose rows are routed *outside* the
+//! partition-hash invariant.
+//!
+//! Skew-adaptive shuffles (see `sip-parallel`) deal a hot key's probe rows
+//! round-robin across every partition and replicate its build rows to all
+//! of them. For AIP this changes the meaning of a *partition-scoped*
+//! filter: partition `p`'s working set no longer covers `p`'s full hash
+//! class — a salted key that hashes home to `p` may have contributed rows
+//! to any partition — so a scoped filter must pass salted keys unprobed and
+//! leave them to the plan-wide OR-merged union, which always covers the
+//! whole subexpression regardless of routing. [`SaltedKeys`] is that
+//! exemption set, shared (one `Arc`) between the plan's shuffle operators,
+//! the `PartitionMap`, and every scoped `InjectedFilter`.
+
+use sip_common::FxHashSet;
+use std::sync::Arc;
+
+/// The set of key digests a skew-adaptive shuffle routes outside the
+/// partition-hash invariant. `All` is the replicated-build fallback for the
+/// pathological everything-hot case: every key of the stream is salted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SaltedKeys {
+    /// Exactly these key digests are salted.
+    Digests(FxHashSet<u64>),
+    /// Every key is salted (entire build side replicated, probe side dealt
+    /// round-robin).
+    All,
+}
+
+impl SaltedKeys {
+    /// Build from an explicit digest set.
+    pub fn from_digests(digests: FxHashSet<u64>) -> Arc<SaltedKeys> {
+        Arc::new(SaltedKeys::Digests(digests))
+    }
+
+    /// Is `digest` routed outside the partition-hash invariant?
+    #[inline]
+    pub fn covers(&self, digest: u64) -> bool {
+        match self {
+            SaltedKeys::Digests(set) => set.contains(&digest),
+            SaltedKeys::All => true,
+        }
+    }
+
+    /// Number of salted digests (`None` = all of them).
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            SaltedKeys::Digests(set) => Some(set.len()),
+            SaltedKeys::All => None,
+        }
+    }
+
+    /// True when no digest is salted.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, SaltedKeys::Digests(set) if set.is_empty())
+    }
+
+    /// Widen with another exemption set (used when two salted meshes share
+    /// one partitioning class: passing extra keys unprobed is always safe).
+    pub fn merge(&mut self, other: &SaltedKeys) {
+        match (self, other) {
+            (SaltedKeys::All, _) => {}
+            (this @ SaltedKeys::Digests(_), SaltedKeys::All) => *this = SaltedKeys::All,
+            (SaltedKeys::Digests(a), SaltedKeys::Digests(b)) => {
+                a.extend(b.iter().copied());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digests(ds: &[u64]) -> SaltedKeys {
+        SaltedKeys::Digests(ds.iter().copied().collect())
+    }
+
+    #[test]
+    fn covers_and_len() {
+        let s = digests(&[1, 2, 3]);
+        assert!(s.covers(2));
+        assert!(!s.covers(9));
+        assert_eq!(s.len(), Some(3));
+        assert!(!s.is_empty());
+        assert!(digests(&[]).is_empty());
+        assert!(SaltedKeys::All.covers(9));
+        assert_eq!(SaltedKeys::All.len(), None);
+        assert!(!SaltedKeys::All.is_empty());
+    }
+
+    #[test]
+    fn merge_widens() {
+        let mut a = digests(&[1]);
+        a.merge(&digests(&[2]));
+        assert!(a.covers(1) && a.covers(2) && !a.covers(3));
+        a.merge(&SaltedKeys::All);
+        assert!(a.covers(3));
+        let mut b = SaltedKeys::All;
+        b.merge(&digests(&[5]));
+        assert_eq!(b, SaltedKeys::All);
+    }
+}

@@ -46,4 +46,4 @@ pub mod exec;
 
 pub use exec::PartitionedExec;
 pub use partition::{partition_plan, partition_plan_cfg, PartitionError};
-pub use shuffle::PartitionConfig;
+pub use shuffle::{PartitionConfig, SaltConfig};

@@ -10,9 +10,11 @@
 //! collapsing the parallel region, so multi-class join chains (TPC-H 5/9
 //! shapes) stay parallel end to end.
 
-use crate::shuffle::{plan_join_alignment, Alignment, KeyPair, PartitionConfig};
+use crate::shuffle::{plan_join_alignment, Alignment, JoinEst, KeyPair, PartitionConfig};
 use sip_common::{AttrId, FxHashMap, FxHashSet, OpId};
-use sip_engine::{PartitionMap, PhysKind, PhysNode, PhysPlan, ScanPartition};
+use sip_engine::{
+    PartitionMap, PhysKind, PhysNode, PhysPlan, SaltRole, SaltSpec, SaltedKeys, ScanPartition,
+};
 use sip_expr::{AggFunc, Expr};
 use sip_optimizer::Estimator;
 use sip_plan::UnionFind;
@@ -100,8 +102,10 @@ pub fn partition_plan_cfg(
         logical_of: Vec::new(),
         op_class: Vec::new(),
         classes: Vec::new(),
+        salted_classes: FxHashMap::default(),
         partial_aggs: FxHashMap::default(),
         next_mesh: 0,
+        rowid_hint: false,
         made_parallel: false,
     };
     let built = ex.build(plan.root);
@@ -116,6 +120,7 @@ pub fn partition_plan_cfg(
         class_attrs: ex.analysis.primary,
         op_class: ex.op_class,
         classes: ex.classes,
+        salted: ex.salted_classes,
         partial_agg_group_cols: ex.partial_aggs,
     };
     let expanded = PhysPlan::from_nodes(ex.nodes, root, plan.attrs.clone())
@@ -220,6 +225,51 @@ impl JoinAnalysis {
 struct Stream {
     clones: Vec<OpId>,
     class: FxHashSet<AttrId>,
+    /// Key digests a salted shuffle routed outside the hash invariant
+    /// (scattered probe rows / replicated build rows). `None` = strict.
+    /// A salted stream's `class` is still claimed for AIP scoping — scoped
+    /// filters carry the exemption — but planning decisions that need the
+    /// strict invariant (join co-location, aggregate/distinct finality,
+    /// replica Exchange pruning) must treat the stream as class-less via
+    /// [`Stream::strict_class`].
+    salted: Option<Arc<SaltedKeys>>,
+}
+
+impl Stream {
+    fn strict(clones: Vec<OpId>, class: FxHashSet<AttrId>) -> Stream {
+        Stream {
+            clones,
+            class,
+            salted: None,
+        }
+    }
+
+    /// The attributes whose values provably obey the partition-hash
+    /// invariant for *every* row of the stream — empty when salted keys
+    /// break the invariant for part of the key domain.
+    fn strict_class(&self) -> &FxHashSet<AttrId> {
+        static EMPTY: std::sync::OnceLock<FxHashSet<AttrId>> = std::sync::OnceLock::new();
+        if self.salted.is_none() {
+            &self.class
+        } else {
+            EMPTY.get_or_init(FxHashSet::default)
+        }
+    }
+}
+
+/// The salted-routing decision for one shuffled join, made before its
+/// inputs are built so the scatter side's scans can split by rowid.
+struct SaltPlan {
+    /// Hot-key digests shared by the scatter and broadcast meshes
+    /// (`SaltedKeys::All` = replicated-build fallback).
+    keys: Arc<SaltedKeys>,
+    /// The key pair both meshes route on.
+    pair: usize,
+    /// Scatter the left input (true) or the right (false).
+    scatter_left: bool,
+    /// Estimated fraction of rows the salted keys cover (1.0 for the
+    /// all-hot fallback); carried into [`SaltSpec`] for the estimator.
+    coverage: f64,
 }
 
 /// The result of expanding one source subtree.
@@ -244,9 +294,17 @@ struct Expander<'a> {
     logical_of: Vec<OpId>,
     op_class: Vec<Option<u32>>,
     classes: Vec<FxHashSet<AttrId>>,
+    /// Interned-class id → salted digests routed outside its invariant.
+    salted_classes: FxHashMap<u32, Arc<SaltedKeys>>,
     /// Partial-aggregate clones and their feeding Merge → group-col count.
     partial_aggs: FxHashMap<u32, usize>,
     next_mesh: u32,
+    /// Split scans by row index instead of key hash while building the
+    /// scatter side of a salted join: the mesh above re-deals every row
+    /// anyway, and a rowid split keeps a skewed (possibly delay-modeled)
+    /// source balanced across partitions instead of concentrating the hot
+    /// key's shipping cost on one scan.
+    rowid_hint: bool,
     made_parallel: bool,
 }
 
@@ -279,11 +337,30 @@ impl Expander<'_> {
         if class.is_empty() {
             return None;
         }
-        if let Some(i) = self.classes.iter().position(|c| c == class) {
+        if let Some(i) = self
+            .classes
+            .iter()
+            .position(|c| c == class)
+            .filter(|i| !self.salted_classes.contains_key(&(*i as u32)))
+        {
             return Some(i as u32);
         }
         self.classes.push(class.clone());
         Some((self.classes.len() - 1) as u32)
+    }
+
+    /// Intern a *salted* partitioning class: always a fresh entry, never
+    /// deduped against a strict class over the same attributes, so the
+    /// exemption set attaches exactly to the streams the salted mesh
+    /// produced (`PartitionMap::salted_at`).
+    fn intern_salted(&mut self, class: &FxHashSet<AttrId>, keys: &Arc<SaltedKeys>) -> Option<u32> {
+        if class.is_empty() {
+            return None;
+        }
+        self.classes.push(class.clone());
+        let id = (self.classes.len() - 1) as u32;
+        self.salted_classes.insert(id, Arc::clone(keys));
+        Some(id)
     }
 
     fn new_mesh(&mut self) -> u32 {
@@ -431,12 +508,51 @@ impl Expander<'_> {
     /// oracle can materialize the mesh bottom-up; reader `p` takes writer
     /// `p` as its tree input so the plan stays a tree.
     fn shuffle_stream(&mut self, stream: Stream, col: usize, logical: OpId) -> Stream {
+        self.shuffle_stream_salted(stream, col, logical, None)
+    }
+
+    /// [`Expander::shuffle_stream`] with optional skew-adaptive routing.
+    /// A salted mesh's output claims its routing class *with* the salted
+    /// digests registered ([`PartitionMap::salted_at`]): AIP scoping works
+    /// through the exemption, while planning treats the stream as
+    /// class-less ([`Stream::strict_class`]). The all-hot fallback
+    /// (`SaltedKeys::All`) claims no class at all — nothing about its
+    /// placement is hash-derived.
+    fn shuffle_stream_salted(
+        &mut self,
+        stream: Stream,
+        col: usize,
+        logical: OpId,
+        salt: Option<SaltSpec>,
+    ) -> Stream {
         let mesh = self.new_mesh();
         let dop = self.dop;
         let layout = self.nodes[stream.clones[0].index()].layout.clone();
-        let old_cid = self.intern(&stream.class);
-        let new_class: FxHashSet<AttrId> = std::iter::once(layout[col]).collect();
-        let new_cid = self.intern(&new_class);
+        let old_cid = match &stream.salted {
+            // Preserve the input stream's own salted claim for AIP.
+            Some(keys) => {
+                let keys = Arc::clone(keys);
+                self.intern_salted(&stream.class, &keys)
+            }
+            None => self.intern(&stream.class),
+        };
+        let (new_class, new_cid, out_salted) = match &salt {
+            None => {
+                let class: FxHashSet<AttrId> = std::iter::once(layout[col]).collect();
+                let cid = self.intern(&class);
+                (class, cid, None)
+            }
+            Some(spec) if spec.keys.len().is_none() => {
+                // Replicated-build fallback: every key routes outside the
+                // hash invariant; no class claim survives.
+                (FxHashSet::default(), None, Some(Arc::clone(&spec.keys)))
+            }
+            Some(spec) => {
+                let class: FxHashSet<AttrId> = std::iter::once(layout[col]).collect();
+                let cid = self.intern_salted(&class, &spec.keys);
+                (class, cid, Some(Arc::clone(&spec.keys)))
+            }
+        };
         let writers: Vec<OpId> = stream
             .clones
             .into_iter()
@@ -448,6 +564,7 @@ impl Expander<'_> {
                         col,
                         writer: p as u32,
                         dop,
+                        salt: salt.clone(),
                     },
                     vec![c],
                     layout.clone(),
@@ -477,6 +594,7 @@ impl Expander<'_> {
         Stream {
             clones,
             class: new_class,
+            salted: out_salted,
         }
     }
 
@@ -496,6 +614,7 @@ impl Expander<'_> {
                 col,
                 writer: 0,
                 dop,
+                salt: None,
             },
             vec![instance],
             layout.clone(),
@@ -523,10 +642,7 @@ impl Expander<'_> {
                 )
             })
             .collect();
-        Stream {
-            clones,
-            class: new_class,
-        }
+        Stream::strict(clones, new_class)
     }
 
     /// The partitioning class of a co-located join's output: surviving
@@ -560,7 +676,11 @@ impl Expander<'_> {
     }
 
     /// Emit per-partition clones of a binary operator over two co-located
-    /// streams (in original input order).
+    /// streams (in original input order). Salted inputs (the scatter /
+    /// broadcast meshes of a salted join) taint the output: its class is
+    /// still claimed for AIP scoping — with the merged exemption set —
+    /// but upstream placement of salted keys is arbitrary, so the stream
+    /// reports no strict class to later planning.
     fn emit_colocated(
         &mut self,
         op: OpId,
@@ -572,7 +692,24 @@ impl Expander<'_> {
         let node = self.old.node(op);
         let (kind, layout) = (node.kind.clone(), node.layout.clone());
         let class = self.join_out_class(op, &ls.class, &rs.class, pairs, is_semi);
-        let cid = self.intern(&class);
+        let salted = match (&ls.salted, &rs.salted) {
+            (None, None) => None,
+            (Some(a), None) => Some(Arc::clone(a)),
+            (None, Some(b)) => Some(Arc::clone(b)),
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => Some(Arc::clone(a)),
+            (Some(a), Some(b)) => {
+                let mut merged = (**a).clone();
+                merged.merge(b);
+                Some(Arc::new(merged))
+            }
+        };
+        let cid = match &salted {
+            Some(keys) => {
+                let keys = Arc::clone(keys);
+                self.intern_salted(&class, &keys)
+            }
+            None => self.intern(&class),
+        };
         let clones = ls
             .clones
             .into_iter()
@@ -589,7 +726,11 @@ impl Expander<'_> {
                 )
             })
             .collect();
-        Built::Parts(Stream { clones, class })
+        Built::Parts(Stream {
+            clones,
+            class,
+            salted,
+        })
     }
 
     /// Merge both sides and run the operator serially (the pre-shuffle
@@ -609,7 +750,17 @@ impl Expander<'_> {
             PhysKind::Scan { .. } => match self.scan_key(node) {
                 Some(col) => {
                     self.made_parallel = true;
-                    let class: FxHashSet<AttrId> = std::iter::once(node.layout[col]).collect();
+                    // Under the salted-scatter rowid hint the split is by
+                    // row index — perfectly balanced however the keys are
+                    // distributed, but upholding no hash invariant (empty
+                    // class). Sound only because the salted mesh above
+                    // re-deals every row anyway.
+                    let rowid = self.rowid_hint;
+                    let class: FxHashSet<AttrId> = if rowid {
+                        FxHashSet::default()
+                    } else {
+                        std::iter::once(node.layout[col]).collect()
+                    };
                     let cid = self.intern(&class);
                     let (kind0, layout) = (node.kind.clone(), node.layout.clone());
                     let clones = (0..self.dop)
@@ -620,12 +771,13 @@ impl Expander<'_> {
                                     col,
                                     partition: p,
                                     dop: self.dop,
+                                    rowid,
                                 });
                             }
                             self.push(kind, vec![], layout.clone(), Some(p), op, cid)
                         })
                         .collect();
-                    Built::Parts(Stream { clones, class })
+                    Built::Parts(Stream::strict(clones, class))
                 }
                 None => Built::Replicable(op),
             },
@@ -634,12 +786,23 @@ impl Expander<'_> {
                 match self.build(node.inputs[0]) {
                     Built::Parts(s) => {
                         // A projection keeps only the class attributes it
-                        // re-exposes; a filter keeps them all.
+                        // re-exposes; a filter keeps them all. The salted
+                        // exemption rides along unchanged.
                         let mut class = s.class;
                         class.retain(|a| out_layout.contains(a));
-                        let cid = self.intern(&class);
+                        let cid = match &s.salted {
+                            Some(keys) => {
+                                let keys = Arc::clone(keys);
+                                self.intern_salted(&class, &keys)
+                            }
+                            None => self.intern(&class),
+                        };
                         let clones = self.map_clones(op, s.clones, cid);
-                        Built::Parts(Stream { clones, class })
+                        Built::Parts(Stream {
+                            clones,
+                            class,
+                            salted: s.salted,
+                        })
                     }
                     Built::Replicable(_) => Built::Replicable(op),
                     Built::Single(c) => {
@@ -658,9 +821,12 @@ impl Expander<'_> {
                 let (kind, out_layout) = (node.kind.clone(), node.layout.clone());
                 match self.build(node.inputs[0]) {
                     Built::Parts(mut s) => {
+                        // Strict class only: a salted stream scatters rows
+                        // of hot keys arbitrarily, so per-partition groups
+                        // over them would not be final.
                         let mut grouped_by_class = group_cols
                             .iter()
-                            .any(|&g| s.class.contains(&child_layout[g]));
+                            .any(|&g| s.strict_class().contains(&child_layout[g]));
                         if !grouped_by_class && self.cfg.shuffle {
                             // The group key is off the stream's class, but
                             // when it is a join-key attribute the aggregate
@@ -697,7 +863,7 @@ impl Expander<'_> {
                             class.retain(|a| out_layout.contains(a));
                             let cid = self.intern(&class);
                             let clones = self.map_clones(op, s.clones, cid);
-                            Built::Parts(Stream { clones, class })
+                            Built::Parts(Stream::strict(clones, class))
                         } else if let Some(funcs) = merge_funcs {
                             // Partial aggregate per partition, merged, then
                             // a final aggregate combining partial states.
@@ -756,7 +922,8 @@ impl Expander<'_> {
                 let out_layout = node.layout.clone();
                 match self.build(node.inputs[0]) {
                     Built::Parts(mut s) => {
-                        if s.class.is_empty() && self.cfg.shuffle && !out_layout.is_empty() {
+                        if s.strict_class().is_empty() && self.cfg.shuffle && !out_layout.is_empty()
+                        {
                             // Duplicates agree on every column, so hashing
                             // *any* column co-locates them; prefer a
                             // join-key attribute (highest class score) so
@@ -776,15 +943,15 @@ impl Expander<'_> {
                                 s = self.shuffle_stream(s, col, node.inputs[0]);
                             }
                         }
-                        if !s.class.is_empty() {
+                        if !s.strict_class().is_empty() {
                             // Rows equal on every column agree on the class
                             // attribute, so duplicates share a partition.
+                            // (Strict only: a salted stream may scatter
+                            // identical hot-key rows to different
+                            // partitions.)
                             let cid = self.intern(&s.class);
                             let clones = self.map_clones(op, s.clones, cid);
-                            Built::Parts(Stream {
-                                clones,
-                                class: s.class,
-                            })
+                            Built::Parts(Stream::strict(clones, s.class))
                         } else {
                             // Partial dedup per partition shrinks the merge;
                             // the serial distinct finishes the job.
@@ -850,10 +1017,25 @@ impl Expander<'_> {
                 r_attr: rl[rp],
             })
             .collect();
-        let l = self.build(l_old);
-        let r = self.build(r_old);
+        // Salting is decided *before* the inputs are built: the scatter
+        // side's scans can then split by rowid (balanced source shipping)
+        // because the salted mesh re-deals every row above them.
+        let salt = self.plan_salt(op, l_old, r_old, &pairs, is_semi);
+        let (l, r) = match &salt {
+            Some(sp) => {
+                let hint_left = sp.scatter_left && self.scan_chain_only(l_old);
+                let hint_right = !sp.scatter_left && self.scan_chain_only(r_old);
+                let l = self.build_with_hint(l_old, hint_left);
+                let r = self.build_with_hint(r_old, hint_right);
+                (l, r)
+            }
+            None => (self.build(l_old), self.build(r_old)),
+        };
         match (l, r) {
             (Built::Parts(ls), Built::Parts(rs)) => {
+                if let Some(sp) = salt {
+                    return self.emit_salted(op, l_old, r_old, ls, rs, &pairs, is_semi, sp);
+                }
                 self.join_parts(op, l_old, r_old, ls, rs, &pairs, is_semi)
             }
             (Built::Parts(s), Built::Replicable(rep)) => {
@@ -865,6 +1047,221 @@ impl Expander<'_> {
             (Built::Replicable(_), Built::Replicable(_)) => Built::Replicable(op),
             (l, r) => self.serial_binary(op, l_old, r_old, l, r),
         }
+    }
+
+    /// Build a subtree with the rowid-split scan hint toggled.
+    fn build_with_hint(&mut self, op: OpId, rowid: bool) -> Built {
+        let prev = self.rowid_hint;
+        self.rowid_hint = rowid;
+        let built = self.build(op);
+        self.rowid_hint = prev;
+        built
+    }
+
+    /// Is `op` a pure scan chain (scan + stateless operators only)? Only
+    /// such subtrees take the rowid hint — anything stateful below would
+    /// itself depend on the partitioning class the hint erases.
+    fn scan_chain_only(&self, op: OpId) -> bool {
+        let node = self.old.node(op);
+        match &node.kind {
+            PhysKind::Scan { .. } => true,
+            PhysKind::Filter { .. } | PhysKind::Project { .. } => {
+                self.scan_chain_only(node.inputs[0])
+            }
+            _ => false,
+        }
+    }
+
+    /// The base-table hot fraction of `attr` (share of the most frequent
+    /// value in the scan column that introduces it; 0 when `attr` is not a
+    /// base column).
+    fn base_hot_fraction(&self, attr: AttrId) -> f64 {
+        for node in &self.old.nodes {
+            if let PhysKind::Scan { table, cols, .. } = &node.kind {
+                if let Some(pos) = node.layout.iter().position(|a| *a == attr) {
+                    return table.hot_fraction(cols[pos]);
+                }
+            }
+        }
+        0.0
+    }
+
+    /// Max base-table hot fraction over a join's key attributes — the skew
+    /// a hash repartition of either side cannot split.
+    fn pairs_hot_frac(&self, pairs: &[KeyPair]) -> f64 {
+        pairs
+            .iter()
+            .flat_map(|p| [p.l_attr, p.r_attr])
+            .map(|a| self.base_hot_fraction(a))
+            .fold(0.0, f64::max)
+    }
+
+    /// Hot digests of `attr`'s base column: every stored heavy hitter
+    /// (`ColumnStats::hot` — exact counts computed once at table load,
+    /// heaviest first, deterministic) whose frequency reaches the hot
+    /// threshold (`hot_factor / dop` of the table), capped at
+    /// `max_hot_keys`. Returns the digests and the fraction of rows they
+    /// cover. O(stored hitters) — never a table scan at plan time.
+    fn hot_digests(&self, attr: AttrId) -> Option<(FxHashSet<u64>, f64)> {
+        let sc = &self.cfg.salt;
+        for node in &self.old.nodes {
+            let PhysKind::Scan { table, cols, .. } = &node.kind else {
+                continue;
+            };
+            let Some(pos) = node.layout.iter().position(|a| *a == attr) else {
+                continue;
+            };
+            let n = table.len();
+            if n == 0 {
+                return None;
+            }
+            let threshold = ((sc.hot_factor * n as f64 / self.dop as f64).ceil() as u64).max(2);
+            let stats = &table.meta().column_stats[cols[pos]];
+            if stats.max_freq < threshold {
+                return None; // nothing can be hot
+            }
+            let hot: Vec<(u64, u64)> = stats
+                .hot
+                .iter()
+                .copied()
+                .filter(|&(_, c)| c >= threshold)
+                .take(sc.max_hot_keys)
+                .collect();
+            if hot.is_empty() {
+                return None;
+            }
+            let covered: u64 = hot.iter().map(|&(_, c)| c).sum();
+            let coverage = covered as f64 / n as f64;
+            return Some((hot.into_iter().map(|(d, _)| d).collect(), coverage));
+        }
+        None
+    }
+
+    /// Decide whether (and how) to salt a shuffled join. Fires when the
+    /// scatter side's join key has a base-table heavy hitter crossing
+    /// [`crate::SaltConfig::hot_factor`] and the cost model prices the
+    /// salted plan below the skew-stalled hash plan (`force` bypasses the
+    /// cost gate, not the hot threshold). High hot coverage escalates to
+    /// the replicated-build fallback.
+    fn plan_salt(
+        &self,
+        op: OpId,
+        l_old: OpId,
+        r_old: OpId,
+        pairs: &[KeyPair],
+        is_semi: bool,
+    ) -> Option<SaltPlan> {
+        let sc = &self.cfg.salt;
+        if !sc.enabled || !self.cfg.shuffle || pairs.is_empty() {
+            return None;
+        }
+        let l_rows = self.est.node(l_old).rows;
+        let r_rows = self.est.node(r_old).rows;
+        let out_rows = self.est.node(op).rows;
+        // The scatter side must be emitted exactly once, so a semijoin
+        // scatters its probe; a hash join scatters the larger side and
+        // replicates the smaller one's hot rows.
+        let scatter_left = if is_semi { true } else { l_rows >= r_rows };
+        let dop_f = self.dop as f64;
+        for (i, p) in pairs.iter().enumerate() {
+            let attr = if scatter_left { p.l_attr } else { p.r_attr };
+            let hot_frac = self.base_hot_fraction(attr);
+            if hot_frac * dop_f < sc.hot_factor {
+                continue;
+            }
+            let Some((digests, coverage)) = self.hot_digests(attr) else {
+                continue;
+            };
+            let (scatter_rows, build_rows) = if scatter_left {
+                (l_rows, r_rows)
+            } else {
+                (r_rows, l_rows)
+            };
+            let all_hot = coverage >= sc.replicate_coverage;
+            let pays = if all_hot {
+                self.cfg.cost.replicated_build_wins(
+                    scatter_rows,
+                    build_rows,
+                    out_rows,
+                    self.dop,
+                    hot_frac,
+                )
+            } else {
+                // `extra_moved`: salting is decided before the inputs are
+                // built, so the unsalted alignment (and how many rows it
+                // would move anyway) is unknown here. Charging only the
+                // scatter side nets the two plans' mesh hops against each
+                // other in the common misaligned case (the unsalted plan
+                // would shuffle one side too); in the co-located case it
+                // undercharges by one hop, which is exactly where the
+                // skew penalty dominates anyway.
+                self.cfg.cost.salting_wins(
+                    scatter_rows,
+                    build_rows,
+                    out_rows,
+                    scatter_rows,
+                    self.dop,
+                    hot_frac,
+                )
+            };
+            if !sc.force && !pays {
+                continue;
+            }
+            let (keys, coverage) = if all_hot {
+                (Arc::new(SaltedKeys::All), 1.0)
+            } else {
+                (SaltedKeys::from_digests(digests), coverage)
+            };
+            return Some(SaltPlan {
+                keys,
+                pair: i,
+                scatter_left,
+                coverage,
+            });
+        }
+        None
+    }
+
+    /// Emit a skew-adaptive join: both inputs cross salted meshes sharing
+    /// one hot-key set — `Scatter` (hot rows dealt round-robin) on the
+    /// probe/large side, `Broadcast` (hot rows replicated) on the build
+    /// side — then the join runs per partition as if co-located. Correct
+    /// because every scattered probe row meets every matching build row
+    /// exactly once: cold keys co-locate by hash, and a salted key's build
+    /// rows exist in whichever partition its probe rows landed in.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_salted(
+        &mut self,
+        op: OpId,
+        l_old: OpId,
+        r_old: OpId,
+        ls: Stream,
+        rs: Stream,
+        pairs: &[KeyPair],
+        is_semi: bool,
+        sp: SaltPlan,
+    ) -> Built {
+        let pair = &pairs[sp.pair];
+        let scatter = SaltSpec {
+            keys: Arc::clone(&sp.keys),
+            role: SaltRole::Scatter,
+            hot_coverage: sp.coverage,
+        };
+        let bcast = SaltSpec {
+            keys: Arc::clone(&sp.keys),
+            role: SaltRole::Broadcast,
+            hot_coverage: sp.coverage,
+        };
+        let (ls, rs) = if sp.scatter_left {
+            let l = self.shuffle_stream_salted(ls, pair.l_pos, l_old, Some(scatter));
+            let r = self.shuffle_stream_salted(rs, pair.r_pos, r_old, Some(bcast));
+            (l, r)
+        } else {
+            let l = self.shuffle_stream_salted(ls, pair.l_pos, l_old, Some(bcast));
+            let r = self.shuffle_stream_salted(rs, pair.r_pos, r_old, Some(scatter));
+            (l, r)
+        };
+        self.emit_colocated(op, ls, rs, pairs, is_semi)
     }
 
     /// Both inputs partitioned: co-locate them, shuffling one or both
@@ -880,12 +1277,24 @@ impl Expander<'_> {
         pairs: &[KeyPair],
         is_semi: bool,
     ) -> Built {
-        let est = crate::shuffle::JoinEst {
+        let est = JoinEst {
             left: self.est.node(l_old).rows,
             right: self.est.node(r_old).rows,
             out: self.est.node(op).rows,
+            hot_frac: self.pairs_hot_frac(pairs),
         };
-        let alignment = plan_join_alignment(pairs, &ls.class, &rs.class, est, self.dop, self.cfg);
+        // Strict classes only: a salted input stream holds no invariant
+        // for its hot keys, so it can never count as already-aligned; the
+        // shuffle it then takes re-deals every row by hash, washing the
+        // salt out.
+        let alignment = plan_join_alignment(
+            pairs,
+            ls.strict_class(),
+            rs.strict_class(),
+            est,
+            self.dop,
+            self.cfg,
+        );
         match alignment {
             Alignment::Serial => {
                 self.serial_binary(op, l_old, r_old, Built::Parts(ls), Built::Parts(rs))
@@ -938,7 +1347,10 @@ impl Expander<'_> {
         } else {
             (l_old, r_old)
         };
-        let aligned = pairs.iter().position(|p| s.class.contains(&stream_attr(p)));
+        // Strict class only: a salted stream counts as unaligned.
+        let aligned = pairs
+            .iter()
+            .position(|p| s.strict_class().contains(&stream_attr(p)));
         let rep_rows = self.est.node(rep).rows;
         let s_rows = self.est.node(s_old).rows;
         let out_rows = self.est.node(op).rows;
@@ -949,10 +1361,14 @@ impl Expander<'_> {
         } else {
             (s_rows, rep_rows)
         };
+        let skew = self
+            .cfg
+            .cost
+            .skew_factor(self.pairs_hot_frac(pairs), self.dop);
         let wins = |e: &Self, moved: f64| {
             e.cfg
                 .cost
-                .repartition_wins(l_rows, r_rows, out_rows, moved, e.dop)
+                .repartition_wins_skewed(l_rows, r_rows, out_rows, moved, e.dop, skew)
         };
 
         let emit = |e: &mut Self, s: Stream, reps: Stream| {
@@ -1039,7 +1455,14 @@ impl Expander<'_> {
         } else {
             self.join_out_class(op, &stream.class, &rep_class, pairs, is_semi)
         };
-        let cid = self.intern(&class);
+        let salted = stream.salted.clone();
+        let cid = match &salted {
+            Some(keys) => {
+                let keys = Arc::clone(keys);
+                self.intern_salted(&class, &keys)
+            }
+            None => self.intern(&class),
+        };
         let ex_cid = self.intern(&rep_class);
         let clones = stream
             .clones
@@ -1070,7 +1493,11 @@ impl Expander<'_> {
                 self.push(kind.clone(), inputs, layout.clone(), Some(p32), op, cid)
             })
             .collect();
-        Built::Parts(Stream { clones, class })
+        Built::Parts(Stream {
+            clones,
+            class,
+            salted,
+        })
     }
 }
 
@@ -1280,6 +1707,180 @@ mod tests {
             }
         }
         assert_eq!(tree_merges, 7, "{}", expanded.display());
+        assert_eq!(canonical(&execute_oracle(&expanded).unwrap()), expected);
+    }
+
+    /// The salt planner end to end on a plan that would otherwise
+    /// co-locate: a 60%-hot join key crosses the default threshold, so
+    /// both sides cross salted meshes (scatter on the fact, broadcast on
+    /// the dimension) sharing one hot-key set, the fact's scans split by
+    /// rowid, the `PartitionMap` records the exemption digests, and the
+    /// result multiset matches the serial oracle. With salting disabled
+    /// the same plan co-locates with no mesh at all.
+    #[test]
+    fn skewed_join_salts_both_meshes_and_matches_oracle() {
+        let int = |n: &str| Field::new(n, DataType::Int);
+        let mut c = Catalog::new();
+        let fact_rows: Vec<Row> = (0..400)
+            .map(|i| {
+                let b = if i < 240 { 7 } else { i % 40 };
+                Row::new(vec![Value::Int(i), Value::Int(b)])
+            })
+            .collect();
+        c.add(
+            Table::new(
+                "fact",
+                Schema::new(vec![int("a"), int("b")]),
+                vec![],
+                vec![],
+                fact_rows,
+            )
+            .unwrap(),
+        );
+        c.add(
+            Table::new(
+                "dim",
+                Schema::new(vec![int("k")]),
+                vec![],
+                vec![],
+                (0..40).map(|k| Row::new(vec![Value::Int(k)])).collect(),
+            )
+            .unwrap(),
+        );
+        let mut q = QueryBuilder::new(&c);
+        let f = q.scan("fact", "f", &["a", "b"]).unwrap();
+        let d = q.scan("dim", "d", &["k"]).unwrap();
+        let j = q.join(f, d, &[("f.b", "d.k")]).unwrap();
+        let phys = lower(&j.into_plan(), q.into_attrs(), &c).unwrap();
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+
+        let (expanded, map) = partition_plan(&phys, 4).unwrap();
+        expanded.validate().unwrap();
+        assert_eq!(canonical(&execute_oracle(&expanded).unwrap()), expected);
+        let hot_digest = sip_common::hash_key(&[Value::Int(7)]);
+        let (mut scatter, mut broadcast) = (0usize, 0usize);
+        for n in &expanded.nodes {
+            if let PhysKind::ShuffleWrite { salt: Some(s), .. } = &n.kind {
+                assert!(s.keys.covers(hot_digest), "hot key missing from salt");
+                assert_eq!(s.keys.len(), Some(1), "only the hot key salts");
+                match s.role {
+                    sip_engine::SaltRole::Scatter => scatter += 1,
+                    sip_engine::SaltRole::Broadcast => broadcast += 1,
+                }
+            }
+        }
+        assert_eq!(
+            (scatter, broadcast),
+            (4, 4),
+            "one scatter + one broadcast mesh of 4 writers each\n{}",
+            expanded.display()
+        );
+        // The scatter side's scans split by rowid (balanced source);
+        // the broadcast side's stay hash-split.
+        for n in &expanded.nodes {
+            if let PhysKind::Scan {
+                part: Some(p),
+                table,
+                ..
+            } = &n.kind
+            {
+                assert_eq!(
+                    p.rowid,
+                    table.name() == "fact",
+                    "wrong split mode for {}",
+                    table.name()
+                );
+            }
+        }
+        // The exemption digests are reachable from the salted meshes'
+        // output streams.
+        assert!(!map.salted.is_empty(), "PartitionMap lost the salt set");
+        let salted_read = expanded
+            .nodes
+            .iter()
+            .find(|n| {
+                matches!(n.kind, PhysKind::ShuffleRead { .. }) && map.salted_at(n.id).is_some()
+            })
+            .expect("a salted reader claims its class with the exemption");
+        assert!(map.salted_at(salted_read.id).unwrap().covers(hot_digest));
+
+        // Salting off: the same join simply co-locates (no mesh).
+        let off = PartitionConfig {
+            salt: crate::SaltConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (plain, _) = partition_plan_cfg(&phys, 4, &off).unwrap();
+        assert!(plain
+            .nodes
+            .iter()
+            .all(|n| !matches!(n.kind, PhysKind::ShuffleWrite { .. })));
+        assert_eq!(canonical(&execute_oracle(&plain).unwrap()), expected);
+    }
+
+    /// The pathological all-hot case: with coverage above the fallback
+    /// threshold the planner replicates the whole build side
+    /// (`SaltedKeys::All`) and scatters the probe round-robin; placement
+    /// is entirely arbitrary, so no class is claimed, and the multiset
+    /// still matches the oracle.
+    #[test]
+    fn all_hot_join_takes_replicated_build_fallback() {
+        let int = |n: &str| Field::new(n, DataType::Int);
+        let mut c = Catalog::new();
+        c.add(
+            Table::new(
+                "fact",
+                Schema::new(vec![int("a"), int("b")]),
+                vec![],
+                vec![],
+                (0..400)
+                    .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 2)]))
+                    .collect(),
+            )
+            .unwrap(),
+        );
+        c.add(
+            Table::new(
+                "dim",
+                Schema::new(vec![int("k")]),
+                vec![],
+                vec![],
+                (0..2).map(|k| Row::new(vec![Value::Int(k)])).collect(),
+            )
+            .unwrap(),
+        );
+        let mut q = QueryBuilder::new(&c);
+        let f = q.scan("fact", "f", &["a", "b"]).unwrap();
+        let d = q.scan("dim", "d", &["k"]).unwrap();
+        let j = q.join(f, d, &[("f.b", "d.k")]).unwrap();
+        let phys = lower(&j.into_plan(), q.into_attrs(), &c).unwrap();
+        let expected = canonical(&execute_oracle(&phys).unwrap());
+        let cfg = PartitionConfig {
+            salt: crate::SaltConfig {
+                force: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (expanded, map) = partition_plan_cfg(&phys, 4, &cfg).unwrap();
+        expanded.validate().unwrap();
+        let all_salted = expanded
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                PhysKind::ShuffleWrite { salt: Some(s), .. } => Some(s.keys.len().is_none()),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert!(
+            !all_salted.is_empty() && all_salted.iter().all(|&a| a),
+            "expected the SaltedKeys::All fallback\n{}",
+            expanded.display()
+        );
+        // Arbitrary placement: the salted meshes claim no class.
+        assert!(map.salted.is_empty());
         assert_eq!(canonical(&execute_oracle(&expanded).unwrap()), expected);
     }
 

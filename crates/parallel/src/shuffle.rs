@@ -16,6 +16,44 @@
 use sip_common::{AttrId, FxHashSet};
 use sip_optimizer::CostModel;
 
+/// Skew-adaptive (salted) routing knobs.
+///
+/// A key is *hot* when its share of the base table times `dop` reaches
+/// `hot_factor` — i.e. the key alone would fill `hot_factor` of one
+/// reader's fair share. Hot keys of a shuffled join are dealt round-robin
+/// on the scatter side while their build rows are replicated to every
+/// partition; when the hot keys cover nearly the whole stream
+/// (`replicate_coverage`) the planner falls back to replicating the entire
+/// build side ([`sip_engine::SaltedKeys::All`]).
+#[derive(Clone, Debug)]
+pub struct SaltConfig {
+    /// Enable skew-adaptive routing (salting) for shuffled joins.
+    pub enabled: bool,
+    /// Hot-key threshold: salted when `base_frequency * dop >= hot_factor
+    /// * base_rows`. Lower = more keys salted.
+    pub hot_factor: f64,
+    /// Cap on salted keys per join (the heaviest keys win).
+    pub max_hot_keys: usize,
+    /// Hot-row coverage at which per-key salting gives way to the
+    /// replicated-build fallback (the pathological all-hot case).
+    pub replicate_coverage: f64,
+    /// Bypass the cost gate: salt every shuffled join whose key crosses
+    /// `hot_factor` (differential tests force salting this way).
+    pub force: bool,
+}
+
+impl Default for SaltConfig {
+    fn default() -> Self {
+        SaltConfig {
+            enabled: true,
+            hot_factor: 0.5,
+            max_hot_keys: 64,
+            replicate_coverage: 0.9,
+            force: false,
+        }
+    }
+}
+
 /// Expansion knobs for [`crate::partition_plan_cfg`].
 #[derive(Clone, Debug)]
 pub struct PartitionConfig {
@@ -42,6 +80,9 @@ pub struct PartitionConfig {
     /// `0` = auto: flat (single merge) up to dop 4, binary tree above.
     /// Values `>= 2` force that fan-in at every dop.
     pub merge_fanin: u32,
+    /// Skew-adaptive routing (heavy-hitter salting + replicated-build
+    /// fallback) for shuffled joins.
+    pub salt: SaltConfig,
     /// Cost model pricing repartition against the serial fallback.
     pub cost: CostModel,
 }
@@ -53,6 +94,7 @@ impl Default for PartitionConfig {
             broadcast_max_rows: 1024.0,
             min_scan_rows: 0,
             merge_fanin: 0,
+            salt: SaltConfig::default(),
             cost: CostModel::default(),
         }
     }
@@ -98,6 +140,24 @@ pub(crate) struct JoinEst {
     pub right: f64,
     /// Estimated output rows.
     pub out: f64,
+    /// Base-table share of the join key's most frequent value (0 when
+    /// unknown): the hot fraction a hash repartition cannot split, feeding
+    /// [`CostModel::skew_factor`] so serial-vs-shuffle decisions stop
+    /// assuming uniform keys.
+    pub hot_frac: f64,
+}
+
+impl JoinEst {
+    /// Uniform-keys estimate (no skew information).
+    #[cfg(test)]
+    pub(crate) fn uniform(left: f64, right: f64, out: f64) -> JoinEst {
+        JoinEst {
+            left,
+            right,
+            out,
+            hot_frac: 0.0,
+        }
+    }
 }
 
 /// Decide how a `(partitioned, partitioned)` join becomes co-partitioned.
@@ -122,9 +182,14 @@ pub(crate) fn plan_join_alignment(
     if !cfg.shuffle || pairs.is_empty() {
         return Alignment::Serial;
     }
+    // Moved rows are priced with the key's hot fraction folded in: a
+    // shuffle cannot split a hot key below one worker, so the parallel
+    // join's critical path inflates by the skew factor. (Joins the salt
+    // planner already took over never reach this point.)
+    let skew = cfg.cost.skew_factor(est.hot_frac, dop);
     let wins = |moved: f64| {
         cfg.cost
-            .repartition_wins(l_rows, r_rows, out_rows, moved, dop)
+            .repartition_wins_skewed(l_rows, r_rows, out_rows, moved, dop, skew)
     };
     if let Some(pair) = pairs.iter().position(|p| l_class.contains(&p.l_attr)) {
         if wins(r_rows) {
@@ -168,11 +233,7 @@ mod tests {
             &[pair(1, 2), pair(3, 4)],
             &set(&[3]),
             &set(&[4]),
-            JoinEst {
-                left: 1e6,
-                right: 1e6,
-                out: 1e6,
-            },
+            JoinEst::uniform(1e6, 1e6, 1e6),
             4,
             &PartitionConfig::default(),
         );
@@ -186,11 +247,7 @@ mod tests {
             &[pair(1, 2)],
             &set(&[1]),
             &set(&[9]),
-            JoinEst {
-                left: 1e5,
-                right: 1e5,
-                out: 1e5,
-            },
+            JoinEst::uniform(1e5, 1e5, 1e5),
             4,
             &cfg,
         );
@@ -199,11 +256,7 @@ mod tests {
             &[pair(1, 2)],
             &set(&[9]),
             &set(&[2]),
-            JoinEst {
-                left: 1e5,
-                right: 1e5,
-                out: 1e5,
-            },
+            JoinEst::uniform(1e5, 1e5, 1e5),
             4,
             &cfg,
         );
@@ -216,11 +269,7 @@ mod tests {
             &[pair(1, 2)],
             &set(&[7]),
             &set(&[9]),
-            JoinEst {
-                left: 1e5,
-                right: 1e5,
-                out: 1e5,
-            },
+            JoinEst::uniform(1e5, 1e5, 1e5),
             4,
             &PartitionConfig::default(),
         );
@@ -237,11 +286,7 @@ mod tests {
             &[pair(1, 2)],
             &set(&[1]),
             &set(&[9]),
-            JoinEst {
-                left: 1e5,
-                right: 1e5,
-                out: 1e5,
-            },
+            JoinEst::uniform(1e5, 1e5, 1e5),
             4,
             &cfg,
         );
@@ -254,11 +299,7 @@ mod tests {
             &[pair(1, 2)],
             &set(&[1]),
             &set(&[9]),
-            JoinEst {
-                left: 1e5,
-                right: 1e5,
-                out: 1e5,
-            },
+            JoinEst::uniform(1e5, 1e5, 1e5),
             4,
             &cfg,
         );

@@ -1,31 +1,50 @@
-//! Skew test: Zipf-heavy keys routed through a shuffle mesh must neither
-//! lose nor duplicate rows, and the per-partition row-count metrics must
-//! sum to the serial total — guarding the hash routing against the skew
-//! pitfalls catalogued in PAPERS.md (Beame/Koutris/Suciu): a hot key
-//! concentrates most of the stream on one reader, stressing exactly the
-//! backpressure path where a buggy mesh would drop or double-send batches.
+//! Skew suite: Zipf-heavy keys through shuffle meshes.
+//!
+//! Three layers of guarantees, per PAPERS.md (Beame/Koutris/Suciu):
+//!
+//! 1. **Conservation under plain hash routing** (salting off): hot keys
+//!    are neither lost nor duplicated, per-partition counts sum to the
+//!    serial total, and the imbalance is real — the regression guard for
+//!    the pre-salting mesh.
+//! 2. **Balance under salting**: the same workload with skew-adaptive
+//!    routing produces a salted plan whose scatter-mesh readers stay
+//!    within a max/mean bound the unsalted mesh grossly violates, while
+//!    the result multiset still matches the serial oracle exactly.
+//! 3. **AIP correctness with salting forced**: admit-batch parity
+//!    (`sip_engine::testkit::install_admit_parity`) at dop ∈ {2, 4}, and
+//!    full differential runs under the FeedForward/CostBased controllers
+//!    with delayed dimensions — stressing the scoped-filter salted-key
+//!    exemption (a partition's working set must never prune a salted key
+//!    whose rows another partition received).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sip_common::{DataType, Field, Row, Schema, Value};
 use sip_data::{Catalog, Table, Zipf};
 use sip_engine::{
-    canonical, execute_ctx, execute_oracle, lower, ExecContext, ExecOptions, NoopMonitor, PhysKind,
-    PhysPlan,
+    canonical, execute_ctx, execute_oracle, lower, DelayModel, ExecContext, ExecMonitor,
+    ExecOptions, NoopMonitor, PhysKind, PhysPlan, SaltRole,
 };
-use sip_parallel::partition_plan;
-use sip_plan::QueryBuilder;
+use sip_parallel::{partition_plan_cfg, PartitionConfig, SaltConfig};
+use sip_plan::{PredicateIndex, QueryBuilder};
 use std::sync::Arc;
+use std::time::Duration;
 
 const KEYS: u64 = 40;
 const FACT_ROWS: usize = 4000;
+/// Rare `fb` keys carrying exactly two rows each: under forced low-
+/// threshold salting they scatter to a strict subset of the partitions,
+/// so some partition's slice of the stream misses them entirely — the
+/// configuration a scoped AIP filter must not prune.
+const RARE_KEYS: std::ops::Range<i64> = 101..109;
 
-/// fact(fa, fb, v) with both keys Zipf(1.5)-skewed, plus two dimensions.
+/// fact(fa, fb, v) with both keys Zipf(1.5)-skewed plus a two-row tail,
+/// and dimensions t2(ga), t3(hb), t4(kb) covering the full key domain.
 fn skewed_catalog() -> Catalog {
     let zipf = Zipf::new(KEYS, 1.5);
     let mut rng = StdRng::seed_from_u64(0xD1CE);
     let int = |n: &str| Field::new(n, DataType::Int);
-    let mut facts = Vec::with_capacity(FACT_ROWS);
+    let mut facts = Vec::with_capacity(FACT_ROWS + 2 * RARE_KEYS.clone().count());
     for i in 0..FACT_ROWS {
         let fa = zipf.sample(&mut rng) as i64;
         let fb = zipf.sample(&mut rng) as i64;
@@ -35,6 +54,16 @@ fn skewed_catalog() -> Catalog {
             Value::Int(i as i64),
         ]));
     }
+    for (i, k) in RARE_KEYS.enumerate() {
+        for copy in 0..2 {
+            let fa = zipf.sample(&mut rng) as i64;
+            facts.push(Row::new(vec![
+                Value::Int(fa),
+                Value::Int(k),
+                Value::Int((FACT_ROWS + 2 * i + copy) as i64),
+            ]));
+        }
+    }
     let dim = |name: &str, col: &str| {
         Table::new(
             name,
@@ -42,6 +71,7 @@ fn skewed_catalog() -> Catalog {
             vec![],
             vec![],
             (1..=KEYS as i64)
+                .chain(RARE_KEYS)
                 .map(|k| Row::new(vec![Value::Int(k)]))
                 .collect(),
         )
@@ -60,6 +90,7 @@ fn skewed_catalog() -> Catalog {
     );
     c.add(dim("t2", "ga"));
     c.add(dim("t3", "hb"));
+    c.add(dim("t4", "kb"));
     c
 }
 
@@ -77,13 +108,59 @@ fn two_class_plan(c: &Catalog) -> PhysPlan {
     lower(&plan, q.into_attrs(), c).unwrap()
 }
 
+/// Two joins on the Zipf-heavy `fb`: the salted join's output feeds a
+/// *second* keyed join on the same attribute — the shape where a scoped
+/// AIP filter built from a salted stream's partition slice would wrongly
+/// prune a salted key at the second join's dimension if the exemption
+/// were missing.
+fn double_fb_spec(c: &Catalog) -> (sip_plan::LogicalPlan, sip_plan::AttrCatalog) {
+    let mut q = QueryBuilder::new(c);
+    let f = q.scan("fact", "f", &["fa", "fb", "v"]).unwrap();
+    let g = q.scan("t2", "g", &["ga"]).unwrap();
+    let j1 = q.join(f, g, &[("f.fa", "g.ga")]).unwrap();
+    let h = q.scan("t3", "h", &["hb"]).unwrap();
+    let j2 = q.join(j1, h, &[("f.fb", "h.hb")]).unwrap();
+    let t = q.scan("t4", "t", &["kb"]).unwrap();
+    let j3 = q.join(j2, t, &[("f.fb", "t.kb")]).unwrap();
+    (j3.into_plan(), q.into_attrs())
+}
+
+fn salt_off() -> PartitionConfig {
+    PartitionConfig {
+        salt: SaltConfig {
+            enabled: false,
+            ..SaltConfig::default()
+        },
+        ..PartitionConfig::default()
+    }
+}
+
+/// Force salting through the cost gate, with the threshold floored at two
+/// occurrences so the rare two-row keys salt too (scattering them to
+/// fewer partitions than `dop`) — the worst case for per-partition AIP
+/// scoping.
+fn salt_forced() -> PartitionConfig {
+    PartitionConfig {
+        salt: SaltConfig {
+            enabled: true,
+            hot_factor: 0.0005,
+            max_hot_keys: 256,
+            replicate_coverage: 1.1, // keep per-key salting (no all-hot fallback)
+            force: true,
+        },
+        ..PartitionConfig::default()
+    }
+}
+
 #[test]
 fn zipf_keys_survive_the_shuffle_exactly_once() {
+    // Plain hash routing (salting off): the pre-salting conservation
+    // guarantees must keep holding.
     let c = skewed_catalog();
     let phys = two_class_plan(&c);
     let expected = canonical(&execute_oracle(&phys).unwrap());
     for dop in [2u32, 4, 8] {
-        let (expanded, map) = partition_plan(&phys, dop).unwrap();
+        let (expanded, map) = partition_plan_cfg(&phys, dop, &salt_off()).unwrap();
         let writers: Vec<_> = expanded
             .nodes
             .iter()
@@ -101,6 +178,11 @@ fn zipf_keys_survive_the_shuffle_exactly_once() {
             "no shuffle at dop {dop}:\n{}",
             expanded.display()
         );
+        // Salting disabled: no writer carries a salt spec.
+        assert!(expanded
+            .nodes
+            .iter()
+            .all(|n| !matches!(&n.kind, PhysKind::ShuffleWrite { salt: Some(_), .. })));
         let ctx = ExecContext::new_partitioned(
             Arc::clone(&expanded),
             ExecOptions::default(),
@@ -151,7 +233,206 @@ fn zipf_keys_survive_the_shuffle_exactly_once() {
             "dop {dop}: expected a skewed partition split, got a uniform one"
         );
 
-        // Rollup covers every partition.
-        assert_eq!(out.metrics.per_partition(&map).len(), dop as usize);
+        // Per-destination routed counts roll up into the partition report
+        // and agree with the reader totals.
+        let rollup = out.metrics.per_partition(&map);
+        assert_eq!(rollup.len(), dop as usize);
+        let routed_total: u64 = rollup.iter().map(|s| s.rows_routed_in).sum();
+        assert!(
+            routed_total >= rows_out,
+            "dop {dop}: routed rollup {routed_total} misses mesh traffic {rows_out}"
+        );
+    }
+}
+
+/// Rows each reader of the salted (scatter-role) mesh emitted.
+fn scatter_reader_rows(expanded: &PhysPlan, metrics: &sip_engine::ExecMetrics) -> Vec<u64> {
+    let scatter_mesh = expanded
+        .nodes
+        .iter()
+        .find_map(|n| match &n.kind {
+            PhysKind::ShuffleWrite {
+                mesh,
+                salt: Some(s),
+                ..
+            } if s.role == SaltRole::Scatter => Some(*mesh),
+            _ => None,
+        })
+        .expect("salted plan has a scatter mesh");
+    expanded
+        .nodes
+        .iter()
+        .filter_map(|n| match &n.kind {
+            PhysKind::ShuffleRead { mesh, .. } if *mesh == scatter_mesh => {
+                Some(metrics.per_op[n.id.index()].rows_out)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// The acceptance bar for the tentpole: with salting on (auto-detected
+/// from the base-table stats — no forcing), the Zipf-1.5 mesh balances to
+/// max/mean ≤ 1.5 where the unsalted mesh sits far above it, and the
+/// result multiset still matches the serial oracle exactly.
+#[test]
+fn salting_balances_zipf_heavy_mesh() {
+    let c = skewed_catalog();
+    let phys = two_class_plan(&c);
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    let dop = 4u32;
+
+    let imbalance = |cfg: &PartitionConfig| {
+        let (expanded, map) = partition_plan_cfg(&phys, dop, cfg).unwrap();
+        expanded.validate().unwrap();
+        let ctx = ExecContext::new_partitioned(
+            Arc::clone(&expanded),
+            ExecOptions::default(),
+            Arc::clone(&map),
+        );
+        let out = execute_ctx(ctx, Arc::new(NoopMonitor)).unwrap();
+        assert_eq!(canonical(&out.rows), expected, "diverged from oracle");
+        (expanded, map, out)
+    };
+
+    // Salting on (defaults): the hot key crosses the 0.5 threshold and the
+    // plan salts the off-class join.
+    let (salted_plan, _salted_map, salted_out) = imbalance(&PartitionConfig::default());
+    let salted_writers = salted_plan
+        .nodes
+        .iter()
+        .filter(|n| matches!(&n.kind, PhysKind::ShuffleWrite { salt: Some(_), .. }))
+        .count();
+    assert!(
+        salted_writers > 0,
+        "auto salting did not fire:\n{}",
+        salted_plan.display()
+    );
+    let readers = scatter_reader_rows(&salted_plan, &salted_out.metrics);
+    assert_eq!(readers.len(), dop as usize);
+    let total: u64 = readers.iter().sum();
+    let max = *readers.iter().max().unwrap() as f64;
+    let mean = total as f64 / dop as f64;
+    assert!(
+        max / mean <= 1.5,
+        "salted mesh still skewed: readers {readers:?} (max/mean {:.2})",
+        max / mean
+    );
+
+    // Salting off: same workload, the hot key saturates one reader.
+    let (off_plan, _off_map, off_out) = imbalance(&salt_off());
+    let off_readers: Vec<u64> = off_plan
+        .nodes
+        .iter()
+        .filter_map(|n| match &n.kind {
+            PhysKind::ShuffleRead { .. } => Some(off_out.metrics.per_op[n.id.index()].rows_out),
+            _ => None,
+        })
+        .collect();
+    let off_total: u64 = off_readers.iter().sum();
+    let off_max = *off_readers.iter().max().unwrap() as f64;
+    let off_mean = off_total as f64 / off_readers.len() as f64;
+    assert!(
+        off_max / off_mean > 1.5,
+        "unsalted mesh unexpectedly balanced: {off_readers:?}"
+    );
+
+    // The online sketch saw the hot key on at least one salted writer.
+    let observed_hot: u64 = salted_out
+        .metrics
+        .per_op
+        .iter()
+        .map(|m| m.hot_keys_observed)
+        .sum();
+    assert!(
+        observed_hot > 0,
+        "runtime sketch observed no heavy hitter on a Zipf-1.5 stream"
+    );
+}
+
+/// Admit-batch AIP parity with salting forced on: at dop ∈ {2, 4}, the
+/// self-checking collectors at every stateful input of the salted plan
+/// must see byte-identical batch-vs-row AIP sets and exactly equal
+/// `aip_probed`/`aip_dropped` counters, and the result multiset must
+/// equal the serial oracle.
+#[test]
+fn aip_parity_with_salting_forced() {
+    let c = skewed_catalog();
+    let (plan, attrs) = double_fb_spec(&c);
+    let phys = Arc::new(lower(&plan, attrs, &c).unwrap());
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    for dop in [2u32, 4] {
+        for batch in [64usize, 1024] {
+            let (expanded, map) = partition_plan_cfg(&phys, dop, &salt_forced()).unwrap();
+            assert!(
+                expanded
+                    .nodes
+                    .iter()
+                    .any(|n| matches!(&n.kind, PhysKind::ShuffleWrite { salt: Some(_), .. })),
+                "forced salting produced no salted mesh at dop {dop}:\n{}",
+                expanded.display()
+            );
+            let opts = ExecOptions::validated(batch, 2).unwrap();
+            let ctx = ExecContext::new_partitioned(Arc::clone(&expanded), opts, map);
+            let (outcome, installed) = sip_engine::testkit::install_admit_parity(&ctx, &expanded);
+            assert!(installed >= 2, "dop {dop}: too few stateful inputs");
+            let out = execute_ctx(Arc::clone(&ctx), Arc::new(NoopMonitor)).unwrap();
+            assert_eq!(
+                canonical(&out.rows),
+                expected,
+                "dop {dop} batch {batch}: salted plan diverged from the serial oracle"
+            );
+            let errs = outcome.errors.lock().unwrap();
+            assert!(
+                errs.is_empty(),
+                "dop {dop} batch {batch}:\n{}",
+                errs.join("\n")
+            );
+            assert_eq!(*outcome.finished.lock().unwrap(), installed);
+        }
+    }
+}
+
+/// Full differential with the AIP controllers live and salting forced:
+/// FeedForward and CostBased inject partition-scoped filters from salted
+/// streams (with many salted keys whose rows miss some partitions — the
+/// delayed dimensions keep injection sites alive), and the result must
+/// still match the serial oracle exactly. Without the scoped-filter
+/// salted-key exemption this drops rows.
+#[test]
+fn controllers_preserve_salted_multisets() {
+    let c = skewed_catalog();
+    let (plan, attrs) = double_fb_spec(&c);
+    let phys = Arc::new(lower(&plan, attrs.clone(), &c).unwrap());
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    let eq = PredicateIndex::build(&plan).eq;
+    let slow_dim = DelayModel {
+        initial: Duration::from_millis(120),
+        every_n: 4,
+        pause: Duration::from_millis(2),
+    };
+    for dop in [2u32, 4] {
+        for controller in ["ff", "cb"] {
+            let (expanded, map) = partition_plan_cfg(&phys, dop, &salt_forced()).unwrap();
+            let mut opts = ExecOptions::validated(256, 4).unwrap();
+            opts = opts
+                .with_delay("t", slow_dim.clone())
+                .with_delay("h", slow_dim.clone());
+            let ctx = ExecContext::new_partitioned(Arc::clone(&expanded), opts, map);
+            let monitor: Arc<dyn ExecMonitor> = match controller {
+                "ff" => sip_core::FeedForward::new(eq.clone(), sip_core::AipConfig::paper()),
+                _ => sip_core::CostBased::new(
+                    eq.clone(),
+                    sip_core::AipConfig::hash_sets(),
+                    sip_optimizer::CostModel::default(),
+                ),
+            };
+            let out = execute_ctx(ctx, monitor).unwrap();
+            assert_eq!(
+                canonical(&out.rows),
+                expected,
+                "{controller} dop {dop}: salted run with live controllers diverged"
+            );
+        }
     }
 }
