@@ -12,6 +12,11 @@
 //! `--json <dir>` additionally writes one machine-readable
 //! `BENCH_<figure>.json` per measured figure into `<dir>` (created if
 //! missing), so the perf trajectory can be tracked across PRs.
+//!
+//! `--profile <dir>` runs the span-traced query profiles (Q4A at dop
+//! 1/2/4 plus the salted-shuffle exemplar), prints their EXPLAIN ANALYZE
+//! trees, and writes one schema-checked `PROFILE_<run>.json`
+//! [`sip_engine::QueryProfile`] artifact per run into `<dir>`.
 
 use sip_bench::figures::{FigureReport, Harness};
 use sip_bench::measure::ExperimentConfig;
@@ -22,12 +27,14 @@ struct Args {
     figure: String,
     config: ExperimentConfig,
     json_dir: Option<PathBuf>,
+    profile_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut figure = "all".to_string();
     let mut config = ExperimentConfig::default();
     let mut json_dir = None;
+    let mut profile_dir = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -40,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--figure" | "-f" => figure = take(&mut i)?,
             "--json" => json_dir = Some(PathBuf::from(take(&mut i)?)),
+            "--profile" => profile_dir = Some(PathBuf::from(take(&mut i)?)),
             "--sf" => {
                 config.scale_factor = take(&mut i)?
                     .parse()
@@ -91,7 +99,12 @@ overhead|scaling|skew|kernels|admit|ablation-sets|ablation-fpr|ablation-minmax] 
   --merge-fanin N       merge-tree fan-in for parallel runs (0 = auto:\n\
                         flat up to dop 4, binary tree above)\n\
   --json DIR            also write BENCH_<figure>.json per measured\n\
-                        figure into DIR (created if missing)"
+                        figure into DIR (created if missing)\n\
+  --profile DIR         run the span-traced query profiles (Q4A at dop\n\
+                        1/2/4 plus the salted-shuffle exemplar), print\n\
+                        their EXPLAIN ANALYZE trees, and write one\n\
+                        schema-checked PROFILE_<run>.json per run into\n\
+                        DIR (created if missing)"
                 );
                 std::process::exit(0);
             }
@@ -103,6 +116,7 @@ overhead|scaling|skew|kernels|admit|ablation-sets|ablation-fpr|ablation-minmax] 
         figure,
         config,
         json_dir,
+        profile_dir,
     })
 }
 
@@ -183,10 +197,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(dir) = &args.json_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: cannot create --json dir {}: {e}", dir.display());
-            return ExitCode::FAILURE;
+    for (flag, dir) in [("--json", &args.json_dir), ("--profile", &args.profile_dir)] {
+        if let Some(dir) = dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {flag} dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
     eprintln!(
@@ -252,6 +268,36 @@ fn main() -> ExitCode {
     run_figures(&sel, "ablation-minmax", json, cfg, &mut failed, || {
         harness.ablation_minmax().map(|r| vec![r])
     });
+
+    // The profile section is opt-in via `--profile DIR` (or `--figure
+    // profile` for the text trees alone): span-level tracing over Q4A at
+    // dop 1/2/4 plus the salted-shuffle exemplar, each run serialized as a
+    // PROFILE_<run>.json QueryProfile artifact next to its EXPLAIN ANALYZE
+    // tree.
+    if args.profile_dir.is_some() || sel.fig == "profile" {
+        eprintln!("# running profile ...");
+        match harness.profile() {
+            Ok((text, artifacts)) => {
+                println!("{text}");
+                if let Some(dir) = &args.profile_dir {
+                    for (name, body) in &artifacts {
+                        let path = dir.join(name);
+                        match std::fs::write(&path, body) {
+                            Ok(()) => eprintln!("# wrote {}", path.display()),
+                            Err(e) => {
+                                eprintln!("error writing {}: {e}", path.display());
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error in profile: {e}");
+                failed = true;
+            }
+        }
+    }
 
     if failed {
         ExitCode::FAILURE

@@ -1,6 +1,7 @@
 //! Per-figure experiment runners.
 
 use crate::measure::{ci95, mean, measure, measure_dop, ExperimentConfig, Measurement};
+use sip_common::trace::{Phase, N_PHASES};
 use sip_common::Result;
 use sip_core::{AipConfig, FeedForward, QuerySpec, Strategy};
 use sip_data::{generate, Catalog, TpchConfig};
@@ -13,7 +14,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// One measured cell of a figure.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ReportRow {
     /// Query id (`Q1A`...).
     pub query: String,
@@ -29,6 +30,10 @@ pub struct ReportRow {
     pub rows: u64,
     /// Extra column (filters injected, bytes shipped, ...).
     pub extra: String,
+    /// Mean seconds per execution phase from `sip-trace`
+    /// ([`sip_common::trace::Phase::ALL`] order); all zero for cells
+    /// measured outside the traced `measure`/`measure_dop` path.
+    pub phase_secs: [f64; N_PHASES],
 }
 
 /// A rendered figure.
@@ -66,19 +71,36 @@ impl FigureReport {
             config.dop,
             config.merge_fanin
         );
+        out.push_str("  \"phase_names\": [");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(p.name()));
+        }
+        out.push_str("],\n");
         out.push_str("  \"points\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
+            let mut phases = String::from("[");
+            for (j, s) in r.phase_secs.iter().enumerate() {
+                if j > 0 {
+                    phases.push_str(", ");
+                }
+                let _ = write!(phases, "{s:.6}");
+            }
+            phases.push(']');
             let _ = write!(
                 out,
                 "    {{\"query\": {}, \"strategy\": {}, \"secs\": {:.6}, \"ci95\": {:.6}, \
-\"state_mb\": {:.3}, \"rows\": {}, \"extra\": {}}}",
+\"state_mb\": {:.3}, \"rows\": {}, \"extra\": {}, \"phase_secs\": {}}}",
                 json_str(&r.query),
                 json_str(&r.strategy),
                 r.secs,
                 r.ci,
                 r.state_mb,
                 r.rows,
-                json_str(&r.extra)
+                json_str(&r.extra),
+                phases
             );
             out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
@@ -325,6 +347,7 @@ impl Harness {
             state_mb: mean(&state),
             rows: rows_out,
             extra: format!("{:.2} MB shipped", bytes as f64 / 1e6),
+            ..Default::default()
         })
     }
 
@@ -652,6 +675,41 @@ impl Harness {
             )));
         }
 
+        // --- Trace gate: the tap-probe batch loop bare vs the same loop
+        // wrapped in per-batch sip-trace spans with tracing *off* — the
+        // cost every operator pays on every batch when `--trace` is not
+        // requested (one atomic-free level check per span; `begin` returns
+        // 0 without reading the clock). Interleaved min-of-repeats so
+        // ambient noise hits both variants equally; CI holds gated-off to
+        // within 2% of untraced.
+        let hub = sip_common::trace::TraceHub::new(sip_common::trace::TraceLevel::Off);
+        let gate_reps = repeats.max(5);
+        let mut untraced_best = f64::INFINITY;
+        let mut gated_best = f64::INFINITY;
+        let mut survivors = 0usize;
+        for _ in 0..gate_reps {
+            let t = Instant::now();
+            for chunk in rows.chunks(batch) {
+                kernel.begin(chunk.len());
+                kernel.probe_chain(&chain, chunk);
+                survivors += kernel.sel().len();
+            }
+            untraced_best = untraced_best.min(t.elapsed().as_secs_f64());
+
+            let mut tr = hub.tracer(0, None);
+            let t = Instant::now();
+            for chunk in rows.chunks(batch) {
+                let t0 = tr.begin();
+                kernel.begin(chunk.len());
+                kernel.probe_chain(&chain, chunk);
+                survivors += kernel.sel().len();
+                tr.end(Phase::TapProbe, t0);
+            }
+            gated_best = gated_best.min(t.elapsed().as_secs_f64());
+            tr.flush();
+        }
+        black_box(survivors);
+
         let mrows = |secs: f64| n_rows as f64 / secs / 1e6;
         let cell =
             |name: &str, variant: &str, secs: f64, kept: usize, speedup: Option<f64>| ReportRow {
@@ -665,6 +723,7 @@ impl Harness {
                     Some(s) => format!("{:.1} Mrows/s, speedup {s:.2}x", mrows(secs)),
                     None => format!("{:.1} Mrows/s", mrows(secs)),
                 },
+                ..Default::default()
             };
         let rows_out = vec![
             cell("tap-probe", "row", tap_row_secs, row_survivors, None),
@@ -683,6 +742,20 @@ impl Harness {
                 batch_routed,
                 Some(route_row_secs / route_batch_secs),
             ),
+            cell(
+                "trace-gate",
+                "untraced",
+                untraced_best,
+                batch_survivors,
+                None,
+            ),
+            cell(
+                "trace-gate",
+                "gated-off",
+                gated_best,
+                batch_survivors,
+                Some(untraced_best / gated_best),
+            ),
         ];
         Ok(FigureReport {
             id: "kernels".into(),
@@ -694,6 +767,9 @@ impl Harness {
             notes: vec![
                 "row = per-row digest + key clone per filter (probe_quiet) and a second routing hash; \
 batch = one shared digest pass per key-column set, selection-vector routing."
+                    .into(),
+                "trace-gate = tap-probe batch loop bare vs wrapped in disabled sip-trace spans \
+(TraceLevel::Off), interleaved best-of; the gated-off/untraced ratio bounds the tracing-off tax."
                     .into(),
             ],
         })
@@ -848,6 +924,7 @@ batch = one shared digest pass per key-column set, selection-vector routing."
                     Some(s) => format!("{:.1} Mrows/s, speedup {s:.2}x", mrows(secs)),
                     None => format!("{:.1} Mrows/s", mrows(secs)),
                 },
+                ..Default::default()
             };
         Ok(FigureReport {
             id: "admit".into(),
@@ -1086,6 +1163,7 @@ Both admit-build variants pay the operator's own digest pass."
                             "{throughput:.2} Mrows/s, {salted_meshes} salted writers, \
 max/mean routed {balance}{speedup}"
                         ),
+                        ..Default::default()
                     });
                 }
             }
@@ -1110,6 +1188,147 @@ x dop x salting"
             rows: rows_out,
             notes,
         })
+    }
+
+    /// `repro --profile <dir>`: schema-checked [`QueryProfile`] artifacts
+    /// plus the matching EXPLAIN ANALYZE trees, both rendered from the
+    /// same frozen profile so they cannot disagree.
+    ///
+    /// Two workloads, all traced at span level:
+    ///
+    /// * Q4A (the TPC-H Q5 family's many-way join) under feed-forward AIP
+    ///   at dop 1 / 2 / 4 — the per-op phase breakdown across the serial
+    ///   and partition-parallel executors;
+    /// * the `skew` figure's Zipf-hot join with salting forced on at the
+    ///   top dop — the salted-shuffle exemplar (scatter/broadcast meshes,
+    ///   routing histograms, AIP filter lifecycle events).
+    ///
+    /// Returns the rendered text and one `(file name, JSON)` pair per
+    /// profile (`PROFILE_*.json`).
+    pub fn profile(&self) -> Result<(String, Vec<(String, String)>)> {
+        use sip_core::FeedForward;
+        use sip_engine::{explain_analyze_profiled, QueryProfile, TraceLevel};
+        use sip_plan::QueryBuilder;
+
+        let mut text = String::new();
+        let mut artifacts: Vec<(String, String)> = Vec::new();
+
+        // --- Q4A under feed-forward AIP, dop 1/2/4 ---
+        let catalog = self.catalog_for("Q4A")?;
+        let spec = build_query("Q4A", catalog)?;
+        let phys = Arc::new(spec.lower(catalog, Strategy::FeedForward)?);
+        let mut dops = vec![1u32];
+        let mut d = 2;
+        while d <= self.config.dop.max(1) && dops.len() < 3 {
+            dops.push(d);
+            d *= 2;
+        }
+        for &dop in &dops {
+            let eq = PredicateIndex::build(&spec.plan).eq;
+            let monitor = FeedForward::new(eq, AipConfig::paper());
+            let opts = self.config.exec_options()?.with_trace(TraceLevel::Spans);
+            let (report_plan, out, map) = if dop <= 1 {
+                let out = execute(Arc::clone(&phys), monitor, opts)?;
+                (Arc::clone(&phys), out, None)
+            } else {
+                // The expansion is deterministic: plan once for the tree,
+                // execute the same logical plan for the numbers.
+                let exec = sip_parallel::PartitionedExec::new(dop);
+                let expanded = match exec.plan(&phys) {
+                    Ok((expanded, _)) => expanded,
+                    Err(_) => Arc::clone(&phys), // no safe parallel region: serial fallback
+                };
+                let (out, map) = exec.execute(Arc::clone(&phys), monitor, opts)?;
+                (expanded, out, map)
+            };
+            let profile = QueryProfile::from_run(&report_plan, &out.metrics, map.as_deref());
+            let _ = writeln!(text, "## Q4A FeedForward dop={dop}\n");
+            text.push_str(&explain_analyze_profiled(
+                &report_plan,
+                &out.metrics,
+                map.as_deref(),
+            ));
+            text.push('\n');
+            artifacts.push((format!("PROFILE_q4a_dop{dop}.json"), profile.to_json()));
+        }
+
+        // --- Salted-shuffle exemplar: the skew figure's zipf=1.5 join ---
+        {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            use sip_common::{DataType, Field, Row, Schema, Value};
+            use sip_data::{Table, Zipf};
+            use sip_engine::NoopMonitor;
+            use sip_parallel::{PartitionConfig, PartitionedExec, SaltConfig};
+
+            const KEYS: u64 = 64;
+            let n_rows = ((2_000_000.0 * self.config.scale_factor) as usize).max(2_000);
+            let zipf = Zipf::new(KEYS, 1.5);
+            let mut rng = StdRng::seed_from_u64(self.config.seed ^ 1.5f64.to_bits());
+            let int = |n: &str| Field::new(n, DataType::Int);
+            let facts: Vec<Row> = (0..n_rows)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(zipf.sample(&mut rng) as i64),
+                        Value::Int(i as i64),
+                    ])
+                })
+                .collect();
+            let mut catalog = sip_data::Catalog::new();
+            catalog.add(Table::new(
+                "fact",
+                Schema::new(vec![int("fb"), int("pay")]),
+                vec![],
+                vec![],
+                facts,
+            )?);
+            catalog.add(Table::new(
+                "dim",
+                Schema::new(vec![int("hb")]),
+                vec![],
+                vec![],
+                (1..=KEYS as i64)
+                    .map(|k| Row::new(vec![Value::Int(k)]))
+                    .collect(),
+            )?);
+            let mut q = QueryBuilder::new(&catalog);
+            let f = q.scan("fact", "f", &["fb", "pay"])?;
+            let h = q.scan("dim", "h", &["hb"])?;
+            let j = q.join(f, h, &[("f.fb", "h.hb")])?;
+            let salted = Arc::new(sip_engine::lower(&j.into_plan(), q.into_attrs(), &catalog)?);
+            let dop = self.config.dop.max(2);
+            let cfg = PartitionConfig {
+                salt: SaltConfig {
+                    enabled: true,
+                    ..SaltConfig::default()
+                },
+                ..PartitionConfig::default()
+            };
+            let exec = PartitionedExec::with_config(dop, cfg);
+            let expanded = match exec.plan(&salted) {
+                Ok((expanded, _)) => expanded,
+                Err(e) => {
+                    return Err(sip_common::SipError::Exec(format!(
+                        "salted profile plan failed: {e}"
+                    )))
+                }
+            };
+            let opts = self.config.exec_options()?.with_trace(TraceLevel::Spans);
+            let (out, map) = exec.execute(Arc::clone(&salted), Arc::new(NoopMonitor), opts)?;
+            let profile = QueryProfile::from_run(&expanded, &out.metrics, map.as_deref());
+            let _ = writeln!(
+                text,
+                "## salted zipf=1.5 join, dop={dop} ({n_rows} rows, {KEYS} keys)\n"
+            );
+            text.push_str(&explain_analyze_profiled(
+                &expanded,
+                &out.metrics,
+                map.as_deref(),
+            ));
+            artifacts.push((format!("PROFILE_salted_dop{dop}.json"), profile.to_json()));
+        }
+
+        Ok((text, artifacts))
     }
 
     /// §V preliminary experiment: Bloom-filter vs hash-set AIP sets.
@@ -1220,6 +1439,7 @@ fn to_row(id: &str, strategy: &str, m: &Measurement) -> ReportRow {
         } else {
             String::new()
         },
+        phase_secs: m.phase_secs,
     }
 }
 
@@ -1289,6 +1509,7 @@ mod tests {
                 state_mb: 2.0,
                 rows: 10,
                 extra: String::new(),
+                ..Default::default()
             }],
             notes: vec!["note".into()],
         };
@@ -1312,6 +1533,7 @@ mod tests {
                 state_mb: 0.0,
                 rows: 42,
                 extra: "speedup 2.00x".into(),
+                ..Default::default()
             }],
             notes: vec!["n1".into()],
         };

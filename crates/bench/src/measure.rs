@@ -1,5 +1,6 @@
 //! Repeated, summarized query measurements.
 
+use sip_common::trace::{TraceLevel, N_PHASES};
 use sip_common::Result;
 use sip_core::{run_query, AipConfig, QuerySpec, Strategy};
 use sip_data::Catalog;
@@ -68,6 +69,11 @@ pub struct Measurement {
     pub filters: f64,
     /// Rows dropped by AIP filters (mean).
     pub dropped: f64,
+    /// Mean seconds attributed to each execution phase by `sip-trace`
+    /// (order: [`sip_common::trace::Phase::ALL`]). Measurements always run
+    /// at [`TraceLevel::Ops`]; the overhead of that level is itself bounded
+    /// by the `kernels` trace-gate cells.
+    pub phase_secs: [f64; N_PHASES],
 }
 
 /// Run one cell `repeats` times and summarize.
@@ -84,8 +90,9 @@ pub fn measure(
     let mut filters = Vec::with_capacity(config.repeats);
     let mut dropped = Vec::with_capacity(config.repeats);
     let mut rows = 0u64;
+    let mut phase_secs = [0.0f64; N_PHASES];
     for _ in 0..config.repeats {
-        let mut opts = config.exec_options()?;
+        let mut opts = config.exec_options()?.with_trace(TraceLevel::Ops);
         for (name, model) in delays {
             opts = opts.with_delay(*name, model.clone());
         }
@@ -95,6 +102,10 @@ pub fn measure(
         filters.push(out.metrics.filters_injected as f64);
         dropped.push(out.metrics.aip_dropped_total as f64);
         rows = out.metrics.rows_out;
+        accumulate_phases(&mut phase_secs, &out.metrics);
+    }
+    for p in phase_secs.iter_mut() {
+        *p /= config.repeats.max(1) as f64;
     }
     Ok(Measurement {
         secs_mean: mean(&secs),
@@ -103,7 +114,16 @@ pub fn measure(
         rows,
         filters: mean(&filters),
         dropped: mean(&dropped),
+        phase_secs,
     })
+}
+
+/// Add one run's traced per-phase nanoseconds to a running total, in
+/// seconds.
+fn accumulate_phases(acc: &mut [f64; N_PHASES], metrics: &sip_engine::ExecMetrics) {
+    for (a, n) in acc.iter_mut().zip(metrics.phase_totals()) {
+        *a += n as f64 / 1e9;
+    }
 }
 
 /// Run one cell `repeats` times at a fixed degree of parallelism.
@@ -125,9 +145,10 @@ pub fn measure_dop(
     let mut filters = Vec::with_capacity(config.repeats);
     let mut dropped = Vec::with_capacity(config.repeats);
     let mut rows = 0u64;
+    let mut phase_secs = [0.0f64; N_PHASES];
     let mut workers = Vec::new();
     for _ in 0..config.repeats {
-        let mut opts = config.exec_options()?;
+        let mut opts = config.exec_options()?.with_trace(TraceLevel::Ops);
         for (name, model) in delays {
             opts = opts.with_delay(*name, model.clone());
         }
@@ -137,20 +158,16 @@ pub fn measure_dop(
         filters.push(out.metrics.filters_injected as f64);
         dropped.push(out.metrics.aip_dropped_total as f64);
         rows = out.metrics.rows_out;
+        accumulate_phases(&mut phase_secs, &out.metrics);
         if let Some(map) = map {
-            workers = out
-                .metrics
-                .per_partition(&map)
-                .iter()
-                .map(|s| {
-                    format!(
-                        "dop {dop} worker {}: rows_out {} aip_probed {} aip_dropped {} \
-rows_routed_in {}",
-                        s.partition, s.rows_out, s.aip_probed, s.aip_dropped, s.rows_routed_in
-                    )
-                })
+            workers = sip_engine::profile::worker_lines(&out.metrics, &map)
+                .into_iter()
+                .map(|line| format!("dop {dop} {line}"))
                 .collect();
         }
+    }
+    for p in phase_secs.iter_mut() {
+        *p /= config.repeats.max(1) as f64;
     }
     Ok((
         Measurement {
@@ -160,6 +177,7 @@ rows_routed_in {}",
             rows,
             filters: mean(&filters),
             dropped: mean(&dropped),
+            phase_secs,
         },
         workers,
     ))

@@ -20,6 +20,7 @@ pub mod kernel;
 pub mod row;
 pub mod schema;
 pub mod sketch;
+pub mod trace;
 pub mod value;
 
 pub use date::Date;
@@ -30,4 +31,8 @@ pub use kernel::{DigestBuffer, DigestCache, SelVec};
 pub use row::{Batch, Row};
 pub use schema::{DataType, Field, Schema};
 pub use sketch::{SketchEntry, SpaceSaving};
+pub use trace::{
+    FilterEvent, FilterEventKind, OpTracer, Phase, SpanEvent, ThreadTrace, TraceHub, TraceLevel,
+    TraceSnapshot, N_PHASES,
+};
 pub use value::{hash_key, Value};

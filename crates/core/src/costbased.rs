@@ -12,6 +12,7 @@ use crate::candidates::{AipSource, AipUser, Candidates};
 use crate::config::AipConfig;
 use crate::registry::AipRegistry;
 use parking_lot::Mutex;
+use sip_common::trace::{FilterEvent, FilterEventKind};
 use sip_common::{FxHashMap, FxHashSet, OpId};
 use sip_engine::{
     CompletionEvent, ExecContext, ExecMonitor, InjectedFilter, MergePolicy, PhysKind, StateView,
@@ -322,11 +323,22 @@ impl ExecMonitor for CostBased {
                 self.config.n_hashes,
             );
             let positions = [view_pos];
+            let t_build = std::time::Instant::now();
             ev.view.for_each(&mut |row| {
                 builder.insert_at(row.key_hash(&positions), row.values(), &positions);
             });
             let set = Arc::new(builder.finish());
+            let build_nanos = t_build.elapsed().as_nanos() as u64;
             self.stats.built.fetch_add(1, Ordering::Relaxed);
+            ctx.hub.trace.filter_event(FilterEvent {
+                kind: FilterEventKind::Built,
+                site: source.op.0,
+                label: format!("cb[{attr_name}] from {}/in{}", source.op, source.input),
+                t_nanos: ctx.hub.trace.now(),
+                build_nanos,
+                keys: set.n_keys(),
+                bytes: set.size_bytes() as u64,
+            });
             self.decisions.lock().push(format!(
                 "build {attr_name} ({kind:?}, {} keys) from {}/in{}: savings {savings:.0} > cost {create_cost:.0}; inject at {:?}",
                 set.n_keys(),
@@ -343,6 +355,17 @@ impl ExecMonitor for CostBased {
                 partition: *p,
                 dop: map.dop,
             });
+            if let Some((map, p)) = &partition {
+                ctx.hub.trace.filter_event(FilterEvent {
+                    kind: FilterEventKind::Scoped,
+                    site: source.op.0,
+                    label: format!("cb[{attr_name}] part{p}/{}", map.dop),
+                    t_nanos: ctx.hub.trace.now(),
+                    build_nanos: 0,
+                    keys: set.n_keys(),
+                    bytes: set.size_bytes() as u64,
+                });
+            }
             // Salted digests of the producing stream pass scoped filters
             // unprobed — partition p's state does not cover a key whose
             // rows were scattered or replicated outside the hash
@@ -390,6 +413,15 @@ impl ExecMonitor for CostBased {
                     let mut merged = (*partials[0]).clone();
                     if partials[1..].iter().all(|s| merged.union(s).is_ok()) {
                         let merged = Arc::new(merged);
+                        ctx.hub.trace.filter_event(FilterEvent {
+                            kind: FilterEventKind::OrMerged,
+                            site: map.logical(ev.op).0,
+                            label: format!("cb[{attr_name}] union of {}", map.dop),
+                            t_nanos: ctx.hub.trace.now(),
+                            build_nanos: 0,
+                            keys: merged.n_keys(),
+                            bytes: merged.size_bytes() as u64,
+                        });
                         self.registry.publish(
                             self.eq.class(source.attr),
                             Arc::clone(&merged),

@@ -16,6 +16,7 @@ use crate::candidates::{AipSource, Candidates};
 use crate::config::AipConfig;
 use crate::registry::AipRegistry;
 use parking_lot::Mutex;
+use sip_common::trace::{FilterEvent, FilterEventKind};
 use sip_common::{DigestBuffer, FxHashMap, OpId, Row};
 use sip_engine::{
     CompletionEvent, ExecContext, ExecMonitor, FilterScope, InjectedFilter, MergePolicy,
@@ -170,12 +171,23 @@ fn publish_and_inject_serial(
     if live_users.is_empty() {
         return; // discard the working set
     }
+    let t_build = std::time::Instant::now();
     let set = Arc::new(entry.builder.finish());
+    let build_nanos = t_build.elapsed().as_nanos() as u64;
     let attr_name = plan.attrs.name(entry.source.attr);
     let prov = format!(
         "{}/input{} on {attr_name}",
         entry.source.op, entry.source.input
     );
+    ctx.hub.trace.filter_event(FilterEvent {
+        kind: FilterEventKind::Built,
+        site: entry.source.op.0,
+        label: prov.clone(),
+        t_nanos: ctx.hub.trace.now(),
+        build_nanos,
+        keys: set.n_keys(),
+        bytes: set.size_bytes() as u64,
+    });
     shared
         .registry
         .publish(entry.class, Arc::clone(&set), prov.clone());
@@ -218,8 +230,19 @@ fn publish_and_inject_partitioned(
     p: u32,
 ) {
     let plan = &ctx.plan;
+    let t_build = std::time::Instant::now();
     let set = Arc::new(entry.builder.finish());
+    let build_nanos = t_build.elapsed().as_nanos() as u64;
     let attr_name = plan.attrs.name(entry.source.attr);
+    ctx.hub.trace.filter_event(FilterEvent {
+        kind: FilterEventKind::Built,
+        site: entry.source.op.0,
+        label: format!("ff[{attr_name}] part{p}/{}", map.dop),
+        t_nanos: ctx.hub.trace.now(),
+        build_nanos,
+        keys: set.n_keys(),
+        bytes: set.size_bytes() as u64,
+    });
 
     // Park the partial; take the batch out when the last partition arrives.
     let union_key = (
@@ -261,6 +284,15 @@ fn publish_and_inject_partitioned(
                 entry.source.op, entry.source.input, map.dop
             ),
         );
+        ctx.hub.trace.filter_event(FilterEvent {
+            kind: FilterEventKind::Scoped,
+            site: entry.source.op.0,
+            label: format!("ff[{attr_name}] part{p}/{}", map.dop),
+            t_nanos: ctx.hub.trace.now(),
+            build_nanos: 0,
+            keys: set.n_keys(),
+            bytes: set.size_bytes() as u64,
+        });
         let scope = FilterScope {
             partition: p,
             dop: map.dop,
@@ -295,6 +327,15 @@ fn publish_and_inject_partitioned(
         let mut merged = (*partials[0]).clone();
         if partials[1..].iter().all(|s| merged.union(s).is_ok()) {
             let merged = Arc::new(merged);
+            ctx.hub.trace.filter_event(FilterEvent {
+                kind: FilterEventKind::OrMerged,
+                site: map.logical(entry.source.op).0,
+                label: format!("ff[{attr_name}] union of {}", map.dop),
+                t_nanos: ctx.hub.trace.now(),
+                build_nanos: 0,
+                keys: merged.n_keys(),
+                bytes: merged.size_bytes() as u64,
+            });
             shared.registry.publish(
                 entry.class,
                 Arc::clone(&merged),

@@ -1,15 +1,17 @@
 //! Shared per-execution context: options, taps, metrics, collectors.
 
 use crate::delay::DelayModel;
-use crate::metrics::MetricsHub;
+use crate::metrics::{ExecMetrics, FilterStat, MetricsHub};
 use crate::monitor::RowCollector;
 use crate::physical::{PhysKind, PhysPlan};
 use crate::taps::{FilterTap, InjectedFilter, MergePolicy};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use sip_common::trace::{OpTracer, TraceLevel};
 use sip_common::{AttrId, Batch, FxHashMap, FxHashSet, OpId};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Describes how an expanded (partition-parallel) plan maps back onto the
 /// serial plan it was built from. Produced by `sip-parallel`, consumed by
@@ -144,6 +146,9 @@ pub struct ExecOptions {
     /// Feeding channels for [`crate::physical::PhysKind::ExternalSource`]
     /// nodes, keyed by operator id. Taken (not cloned) at spawn time.
     pub external_inputs: Mutex<FxHashMap<u32, Receiver<Msg>>>,
+    /// How much runtime detail the `sip-trace` layer records
+    /// ([`TraceLevel::Off`] by default — routing/skew counts still flow).
+    pub trace_level: TraceLevel,
 }
 
 impl Default for ExecOptions {
@@ -155,6 +160,7 @@ impl Default for ExecOptions {
             collect_rows: true,
             merge_fanin: 0,
             external_inputs: Mutex::new(FxHashMap::default()),
+            trace_level: TraceLevel::default(),
         }
     }
 }
@@ -200,6 +206,12 @@ impl ExecOptions {
     /// Add a delay model for a binding or table name.
     pub fn with_delay(mut self, binding: impl Into<String>, model: DelayModel) -> Self {
         self.delays.insert(binding.into(), model);
+        self
+    }
+
+    /// Set the `sip-trace` recording level.
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
         self
     }
 
@@ -264,7 +276,7 @@ impl ExecContext {
         let n = plan.nodes.len();
         let (shuffle_tx, shuffle_rx) = Self::build_meshes(&plan, options.channel_capacity.max(1));
         Arc::new(ExecContext {
-            hub: MetricsHub::new(n),
+            hub: MetricsHub::with_trace(n, options.trace_level),
             taps: (0..n).map(|_| FilterTap::new()).collect(),
             plan,
             options,
@@ -347,6 +359,32 @@ impl ExecContext {
     /// Used by operator threads to claim their collectors.
     pub(crate) fn take_collector(&self, op: OpId, input: usize) -> Option<Box<dyn RowCollector>> {
         self.collectors.lock().remove(&(op.0, input))
+    }
+
+    /// A thread-local span tracer for `op`, tagged with the partition the
+    /// operator runs in (when this context executes an expanded plan).
+    pub fn tracer(&self, op: OpId) -> OpTracer {
+        let partition = self.partitions.as_ref().and_then(|m| m.partition(op));
+        self.hub.trace.tracer(op.0, partition)
+    }
+
+    /// Freeze this run's metrics: merge the flushed thread traces
+    /// ([`MetricsHub::finish`]) and collect per-filter ROI from the taps.
+    pub fn finish_metrics(&self, wall_time: Duration, rows_out: u64) -> ExecMetrics {
+        let mut metrics = self.hub.finish(wall_time, rows_out);
+        for (i, tap) in self.taps.iter().enumerate() {
+            for f in tap.snapshot().iter() {
+                metrics.filter_stats.push(FilterStat {
+                    site: OpId(i as u32),
+                    label: f.label.clone(),
+                    probed: f.probed.load(Ordering::Relaxed),
+                    dropped: f.dropped.load(Ordering::Relaxed),
+                    keys: f.set.n_keys(),
+                    bytes: f.set.size_bytes() as u64,
+                });
+            }
+        }
+        metrics
     }
 }
 

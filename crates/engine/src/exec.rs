@@ -139,15 +139,14 @@ pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Resu
         let _ = h.join();
     }
     let wall = start.elapsed();
+    let metrics = ctx.finish_metrics(wall, rows_out);
+    monitor.on_trace(&ctx, &metrics);
     monitor.on_query_end(&ctx);
 
     if let Some(e) = error_slot.lock().take() {
         return Err(e);
     }
-    Ok(QueryOutput {
-        rows,
-        metrics: ctx.hub.finish(wall, rows_out),
-    })
+    Ok(QueryOutput { rows, metrics })
 }
 
 /// Convenience: execute with no monitor (pure baseline).

@@ -17,6 +17,7 @@ pub mod monitor;
 pub(crate) mod operators;
 pub mod oracle;
 pub mod physical;
+pub mod profile;
 pub mod report;
 pub mod taps;
 #[doc(hidden)]
@@ -25,12 +26,16 @@ pub mod testkit;
 pub use context::{ExecContext, ExecOptions, Msg, PartitionMap};
 pub use delay::DelayModel;
 pub use exec::{execute, execute_baseline, execute_ctx, QueryOutput};
-pub use metrics::{ExecMetrics, MetricsHub, OpMetrics, OpMetricsSnapshot, PartitionSnapshot};
+pub use metrics::{
+    ExecMetrics, FilterStat, MetricsHub, OpMetrics, OpMetricsSnapshot, PartitionSnapshot,
+};
 pub use monitor::{CompletionEvent, ExecMonitor, NoopMonitor, RowCollector, StateView};
 pub use oracle::{canonical, execute_oracle};
 pub use physical::{
     lower, BoundAgg, PhysKind, PhysNode, PhysPlan, SaltRole, SaltSpec, ScanPartition,
 };
-pub use report::explain_analyze;
+pub use profile::{QueryProfile, PROFILE_SCHEMA};
+pub use report::{explain_analyze, explain_analyze_profiled};
+pub use sip_common::trace::TraceLevel;
 pub use sip_filter::SaltedKeys;
 pub use taps::{FilterScope, FilterTap, InjectedFilter, MergePolicy, TapKernel};

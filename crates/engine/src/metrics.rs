@@ -5,10 +5,17 @@
 //! `UPDATEESTIMATES` reads at runtime. State bytes feed both per-operator
 //! peaks and the global [`StateTracker`] whose high-water mark is the
 //! paper's "Intermediate State (MB)" metric.
+//!
+//! Timing comes from the `sip-trace` layer ([`sip_common::trace`]): every
+//! operator thread accumulates phase spans in a thread-local
+//! [`sip_common::OpTracer`] and hands them to the hub's [`TraceHub`] once
+//! at finish; [`MetricsHub::finish`] merges them into the per-operator
+//! snapshots. Routing counts travel the same path — there is no longer any
+//! `Mutex` merge on the operator side.
 
-use parking_lot::Mutex;
 use sip_common::bytes::StateTracker;
-use sip_common::OpId;
+use sip_common::trace::{FilterEvent, SpanEvent, TraceHub, TraceLevel, N_PHASES};
+use sip_common::{OpId, Phase};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,6 +26,9 @@ use std::time::Duration;
 pub struct OpMetrics {
     /// Rows received per input (index 0/1).
     pub rows_in: [AtomicU64; 2],
+    /// Batches received across inputs (what Compute span counts are
+    /// checked against in the profile tests).
+    pub batches_in: AtomicU64,
     /// Rows emitted.
     pub rows_out: AtomicU64,
     /// Rows probed against injected AIP filters at this node's output.
@@ -33,16 +43,6 @@ pub struct OpMetrics {
     pub input_done: [AtomicBool; 2],
     /// Set once the operator has emitted its own EOF.
     pub finished: AtomicBool,
-    /// For routing operators (ShuffleWrite, Exchange): rows routed per
-    /// destination partition, published once at operator finish — the raw
-    /// material of the skew report (`max/mean` over destinations shows a
-    /// hot key saturating one reader, and whether salting levelled it).
-    pub routed: Mutex<Vec<u64>>,
-    /// Heavy-hitter keys the routing operator's online space-saving sketch
-    /// observed crossing the hot threshold (share of the stream above
-    /// `1/dop`) — near-zero-cost skew observability fed by the digest pass
-    /// the router already computes.
-    pub hot_keys_observed: AtomicU64,
 }
 
 impl OpMetrics {
@@ -68,23 +68,9 @@ impl OpMetrics {
         global.add(delta);
     }
 
-    /// Publish a routing operator's per-destination row counts and the
-    /// number of heavy hitters its online sketch observed (merging with
-    /// any sibling's counts — a distribute mesh has one writer, an
-    /// all-to-all mesh merges nothing because each writer is its own op).
-    pub fn record_routing(&self, routed: &[u64], hot_keys: u64) {
-        let mut guard = self.routed.lock();
-        if guard.len() < routed.len() {
-            guard.resize(routed.len(), 0);
-        }
-        for (slot, n) in guard.iter_mut().zip(routed.iter()) {
-            *slot += n;
-        }
-        self.hot_keys_observed
-            .fetch_add(hot_keys, Ordering::Relaxed);
-    }
-
-    /// Snapshot for reporting.
+    /// Snapshot the atomic counters. Trace-derived fields (phases, routing,
+    /// occupancy) are zero here — [`MetricsHub::finish`] overlays them from
+    /// the merged thread traces.
     pub fn snapshot(&self, op: OpId) -> OpMetricsSnapshot {
         OpMetricsSnapshot {
             op,
@@ -92,12 +78,17 @@ impl OpMetrics {
                 self.rows_in[0].load(Ordering::Relaxed),
                 self.rows_in[1].load(Ordering::Relaxed),
             ],
+            batches_in: self.batches_in.load(Ordering::Relaxed),
             rows_out: self.rows_out.load(Ordering::Relaxed),
             aip_probed: self.aip_probed.load(Ordering::Relaxed),
             aip_dropped: self.aip_dropped.load(Ordering::Relaxed),
             state_peak: self.state_peak.load(Ordering::Relaxed),
-            routed: self.routed.lock().clone(),
-            hot_keys_observed: self.hot_keys_observed.load(Ordering::Relaxed),
+            phase_nanos: [0; N_PHASES],
+            phase_counts: [0; N_PHASES],
+            routed: Vec::new(),
+            hot_keys_observed: 0,
+            occupancy_sum: 0,
+            occupancy_samples: 0,
         }
     }
 }
@@ -109,6 +100,8 @@ pub struct OpMetricsSnapshot {
     pub op: OpId,
     /// Rows received per input.
     pub rows_in: [u64; 2],
+    /// Batches received across inputs.
+    pub batches_in: u64,
     /// Rows emitted.
     pub rows_out: u64,
     /// AIP probes at this operator.
@@ -117,11 +110,62 @@ pub struct OpMetricsSnapshot {
     pub aip_dropped: u64,
     /// Peak buffered bytes.
     pub state_peak: u64,
+    /// Nanoseconds attributed per [`Phase`] (zero with tracing off). The
+    /// `Compute` slot already has nested emitter-flush time subtracted, so
+    /// the phases partition the operator's busy time.
+    pub phase_nanos: [u64; N_PHASES],
+    /// Spans recorded per [`Phase`].
+    pub phase_counts: [u64; N_PHASES],
     /// Rows routed per destination partition (routing operators only;
     /// empty elsewhere).
     pub routed: Vec<u64>,
     /// Heavy hitters the routing operator's online sketch observed.
     pub hot_keys_observed: u64,
+    /// Sum of sampled downstream-channel queue lengths at send time.
+    pub occupancy_sum: u64,
+    /// Number of occupancy samples.
+    pub occupancy_samples: u64,
+}
+
+impl OpMetricsSnapshot {
+    /// Total attributed busy nanoseconds (sum over phases).
+    pub fn busy_nanos(&self) -> u64 {
+        self.phase_nanos.iter().sum()
+    }
+
+    /// Nanoseconds attributed to one phase.
+    pub fn phase(&self, p: Phase) -> u64 {
+        self.phase_nanos[p as usize]
+    }
+
+    /// Mean sampled occupancy of this operator's downstream channel, or
+    /// `None` when nothing was sampled.
+    pub fn occupancy_mean(&self) -> Option<f64> {
+        if self.occupancy_samples == 0 {
+            None
+        } else {
+            Some(self.occupancy_sum as f64 / self.occupancy_samples as f64)
+        }
+    }
+}
+
+/// ROI of one injected AIP filter at query end: probe/drop counters from
+/// the live filter plus the working set's size. Collected from the taps
+/// when metrics are frozen.
+#[derive(Clone, Debug)]
+pub struct FilterStat {
+    /// The operator the filter was injected at.
+    pub site: OpId,
+    /// Filter label (producer attribute).
+    pub label: String,
+    /// Rows probed against this filter.
+    pub probed: u64,
+    /// Rows it dropped.
+    pub dropped: u64,
+    /// Keys in the working set.
+    pub keys: u64,
+    /// Footprint in bytes.
+    pub bytes: u64,
 }
 
 /// Whole-query result metrics.
@@ -144,12 +188,32 @@ pub struct ExecMetrics {
     pub filters_injected: u64,
     /// Simulated bytes shipped between sites (0 for local queries).
     pub network_bytes: u64,
+    /// The trace level the run recorded at.
+    pub trace_level: TraceLevel,
+    /// Individual span events ([`TraceLevel::Spans`] only), merged and
+    /// deterministically ordered.
+    pub spans: Vec<SpanEvent>,
+    /// AIP filter lifecycle events (built/scoped/OR-merged/shipped).
+    pub filter_events: Vec<FilterEvent>,
+    /// Per-filter ROI at query end (probed/dropped/footprint).
+    pub filter_stats: Vec<FilterStat>,
 }
 
 impl ExecMetrics {
     /// Peak state in MB (the paper's y-axis).
     pub fn peak_state_mb(&self) -> f64 {
         self.peak_state_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Whole-plan nanoseconds per phase (sum over operators).
+    pub fn phase_totals(&self) -> [u64; N_PHASES] {
+        let mut totals = [0u64; N_PHASES];
+        for m in &self.per_op {
+            for (t, &n) in totals.iter_mut().zip(m.phase_nanos.iter()) {
+                *t += n;
+            }
+        }
+        totals
     }
 
     /// Roll the per-operator counters of a partition-parallel run up to one
@@ -163,6 +227,7 @@ impl ExecMetrics {
                 aip_dropped: 0,
                 state_peak: 0,
                 rows_routed_in: 0,
+                phase_nanos: [0; N_PHASES],
             })
             .collect();
         for m in &self.per_op {
@@ -172,6 +237,9 @@ impl ExecMetrics {
                 s.aip_probed += m.aip_probed;
                 s.aip_dropped += m.aip_dropped;
                 s.state_peak += m.state_peak;
+                for (t, &n) in s.phase_nanos.iter_mut().zip(m.phase_nanos.iter()) {
+                    *t += n;
+                }
             }
             // Routing operators (wherever they live, including serial-
             // section distribute writers) credit the rows they sent to
@@ -205,6 +273,16 @@ pub struct PartitionSnapshot {
     /// Rows routing operators (ShuffleWrite/Exchange) sent *to* this
     /// partition — the per-destination skew view.
     pub rows_routed_in: u64,
+    /// Nanoseconds attributed per [`Phase`] across the partition's
+    /// operators (zero with tracing off).
+    pub phase_nanos: [u64; N_PHASES],
+}
+
+impl PartitionSnapshot {
+    /// Total attributed busy nanoseconds of this partition.
+    pub fn busy_nanos(&self) -> u64 {
+        self.phase_nanos.iter().sum()
+    }
 }
 
 /// Shared metrics hub for one execution.
@@ -218,16 +296,24 @@ pub struct MetricsHub {
     pub filters_injected: AtomicU64,
     /// Simulated network bytes (incremented by sip-net).
     pub network_bytes: AtomicU64,
+    /// Span/routing collection point (see [`sip_common::trace`]).
+    pub trace: Arc<TraceHub>,
 }
 
 impl MetricsHub {
-    /// A hub for `n_ops` operators.
+    /// A hub for `n_ops` operators with tracing off.
     pub fn new(n_ops: usize) -> Arc<Self> {
+        Self::with_trace(n_ops, TraceLevel::Off)
+    }
+
+    /// A hub for `n_ops` operators recording at `level`.
+    pub fn with_trace(n_ops: usize, level: TraceLevel) -> Arc<Self> {
         Arc::new(MetricsHub {
             ops: (0..n_ops).map(|_| Arc::new(OpMetrics::default())).collect(),
             state: StateTracker::new(),
             filters_injected: AtomicU64::new(0),
             network_bytes: AtomicU64::new(0),
+            trace: TraceHub::new(level),
         })
     }
 
@@ -236,14 +322,45 @@ impl MetricsHub {
         &self.ops[op.index()]
     }
 
-    /// Freeze into an [`ExecMetrics`].
+    /// Freeze into an [`ExecMetrics`], merging every flushed thread trace
+    /// into the per-operator snapshots (deterministic: the drain orders
+    /// traces by `(op, partition)` and all merge ops are sums).
     pub fn finish(&self, wall_time: Duration, rows_out: u64) -> ExecMetrics {
-        let per_op: Vec<OpMetricsSnapshot> = self
+        let mut per_op: Vec<OpMetricsSnapshot> = self
             .ops
             .iter()
             .enumerate()
             .map(|(i, m)| m.snapshot(OpId(i as u32)))
             .collect();
+        let snap = self.trace.drain();
+        let mut nested: Vec<u64> = vec![0; per_op.len()];
+        for t in &snap.threads {
+            let Some(m) = per_op.get_mut(t.op as usize) else {
+                continue;
+            };
+            for (slot, &n) in m.phase_nanos.iter_mut().zip(t.phase_nanos.iter()) {
+                *slot += n;
+            }
+            for (slot, &n) in m.phase_counts.iter_mut().zip(t.phase_counts.iter()) {
+                *slot += n;
+            }
+            nested[t.op as usize] += t.nested_nanos;
+            if m.routed.len() < t.routed.len() {
+                m.routed.resize(t.routed.len(), 0);
+            }
+            for (slot, &n) in m.routed.iter_mut().zip(t.routed.iter()) {
+                *slot += n;
+            }
+            m.hot_keys_observed += t.hot_keys;
+            m.occupancy_sum += t.occupancy_sum;
+            m.occupancy_samples += t.occupancy_samples;
+        }
+        // Emitter auto-flush time elapsed inside Compute spans: subtract it
+        // once per op so phases partition busy time instead of overlapping.
+        for (m, &n) in per_op.iter_mut().zip(nested.iter()) {
+            let c = Phase::Compute as usize;
+            m.phase_nanos[c] = m.phase_nanos[c].saturating_sub(n);
+        }
         let aip_dropped_total = per_op.iter().map(|m| m.aip_dropped).sum();
         ExecMetrics {
             wall_time,
@@ -254,6 +371,10 @@ impl MetricsHub {
             aip_dropped_total,
             filters_injected: self.filters_injected.load(Ordering::Relaxed),
             network_bytes: self.network_bytes.load(Ordering::Relaxed),
+            trace_level: self.trace.level(),
+            spans: snap.events,
+            filter_events: snap.filters,
+            filter_stats: Vec::new(),
         }
     }
 }
@@ -296,18 +417,89 @@ mod tests {
         assert_eq!(m.filters_injected, 2);
         assert_eq!(m.per_op.len(), 2);
         assert_eq!(m.per_op[1].op, OpId(1));
+        assert_eq!(m.trace_level, TraceLevel::Off);
     }
 
     #[test]
-    fn routing_counts_merge_and_snapshot() {
+    fn routing_counts_merge_through_trace_path() {
+        // Two writer threads of the same routing op flush independently;
+        // finish merges their counts — the lock-free replacement for the
+        // old OpMetrics::record_routing Mutex.
         let hub = MetricsHub::new(2);
-        let m = hub.op(OpId(0));
-        m.record_routing(&[5, 0, 7], 1);
-        m.record_routing(&[1, 2, 3, 4], 2); // a wider merge grows the vec
-        let snap = m.snapshot(OpId(0));
-        assert_eq!(snap.routed, vec![6, 2, 10, 4]);
-        assert_eq!(snap.hot_keys_observed, 3);
-        assert!(hub.op(OpId(1)).snapshot(OpId(1)).routed.is_empty());
+        let mut a = hub.trace.tracer(0, None);
+        a.set_routed(&[5, 0, 7], 1);
+        a.flush();
+        let mut b = hub.trace.tracer(0, None);
+        b.set_routed(&[1, 2, 3, 4], 2); // a wider merge grows the vec
+        b.flush();
+        let m = hub.finish(Duration::ZERO, 0);
+        assert_eq!(m.per_op[0].routed, vec![6, 2, 10, 4]);
+        assert_eq!(m.per_op[0].hot_keys_observed, 3);
+        assert!(m.per_op[1].routed.is_empty());
+    }
+
+    #[test]
+    fn finish_merges_phases_and_subtracts_nested() {
+        let hub = MetricsHub::with_trace(1, TraceLevel::Ops);
+        // Operator thread: one compute span of >= 10ms.
+        let mut op_side = hub.trace.tracer(0, None);
+        let before = std::time::Instant::now();
+        let s = op_side.begin();
+        std::thread::sleep(Duration::from_millis(10));
+        op_side.end(Phase::Compute, s);
+        let raw_upper = before.elapsed().as_nanos() as u64;
+        op_side.flush();
+        // Emitter trace: >= 3ms of send time that elapsed inside the
+        // compute span above, flagged as nested.
+        let mut em = hub.trace.tracer(0, None);
+        let s = em.begin();
+        std::thread::sleep(Duration::from_millis(3));
+        em.end(Phase::ChannelSend, s);
+        em.add_nested(s);
+        em.flush();
+        let m = hub.finish(Duration::from_millis(20), 0);
+        let snap = &m.per_op[0];
+        let compute = snap.phase(Phase::Compute);
+        let send = snap.phase(Phase::ChannelSend);
+        assert!(send >= Duration::from_millis(3).as_nanos() as u64);
+        assert!(compute > 0, "nested subtraction must not erase compute");
+        // adjusted = raw - nested, nested >= 3ms, raw <= raw_upper.
+        let bound = raw_upper.saturating_sub(Duration::from_millis(2).as_nanos() as u64);
+        assert!(compute <= bound, "nested send time was not subtracted");
+        assert_eq!(snap.phase_counts[Phase::Compute as usize], 1);
+    }
+
+    #[test]
+    fn merge_is_deterministic_across_flush_orders() {
+        let run = |reverse: bool| {
+            let hub = MetricsHub::with_trace(3, TraceLevel::Ops);
+            let mut tracers = Vec::new();
+            for op in [2u32, 0, 1, 2] {
+                let mut t = hub.trace.tracer(op, Some(op));
+                let s = t.begin();
+                t.end(Phase::Compute, s);
+                t.set_routed(&[1, 2], 0);
+                tracers.push(t);
+            }
+            if reverse {
+                tracers.reverse();
+            }
+            for t in tracers {
+                t.flush();
+            }
+            let m = hub.finish(Duration::ZERO, 0);
+            m.per_op
+                .iter()
+                .map(|s| (s.op, s.phase_counts, s.routed.clone()))
+                .collect::<Vec<_>>()
+        };
+        let a = run(false);
+        let b = run(true);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.1);
+            assert_eq!(x.2, y.2);
+        }
     }
 
     #[test]

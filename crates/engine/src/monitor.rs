@@ -10,6 +10,7 @@
 //! of this interface.
 
 use crate::context::ExecContext;
+use crate::metrics::ExecMetrics;
 use sip_common::{AttrId, DigestBuffer, OpId, Row};
 use std::sync::Arc;
 
@@ -90,6 +91,12 @@ pub trait ExecMonitor: Send + Sync {
     /// A stateful operator's input completed; `ev.view` is valid only for
     /// the duration of the call.
     fn on_input_complete(&self, _ctx: &Arc<ExecContext>, _ev: &CompletionEvent<'_>) {}
+    /// The run's metrics were frozen: every operator thread has joined and
+    /// the `sip-trace` thread traces are merged into `metrics` (per-op
+    /// phase breakdowns, span events, filter lifecycle). Runs right before
+    /// [`ExecMonitor::on_query_end`] — the span-event sink for harnesses
+    /// that assert on trace contents.
+    fn on_trace(&self, _ctx: &Arc<ExecContext>, _metrics: &ExecMetrics) {}
     /// The root has emitted EOF.
     fn on_query_end(&self, _ctx: &Arc<ExecContext>) {}
 }

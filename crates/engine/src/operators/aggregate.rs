@@ -14,6 +14,7 @@ use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::{BoundAgg, PhysKind};
 use crossbeam::channel::{Receiver, Sender};
+use sip_common::trace::Phase;
 use sip_common::{exec_err, AttrId, DigestBuffer, FxHashMap, OpId, Result, Row};
 use sip_expr::AggAccumulator;
 use std::sync::Arc;
@@ -76,18 +77,27 @@ pub(crate) fn run_aggregate(
     let mut rows_in = 0u64;
     let mut collector = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
+    let mut tr = ctx.tracer(op);
     let mut digests = DigestBuffer::default();
 
-    while let Ok(msg) = input.recv() {
-        let Msg::Batch(batch) = msg else { break };
+    loop {
+        let t_recv = tr.begin();
+        let msg = input.recv();
+        tr.end(Phase::ChannelRecv, t_recv);
+        let Ok(Msg::Batch(batch)) = msg else { break };
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
         // One hash pass over the group columns for the whole batch — shared
         // with the collector's working-copy build below.
+        let t0 = tr.begin();
         digests.compute(&batch.rows, &group_cols);
+        tr.end(Phase::Compute, t0);
         if let Some(c) = collector.as_mut() {
+            let t0 = tr.begin();
             c.admit_batch(&batch.rows, &group_cols, &digests);
+            tr.end(Phase::AdmitBuild, t0);
         }
+        let t_upd = tr.begin();
         for (i, row) in batch.rows.iter().enumerate() {
             if digests.is_null_key(i) {
                 continue; // NULL group keys are skipped (workloads are NULL-free)
@@ -117,6 +127,7 @@ pub(crate) fn run_aggregate(
                 acc.update(&spec.input.eval(row)?)?;
             }
         }
+        tr.add(Phase::Compute, t_upd);
     }
 
     if let Some(mut c) = collector.take() {
@@ -151,7 +162,9 @@ pub(crate) fn run_aggregate(
         }
     }
     metrics.add_state(-(bytes as i64), &ctx.hub.state);
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }
 
 struct DistinctStateView<'a> {
@@ -207,16 +220,25 @@ pub(crate) fn run_distinct(
     let mut collector = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut tr = ctx.tracer(op);
     let mut digests = DigestBuffer::default();
 
-    while let Ok(msg) = input.recv() {
-        let Msg::Batch(batch) = msg else { break };
+    loop {
+        let t_recv = tr.begin();
+        let msg = input.recv();
+        tr.end(Phase::ChannelRecv, t_recv);
+        let Ok(Msg::Batch(batch)) = msg else { break };
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
+        let t0 = tr.begin();
         digests.compute(&batch.rows, &all_cols);
+        tr.end(Phase::Compute, t0);
         if let Some(c) = collector.as_mut() {
+            let t0 = tr.begin();
             c.admit_batch(&batch.rows, &all_cols, &digests);
+            tr.end(Phase::AdmitBuild, t0);
         }
+        let t_dedup = tr.begin();
         for (i, row) in batch.rows.into_iter().enumerate() {
             let bucket = seen.entry(digests.digests()[i]).or_default();
             if !bucket.iter().any(|r| r == &row) {
@@ -228,6 +250,7 @@ pub(crate) fn run_distinct(
                 emitter.push(row)?;
             }
         }
+        tr.add(Phase::Compute, t_dedup);
         emitter.flush()?;
     }
 
@@ -250,5 +273,7 @@ pub(crate) fn run_distinct(
         },
     );
     metrics.add_state(-(bytes as i64), &ctx.hub.state);
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }

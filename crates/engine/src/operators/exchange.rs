@@ -25,6 +25,7 @@ use crate::context::{ExecContext, Msg};
 use crate::physical::PhysKind;
 use crate::taps::TapKernel;
 use crossbeam::channel::{Receiver, Select, Sender};
+use sip_common::trace::Phase;
 use sip_common::{exec_err, hash::partition_of, OpId, Result};
 use std::sync::Arc;
 
@@ -47,24 +48,36 @@ pub(crate) fn run_exchange(
     // The tap runs here, fused with the ownership kernel, so the emitter
     // must not apply it a second time.
     let mut emitter = Emitter::passthrough(ctx, op, out);
+    let mut tr = ctx.tracer(op);
     let mut kernel = TapKernel::new();
     let mut kept = 0u64;
-    while let Ok(msg) = input.recv() {
-        let Msg::Batch(mut batch) = msg else { break };
+    loop {
+        let t_recv = tr.begin();
+        let msg = input.recv();
+        tr.end(Phase::ChannelRecv, t_recv);
+        let Ok(Msg::Batch(mut batch)) = msg else {
+            break;
+        };
         count_in(ctx, op, 0, batch.len());
         kernel.begin(batch.len());
         // NULL keys hash like any value: every NULL row lands in the same
         // single partition, so the union over all partitions stays
         // multiset-correct even for rows that can never join.
+        let t0 = tr.begin();
         kernel.retain_by_digest(&batch.rows, &[col], |d| partition_of(d, dop) == partition);
+        tr.end(Phase::Compute, t0);
         // The tap applies to the rows this Exchange would emit — its own
         // partition's rows only — sharing the digest pass above whenever a
         // filter probes the partition column.
+        let t0 = tr.begin();
         kernel.probe_op(ctx, op, &batch.rows);
+        tr.end(Phase::TapProbe, t0);
         // Count after the tap, matching ShuffleWrite's routed semantics
         // (rows actually sent to the destination).
         kept += kernel.sel().len() as u64;
+        let t_cmp = tr.begin();
         kernel.compact(&mut batch.rows);
+        tr.add(Phase::Compute, t_cmp);
         emitter.push_rows(batch.rows)?;
         emitter.flush()?;
         if emitter.cancelled() {
@@ -77,8 +90,10 @@ pub(crate) fn run_exchange(
     // covers broadcast-pruned replicas too.
     let mut routed = vec![0u64; dop as usize];
     routed[partition as usize] = kept;
-    ctx.hub.op(op).record_routing(&routed, 0);
-    emitter.finish()
+    tr.set_routed(&routed, 0);
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }
 
 /// Run a `Merge` node: union all inputs, ending when every input ends.
@@ -95,6 +110,7 @@ pub(crate) fn run_merge(
         return Err(exec_err!("run_merge on {}", node.kind.name()));
     }
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut tr = ctx.tracer(op);
     // Indices of inputs that have not yet reached EOF. The Select session
     // is registered once per *live-set change* (EOF), not per batch —
     // registration takes a lock per input.
@@ -105,6 +121,7 @@ pub(crate) fn run_merge(
             sel.recv(&inputs[i]);
         }
         loop {
+            let t_recv = tr.begin();
             let (slot, msg) = if live.len() == 1 {
                 (0, inputs[live[0]].recv())
             } else {
@@ -112,6 +129,7 @@ pub(crate) fn run_merge(
                 let slot = opn.index();
                 (slot, opn.recv(&inputs[live[slot]]))
             };
+            tr.end(Phase::ChannelRecv, t_recv);
             match msg {
                 Ok(Msg::Batch(batch)) => {
                     count_in(ctx, op, 0, batch.len());
@@ -131,5 +149,7 @@ pub(crate) fn run_merge(
             }
         }
     }
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }

@@ -20,6 +20,7 @@ use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
+use sip_common::trace::Phase;
 use sip_common::{exec_err, AttrId, DigestBuffer, FxHashMap, OpId, Result, Row};
 use std::sync::Arc;
 
@@ -138,6 +139,7 @@ pub(crate) fn run_hash_join(
     let mut sides = [Side::new(lk), Side::new(rk)];
     let mut collectors = [ctx.take_collector(op, 0), ctx.take_collector(op, 1)];
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut tr = ctx.tracer(op);
     let metrics = ctx.hub.op(op);
     // One digest pass per arriving batch; the buffer is reused across
     // batches from either side.
@@ -145,6 +147,7 @@ pub(crate) fn run_hash_join(
 
     loop {
         // Receive from whichever side has data; block only on live sides.
+        let t_recv = tr.begin();
         let (idx, msg) = if sides[0].done {
             (1, right_rx.recv())
         } else if sides[1].done {
@@ -155,6 +158,7 @@ pub(crate) fn run_hash_join(
                 recv(right_rx) -> m => (1, m),
             }
         };
+        tr.end(Phase::ChannelRecv, t_recv);
         match msg {
             Ok(Msg::Batch(batch)) => {
                 count_in(ctx, op, idx, batch.len());
@@ -162,10 +166,15 @@ pub(crate) fn run_hash_join(
                 // Both sides hash the same key-value sequence, so this
                 // side's digest doubles as the probe digest into the
                 // opposite table — and as the collector's build digest.
+                let t0 = tr.begin();
                 digests.compute(&batch.rows, &sides[idx].keys);
+                tr.end(Phase::Compute, t0);
                 if let Some(c) = collectors[idx].as_mut() {
+                    let t0 = tr.begin();
                     c.admit_batch(&batch.rows, &sides[idx].keys, &digests);
+                    tr.end(Phase::AdmitBuild, t0);
                 }
+                let t_probe = tr.begin();
                 let other = 1 - idx;
                 for (i, row) in batch.rows.into_iter().enumerate() {
                     if digests.is_null_key(i) {
@@ -191,6 +200,9 @@ pub(crate) fn run_hash_join(
                         metrics.add_state(delta, &ctx.hub.state);
                     }
                 }
+                // Same logical span as the digest pass (one Compute span
+                // per batch; auto-flush time inside the loop is nested).
+                tr.add(Phase::Compute, t_probe);
                 emitter.flush()?;
             }
             Ok(Msg::Eof) | Err(_) => {
@@ -238,5 +250,7 @@ pub(crate) fn run_hash_join(
             metrics.add_state(delta, &ctx.hub.state);
         }
     }
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }

@@ -20,6 +20,7 @@ pub(crate) mod stateless;
 use crate::context::{ExecContext, Msg};
 use crate::taps::TapKernel;
 use crossbeam::channel::Sender;
+use sip_common::trace::{OpTracer, Phase};
 use sip_common::{Batch, OpId, Result, Row, Value};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -49,6 +50,12 @@ pub(crate) struct Emitter<'a> {
     /// ShuffleWrite).
     tap: Option<TapKernel>,
     cancelled: bool,
+    /// The emitter's own span tracer (merged with the host operator's by
+    /// summation — same op id). Flushes triggered from inside `push` run
+    /// within the operator's `Compute` span; their duration is recorded as
+    /// *nested* so the merge can subtract it from `Compute`, keeping the
+    /// phases a partition of the thread's busy time.
+    tracer: OpTracer,
 }
 
 impl<'a> Emitter<'a> {
@@ -72,6 +79,7 @@ impl<'a> Emitter<'a> {
     ) -> Self {
         let cap = ctx.options.batch_size;
         Emitter {
+            tracer: ctx.tracer(op),
             ctx,
             op,
             out,
@@ -94,7 +102,7 @@ impl<'a> Emitter<'a> {
         }
         self.buf.push(row);
         if self.buf.len() >= self.ctx.options.batch_size {
-            self.flush()?;
+            self.flush_impl(true)?;
         }
         Ok(())
     }
@@ -113,7 +121,7 @@ impl<'a> Emitter<'a> {
             }
             self.buf = rows;
             if self.buf.len() >= self.ctx.options.batch_size {
-                self.flush()?;
+                self.flush_impl(true)?;
             }
         } else {
             for row in rows {
@@ -142,6 +150,13 @@ impl<'a> Emitter<'a> {
     /// cancelled path neither snapshots nor allocates — a drained operator
     /// winding down after downstream hangup does no further work here.
     pub(crate) fn flush(&mut self) -> Result<()> {
+        self.flush_impl(false)
+    }
+
+    /// `nested` marks flushes triggered from inside `push`/`push_rows`,
+    /// which run within the caller's `Compute` span: their whole duration
+    /// is additionally recorded as nested time for the merge to subtract.
+    fn flush_impl(&mut self, nested: bool) -> Result<()> {
         if self.cancelled {
             self.buf.clear();
             return Ok(());
@@ -149,15 +164,21 @@ impl<'a> Emitter<'a> {
         if self.buf.is_empty() {
             return Ok(());
         }
+        let t_flush = if nested { self.tracer.begin() } else { 0 };
         if let Some(kernel) = self.tap.as_mut() {
             if !self.ctx.taps[self.op.index()].is_empty() {
+                let t0 = self.tracer.begin();
                 kernel.begin(self.buf.len());
                 if kernel.probe_op(self.ctx, self.op, &self.buf) > 0 {
                     kernel.compact(&mut self.buf);
                 }
+                self.tracer.end(Phase::TapProbe, t0);
                 if self.buf.is_empty() {
                     // The tap dropped the whole batch: the emptied buffer
                     // stays in place, its capacity reused by the next batch.
+                    if nested {
+                        self.tracer.add_nested(t_flush);
+                    }
                     return Ok(());
                 }
             }
@@ -168,12 +189,23 @@ impl<'a> Emitter<'a> {
             .rows_out
             .fetch_add(self.buf.len() as u64, Ordering::Relaxed);
         let rows = std::mem::replace(&mut self.buf, std::mem::take(&mut self.spare));
+        let t0 = self.tracer.begin();
+        if self.tracer.enabled() {
+            // Downstream occupancy right before the send: a persistently
+            // full queue means this edge is backpressured (the send span
+            // will show the blocked time).
+            self.tracer.sample_occupancy(self.out.len());
+        }
         if self.out.send(Msg::Batch(Batch::new(rows))).is_err() {
             self.cancelled = true;
         } else if self.buf.capacity() == 0 {
             // No recycled buffer available: provision batch capacity up
             // front so row-at-a-time pushes don't grow it piecemeal.
             self.buf.reserve(self.ctx.options.batch_size);
+        }
+        self.tracer.end(Phase::ChannelSend, t0);
+        if nested {
+            self.tracer.add_nested(t_flush);
         }
         Ok(())
     }
@@ -187,6 +219,7 @@ impl<'a> Emitter<'a> {
             .op(self.op)
             .finished
             .store(true, Ordering::Relaxed);
+        self.tracer.flush();
         Ok(())
     }
 }
@@ -205,10 +238,12 @@ pub(crate) fn key_of(row: &Row, positions: &[usize]) -> Option<(u64, Vec<Value>)
     Some((row.key_hash(positions), row.key_values(positions)))
 }
 
-/// Record arrival metrics for an input.
+/// Record arrival metrics for an input (one call per batch).
 #[inline]
 pub(crate) fn count_in(ctx: &ExecContext, op: OpId, input: usize, n: usize) {
-    ctx.hub.op(op).rows_in[input].fetch_add(n as u64, Ordering::Relaxed);
+    let m = ctx.hub.op(op);
+    m.rows_in[input].fetch_add(n as u64, Ordering::Relaxed);
+    m.batches_in.fetch_add(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use crate::context::{ExecContext, Msg};
 use crate::delay::DelayState;
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
+use sip_common::trace::Phase;
 use sip_common::{exec_err, DigestBuffer, OpId, Result, Row, SelVec};
 use std::sync::Arc;
 
@@ -35,6 +36,7 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
         .cloned()
         .map(DelayState::new);
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut tr = ctx.tracer(op);
     let batch = ctx.options.batch_size;
     let mut digests = DigestBuffer::default();
     let mut sel = SelVec::default();
@@ -44,6 +46,7 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
             break;
         }
         let chunk_len = chunk.len() as u64;
+        let t0 = tr.begin();
         let mut rows: Vec<Row> = chunk.iter().map(|r| r.project(&cols)).collect();
         match &part {
             // Rowid split: ownership by table row index — perfectly
@@ -66,6 +69,9 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
             }
             None => {}
         }
+        // The span covers projection + partition filtering only — the
+        // simulated source delay below is transmission latency, not work.
+        tr.end(Phase::Compute, t0);
         offset += chunk_len;
         if let Some(d) = delay.as_mut() {
             let pause = d.advance(rows.len() as u64);
@@ -77,7 +83,9 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
         // Emit at batch granularity so delays interleave with consumption.
         emitter.flush()?;
     }
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }
 
 /// Run an `ExternalSource` node: forward batches from a channel provided by
@@ -91,13 +99,19 @@ pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -
         .remove(&op.0)
         .ok_or_else(|| exec_err!("no external input registered for {op}"))?;
     let mut emitter = Emitter::new(ctx, op, out);
-    while let Ok(msg) = rx.recv() {
-        let Msg::Batch(b) = msg else { break };
+    let mut tr = ctx.tracer(op);
+    loop {
+        let t0 = tr.begin();
+        let msg = rx.recv();
+        tr.end(Phase::ChannelRecv, t0);
+        let Ok(Msg::Batch(b)) = msg else { break };
         count_in(ctx, op, 0, b.len());
         emitter.push_rows(b.rows)?;
         emitter.flush()?;
     }
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }
 
 /// Project helper for tests.

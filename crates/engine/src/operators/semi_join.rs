@@ -16,6 +16,7 @@ use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
+use sip_common::trace::Phase;
 use sip_common::{exec_err, AttrId, DigestBuffer, FxHashMap, OpId, Result, Row, Value};
 use std::sync::Arc;
 
@@ -122,12 +123,14 @@ pub(crate) fn run_semi_join(
     let mut collector_probe = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut tr = ctx.tracer(op);
     // Reused per-batch digest scratch, one per input (key column sets
     // differ).
     let mut build_digests = DigestBuffer::default();
     let mut probe_digests = DigestBuffer::default();
 
     while !(probe_done && build_done) {
+        let t_recv = tr.begin();
         let (is_build, msg) = if probe_done {
             (true, build_rx.recv())
         } else if build_done {
@@ -138,14 +141,20 @@ pub(crate) fn run_semi_join(
                 recv(build_rx) -> m => (true, m),
             }
         };
+        tr.end(Phase::ChannelRecv, t_recv);
         match (is_build, msg) {
             (true, Ok(Msg::Batch(batch))) => {
                 count_in(ctx, op, 1, batch.len());
                 build_rows_in += batch.len() as u64;
+                let t0 = tr.begin();
                 build_digests.compute(&batch.rows, &build_keys);
+                tr.end(Phase::Compute, t0);
                 if let Some(c) = collector_build.as_mut() {
+                    let t0 = tr.begin();
                     c.admit_batch(&batch.rows, &build_keys, &build_digests);
+                    tr.end(Phase::AdmitBuild, t0);
                 }
+                let t_ins = tr.begin();
                 for (i, row) in batch.rows.iter().enumerate() {
                     if build_digests.is_null_key(i) {
                         continue;
@@ -170,14 +179,20 @@ pub(crate) fn run_semi_join(
                         }
                     }
                 }
+                tr.add(Phase::Compute, t_ins);
                 emitter.flush()?;
             }
             (false, Ok(Msg::Batch(batch))) => {
                 count_in(ctx, op, 0, batch.len());
+                let t0 = tr.begin();
                 probe_digests.compute(&batch.rows, &probe_keys);
+                tr.end(Phase::Compute, t0);
                 if let Some(c) = collector_probe.as_mut() {
+                    let t0 = tr.begin();
                     c.admit_batch(&batch.rows, &probe_keys, &probe_digests);
+                    tr.end(Phase::AdmitBuild, t0);
                 }
+                let t_probe = tr.begin();
                 for (i, row) in batch.rows.into_iter().enumerate() {
                     if probe_digests.is_null_key(i) {
                         continue; // NULL keys never match
@@ -193,6 +208,7 @@ pub(crate) fn run_semi_join(
                     }
                     // build done and no match: drop.
                 }
+                tr.add(Phase::Compute, t_probe);
                 emitter.flush()?;
             }
             (true, Ok(Msg::Eof)) | (true, Err(_)) => {
@@ -247,5 +263,7 @@ pub(crate) fn run_semi_join(
     // Release the build set.
     metrics.add_state(-(build.bytes as i64), &ctx.hub.state);
     debug_assert_eq!(pending_bytes, 0);
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }

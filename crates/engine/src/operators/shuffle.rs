@@ -24,6 +24,7 @@ use crate::context::{ExecContext, Msg};
 use crate::physical::{PhysKind, SaltRole};
 use crate::taps::TapKernel;
 use crossbeam::channel::{Receiver, Select, Sender};
+use sip_common::trace::Phase;
 use sip_common::{exec_err, hash::partition_of, OpId, Result, SelVec, SpaceSaving};
 use std::sync::Arc;
 
@@ -83,6 +84,7 @@ pub(crate) fn run_shuffle_write(
         .map(|tx| Emitter::passthrough(ctx, op, tx))
         .collect();
     let mut kernel = TapKernel::new();
+    let mut tr = ctx.tracer(op);
     let mut route: Vec<SelVec> = (0..dop as usize).map(|_| SelVec::default()).collect();
     let mut owners: Vec<u32> = Vec::new();
     let mut digs: Vec<u64> = Vec::new();
@@ -97,17 +99,23 @@ pub(crate) fn run_shuffle_write(
     let mut sketch = SpaceSaving::new(SKETCH_CAPACITY);
     let mut seen = 0u64;
     let mut routed = vec![0u64; dop as usize];
-    while let Ok(msg) = input.recv() {
-        let Msg::Batch(batch) = msg else { break };
+    loop {
+        let t_recv = tr.begin();
+        let msg = input.recv();
+        tr.end(Phase::ChannelRecv, t_recv);
+        let Ok(Msg::Batch(batch)) = msg else { break };
         count_in(ctx, op, 0, batch.len());
         kernel.begin(batch.len());
+        let t0 = tr.begin();
         kernel.probe_op(ctx, op, &batch.rows);
+        tr.end(Phase::TapProbe, t0);
         // Route the surviving selection. The routing digests come from the
         // same cache as the tap's, so a filter over the shuffle key costs
         // no extra hash pass. NULL routing keys hash like any value: all
         // NULL rows of a stream land in one consistent partition, keeping
         // the union across readers multiset-correct even for rows that can
         // never join.
+        let t0 = tr.begin();
         for s in route.iter_mut() {
             s.clear();
         }
@@ -139,10 +147,15 @@ pub(crate) fn run_shuffle_write(
                 _ => route[owners[iu] as usize].push(i),
             }
         }
+        // One Compute span per batch covering digest + deal; the emitters'
+        // auto-flush sends inside extend_sel are recorded as nested time.
+        tr.end(Phase::Compute, t0);
+        let t_deal = tr.begin();
         for (owner, s) in route.iter().enumerate() {
             routed[owner] += s.len() as u64;
             emitters[owner].extend_sel(&batch.rows, s.as_slice())?;
         }
+        tr.add(Phase::Compute, t_deal);
         if emitters.iter().all(|e| e.cancelled()) {
             // Every reader hung up (query failed/cancelled downstream):
             // stop pulling so the producer side winds down too.
@@ -157,7 +170,8 @@ pub(crate) fn run_shuffle_write(
     // reader's fair share.
     let hot_threshold = (sketch.total() / dop.max(1) as u64).max(1);
     let observed_hot = sketch.heavy_hitters(hot_threshold).len() as u64;
-    ctx.hub.op(op).record_routing(&routed, observed_hot);
+    tr.set_routed(&routed, observed_hot);
+    tr.flush();
     let _ = out.send(Msg::Eof);
     Ok(())
 }
@@ -184,6 +198,7 @@ pub(crate) fn run_shuffle_read(
         .take_shuffle_receivers(mesh, partition)
         .ok_or_else(|| exec_err!("mesh {mesh} partition {partition} has no receivers"))?;
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut tr = ctx.tracer(op);
     // Same live-set select loop as Merge: re-register only when an input
     // reaches EOF, never per batch.
     let mut live: Vec<usize> = (0..inputs.len()).collect();
@@ -193,6 +208,7 @@ pub(crate) fn run_shuffle_read(
             sel.recv(&inputs[i]);
         }
         loop {
+            let t_recv = tr.begin();
             let (slot, msg) = if live.len() == 1 {
                 (0, inputs[live[0]].recv())
             } else {
@@ -200,6 +216,7 @@ pub(crate) fn run_shuffle_read(
                 let slot = opn.index();
                 (slot, opn.recv(&inputs[live[slot]]))
             };
+            tr.end(Phase::ChannelRecv, t_recv);
             match msg {
                 Ok(Msg::Batch(batch)) => {
                     count_in(ctx, op, 0, batch.len());
@@ -228,5 +245,7 @@ pub(crate) fn run_shuffle_read(
     for rx in tree_inputs {
         while let Ok(Msg::Batch(_)) = rx.recv() {}
     }
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }

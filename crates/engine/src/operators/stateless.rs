@@ -7,6 +7,7 @@ use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
+use sip_common::trace::Phase;
 use sip_common::{exec_err, OpId, Result, Row, SelVec};
 use std::sync::Arc;
 
@@ -22,10 +23,15 @@ pub(crate) fn run_filter(
         other => return Err(exec_err!("run_filter on {}", other.name())),
     };
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut tr = ctx.tracer(op);
     let mut sel = SelVec::default();
-    while let Ok(msg) = input.recv() {
-        let Msg::Batch(mut b) = msg else { break };
+    loop {
+        let t0 = tr.begin();
+        let msg = input.recv();
+        tr.end(Phase::ChannelRecv, t0);
+        let Ok(Msg::Batch(mut b)) = msg else { break };
         count_in(ctx, op, 0, b.len());
+        let t0 = tr.begin();
         sel.clear();
         for (i, row) in b.rows.iter().enumerate() {
             if pred.eval_bool(row)? {
@@ -33,13 +39,16 @@ pub(crate) fn run_filter(
             }
         }
         sel.compact(&mut b.rows);
+        tr.end(Phase::Compute, t0);
         emitter.push_rows(b.rows)?;
         emitter.flush()?;
         if emitter.cancelled() {
             break;
         }
     }
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }
 
 /// Run a `Project` node.
@@ -54,9 +63,14 @@ pub(crate) fn run_project(
         other => return Err(exec_err!("run_project on {}", other.name())),
     };
     let mut emitter = Emitter::new(ctx, op, out);
-    while let Ok(msg) = input.recv() {
-        let Msg::Batch(b) = msg else { break };
+    let mut tr = ctx.tracer(op);
+    loop {
+        let t0 = tr.begin();
+        let msg = input.recv();
+        tr.end(Phase::ChannelRecv, t0);
+        let Ok(Msg::Batch(b)) = msg else { break };
         count_in(ctx, op, 0, b.len());
+        let t0 = tr.begin();
         let mut rows = Vec::with_capacity(b.len());
         for row in &b.rows {
             let mut vals = Vec::with_capacity(exprs.len());
@@ -65,11 +79,14 @@ pub(crate) fn run_project(
             }
             rows.push(Row::new(vals));
         }
+        tr.end(Phase::Compute, t0);
         emitter.push_rows(rows)?;
         emitter.flush()?;
         if emitter.cancelled() {
             break;
         }
     }
-    emitter.finish()
+    emitter.finish()?;
+    tr.flush();
+    Ok(())
 }

@@ -22,13 +22,30 @@
 //! * accounting — the rows admitted equal the operator's `rows_in` counter.
 
 use crate::context::ExecContext;
-use crate::monitor::RowCollector;
+use crate::metrics::ExecMetrics;
+use crate::monitor::{ExecMonitor, RowCollector};
 use crate::physical::{PhysKind, PhysPlan};
 use crate::taps::InjectedFilter;
 use sip_common::{DigestBuffer, OpId, Row};
 use sip_filter::{AipSetBuilder, AipSetKind};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
+
+/// An [`ExecMonitor`] that captures the frozen [`ExecMetrics`] of each
+/// query it observes through the [`ExecMonitor::on_trace`] sink — the
+/// harness tests assert on span/phase invariants through this instead of
+/// re-plumbing metrics out of every executor entry point.
+#[derive(Default)]
+pub struct TraceProbe {
+    /// One entry per completed query, in completion order.
+    pub captured: Mutex<Vec<ExecMetrics>>,
+}
+
+impl ExecMonitor for TraceProbe {
+    fn on_trace(&self, _ctx: &Arc<ExecContext>, metrics: &ExecMetrics) {
+        self.captured.lock().unwrap().push(metrics.clone());
+    }
+}
 
 /// One mirrored working set: a single source column built through both the
 /// batch path and the per-row replay.

@@ -3,6 +3,7 @@
 
 use crate::link::LinkSpec;
 use crossbeam::channel::bounded;
+use sip_common::trace::{FilterEvent, FilterEventKind};
 use sip_common::{Batch, OpId, Result, SipError};
 use sip_core::{AipConfig, CostBased, FeedForward, QuerySpec, Strategy};
 use sip_engine::{
@@ -195,6 +196,15 @@ fn feed_remote_scan(
                 let bytes = f.set.size_bytes() as u64;
                 stats.filter_bytes.fetch_add(bytes, Ordering::Relaxed);
                 stats.filters_shipped.fetch_add(1, Ordering::Relaxed);
+                ctx.hub.trace.filter_event(FilterEvent {
+                    kind: FilterEventKind::Shipped,
+                    site: feed.op.0,
+                    label: f.label.clone(),
+                    t_nanos: ctx.hub.trace.now(),
+                    build_nanos: 0,
+                    keys: f.set.n_keys(),
+                    bytes,
+                });
                 std::thread::sleep(link.transfer_time(bytes) + link.latency);
             }
             known_filters = filters.len();

@@ -182,6 +182,16 @@ impl<T> Sender<T> {
             state = self.inner.not_full.wait(state).unwrap();
         }
     }
+
+    /// Number of currently queued messages (sender-side occupancy gauge).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for Sender<T> {
