@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Figures: table1, fig1, fig2, fig5..fig14 (time/space pairs run
-//! together), overhead, scaling, kernels, admit, ablation-sets,
-//! ablation-fpr, ablation-minmax, all.
+//! together), overhead, scaling, skew, adaptive, kernels, admit,
+//! ablation-sets, ablation-fpr, ablation-minmax, all.
 //!
 //! `--json <dir>` additionally writes one machine-readable
 //! `BENCH_<figure>.json` per measured figure into `<dir>` (created if
@@ -86,7 +86,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--figure all|table1|fig1|fig2|fig5|fig6|fig9|fig10|fig13|\
-overhead|scaling|skew|kernels|admit|ablation-sets|ablation-fpr|ablation-minmax] [--sf F] \
+overhead|scaling|skew|adaptive|kernels|admit|ablation-sets|ablation-fpr|ablation-minmax] \
+[--sf F] \
 [--repeats N] [--seed S] [--batch-size N] [--channel-capacity N] [--dop N] \
 [--merge-fanin N] [--json DIR]\n\n\
   --batch-size N        rows per engine batch (default 1024); also the\n\
@@ -252,6 +253,9 @@ fn main() -> ExitCode {
     });
     run_figures(&sel, "skew", json, cfg, &mut failed, || {
         harness.skew().map(|r| vec![r])
+    });
+    run_figures(&sel, "adaptive", json, cfg, &mut failed, || {
+        harness.adaptive().map(|r| vec![r])
     });
     run_figures(&sel, "kernels", json, cfg, &mut failed, || {
         harness.kernels().map(|r| vec![r])

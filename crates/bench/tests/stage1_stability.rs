@@ -1,0 +1,134 @@
+//! Ignored diagnostic for wall-clock stability of the adaptive two-stage
+//! path (`cargo test -p sip-bench --release --test stage1_stability --
+//! --ignored --nocapture`).
+//!
+//! Kept because it isolates an environment effect that shaped the
+//! `adaptive` figure's methodology: on hosts with a large resident heap
+//! (e.g. under a microVM with lazy host-side faulting), runs that
+//! materialize a large intermediate suffer one-sided multi-hundred-ms
+//! page-fault stalls in ~20% of repeats, while the same plan under the
+//! same monitor is stable in a small process. The figure therefore
+//! reports best-of-N per cell; this probe shows the raw distribution.
+
+use sip_common::{DataType, Field, Row, Schema, Value};
+use sip_data::{Catalog, Table};
+use sip_engine::DelayModel;
+use sip_expr::Expr;
+use sip_parallel::{AdaptiveConfig, AdaptiveExec, PartitionConfig};
+use sip_plan::QueryBuilder;
+use std::sync::Arc;
+
+fn catalog(n_rows: i64) -> Catalog {
+    let int = |n: &str| Field::new(n, DataType::Int);
+    let facts: Vec<Row> = (0..n_rows)
+        .map(|i| {
+            let flagged = i % 10 < 9;
+            let flag = if flagged { 1 } else { 2 + i % 199 };
+            let fc = if !flagged || i % 25 == 0 {
+                1 + i % 30_000
+            } else {
+                30_001 + i
+            };
+            Row::new(vec![
+                Value::Int(1 + i % 200),
+                Value::Int(1 + i % 30_000),
+                Value::Int(fc),
+                Value::Int(flag),
+            ])
+        })
+        .collect();
+    let dim = |name: &str, col: &str, keys: i64, copies: i64| {
+        Table::new(
+            name,
+            Schema::new(vec![Field::new(col, DataType::Int)]),
+            vec![],
+            vec![],
+            (0..keys * copies)
+                .map(|k| Row::new(vec![Value::Int(k % keys + 1)]))
+                .collect(),
+        )
+        .unwrap()
+    };
+    let mut catalog = Catalog::new();
+    catalog.add(
+        Table::new(
+            "fact",
+            Schema::new(vec![int("fa"), int("fb"), int("fc"), int("flag")]),
+            vec![],
+            vec![],
+            facts,
+        )
+        .unwrap(),
+    );
+    catalog.add(dim("dim1", "da", 200, 5));
+    catalog.add(dim("dim2", "db", 30_000, 1));
+    catalog.add(dim("dim3", "dc", 30_000, 1));
+    catalog
+}
+
+#[test]
+#[ignore]
+fn adaptive_wall_stability() {
+    let catalog = catalog(120_000);
+    let mut q = QueryBuilder::new(&catalog);
+    let f = q.scan("fact", "f", &["fa", "fb", "fc", "flag"]).unwrap();
+    let pred = f.col("flag").unwrap().eq(Expr::lit(1i64));
+    let f = q.filter(f, pred);
+    let d1 = q.scan("dim1", "d1", &["da"]).unwrap();
+    let j1 = q.join(f, d1, &[("f.fa", "d1.da")]).unwrap();
+    let d2 = q.scan("dim2", "d2", &["db"]).unwrap();
+    let j2 = q.join(j1, d2, &[("f.fb", "d2.db")]).unwrap();
+    let d3 = q.scan("dim3", "d3", &["dc"]).unwrap();
+    let j3 = q.join(j2, d3, &[("f.fc", "d3.dc")]).unwrap();
+    let plan = j3.into_plan();
+    let eq = sip_plan::PredicateIndex::build(&plan).eq;
+    let phys = Arc::new(sip_engine::lower(&plan, q.into_attrs(), &catalog).unwrap());
+
+    // Grow the resident heap the way the repro binary's harness does; the
+    // stall does not reproduce in a small process.
+    let ballast: Vec<Vec<Row>> = (0..8)
+        .map(|s| {
+            (0..500_000i64)
+                .map(|i| Row::new(vec![Value::Int(s * 500_000 + i), Value::Int(i % 97)]))
+                .collect()
+        })
+        .collect();
+
+    for dop in [1u32, 4] {
+        for rep in 0..6 {
+            let mut opts = sip_engine::ExecOptions::default();
+            opts = opts
+                .with_delay(
+                    "fact",
+                    DelayModel::initial_only(std::time::Duration::from_millis(60)),
+                )
+                .with_delay(
+                    "__stage1",
+                    DelayModel::initial_only(std::time::Duration::from_millis(35)),
+                );
+            opts.collect_rows = true;
+            let monitor: Arc<dyn sip_engine::ExecMonitor> = sip_core::CostBased::new(
+                eq.clone(),
+                sip_core::AipConfig::hash_sets(),
+                sip_optimizer::CostModel::default(),
+            );
+            let exec = AdaptiveExec::with_config(
+                dop,
+                AdaptiveConfig {
+                    min_rows_per_partition: 600_000,
+                    partition: PartitionConfig::default(),
+                },
+            );
+            let t0 = std::time::Instant::now();
+            let (out, _map, report) = exec.execute(Arc::clone(&phys), monitor, opts).unwrap();
+            eprintln!(
+                "adaptive dop {dop} rep {rep}: {:.3}s s1={:.3}s rows={}",
+                t0.elapsed().as_secs_f64(),
+                report.stage1_wall.as_secs_f64(),
+                out.rows.len()
+            );
+            assert_eq!(out.rows.len(), 24_000);
+        }
+    }
+    drop(ballast);
+}

@@ -1,0 +1,92 @@
+//! Minimal JSON string escaping shared by every hand-rolled JSON writer.
+//!
+//! The workspace emits two artifact families without a serde dependency —
+//! `BENCH_*.json` (sip-bench figures) and `PROFILE_*.json` (sip-engine
+//! query profiles) — and both need the same RFC 8259 string escaping.
+//! Keeping one escaper here means the artifacts cannot disagree on how a
+//! quote, backslash, or control character is encoded.
+
+/// Append `s` to `out` as a JSON string literal, including the surrounding
+/// quotes. Control characters (U+0000..U+001F) are `\uXXXX`-escaped (with
+/// the `\n`/`\r`/`\t` short forms); quotes and backslashes are escaped;
+/// everything else — including non-ASCII — passes through as UTF-8, which
+/// RFC 8259 permits unescaped.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a JSON string literal (quotes included).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(json_str("hello"), "\"hello\"");
+        assert_eq!(json_str(""), "\"\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_escaped() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_str("\\\""), "\"\\\\\\\"\"");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        assert_eq!(json_str("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_str("a\rb"), "\"a\\rb\"");
+        assert_eq!(json_str("a\tb"), "\"a\\tb\"");
+        assert_eq!(json_str("\u{0}"), "\"\\u0000\"");
+        assert_eq!(json_str("\u{1f}"), "\"\\u001f\"");
+        // U+0020 (space) is the first unescaped code point.
+        assert_eq!(json_str(" "), "\" \"");
+    }
+
+    #[test]
+    fn non_ascii_passes_through_unescaped() {
+        assert_eq!(json_str("héllo"), "\"héllo\"");
+        assert_eq!(json_str("日本語"), "\"日本語\"");
+        assert_eq!(json_str("🚀"), "\"🚀\"");
+    }
+
+    #[test]
+    fn escaped_output_round_trips_as_valid_json() {
+        // A torture string mixing every escape class; the escaped form must
+        // contain no raw quote/control bytes except the delimiters.
+        let s = "q\"b\\s\nnl\ttab\u{1}ctl héllo";
+        let j = json_str(s);
+        let inner = &j[1..j.len() - 1];
+        assert!(!inner.contains('\n') && !inner.contains('\t'));
+        assert!(!inner.bytes().any(|b| b < 0x20));
+        // Unescaped quotes only at the ends.
+        let mut prev_backslash = false;
+        for c in inner.chars() {
+            if c == '"' {
+                assert!(prev_backslash, "raw quote inside: {j}");
+            }
+            prev_backslash = c == '\\' && !prev_backslash;
+        }
+    }
+}

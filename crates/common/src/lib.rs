@@ -16,6 +16,7 @@ pub mod date;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod json;
 pub mod kernel;
 pub mod row;
 pub mod schema;

@@ -74,6 +74,78 @@ impl SpaceSaving {
         self.total
     }
 
+    /// The candidate capacity this sketch was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Is every candidate slot occupied? An unfull sketch is exact: no
+    /// eviction has happened, so an absent key truly has count 0.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// All tracked candidates, heaviest first (ties by digest, ascending,
+    /// for determinism).
+    pub fn entries(&self) -> Vec<SketchEntry> {
+        let mut out: Vec<SketchEntry> = self
+            .entries
+            .iter()
+            .map(|(&digest, &(count, err))| SketchEntry { digest, count, err })
+            .collect();
+        out.sort_by(|a, b| (b.count, a.digest).cmp(&(a.count, b.digest)));
+        out
+    }
+
+    /// The smallest tracked count — what an untracked key *could* have
+    /// accumulated before its last eviction. 0 while the sketch is unfull
+    /// (absent keys are exactly 0 then).
+    fn floor(&self) -> u64 {
+        if !self.is_full() {
+            return 0;
+        }
+        self.entries.values().map(|&(c, _)| c).min().unwrap_or(0)
+    }
+
+    /// Merge `other` into `self` (Agarwal et al.'s combinable summary
+    /// merge). Symmetric in distribution: merging per-writer sketches in
+    /// any order yields the same estimates for every surviving key.
+    ///
+    /// A key present in both sketches sums its counts and error bounds. A
+    /// key present in only one side may still have occurred on the other —
+    /// up to that side's minimum tracked count, if that side is full (an
+    /// unfull sketch is exact, so the addend is 0) — so it inherits that
+    /// floor as both count- and error-addend, preserving the invariant
+    /// `count - err ≤ true count ≤ count`. The result is then pruned back
+    /// to capacity, keeping the heaviest candidates.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        let self_floor = self.floor();
+        let other_floor = other.floor();
+        let mut merged: FxHashMap<u64, (u64, u64)> = FxHashMap::default();
+        for (&d, &(c, e)) in &self.entries {
+            let (oc, oe) = other
+                .entries
+                .get(&d)
+                .copied()
+                .unwrap_or((other_floor, other_floor));
+            merged.insert(d, (c + oc, e + oe));
+        }
+        for (&d, &(c, e)) in &other.entries {
+            merged.entry(d).or_insert((c + self_floor, e + self_floor));
+        }
+        self.total += other.total;
+        self.capacity = self.capacity.max(other.capacity);
+        if merged.len() > self.capacity {
+            let mut all: Vec<(u64, (u64, u64))> = merged.iter().map(|(&d, &ce)| (d, ce)).collect();
+            // Keep the heaviest `capacity` candidates (ties by digest so
+            // the survivors do not depend on hash-map iteration order).
+            all.sort_by(|a, b| (b.1 .0, a.0).cmp(&(a.1 .0, b.0)));
+            all.truncate(self.capacity);
+            merged = all.into_iter().collect();
+        }
+        self.entries = merged;
+    }
+
     /// Estimated count for `digest` (0 when untracked).
     pub fn estimate(&self, digest: u64) -> u64 {
         self.entries.get(&digest).map(|&(c, _)| c).unwrap_or(0)
@@ -149,6 +221,68 @@ mod tests {
         assert_eq!(hh.len(), 2);
         assert_eq!(hh[0].digest, 2);
         assert_eq!(hh[1].digest, 1);
+    }
+
+    #[test]
+    fn merge_of_unfull_sketches_is_exact() {
+        let mut a = SpaceSaving::new(8);
+        let mut b = SpaceSaving::new(8);
+        for d in [1u64, 1, 2] {
+            a.offer(d);
+        }
+        for d in [2u64, 3] {
+            b.offer(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.estimate(1), 2);
+        assert_eq!(a.estimate(2), 2);
+        assert_eq!(a.estimate(3), 1);
+        // No eviction happened anywhere: every error bound stays 0.
+        assert!(a.entries().iter().all(|e| e.err == 0));
+    }
+
+    #[test]
+    fn merge_inherits_floor_for_one_sided_keys() {
+        // b is full, so a key b never saw could still hold up to b's
+        // minimum count — the merge must widen the error bound, not
+        // silently claim exactness.
+        let mut a = SpaceSaving::new(4);
+        let mut b = SpaceSaving::new(2);
+        for _ in 0..10 {
+            a.offer(42);
+        }
+        for d in [7u64, 8, 9] {
+            b.offer(d); // capacity 2: one eviction, floor >= 1
+        }
+        a.merge(&b);
+        let e = a
+            .entries()
+            .into_iter()
+            .find(|e| e.digest == 42)
+            .expect("hot key survives");
+        assert!(e.count >= 10, "count lower bound lost: {e:?}");
+        assert!(e.err >= 1, "missing floor inheritance: {e:?}");
+        assert!(e.count - e.err <= 10, "guarantee exceeds truth: {e:?}");
+    }
+
+    #[test]
+    fn merge_prunes_to_capacity_keeping_heaviest() {
+        let mut a = SpaceSaving::new(3);
+        let mut b = SpaceSaving::new(3);
+        for d in [1u64, 1, 1, 2, 2, 3] {
+            a.offer(d);
+        }
+        for d in [4u64, 4, 4, 4, 5, 6] {
+            b.offer(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.capacity(), 3);
+        let entries = a.entries();
+        assert_eq!(entries.len(), 3);
+        // The two genuinely heavy keys must survive the prune.
+        assert!(entries.iter().any(|e| e.digest == 4));
+        assert!(entries.iter().any(|e| e.digest == 1));
     }
 
     #[test]

@@ -192,6 +192,11 @@ pub struct ThreadTrace {
     pub routed: Vec<u64>,
     /// Heavy-hitter keys the routing sketch observed.
     pub hot_keys: u64,
+    /// The routing sketch itself (shuffle writers only): the per-writer
+    /// frequency summary a stage-boundary controller merges across the
+    /// mesh to compare *observed* key frequencies against the base-table
+    /// statistics the plan was frozen from.
+    pub sketch: Option<crate::sketch::SpaceSaving>,
     /// Sum of sampled downstream-channel queue lengths (one sample per
     /// batch send while tracing) — `sum / samples` is the mean occupancy
     /// gauge; high mean occupancy on a mesh writer means its reader is the
@@ -382,6 +387,13 @@ impl OpTracer {
         self.trace.hot_keys += hot_keys;
     }
 
+    /// Attach the routing sketch (recorded even with tracing off, like
+    /// routing counts — stage-boundary feedback must not require a trace
+    /// level). Replaces any previously attached sketch.
+    pub fn set_sketch(&mut self, sketch: crate::sketch::SpaceSaving) {
+        self.trace.sketch = Some(sketch);
+    }
+
     /// Sample a downstream channel's queue length (call once per send
     /// while tracing; no-op when off).
     #[inline]
@@ -401,6 +413,7 @@ impl OpTracer {
         let has_data = self.enabled
             || !self.trace.routed.is_empty()
             || self.trace.hot_keys > 0
+            || self.trace.sketch.is_some()
             || !self.trace.events.is_empty();
         if has_data {
             self.hub.sink.lock().unwrap().push(self.trace);

@@ -15,7 +15,8 @@ use parking_lot::Mutex;
 use sip_common::trace::{FilterEvent, FilterEventKind};
 use sip_common::{FxHashMap, FxHashSet, OpId};
 use sip_engine::{
-    CompletionEvent, ExecContext, ExecMonitor, InjectedFilter, MergePolicy, PhysKind, StateView,
+    CompletionEvent, ExecContext, ExecMonitor, InjectedFilter, MergePolicy, PhysKind,
+    StageFeedback, StateView,
 };
 use sip_filter::{AipSet, AipSetBuilder, AipSetKind};
 use sip_optimizer::{CostModel, Estimator, RuntimeActual};
@@ -55,6 +56,12 @@ pub struct CostBased {
     partial_sets: Mutex<PartialSets>,
     /// Decision log for explainability (one line per considered set).
     decisions: Mutex<Vec<String>>,
+    /// Observed row counts snapshotted at stage boundaries, keyed by raw
+    /// operator index. `UPDATEESTIMATES` folds these into every later
+    /// benefit estimate, so a downstream decision sees what the finished
+    /// stage actually produced even if the producing operator's own live
+    /// counter has since been left behind (e.g. its thread exited).
+    stage_actuals: Mutex<FxHashMap<u32, RuntimeActual>>,
     /// Counters.
     pub stats: CbStats,
 }
@@ -70,6 +77,7 @@ impl CostBased {
             candidates: Mutex::new(None),
             partial_sets: Mutex::new(FxHashMap::default()),
             decisions: Mutex::new(Vec::new()),
+            stage_actuals: Mutex::new(FxHashMap::default()),
             stats: CbStats::default(),
         })
     }
@@ -85,12 +93,24 @@ impl CostBased {
     }
 
     fn gather_actuals(&self, ctx: &ExecContext) -> Vec<RuntimeActual> {
+        let stage = self.stage_actuals.lock();
         ctx.hub
             .ops
             .iter()
-            .map(|m| RuntimeActual {
-                rows_out: m.rows_out.load(Ordering::Relaxed),
-                finished: m.finished.load(Ordering::Relaxed),
+            .enumerate()
+            .map(|(i, m)| {
+                let mut a = RuntimeActual {
+                    rows_out: m.rows_out.load(Ordering::Relaxed),
+                    finished: m.finished.load(Ordering::Relaxed),
+                };
+                // Stage-boundary snapshots only ever add information: a
+                // snapshot is a point-in-time floor on rows_out, and a
+                // finished bit recorded there stays true.
+                if let Some(s) = stage.get(&(i as u32)) {
+                    a.rows_out = a.rows_out.max(s.rows_out);
+                    a.finished |= s.finished;
+                }
+                a
             })
             .collect()
     }
@@ -243,6 +263,45 @@ impl ExecMonitor for CostBased {
             self.registry.register_interest(*class, cc.users.len());
         }
         *self.candidates.lock() = Some(cands);
+        // One manager may serve several executions of one query (the
+        // adaptive executor runs stage 1 and the re-planned stage 2 as
+        // separate plans over the same attribute catalog). State keyed by
+        // operator index is per-plan and must not leak across runs; the
+        // decision log deliberately persists — it is the cross-stage
+        // story the report prints.
+        self.partial_sets.lock().clear();
+        self.stage_actuals.lock().clear();
+    }
+
+    fn on_stage_boundary(&self, _ctx: &Arc<ExecContext>, fb: &StageFeedback) {
+        // UPDATEESTIMATES with *measured* cardinalities: every operator's
+        // live rows_out at the moment a shuffle stage finished becomes a
+        // floor for later estimates, and operators the boundary saw as
+        // finished stay pinned to their actuals. Downstream
+        // `estimate_benefit` calls (for joins that have not started
+        // probing yet) then price AIP sets against observed reality
+        // instead of plan-time guesses.
+        {
+            let mut stage = self.stage_actuals.lock();
+            for &(op, rows_out, finished) in &fb.op_rows {
+                let e = stage.entry(op.0).or_insert(RuntimeActual {
+                    rows_out: 0,
+                    finished: false,
+                });
+                e.rows_out = e.rows_out.max(rows_out);
+                e.finished |= finished;
+            }
+        }
+        self.decisions.lock().push(format!(
+            "stage mesh {}: {} writers done, {} rows routed (balance {:.2}, hot_share {:.2}, {} hot keys); estimates updated for {} ops",
+            fb.mesh,
+            fb.writers,
+            fb.rows_total(),
+            fb.balance(),
+            fb.hot_share(),
+            fb.hot_keys,
+            fb.op_rows.len()
+        ));
     }
 
     fn on_input_complete(&self, ctx: &Arc<ExecContext>, ev: &CompletionEvent<'_>) {

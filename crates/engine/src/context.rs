@@ -200,6 +200,11 @@ impl ExecOptions {
                     .into(),
             ));
         }
+        for (binding, model) in &self.delays {
+            model.validate().map_err(|e| {
+                sip_common::SipError::Config(format!("delay model for {binding:?}: {e}"))
+            })?;
+        }
         Ok(())
     }
 
@@ -246,6 +251,11 @@ pub struct ExecContext {
     /// `Receiver` per writer, in writer order. Taken once by each reader
     /// thread at spawn.
     shuffle_rx: Mutex<MeshEndpoints<Receiver<Msg>>>,
+    /// Per-mesh countdown of writers still running. The writer that drops
+    /// a mesh's count to zero owns the stage boundary: it builds the
+    /// [`crate::monitor::StageFeedback`] snapshot and invokes
+    /// [`crate::monitor::ExecMonitor::on_stage_boundary`].
+    mesh_writers_left: FxHashMap<u32, std::sync::atomic::AtomicU32>,
 }
 
 /// Per-mesh channel endpoints keyed by `(mesh, writer-or-partition)`.
@@ -275,6 +285,16 @@ impl ExecContext {
     ) -> Arc<Self> {
         let n = plan.nodes.len();
         let (shuffle_tx, shuffle_rx) = Self::build_meshes(&plan, options.channel_capacity.max(1));
+        let mut mesh_writers_left: FxHashMap<u32, std::sync::atomic::AtomicU32> =
+            FxHashMap::default();
+        for node in &plan.nodes {
+            if let PhysKind::ShuffleWrite { mesh, .. } = node.kind {
+                mesh_writers_left
+                    .entry(mesh)
+                    .or_insert_with(|| std::sync::atomic::AtomicU32::new(0))
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Arc::new(ExecContext {
             hub: MetricsHub::with_trace(n, options.trace_level),
             taps: (0..n).map(|_| FilterTap::new()).collect(),
@@ -284,6 +304,7 @@ impl ExecContext {
             collectors: Mutex::new(FxHashMap::default()),
             shuffle_tx: Mutex::new(shuffle_tx),
             shuffle_rx: Mutex::new(shuffle_rx),
+            mesh_writers_left,
         })
     }
 
@@ -335,6 +356,78 @@ impl ExecContext {
         partition: u32,
     ) -> Option<Vec<Receiver<Msg>>> {
         self.shuffle_rx.lock().remove(&(mesh, partition))
+    }
+
+    /// One shuffle writer of `mesh` finished; true when it was the last —
+    /// the caller then owns the mesh's stage boundary.
+    pub(crate) fn mesh_writer_finished(&self, mesh: u32) -> bool {
+        self.mesh_writers_left
+            .get(&mesh)
+            .map(|left| left.fetch_sub(1, Ordering::AcqRel) == 1)
+            .unwrap_or(false)
+    }
+
+    /// Snapshot the live counters of `mesh` into a
+    /// [`crate::monitor::StageFeedback`]: the per-writer routing
+    /// histograms and sketches merged across the mesh (via the
+    /// non-destructive [`sip_common::TraceHub::drain`]) plus the current
+    /// rows/finished state of every operator. Meant to be called by the
+    /// mesh's last writer, after its own tracer flush, so the drain sees
+    /// the whole mesh.
+    pub fn stage_feedback(&self, mesh: u32) -> crate::monitor::StageFeedback {
+        let mut writer_ops: FxHashSet<u32> = FxHashSet::default();
+        let mut dop = 0u32;
+        for node in &self.plan.nodes {
+            if let PhysKind::ShuffleWrite {
+                mesh: m, dop: d, ..
+            } = node.kind
+            {
+                if m == mesh {
+                    writer_ops.insert(node.id.0);
+                    dop = d;
+                }
+            }
+        }
+        let mut rows_routed = vec![0u64; dop as usize];
+        let mut hot_keys = 0u64;
+        let mut sketch: Option<sip_common::SpaceSaving> = None;
+        for t in &self.hub.trace.drain().threads {
+            if !writer_ops.contains(&t.op) {
+                continue;
+            }
+            for (slot, &n) in rows_routed.iter_mut().zip(t.routed.iter()) {
+                *slot += n;
+            }
+            hot_keys += t.hot_keys;
+            if let Some(s) = &t.sketch {
+                match &mut sketch {
+                    Some(merged) => merged.merge(s),
+                    None => sketch = Some(s.clone()),
+                }
+            }
+        }
+        let op_rows = self
+            .hub
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                (
+                    OpId(i as u32),
+                    m.rows_out.load(Ordering::Relaxed),
+                    m.finished.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        crate::monitor::StageFeedback {
+            mesh,
+            writers: writer_ops.len() as u32,
+            dop,
+            rows_routed,
+            hot_keys,
+            sketch,
+            op_rows,
+        }
     }
 
     /// The output layout of an operator.

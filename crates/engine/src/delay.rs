@@ -4,6 +4,7 @@
 //! rate-limited by injecting a 5msec delay every 1000 tuples" to emulate
 //! wide-area sources. [`DelayModel`] reproduces exactly that shape.
 
+use sip_common::{Result, SipError};
 use std::time::Duration;
 
 /// A delay model applied by a scan (or simulated remote source).
@@ -45,12 +46,40 @@ impl DelayModel {
         }
     }
 
+    /// Build a validated model: a recurring `pause` with `every_n == 0` is
+    /// rejected instead of silently never firing (the zero divisor used to
+    /// fall back to "no pauses", turning a misconfigured rate limit into an
+    /// undelayed source). Mirrors [`crate::ExecOptions::validated`].
+    pub fn validated(initial: Duration, every_n: u64, pause: Duration) -> Result<Self> {
+        let m = DelayModel {
+            initial,
+            every_n,
+            pause,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Check internal consistency (see [`DelayModel::validated`]).
+    pub fn validate(&self) -> Result<()> {
+        if self.every_n == 0 && !self.pause.is_zero() {
+            return Err(SipError::Config(format!(
+                "DelayModel: pause {:?} with every_n == 0 would never fire; \
+                 set every_n >= 1 or drop the pause",
+                self.pause
+            )));
+        }
+        Ok(())
+    }
+
     /// Is this effectively no delay?
     pub fn is_none(&self) -> bool {
         self.initial.is_zero() && (self.every_n == 0 || self.pause.is_zero())
     }
 
-    /// Total sleep this model adds across `n` tuples.
+    /// Total sleep this model adds across `n` tuples. (`every_n == 0`
+    /// means no rate limiting; validation guarantees `pause` is zero then,
+    /// so the skipped division cannot hide a configured pause.)
     pub fn total_for(&self, n: u64) -> Duration {
         let pauses = n.checked_div(self.every_n).unwrap_or(0);
         self.initial + self.pause * pauses as u32
@@ -126,6 +155,21 @@ mod tests {
         assert_eq!(s.advance(10), Duration::ZERO);
         // Crossing three boundaries at once pays three pauses.
         assert_eq!(s.advance(300), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn pause_without_period_is_rejected() {
+        let err = DelayModel::validated(Duration::ZERO, 0, Duration::from_millis(5));
+        assert!(err.is_err(), "every_n == 0 with a pause must not validate");
+        // The legitimate every_n == 0 shapes still pass: no delay at all,
+        // and a pure initial delay.
+        assert!(DelayModel::none().validate().is_ok());
+        assert!(DelayModel::initial_only(Duration::from_millis(9))
+            .validate()
+            .is_ok());
+        assert!(DelayModel::paper_delayed().validate().is_ok());
+        let ok = DelayModel::validated(Duration::from_millis(1), 100, Duration::from_millis(2));
+        assert_eq!(ok.unwrap().total_for(1000), Duration::from_millis(21));
     }
 
     #[test]

@@ -108,9 +108,13 @@ pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Resu
                         operators::exchange::run_exchange(&ctx, op, ins.remove(0), out)
                     }
                     PhysKind::Merge => operators::exchange::run_merge(&ctx, op, ins, out),
-                    PhysKind::ShuffleWrite { .. } => {
-                        operators::shuffle::run_shuffle_write(&ctx, op, ins.remove(0), out)
-                    }
+                    PhysKind::ShuffleWrite { .. } => operators::shuffle::run_shuffle_write(
+                        &ctx,
+                        &monitor,
+                        op,
+                        ins.remove(0),
+                        out,
+                    ),
                     PhysKind::ShuffleRead { .. } => {
                         operators::shuffle::run_shuffle_read(&ctx, op, ins, out)
                     }

@@ -29,7 +29,9 @@ pub use exec::{execute, execute_baseline, execute_ctx, QueryOutput};
 pub use metrics::{
     ExecMetrics, FilterStat, MetricsHub, OpMetrics, OpMetricsSnapshot, PartitionSnapshot,
 };
-pub use monitor::{CompletionEvent, ExecMonitor, NoopMonitor, RowCollector, StateView};
+pub use monitor::{
+    CompletionEvent, ExecMonitor, NoopMonitor, RowCollector, StageFeedback, StateView,
+};
 pub use oracle::{canonical, execute_oracle};
 pub use physical::{
     lower, BoundAgg, PhysKind, PhysNode, PhysPlan, SaltRole, SaltSpec, ScanPartition,

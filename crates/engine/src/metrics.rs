@@ -188,6 +188,13 @@ pub struct ExecMetrics {
     pub filters_injected: u64,
     /// Simulated bytes shipped between sites (0 for local queries).
     pub network_bytes: u64,
+    /// Operators whose nested emitter-flush time exceeded their `Compute`
+    /// total at merge time. The subtraction clamps to zero instead of
+    /// going negative, but a nonzero count means the one-Compute-span-
+    /// per-batch attribution invariant broke somewhere and that operator's
+    /// phase breakdown under-reports compute; surfaced in the query
+    /// profile so it cannot clamp silently.
+    pub attribution_underflow: u64,
     /// The trace level the run recorded at.
     pub trace_level: TraceLevel,
     /// Individual span events ([`TraceLevel::Spans`] only), merged and
@@ -357,8 +364,22 @@ impl MetricsHub {
         }
         // Emitter auto-flush time elapsed inside Compute spans: subtract it
         // once per op so phases partition busy time instead of overlapping.
-        for (m, &n) in per_op.iter_mut().zip(nested.iter()) {
+        // Every nested interval lies inside some Compute span by
+        // construction, so nested <= compute must hold; an underflow means
+        // a span was mis-attributed and that operator's compute total is
+        // clamped (under-reported), which the counter makes visible.
+        let mut attribution_underflow = 0u64;
+        for (i, (m, &n)) in per_op.iter_mut().zip(nested.iter()).enumerate() {
             let c = Phase::Compute as usize;
+            debug_assert!(
+                n <= m.phase_nanos[c],
+                "op {i}: nested emitter time {n}ns exceeds its Compute total {}ns \
+                 (a span escaped the one-Compute-span-per-batch invariant)",
+                m.phase_nanos[c]
+            );
+            if n > m.phase_nanos[c] {
+                attribution_underflow += 1;
+            }
             m.phase_nanos[c] = m.phase_nanos[c].saturating_sub(n);
         }
         let aip_dropped_total = per_op.iter().map(|m| m.aip_dropped).sum();
@@ -371,6 +392,7 @@ impl MetricsHub {
             aip_dropped_total,
             filters_injected: self.filters_injected.load(Ordering::Relaxed),
             network_bytes: self.network_bytes.load(Ordering::Relaxed),
+            attribution_underflow,
             trace_level: self.trace.level(),
             spans: snap.events,
             filter_events: snap.filters,
@@ -467,6 +489,51 @@ mod tests {
         let bound = raw_upper.saturating_sub(Duration::from_millis(2).as_nanos() as u64);
         assert!(compute <= bound, "nested send time was not subtracted");
         assert_eq!(snap.phase_counts[Phase::Compute as usize], 1);
+    }
+
+    #[test]
+    fn nested_within_compute_leaves_no_underflow() {
+        let hub = MetricsHub::with_trace(1, TraceLevel::Ops);
+        let mut t = hub.trace.tracer(0, None);
+        let s = t.begin();
+        std::thread::sleep(Duration::from_millis(2));
+        t.end(Phase::Compute, s);
+        t.flush();
+        let mut em = hub.trace.tracer(0, None);
+        let s = em.begin();
+        em.end(Phase::ChannelSend, s);
+        em.add_nested(s); // ~0ns nested, well inside the 2ms compute
+        em.flush();
+        let m = hub.finish(Duration::ZERO, 0);
+        assert_eq!(m.attribution_underflow, 0);
+    }
+
+    #[test]
+    fn attribution_underflow_is_loud_not_silent() {
+        // An impossible trace: nested emitter time with no Compute span at
+        // all. Debug builds must assert; release builds must clamp *and*
+        // count the clamp instead of silently zeroing.
+        let hub = MetricsHub::with_trace(1, TraceLevel::Ops);
+        let mut em = hub.trace.tracer(0, None);
+        let s = em.begin();
+        std::thread::sleep(Duration::from_millis(1));
+        em.end(Phase::ChannelSend, s);
+        em.add_nested(s);
+        em.flush();
+        #[cfg(debug_assertions)]
+        {
+            let hub2 = Arc::clone(&hub);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                hub2.finish(Duration::ZERO, 0)
+            }));
+            assert!(r.is_err(), "debug build must assert on underflow");
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let m = hub.finish(Duration::ZERO, 0);
+            assert_eq!(m.attribution_underflow, 1);
+            assert_eq!(m.per_op[0].phase(Phase::Compute), 0);
+        }
     }
 
     #[test]

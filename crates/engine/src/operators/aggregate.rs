@@ -150,8 +150,10 @@ pub(crate) fn run_aggregate(
         },
     );
 
-    // Emit results.
-    let mut emitter = Emitter::new(ctx, op, out);
+    // Emit results. The emission loop runs outside any Compute span (the
+    // build spans closed with the input), so auto-flush time must not be
+    // marked nested.
+    let mut emitter = Emitter::new(ctx, op, out).outside_compute();
     for bucket in groups.values() {
         for g in bucket {
             let mut vals: Vec<sip_common::Value> = g.key.values().to_vec();

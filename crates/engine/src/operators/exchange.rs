@@ -47,7 +47,7 @@ pub(crate) fn run_exchange(
     };
     // The tap runs here, fused with the ownership kernel, so the emitter
     // must not apply it a second time.
-    let mut emitter = Emitter::passthrough(ctx, op, out);
+    let mut emitter = Emitter::passthrough(ctx, op, out).outside_compute();
     let mut tr = ctx.tracer(op);
     let mut kernel = TapKernel::new();
     let mut kept = 0u64;
@@ -109,7 +109,7 @@ pub(crate) fn run_merge(
     if !matches!(node.kind, PhysKind::Merge) {
         return Err(exec_err!("run_merge on {}", node.kind.name()));
     }
-    let mut emitter = Emitter::new(ctx, op, out);
+    let mut emitter = Emitter::new(ctx, op, out).outside_compute();
     let mut tr = ctx.tracer(op);
     // Indices of inputs that have not yet reached EOF. The Select session
     // is registered once per *live-set change* (EOF), not per batch —

@@ -56,6 +56,12 @@ pub(crate) struct Emitter<'a> {
     /// *nested* so the merge can subtract it from `Compute`, keeping the
     /// phases a partition of the thread's busy time.
     tracer: OpTracer,
+    /// Do this host's pushes run inside a `Compute` span? Hosts that emit
+    /// outside their spans (forwarding operators adopting whole batches,
+    /// blocking operators emitting after their build) must say so via
+    /// [`Emitter::outside_compute`], or auto-flush time would be
+    /// subtracted from `Compute` spans it never ran inside.
+    nested_in_compute: bool,
 }
 
 impl<'a> Emitter<'a> {
@@ -87,7 +93,20 @@ impl<'a> Emitter<'a> {
             spare: Vec::new(),
             tap,
             cancelled: false,
+            nested_in_compute: true,
         }
+    }
+
+    /// Declare that this host pushes rows *outside* its `Compute` spans:
+    /// auto-flush time is then attributed normally (`TapProbe` +
+    /// `ChannelSend`) without the nested subtraction. Required for any
+    /// host that does not wrap its emitter calls in a `Compute` span —
+    /// getting this wrong now trips the attribution-underflow check in
+    /// [`crate::metrics::MetricsHub::finish`] instead of silently
+    /// under-reporting `Compute`.
+    pub(crate) fn outside_compute(mut self) -> Self {
+        self.nested_in_compute = false;
+        self
     }
 
     /// True once the downstream has hung up.
@@ -157,6 +176,7 @@ impl<'a> Emitter<'a> {
     /// which run within the caller's `Compute` span: their whole duration
     /// is additionally recorded as nested time for the merge to subtract.
     fn flush_impl(&mut self, nested: bool) -> Result<()> {
+        let nested = nested && self.nested_in_compute;
         if self.cancelled {
             self.buf.clear();
             return Ok(());

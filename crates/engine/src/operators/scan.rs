@@ -35,7 +35,7 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
         .delay_for(&binding, table.name())
         .cloned()
         .map(DelayState::new);
-    let mut emitter = Emitter::new(ctx, op, out);
+    let mut emitter = Emitter::new(ctx, op, out).outside_compute();
     let mut tr = ctx.tracer(op);
     let batch = ctx.options.batch_size;
     let mut digests = DigestBuffer::default();
@@ -98,7 +98,7 @@ pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -
         .lock()
         .remove(&op.0)
         .ok_or_else(|| exec_err!("no external input registered for {op}"))?;
-    let mut emitter = Emitter::new(ctx, op, out);
+    let mut emitter = Emitter::new(ctx, op, out).outside_compute();
     let mut tr = ctx.tracer(op);
     loop {
         let t0 = tr.begin();

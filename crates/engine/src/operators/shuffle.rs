@@ -21,6 +21,7 @@
 
 use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
+use crate::monitor::ExecMonitor;
 use crate::physical::{PhysKind, SaltRole};
 use crate::taps::TapKernel;
 use crossbeam::channel::{Receiver, Select, Sender};
@@ -54,6 +55,7 @@ const SKETCH_STRIDE: u64 = 16;
 /// it exists so the paired reader anchors the writer in the plan tree.
 pub(crate) fn run_shuffle_write(
     ctx: &Arc<ExecContext>,
+    monitor: &Arc<dyn ExecMonitor>,
     op: OpId,
     input: Receiver<Msg>,
     out: Sender<Msg>,
@@ -165,14 +167,25 @@ pub(crate) fn run_shuffle_write(
     for e in emitters {
         e.finish()?;
     }
-    // Publish routing observability once: per-destination row counts and
-    // the keys whose observed share of this writer's stream exceeded one
-    // reader's fair share.
+    // Publish routing observability once: per-destination row counts, the
+    // keys whose observed share of this writer's stream exceeded one
+    // reader's fair share, and the sketch itself (so a stage-boundary
+    // drain can merge the per-writer frequency summaries into one mesh-
+    // wide histogram).
     let hot_threshold = (sketch.total() / dop.max(1) as u64).max(1);
     let observed_hot = sketch.heavy_hitters(hot_threshold).len() as u64;
     tr.set_routed(&routed, observed_hot);
+    tr.set_sketch(sketch);
     tr.flush();
+    // Tree EOF first: the paired reader (and the rest of the pipeline) can
+    // keep draining while the last writer builds the boundary snapshot.
     let _ = out.send(Msg::Eof);
+    if ctx.mesh_writer_finished(mesh) {
+        // This thread's flush above is already in the hub, so the drain
+        // sees every writer of the mesh — a complete stage picture.
+        let fb = ctx.stage_feedback(mesh);
+        monitor.on_stage_boundary(ctx, &fb);
+    }
     Ok(())
 }
 
@@ -197,7 +210,7 @@ pub(crate) fn run_shuffle_read(
     let inputs = ctx
         .take_shuffle_receivers(mesh, partition)
         .ok_or_else(|| exec_err!("mesh {mesh} partition {partition} has no receivers"))?;
-    let mut emitter = Emitter::new(ctx, op, out);
+    let mut emitter = Emitter::new(ctx, op, out).outside_compute();
     let mut tr = ctx.tracer(op);
     // Same live-set select loop as Merge: re-register only when an input
     // reaches EOF, never per batch.

@@ -22,7 +22,7 @@ pub(crate) fn run_filter(
         PhysKind::Filter { predicate } => predicate.clone(),
         other => return Err(exec_err!("run_filter on {}", other.name())),
     };
-    let mut emitter = Emitter::new(ctx, op, out);
+    let mut emitter = Emitter::new(ctx, op, out).outside_compute();
     let mut tr = ctx.tracer(op);
     let mut sel = SelVec::default();
     loop {
@@ -62,7 +62,7 @@ pub(crate) fn run_project(
         PhysKind::Project { exprs } => exprs.clone(),
         other => return Err(exec_err!("run_project on {}", other.name())),
     };
-    let mut emitter = Emitter::new(ctx, op, out);
+    let mut emitter = Emitter::new(ctx, op, out).outside_compute();
     let mut tr = ctx.tracer(op);
     loop {
         let t0 = tr.begin();

@@ -13,6 +13,7 @@
 use crate::context::PartitionMap;
 use crate::metrics::{ExecMetrics, FilterStat};
 use crate::physical::PhysPlan;
+use sip_common::json::json_str;
 use sip_common::trace::{FilterEvent, SpanEvent, TraceLevel, N_PHASES};
 use sip_common::Phase;
 use std::fmt::Write as _;
@@ -110,6 +111,10 @@ pub struct QueryProfile {
     pub filters_injected: u64,
     /// Total rows AIP filters dropped.
     pub aip_dropped_total: u64,
+    /// Operators whose phase attribution clamped at merge time (nested
+    /// emitter time exceeded the Compute total). Should always be 0; a
+    /// nonzero value flags under-reported compute in `phase_nanos`.
+    pub attribution_underflow: u64,
     /// Degree of parallelism (1 for serial runs).
     pub dop: u32,
     /// Whole-plan nanoseconds per phase.
@@ -196,6 +201,7 @@ impl QueryProfile {
             network_bytes: metrics.network_bytes,
             filters_injected: metrics.filters_injected,
             aip_dropped_total: metrics.aip_dropped_total,
+            attribution_underflow: metrics.attribution_underflow,
             dop: map.map_or(1, |pm| pm.dop),
             phase_totals: metrics.phase_totals(),
             ops,
@@ -231,6 +237,11 @@ impl QueryProfile {
         let _ = writeln!(out, "  \"network_bytes\": {},", self.network_bytes);
         let _ = writeln!(out, "  \"filters_injected\": {},", self.filters_injected);
         let _ = writeln!(out, "  \"aip_dropped_total\": {},", self.aip_dropped_total);
+        let _ = writeln!(
+            out,
+            "  \"attribution_underflow\": {},",
+            self.attribution_underflow
+        );
         let _ = writeln!(out, "  \"dop\": {},", self.dop);
         let _ = writeln!(out, "  \"phase_names\": {},", json_phase_names());
         let _ = writeln!(
@@ -421,27 +432,6 @@ fn json_opt_f64(x: Option<f64>) -> String {
         Some(v) if v.is_finite() => format!("{v:.4}"),
         _ => "null".to_string(),
     }
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,299 @@
+//! Differential suite for stage-boundary adaptive execution.
+//!
+//! The workload is built so its skew is *invisible to base-table
+//! statistics*: the fact table's `fb` column looks mildly skewed on its
+//! own, but `fb` is correlated with the `flag` filter column — after
+//! `flag = 1` the surviving stream is dominated by one `fb` key. No
+//! per-column statistic predicts that; only measuring the stage-1 output
+//! reveals it. The suite pins:
+//!
+//! * **oracle parity** across dop {1, 2, 4} × {frozen, adaptive} — the
+//!   adaptive split, materialization, and re-planned stage 2 must change
+//!   only physical routing, never the result multiset;
+//! * the **decision trace**: the split point, the measured hot share the
+//!   base tables could not see, and the re-chosen dop;
+//! * the **dop clamp**: a collapsed stage-1 stream pulls stage 2 down to
+//!   serial execution;
+//! * the **stage-boundary feedback path**: a mesh's last writer hands the
+//!   monitor a merged sketch + routed histogram mid-execution, and the
+//!   cost-based controller folds it into `UPDATEESTIMATES`.
+
+use sip_common::{DataType, Field, Row, Schema, SpaceSaving, Value};
+use sip_data::{Catalog, Table};
+use sip_engine::{
+    canonical, execute_ctx, execute_oracle, lower, ExecContext, ExecMonitor, ExecOptions,
+    NoopMonitor, PhysPlan, StageFeedback,
+};
+use sip_expr::Expr;
+use sip_parallel::{partition_plan_cfg, AdaptiveConfig, AdaptiveExec, PartitionConfig};
+use sip_plan::{PredicateIndex, QueryBuilder};
+use std::sync::{Arc, Mutex};
+
+const FACT_ROWS: usize = 3000;
+const HOT_FB: i64 = 7;
+const FA_KEYS: i64 = 120;
+const FB_KEYS: i64 = 90;
+
+/// fact(fa, fb, flag, v): `fa` uniform; rows with `flag = 1` (30%) carry
+/// `fb = HOT_FB`, the rest spread `fb` uniformly. Per-column stats see a
+/// modest 30% top key on `fb`; the *conditional* concentration (100% of
+/// the filtered stream) is invisible until the stage-1 output is measured.
+fn correlated_catalog() -> Catalog {
+    let int = |n: &str| Field::new(n, DataType::Int);
+    let mut facts = Vec::with_capacity(FACT_ROWS);
+    for i in 0..FACT_ROWS as i64 {
+        let flagged = i % 10 < 3;
+        facts.push(Row::new(vec![
+            Value::Int(i % FA_KEYS + 1),
+            Value::Int(if flagged { HOT_FB } else { i % FB_KEYS + 1 }),
+            Value::Int(i64::from(flagged)),
+            Value::Int(i),
+        ]));
+    }
+    let dim = |name: &str, col: &str, keys: i64| {
+        Table::new(
+            name,
+            Schema::new(vec![Field::new(col, DataType::Int)]),
+            vec![],
+            vec![],
+            (1..=keys).map(|k| Row::new(vec![Value::Int(k)])).collect(),
+        )
+        .unwrap()
+    };
+    let mut c = Catalog::new();
+    c.add(
+        Table::new(
+            "fact",
+            Schema::new(vec![int("fa"), int("fb"), int("flag"), int("v")]),
+            vec![],
+            vec![],
+            facts,
+        )
+        .unwrap(),
+    );
+    c.add(dim("dim1", "da", FA_KEYS));
+    c.add(dim("dim2", "db", FB_KEYS));
+    c
+}
+
+/// σ(flag=1)(fact) ⋈ dim1 on fa — the stage-1 subtree — then ⋈ dim2 on
+/// fb above it: two stacked stateful operators on different key classes,
+/// so the adaptive split lands on the first join and the second join's
+/// stream crosses a shuffle in the frozen plan.
+fn two_stage_spec(c: &Catalog) -> (sip_plan::LogicalPlan, sip_plan::AttrCatalog) {
+    let mut q = QueryBuilder::new(c);
+    let f = q.scan("fact", "f", &["fa", "fb", "flag", "v"]).unwrap();
+    let pred = f.col("flag").unwrap().eq(Expr::lit(1i64));
+    let f = q.filter(f, pred);
+    let d1 = q.scan("dim1", "d1", &["da"]).unwrap();
+    let j1 = q.join(f, d1, &[("f.fa", "d1.da")]).unwrap();
+    let d2 = q.scan("dim2", "d2", &["db"]).unwrap();
+    let j2 = q.join(j1, d2, &[("f.fb", "d2.db")]).unwrap();
+    (j2.into_plan(), q.into_attrs())
+}
+
+fn physical(c: &Catalog) -> (Arc<PhysPlan>, sip_plan::EqClasses) {
+    let (plan, attrs) = two_stage_spec(c);
+    let eq = PredicateIndex::build(&plan).eq;
+    (Arc::new(lower(&plan, attrs, c).unwrap()), eq)
+}
+
+#[test]
+fn adaptive_matches_oracle_across_dop_and_mode() {
+    let c = correlated_catalog();
+    let (phys, _eq) = physical(&c);
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    assert!(!expected.is_empty(), "workload produced no rows");
+    for dop in [1u32, 2, 4] {
+        // Frozen: the plan as partitioned up front.
+        let frozen = sip_parallel::PartitionedExec::new(dop);
+        let (out, _) = frozen
+            .execute(
+                Arc::clone(&phys),
+                Arc::new(NoopMonitor),
+                ExecOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(canonical(&out.rows), expected, "frozen dop {dop}");
+        // Adaptive: split, measure, re-plan.
+        let exec = AdaptiveExec::new(dop);
+        let (out, _, report) = exec
+            .execute(
+                Arc::clone(&phys),
+                Arc::new(NoopMonitor),
+                ExecOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(canonical(&out.rows), expected, "adaptive dop {dop}");
+        assert!(report.adapted, "dop {dop}: no split on a two-join plan");
+        assert!(report.stage1_rows > 0, "dop {dop}: empty stage 1");
+    }
+}
+
+#[test]
+fn decision_trace_reports_measured_skew() {
+    let c = correlated_catalog();
+    let (phys, _eq) = physical(&c);
+    let exec = AdaptiveExec::new(4);
+    let (_, _, report) = exec
+        .execute(phys, Arc::new(NoopMonitor), ExecOptions::default())
+        .unwrap();
+    assert!(report.adapted);
+    let trace = report.decisions.join("\n");
+    assert!(trace.contains("split at"), "{trace}");
+    assert!(trace.contains("materialized as __stage1"), "{trace}");
+    // Every surviving row carries fb = HOT_FB: the measured hot share is
+    // total, while the base table's fb column showed only ~30%.
+    assert!(
+        report.hot_share > 0.9,
+        "measured hot share {} should expose the correlation ({trace})",
+        report.hot_share
+    );
+}
+
+#[test]
+fn measured_cardinality_clamps_stage2_dop() {
+    let c = correlated_catalog();
+    let (phys, _eq) = physical(&c);
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    // Floor above the stage-1 cardinality: stage 2 must run serial.
+    let cfg = AdaptiveConfig {
+        min_rows_per_partition: 10_000_000,
+        partition: PartitionConfig::default(),
+    };
+    let exec = AdaptiveExec::with_config(4, cfg);
+    let (out, map, report) = exec
+        .execute(
+            Arc::clone(&phys),
+            Arc::new(NoopMonitor),
+            ExecOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(canonical(&out.rows), expected);
+    assert_eq!(report.requested_dop, 4);
+    assert_eq!(report.stage2_dop, 1, "{:?}", report.decisions);
+    assert!(map.is_none(), "stage 2 at dop 1 runs serial");
+    // Permissive floor: the measured cardinality sustains the full dop.
+    let exec = AdaptiveExec::with_config(
+        4,
+        AdaptiveConfig {
+            min_rows_per_partition: 1,
+            partition: PartitionConfig::default(),
+        },
+    );
+    let (out, _, report) = exec
+        .execute(phys, Arc::new(NoopMonitor), ExecOptions::default())
+        .unwrap();
+    assert_eq!(canonical(&out.rows), expected);
+    assert_eq!(report.stage2_dop, 4, "{:?}", report.decisions);
+}
+
+/// One stage-boundary snapshot: (op, dop, rows, sketch, decision count).
+type BoundarySnapshot = (u32, u32, u64, Option<SpaceSaving>, usize);
+
+/// Captures every stage-boundary snapshot the engine hands out.
+#[derive(Default)]
+struct BoundaryProbe {
+    seen: Mutex<Vec<BoundarySnapshot>>,
+}
+
+impl ExecMonitor for BoundaryProbe {
+    fn on_stage_boundary(&self, _ctx: &Arc<ExecContext>, fb: &StageFeedback) {
+        self.seen.lock().unwrap().push((
+            fb.mesh,
+            fb.writers,
+            fb.rows_total(),
+            fb.sketch.clone(),
+            fb.op_rows.len(),
+        ));
+    }
+}
+
+#[test]
+fn stage_boundary_fires_once_per_mesh_with_merged_sketch() {
+    let c = correlated_catalog();
+    let (phys, _eq) = physical(&c);
+    let dop = 4u32;
+    let (expanded, map) = partition_plan_cfg(&phys, dop, &PartitionConfig::default()).unwrap();
+    let meshes: std::collections::BTreeSet<u32> = expanded
+        .nodes
+        .iter()
+        .filter_map(|n| match n.kind {
+            sip_engine::PhysKind::ShuffleWrite { mesh, .. } => Some(mesh),
+            _ => None,
+        })
+        .collect();
+    assert!(!meshes.is_empty(), "plan has no shuffle mesh to observe");
+    let probe = Arc::new(BoundaryProbe::default());
+    let ctx = ExecContext::new_partitioned(expanded, ExecOptions::default(), map);
+    execute_ctx(ctx, Arc::clone(&probe) as Arc<dyn ExecMonitor>).unwrap();
+    let seen = probe.seen.lock().unwrap();
+    // Exactly one boundary per mesh (the last writer's countdown), each
+    // carrying the merged per-writer sketch and a live-op snapshot.
+    assert_eq!(
+        seen.iter()
+            .map(|s| s.0)
+            .collect::<std::collections::BTreeSet<_>>(),
+        meshes,
+        "each mesh reports exactly one boundary"
+    );
+    assert_eq!(seen.len(), meshes.len());
+    for (mesh, writers, rows, sketch, n_ops) in seen.iter() {
+        assert!(*writers >= 1, "mesh {mesh}");
+        let sketch = sketch.as_ref().expect("boundary sketch present");
+        assert!(sketch.total() > 0, "mesh {mesh}: empty merged sketch");
+        assert!(*rows > 0, "mesh {mesh}: no rows routed");
+        assert_eq!(*n_ops, ctx_ops_len(), "mesh {mesh}: partial op snapshot");
+    }
+
+    // The cost-based controller consumes the same feedback: its decision
+    // log must carry one UPDATEESTIMATES line per mesh.
+    let (expanded, map) = partition_plan_cfg(&phys, dop, &PartitionConfig::default()).unwrap();
+    let eq = physical(&c).1;
+    let cb = sip_core::CostBased::new(
+        eq,
+        sip_core::AipConfig::hash_sets(),
+        sip_optimizer::CostModel::default(),
+    );
+    let ctx = ExecContext::new_partitioned(expanded, ExecOptions::default(), map);
+    execute_ctx(ctx, Arc::clone(&cb) as Arc<dyn ExecMonitor>).unwrap();
+    let stage_lines = cb
+        .decisions()
+        .into_iter()
+        .filter(|l| l.starts_with("stage mesh"))
+        .count();
+    assert_eq!(stage_lines, meshes.len(), "{:?}", cb.decisions());
+}
+
+/// The op-snapshot length the probe should see: every operator of the
+/// expanded plan (the snapshot spans the whole plan, not just the mesh).
+fn ctx_ops_len() -> usize {
+    let c = correlated_catalog();
+    let (phys, _eq) = physical(&c);
+    let (expanded, _map) = partition_plan_cfg(&phys, 4, &PartitionConfig::default()).unwrap();
+    expanded.nodes.len()
+}
+
+#[test]
+fn adaptive_with_cost_based_controller_matches_oracle() {
+    let c = correlated_catalog();
+    let (phys, eq) = physical(&c);
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    for dop in [2u32, 4] {
+        let cb = sip_core::CostBased::new(
+            eq.clone(),
+            sip_core::AipConfig::hash_sets(),
+            sip_optimizer::CostModel::default(),
+        );
+        let exec = AdaptiveExec::new(dop);
+        let (out, _, report) = exec
+            .execute(
+                Arc::clone(&phys),
+                Arc::clone(&cb) as Arc<dyn ExecMonitor>,
+                ExecOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(canonical(&out.rows), expected, "cb dop {dop}");
+        assert!(report.adapted);
+    }
+}

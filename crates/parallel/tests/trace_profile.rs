@@ -157,6 +157,14 @@ fn phase_accounting_holds_across_dop_and_salting() {
             );
             let wall = out.metrics.wall_time.as_nanos() as u64;
             assert_eq!(out.metrics.per_op.len(), plan.nodes.len(), "{tag}");
+            // Phase attribution must never clamp: nested emitter time is
+            // always a subset of its enclosing Compute span, even on
+            // salted meshes where broadcast writers fan one batch out to
+            // every reader.
+            assert_eq!(
+                out.metrics.attribution_underflow, 0,
+                "{tag}: attribution clamped"
+            );
             for node in &plan.nodes {
                 let snap = &out.metrics.per_op[node.id.index()];
                 assert!(
@@ -226,6 +234,10 @@ fn query_profile_is_structurally_consistent_when_partitioned() {
     let json = profile.to_json();
     assert!(json.contains(sip_engine::PROFILE_SCHEMA));
     assert!(json.contains("\"partitions\": ["));
+    // The attribution-underflow counter is surfaced (and clean) in the
+    // artifact, so a clamped merge can never pass silently.
+    assert_eq!(profile.attribution_underflow, 0);
+    assert!(json.contains("\"attribution_underflow\": 0"));
 }
 
 #[test]
