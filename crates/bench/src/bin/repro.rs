@@ -7,7 +7,7 @@
 //!
 //! Figures: table1, fig1, fig2, fig5..fig14 (time/space pairs run
 //! together), overhead, scaling, skew, adaptive, kernels, admit,
-//! ablation-sets, ablation-fpr, ablation-minmax, all.
+//! columnar, ablation-sets, ablation-fpr, ablation-minmax, all.
 //!
 //! `--json <dir>` additionally writes one machine-readable
 //! `BENCH_<figure>.json` per measured figure into `<dir>` (created if
@@ -86,7 +86,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--figure all|table1|fig1|fig2|fig5|fig6|fig9|fig10|fig13|\
-overhead|scaling|skew|adaptive|kernels|admit|ablation-sets|ablation-fpr|ablation-minmax] \
+overhead|scaling|skew|adaptive|kernels|admit|columnar|ablation-sets|ablation-fpr|\
+ablation-minmax] \
 [--sf F] \
 [--repeats N] [--seed S] [--batch-size N] [--channel-capacity N] [--dop N] \
 [--merge-fanin N] [--json DIR]\n\n\
@@ -262,6 +263,9 @@ fn main() -> ExitCode {
     });
     run_figures(&sel, "admit", json, cfg, &mut failed, || {
         harness.admit().map(|r| vec![r])
+    });
+    run_figures(&sel, "columnar", json, cfg, &mut failed, || {
+        harness.columnar().map(|r| vec![r])
     });
     run_figures(&sel, "ablation-sets", json, cfg, &mut failed, || {
         harness.ablation_sets().map(|r| vec![r])

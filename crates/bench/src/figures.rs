@@ -940,6 +940,319 @@ Both admit-build variants pay the operator's own digest pass."
         })
     }
 
+    /// Columnar micro-figure: the typed-column kernels against the same
+    /// kernels over row-shaped batches — both *batched* (post-vectorization
+    /// interiors), so the measured delta is purely the memory layout.
+    ///
+    /// * `digest` — one key-digest pass ([`DigestBuffer::compute`] over
+    ///   `&[Row]` vs [`DigestBuffer::compute_cols`] over typed column
+    ///   slices with NULL flagging fused).
+    /// * `tap-probe` — a two-filter injected-tap stack
+    ///   (`TapKernel::probe_chain` vs `probe_chain_cols`).
+    /// * `shuffle-route` — digest + selection-vector dealing + building the
+    ///   per-destination outgoing batches (row clones vs per-column
+    ///   gathers).
+    /// * `stream-gen` — satellite: [`sip_data::stream_lineitem`] generating
+    ///   LINEITEM in constant-memory columnar chunks, at the configured
+    ///   `--sf` and at 4× it, showing flat chunk footprint and throughput.
+    ///
+    /// Every pair self-checks (digest checksums, survivor and routed
+    /// counts) so a layout divergence fails the figure rather than skewing
+    /// it. The acceptance bar is ≥ 1.5× on `digest`/`tap-probe` or
+    /// `shuffle-route` at batch 1024.
+    pub fn columnar(&self) -> Result<FigureReport> {
+        use sip_common::{ColumnarBatch, DigestBuffer, Row, SelVec, Value};
+        use sip_engine::{InjectedFilter, TapKernel};
+        use sip_filter::AipSetBuilder;
+        use std::hint::black_box;
+        use std::sync::Arc as StdArc;
+        use std::time::Instant;
+
+        let batch = self.config.batch_size.max(1);
+        let n_rows: usize = 1 << 17;
+        let key_space = 10_000i64;
+        let dop = 4u32;
+        // Join-output-shaped rows: key, payload int, payload string.
+        let rows: Vec<Row> = (0..n_rows as i64)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i % key_space),
+                    Value::Int(i),
+                    Value::str("payload-string"),
+                ])
+            })
+            .collect();
+        let cols = ColumnarBatch::from_rows(&rows);
+        let pass_bytes = cols.size_bytes() as f64;
+        let repeats = self.config.repeats.max(1);
+        // Walk the columnar batch in the same chunk grid `rows.chunks`
+        // produces, as metadata-only slices.
+        let col_chunks = |f: &mut dyn FnMut(&ColumnarBatch)| {
+            let mut off = 0usize;
+            while off < n_rows {
+                let n = batch.min(n_rows - off);
+                f(&cols.slice(off, n));
+                off += n;
+            }
+        };
+
+        // --- digest: row layout ---
+        let mut digests = DigestBuffer::default();
+        let mut row_sum = 0u64;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            for chunk in rows.chunks(batch) {
+                digests.compute(chunk, &[0]);
+                for &d in digests.digests() {
+                    row_sum = row_sum.wrapping_add(d);
+                }
+            }
+        }
+        let digest_row_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let row_sum = black_box(row_sum);
+
+        // --- digest: columnar layout ---
+        let mut col_sum = 0u64;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            col_chunks(&mut |chunk| {
+                digests.compute_cols(chunk, &[0]);
+                for &d in digests.digests() {
+                    col_sum = col_sum.wrapping_add(d);
+                }
+            });
+        }
+        let digest_col_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let col_sum = black_box(col_sum);
+        if row_sum != col_sum {
+            return Err(sip_common::SipError::Exec(format!(
+                "columnar divergence: row digest checksum {row_sum:#x}, columnar {col_sum:#x}"
+            )));
+        }
+
+        // A realistic tap stack over the key column: a Bloom filter keeping
+        // roughly half the key domain, stacked with an exact hash set.
+        let build = |kind: AipSetKind, keys: std::ops::Range<i64>| {
+            let mut b = AipSetBuilder::new(kind, (keys.end - keys.start) as usize, 0.05, 1);
+            for k in keys {
+                let key = vec![Value::Int(k)];
+                b.insert(sip_common::hash_key(&key), &key);
+            }
+            StdArc::new(b.finish())
+        };
+        let chain: Vec<StdArc<InjectedFilter>> = vec![
+            StdArc::new(InjectedFilter::new(
+                "bloom[k]",
+                vec![0],
+                build(AipSetKind::Bloom, 0..key_space / 2),
+            )),
+            StdArc::new(InjectedFilter::new(
+                "hash[k]",
+                vec![0],
+                build(AipSetKind::Hash, 0..key_space / 4),
+            )),
+        ];
+
+        // --- tap-probe: row layout ---
+        let mut kernel = TapKernel::new();
+        let mut row_survivors = 0usize;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            for chunk in rows.chunks(batch) {
+                kernel.begin(chunk.len());
+                kernel.probe_chain(&chain, chunk);
+                row_survivors += kernel.sel().len();
+            }
+        }
+        let tap_row_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let row_survivors = black_box(row_survivors) / repeats;
+
+        // --- tap-probe: columnar layout ---
+        let mut col_survivors = 0usize;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            col_chunks(&mut |chunk| {
+                kernel.begin(chunk.len());
+                kernel.probe_chain_cols(&chain, chunk);
+                col_survivors += kernel.sel().len();
+            });
+        }
+        let tap_col_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let col_survivors = black_box(col_survivors) / repeats;
+        if row_survivors != col_survivors {
+            return Err(sip_common::SipError::Exec(format!(
+                "columnar divergence: row tap kept {row_survivors}, columnar {col_survivors}"
+            )));
+        }
+
+        // --- shuffle-route: row layout (digest + selection-vector dealing,
+        // per-destination batches built from row clones — the ShuffleWrite
+        // row arm's extend_sel) ---
+        let mut route: Vec<SelVec> = (0..dop as usize).map(|_| SelVec::default()).collect();
+        let mut owners: Vec<u32> = Vec::new();
+        let mut buckets: Vec<Vec<Row>> = (0..dop as usize).map(|_| Vec::new()).collect();
+        let mut row_routed = 0usize;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            for chunk in rows.chunks(batch) {
+                kernel.begin(chunk.len());
+                kernel.probe_chain(&chain, chunk);
+                for s in route.iter_mut() {
+                    s.clear();
+                }
+                {
+                    let d = kernel.digests(chunk, &[0]).digests();
+                    owners.clear();
+                    owners.extend(d.iter().map(|&d| sip_common::hash::partition_of(d, dop)));
+                }
+                for i in kernel.sel().iter() {
+                    route[owners[i as usize] as usize].push(i);
+                }
+                for (b, s) in buckets.iter_mut().zip(route.iter()) {
+                    b.clear();
+                    b.extend(s.iter().map(|i| chunk[i as usize].clone()));
+                    row_routed += b.len();
+                }
+            }
+        }
+        let route_row_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let row_routed = black_box(row_routed) / repeats;
+
+        // --- shuffle-route: columnar layout (shared digest pass, per-
+        // destination column gathers — the ShuffleWrite columnar arm) ---
+        let mut col_routed = 0usize;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            col_chunks(&mut |chunk| {
+                kernel.begin(chunk.len());
+                kernel.probe_chain_cols(&chain, chunk);
+                for s in route.iter_mut() {
+                    s.clear();
+                }
+                {
+                    let d = kernel.digests_cols(chunk, &[0]).digests();
+                    owners.clear();
+                    owners.extend(d.iter().map(|&d| sip_common::hash::partition_of(d, dop)));
+                }
+                for i in kernel.sel().iter() {
+                    route[owners[i as usize] as usize].push(i);
+                }
+                for s in route.iter() {
+                    if !s.is_empty() {
+                        col_routed += black_box(chunk.gather(s.as_slice())).len();
+                    }
+                }
+            });
+        }
+        let route_col_secs = t.elapsed().as_secs_f64() / repeats as f64;
+        let col_routed = black_box(col_routed) / repeats;
+        if row_routed != col_routed {
+            return Err(sip_common::SipError::Exec(format!(
+                "columnar divergence: row route dealt {row_routed}, columnar {col_routed}"
+            )));
+        }
+
+        let mrows = |secs: f64| n_rows as f64 / secs / 1e6;
+        let gbs = |secs: f64| pass_bytes / secs / 1e9;
+        let cell =
+            |name: &str, variant: &str, secs: f64, kept: usize, speedup: Option<f64>| ReportRow {
+                query: name.into(),
+                strategy: variant.into(),
+                secs,
+                ci: 0.0,
+                state_mb: 0.0,
+                rows: kept as u64,
+                extra: match speedup {
+                    Some(s) => format!(
+                        "{:.1} Mrows/s ({:.2} GB/s), speedup {s:.2}x",
+                        mrows(secs),
+                        gbs(secs)
+                    ),
+                    None => format!("{:.1} Mrows/s ({:.2} GB/s)", mrows(secs), gbs(secs)),
+                },
+                ..Default::default()
+            };
+        let mut rows_out = vec![
+            cell("digest", "row", digest_row_secs, n_rows, None),
+            cell(
+                "digest",
+                "columnar",
+                digest_col_secs,
+                n_rows,
+                Some(digest_row_secs / digest_col_secs),
+            ),
+            cell("tap-probe", "row", tap_row_secs, row_survivors, None),
+            cell(
+                "tap-probe",
+                "columnar",
+                tap_col_secs,
+                col_survivors,
+                Some(tap_row_secs / tap_col_secs),
+            ),
+            cell("shuffle-route", "row", route_row_secs, row_routed, None),
+            cell(
+                "shuffle-route",
+                "columnar",
+                route_col_secs,
+                col_routed,
+                Some(route_row_secs / route_col_secs),
+            ),
+        ];
+
+        // --- stream-gen: constant-memory chunked LINEITEM generation ---
+        const STREAM_CHUNK: usize = 8192;
+        for mult in [1.0f64, 4.0] {
+            let sf = self.config.scale_factor * mult;
+            let cfg = sip_data::TpchConfig {
+                scale_factor: sf,
+                seed: self.config.seed,
+                zipf_z: 0.0,
+            };
+            let mut streamed = 0u64;
+            let mut peak_chunk_bytes = 0usize;
+            let t = Instant::now();
+            sip_data::stream_lineitem(&cfg, STREAM_CHUNK, &mut |b| {
+                streamed += b.len() as u64;
+                peak_chunk_bytes = peak_chunk_bytes.max(b.size_bytes());
+                Ok(())
+            })?;
+            let secs = t.elapsed().as_secs_f64();
+            rows_out.push(ReportRow {
+                query: "stream-gen".into(),
+                strategy: format!("sf={sf}"),
+                secs,
+                ci: 0.0,
+                state_mb: peak_chunk_bytes as f64 / 1e6,
+                rows: streamed,
+                extra: format!(
+                    "{:.2} Mrows/s, peak chunk {:.0} KB",
+                    streamed as f64 / secs / 1e6,
+                    peak_chunk_bytes as f64 / 1e3
+                ),
+                ..Default::default()
+            });
+        }
+
+        Ok(FigureReport {
+            id: "columnar".into(),
+            title: format!(
+                "columnar vs row batch layout ({n_rows} rows, batch {batch}, 2-filter tap, \
+dop {dop} routing) + constant-memory streamed generation"
+            ),
+            rows: rows_out,
+            notes: vec![
+                "Both variants are batched; the delta is layout alone. row = Value-enum rows \
+(digest/probe dispatch per value, routed batches built from row clones); columnar = typed \
+column slices (fused NULL flagging, dict-aware string digests, routed batches gathered per \
+column). state_mb on stream-gen cells = peak resident chunk, flat across scale factors."
+                    .into(),
+                "Divergence self-checks: digest checksums, tap survivor counts, and routed row \
+counts must match between layouts or the figure errors."
+                    .into(),
+            ],
+        })
+    }
+
     /// Skew-adaptive shuffle figure: a Zipf-keyed join over a slow
     /// (delay-modeled) fact source, swept over `zipf_z ∈ {0, 0.5, 1.0,
     /// 1.5}` × dop × salting on/off.

@@ -1,0 +1,1201 @@
+//! Columnar batches: one typed vector per column plus a validity bitmap.
+//!
+//! [`Batch`](crate::Batch) carries `Vec<Row>` of `Arc<[Value]>` — every value
+//! access chases two pointers and every projection clones. The types here
+//! store the same data column-major so the hot kernels (digest passes, tap
+//! probes, selection compaction, shuffle routing) run as tight loops over
+//! primitive slices:
+//!
+//! * [`ColumnarBatch`] — a set of [`Arc`]-shared [`Column`]s with a view
+//!   window (`offset`, `len`). Slicing and column selection are metadata-only
+//!   (no data is copied); per-row survival after a probe is materialized once
+//!   by a per-column [`gather`](ColumnarBatch::gather).
+//! * [`Column`] — typed storage: `Vec<i64>` / `Vec<f64>` / `Vec<i32>` days /
+//!   dictionary- or offset-encoded strings, plus an optional validity bitmap
+//!   (a set bit means the value is present; an unset bit means SQL NULL).
+//! * [`ColumnBuilder`] — row-at-a-time or typed appends, inferring the
+//!   column representation and degrading gracefully (dictionary → offsets on
+//!   high cardinality, anything → `Mixed` on type conflict).
+//!
+//! Digest parity is load-bearing: a columnar digest pass must produce *the
+//! same u64* as [`Row::key_hash`] for every row, or AIP sets built on one
+//! side of a row/columnar seam would fail to probe on the other. The
+//! [`fold digest`](ColumnarBatch::fold_digest) kernel therefore replays
+//! `Value::hash` exactly — type tag byte, payload word(s), `-0.0 → 0.0`
+//! normalization, raw string bytes — against per-row [`FxHasher`] states.
+//!
+//! The seams that still materialize rows (join build state, exact AIP key
+//! sets, the oracle) convert via [`ColumnarBatch::to_rows`] /
+//! [`ColumnarBatch::from_rows`], which round-trip values exactly and share
+//! `Arc<str>` payloads through the dictionary where possible.
+
+use crate::date::Date;
+use crate::hash::{FxHashMap, FxHasher};
+use crate::row::{Batch, Row};
+use crate::schema::DataType;
+use crate::value::{norm_zero, Value};
+use std::cmp::Ordering;
+use std::hash::Hasher;
+use std::sync::{Arc, OnceLock};
+
+/// Dictionary cardinality cap: builders degrade to offset encoding when the
+/// distinct count exceeds `max(DICT_MAX_FIXED, rows / 4)`.
+const DICT_MAX_FIXED: usize = 4096;
+
+/// A shared string dictionary: distinct values in first-seen order.
+///
+/// Per-entry single-value digests (the hash `Value::Str(entry)` produces) are
+/// computed lazily once and cached, so single-column key probes over a
+/// dictionary column skip hashing entirely.
+#[derive(Debug)]
+pub struct StrDict {
+    values: Vec<Arc<str>>,
+    /// Sum of entry byte lengths (for footprint accounting).
+    bytes: usize,
+    digests: OnceLock<Vec<u64>>,
+}
+
+impl StrDict {
+    fn new(values: Vec<Arc<str>>) -> Self {
+        let bytes = values.iter().map(|s| s.len()).sum();
+        StrDict {
+            values,
+            bytes,
+            digests: OnceLock::new(),
+        }
+    }
+
+    /// Distinct entries, in first-seen (code) order.
+    pub fn entries(&self) -> &[Arc<str>] {
+        &self.values
+    }
+
+    /// Per-entry digests matching `Value::Str(entry).hash64()`.
+    fn digests(&self) -> &[u64] {
+        self.digests.get_or_init(|| {
+            self.values
+                .iter()
+                .map(|s| {
+                    let mut h = FxHasher::default();
+                    h.write_u8(3);
+                    h.write(s.as_bytes());
+                    h.finish()
+                })
+                .collect()
+        })
+    }
+}
+
+/// Typed column storage. Fixed-width types are plain vectors; strings are
+/// either dictionary-encoded (`u32` codes into a shared [`StrDict`]) or
+/// offset-encoded (contiguous bytes + `u32` offsets); `Mixed` is the
+/// row-value fallback for heterogeneous columns.
+#[derive(Debug)]
+enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    /// Days since epoch, as stored by [`Date`].
+    Date(Vec<i32>),
+    Dict {
+        dict: Arc<StrDict>,
+        codes: Vec<u32>,
+    },
+    Str {
+        bytes: String,
+        /// `offsets.len() == rows + 1`; value `i` is `bytes[offsets[i]..offsets[i+1]]`.
+        offsets: Vec<u32>,
+    },
+    Mixed(Vec<Value>),
+}
+
+/// The coarse column representation, for kernels that dispatch per type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColKind {
+    /// `Vec<i64>` storage.
+    Int,
+    /// `Vec<f64>` storage.
+    Float,
+    /// `Vec<i32>` day-count storage.
+    Date,
+    /// Dictionary- or offset-encoded strings.
+    Str,
+    /// Heterogeneous `Vec<Value>` fallback.
+    Mixed,
+}
+
+/// One typed column: data plus an optional validity bitmap.
+///
+/// Bit `i` of the bitmap is **set when the value is present** and unset for
+/// SQL NULL; `validity == None` means the column has no NULLs. Payload slots
+/// under unset bits hold arbitrary defaults and are never interpreted.
+#[derive(Debug)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Vec<u64>>,
+    size: OnceLock<usize>,
+}
+
+#[inline]
+fn bit_is_set(words: &[u64], i: usize) -> bool {
+    words[i >> 6] >> (i & 63) & 1 == 1
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1u64 << (i & 63);
+}
+
+impl Column {
+    fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Dict { codes, .. } => codes.len(),
+            ColumnData::Str { offsets, .. } => offsets.len() - 1,
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn is_valid(&self, i: usize) -> bool {
+        match &self.validity {
+            None => true,
+            Some(words) => bit_is_set(words, i),
+        }
+    }
+
+    /// Full-column footprint in bytes (heap + inline), cached after the
+    /// first call so channel accounting is O(1) per column thereafter.
+    fn full_size_bytes(&self) -> usize {
+        *self.size.get_or_init(|| {
+            let data = match &self.data {
+                ColumnData::Int(v) => v.len() * 8,
+                ColumnData::Float(v) => v.len() * 8,
+                ColumnData::Date(v) => v.len() * 4,
+                ColumnData::Dict { dict, codes } => {
+                    codes.len() * 4 + dict.bytes + dict.values.len() * 16
+                }
+                ColumnData::Str { bytes, offsets } => bytes.len() + offsets.len() * 4,
+                ColumnData::Mixed(v) => v.iter().map(Value::size_bytes).sum(),
+            };
+            let validity = self.validity.as_ref().map_or(0, |w| w.len() * 8);
+            data + validity + 48
+        })
+    }
+
+    /// The value at `i`, cloning payloads. Dictionary strings share their
+    /// `Arc<str>`; offset-encoded strings allocate.
+    fn value_at(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Date(v) => Value::Date(Date::from_days(v[i])),
+            ColumnData::Dict { dict, codes } => Value::Str(dict.values[codes[i] as usize].clone()),
+            ColumnData::Str { bytes, offsets } => Value::Str(Arc::from(
+                &bytes[offsets[i] as usize..offsets[i + 1] as usize],
+            )),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+}
+
+/// A batch in columnar layout: `Arc`-shared columns plus a view window.
+///
+/// Cloning, [`slice`](ColumnarBatch::slice), and
+/// [`select_columns`](ColumnarBatch::select_columns) are metadata-only;
+/// [`gather`](ColumnarBatch::gather) materializes a compact copy of the
+/// selected rows per column. All row indices in this API are view-relative.
+#[derive(Clone, Debug)]
+pub struct ColumnarBatch {
+    cols: Vec<Arc<Column>>,
+    offset: usize,
+    len: usize,
+}
+
+impl ColumnarBatch {
+    /// An empty, zero-column batch.
+    pub fn empty() -> Self {
+        ColumnarBatch {
+            cols: Vec::new(),
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// Build from finished columns. All columns must have equal length.
+    pub fn from_columns(cols: Vec<Column>) -> Self {
+        let len = cols.first().map_or(0, Column::len);
+        assert!(
+            cols.iter().all(|c| c.len() == len),
+            "ragged columns in ColumnarBatch"
+        );
+        ColumnarBatch {
+            cols: cols.into_iter().map(Arc::new).collect(),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// Convert a row batch, inferring each column's representation from its
+    /// values (NULLs don't pin a type; conflicting types degrade to
+    /// `Mixed`).
+    pub fn from_rows(rows: &[Row]) -> Self {
+        let n_cols = rows.first().map_or(0, |r| r.values().len());
+        let mut builders: Vec<ColumnBuilder> = (0..n_cols).map(|_| ColumnBuilder::new()).collect();
+        for row in rows {
+            for (c, b) in builders.iter_mut().enumerate() {
+                b.push(row.get(c));
+            }
+        }
+        let mut out = Self::from_columns(builders.into_iter().map(ColumnBuilder::finish).collect());
+        if n_cols == 0 {
+            // Zero-width rows still have a count.
+            out.len = rows.len();
+        }
+        out
+    }
+
+    /// Convert a row batch with each builder pre-typed from a schema, so
+    /// leading NULLs (or an all-NULL column) keep the declared
+    /// representation instead of degrading to `Mixed`. Values that
+    /// contradict their declared type still degrade per column.
+    pub fn from_rows_typed(rows: &[Row], types: &[DataType]) -> Self {
+        let mut builders: Vec<ColumnBuilder> =
+            types.iter().map(|&t| ColumnBuilder::with_type(t)).collect();
+        for row in rows {
+            for (c, b) in builders.iter_mut().enumerate() {
+                b.push(row.get(c));
+            }
+        }
+        let mut out = Self::from_columns(builders.into_iter().map(ColumnBuilder::finish).collect());
+        if types.is_empty() {
+            out.len = rows.len();
+        }
+        out
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows in this view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A metadata-only sub-view of `len` rows starting at `offset`.
+    pub fn slice(&self, offset: usize, len: usize) -> Self {
+        assert!(offset + len <= self.len, "slice out of bounds");
+        ColumnarBatch {
+            cols: self.cols.clone(),
+            offset: self.offset + offset,
+            len,
+        }
+    }
+
+    /// A metadata-only projection to the given columns (duplicates and
+    /// reordering allowed) — the columnar replacement for `Row::project`'s
+    /// per-value clone.
+    pub fn select_columns(&self, keep: &[usize]) -> Self {
+        ColumnarBatch {
+            cols: keep.iter().map(|&c| self.cols[c].clone()).collect(),
+            offset: self.offset,
+            len: self.len,
+        }
+    }
+
+    /// The coarse representation of column `c`.
+    pub fn kind(&self, c: usize) -> ColKind {
+        match &self.cols[c].data {
+            ColumnData::Int(_) => ColKind::Int,
+            ColumnData::Float(_) => ColKind::Float,
+            ColumnData::Date(_) => ColKind::Date,
+            ColumnData::Dict { .. } | ColumnData::Str { .. } => ColKind::Str,
+            ColumnData::Mixed(_) => ColKind::Mixed,
+        }
+    }
+
+    /// The declared type of column `c`, or `None` for `Mixed` columns.
+    pub fn dtype(&self, c: usize) -> Option<DataType> {
+        match self.kind(c) {
+            ColKind::Int => Some(DataType::Int),
+            ColKind::Float => Some(DataType::Float),
+            ColKind::Date => Some(DataType::Date),
+            ColKind::Str => Some(DataType::Str),
+            ColKind::Mixed => None,
+        }
+    }
+
+    /// Does column `c` carry a validity bitmap (i.e. may contain NULLs)?
+    pub fn may_have_nulls(&self, c: usize) -> bool {
+        self.cols[c].validity.is_some()
+    }
+
+    /// Is the value at (`c`, `i`) present (not SQL NULL)?
+    #[inline]
+    pub fn is_valid(&self, c: usize, i: usize) -> bool {
+        self.cols[c].is_valid(self.offset + i)
+    }
+
+    /// The `i64` slice of column `c` for this view, if it is an Int column.
+    /// NULL slots hold defaults — check [`is_valid`](Self::is_valid) when
+    /// [`may_have_nulls`](Self::may_have_nulls).
+    pub fn ints(&self, c: usize) -> Option<&[i64]> {
+        match &self.cols[c].data {
+            ColumnData::Int(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// The `f64` slice of column `c` for this view, if it is a Float column.
+    pub fn floats(&self, c: usize) -> Option<&[f64]> {
+        match &self.cols[c].data {
+            ColumnData::Float(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// The day-count slice of column `c` for this view, if it is a Date
+    /// column.
+    pub fn dates(&self, c: usize) -> Option<&[i32]> {
+        match &self.cols[c].data {
+            ColumnData::Date(v) => Some(&v[self.offset..self.offset + self.len]),
+            _ => None,
+        }
+    }
+
+    /// The string at (`c`, `i`) without allocating, if column `c` is a
+    /// string column and the slot is valid.
+    pub fn str_at(&self, c: usize, i: usize) -> Option<&str> {
+        let col = &self.cols[c];
+        let j = self.offset + i;
+        if !col.is_valid(j) {
+            return None;
+        }
+        match &col.data {
+            ColumnData::Dict { dict, codes } => Some(&dict.values[codes[j] as usize]),
+            ColumnData::Str { bytes, offsets } => {
+                Some(&bytes[offsets[j] as usize..offsets[j + 1] as usize])
+            }
+            _ => None,
+        }
+    }
+
+    /// The value at (`c`, `i`), cloning payloads (dictionary strings share
+    /// their `Arc<str>`).
+    pub fn value_at(&self, c: usize, i: usize) -> Value {
+        self.cols[c].value_at(self.offset + i)
+    }
+
+    /// Does the value at (`c`, `i`) equal `v` under `Value::sql_cmp`
+    /// semantics (cross-type numeric equality, NULL == NULL), without
+    /// cloning string payloads? Used by exact AIP key-set probes.
+    pub fn value_eq(&self, c: usize, i: usize, v: &Value) -> bool {
+        let col = &self.cols[c];
+        let j = self.offset + i;
+        if !col.is_valid(j) {
+            return v.is_null();
+        }
+        match (&col.data, v) {
+            (ColumnData::Int(d), Value::Int(b)) => d[j] == *b,
+            (ColumnData::Int(d), Value::Float(b)) => {
+                (d[j] as f64).total_cmp(&norm_zero(*b)) == Ordering::Equal
+            }
+            (ColumnData::Float(d), Value::Float(b)) => {
+                norm_zero(d[j]).total_cmp(&norm_zero(*b)) == Ordering::Equal
+            }
+            (ColumnData::Float(d), Value::Int(b)) => {
+                norm_zero(d[j]).total_cmp(&(*b as f64)) == Ordering::Equal
+            }
+            (ColumnData::Date(d), Value::Date(b)) => d[j] == b.days(),
+            (ColumnData::Dict { dict, codes }, Value::Str(s)) => {
+                *dict.values[codes[j] as usize] == **s
+            }
+            (ColumnData::Str { bytes, offsets }, Value::Str(s)) => {
+                bytes[offsets[j] as usize..offsets[j + 1] as usize] == **s
+            }
+            (ColumnData::Mixed(d), v) => d[j] == *v,
+            _ => false,
+        }
+    }
+
+    /// Materialize row `i` of the view.
+    pub fn row_at(&self, i: usize) -> Row {
+        Row::new((0..self.n_cols()).map(|c| self.value_at(c, i)).collect())
+    }
+
+    /// Materialize the whole view as rows — the conversion used at the
+    /// row seams (join state, oracle, root sink).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len).map(|i| self.row_at(i)).collect()
+    }
+
+    /// Materialize the whole view as a row [`Batch`].
+    pub fn to_batch(&self) -> Batch {
+        Batch::new(self.to_rows())
+    }
+
+    /// Materialize a compact copy holding exactly the rows in `sel`
+    /// (view-relative, ascending) — per-column gather, the columnar
+    /// replacement for `SelVec::compact` over rows.
+    pub fn gather(&self, sel: &[u32]) -> Self {
+        let cols = self
+            .cols
+            .iter()
+            .map(|col| Arc::new(gather_column(col, self.offset, sel)))
+            .collect();
+        ColumnarBatch {
+            cols,
+            offset: 0,
+            len: sel.len(),
+        }
+    }
+
+    /// Fold column `c` into per-row hasher states exactly as `Value::hash`
+    /// would, flagging NULL slots in `null_mask`. Crate-internal: the public
+    /// entry is `DigestBuffer::compute_cols`.
+    pub(crate) fn fold_digest(
+        &self,
+        c: usize,
+        hashers: &mut [FxHasher],
+        null_mask: &mut [bool],
+        any_null: &mut bool,
+    ) {
+        let col = &self.cols[c];
+        let off = self.offset;
+        // NULL slots hash exactly like Value::Null (tag byte 0, no payload)
+        // and set the null mask; the macro keeps each typed loop tight.
+        macro_rules! fold {
+            ($data:expr, |$h:ident, $v:ident| $body:expr) => {
+                match &col.validity {
+                    None => {
+                        for (i, $h) in hashers.iter_mut().enumerate() {
+                            let $v = &$data[off + i];
+                            $body
+                        }
+                    }
+                    Some(words) => {
+                        for (i, $h) in hashers.iter_mut().enumerate() {
+                            if bit_is_set(words, off + i) {
+                                let $v = &$data[off + i];
+                                $body
+                            } else {
+                                $h.write_u8(0);
+                                null_mask[i] = true;
+                                *any_null = true;
+                            }
+                        }
+                    }
+                }
+            };
+        }
+        match &col.data {
+            ColumnData::Int(d) => fold!(d, |h, v| {
+                h.write_u8(1);
+                h.write_u64(*v as u64);
+            }),
+            ColumnData::Float(d) => fold!(d, |h, v| {
+                h.write_u8(2);
+                h.write_u64(norm_zero(*v).to_bits());
+            }),
+            ColumnData::Date(d) => fold!(d, |h, v| {
+                h.write_u8(4);
+                h.write_u64(*v as u64);
+            }),
+            ColumnData::Dict { dict, codes } => fold!(codes, |h, v| {
+                h.write_u8(3);
+                h.write(dict.values[*v as usize].as_bytes());
+            }),
+            ColumnData::Str { bytes, offsets } => {
+                // Offsets are indexed directly (not via the macro's value
+                // borrow) because each value spans offsets[j]..offsets[j+1].
+                match &col.validity {
+                    None => {
+                        for (i, h) in hashers.iter_mut().enumerate() {
+                            let j = off + i;
+                            h.write_u8(3);
+                            h.write(
+                                &bytes.as_bytes()[offsets[j] as usize..offsets[j + 1] as usize],
+                            );
+                        }
+                    }
+                    Some(words) => {
+                        for (i, h) in hashers.iter_mut().enumerate() {
+                            let j = off + i;
+                            if bit_is_set(words, j) {
+                                h.write_u8(3);
+                                h.write(
+                                    &bytes.as_bytes()[offsets[j] as usize..offsets[j + 1] as usize],
+                                );
+                            } else {
+                                h.write_u8(0);
+                                null_mask[i] = true;
+                                *any_null = true;
+                            }
+                        }
+                    }
+                }
+            }
+            ColumnData::Mixed(d) => {
+                use std::hash::Hash;
+                for (i, h) in hashers.iter_mut().enumerate() {
+                    let v = &d[off + i];
+                    if v.is_null() {
+                        null_mask[i] = true;
+                        *any_null = true;
+                    }
+                    v.hash(h);
+                }
+            }
+        }
+    }
+
+    /// Single-column digest fast path: when column `c` is dictionary-encoded
+    /// the per-row digest is a cached per-entry lookup (NULL slots digest to
+    /// `Value::Null.hash64() == 0`). Returns `false` (buffer untouched) for
+    /// other representations.
+    pub(crate) fn dict_digest_fill(
+        &self,
+        c: usize,
+        digests: &mut Vec<u64>,
+        null_mask: &mut [bool],
+        any_null: &mut bool,
+    ) -> bool {
+        let col = &self.cols[c];
+        let ColumnData::Dict { dict, codes } = &col.data else {
+            return false;
+        };
+        let entry_digests = dict.digests();
+        let off = self.offset;
+        match &col.validity {
+            None => {
+                digests.extend(
+                    codes[off..off + self.len]
+                        .iter()
+                        .map(|&code| entry_digests[code as usize]),
+                );
+            }
+            Some(words) => {
+                for i in 0..self.len {
+                    if bit_is_set(words, off + i) {
+                        digests.push(entry_digests[codes[off + i] as usize]);
+                    } else {
+                        digests.push(0);
+                        null_mask[i] = true;
+                        *any_null = true;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// View footprint in bytes, O(columns): fixed-width columns and string
+    /// offsets are sized arithmetically, full-column views use the cached
+    /// per-column total, and partial `Mixed`/`Dict` views prorate it.
+    pub fn size_bytes(&self) -> usize {
+        self.cols
+            .iter()
+            .map(|col| {
+                let full = col.len();
+                if self.offset == 0 && self.len == full {
+                    return col.full_size_bytes();
+                }
+                let validity = col.validity.as_ref().map_or(0, |_| self.len.div_ceil(8));
+                let data = match &col.data {
+                    ColumnData::Int(_) | ColumnData::Float(_) => self.len * 8,
+                    ColumnData::Date(_) => self.len * 4,
+                    ColumnData::Str { offsets, .. } => {
+                        (offsets[self.offset + self.len] - offsets[self.offset]) as usize
+                            + self.len * 4
+                    }
+                    // Prorate the cached full-column footprint by view share.
+                    ColumnData::Dict { .. } | ColumnData::Mixed(_) => (col.full_size_bytes()
+                        * self.len)
+                        .checked_div(full)
+                        .unwrap_or(0),
+                };
+                data + validity + 48
+            })
+            .sum()
+    }
+}
+
+/// Gather `sel` (absolute-offset base `off`) out of one column into a
+/// compact copy.
+fn gather_column(col: &Column, off: usize, sel: &[u32]) -> Column {
+    let validity = col.validity.as_ref().and_then(|words| {
+        let mut out = vec![0u64; sel.len().div_ceil(64)];
+        let mut any_null = false;
+        for (dst, &src) in sel.iter().enumerate() {
+            if bit_is_set(words, off + src as usize) {
+                set_bit(&mut out, dst);
+            } else {
+                any_null = true;
+            }
+        }
+        any_null.then_some(out)
+    });
+    let data = match &col.data {
+        ColumnData::Int(d) => ColumnData::Int(sel.iter().map(|&i| d[off + i as usize]).collect()),
+        ColumnData::Float(d) => {
+            ColumnData::Float(sel.iter().map(|&i| d[off + i as usize]).collect())
+        }
+        ColumnData::Date(d) => ColumnData::Date(sel.iter().map(|&i| d[off + i as usize]).collect()),
+        ColumnData::Dict { dict, codes } => ColumnData::Dict {
+            dict: dict.clone(),
+            codes: sel.iter().map(|&i| codes[off + i as usize]).collect(),
+        },
+        ColumnData::Str { bytes, offsets } => {
+            let mut out_bytes = String::new();
+            let mut out_offsets = Vec::with_capacity(sel.len() + 1);
+            out_offsets.push(0u32);
+            for &i in sel {
+                let j = off + i as usize;
+                out_bytes.push_str(&bytes[offsets[j] as usize..offsets[j + 1] as usize]);
+                out_offsets.push(out_bytes.len() as u32);
+            }
+            ColumnData::Str {
+                bytes: out_bytes,
+                offsets: out_offsets,
+            }
+        }
+        ColumnData::Mixed(d) => {
+            ColumnData::Mixed(sel.iter().map(|&i| d[off + i as usize].clone()).collect())
+        }
+    };
+    Column {
+        data,
+        validity,
+        size: OnceLock::new(),
+    }
+}
+
+/// Builder-side storage; mirrors [`ColumnData`] plus the dictionary's
+/// interning map and an untyped initial state.
+#[derive(Debug)]
+enum BuilderData {
+    Empty,
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Date(Vec<i32>),
+    Dict {
+        map: FxHashMap<Arc<str>, u32>,
+        values: Vec<Arc<str>>,
+        bytes: usize,
+        codes: Vec<u32>,
+    },
+    Str {
+        bytes: String,
+        offsets: Vec<u32>,
+    },
+    Mixed(Vec<Value>),
+}
+
+/// Incremental builder for one [`Column`].
+///
+/// The representation is inferred from the first non-NULL value; string
+/// columns start dictionary-encoded and degrade to offset encoding past
+/// `max(4096, rows / 4)` distinct values; a later value of a conflicting
+/// type degrades the whole column to `Mixed`. NULLs are representation-
+/// neutral.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    data: BuilderData,
+    /// Row-major validity bits; only materialized into the column when a
+    /// NULL was pushed.
+    validity: Vec<u64>,
+    any_null: bool,
+    len: usize,
+}
+
+impl Default for ColumnBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColumnBuilder {
+    /// An empty, untyped builder.
+    pub fn new() -> Self {
+        ColumnBuilder {
+            data: BuilderData::Empty,
+            validity: Vec::new(),
+            any_null: false,
+            len: 0,
+        }
+    }
+
+    /// A builder pre-typed to `dtype` (skips inference; useful for
+    /// schema-driven generation).
+    pub fn with_type(dtype: DataType) -> Self {
+        let data = match dtype {
+            DataType::Int => BuilderData::Int(Vec::new()),
+            DataType::Float => BuilderData::Float(Vec::new()),
+            DataType::Date => BuilderData::Date(Vec::new()),
+            DataType::Str => BuilderData::Dict {
+                map: FxHashMap::default(),
+                values: Vec::new(),
+                bytes: 0,
+                codes: Vec::new(),
+            },
+        };
+        ColumnBuilder {
+            data,
+            validity: Vec::new(),
+            any_null: false,
+            len: 0,
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn note_valid(&mut self) {
+        if self.validity.len() * 64 < self.len + 1 {
+            self.validity.push(0);
+        }
+        set_bit(&mut self.validity, self.len);
+        self.len += 1;
+    }
+
+    /// Append SQL NULL.
+    pub fn push_null(&mut self) {
+        if self.validity.len() * 64 < self.len + 1 {
+            self.validity.push(0);
+        }
+        // Bit stays unset. Payload slot gets the representation's default.
+        self.any_null = true;
+        match &mut self.data {
+            BuilderData::Empty => {
+                self.len += 1;
+                return;
+            }
+            BuilderData::Int(v) => v.push(0),
+            BuilderData::Float(v) => v.push(0.0),
+            BuilderData::Date(v) => v.push(0),
+            BuilderData::Dict { codes, .. } => codes.push(0),
+            BuilderData::Str { bytes, offsets } => offsets.push(bytes.len() as u32),
+            BuilderData::Mixed(v) => v.push(Value::Null),
+        }
+        self.len += 1;
+    }
+
+    /// Append an `i64`.
+    pub fn push_i64(&mut self, v: i64) {
+        self.promote_to(ColKind::Int);
+        match &mut self.data {
+            BuilderData::Int(d) => d.push(v),
+            BuilderData::Mixed(d) => d.push(Value::Int(v)),
+            _ => unreachable!("promote_to(Int) left a non-Int builder"),
+        }
+        self.note_valid();
+    }
+
+    /// Append an `f64`.
+    pub fn push_f64(&mut self, v: f64) {
+        self.promote_to(ColKind::Float);
+        match &mut self.data {
+            BuilderData::Float(d) => d.push(v),
+            BuilderData::Mixed(d) => d.push(Value::Float(v)),
+            _ => unreachable!("promote_to(Float) left a non-Float builder"),
+        }
+        self.note_valid();
+    }
+
+    /// Append a [`Date`].
+    pub fn push_date(&mut self, v: Date) {
+        self.promote_to(ColKind::Date);
+        match &mut self.data {
+            BuilderData::Date(d) => d.push(v.days()),
+            BuilderData::Mixed(d) => d.push(Value::Date(v)),
+            _ => unreachable!("promote_to(Date) left a non-Date builder"),
+        }
+        self.note_valid();
+    }
+
+    /// Append a string slice (interned into the dictionary while it stays
+    /// small).
+    pub fn push_str(&mut self, v: &str) {
+        self.promote_to(ColKind::Str);
+        match &mut self.data {
+            BuilderData::Dict {
+                map,
+                values,
+                bytes,
+                codes,
+            } => {
+                let code = match map.get(v) {
+                    Some(&c) => c,
+                    None => {
+                        let c = values.len() as u32;
+                        let entry: Arc<str> = Arc::from(v);
+                        values.push(entry.clone());
+                        map.insert(entry, c);
+                        *bytes += v.len();
+                        c
+                    }
+                };
+                codes.push(code);
+                self.maybe_degrade_dict();
+            }
+            BuilderData::Str { bytes, offsets } => {
+                bytes.push_str(v);
+                offsets.push(bytes.len() as u32);
+            }
+            BuilderData::Mixed(d) => d.push(Value::str(v)),
+            _ => unreachable!("promote_to(Str) left a non-string builder"),
+        }
+        self.note_valid();
+    }
+
+    /// Append a shared string, preserving the `Arc` when it lands in the
+    /// dictionary.
+    pub fn push_shared_str(&mut self, v: &Arc<str>) {
+        self.promote_to(ColKind::Str);
+        match &mut self.data {
+            BuilderData::Dict {
+                map,
+                values,
+                bytes,
+                codes,
+            } => {
+                let code = match map.get(&**v) {
+                    Some(&c) => c,
+                    None => {
+                        let c = values.len() as u32;
+                        values.push(v.clone());
+                        map.insert(v.clone(), c);
+                        *bytes += v.len();
+                        c
+                    }
+                };
+                codes.push(code);
+                self.maybe_degrade_dict();
+            }
+            BuilderData::Str { bytes, offsets } => {
+                bytes.push_str(v);
+                offsets.push(bytes.len() as u32);
+            }
+            BuilderData::Mixed(d) => d.push(Value::Str(v.clone())),
+            _ => unreachable!("promote_to(Str) left a non-string builder"),
+        }
+        self.note_valid();
+    }
+
+    /// Append any [`Value`].
+    pub fn push(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.push_null(),
+            Value::Int(x) => self.push_i64(*x),
+            Value::Float(x) => self.push_f64(*x),
+            Value::Date(d) => self.push_date(*d),
+            Value::Str(s) => self.push_shared_str(s),
+        }
+    }
+
+    /// Ensure the builder can accept a value of `kind`: type the empty
+    /// builder, keep a matching one, or degrade to `Mixed` on conflict.
+    fn promote_to(&mut self, kind: ColKind) {
+        let current = match &self.data {
+            BuilderData::Empty => {
+                self.data = match kind {
+                    ColKind::Int => BuilderData::Int(Vec::with_capacity(self.len + 1)),
+                    ColKind::Float => BuilderData::Float(Vec::with_capacity(self.len + 1)),
+                    ColKind::Date => BuilderData::Date(Vec::with_capacity(self.len + 1)),
+                    ColKind::Str | ColKind::Mixed => BuilderData::Dict {
+                        map: FxHashMap::default(),
+                        values: Vec::new(),
+                        bytes: 0,
+                        codes: Vec::new(),
+                    },
+                };
+                // Backfill default payloads for any leading NULLs.
+                match &mut self.data {
+                    BuilderData::Int(d) => d.resize(self.len, 0),
+                    BuilderData::Float(d) => d.resize(self.len, 0.0),
+                    BuilderData::Date(d) => d.resize(self.len, 0),
+                    BuilderData::Dict { codes, .. } => codes.resize(self.len, 0),
+                    _ => {}
+                }
+                return;
+            }
+            BuilderData::Int(_) => ColKind::Int,
+            BuilderData::Float(_) => ColKind::Float,
+            BuilderData::Date(_) => ColKind::Date,
+            BuilderData::Dict { .. } | BuilderData::Str { .. } => ColKind::Str,
+            BuilderData::Mixed(_) => return,
+        };
+        if current != kind {
+            self.degrade_to_mixed();
+        }
+    }
+
+    /// Re-materialize everything appended so far as `Mixed` values.
+    fn degrade_to_mixed(&mut self) {
+        let values: Vec<Value> = (0..self.len)
+            .map(|i| {
+                if !bit_is_set(&self.validity, i) {
+                    return Value::Null;
+                }
+                match &self.data {
+                    BuilderData::Empty => Value::Null,
+                    BuilderData::Int(d) => Value::Int(d[i]),
+                    BuilderData::Float(d) => Value::Float(d[i]),
+                    BuilderData::Date(d) => Value::Date(Date::from_days(d[i])),
+                    BuilderData::Dict { values, codes, .. } => {
+                        Value::Str(values[codes[i] as usize].clone())
+                    }
+                    BuilderData::Str { bytes, offsets } => Value::Str(Arc::from(
+                        &bytes[offsets[i] as usize..offsets[i + 1] as usize],
+                    )),
+                    BuilderData::Mixed(d) => d[i].clone(),
+                }
+            })
+            .collect();
+        self.data = BuilderData::Mixed(values);
+    }
+
+    /// Dictionary cardinality check — convert to offset encoding when the
+    /// distinct count stops paying for itself.
+    fn maybe_degrade_dict(&mut self) {
+        let BuilderData::Dict { values, codes, .. } = &self.data else {
+            return;
+        };
+        if values.len() <= DICT_MAX_FIXED.max(codes.len() / 4) {
+            return;
+        }
+        let BuilderData::Dict { values, codes, .. } = std::mem::replace(
+            &mut self.data,
+            BuilderData::Str {
+                bytes: String::new(),
+                offsets: vec![0],
+            },
+        ) else {
+            unreachable!()
+        };
+        let BuilderData::Str { bytes, offsets } = &mut self.data else {
+            unreachable!()
+        };
+        for &code in &codes {
+            bytes.push_str(&values[code as usize]);
+            offsets.push(bytes.len() as u32);
+        }
+    }
+
+    /// Finish into a [`Column`]. The validity bitmap is dropped when no
+    /// NULL was pushed.
+    pub fn finish(self) -> Column {
+        // An all-NULL (or empty) untyped column materializes as Mixed.
+        let data = match self.data {
+            BuilderData::Empty => ColumnData::Mixed(vec![Value::Null; self.len]),
+            BuilderData::Int(d) => ColumnData::Int(d),
+            BuilderData::Float(d) => ColumnData::Float(d),
+            BuilderData::Date(d) => ColumnData::Date(d),
+            BuilderData::Dict { values, codes, .. } => ColumnData::Dict {
+                dict: Arc::new(StrDict::new(values)),
+                codes,
+            },
+            BuilderData::Str { mut bytes, offsets } => {
+                bytes.shrink_to_fit();
+                ColumnData::Str { bytes, offsets }
+            }
+            BuilderData::Mixed(d) => ColumnData::Mixed(d),
+        };
+        Column {
+            data,
+            validity: self.any_null.then_some(self.validity),
+            size: OnceLock::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::hash_key;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            Row::new(vec![
+                Value::Int(1),
+                Value::Float(1.5),
+                Value::str("FRANCE"),
+                Value::Date(Date::from_days(9000)),
+            ]),
+            Row::new(vec![
+                Value::Int(2),
+                Value::Null,
+                Value::str("GERMANY"),
+                Value::Date(Date::from_days(9001)),
+            ]),
+            Row::new(vec![
+                Value::Null,
+                Value::Float(-0.0),
+                Value::str("FRANCE"),
+                Value::Null,
+            ]),
+        ]
+    }
+
+    #[test]
+    fn row_round_trip_preserves_values() {
+        let rows = sample_rows();
+        let cb = ColumnarBatch::from_rows(&rows);
+        assert_eq!(cb.len(), 3);
+        assert_eq!(cb.n_cols(), 4);
+        assert_eq!(cb.to_rows(), rows);
+    }
+
+    #[test]
+    fn dict_round_trip_shares_string_payloads() {
+        let s: Arc<str> = Arc::from("SHARED");
+        let rows = vec![
+            Row::new(vec![Value::Str(s.clone())]),
+            Row::new(vec![Value::Str(s.clone())]),
+        ];
+        let cb = ColumnarBatch::from_rows(&rows);
+        let back = cb.to_rows();
+        let (Value::Str(a), Value::Str(b)) = (back[0].get(0), back[1].get(0)) else {
+            panic!("expected strings");
+        };
+        // Both rows resolve to the single dictionary entry.
+        assert!(Arc::ptr_eq(a, b));
+    }
+
+    #[test]
+    fn slice_and_select_are_views() {
+        let rows = sample_rows();
+        let cb = ColumnarBatch::from_rows(&rows);
+        let s = cb.slice(1, 2);
+        assert_eq!(s.to_rows(), rows[1..].to_vec());
+        let p = s.select_columns(&[2, 0]);
+        assert_eq!(p.row_at(0), rows[1].project(&[2, 0]));
+        assert_eq!(p.row_at(1), rows[2].project(&[2, 0]));
+    }
+
+    #[test]
+    fn gather_picks_rows_and_preserves_nulls() {
+        let rows = sample_rows();
+        let cb = ColumnarBatch::from_rows(&rows);
+        let g = cb.gather(&[0, 2]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.to_rows(), vec![rows[0].clone(), rows[2].clone()]);
+        // Gather out of a slice uses view-relative indices.
+        let g2 = cb.slice(1, 2).gather(&[1]);
+        assert_eq!(g2.to_rows(), vec![rows[2].clone()]);
+    }
+
+    #[test]
+    fn value_eq_matches_sql_semantics() {
+        let rows = vec![Row::new(vec![
+            Value::Int(2),
+            Value::Float(0.0),
+            Value::str("x"),
+            Value::Null,
+        ])];
+        let cb = ColumnarBatch::from_rows(&rows);
+        assert!(cb.value_eq(0, 0, &Value::Int(2)));
+        assert!(cb.value_eq(0, 0, &Value::Float(2.0))); // cross-type numeric
+        assert!(!cb.value_eq(0, 0, &Value::Int(3)));
+        assert!(cb.value_eq(1, 0, &Value::Float(-0.0))); // -0.0 == 0.0
+        assert!(cb.value_eq(2, 0, &Value::str("x")));
+        assert!(!cb.value_eq(2, 0, &Value::str("y")));
+        assert!(cb.value_eq(3, 0, &Value::Null)); // NULL == NULL (grouping)
+        assert!(!cb.value_eq(0, 0, &Value::Null));
+    }
+
+    #[test]
+    fn mixed_column_on_type_conflict() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::str("two")]),
+        ];
+        let cb = ColumnarBatch::from_rows(&rows);
+        assert_eq!(cb.kind(0), ColKind::Mixed);
+        assert_eq!(cb.to_rows(), rows);
+    }
+
+    #[test]
+    fn leading_nulls_do_not_pin_a_type() {
+        let rows = vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Int(7)])];
+        let cb = ColumnarBatch::from_rows(&rows);
+        assert_eq!(cb.kind(0), ColKind::Int);
+        assert_eq!(cb.to_rows(), rows);
+    }
+
+    #[test]
+    fn dict_degrades_to_offsets_at_high_cardinality() {
+        let mut b = ColumnBuilder::new();
+        for i in 0..(DICT_MAX_FIXED + 2) {
+            b.push_str(&format!("v{i}"));
+        }
+        let col = b.finish();
+        assert!(matches!(col.data, ColumnData::Str { .. }));
+        let cb = ColumnarBatch::from_columns(vec![col]);
+        assert_eq!(cb.str_at(0, 0), Some("v0"));
+        assert_eq!(
+            cb.str_at(0, DICT_MAX_FIXED + 1),
+            Some(&*format!("v{}", DICT_MAX_FIXED + 1))
+        );
+    }
+
+    #[test]
+    fn dict_digest_fast_path_matches_key_hash() {
+        let rows = vec![
+            Row::new(vec![Value::str("a")]),
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::str("b")]),
+        ];
+        let cb = ColumnarBatch::from_rows(&rows);
+        let mut digests = Vec::new();
+        let mut null_mask = vec![false; 3];
+        let mut any_null = false;
+        assert!(cb.dict_digest_fill(0, &mut digests, &mut null_mask, &mut any_null));
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(digests[i], r.key_hash(&[0]));
+        }
+        assert!(any_null);
+        assert_eq!(null_mask, vec![false, true, false]);
+        assert_eq!(digests[1], hash_key(&[Value::Null]));
+    }
+
+    #[test]
+    fn size_bytes_is_consistent_across_views() {
+        let rows = sample_rows();
+        let cb = ColumnarBatch::from_rows(&rows);
+        let full = cb.size_bytes();
+        assert!(full > 0);
+        // Cached: second call returns the same number.
+        assert_eq!(cb.size_bytes(), full);
+        let half = cb.slice(0, 1).size_bytes();
+        assert!(half < full);
+    }
+
+    #[test]
+    fn empty_batch_shapes() {
+        let cb = ColumnarBatch::from_rows(&[]);
+        assert!(cb.is_empty());
+        assert_eq!(cb.n_cols(), 0);
+        assert!(cb.to_rows().is_empty());
+        assert_eq!(ColumnarBatch::empty().size_bytes(), 0);
+    }
+}

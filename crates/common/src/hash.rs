@@ -11,7 +11,7 @@ use std::hash::{BuildHasherDefault, Hash, Hasher};
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// The Fx hasher: word-at-a-time multiply-rotate.
-#[derive(Default, Clone)]
+#[derive(Default, Clone, Debug)]
 pub struct FxHasher {
     hash: u64,
 }

@@ -15,6 +15,7 @@
 //!   index list instead of cloning or shifting the rows themselves; the
 //!   rows are gathered (or compacted in place) once at the end.
 
+use crate::columnar::ColumnarBatch;
 use crate::hash::FxHasher;
 use crate::row::Row;
 use std::hash::{Hash, Hasher};
@@ -113,6 +114,8 @@ pub struct DigestBuffer {
     digests: Vec<u64>,
     null_mask: Vec<bool>,
     any_null: bool,
+    /// Scratch per-row hasher states for the columnar fold pass.
+    hashers: Vec<FxHasher>,
 }
 
 impl DigestBuffer {
@@ -138,6 +141,47 @@ impl DigestBuffer {
                 self.any_null = true;
             }
         }
+    }
+
+    /// Hash every row's key columns of a columnar batch, column-major:
+    /// per-row hasher states are folded one typed column at a time, so the
+    /// inner loops run over primitive slices. Produces byte-identical
+    /// digests to [`DigestBuffer::compute`] over the equivalent rows
+    /// (single dictionary key columns hit a cached per-entry digest and
+    /// skip hashing entirely).
+    pub fn compute_cols(&mut self, batch: &ColumnarBatch, positions: &[usize]) {
+        let n = batch.len();
+        self.digests.clear();
+        self.digests.reserve(n);
+        self.null_mask.clear();
+        self.null_mask.resize(n, false);
+        self.any_null = false;
+        if n == 0 {
+            // Zero rows hash to nothing — mirrors the row path, which never
+            // touches the columns of an empty batch.
+            return;
+        }
+        if positions.len() == 1
+            && batch.dict_digest_fill(
+                positions[0],
+                &mut self.digests,
+                &mut self.null_mask,
+                &mut self.any_null,
+            )
+        {
+            return;
+        }
+        self.hashers.clear();
+        self.hashers.resize(n, FxHasher::default());
+        for &p in positions {
+            batch.fold_digest(
+                p,
+                &mut self.hashers,
+                &mut self.null_mask,
+                &mut self.any_null,
+            );
+        }
+        self.digests.extend(self.hashers.iter().map(Hasher::finish));
     }
 
     /// The per-row digests, aligned with the batch the buffer was computed
@@ -202,8 +246,30 @@ impl DigestCache {
     /// The digest buffer for `positions` over `rows`, computed at most once
     /// per batch epoch.
     pub fn get(&mut self, rows: &[Row], positions: &[usize]) -> &DigestBuffer {
-        let slot = self
-            .entries
+        let slot = self.slot_for(positions);
+        let entry = &mut self.entries[slot];
+        if entry.epoch != self.epoch {
+            entry.buf.compute(rows, positions);
+            entry.epoch = self.epoch;
+        }
+        &self.entries[slot].buf
+    }
+
+    /// The digest buffer for `positions` over a columnar batch, computed at
+    /// most once per batch epoch. Shares the entry table with
+    /// [`DigestCache::get`] — the digests are identical either way.
+    pub fn get_cols(&mut self, batch: &ColumnarBatch, positions: &[usize]) -> &DigestBuffer {
+        let slot = self.slot_for(positions);
+        let entry = &mut self.entries[slot];
+        if entry.epoch != self.epoch {
+            entry.buf.compute_cols(batch, positions);
+            entry.epoch = self.epoch;
+        }
+        &self.entries[slot].buf
+    }
+
+    fn slot_for(&mut self, positions: &[usize]) -> usize {
+        self.entries
             .iter()
             .position(|e| e.positions == positions)
             .unwrap_or_else(|| {
@@ -213,13 +279,7 @@ impl DigestCache {
                     buf: DigestBuffer::default(),
                 });
                 self.entries.len() - 1
-            });
-        let entry = &mut self.entries[slot];
-        if entry.epoch != self.epoch {
-            entry.buf.compute(rows, positions);
-            entry.epoch = self.epoch;
-        }
-        &self.entries[slot].buf
+            })
     }
 
     /// Number of distinct key-column sets seen so far.
@@ -269,6 +329,87 @@ mod tests {
         buf.compute(&rows[..1], &[0]);
         assert!(!buf.any_null());
         assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn columnar_digest_pass_matches_row_pass() {
+        use crate::columnar::ColumnarBatch;
+        use crate::date::Date;
+        let rows = vec![
+            Row::new(vec![
+                Value::Int(1),
+                Value::Float(-0.0),
+                Value::str("alpha"),
+                Value::Date(Date::from_days(-3)),
+            ]),
+            Row::new(vec![
+                Value::Null,
+                Value::Float(2.5),
+                Value::str("a-string-longer-than-one-word"),
+                Value::Date(Date::from_days(9000)),
+            ]),
+            Row::new(vec![
+                Value::Int(-7),
+                Value::Null,
+                Value::Null,
+                Value::Date(Date::from_days(0)),
+            ]),
+        ];
+        let batch = ColumnarBatch::from_rows(&rows);
+        let mut row_buf = DigestBuffer::default();
+        let mut col_buf = DigestBuffer::default();
+        for positions in [
+            &[0usize][..],
+            &[1],
+            &[2],
+            &[3],
+            &[0, 2],
+            &[3, 1, 0],
+            &[2, 2],
+        ] {
+            row_buf.compute(&rows, positions);
+            col_buf.compute_cols(&batch, positions);
+            assert_eq!(row_buf.digests(), col_buf.digests(), "cols {positions:?}");
+            for i in 0..rows.len() {
+                assert_eq!(
+                    row_buf.is_null_key(i),
+                    col_buf.is_null_key(i),
+                    "null flag row {i} cols {positions:?}"
+                );
+            }
+            assert_eq!(row_buf.any_null(), col_buf.any_null());
+        }
+    }
+
+    #[test]
+    fn columnar_digest_pass_respects_views() {
+        use crate::columnar::ColumnarBatch;
+        let rows: Vec<Row> = (0..10).map(|i| row(&[i, i * 10])).collect();
+        let batch = ColumnarBatch::from_rows(&rows).slice(3, 4);
+        let mut buf = DigestBuffer::default();
+        buf.compute_cols(&batch, &[1, 0]);
+        for i in 0..4 {
+            assert_eq!(buf.digests()[i], rows[3 + i].key_hash(&[1, 0]));
+        }
+    }
+
+    #[test]
+    fn cache_get_cols_shares_entries_with_get() {
+        use crate::columnar::ColumnarBatch;
+        let rows = vec![row(&[1, 2]), row(&[3, 4])];
+        let batch = ColumnarBatch::from_rows(&rows);
+        let mut cache = DigestCache::default();
+        cache.begin_batch();
+        let d_row = cache.get(&rows, &[0]).digests().to_vec();
+        // Same epoch + positions: the columnar getter returns the cached
+        // buffer without recomputing.
+        let d_col = cache.get_cols(&batch, &[0]).digests().to_vec();
+        assert_eq!(d_row, d_col);
+        assert_eq!(cache.n_sets(), 1);
+        cache.begin_batch();
+        let d_col2 = cache.get_cols(&batch, &[0]).digests().to_vec();
+        assert_eq!(d_col2, d_row);
+        assert_eq!(cache.n_sets(), 1);
     }
 
     #[test]

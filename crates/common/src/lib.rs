@@ -12,6 +12,7 @@
 //! vocabulary the rest of the system is written in.
 
 pub mod bytes;
+pub mod columnar;
 pub mod date;
 pub mod error;
 pub mod hash;
@@ -24,6 +25,7 @@ pub mod sketch;
 pub mod trace;
 pub mod value;
 
+pub use columnar::{ColKind, Column, ColumnBuilder, ColumnarBatch};
 pub use date::Date;
 pub use error::{Result, SipError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -154,7 +154,7 @@ pub fn hash_key(values: &[Value]) -> u64 {
 
 /// Map -0.0 to 0.0 so SQL equality and hashing agree.
 #[inline]
-fn norm_zero(v: f64) -> f64 {
+pub(crate) fn norm_zero(v: f64) -> f64 {
     if v == 0.0 {
         0.0
     } else {

@@ -1,0 +1,171 @@
+//! Property tests for the row ↔ columnar seam.
+//!
+//! The columnar layout is only safe to thread through the engine if (a)
+//! `Row` batches round-trip through `ColumnarBatch` value-exactly, and (b)
+//! the columnar digest pass agrees bit-for-bit with the row-based
+//! `Row::key_hash` — AIP sets built on one side of the seam are probed on
+//! the other, so a single digest mismatch silently drops rows.
+
+use proptest::prelude::*;
+use sip_common::{ColumnarBatch, Date, DigestBuffer, Row, Value};
+use std::sync::Arc;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only; includes ±0.0 via the range.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+        (-100_000i32..100_000).prop_map(|d| Value::Date(Date::from_days(d))),
+    ]
+}
+
+/// Chunk a flat cell vector into uniform-width rows (trailing remainder
+/// dropped) — the shimmed proptest has no flat-map, so width and cells are
+/// drawn independently.
+fn rows_from(n_cols: usize, cells: &[Value]) -> Vec<Row> {
+    cells
+        .chunks_exact(n_cols)
+        .map(|c| Row::new(c.to_vec()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn rows_round_trip_value_exact(
+        n_cols in 1usize..6,
+        cells in prop::collection::vec(arb_value(), 0..100),
+    ) {
+        let rows = rows_from(n_cols, &cells);
+        let batch = ColumnarBatch::from_rows(&rows);
+        prop_assert_eq!(batch.len(), rows.len());
+        let back = batch.to_rows();
+        prop_assert_eq!(&back, &rows);
+        // value_at agrees with the row view position by position.
+        for (i, row) in rows.iter().enumerate() {
+            for (c, v) in row.values().iter().enumerate() {
+                prop_assert_eq!(&batch.value_at(c, i), v);
+                prop_assert_eq!(batch.is_valid(c, i), !v.is_null());
+            }
+        }
+    }
+
+    #[test]
+    fn digest_pass_parity_with_key_hash(
+        n_cols in 1usize..6,
+        cells in prop::collection::vec(arb_value(), 0..100),
+    ) {
+        let rows = rows_from(n_cols, &cells);
+        let batch = ColumnarBatch::from_rows(&rows);
+        let mut buf = DigestBuffer::default();
+        // Every single column plus the full key.
+        let mut column_sets: Vec<Vec<usize>> = (0..n_cols).map(|c| vec![c]).collect();
+        column_sets.push((0..n_cols).collect());
+        for positions in &column_sets {
+            buf.compute_cols(&batch, positions);
+            for (i, row) in rows.iter().enumerate() {
+                prop_assert_eq!(
+                    buf.digests()[i],
+                    row.key_hash(positions),
+                    "digest mismatch at row {} cols {:?}", i, positions
+                );
+                let has_null = positions.iter().any(|&p| row.get(p).is_null());
+                prop_assert_eq!(buf.is_null_key(i), has_null);
+            }
+        }
+    }
+
+    #[test]
+    fn slices_and_gathers_stay_value_exact(
+        n_cols in 1usize..6,
+        cells in prop::collection::vec(arb_value(), 0..100),
+        cut in 0usize..20,
+        stride in 1usize..4,
+    ) {
+        let rows = rows_from(n_cols, &cells);
+        let batch = ColumnarBatch::from_rows(&rows);
+        let off = cut.min(rows.len());
+        let view = batch.slice(off, rows.len() - off);
+        prop_assert_eq!(view.to_rows(), rows[off..].to_vec());
+        // Strided gather out of the slice.
+        let sel: Vec<u32> = (0..view.len() as u32).step_by(stride).collect();
+        let picked = view.gather(&sel);
+        let expect: Vec<Row> = sel.iter().map(|&i| rows[off + i as usize].clone()).collect();
+        prop_assert_eq!(picked.to_rows(), expect);
+    }
+}
+
+/// Shared `Arc<str>` payloads survive the round trip without duplicating
+/// the allocation: equal strings resolve to one dictionary entry.
+#[test]
+fn shared_arc_str_payloads_coalesce() {
+    let hot: Arc<str> = Arc::from("REPEATED-PAYLOAD");
+    let rows: Vec<Row> = (0..100)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Str(hot.clone()),
+                if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::str("x")
+                },
+            ])
+        })
+        .collect();
+    let batch = ColumnarBatch::from_rows(&rows);
+    let back = batch.to_rows();
+    assert_eq!(back, rows);
+    let ptrs: Vec<*const u8> = back
+        .iter()
+        .map(|r| match r.get(1) {
+            Value::Str(s) => s.as_ptr(),
+            _ => panic!("expected string"),
+        })
+        .collect();
+    assert!(
+        ptrs.windows(2).all(|w| w[0] == w[1]),
+        "dictionary should share one Arc<str> across all rows"
+    );
+}
+
+/// The boundary sizes around a validity-bitmap word: 1, 63, 64, 65.
+#[test]
+fn bitmap_word_boundaries_round_trip() {
+    for n in [1usize, 63, 64, 65] {
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    // NULL on the word-edge positions specifically.
+                    if i == 0 || i == 62 || i == 63 || i == 64 {
+                        Value::Null
+                    } else {
+                        Value::Int(i as i64)
+                    },
+                    Value::str(format!("s{i}")),
+                ])
+            })
+            .collect();
+        let batch = ColumnarBatch::from_rows(&rows);
+        assert_eq!(batch.to_rows(), rows, "n = {n}");
+        let mut buf = DigestBuffer::default();
+        buf.compute_cols(&batch, &[0, 1]);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(buf.digests()[i], row.key_hash(&[0, 1]), "n = {n} row {i}");
+        }
+    }
+}
+
+/// Empty batches are valid and digest to nothing.
+#[test]
+fn empty_batch_round_trip() {
+    let batch = ColumnarBatch::from_rows(&[]);
+    assert!(batch.is_empty());
+    assert!(batch.to_rows().is_empty());
+    let mut buf = DigestBuffer::default();
+    buf.compute_cols(&batch, &[]);
+    assert!(buf.is_empty());
+}

@@ -11,12 +11,12 @@
 //! (§VI): foreign-key references and several value columns are drawn from
 //! Zipf(z) instead of uniform.
 
-use crate::table::{Catalog, ForeignKey, Table};
+use crate::table::{Catalog, ForeignKey, Table, TableBuilder};
 use crate::text;
 use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sip_common::{DataType, Date, Field, Result, Row, Schema, Value};
+use sip_common::{ColumnarBatch, DataType, Date, Field, Result, Schema, Value};
 
 /// Configuration for one generated data set.
 #[derive(Clone, Debug)]
@@ -121,18 +121,15 @@ fn gen_region() -> Result<Table> {
         Field::new("r_name", DataType::Str),
         Field::new("r_comment", DataType::Str),
     ]);
-    let rows = text::REGIONS
-        .iter()
-        .enumerate()
-        .map(|(i, name)| {
-            Row::new(vec![
-                Value::Int(i as i64),
-                Value::str(*name),
-                Value::str("region comment"),
-            ])
-        })
-        .collect();
-    Table::new("region", schema, vec![0], vec![], rows)
+    let mut tb = TableBuilder::new(schema);
+    for (i, name) in text::REGIONS.iter().enumerate() {
+        tb.push(vec![
+            Value::Int(i as i64),
+            Value::str(*name),
+            Value::str("region comment"),
+        ]);
+    }
+    tb.finish("region", vec![0], vec![])
 }
 
 fn gen_nation() -> Result<Table> {
@@ -142,27 +139,22 @@ fn gen_nation() -> Result<Table> {
         Field::new("n_regionkey", DataType::Int),
         Field::new("n_comment", DataType::Str),
     ]);
-    let rows = text::NATIONS
-        .iter()
-        .enumerate()
-        .map(|(i, (name, region))| {
-            Row::new(vec![
-                Value::Int(i as i64),
-                Value::str(*name),
-                Value::Int(*region as i64),
-                Value::str("nation comment"),
-            ])
-        })
-        .collect();
-    Table::new(
+    let mut tb = TableBuilder::new(schema);
+    for (i, (name, region)) in text::NATIONS.iter().enumerate() {
+        tb.push(vec![
+            Value::Int(i as i64),
+            Value::str(*name),
+            Value::Int(*region as i64),
+            Value::str("nation comment"),
+        ]);
+    }
+    tb.finish(
         "nation",
-        schema,
         vec![0],
         vec![ForeignKey {
             columns: vec![2],
             parent_table: "region".into(),
         }],
-        rows,
     )
 }
 
@@ -177,29 +169,26 @@ fn gen_supplier(config: &TpchConfig, n: i64) -> Result<Table> {
         Field::new("s_acctbal", DataType::Float),
         Field::new("s_comment", DataType::Str),
     ]);
-    let rows = (1..=n)
-        .map(|k| {
-            let nation = rng.gen_range(0..25i64);
-            Row::new(vec![
-                Value::Int(k),
-                Value::str(format!("Supplier#{k:09}")),
-                Value::str(text::address(&mut rng)),
-                Value::Int(nation),
-                Value::str(text::phone(&mut rng, nation as usize)),
-                Value::Float(rng.gen_range(-999.99..9999.99)),
-                Value::str(text::comment(&mut rng)),
-            ])
-        })
-        .collect();
-    Table::new(
+    let mut tb = TableBuilder::new(schema);
+    for k in 1..=n {
+        let nation = rng.gen_range(0..25i64);
+        tb.push(vec![
+            Value::Int(k),
+            Value::str(format!("Supplier#{k:09}")),
+            Value::str(text::address(&mut rng)),
+            Value::Int(nation),
+            Value::str(text::phone(&mut rng, nation as usize)),
+            Value::Float(rng.gen_range(-999.99..9999.99)),
+            Value::str(text::comment(&mut rng)),
+        ]);
+    }
+    tb.finish(
         "supplier",
-        schema,
         vec![0],
         vec![ForeignKey {
             columns: vec![3],
             parent_table: "nation".into(),
         }],
-        rows,
     )
 }
 
@@ -217,26 +206,25 @@ fn gen_part(config: &TpchConfig, n: i64) -> Result<Table> {
         Field::new("p_retailprice", DataType::Float),
         Field::new("p_comment", DataType::Str),
     ]);
-    let rows = (1..=n)
-        .map(|k| {
-            let size = match &size_zipf {
-                Some(z) => z.sample(&mut rng) as i64,
-                None => rng.gen_range(1..=50),
-            };
-            Row::new(vec![
-                Value::Int(k),
-                Value::str(text::part_name(&mut rng)),
-                Value::str(format!("Manufacturer#{}", rng.gen_range(1..=5))),
-                Value::str(text::brand(&mut rng)),
-                Value::str(text::part_type(&mut rng)),
-                Value::Int(size),
-                Value::str(text::container(&mut rng)),
-                Value::Float(retail_price(k)),
-                Value::str(text::comment(&mut rng)),
-            ])
-        })
-        .collect();
-    Table::new("part", schema, vec![0], vec![], rows)
+    let mut tb = TableBuilder::new(schema);
+    for k in 1..=n {
+        let size = match &size_zipf {
+            Some(z) => z.sample(&mut rng) as i64,
+            None => rng.gen_range(1..=50),
+        };
+        tb.push(vec![
+            Value::Int(k),
+            Value::str(text::part_name(&mut rng)),
+            Value::str(format!("Manufacturer#{}", rng.gen_range(1..=5))),
+            Value::str(text::brand(&mut rng)),
+            Value::str(text::part_type(&mut rng)),
+            Value::Int(size),
+            Value::str(text::container(&mut rng)),
+            Value::Float(retail_price(k)),
+            Value::str(text::comment(&mut rng)),
+        ]);
+    }
+    tb.finish("part", vec![0], vec![])
 }
 
 fn gen_partsupp(config: &TpchConfig, n_parts: i64, n_suppliers: i64) -> Result<Table> {
@@ -249,7 +237,7 @@ fn gen_partsupp(config: &TpchConfig, n_parts: i64, n_suppliers: i64) -> Result<T
         Field::new("ps_comment", DataType::Str),
     ]);
     let qty_zipf = (config.zipf_z > 0.0).then(|| Zipf::new(9_999, config.zipf_z));
-    let mut rows = Vec::with_capacity((n_parts * 4) as usize);
+    let mut tb = TableBuilder::new(schema);
     for p in 1..=n_parts {
         // dbgen: each part is stocked by 4 suppliers at spread positions.
         for i in 0..4i64 {
@@ -258,18 +246,17 @@ fn gen_partsupp(config: &TpchConfig, n_parts: i64, n_suppliers: i64) -> Result<T
                 Some(z) => z.sample(&mut rng) as i64,
                 None => rng.gen_range(1..=9_999),
             };
-            rows.push(Row::new(vec![
+            tb.push(vec![
                 Value::Int(p),
                 Value::Int(s),
                 Value::Int(qty),
                 Value::Float(rng.gen_range(1.0..1000.0)),
                 Value::str(text::comment(&mut rng)),
-            ]));
+            ]);
         }
     }
-    Table::new(
+    tb.finish(
         "partsupp",
-        schema,
         vec![0, 1],
         vec![
             ForeignKey {
@@ -281,7 +268,6 @@ fn gen_partsupp(config: &TpchConfig, n_parts: i64, n_suppliers: i64) -> Result<T
                 parent_table: "supplier".into(),
             },
         ],
-        rows,
     )
 }
 
@@ -297,48 +283,33 @@ fn gen_customer(config: &TpchConfig, n: i64) -> Result<Table> {
         Field::new("c_mktsegment", DataType::Str),
         Field::new("c_comment", DataType::Str),
     ]);
-    let rows = (1..=n)
-        .map(|k| {
-            let nation = rng.gen_range(0..25i64);
-            Row::new(vec![
-                Value::Int(k),
-                Value::str(format!("Customer#{k:09}")),
-                Value::str(text::address(&mut rng)),
-                Value::Int(nation),
-                Value::str(text::phone(&mut rng, nation as usize)),
-                Value::Float(rng.gen_range(-999.99..9999.99)),
-                Value::str(text::SEGMENTS[rng.gen_range(0..text::SEGMENTS.len())]),
-                Value::str(text::comment(&mut rng)),
-            ])
-        })
-        .collect();
-    Table::new(
+    let mut tb = TableBuilder::new(schema);
+    for k in 1..=n {
+        let nation = rng.gen_range(0..25i64);
+        tb.push(vec![
+            Value::Int(k),
+            Value::str(format!("Customer#{k:09}")),
+            Value::str(text::address(&mut rng)),
+            Value::Int(nation),
+            Value::str(text::phone(&mut rng, nation as usize)),
+            Value::Float(rng.gen_range(-999.99..9999.99)),
+            Value::str(text::SEGMENTS[rng.gen_range(0..text::SEGMENTS.len())]),
+            Value::str(text::comment(&mut rng)),
+        ]);
+    }
+    tb.finish(
         "customer",
-        schema,
         vec![0],
         vec![ForeignKey {
             columns: vec![3],
             parent_table: "nation".into(),
         }],
-        rows,
     )
 }
 
-fn gen_orders_lineitem(
-    config: &TpchConfig,
-    n_orders: i64,
-    n_customers: i64,
-    n_parts: i64,
-    n_suppliers: i64,
-) -> Result<(Table, Table)> {
-    let mut rng = rng_for(config, 5);
-    let base_date = Date::parse(ORDER_DATE_MIN)?;
-    let cust_zipf = (config.zipf_z > 0.0).then(|| Zipf::new(n_customers as u64, config.zipf_z));
-    let part_zipf = (config.zipf_z > 0.0).then(|| Zipf::new(n_parts as u64, config.zipf_z));
-    let supp_zipf = (config.zipf_z > 0.0).then(|| Zipf::new(n_suppliers as u64, config.zipf_z));
-    let qty_zipf = (config.zipf_z > 0.0).then(|| Zipf::new(50, config.zipf_z));
-
-    let orders_schema = Schema::new(vec![
+/// The `orders` schema.
+pub fn orders_schema() -> Schema {
+    Schema::new(vec![
         Field::new("o_orderkey", DataType::Int),
         Field::new("o_custkey", DataType::Int),
         Field::new("o_orderstatus", DataType::Str),
@@ -348,8 +319,12 @@ fn gen_orders_lineitem(
         Field::new("o_clerk", DataType::Str),
         Field::new("o_shippriority", DataType::Int),
         Field::new("o_comment", DataType::Str),
-    ]);
-    let lineitem_schema = Schema::new(vec![
+    ])
+}
+
+/// The `lineitem` schema.
+pub fn lineitem_schema() -> Schema {
+    Schema::new(vec![
         Field::new("l_orderkey", DataType::Int),
         Field::new("l_partkey", DataType::Int),
         Field::new("l_suppkey", DataType::Int),
@@ -366,23 +341,61 @@ fn gen_orders_lineitem(
         Field::new("l_shipinstruct", DataType::Str),
         Field::new("l_shipmode", DataType::Str),
         Field::new("l_comment", DataType::Str),
-    ]);
+    ])
+}
 
-    let mut order_rows = Vec::with_capacity(n_orders as usize);
-    let mut line_rows = Vec::with_capacity(n_orders as usize * 4);
-    for ok in 1..=n_orders {
-        let custkey = match &cust_zipf {
-            Some(_) => skewed_key(&mut rng, cust_zipf.as_ref(), n_customers),
-            None => rng.gen_range(1..=n_customers),
+/// The coupled `orders` + `lineitem` record generator: one RNG stream,
+/// one order (with 1–7 lines) per call, identical draw order whether the
+/// records are materialized into a catalog or streamed in chunks — so the
+/// streaming path produces bit-identical data to [`generate`].
+struct OrderGen {
+    rng: StdRng,
+    base_date: Date,
+    n_customers: i64,
+    n_parts: i64,
+    n_suppliers: i64,
+    cust_zipf: Option<Zipf>,
+    part_zipf: Option<Zipf>,
+    supp_zipf: Option<Zipf>,
+    qty_zipf: Option<Zipf>,
+}
+
+impl OrderGen {
+    fn new(
+        config: &TpchConfig,
+        n_customers: i64,
+        n_parts: i64,
+        n_suppliers: i64,
+    ) -> Result<OrderGen> {
+        Ok(OrderGen {
+            rng: rng_for(config, 5),
+            base_date: Date::parse(ORDER_DATE_MIN)?,
+            n_customers,
+            n_parts,
+            n_suppliers,
+            cust_zipf: (config.zipf_z > 0.0).then(|| Zipf::new(n_customers as u64, config.zipf_z)),
+            part_zipf: (config.zipf_z > 0.0).then(|| Zipf::new(n_parts as u64, config.zipf_z)),
+            supp_zipf: (config.zipf_z > 0.0).then(|| Zipf::new(n_suppliers as u64, config.zipf_z)),
+            qty_zipf: (config.zipf_z > 0.0).then(|| Zipf::new(50, config.zipf_z)),
+        })
+    }
+
+    /// Generate order `ok`, passing each lineitem record to `line` and
+    /// returning the order record.
+    fn next_order(&mut self, ok: i64, mut line: impl FnMut(Vec<Value>)) -> Vec<Value> {
+        let rng = &mut self.rng;
+        let custkey = match &self.cust_zipf {
+            Some(_) => skewed_key(rng, self.cust_zipf.as_ref(), self.n_customers),
+            None => rng.gen_range(1..=self.n_customers),
         };
-        let odate = base_date.plus_days(rng.gen_range(0..ORDER_DATE_SPAN));
+        let odate = self.base_date.plus_days(rng.gen_range(0..ORDER_DATE_SPAN));
         let n_lines = rng.gen_range(1..=7);
         let mut total = 0.0f64;
         for ln in 1..=n_lines {
-            let partkey = skewed_key(&mut rng, part_zipf.as_ref(), n_parts);
-            let suppkey = skewed_key(&mut rng, supp_zipf.as_ref(), n_suppliers);
-            let quantity = match &qty_zipf {
-                Some(z) => z.sample(&mut rng) as i64,
+            let partkey = skewed_key(rng, self.part_zipf.as_ref(), self.n_parts);
+            let suppkey = skewed_key(rng, self.supp_zipf.as_ref(), self.n_suppliers);
+            let quantity = match &self.qty_zipf {
+                Some(z) => z.sample(rng) as i64,
                 None => rng.gen_range(1..=50),
             };
             let eprice = quantity as f64 * retail_price(partkey);
@@ -392,7 +405,7 @@ fn gen_orders_lineitem(
             let commitdate = odate.plus_days(rng.gen_range(30..=90));
             let receiptdate = shipdate.plus_days(rng.gen_range(1..=30));
             total += eprice * (1.0 - discount) * (1.0 + tax);
-            line_rows.push(Row::new(vec![
+            line(vec![
                 Value::Int(ok),
                 Value::Int(partkey),
                 Value::Int(suppkey),
@@ -402,7 +415,7 @@ fn gen_orders_lineitem(
                 Value::Float(discount),
                 Value::Float(tax),
                 Value::str(if rng.gen_bool(0.25) { "R" } else { "N" }),
-                Value::str(if shipdate.days() > base_date.days() + 1200 {
+                Value::str(if shipdate.days() > self.base_date.days() + 1200 {
                     "O"
                 } else {
                     "F"
@@ -412,10 +425,10 @@ fn gen_orders_lineitem(
                 Value::Date(receiptdate),
                 Value::str("DELIVER IN PERSON"),
                 Value::str(text::SHIP_MODES[rng.gen_range(0..text::SHIP_MODES.len())]),
-                Value::str(text::comment(&mut rng)),
-            ]));
+                Value::str(text::comment(rng)),
+            ]);
         }
-        order_rows.push(Row::new(vec![
+        vec![
             Value::Int(ok),
             Value::Int(custkey),
             Value::str(if rng.gen_bool(0.5) { "F" } else { "O" }),
@@ -424,41 +437,87 @@ fn gen_orders_lineitem(
             Value::str(text::PRIORITIES[rng.gen_range(0..text::PRIORITIES.len())]),
             Value::str(format!("Clerk#{:09}", rng.gen_range(1..=1000))),
             Value::Int(0),
-            Value::str(text::comment(&mut rng)),
-        ]));
+            Value::str(text::comment(rng)),
+        ]
     }
+}
 
-    let orders = Table::new(
+fn lineitem_foreign_keys() -> Vec<ForeignKey> {
+    vec![
+        ForeignKey {
+            columns: vec![0],
+            parent_table: "orders".into(),
+        },
+        ForeignKey {
+            columns: vec![1],
+            parent_table: "part".into(),
+        },
+        ForeignKey {
+            columns: vec![2],
+            parent_table: "supplier".into(),
+        },
+    ]
+}
+
+fn gen_orders_lineitem(
+    config: &TpchConfig,
+    n_orders: i64,
+    n_customers: i64,
+    n_parts: i64,
+    n_suppliers: i64,
+) -> Result<(Table, Table)> {
+    let mut gen = OrderGen::new(config, n_customers, n_parts, n_suppliers)?;
+    let mut orders_tb = TableBuilder::new(orders_schema());
+    let mut lines_tb = TableBuilder::new(lineitem_schema());
+    for ok in 1..=n_orders {
+        let order = gen.next_order(ok, |lv| lines_tb.push(lv));
+        orders_tb.push(order);
+    }
+    let orders = orders_tb.finish(
         "orders",
-        orders_schema,
         vec![0],
         vec![ForeignKey {
             columns: vec![1],
             parent_table: "customer".into(),
         }],
-        order_rows,
     )?;
-    let lineitem = Table::new(
-        "lineitem",
-        lineitem_schema,
-        vec![0, 3],
-        vec![
-            ForeignKey {
-                columns: vec![0],
-                parent_table: "orders".into(),
-            },
-            ForeignKey {
-                columns: vec![1],
-                parent_table: "part".into(),
-            },
-            ForeignKey {
-                columns: vec![2],
-                parent_table: "supplier".into(),
-            },
-        ],
-        line_rows,
-    )?;
+    let lineitem = lines_tb.finish("lineitem", vec![0, 3], lineitem_foreign_keys())?;
     Ok((orders, lineitem))
+}
+
+/// Stream the `lineitem` table as columnar chunks of ~`chunk_rows` rows at
+/// constant memory: records are generated straight into per-chunk column
+/// builders and handed to `sink`, with nothing retained between chunks.
+/// The paired `orders` records are computed (the RNG stream is shared) and
+/// discarded.
+///
+/// Chunks flush at order boundaries, so a chunk can run up to 6 rows past
+/// `chunk_rows`. The concatenation of all chunks is bit-identical to the
+/// `lineitem` table [`generate`] builds for the same config — pinning that
+/// a scale-factor sweep through this path measures the same data the
+/// in-memory catalog would hold.
+pub fn stream_lineitem(
+    config: &TpchConfig,
+    chunk_rows: usize,
+    sink: &mut dyn FnMut(ColumnarBatch) -> Result<()>,
+) -> Result<()> {
+    assert!(chunk_rows > 0, "chunk_rows must be positive");
+    let n_customers = config.scaled(150_000) as i64;
+    let n_parts = config.scaled(200_000) as i64;
+    let n_suppliers = config.scaled(10_000) as i64;
+    let n_orders = config.scaled(1_500_000) as i64;
+    let mut gen = OrderGen::new(config, n_customers, n_parts, n_suppliers)?;
+    let mut tb = TableBuilder::new(lineitem_schema());
+    for ok in 1..=n_orders {
+        gen.next_order(ok, |lv| tb.push(lv));
+        if tb.len() >= chunk_rows {
+            sink(tb.take_batch())?;
+        }
+    }
+    if !tb.is_empty() {
+        sink(tb.take_batch())?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -605,6 +664,36 @@ mod tests {
             top_share(&skewed),
             top_share(&uniform)
         );
+    }
+
+    #[test]
+    fn streamed_lineitem_matches_generated_table() {
+        let config = TpchConfig {
+            scale_factor: 0.002,
+            seed: 1,
+            zipf_z: 0.0,
+        };
+        let table = generate(&config).unwrap();
+        let want = table.get("lineitem").unwrap();
+        for chunk_rows in [100usize, 1024, 1 << 20] {
+            let mut streamed = Vec::new();
+            stream_lineitem(&config, chunk_rows, &mut |batch| {
+                assert!(
+                    batch.len() <= chunk_rows + 6,
+                    "chunk of {} rows overshoots {} by more than one order",
+                    batch.len(),
+                    chunk_rows
+                );
+                streamed.extend(batch.to_rows());
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(
+                streamed,
+                want.rows(),
+                "streamed lineitem (chunk {chunk_rows}) differs from the catalog table"
+            );
+        }
     }
 
     #[test]

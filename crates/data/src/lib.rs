@@ -14,6 +14,6 @@ pub mod table;
 pub mod text;
 pub mod zipf;
 
-pub use gen::{generate, TpchConfig};
-pub use table::{Catalog, ColumnStats, ForeignKey, Table, TableMeta};
+pub use gen::{generate, lineitem_schema, orders_schema, stream_lineitem, TpchConfig};
+pub use table::{Catalog, ColumnStats, ForeignKey, Table, TableBuilder, TableMeta};
 pub use zipf::Zipf;

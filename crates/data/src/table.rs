@@ -6,9 +6,9 @@
 //! keys, foreign keys, and per-column distinct/min/max statistics computed at
 //! load time.
 
-use sip_common::{Result, Row, Schema, SipError, Value};
+use sip_common::{ColKind, ColumnarBatch, DigestBuffer, Result, Row, Schema, SipError, Value};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Heavy hitters retained per column: enough for any realistic hot-key
 /// threshold (a key must hold ≥ `hot_factor/dop` of the rows to salt, so
@@ -65,14 +65,22 @@ pub struct TableMeta {
 }
 
 /// An immutable in-memory table.
+///
+/// Stored columnar ([`ColumnarBatch`]) — scans slice the typed columns
+/// zero-copy. A row-shaped view is materialized lazily (once) for the
+/// consumers that are row seams by design (the oracle, the remote-feed
+/// fallback, row-based tests).
 #[derive(Clone, Debug)]
 pub struct Table {
     meta: TableMeta,
-    rows: Arc<[Row]>,
+    columns: ColumnarBatch,
+    rows: OnceLock<Arc<[Row]>>,
 }
 
 impl Table {
-    /// Build a table, computing exact column statistics.
+    /// Build a table from rows, computing exact column statistics. The
+    /// given rows seed the lazy row view, so callers that constructed rows
+    /// anyway pay no second materialization.
     pub fn new(
         name: impl Into<String>,
         schema: Schema,
@@ -86,18 +94,44 @@ impl Table {
                 .check_row(row.values())
                 .map_err(|e| SipError::Data(format!("table {name}: {e}")))?;
         }
-        let column_stats = compute_stats(&schema, &rows);
+        let types: Vec<_> = schema.fields().iter().map(|f| f.dtype).collect();
+        let columns = ColumnarBatch::from_rows_typed(&rows, &types);
+        let table = Table::from_columns(name, schema, primary_key, foreign_keys, columns)?;
+        let _ = table.rows.set(rows.into());
+        Ok(table)
+    }
+
+    /// Build a table directly from finished columns (no row materialization
+    /// — the constructor the streaming generator uses). Statistics are
+    /// computed columnar.
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        primary_key: Vec<usize>,
+        foreign_keys: Vec<ForeignKey>,
+        columns: ColumnarBatch,
+    ) -> Result<Table> {
+        let name = name.into();
+        if columns.n_cols() != schema.len() && !(columns.is_empty() && columns.n_cols() == 0) {
+            return Err(SipError::Data(format!(
+                "table {name}: {} columns for a {}-column schema",
+                columns.n_cols(),
+                schema.len()
+            )));
+        }
+        let column_stats = compute_stats(&schema, &columns);
         let meta = TableMeta {
             name,
             schema,
             primary_key,
             foreign_keys,
-            row_count: rows.len() as u64,
+            row_count: columns.len() as u64,
             column_stats,
         };
         Ok(Table {
             meta,
-            rows: rows.into(),
+            columns,
+            rows: OnceLock::new(),
         })
     }
 
@@ -116,19 +150,24 @@ impl Table {
         &self.meta.schema
     }
 
-    /// All rows.
+    /// The columnar storage — the primary representation scans read.
+    pub fn columns(&self) -> &ColumnarBatch {
+        &self.columns
+    }
+
+    /// All rows, materialized lazily on first call and cached.
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        self.rows.get_or_init(|| self.columns.to_rows().into())
     }
 
     /// Row count.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.columns.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.columns.len() == 0
     }
 
     /// Distinct count for a column (1 if unknown/empty, keeping division
@@ -145,45 +184,115 @@ impl Table {
     /// share a hash partitioning cannot split below one worker. 0 for
     /// unknown columns or empty tables.
     pub fn hot_fraction(&self, col: usize) -> f64 {
-        if self.rows.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
         self.meta
             .column_stats
             .get(col)
-            .map(|s| s.max_freq as f64 / self.rows.len() as f64)
+            .map(|s| s.max_freq as f64 / self.len() as f64)
             .unwrap_or(0.0)
     }
 }
 
-fn compute_stats(schema: &Schema, rows: &[Row]) -> Vec<ColumnStats> {
-    let mut counts: Vec<sip_common::FxHashMap<u64, u64>> =
-        (0..schema.len()).map(|_| Default::default()).collect();
-    let mut mins: Vec<Option<Value>> = vec![None; schema.len()];
-    let mut maxs: Vec<Option<Value>> = vec![None; schema.len()];
-    for row in rows {
-        for (c, v) in row.values().iter().enumerate() {
-            if v.is_null() {
-                continue;
+/// Normalize `-0.0` to `0.0`, matching `Value::sql_cmp` float ordering.
+#[inline]
+fn nz(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// The non-NULL min/max of column `c` as view-relative row indices,
+/// scanned over the typed slices (no per-value clones). Equal values keep
+/// the first occurrence, as the old row-based scan did.
+fn min_max_indices(batch: &ColumnarBatch, c: usize) -> (Option<usize>, Option<usize>) {
+    let nulls = batch.may_have_nulls(c);
+    let mut mn: Option<usize> = None;
+    let mut mx: Option<usize> = None;
+    macro_rules! scan {
+        ($get:expr, $lt:expr) => {
+            for i in 0..batch.len() {
+                if nulls && !batch.is_valid(c, i) {
+                    continue;
+                }
+                let v = $get(i);
+                match mn {
+                    None => {
+                        mn = Some(i);
+                        mx = Some(i);
+                    }
+                    Some(m) => {
+                        if $lt(&v, &$get(m)) {
+                            mn = Some(i);
+                        }
+                        if $lt(&$get(mx.unwrap()), &v) {
+                            mx = Some(i);
+                        }
+                    }
+                }
             }
-            *counts[c].entry(v.hash64()).or_default() += 1;
-            match &mins[c] {
-                None => mins[c] = Some(v.clone()),
-                Some(m) if v < m => mins[c] = Some(v.clone()),
-                _ => {}
-            }
-            match &maxs[c] {
-                None => maxs[c] = Some(v.clone()),
-                Some(m) if v > m => maxs[c] = Some(v.clone()),
-                _ => {}
-            }
+        };
+    }
+    match batch.kind(c) {
+        ColKind::Int => {
+            let d = batch.ints(c).expect("Int column");
+            scan!(|i: usize| d[i], |a: &i64, b: &i64| a < b);
+        }
+        ColKind::Float => {
+            let d = batch.floats(c).expect("Float column");
+            scan!(|i: usize| d[i], |a: &f64, b: &f64| nz(*a)
+                .total_cmp(&nz(*b))
+                == std::cmp::Ordering::Less);
+        }
+        ColKind::Date => {
+            let d = batch.dates(c).expect("Date column");
+            scan!(|i: usize| d[i], |a: &i32, b: &i32| a < b);
+        }
+        ColKind::Str => {
+            scan!(
+                |i: usize| batch.str_at(c, i).expect("valid string slot"),
+                |a: &&str, b: &&str| a < b
+            );
+        }
+        ColKind::Mixed => {
+            // NULL-only or heterogeneous columns: per-value compare
+            // (dictionary strings clone as `Arc` bumps).
+            scan!(|i: usize| batch.value_at(c, i), |a: &Value, b: &Value| a
+                .sql_cmp(b)
+                == std::cmp::Ordering::Less);
         }
     }
-    counts
+    (mn, mx)
+}
+
+fn compute_stats(schema: &Schema, columns: &ColumnarBatch) -> Vec<ColumnStats> {
+    // One vectorized digest pass per column; single-column digests equal
+    // `Row::key_hash` over that column, which is exactly what the salt
+    // planner's hot set must match.
+    let mut digests = DigestBuffer::default();
+    let mut stats = Vec::with_capacity(schema.len());
+    for c in 0..schema.len() {
+        digests.compute_cols(columns, &[c]);
+        let mut counts: sip_common::FxHashMap<u64, u64> = Default::default();
+        for (i, &d) in digests.digests().iter().enumerate() {
+            if digests.is_null_key(i) {
+                continue;
+            }
+            *counts.entry(d).or_default() += 1;
+        }
+        let (mn, mx) = min_max_indices(columns, c);
+        stats.push((
+            counts,
+            mn.map(|i| columns.value_at(c, i)),
+            mx.map(|i| columns.value_at(c, i)),
+        ));
+    }
+    stats
         .into_iter()
-        .zip(mins)
-        .zip(maxs)
-        .map(|((counts, min), max)| {
+        .map(|(counts, min, max)| {
             let mut hot: Vec<(u64, u64)> = counts.iter().map(|(&d, &c)| (d, c)).collect();
             let heaviest_first = |a: &(u64, u64), b: &(u64, u64)| (b.1, a.0).cmp(&(a.1, b.0));
             // Keep only the top slots before sorting: a high-cardinality
@@ -203,6 +312,83 @@ fn compute_stats(schema: &Schema, rows: &[Row]) -> Vec<ColumnStats> {
             }
         })
         .collect()
+}
+
+/// Incremental columnar table construction: one typed [`ColumnBuilder`]
+/// per schema field, fed record by record, finished into a [`Table`]
+/// without ever materializing a `Vec<Row>`. The data generator appends
+/// through this, so generation memory is the (dictionary-compressed)
+/// columns themselves, not a row-shaped intermediate.
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Schema,
+    builders: Vec<sip_common::ColumnBuilder>,
+    len: usize,
+}
+
+impl TableBuilder {
+    /// Builders pre-typed from `schema`.
+    pub fn new(schema: Schema) -> TableBuilder {
+        let builders = schema
+            .fields()
+            .iter()
+            .map(|f| sip_common::ColumnBuilder::with_type(f.dtype))
+            .collect();
+        TableBuilder {
+            schema,
+            builders,
+            len: 0,
+        }
+    }
+
+    /// Append one record. `values` must match the schema width.
+    pub fn push(&mut self, values: Vec<Value>) {
+        assert_eq!(
+            values.len(),
+            self.builders.len(),
+            "record width mismatches schema"
+        );
+        for (b, v) in self.builders.iter_mut().zip(values.iter()) {
+            b.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Finish the columns into a [`ColumnarBatch`], leaving the builder
+    /// empty and retyped — the chunk-flush primitive for streaming
+    /// generation.
+    pub fn take_batch(&mut self) -> ColumnarBatch {
+        let fresh: Vec<sip_common::ColumnBuilder> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| sip_common::ColumnBuilder::with_type(f.dtype))
+            .collect();
+        let done = std::mem::replace(&mut self.builders, fresh);
+        self.len = 0;
+        ColumnarBatch::from_columns(done.into_iter().map(|b| b.finish()).collect())
+    }
+
+    /// Finish into a table with columnar statistics.
+    pub fn finish(
+        mut self,
+        name: impl Into<String>,
+        primary_key: Vec<usize>,
+        foreign_keys: Vec<ForeignKey>,
+    ) -> Result<Table> {
+        let columns = self.take_batch();
+        Table::from_columns(name, self.schema, primary_key, foreign_keys, columns)
+    }
 }
 
 /// A named collection of tables — what a site serves.

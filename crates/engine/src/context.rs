@@ -120,8 +120,29 @@ impl PartitionMap {
 pub enum Msg {
     /// A batch of rows.
     Batch(Batch),
+    /// A batch in columnar layout. Operators accept both payload kinds;
+    /// the stateless pipeline (scan → filter/project → exchange/shuffle)
+    /// keeps data columnar, while row seams (join state, aggregation,
+    /// the root sink) convert on receipt.
+    Cols(sip_common::ColumnarBatch),
     /// End of stream.
     Eof,
+}
+
+impl Msg {
+    /// Rows carried by this message (0 for EOF).
+    pub fn len(&self) -> usize {
+        match self {
+            Msg::Batch(b) => b.len(),
+            Msg::Cols(c) => c.len(),
+            Msg::Eof => 0,
+        }
+    }
+
+    /// True when the message carries no rows (including EOF).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Options for one execution.

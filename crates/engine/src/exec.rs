@@ -129,14 +129,25 @@ pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Resu
     drop(senders);
     drop(receivers);
 
-    // Drain the root.
+    // Drain the root. Columnar batches convert to rows here — the root is
+    // a row seam by design (callers consume `Vec<Row>`).
     let mut rows: Vec<Row> = Vec::new();
     let mut rows_out = 0u64;
     while let Ok(msg) = root_rx.recv() {
-        let Msg::Batch(b) = msg else { break };
-        rows_out += b.len() as u64;
-        if ctx.options.collect_rows {
-            rows.extend(b.rows);
+        match msg {
+            Msg::Batch(b) => {
+                rows_out += b.len() as u64;
+                if ctx.options.collect_rows {
+                    rows.extend(b.rows);
+                }
+            }
+            Msg::Cols(c) => {
+                rows_out += c.len() as u64;
+                if ctx.options.collect_rows {
+                    rows.extend(c.to_rows());
+                }
+            }
+            Msg::Eof => break,
         }
     }
     for h in handles {

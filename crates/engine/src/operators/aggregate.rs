@@ -9,7 +9,7 @@
 //! pass per batch; the group probe compares values positionally, so the
 //! per-row path neither re-hashes nor clones a key.
 
-use super::{count_in, Emitter};
+use super::{count_in, msg_rows, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::{BoundAgg, PhysKind};
@@ -84,7 +84,7 @@ pub(crate) fn run_aggregate(
         let t_recv = tr.begin();
         let msg = input.recv();
         tr.end(Phase::ChannelRecv, t_recv);
-        let Ok(Msg::Batch(batch)) = msg else { break };
+        let Some(batch) = msg_rows(msg) else { break };
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
         // One hash pass over the group columns for the whole batch — shared
@@ -229,7 +229,7 @@ pub(crate) fn run_distinct(
         let t_recv = tr.begin();
         let msg = input.recv();
         tr.end(Phase::ChannelRecv, t_recv);
-        let Ok(Msg::Batch(batch)) = msg else { break };
+        let Some(batch) = msg_rows(msg) else { break };
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
         let t0 = tr.begin();

@@ -55,31 +55,56 @@ pub(crate) fn run_exchange(
         let t_recv = tr.begin();
         let msg = input.recv();
         tr.end(Phase::ChannelRecv, t_recv);
-        let Ok(Msg::Batch(mut batch)) = msg else {
-            break;
-        };
-        count_in(ctx, op, 0, batch.len());
-        kernel.begin(batch.len());
         // NULL keys hash like any value: every NULL row lands in the same
         // single partition, so the union over all partitions stays
-        // multiset-correct even for rows that can never join.
-        let t0 = tr.begin();
-        kernel.retain_by_digest(&batch.rows, &[col], |d| partition_of(d, dop) == partition);
-        tr.end(Phase::Compute, t0);
-        // The tap applies to the rows this Exchange would emit — its own
-        // partition's rows only — sharing the digest pass above whenever a
-        // filter probes the partition column.
-        let t0 = tr.begin();
-        kernel.probe_op(ctx, op, &batch.rows);
-        tr.end(Phase::TapProbe, t0);
-        // Count after the tap, matching ShuffleWrite's routed semantics
-        // (rows actually sent to the destination).
-        kept += kernel.sel().len() as u64;
-        let t_cmp = tr.begin();
-        kernel.compact(&mut batch.rows);
-        tr.add(Phase::Compute, t_cmp);
-        emitter.push_rows(batch.rows)?;
-        emitter.flush()?;
+        // multiset-correct even for rows that can never join. The columnar
+        // and row paths run the same fused ownership-check + tap over the
+        // shared digest pass; columnar batches stay columnar (survivors
+        // gathered per column, or the view forwarded untouched when every
+        // row survives).
+        match msg {
+            Ok(Msg::Batch(mut batch)) => {
+                count_in(ctx, op, 0, batch.len());
+                kernel.begin(batch.len());
+                let t0 = tr.begin();
+                kernel.retain_by_digest(&batch.rows, &[col], |d| partition_of(d, dop) == partition);
+                tr.end(Phase::Compute, t0);
+                // The tap applies to the rows this Exchange would emit —
+                // its own partition's rows only — sharing the digest pass
+                // above whenever a filter probes the partition column.
+                let t0 = tr.begin();
+                kernel.probe_op(ctx, op, &batch.rows);
+                tr.end(Phase::TapProbe, t0);
+                // Count after the tap, matching ShuffleWrite's routed
+                // semantics (rows actually sent to the destination).
+                kept += kernel.sel().len() as u64;
+                let t_cmp = tr.begin();
+                kernel.compact(&mut batch.rows);
+                tr.add(Phase::Compute, t_cmp);
+                emitter.push_rows(batch.rows)?;
+                emitter.flush()?;
+            }
+            Ok(Msg::Cols(batch)) => {
+                count_in(ctx, op, 0, batch.len());
+                kernel.begin(batch.len());
+                let t0 = tr.begin();
+                kernel.retain_by_digest_cols(&batch, &[col], |d| partition_of(d, dop) == partition);
+                tr.end(Phase::Compute, t0);
+                let t0 = tr.begin();
+                kernel.probe_op_cols(ctx, op, &batch);
+                tr.end(Phase::TapProbe, t0);
+                kept += kernel.sel().len() as u64;
+                let t_cmp = tr.begin();
+                let kept_batch = if kernel.sel().len() == batch.len() {
+                    batch
+                } else {
+                    batch.gather(kernel.sel().as_slice())
+                };
+                tr.add(Phase::Compute, t_cmp);
+                emitter.push_cols(kept_batch)?;
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
         if emitter.cancelled() {
             // Downstream hung up: stop pulling so upstream winds down too.
             break;
@@ -139,6 +164,13 @@ pub(crate) fn run_merge(
                         // Downstream hung up: dropping the inputs here lets
                         // every partition wind down instead of running the
                         // failed query to completion.
+                        break 'rebuild;
+                    }
+                }
+                Ok(Msg::Cols(batch)) => {
+                    count_in(ctx, op, 0, batch.len());
+                    emitter.push_cols(batch)?;
+                    if emitter.cancelled() {
                         break 'rebuild;
                     }
                 }

@@ -15,7 +15,7 @@
 //! opposite table is dropped and arriving tuples on that side become
 //! probe-only.
 
-use super::{count_in, Emitter};
+use super::{count_in, msg_rows, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::PhysKind;
@@ -159,8 +159,10 @@ pub(crate) fn run_hash_join(
             }
         };
         tr.end(Phase::ChannelRecv, t_recv);
-        match msg {
-            Ok(Msg::Batch(batch)) => {
+        // Join state is row-shaped (buckets of buffered rows); columnar
+        // input converts to rows at this seam.
+        match msg_rows(msg) {
+            Some(batch) => {
                 count_in(ctx, op, idx, batch.len());
                 sides[idx].rows_in += batch.len() as u64;
                 // Both sides hash the same key-value sequence, so this
@@ -205,7 +207,7 @@ pub(crate) fn run_hash_join(
                 tr.add(Phase::Compute, t_probe);
                 emitter.flush()?;
             }
-            Ok(Msg::Eof) | Err(_) => {
+            None => {
                 sides[idx].done = true;
                 if let Some(mut c) = collectors[idx].take() {
                     c.finish(ctx);

@@ -21,7 +21,7 @@ use crate::context::{ExecContext, Msg};
 use crate::taps::TapKernel;
 use crossbeam::channel::Sender;
 use sip_common::trace::{OpTracer, Phase};
-use sip_common::{Batch, OpId, Result, Row, Value};
+use sip_common::{Batch, ColumnarBatch, OpId, Result, Row, Value};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -162,6 +162,49 @@ impl<'a> Emitter<'a> {
         Ok(())
     }
 
+    /// Send a columnar batch downstream: flush any buffered rows first
+    /// (stream order), run the tap as a columnar kernel, gather survivors
+    /// per column, and ship the batch as [`Msg::Cols`] without ever
+    /// materializing rows. Producers already emit `batch_size`-bounded
+    /// chunks, so no re-coalescing happens here.
+    pub(crate) fn push_cols(&mut self, batch: ColumnarBatch) -> Result<()> {
+        if self.cancelled {
+            return Ok(());
+        }
+        self.flush_impl(false)?;
+        if batch.is_empty() || self.cancelled {
+            return Ok(());
+        }
+        let mut batch = batch;
+        if let Some(kernel) = self.tap.as_mut() {
+            if !self.ctx.taps[self.op.index()].is_empty() {
+                let t0 = self.tracer.begin();
+                kernel.begin(batch.len());
+                if kernel.probe_op_cols(self.ctx, self.op, &batch) > 0 {
+                    batch = batch.gather(kernel.sel().as_slice());
+                }
+                self.tracer.end(Phase::TapProbe, t0);
+                if batch.is_empty() {
+                    return Ok(());
+                }
+            }
+        }
+        self.ctx
+            .hub
+            .op(self.op)
+            .rows_out
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let t0 = self.tracer.begin();
+        if self.tracer.enabled() {
+            self.tracer.sample_occupancy(self.out.len());
+        }
+        if self.out.send(Msg::Cols(batch)).is_err() {
+            self.cancelled = true;
+        }
+        self.tracer.end(Phase::ChannelSend, t0);
+        Ok(())
+    }
+
     /// Apply the tap (batch kernel) and send buffered rows.
     ///
     /// The tap is snapshotted and all counters are updated **once per
@@ -256,6 +299,20 @@ pub(crate) fn key_of(row: &Row, positions: &[usize]) -> Option<(u64, Vec<Value>)
         }
     }
     Some((row.key_hash(positions), row.key_values(positions)))
+}
+
+/// Normalize a received message to a row batch at the row seams (stateful
+/// operators, the root sink, remote feeds): columnar payloads materialize
+/// rows on receipt, `Eof`/disconnect end the stream.
+#[inline]
+pub(crate) fn msg_rows(
+    msg: std::result::Result<Msg, crossbeam::channel::RecvError>,
+) -> Option<Batch> {
+    match msg {
+        Ok(Msg::Batch(b)) => Some(b),
+        Ok(Msg::Cols(c)) => Some(c.to_batch()),
+        Ok(Msg::Eof) | Err(_) => None,
+    }
 }
 
 /// Record arrival metrics for an input (one call per batch).

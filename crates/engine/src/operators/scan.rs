@@ -9,8 +9,16 @@ use sip_common::trace::Phase;
 use sip_common::{exec_err, DigestBuffer, OpId, Result, Row, SelVec};
 use std::sync::Arc;
 
-/// Run a `Scan` node: project the table's rows into the scan layout,
-/// honoring any configured delay model, and stream them out.
+/// Run a `Scan` node: stream the table's columnar storage, honoring any
+/// configured delay model.
+///
+/// The hot path is metadata-only: each chunk is a [`slice`] of the table's
+/// column vectors and the scan layout's projection a [`select_columns`] —
+/// no per-row value clones. Rows are materialized only when a partition
+/// predicate actually drops rows (a per-column gather of the survivors).
+///
+/// [`slice`]: sip_common::ColumnarBatch::slice
+/// [`select_columns`]: sip_common::ColumnarBatch::select_columns
 ///
 /// When the scan carries a [`ScanPartition`](crate::physical::ScanPartition),
 /// only rows hashing to its partition are shipped, and the delay model is
@@ -40,48 +48,53 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
     let batch = ctx.options.batch_size;
     let mut digests = DigestBuffer::default();
     let mut sel = SelVec::default();
-    let mut offset = 0u64;
-    for chunk in table.rows().chunks(batch) {
+    let source = table.columns();
+    let total = source.len();
+    let mut offset = 0usize;
+    while offset < total {
         if emitter.cancelled() {
             break;
         }
-        let chunk_len = chunk.len() as u64;
+        let n = batch.min(total - offset);
         let t0 = tr.begin();
-        let mut rows: Vec<Row> = chunk.iter().map(|r| r.project(&cols)).collect();
+        let mut chunk = source.slice(offset, n).select_columns(&cols);
         match &part {
             // Rowid split: ownership by table row index — perfectly
             // balanced regardless of the key distribution; used only for
             // streams a shuffle mesh re-deals above.
             Some(p) if p.rowid => {
-                sel.fill_identity(rows.len());
-                sel.retain(|i| p.owns_row(0, offset + i as u64));
-                sel.compact(&mut rows);
+                sel.fill_identity(n);
+                sel.retain(|i| p.owns_row(0, (offset + i as usize) as u64));
+                if sel.len() < n {
+                    chunk = chunk.gather(sel.as_slice());
+                }
             }
             // Hash split: one digest pass decides ownership for the whole
             // chunk, so the delay model charges only this partition's
             // share of shipped rows.
             Some(p) => {
-                digests.compute(&rows, &[p.col]);
-                sel.fill_identity(rows.len());
+                digests.compute_cols(&chunk, &[p.col]);
+                sel.fill_identity(n);
                 let d = digests.digests();
                 sel.retain(|i| p.owns(d[i as usize]));
-                sel.compact(&mut rows);
+                if sel.len() < n {
+                    chunk = chunk.gather(sel.as_slice());
+                }
             }
             None => {}
         }
         // The span covers projection + partition filtering only — the
         // simulated source delay below is transmission latency, not work.
         tr.end(Phase::Compute, t0);
-        offset += chunk_len;
+        offset += n;
         if let Some(d) = delay.as_mut() {
-            let pause = d.advance(rows.len() as u64);
+            let pause = d.advance(chunk.len() as u64);
             if !pause.is_zero() {
                 std::thread::sleep(pause);
             }
         }
-        emitter.push_rows(rows)?;
         // Emit at batch granularity so delays interleave with consumption.
-        emitter.flush()?;
+        emitter.push_cols(chunk)?;
     }
     emitter.finish()?;
     tr.flush();
@@ -90,7 +103,8 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
 
 /// Run an `ExternalSource` node: forward batches from a channel provided by
 /// the harness (the receiving end of a simulated network link). Whole
-/// batches pass straight through the emitter.
+/// batches pass straight through the emitter, row-shaped and columnar
+/// alike — the wire format is whatever the feeding site chose.
 pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Result<()> {
     let rx: Receiver<Msg> = ctx
         .options
@@ -104,10 +118,18 @@ pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -
         let t0 = tr.begin();
         let msg = rx.recv();
         tr.end(Phase::ChannelRecv, t0);
-        let Ok(Msg::Batch(b)) = msg else { break };
-        count_in(ctx, op, 0, b.len());
-        emitter.push_rows(b.rows)?;
-        emitter.flush()?;
+        match msg {
+            Ok(Msg::Batch(b)) => {
+                count_in(ctx, op, 0, b.len());
+                emitter.push_rows(b.rows)?;
+                emitter.flush()?;
+            }
+            Ok(Msg::Cols(c)) => {
+                count_in(ctx, op, 0, c.len());
+                emitter.push_cols(c)?;
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
     }
     emitter.finish()?;
     tr.flush();

@@ -11,7 +11,7 @@
 //! membership checks compare key values positionally against the stored
 //! build keys, so the probe path never materializes a key vector.
 
-use super::{count_in, Emitter};
+use super::{count_in, msg_rows, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::PhysKind;
@@ -142,8 +142,10 @@ pub(crate) fn run_semi_join(
             }
         };
         tr.end(Phase::ChannelRecv, t_recv);
-        match (is_build, msg) {
-            (true, Ok(Msg::Batch(batch))) => {
+        // Both the build set and the pending buffer are row-shaped;
+        // columnar input converts to rows at this seam.
+        match (is_build, msg_rows(msg)) {
+            (true, Some(batch)) => {
                 count_in(ctx, op, 1, batch.len());
                 build_rows_in += batch.len() as u64;
                 let t0 = tr.begin();
@@ -182,7 +184,7 @@ pub(crate) fn run_semi_join(
                 tr.add(Phase::Compute, t_ins);
                 emitter.flush()?;
             }
-            (false, Ok(Msg::Batch(batch))) => {
+            (false, Some(batch)) => {
                 count_in(ctx, op, 0, batch.len());
                 let t0 = tr.begin();
                 probe_digests.compute(&batch.rows, &probe_keys);
@@ -211,7 +213,7 @@ pub(crate) fn run_semi_join(
                 tr.add(Phase::Compute, t_probe);
                 emitter.flush()?;
             }
-            (true, Ok(Msg::Eof)) | (true, Err(_)) => {
+            (true, None) => {
                 build_done = true;
                 if let Some(mut c) = collector_build.take() {
                     c.finish(ctx);
@@ -252,7 +254,7 @@ pub(crate) fn run_semi_join(
                 pending_bytes = 0;
                 emitter.flush()?;
             }
-            (false, Ok(Msg::Eof)) | (false, Err(_)) => {
+            (false, None) => {
                 probe_done = true;
                 if let Some(mut c) = collector_probe.take() {
                     c.finish(ctx);

@@ -22,7 +22,7 @@
 use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::ExecMonitor;
-use crate::physical::{PhysKind, SaltRole};
+use crate::physical::{PhysKind, SaltRole, SaltSpec};
 use crate::taps::TapKernel;
 use crossbeam::channel::{Receiver, Select, Sender};
 use sip_common::trace::Phase;
@@ -45,6 +45,48 @@ const SKETCH_WARMUP: u64 = 4096;
 /// so heavy hitters remain detectable — estimates and thresholds all
 /// scale with the sampled total.
 const SKETCH_STRIDE: u64 = 16;
+
+/// Deal one batch's surviving selection into per-destination selection
+/// vectors — the layout-agnostic core of the shuffle writer, shared by the
+/// row and columnar arms. `route` is cleared and refilled; `rr`, `seen`,
+/// and the sketch carry across batches.
+#[allow(clippy::too_many_arguments)]
+fn deal_routes(
+    salt: &Option<SaltSpec>,
+    dop: u32,
+    rr: &mut u32,
+    seen: &mut u64,
+    sketch: &mut SpaceSaving,
+    route: &mut [SelVec],
+    owners: &[u32],
+    digs: &[u64],
+    sel: &SelVec,
+) {
+    for s in route.iter_mut() {
+        s.clear();
+    }
+    for i in sel.iter() {
+        let iu = i as usize;
+        *seen += 1;
+        if *seen <= SKETCH_WARMUP || seen.is_multiple_of(SKETCH_STRIDE) {
+            sketch.offer(digs[iu]);
+        }
+        match salt {
+            Some(s) if s.keys.covers(digs[iu]) => match s.role {
+                SaltRole::Scatter => {
+                    route[*rr as usize].push(i);
+                    *rr = (*rr + 1) % dop;
+                }
+                SaltRole::Broadcast => {
+                    for dest in route.iter_mut() {
+                        dest.push(i);
+                    }
+                }
+            },
+            _ => route[owners[iu] as usize].push(i),
+        }
+    }
+}
 
 /// Run a `ShuffleWrite` node: route each input row to the mesh channel of
 /// the consumer partition owning its key hash. Salted (hot) keys route
@@ -105,59 +147,88 @@ pub(crate) fn run_shuffle_write(
         let t_recv = tr.begin();
         let msg = input.recv();
         tr.end(Phase::ChannelRecv, t_recv);
-        let Ok(Msg::Batch(batch)) = msg else { break };
-        count_in(ctx, op, 0, batch.len());
-        kernel.begin(batch.len());
-        let t0 = tr.begin();
-        kernel.probe_op(ctx, op, &batch.rows);
-        tr.end(Phase::TapProbe, t0);
         // Route the surviving selection. The routing digests come from the
         // same cache as the tap's, so a filter over the shuffle key costs
         // no extra hash pass. NULL routing keys hash like any value: all
         // NULL rows of a stream land in one consistent partition, keeping
         // the union across readers multiset-correct even for rows that can
-        // never join.
-        let t0 = tr.begin();
-        for s in route.iter_mut() {
-            s.clear();
-        }
-        {
-            let d = kernel.digests(&batch.rows, &[col]).digests();
-            owners.clear();
-            owners.extend(d.iter().map(|&d| partition_of(d, dop)));
-            digs.clear();
-            digs.extend_from_slice(d);
-        }
-        for i in kernel.sel().iter() {
-            let iu = i as usize;
-            seen += 1;
-            if seen <= SKETCH_WARMUP || seen.is_multiple_of(SKETCH_STRIDE) {
-                sketch.offer(digs[iu]);
+        // never join. Columnar batches are dealt as per-destination column
+        // gathers and stay columnar on the mesh.
+        match msg {
+            Ok(Msg::Batch(batch)) => {
+                count_in(ctx, op, 0, batch.len());
+                kernel.begin(batch.len());
+                let t0 = tr.begin();
+                kernel.probe_op(ctx, op, &batch.rows);
+                tr.end(Phase::TapProbe, t0);
+                let t0 = tr.begin();
+                {
+                    let d = kernel.digests(&batch.rows, &[col]).digests();
+                    owners.clear();
+                    owners.extend(d.iter().map(|&d| partition_of(d, dop)));
+                    digs.clear();
+                    digs.extend_from_slice(d);
+                }
+                deal_routes(
+                    &salt,
+                    dop,
+                    &mut rr,
+                    &mut seen,
+                    &mut sketch,
+                    &mut route,
+                    &owners,
+                    &digs,
+                    kernel.sel(),
+                );
+                // One Compute span per batch covering digest + deal; the
+                // emitters' auto-flush sends inside extend_sel are recorded
+                // as nested time.
+                tr.end(Phase::Compute, t0);
+                let t_deal = tr.begin();
+                for (owner, s) in route.iter().enumerate() {
+                    routed[owner] += s.len() as u64;
+                    emitters[owner].extend_sel(&batch.rows, s.as_slice())?;
+                }
+                tr.add(Phase::Compute, t_deal);
             }
-            match &salt {
-                Some(s) if s.keys.covers(digs[iu]) => match s.role {
-                    SaltRole::Scatter => {
-                        route[rr as usize].push(i);
-                        rr = (rr + 1) % dop;
+            Ok(Msg::Cols(batch)) => {
+                count_in(ctx, op, 0, batch.len());
+                kernel.begin(batch.len());
+                let t0 = tr.begin();
+                kernel.probe_op_cols(ctx, op, &batch);
+                tr.end(Phase::TapProbe, t0);
+                let t0 = tr.begin();
+                {
+                    let d = kernel.digests_cols(&batch, &[col]).digests();
+                    owners.clear();
+                    owners.extend(d.iter().map(|&d| partition_of(d, dop)));
+                    digs.clear();
+                    digs.extend_from_slice(d);
+                }
+                deal_routes(
+                    &salt,
+                    dop,
+                    &mut rr,
+                    &mut seen,
+                    &mut sketch,
+                    &mut route,
+                    &owners,
+                    &digs,
+                    kernel.sel(),
+                );
+                tr.end(Phase::Compute, t0);
+                let t_deal = tr.begin();
+                for (owner, s) in route.iter().enumerate() {
+                    if s.is_empty() {
+                        continue;
                     }
-                    SaltRole::Broadcast => {
-                        for dest in route.iter_mut() {
-                            dest.push(i);
-                        }
-                    }
-                },
-                _ => route[owners[iu] as usize].push(i),
+                    routed[owner] += s.len() as u64;
+                    emitters[owner].push_cols(batch.gather(s.as_slice()))?;
+                }
+                tr.add(Phase::Compute, t_deal);
             }
+            Ok(Msg::Eof) | Err(_) => break,
         }
-        // One Compute span per batch covering digest + deal; the emitters'
-        // auto-flush sends inside extend_sel are recorded as nested time.
-        tr.end(Phase::Compute, t0);
-        let t_deal = tr.begin();
-        for (owner, s) in route.iter().enumerate() {
-            routed[owner] += s.len() as u64;
-            emitters[owner].extend_sel(&batch.rows, s.as_slice())?;
-        }
-        tr.add(Phase::Compute, t_deal);
         if emitters.iter().all(|e| e.cancelled()) {
             // Every reader hung up (query failed/cancelled downstream):
             // stop pulling so the producer side winds down too.
@@ -242,6 +313,13 @@ pub(crate) fn run_shuffle_read(
                         break 'rebuild;
                     }
                 }
+                Ok(Msg::Cols(batch)) => {
+                    count_in(ctx, op, 0, batch.len());
+                    emitter.push_cols(batch)?;
+                    if emitter.cancelled() {
+                        break 'rebuild;
+                    }
+                }
                 Ok(Msg::Eof) | Err(_) => {
                     live.remove(slot);
                     continue 'rebuild;
@@ -256,7 +334,7 @@ pub(crate) fn run_shuffle_read(
     // The paired writer finishes its mesh sends before its tree EOF, so by
     // the time the mesh has fully EOF'd this drain returns promptly.
     for rx in tree_inputs {
-        while let Ok(Msg::Batch(_)) = rx.recv() {}
+        while let Ok(Msg::Batch(_) | Msg::Cols(_)) = rx.recv() {}
     }
     emitter.finish()?;
     tr.flush();

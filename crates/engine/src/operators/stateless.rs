@@ -2,13 +2,23 @@
 //! selection vectors. Surviving rows are compacted in place and forwarded
 //! whole-batch, so the steady state moves allocations downstream instead of
 //! creating them.
+//!
+//! Both operators are layout-preserving over columnar input: a filter with
+//! a vectorized predicate shape ([`sip_expr::eval_predicate_mask`]) probes
+//! the typed column slices directly and gathers survivors per column; a
+//! projection that is pure column selection (`Expr::Col` per output) is a
+//! metadata-only [`select_columns`](sip_common::ColumnarBatch::select_columns).
+//! Shapes without a columnar kernel (arithmetic, computed projections)
+//! convert the batch to rows and take the row path — same results, same
+//! error behavior.
 
 use super::{count_in, Emitter};
 use crate::context::{ExecContext, Msg};
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
 use sip_common::trace::Phase;
-use sip_common::{exec_err, OpId, Result, Row, SelVec};
+use sip_common::{exec_err, Batch, ColumnarBatch, OpId, Result, Row, SelVec};
+use sip_expr::{eval_predicate_mask, Expr};
 use std::sync::Arc;
 
 /// Run a `Filter` node.
@@ -25,13 +35,9 @@ pub(crate) fn run_filter(
     let mut emitter = Emitter::new(ctx, op, out).outside_compute();
     let mut tr = ctx.tracer(op);
     let mut sel = SelVec::default();
-    loop {
-        let t0 = tr.begin();
-        let msg = input.recv();
-        tr.end(Phase::ChannelRecv, t0);
-        let Ok(Msg::Batch(mut b)) = msg else { break };
-        count_in(ctx, op, 0, b.len());
-        let t0 = tr.begin();
+    let mut mask: Vec<bool> = Vec::new();
+    // Per-batch row fallback for predicate shapes with no columnar kernel.
+    let filter_rows = |b: &mut Batch, sel: &mut SelVec| -> Result<()> {
         sel.clear();
         for (i, row) in b.rows.iter().enumerate() {
             if pred.eval_bool(row)? {
@@ -39,9 +45,48 @@ pub(crate) fn run_filter(
             }
         }
         sel.compact(&mut b.rows);
-        tr.end(Phase::Compute, t0);
-        emitter.push_rows(b.rows)?;
-        emitter.flush()?;
+        Ok(())
+    };
+    loop {
+        let t0 = tr.begin();
+        let msg = input.recv();
+        tr.end(Phase::ChannelRecv, t0);
+        match msg {
+            Ok(Msg::Batch(mut b)) => {
+                count_in(ctx, op, 0, b.len());
+                let t0 = tr.begin();
+                filter_rows(&mut b, &mut sel)?;
+                tr.end(Phase::Compute, t0);
+                emitter.push_rows(b.rows)?;
+                emitter.flush()?;
+            }
+            Ok(Msg::Cols(c)) => {
+                count_in(ctx, op, 0, c.len());
+                let t0 = tr.begin();
+                if eval_predicate_mask(&pred, &c, &mut mask) {
+                    sel.clear();
+                    for (i, &keep) in mask.iter().enumerate() {
+                        if keep {
+                            sel.push(i as u32);
+                        }
+                    }
+                    let kept = if sel.len() == c.len() {
+                        c
+                    } else {
+                        c.gather(sel.as_slice())
+                    };
+                    tr.end(Phase::Compute, t0);
+                    emitter.push_cols(kept)?;
+                } else {
+                    let mut b = c.to_batch();
+                    filter_rows(&mut b, &mut sel)?;
+                    tr.end(Phase::Compute, t0);
+                    emitter.push_rows(b.rows)?;
+                    emitter.flush()?;
+                }
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
         if emitter.cancelled() {
             break;
         }
@@ -62,26 +107,61 @@ pub(crate) fn run_project(
         PhysKind::Project { exprs } => exprs.clone(),
         other => return Err(exec_err!("run_project on {}", other.name())),
     };
+    // A projection whose every output is a bare column reference is pure
+    // column selection — metadata-only over columnar input.
+    let selection: Option<Vec<usize>> = exprs
+        .iter()
+        .map(|e| match e {
+            Expr::Col(c) => Some(*c),
+            _ => None,
+        })
+        .collect();
     let mut emitter = Emitter::new(ctx, op, out).outside_compute();
     let mut tr = ctx.tracer(op);
-    loop {
-        let t0 = tr.begin();
-        let msg = input.recv();
-        tr.end(Phase::ChannelRecv, t0);
-        let Ok(Msg::Batch(b)) = msg else { break };
-        count_in(ctx, op, 0, b.len());
-        let t0 = tr.begin();
-        let mut rows = Vec::with_capacity(b.len());
-        for row in &b.rows {
+    let project_rows = |rows: &[Row]| -> Result<Vec<Row>> {
+        let mut out_rows = Vec::with_capacity(rows.len());
+        for row in rows {
             let mut vals = Vec::with_capacity(exprs.len());
             for e in &exprs {
                 vals.push(e.eval(row)?);
             }
-            rows.push(Row::new(vals));
+            out_rows.push(Row::new(vals));
         }
-        tr.end(Phase::Compute, t0);
-        emitter.push_rows(rows)?;
-        emitter.flush()?;
+        Ok(out_rows)
+    };
+    loop {
+        let t0 = tr.begin();
+        let msg = input.recv();
+        tr.end(Phase::ChannelRecv, t0);
+        match msg {
+            Ok(Msg::Batch(b)) => {
+                count_in(ctx, op, 0, b.len());
+                let t0 = tr.begin();
+                let rows = project_rows(&b.rows)?;
+                tr.end(Phase::Compute, t0);
+                emitter.push_rows(rows)?;
+                emitter.flush()?;
+            }
+            Ok(Msg::Cols(c)) => {
+                count_in(ctx, op, 0, c.len());
+                match &selection {
+                    Some(cols) => {
+                        let t0 = tr.begin();
+                        let projected: ColumnarBatch = c.select_columns(cols);
+                        tr.end(Phase::Compute, t0);
+                        emitter.push_cols(projected)?;
+                    }
+                    None => {
+                        let t0 = tr.begin();
+                        let rows = project_rows(&c.to_rows())?;
+                        tr.end(Phase::Compute, t0);
+                        emitter.push_rows(rows)?;
+                        emitter.flush()?;
+                    }
+                }
+            }
+            Ok(Msg::Eof) | Err(_) => break,
+        }
         if emitter.cancelled() {
             break;
         }

@@ -12,7 +12,7 @@
 
 use parking_lot::RwLock;
 use sip_common::hash::partition_of;
-use sip_common::{DigestBuffer, DigestCache, OpId, Row, SelVec};
+use sip_common::{ColumnarBatch, DigestBuffer, DigestCache, OpId, Row, SelVec};
 use sip_filter::{AipSet, SaltedKeys};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -157,6 +157,39 @@ impl InjectedFilter {
             probed += 1;
             probed_mask[i] = true;
             let ok = self.set.probe_at(digest, rows[i].values(), &self.positions);
+            if !ok {
+                dropped += 1;
+            }
+            ok
+        });
+        self.probed.fetch_add(probed, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        (probed, dropped)
+    }
+
+    /// Columnar twin of [`InjectedFilter::probe_batch`]: identical scope,
+    /// counter, and selection semantics, but exact-set probes compare
+    /// against the column storage in place instead of a row's value slice.
+    /// Digest parity between the row and columnar hash passes guarantees
+    /// the two paths admit exactly the same rows.
+    pub fn probe_batch_cols(
+        &self,
+        batch: &ColumnarBatch,
+        digests: &[u64],
+        sel: &mut SelVec,
+        probed_mask: &mut [bool],
+    ) -> (u64, u64) {
+        let mut probed = 0u64;
+        let mut dropped = 0u64;
+        sel.retain(|i| {
+            let i = i as usize;
+            let digest = digests[i];
+            if self.out_of_scope(digest) {
+                return true; // foreign partition or salted key: pass unprobed
+            }
+            probed += 1;
+            probed_mask[i] = true;
+            let ok = self.set.probe_cols(digest, batch, i, &self.positions);
             if !ok {
                 dropped += 1;
             }
@@ -328,6 +361,13 @@ impl TapKernel {
         self.cache.get(rows, positions)
     }
 
+    /// The digest buffer for `positions` over a columnar batch, computed at
+    /// most once for the current batch (shares the cache with the row
+    /// getter — the digests are identical).
+    pub fn digests_cols(&mut self, batch: &ColumnarBatch, positions: &[usize]) -> &DigestBuffer {
+        self.cache.get_cols(batch, positions)
+    }
+
     /// Narrow the selection by a predicate over each row's `positions`
     /// digest (e.g. hash-partition ownership). Shares the digest cache with
     /// [`TapKernel::probe_chain`].
@@ -340,6 +380,18 @@ impl TapKernel {
         let digests = self.cache.get(rows, positions);
         // Field-disjoint borrows: `digests` borrows the cache, `sel` is its
         // own field.
+        let d = digests.digests();
+        self.sel.retain(|i| keep(d[i as usize]));
+    }
+
+    /// Columnar twin of [`TapKernel::retain_by_digest`].
+    pub fn retain_by_digest_cols(
+        &mut self,
+        batch: &ColumnarBatch,
+        positions: &[usize],
+        mut keep: impl FnMut(u64) -> bool,
+    ) {
+        let digests = self.cache.get_cols(batch, positions);
         let d = digests.digests();
         self.sel.retain(|i| keep(d[i as usize]));
     }
@@ -363,6 +415,25 @@ impl TapKernel {
         (probed_rows, (before - self.sel.len()) as u64)
     }
 
+    /// Columnar twin of [`TapKernel::probe_chain`].
+    pub fn probe_chain_cols(
+        &mut self,
+        chain: &[Arc<InjectedFilter>],
+        batch: &ColumnarBatch,
+    ) -> (u64, u64) {
+        let before = self.sel.len();
+        for f in chain {
+            if self.sel.is_empty() {
+                break;
+            }
+            let digests = self.cache.get_cols(batch, &f.positions);
+            let d = digests.digests();
+            f.probe_batch_cols(batch, d, &mut self.sel, &mut self.probed_mask);
+        }
+        let probed_rows = self.probed_mask.iter().filter(|&&p| p).count() as u64;
+        (probed_rows, (before - self.sel.len()) as u64)
+    }
+
     /// Snapshot `op`'s tap chain, probe it over the current selection, and
     /// publish the host operator's `aip_probed` / `aip_dropped` — the one
     /// batch-tap entry point shared by the `Emitter` and the operators
@@ -375,6 +446,25 @@ impl TapKernel {
             return 0;
         }
         let (probed, dropped) = self.probe_chain(&chain, rows);
+        let m = ctx.hub.op(op);
+        m.aip_probed.fetch_add(probed, Ordering::Relaxed);
+        m.aip_dropped.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Columnar twin of [`TapKernel::probe_op`]: same snapshot, counter,
+    /// and return semantics over a columnar batch.
+    pub fn probe_op_cols(
+        &mut self,
+        ctx: &crate::context::ExecContext,
+        op: OpId,
+        batch: &ColumnarBatch,
+    ) -> u64 {
+        let chain = ctx.taps[op.index()].snapshot();
+        if chain.is_empty() {
+            return 0;
+        }
+        let (probed, dropped) = self.probe_chain_cols(&chain, batch);
         let m = ctx.hub.op(op);
         m.aip_probed.fetch_add(probed, Ordering::Relaxed);
         m.aip_dropped.fetch_add(dropped, Ordering::Relaxed);
@@ -602,6 +692,52 @@ mod tests {
         );
         assert!(all.admits(&row(mine)));
         assert_eq!(all.probed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn columnar_probe_batch_matches_row_probe_batch() {
+        let rows: Vec<Row> = (0..64).map(row).collect();
+        let batch = ColumnarBatch::from_rows(&rows);
+        let mut digests = DigestBuffer::default();
+        digests.compute(&rows, &[0]);
+        // Unscoped, scoped (dop 2, partition 0), and scoped+salted filters
+        // must keep identical selections and counters on both layouts.
+        let salted: sip_common::FxHashSet<u64> = digests.digests()[..8].iter().copied().collect();
+        let filters = [
+            InjectedFilter::new("plain", vec![0], set_of(&[2, 5, 9, 33])),
+            InjectedFilter::scoped(
+                "scoped",
+                vec![0],
+                set_of(&[2, 5, 9, 33]),
+                Some(FilterScope {
+                    partition: 0,
+                    dop: 2,
+                }),
+            ),
+            InjectedFilter::scoped_salted(
+                "salted",
+                vec![0],
+                set_of(&[]),
+                Some(FilterScope {
+                    partition: 0,
+                    dop: 2,
+                }),
+                Some(sip_filter::SaltedKeys::from_digests(salted)),
+            ),
+        ];
+        for f in &filters {
+            let mut sel_r = SelVec::default();
+            sel_r.fill_identity(rows.len());
+            let mut mask_r = vec![false; rows.len()];
+            let (pr, dr) = f.probe_batch(&rows, digests.digests(), &mut sel_r, &mut mask_r);
+            let mut sel_c = SelVec::default();
+            sel_c.fill_identity(rows.len());
+            let mut mask_c = vec![false; rows.len()];
+            let (pc, dc) = f.probe_batch_cols(&batch, digests.digests(), &mut sel_c, &mut mask_c);
+            assert_eq!((pr, dr), (pc, dc), "{} counters", f.label);
+            assert_eq!(sel_r, sel_c, "{} selection", f.label);
+            assert_eq!(mask_r, mask_c, "{} probed mask", f.label);
+        }
     }
 
     #[test]

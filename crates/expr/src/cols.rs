@@ -1,0 +1,489 @@
+//! Vectorized predicate evaluation over [`ColumnarBatch`]es.
+//!
+//! [`eval_predicate_mask`] compiles nothing — it walks the bound expression
+//! tree once per batch, dispatching each comparison leaf to a typed loop
+//! over the underlying column slices. Only shapes with a columnar kernel
+//! are handled (`Col ⋈ Lit`, `Col ⋈ Col`, `year(Col) ⋈ Lit`, `LIKE` over a
+//! string column, and `AND`/`OR`/`NOT` over those); anything else returns
+//! `false` so the caller can fall back to row-at-a-time [`Expr::eval_bool`],
+//! which also preserves the row path's error behavior (e.g. `LIKE` over an
+//! integer column is a reported type error, never a silent `false`).
+//!
+//! Semantics mirror the row path exactly: a comparison involving SQL NULL
+//! is *false* (so `NOT` over it is *true*), numeric comparisons are
+//! cross-type via `total_cmp` with `-0.0` normalized to `0.0`, and
+//! heterogeneous types order by the same type rank `Value::sql_cmp` uses.
+
+use crate::expr::{CmpOp, Expr};
+use crate::like::like_match;
+use sip_common::{ColKind, ColumnarBatch, Date, Value};
+
+/// Normalize `-0.0` to `0.0` so comparisons agree with `Value::sql_cmp`.
+#[inline]
+fn nz(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// The type rank `Value::sql_cmp` falls back to for heterogeneous
+/// comparisons (NULL < Int < Float < Str < Date).
+#[inline]
+fn rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) => 1,
+        Value::Float(_) => 2,
+        Value::Str(_) => 3,
+        Value::Date(_) => 4,
+    }
+}
+
+#[inline]
+fn kind_rank(k: ColKind) -> u8 {
+    match k {
+        ColKind::Int => 1,
+        ColKind::Float => 2,
+        ColKind::Str => 3,
+        ColKind::Date => 4,
+        ColKind::Mixed => u8::MAX, // never rank-compared; handled per value
+    }
+}
+
+/// Swap a comparison's sides: `lit op col` ⇒ `col flip(op) lit`.
+#[inline]
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Evaluate `expr` as a keep-mask over `batch`: `keep[i]` is `true` iff row
+/// `i` passes the predicate. Returns `false` (leaving `keep` unspecified)
+/// when the expression shape has no columnar kernel — the caller must then
+/// fall back to row-at-a-time evaluation.
+pub fn eval_predicate_mask(expr: &Expr, batch: &ColumnarBatch, keep: &mut Vec<bool>) -> bool {
+    keep.clear();
+    keep.resize(batch.len(), false);
+    mask_into(expr, batch, keep)
+}
+
+/// Fill `out` (one slot per row, fully overwritten) with the mask for
+/// `expr`, or return `false` if unsupported.
+fn mask_into(expr: &Expr, batch: &ColumnarBatch, out: &mut [bool]) -> bool {
+    match expr {
+        Expr::And(l, r) => {
+            if !mask_into(l, batch, out) {
+                return false;
+            }
+            let mut rhs = vec![false; out.len()];
+            if !mask_into(r, batch, &mut rhs) {
+                return false;
+            }
+            for (a, b) in out.iter_mut().zip(rhs) {
+                *a = *a && b;
+            }
+            true
+        }
+        Expr::Or(l, r) => {
+            if !mask_into(l, batch, out) {
+                return false;
+            }
+            let mut rhs = vec![false; out.len()];
+            if !mask_into(r, batch, &mut rhs) {
+                return false;
+            }
+            for (a, b) in out.iter_mut().zip(rhs) {
+                *a = *a || b;
+            }
+            true
+        }
+        // The row path evaluates `NOT e` as `!e.as_bool()`; for the shapes
+        // handled here `e` is always 0/1 (NULL comparisons collapse to
+        // false), so a mask flip is exact — including `NOT (x < NULL)`
+        // being true, as in the row path.
+        Expr::Not(e) => {
+            if !mask_into(e, batch, out) {
+                return false;
+            }
+            for a in out.iter_mut() {
+                *a = !*a;
+            }
+            true
+        }
+        Expr::Cmp(l, op, r) => match (l.as_ref(), r.as_ref()) {
+            (Expr::Col(c), Expr::Lit(v)) => cmp_col_lit(batch, *c, *op, v, out),
+            (Expr::Lit(v), Expr::Col(c)) => cmp_col_lit(batch, *c, flip(*op), v, out),
+            (Expr::Col(a), Expr::Col(b)) => cmp_col_col(batch, *a, *b, *op, out),
+            (Expr::Year(inner), Expr::Lit(v)) => match inner.as_ref() {
+                Expr::Col(c) => cmp_year_lit(batch, *c, *op, v, out),
+                _ => false,
+            },
+            (Expr::Lit(v), Expr::Year(inner)) => match inner.as_ref() {
+                Expr::Col(c) => cmp_year_lit(batch, *c, flip(*op), v, out),
+                _ => false,
+            },
+            (Expr::Lit(a), Expr::Lit(b)) => {
+                let fill = !a.is_null() && !b.is_null() && op.matches(a.sql_cmp(b));
+                out.fill(fill);
+                true
+            }
+            _ => false,
+        },
+        Expr::Like(inner, pattern) => match inner.as_ref() {
+            Expr::Col(c) if batch.kind(*c) == ColKind::Str => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    // `str_at` is None exactly for NULL slots, which the
+                    // row path maps to false.
+                    *slot = batch.str_at(*c, i).is_some_and(|s| like_match(s, pattern));
+                }
+                true
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Typed kernels for `col op lit`. NULL slots (and a NULL literal) are
+/// always false, matching the row path's `Cmp` NULL handling.
+fn cmp_col_lit(batch: &ColumnarBatch, c: usize, op: CmpOp, lit: &Value, out: &mut [bool]) -> bool {
+    if lit.is_null() {
+        out.fill(false);
+        return true;
+    }
+    let nulls = batch.may_have_nulls(c);
+    macro_rules! fill {
+        ($slice:expr, $i:ident, $a:ident, $cmp:expr) => {{
+            let data = $slice;
+            for ($i, slot) in out.iter_mut().enumerate() {
+                let $a = data[$i];
+                *slot = (!nulls || batch.is_valid(c, $i)) && op.matches($cmp);
+            }
+            true
+        }};
+    }
+    match (batch.kind(c), lit) {
+        (ColKind::Int, Value::Int(b)) => {
+            fill!(batch.ints(c).expect("Int column"), i, a, a.cmp(b))
+        }
+        (ColKind::Int, Value::Float(b)) => {
+            let b = nz(*b);
+            fill!(
+                batch.ints(c).expect("Int column"),
+                i,
+                a,
+                (a as f64).total_cmp(&b)
+            )
+        }
+        (ColKind::Float, Value::Float(b)) => {
+            let b = nz(*b);
+            fill!(
+                batch.floats(c).expect("Float column"),
+                i,
+                a,
+                nz(a).total_cmp(&b)
+            )
+        }
+        (ColKind::Float, Value::Int(b)) => {
+            let b = *b as f64;
+            fill!(
+                batch.floats(c).expect("Float column"),
+                i,
+                a,
+                nz(a).total_cmp(&b)
+            )
+        }
+        (ColKind::Date, Value::Date(b)) => {
+            let b = b.days();
+            fill!(batch.dates(c).expect("Date column"), i, a, a.cmp(&b))
+        }
+        (ColKind::Str, Value::Str(s)) => {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = match batch.str_at(c, i) {
+                    Some(a) => op.matches(a.cmp(s)),
+                    None => false,
+                };
+            }
+            true
+        }
+        // Mixed columns compare per value — clones are cheap (`Arc` bumps
+        // for dictionary strings) and exactness beats falling back to full
+        // row materialization.
+        (ColKind::Mixed, _) => {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let v = batch.value_at(c, i);
+                *slot = !v.is_null() && op.matches(v.sql_cmp(lit));
+            }
+            true
+        }
+        // Heterogeneous typed comparison: `sql_cmp` orders by type rank,
+        // which is constant across the whole column.
+        (k, _) => {
+            let fill = op.matches(kind_rank(k).cmp(&rank(lit)));
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = (!nulls || batch.is_valid(c, i)) && fill;
+            }
+            true
+        }
+    }
+}
+
+/// Typed kernels for `col op col` (same-batch). Only allocation-free kind
+/// pairs are handled; anything else falls back to the row path.
+fn cmp_col_col(batch: &ColumnarBatch, a: usize, b: usize, op: CmpOp, out: &mut [bool]) -> bool {
+    let an = batch.may_have_nulls(a);
+    let bn = batch.may_have_nulls(b);
+    macro_rules! fill2 {
+        ($la:expr, $lb:expr, $i:ident, $x:ident, $y:ident, $cmp:expr) => {{
+            let (da, db) = ($la, $lb);
+            for ($i, slot) in out.iter_mut().enumerate() {
+                let ($x, $y) = (da[$i], db[$i]);
+                *slot = (!an || batch.is_valid(a, $i))
+                    && (!bn || batch.is_valid(b, $i))
+                    && op.matches($cmp);
+            }
+            true
+        }};
+    }
+    match (batch.kind(a), batch.kind(b)) {
+        (ColKind::Int, ColKind::Int) => fill2!(
+            batch.ints(a).expect("Int column"),
+            batch.ints(b).expect("Int column"),
+            i,
+            x,
+            y,
+            x.cmp(&y)
+        ),
+        (ColKind::Float, ColKind::Float) => fill2!(
+            batch.floats(a).expect("Float column"),
+            batch.floats(b).expect("Float column"),
+            i,
+            x,
+            y,
+            nz(x).total_cmp(&nz(y))
+        ),
+        (ColKind::Int, ColKind::Float) => fill2!(
+            batch.ints(a).expect("Int column"),
+            batch.floats(b).expect("Float column"),
+            i,
+            x,
+            y,
+            (x as f64).total_cmp(&nz(y))
+        ),
+        (ColKind::Float, ColKind::Int) => fill2!(
+            batch.floats(a).expect("Float column"),
+            batch.ints(b).expect("Int column"),
+            i,
+            x,
+            y,
+            nz(x).total_cmp(&(y as f64))
+        ),
+        (ColKind::Date, ColKind::Date) => fill2!(
+            batch.dates(a).expect("Date column"),
+            batch.dates(b).expect("Date column"),
+            i,
+            x,
+            y,
+            x.cmp(&y)
+        ),
+        (ColKind::Str, ColKind::Str) => {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = match (batch.str_at(a, i), batch.str_at(b, i)) {
+                    (Some(x), Some(y)) => op.matches(x.cmp(y)),
+                    _ => false,
+                };
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Kernel for `year(col) op lit` over a Date column: the year extraction
+/// is pure day-count arithmetic, so the whole predicate stays columnar.
+fn cmp_year_lit(batch: &ColumnarBatch, c: usize, op: CmpOp, lit: &Value, out: &mut [bool]) -> bool {
+    if batch.kind(c) != ColKind::Date {
+        return false;
+    }
+    let days = batch.dates(c).expect("Date column");
+    let nulls = batch.may_have_nulls(c);
+    match lit {
+        Value::Int(b) => {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let y = Date::from_days(days[i]).year() as i64;
+                *slot = (!nulls || batch.is_valid(c, i)) && op.matches(y.cmp(b));
+            }
+            true
+        }
+        Value::Float(b) => {
+            let b = nz(*b);
+            for (i, slot) in out.iter_mut().enumerate() {
+                let y = Date::from_days(days[i]).year() as f64;
+                *slot = (!nulls || batch.is_valid(c, i)) && op.matches(y.total_cmp(&b));
+            }
+            true
+        }
+        Value::Null => {
+            out.fill(false);
+            true
+        }
+        // `year(date)` is an Int; heterogeneous literals order by rank.
+        _ => {
+            let fill = op.matches(1u8.cmp(&rank(lit)));
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = (!nulls || batch.is_valid(c, i)) && fill;
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sip_common::Row;
+
+    fn lit(v: Value) -> Expr {
+        Expr::Lit(v)
+    }
+    fn col(c: usize) -> Expr {
+        Expr::Col(c)
+    }
+    fn cmp(l: Expr, op: CmpOp, r: Expr) -> Expr {
+        Expr::Cmp(Box::new(l), op, Box::new(r))
+    }
+
+    /// Rows covering every column kind plus NULLs; the reference mask comes
+    /// from the row-path `eval_bool`, so these tests pin exact agreement.
+    fn test_batch() -> (ColumnarBatch, Vec<Row>) {
+        let rows: Vec<Row> = vec![
+            Row::new(vec![
+                Value::Int(5),
+                Value::Float(1.5),
+                Value::str("apple"),
+                Value::Date(Date::from_days(10_000)),
+                Value::Int(3),
+            ]),
+            Row::new(vec![
+                Value::Int(-2),
+                Value::Float(-0.0),
+                Value::str("BANANA"),
+                Value::Date(Date::from_days(12_000)),
+                Value::Int(-2),
+            ]),
+            Row::new(vec![
+                Value::Null,
+                Value::Float(2.0),
+                Value::Null,
+                Value::Null,
+                Value::Int(7),
+            ]),
+            Row::new(vec![
+                Value::Int(9),
+                Value::Null,
+                Value::str("apricot"),
+                Value::Date(Date::from_days(-40)),
+                Value::Null,
+            ]),
+        ];
+        (ColumnarBatch::from_rows(&rows), rows)
+    }
+
+    fn assert_mask_matches_rows(expr: &Expr) {
+        let (batch, rows) = test_batch();
+        let mut mask = Vec::new();
+        assert!(
+            eval_predicate_mask(expr, &batch, &mut mask),
+            "expected a columnar kernel for {expr}"
+        );
+        let want: Vec<bool> = rows
+            .iter()
+            .map(|r| expr.eval_bool(r).expect("row path evaluates"))
+            .collect();
+        assert_eq!(mask, want, "mask mismatch for {expr}");
+    }
+
+    #[test]
+    fn typed_leaves_match_row_path() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_mask_matches_rows(&cmp(col(0), op, lit(Value::Int(3))));
+            assert_mask_matches_rows(&cmp(col(0), op, lit(Value::Float(0.0))));
+            assert_mask_matches_rows(&cmp(col(1), op, lit(Value::Float(-0.0))));
+            assert_mask_matches_rows(&cmp(col(1), op, lit(Value::Int(1))));
+            assert_mask_matches_rows(&cmp(col(2), op, lit(Value::str("apricot"))));
+            assert_mask_matches_rows(&cmp(col(3), op, lit(Value::Date(Date::from_days(10_000)))));
+            // Flipped literal side.
+            assert_mask_matches_rows(&cmp(lit(Value::Int(3)), op, col(0)));
+            // Col-col, including cross-type numeric.
+            assert_mask_matches_rows(&cmp(col(0), op, lit(Value::Null)));
+            assert_mask_matches_rows(&cmp(col(0), op, col(4)));
+            assert_mask_matches_rows(&cmp(col(0), op, col(1)));
+            // Heterogeneous rank comparison (Int column vs Str literal).
+            assert_mask_matches_rows(&cmp(col(0), op, lit(Value::str("x"))));
+        }
+    }
+
+    #[test]
+    fn boolean_combinators_match_row_path() {
+        let a = cmp(col(0), CmpOp::Gt, lit(Value::Int(0)));
+        let b = cmp(col(1), CmpOp::Le, lit(Value::Float(1.5)));
+        assert_mask_matches_rows(&Expr::And(Box::new(a.clone()), Box::new(b.clone())));
+        assert_mask_matches_rows(&Expr::Or(Box::new(a.clone()), Box::new(b.clone())));
+        assert_mask_matches_rows(&Expr::Not(Box::new(a)));
+        // NOT over a NULL comparison is true, exactly like the row path.
+        assert_mask_matches_rows(&Expr::Not(Box::new(cmp(
+            col(0),
+            CmpOp::Lt,
+            lit(Value::Null),
+        ))));
+    }
+
+    #[test]
+    fn like_and_year_match_row_path() {
+        assert_mask_matches_rows(&Expr::Like(Box::new(col(2)), "ap%".into()));
+        assert_mask_matches_rows(&Expr::Like(Box::new(col(2)), "%AN%".into()));
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge] {
+            assert_mask_matches_rows(&cmp(
+                Expr::Year(Box::new(col(3))),
+                op,
+                lit(Value::Int(1997)),
+            ));
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back() {
+        let (batch, _) = test_batch();
+        let mut mask = Vec::new();
+        // Arithmetic inside a comparison has no columnar kernel.
+        let e = cmp(
+            Expr::Arith(
+                Box::new(col(0)),
+                crate::expr::ArithOp::Add,
+                Box::new(lit(Value::Int(1))),
+            ),
+            CmpOp::Eq,
+            lit(Value::Int(6)),
+        );
+        assert!(!eval_predicate_mask(&e, &batch, &mut mask));
+        // LIKE over a non-string column falls back (the row path reports
+        // the type error).
+        let e = Expr::Like(Box::new(col(0)), "%x%".into());
+        assert!(!eval_predicate_mask(&e, &batch, &mut mask));
+    }
+}

@@ -10,9 +10,11 @@
 //! reported error, not a silent misread.
 
 pub mod agg;
+pub mod cols;
 pub mod expr;
 pub mod like;
 
 pub use agg::{AggAccumulator, AggFunc};
+pub use cols::eval_predicate_mask;
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use like::like_match;

@@ -10,7 +10,7 @@
 use crate::bloom::BloomFilter;
 use crate::hashset::BucketedKeySet;
 use crate::minmax::MinMaxSummary;
-use sip_common::{DigestBuffer, Result, Row, SipError, Value};
+use sip_common::{ColumnarBatch, DigestBuffer, Result, Row, SipError, Value};
 
 /// Which summary representation to build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,6 +67,37 @@ impl AipSet {
             AipSet::Hash(h) => h.contains_at(digest, values, positions),
             AipSet::MinMax(m) => match positions {
                 [p] => m.may_contain(&values[*p]),
+                _ => true,
+            },
+        }
+    }
+
+    /// Probe row `i` of a columnar batch: the key is the batch's
+    /// `positions` columns at row `i`, and `digest` its
+    /// `Row::key_hash`-style digest. Semantically identical to
+    /// [`AipSet::probe_at`] on the materialized row, but exact-set compares
+    /// run against the column storage in place (`ColumnarBatch::value_eq`)
+    /// and only MinMax clones a value (single-attribute, realistically
+    /// numeric).
+    #[inline]
+    pub fn probe_cols(
+        &self,
+        digest: u64,
+        batch: &ColumnarBatch,
+        i: usize,
+        positions: &[usize],
+    ) -> bool {
+        match self {
+            AipSet::Bloom(b) => b.contains(digest),
+            AipSet::Hash(h) => h.contains_by(digest, |stored| {
+                stored.len() == positions.len()
+                    && positions
+                        .iter()
+                        .zip(stored.iter())
+                        .all(|(&p, k)| batch.value_eq(p, i, k))
+            }),
+            AipSet::MinMax(m) => match positions {
+                [p] => m.may_contain(&batch.value_at(*p, i)),
                 _ => true,
             },
         }
@@ -273,6 +304,32 @@ mod tests {
             for i in 0..500 {
                 let k = key(i);
                 assert!(s.probe(digest(&k), &k), "{kind:?} lost key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_cols_agrees_with_probe_at_for_all_kinds() {
+        let rows: Vec<Row> = (0..120)
+            .map(|i| {
+                Row::new(vec![
+                    Value::str(format!("pad{i}")),
+                    Value::Int(i * 3), // every third key inserted below
+                ])
+            })
+            .collect();
+        let batch = ColumnarBatch::from_rows(&rows);
+        let mut digests = DigestBuffer::default();
+        digests.compute(&rows, &[1]);
+        for kind in [AipSetKind::Bloom, AipSetKind::Hash, AipSetKind::MinMax] {
+            let s = build(kind, (0..100).map(|i| i * 9));
+            for (i, row) in rows.iter().enumerate() {
+                let d = digests.digests()[i];
+                assert_eq!(
+                    s.probe_cols(d, &batch, i, &[1]),
+                    s.probe_at(d, row.values(), &[1]),
+                    "{kind:?} row {i}"
+                );
             }
         }
     }

@@ -119,6 +119,16 @@ impl BucketedKeySet {
         })
     }
 
+    /// Probe with a caller-supplied exact-match predicate over the stored
+    /// key values — the columnar twin of [`BucketedKeySet::contains_at`],
+    /// letting column kernels compare in place instead of materializing a
+    /// `Value` slice. The predicate is only consulted for keys whose digest
+    /// collides; discarded buckets pass through as always.
+    #[inline]
+    pub fn contains_by(&self, digest: u64, matches: impl Fn(&[Value]) -> bool) -> bool {
+        self.probe_keys(digest, matches)
+    }
+
     #[inline]
     fn probe_keys(&self, digest: u64, matches: impl Fn(&[Value]) -> bool) -> bool {
         let b = Self::bucket_of(digest);

@@ -4,7 +4,7 @@
 use crate::link::LinkSpec;
 use crossbeam::channel::bounded;
 use sip_common::trace::{FilterEvent, FilterEventKind};
-use sip_common::{Batch, OpId, Result, SipError};
+use sip_common::{OpId, Result, SipError};
 use sip_core::{AipConfig, CostBased, FeedForward, QuerySpec, Strategy};
 use sip_engine::{
     execute_ctx, ExecContext, ExecMonitor, ExecOptions, Msg, NoopMonitor, PhysKind, PhysPlan,
@@ -172,9 +172,16 @@ fn externalize_remote_scans(plan: &mut PhysPlan, tables: &[String]) -> Result<Ve
 ///
 /// Shipped filters run as the same batch kernel the engine's taps use
 /// ([`sip_engine::TapKernel`]): one digest pass per batch per probe-column
-/// set, selection-vector compaction, per-filter counters published once
-/// per batch — the remote site is no longer the last per-row
+/// set, selection-vector survivor gathers, per-filter counters published
+/// once per batch — the remote site is no longer the last per-row
 /// `admits` loop in the system.
+///
+/// The site reads the table's columnar storage directly: each chunk is a
+/// metadata-only slice + column selection, filter probes run over the
+/// typed column vectors, and the batch crosses the link columnar. Link
+/// accounting uses [`ColumnarBatch::size_bytes`](sip_common::ColumnarBatch::size_bytes),
+/// which is O(columns) per batch (cached per-column totals) instead of the
+/// row path's O(rows × columns) per-value walk.
 fn feed_remote_scan(
     ctx: &Arc<ExecContext>,
     stats: &NetStats,
@@ -188,7 +195,11 @@ fn feed_remote_scan(
     // Connection setup latency.
     std::thread::sleep(link.latency);
     let batch_size = ctx.options.batch_size;
-    for chunk in feed.table.rows().chunks(batch_size) {
+    let source = feed.table.columns();
+    let total = source.len();
+    let mut offset = 0usize;
+    while offset < total {
+        let n = batch_size.min(total - offset);
         // Poll for newly shipped filters; pay their transfer cost once.
         let filters = tap.snapshot();
         if filters.len() > known_filters {
@@ -211,28 +222,28 @@ fn feed_remote_scan(
         }
         // Remote-side projection + batch filtering (the Bloomjoin effect:
         // pruned rows never cross the link).
-        let mut rows: Vec<_> = chunk.iter().map(|row| row.project(&feed.cols)).collect();
+        let mut batch = source.slice(offset, n).select_columns(&feed.cols);
+        offset += n;
         if !filters.is_empty() {
-            kernel.begin(rows.len());
-            let (_, dropped) = kernel.probe_chain(&filters, &rows);
+            kernel.begin(batch.len());
+            let (_, dropped) = kernel.probe_chain_cols(&filters, &batch);
             if dropped > 0 {
                 stats
                     .rows_pruned_remote
                     .fetch_add(dropped, Ordering::Relaxed);
-                kernel.compact(&mut rows);
+                batch = batch.gather(kernel.sel().as_slice());
             }
         }
-        if rows.is_empty() {
+        if batch.is_empty() {
             continue;
         }
-        let batch = Batch::new(rows);
         let bytes = batch.size_bytes() as u64;
         stats.row_bytes.fetch_add(bytes, Ordering::Relaxed);
         stats
             .rows_shipped
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         std::thread::sleep(link.transfer_time(bytes));
-        if tx.send(Msg::Batch(batch)).is_err() {
+        if tx.send(Msg::Cols(batch)).is_err() {
             return; // master cancelled
         }
     }
