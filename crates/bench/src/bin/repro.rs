@@ -83,6 +83,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --merge-fanin: {e}"))?
             }
+            "--timeout-ms" => {
+                config.timeout_ms = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--figure all|table1|fig1|fig2|fig5|fig6|fig9|fig10|fig13|\
@@ -90,7 +97,7 @@ overhead|scaling|skew|adaptive|kernels|admit|columnar|ablation-sets|ablation-fpr
 ablation-minmax] \
 [--sf F] \
 [--repeats N] [--seed S] [--batch-size N] [--channel-capacity N] [--dop N] \
-[--merge-fanin N] [--json DIR]\n\n\
+[--merge-fanin N] [--timeout-ms N] [--json DIR]\n\n\
   --batch-size N        rows per engine batch (default 1024); also the\n\
                         batch the `kernels`/`admit` micro-figures sweep\n\
   --channel-capacity N  bounded-channel backpressure window, in batches\n\
@@ -100,6 +107,9 @@ ablation-minmax] \
                         to N; default 4, 1 = serial only)\n\
   --merge-fanin N       merge-tree fan-in for parallel runs (0 = auto:\n\
                         flat up to dop 4, binary tree above)\n\
+  --timeout-ms N        per-query deadline in milliseconds; a run past it\n\
+                        fails with `deadline exceeded` plus per-phase\n\
+                        time shares (default: no deadline; 0 is rejected)\n\
   --json DIR            also write BENCH_<figure>.json per measured\n\
                         figure into DIR (created if missing)\n\
   --profile DIR         run the span-traced query profiles (Q4A at dop\n\

@@ -690,6 +690,37 @@ impl Harness {
         }
         black_box(survivors);
 
+        // --- Cancel gate: the same batch loop bare vs with the per-batch
+        // CancelToken check every emitter now performs (one relaxed atomic
+        // load per batch while no deadline is armed and nothing has
+        // cancelled). Interleaved best-of like the trace gate; CI holds
+        // checked to within 2% of unchecked.
+        let token = sip_common::CancelToken::new();
+        let mut unchecked_best = f64::INFINITY;
+        let mut checked_best = f64::INFINITY;
+        let mut survivors = 0usize;
+        for _ in 0..gate_reps {
+            let t = Instant::now();
+            for chunk in rows.chunks(batch) {
+                kernel.begin(chunk.len());
+                kernel.probe_chain(&chain, chunk);
+                survivors += kernel.sel().len();
+            }
+            unchecked_best = unchecked_best.min(t.elapsed().as_secs_f64());
+
+            let t = Instant::now();
+            for chunk in rows.chunks(batch) {
+                if token.is_cancelled() {
+                    break;
+                }
+                kernel.begin(chunk.len());
+                kernel.probe_chain(&chain, chunk);
+                survivors += kernel.sel().len();
+            }
+            checked_best = checked_best.min(t.elapsed().as_secs_f64());
+        }
+        black_box(survivors);
+
         let mrows = |secs: f64| n_rows as f64 / secs / 1e6;
         let cell =
             |name: &str, variant: &str, secs: f64, kept: usize, speedup: Option<f64>| ReportRow {
@@ -736,6 +767,20 @@ impl Harness {
                 batch_survivors,
                 Some(untraced_best / gated_best),
             ),
+            cell(
+                "cancel-gate",
+                "unchecked",
+                unchecked_best,
+                batch_survivors,
+                None,
+            ),
+            cell(
+                "cancel-gate",
+                "checked",
+                checked_best,
+                batch_survivors,
+                Some(unchecked_best / checked_best),
+            ),
         ];
         Ok(FigureReport {
             id: "kernels".into(),
@@ -750,6 +795,9 @@ batch = one shared digest pass per key-column set, selection-vector routing."
                     .into(),
                 "trace-gate = tap-probe batch loop bare vs wrapped in disabled sip-trace spans \
 (TraceLevel::Off), interleaved best-of; the gated-off/untraced ratio bounds the tracing-off tax."
+                    .into(),
+                "cancel-gate = the same loop bare vs with the per-batch CancelToken check every \
+emitter performs, interleaved best-of; the checked/unchecked ratio bounds the cancellation tax."
                     .into(),
             ],
         })

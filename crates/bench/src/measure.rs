@@ -26,6 +26,10 @@ pub struct ExperimentConfig {
     /// Merge-tree fan-in for partition-parallel runs (`--merge-fanin`);
     /// 0 = auto (flat up to dop 4, binary tree above).
     pub merge_fanin: usize,
+    /// Per-query deadline in milliseconds (`--timeout-ms`); `None` = no
+    /// deadline. A run past the deadline fails with `deadline exceeded`
+    /// plus its per-phase time shares.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for ExperimentConfig {
@@ -38,6 +42,7 @@ impl Default for ExperimentConfig {
             channel_capacity: 16,
             dop: 4,
             merge_fanin: 0,
+            timeout_ms: None,
         }
     }
 }
@@ -49,6 +54,9 @@ impl ExperimentConfig {
         let mut opts = ExecOptions::validated(self.batch_size, self.channel_capacity)?;
         opts.collect_rows = false;
         opts.merge_fanin = self.merge_fanin;
+        if let Some(ms) = self.timeout_ms {
+            opts = opts.with_deadline(std::time::Duration::from_millis(ms));
+        }
         opts.validate()?;
         Ok(opts)
     }

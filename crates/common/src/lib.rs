@@ -12,6 +12,7 @@
 //! vocabulary the rest of the system is written in.
 
 pub mod bytes;
+pub mod cancel;
 pub mod columnar;
 pub mod date;
 pub mod error;
@@ -25,9 +26,10 @@ pub mod sketch;
 pub mod trace;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use columnar::{ColKind, Column, ColumnBuilder, ColumnarBatch};
 pub use date::Date;
-pub use error::{Result, SipError};
+pub use error::{ExecFailure, Result, SipError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{AttrId, OpId, SiteId, TableId};
 pub use kernel::{DigestBuffer, DigestCache, SelVec};

@@ -1,14 +1,17 @@
 //! Shared per-execution context: options, taps, metrics, collectors.
 
 use crate::delay::DelayModel;
+use crate::fault::{FaultPlan, FaultState};
 use crate::metrics::{ExecMetrics, FilterStat, MetricsHub};
 use crate::monitor::RowCollector;
 use crate::physical::{PhysKind, PhysPlan};
 use crate::taps::{FilterTap, InjectedFilter, MergePolicy};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use sip_common::cancel::CancelToken;
+use sip_common::error::ExecFailure;
 use sip_common::trace::{OpTracer, TraceLevel};
-use sip_common::{AttrId, Batch, FxHashMap, FxHashSet, OpId};
+use sip_common::{AttrId, Batch, FxHashMap, FxHashSet, OpId, SipError};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -170,6 +173,14 @@ pub struct ExecOptions {
     /// How much runtime detail the `sip-trace` layer records
     /// ([`TraceLevel::Off`] by default — routing/skew counts still flow).
     pub trace_level: TraceLevel,
+    /// Wall-clock budget for the whole query. When it expires the shared
+    /// [`CancelToken`] trips and the run returns a deadline-exceeded
+    /// execution error carrying the per-phase time shares recorded so
+    /// far. `None` (the default) = no deadline.
+    pub deadline: Option<Duration>,
+    /// Injected faults for chaos testing ([`FaultPlan::none`] by
+    /// default — the per-batch check is two branches when empty).
+    pub faults: FaultPlan,
 }
 
 impl Default for ExecOptions {
@@ -182,6 +193,8 @@ impl Default for ExecOptions {
             merge_fanin: 0,
             external_inputs: Mutex::new(FxHashMap::default()),
             trace_level: TraceLevel::default(),
+            deadline: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -221,6 +234,16 @@ impl ExecOptions {
                     .into(),
             ));
         }
+        if let Some(d) = self.deadline {
+            if d.is_zero() {
+                return Err(sip_common::SipError::Config(
+                    "deadline of 0 would cancel every query before its first batch; \
+                     use None for no deadline or a positive duration"
+                        .into(),
+                ));
+            }
+        }
+        self.faults.validate()?;
         for (binding, model) in &self.delays {
             model.validate().map_err(|e| {
                 sip_common::SipError::Config(format!("delay model for {binding:?}: {e}"))
@@ -238,6 +261,18 @@ impl ExecOptions {
     /// Set the `sip-trace` recording level.
     pub fn with_trace(mut self, level: TraceLevel) -> Self {
         self.trace_level = level;
+        self
+    }
+
+    /// Set a wall-clock deadline for the whole query.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Install an injected-fault plan (chaos testing).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -262,6 +297,17 @@ pub struct ExecContext {
     /// Partition structure when this context executes an expanded
     /// partition-parallel plan (`None` for serial plans).
     pub partitions: Option<Arc<PartitionMap>>,
+    /// The shared cancellation token for this run. Trips on the first
+    /// failure (or deadline, or an explicit cancel); every operator
+    /// observes it once per batch and winds down.
+    pub cancel: CancelToken,
+    /// First-error slots. `primary` holds root causes (operator panics
+    /// and errors); `secondary` holds symptoms (disconnects,
+    /// cancellation errors) that only matter when no root cause was
+    /// recorded — a consumer can observe its input channel die *before*
+    /// the failing producer's wrapper records the panic, and the query
+    /// error must name the panic, not the hangup.
+    errors: Mutex<ErrorSlots>,
     collectors: Mutex<FxHashMap<(u32, usize), Box<dyn RowCollector>>>,
     /// Shuffle-mesh producer channels, `(mesh, writer)` → one bounded
     /// `Sender` per consumer partition, in partition order. Built from the
@@ -281,6 +327,14 @@ pub struct ExecContext {
 
 /// Per-mesh channel endpoints keyed by `(mesh, writer-or-partition)`.
 type MeshEndpoints<T> = FxHashMap<(u32, u32), Vec<T>>;
+
+/// First-error storage with root-cause precedence (see
+/// [`ExecContext::fail`]).
+#[derive(Debug, Default)]
+struct ErrorSlots {
+    primary: Option<SipError>,
+    secondary: Option<SipError>,
+}
 
 impl ExecContext {
     /// Build a context for `plan`.
@@ -316,17 +370,94 @@ impl ExecContext {
                     .fetch_add(1, Ordering::Relaxed);
             }
         }
+        let cancel = CancelToken::new();
+        if let Some(deadline) = options.deadline {
+            cancel.set_deadline(std::time::Instant::now() + deadline);
+        }
         Arc::new(ExecContext {
             hub: MetricsHub::with_trace(n, options.trace_level),
             taps: (0..n).map(|_| FilterTap::new()).collect(),
             plan,
             options,
             partitions,
+            cancel,
+            errors: Mutex::new(ErrorSlots::default()),
             collectors: Mutex::new(FxHashMap::default()),
             shuffle_tx: Mutex::new(shuffle_tx),
             shuffle_rx: Mutex::new(shuffle_rx),
             mesh_writers_left,
         })
+    }
+
+    /// Attribute `message` to `op`: attach the operator's kind name and
+    /// (when partition-parallel) its partition.
+    pub fn attributed(&self, op: OpId, message: impl Into<String>, class: ExecFailure) -> SipError {
+        SipError::exec_at(
+            message,
+            op.0,
+            self.plan.node(op).kind.name(),
+            self.partitions.as_ref().and_then(|m| m.partition(op)),
+            class,
+        )
+    }
+
+    /// Record a failure and trip the cancellation token. Root causes
+    /// (panics, operator errors, anything non-`ExecAt`) land in the
+    /// primary slot; disconnects and cancellation errors — symptoms of a
+    /// failure elsewhere — land in the secondary slot and only surface
+    /// when nothing primary was recorded. First error per slot wins.
+    pub fn fail(&self, e: SipError) {
+        let reason = e.to_string();
+        {
+            let mut slots = self.errors.lock();
+            let slot = if e.is_primary() {
+                &mut slots.primary
+            } else {
+                &mut slots.secondary
+            };
+            slot.get_or_insert(e);
+        }
+        self.cancel.cancel(reason);
+    }
+
+    /// The error this run should report, if any: the first root cause,
+    /// else the first symptom.
+    pub fn take_error(&self) -> Option<SipError> {
+        let mut slots = self.errors.lock();
+        slots.primary.take().or_else(|| slots.secondary.take())
+    }
+
+    /// Per-batch cancellation check for operator loops: returns an
+    /// attributed `Cancelled` error once the shared token has tripped.
+    pub fn check_cancel(&self, op: OpId) -> sip_common::Result<()> {
+        if self.cancel.is_cancelled() {
+            let reason = self
+                .cancel
+                .reason()
+                .unwrap_or_else(|| "query cancelled".into());
+            return Err(self.attributed(op, reason, ExecFailure::Cancelled));
+        }
+        Ok(())
+    }
+
+    /// The attributed error for an input channel that disconnected
+    /// without a clean `Msg::Eof` — the upstream operator died.
+    pub fn disconnect_err(&self, op: OpId) -> SipError {
+        self.attributed(
+            op,
+            "input channel closed before Eof (upstream operator died)",
+            ExecFailure::Disconnect,
+        )
+    }
+
+    /// Arm `op`'s injected fault, if the options' [`FaultPlan`] targets
+    /// it. Operators advance the returned state once per incoming batch.
+    pub fn arm_fault(&self, op: OpId) -> FaultState {
+        if self.options.faults.is_empty() {
+            return FaultState::default();
+        }
+        let kind_name = self.plan.node(op).kind.name();
+        FaultState::new(self.options.faults.spec_for(op.0, kind_name))
     }
 
     /// Materialize every shuffle mesh in the plan as a `writers × dop`
@@ -483,9 +614,15 @@ impl ExecContext {
     }
 
     /// Freeze this run's metrics: merge the flushed thread traces
-    /// ([`MetricsHub::finish`]) and collect per-filter ROI from the taps.
+    /// ([`MetricsHub::finish_with`]) and collect per-filter ROI from the
+    /// taps. Uses the explicit cancel flag (not the self-arming deadline
+    /// check), so a query whose final Eof drained just past its deadline
+    /// without any thread observing the expiry still freezes as a clean,
+    /// complete run.
     pub fn finish_metrics(&self, wall_time: Duration, rows_out: u64) -> ExecMetrics {
-        let mut metrics = self.hub.finish(wall_time, rows_out);
+        let mut metrics = self
+            .hub
+            .finish_with(wall_time, rows_out, self.cancel.cancelled_flag());
         for (i, tap) in self.taps.iter().enumerate() {
             for f in tap.snapshot().iter() {
                 metrics.filter_stats.push(FilterStat {

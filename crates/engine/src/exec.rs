@@ -4,6 +4,26 @@
 //! the multithreaded, nondeterministically-scheduled execution model of
 //! Tukwila (§V-A), where the CPU naturally switches to whatever part of the
 //! bushy plan has data available.
+//!
+//! # Failure semantics
+//!
+//! A query returns either its complete result or an attributed error —
+//! never a silent truncation. Three mechanisms enforce this:
+//!
+//! * **Panic containment.** Every operator thread body runs under
+//!   `catch_unwind`; a panic becomes a [`SipError::ExecAt`] carrying the
+//!   operator id, kind, partition, and the panic payload, instead of a
+//!   closed channel that looks like EOF downstream.
+//! * **Error-vs-Eof discipline.** A channel that disconnects without a
+//!   clean [`Msg::Eof`] means the upstream operator died; every consumer
+//!   (operators and the root drain here) treats it as a hard error rather
+//!   than end-of-stream.
+//! * **First-error propagation with cancellation.** Failures land in the
+//!   context's error slots ([`ExecContext::fail`]) and trip the shared
+//!   [`sip_common::CancelToken`]; every other operator observes the token
+//!   once per batch and winds down promptly. Root causes (panics,
+//!   operator errors) take precedence over the disconnect/cancellation
+//!   symptoms they trigger, so the reported error names the culprit.
 
 use crate::context::{ExecContext, ExecOptions, Msg};
 use crate::metrics::ExecMetrics;
@@ -11,8 +31,9 @@ use crate::monitor::ExecMonitor;
 use crate::operators;
 use crate::physical::{PhysKind, PhysPlan};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
+use sip_common::error::ExecFailure;
 use sip_common::{Result, Row, SipError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,6 +60,43 @@ pub fn execute(
     execute_ctx(ctx, monitor)
 }
 
+/// Render a panic payload for attribution (panics carry `&str` or
+/// `String` in practice; anything else is reported by type only).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Attach the per-phase time shares to a deadline-exceeded error so a
+/// timeout is diagnosable (which phase ate the budget).
+fn with_deadline_detail(e: SipError, metrics: &ExecMetrics) -> SipError {
+    if !e.message().contains("deadline exceeded") {
+        return e;
+    }
+    let shares = crate::profile::fmt_phase_split(&metrics.phase_totals());
+    match e {
+        SipError::ExecAt {
+            message,
+            op,
+            kind,
+            partition,
+            class,
+        } => SipError::ExecAt {
+            message: format!("{message}; phase shares {shares}"),
+            op,
+            kind,
+            partition,
+            class,
+        },
+        other => SipError::Exec(format!("{}; phase shares {shares}", other.message())),
+    }
+}
+
 /// Execute with a caller-constructed context — used by the distributed
 /// harness, whose simulated remote sites need shared access to the taps
 /// (so shipped filters can be applied *before* transmission).
@@ -51,7 +109,6 @@ pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Resu
     monitor.on_query_start(&ctx);
 
     let start = Instant::now();
-    let error_slot: Arc<Mutex<Option<SipError>>> = Arc::new(Mutex::new(None));
     let mut senders: Vec<Option<Sender<Msg>>> = Vec::with_capacity(plan.nodes.len());
     let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(plan.nodes.len());
     for _ in &plan.nodes {
@@ -74,12 +131,18 @@ pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Resu
             .collect();
         let ctx = Arc::clone(&ctx);
         let monitor = Arc::clone(&monitor);
-        let errs = Arc::clone(&error_slot);
         let kind_name = node.kind.name();
         let handle = std::thread::Builder::new()
             .name(format!("sip-{op}-{kind_name}"))
             .spawn(move || {
-                let result = match &ctx.plan.node(op).kind {
+                // Contain panics: an uncontained panic closes this
+                // thread's channels, which the consumer would otherwise
+                // have no way to distinguish from a clean EOF. The
+                // channel endpoints are owned by this closure, so they
+                // drop during the unwind either way — what `catch_unwind`
+                // buys is the attributed error recorded *before* anyone
+                // can misread the hangup.
+                let result = catch_unwind(AssertUnwindSafe(|| match &ctx.plan.node(op).kind {
                     PhysKind::Scan { .. } => operators::scan::run_scan(&ctx, op, out),
                     PhysKind::ExternalSource { .. } => operators::scan::run_external(&ctx, op, out),
                     PhysKind::Filter { .. } => {
@@ -118,9 +181,27 @@ pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Resu
                     PhysKind::ShuffleRead { .. } => {
                         operators::shuffle::run_shuffle_read(&ctx, op, ins, out)
                     }
-                };
-                if let Err(e) = result {
-                    errs.lock().get_or_insert(e);
+                }));
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        // Attribute bare exec errors to this operator;
+                        // other layers (expr, net, ...) and already-
+                        // attributed errors pass through unchanged.
+                        let e = match e {
+                            SipError::Exec(m) => ctx.attributed(op, m, ExecFailure::Error),
+                            other => other,
+                        };
+                        ctx.fail(e);
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload);
+                        ctx.fail(ctx.attributed(
+                            op,
+                            format!("operator thread panicked: {msg}"),
+                            ExecFailure::Panic,
+                        ));
+                    }
                 }
             })
             .expect("spawn operator thread");
@@ -130,36 +211,69 @@ pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Resu
     drop(receivers);
 
     // Drain the root. Columnar batches convert to rows here — the root is
-    // a row seam by design (callers consume `Vec<Row>`).
+    // a row seam by design (callers consume `Vec<Row>`). A disconnect
+    // before Eof means the root operator died: record it (as a symptom —
+    // the failing operator's own error takes precedence) instead of
+    // returning whatever partial result drained so far as a success.
     let mut rows: Vec<Row> = Vec::new();
     let mut rows_out = 0u64;
-    while let Ok(msg) = root_rx.recv() {
-        match msg {
-            Msg::Batch(b) => {
+    let mut clean_eof = false;
+    loop {
+        match root_rx.recv() {
+            Ok(Msg::Batch(b)) => {
                 rows_out += b.len() as u64;
                 if ctx.options.collect_rows {
                     rows.extend(b.rows);
                 }
             }
-            Msg::Cols(c) => {
+            Ok(Msg::Cols(c)) => {
                 rows_out += c.len() as u64;
                 if ctx.options.collect_rows {
                     rows.extend(c.to_rows());
                 }
             }
-            Msg::Eof => break,
+            Ok(Msg::Eof) => {
+                clean_eof = true;
+                break;
+            }
+            Err(_) => break,
         }
     }
+    if !clean_eof {
+        ctx.fail(ctx.attributed(
+            plan.root,
+            "root channel closed before Eof",
+            ExecFailure::Disconnect,
+        ));
+    }
+    // Unblock any producer still parked on a full root channel, then join
+    // everything — no thread outlives the query.
+    drop(root_rx);
     for h in handles {
-        let _ = h.join();
+        if h.join().is_err() {
+            // catch_unwind contains operator panics, so this fires only
+            // if the error-recording path itself panicked.
+            ctx.fail(SipError::Exec(
+                "operator thread panicked outside containment".into(),
+            ));
+        }
     }
     let wall = start.elapsed();
     let metrics = ctx.finish_metrics(wall, rows_out);
     monitor.on_trace(&ctx, &metrics);
     monitor.on_query_end(&ctx);
 
-    if let Some(e) = error_slot.lock().take() {
-        return Err(e);
+    if let Some(e) = ctx.take_error() {
+        return Err(with_deadline_detail(e, &metrics));
+    }
+    // Backstop for an external cancel that tripped the token without any
+    // operator observing it before the run completed its teardown.
+    if ctx.cancel.cancelled_flag() && !clean_eof {
+        let reason = ctx
+            .cancel
+            .reason()
+            .unwrap_or_else(|| "query cancelled".into());
+        return Err(with_deadline_detail(SipError::Exec(reason), &metrics));
     }
     Ok(QueryOutput { rows, metrics })
 }

@@ -1,0 +1,278 @@
+//! Fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] rides [`crate::ExecOptions`] the way a
+//! [`crate::DelayModel`] does, but instead of slowing a source it
+//! *breaks* the pipeline on purpose: any operator can be made to panic,
+//! error, or stall after N batches, and a `sip-net` link can be made to
+//! drop or hang mid-stream. The chaos harnesses
+//! (`crates/engine/tests/chaos.rs`, `crates/parallel/tests/chaos_dop.rs`)
+//! sweep these faults across dop × salting × adaptive and assert the
+//! lifecycle invariant: every run is either byte-identical to the oracle
+//! or a clean attributed error — never a partial `Ok`.
+//!
+//! Fault checks are zero-cost when no plan is installed: an operator
+//! whose [`FaultPlan::spec_for`] lookup comes back `None` never touches
+//! the fault state again.
+
+use sip_common::{FxHashMap, Result, SipError};
+use std::time::Duration;
+
+/// What an injected operator fault does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the operator thread (exercises `catch_unwind` containment).
+    Panic,
+    /// Return an ordinary operator error.
+    Error,
+    /// Sleep for the given duration (cancellably), then continue. Used to
+    /// exercise deadline enforcement against a wedged operator.
+    Stall(Duration),
+}
+
+/// One injected operator fault: fire `kind` once, after the operator has
+/// received `after_batches` batches (0 = before the first batch).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What happens when the fault fires.
+    pub kind: FaultKind,
+    /// How many batches the operator processes normally first.
+    pub after_batches: u64,
+}
+
+/// How an injected `sip-net` link fault behaves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// The link drops mid-transfer: the feeder loses the in-flight batch
+    /// and must reconnect (pay the link latency again) and re-feed from
+    /// the last acked batch.
+    Drop,
+    /// The link hangs for the given duration before delivering.
+    Hang(Duration),
+}
+
+/// An injected fault on a simulated `sip-net` link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Batches delivered cleanly before the fault fires.
+    pub after_batches: u64,
+    /// Drop or hang.
+    pub kind: LinkFaultKind,
+    /// How many times the fault fires (each retry hits it again until
+    /// exhausted). `u32::MAX` ≈ a permanently dead link.
+    pub fail_times: u32,
+}
+
+/// A set of injected faults for one execution. Empty by default.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Faults keyed by operator kind name (`"HashJoin"`, `"Scan"`, ...):
+    /// every operator of that kind gets the fault. With partition-parallel
+    /// plans this is the way to hit a clone without knowing expanded ids.
+    by_kind: FxHashMap<String, FaultSpec>,
+    /// Faults keyed by physical operator id — precise targeting.
+    by_op: FxHashMap<u32, FaultSpec>,
+    /// Fault on the simulated remote link (`sip-net` feeder threads).
+    pub link: Option<LinkFault>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Are any faults installed?
+    pub fn is_empty(&self) -> bool {
+        self.by_kind.is_empty() && self.by_op.is_empty() && self.link.is_none()
+    }
+
+    /// Inject `kind` at every operator whose kind name is `op_kind`,
+    /// after `after_batches` clean batches.
+    pub fn with_kind_fault(
+        mut self,
+        op_kind: impl Into<String>,
+        after_batches: u64,
+        kind: FaultKind,
+    ) -> Self {
+        self.by_kind.insert(
+            op_kind.into(),
+            FaultSpec {
+                kind,
+                after_batches,
+            },
+        );
+        self
+    }
+
+    /// Inject `kind` at the operator with physical id `op`.
+    pub fn with_op_fault(mut self, op: u32, after_batches: u64, kind: FaultKind) -> Self {
+        self.by_op.insert(
+            op,
+            FaultSpec {
+                kind,
+                after_batches,
+            },
+        );
+        self
+    }
+
+    /// Inject a link fault on the simulated remote feed.
+    pub fn with_link_fault(mut self, fault: LinkFault) -> Self {
+        self.link = Some(fault);
+        self
+    }
+
+    /// The fault an operator should arm, if any. Id-targeted faults win
+    /// over kind-targeted ones.
+    pub fn spec_for(&self, op: u32, kind_name: &str) -> Option<FaultSpec> {
+        self.by_op
+            .get(&op)
+            .or_else(|| self.by_kind.get(kind_name))
+            .cloned()
+    }
+
+    /// Check internal consistency, mirroring
+    /// [`crate::DelayModel::validate`]: a zero-length stall would be a
+    /// no-op fault and almost certainly a mistyped duration, and a link
+    /// fault that fires zero times likewise never happens.
+    pub fn validate(&self) -> Result<()> {
+        for (target, spec) in self
+            .by_kind
+            .iter()
+            .map(|(k, s)| (k.clone(), s))
+            .chain(self.by_op.iter().map(|(op, s)| (format!("op {op}"), s)))
+        {
+            if matches!(spec.kind, FaultKind::Stall(d) if d.is_zero()) {
+                return Err(SipError::Config(format!(
+                    "FaultPlan: stall of 0ns at {target} would be a no-op; \
+                     give the stall a duration or drop the fault"
+                )));
+            }
+        }
+        if let Some(link) = &self.link {
+            if link.fail_times == 0 {
+                return Err(SipError::Config(
+                    "FaultPlan: link fault with fail_times == 0 would never fire; \
+                     set fail_times >= 1 or drop the fault"
+                        .into(),
+                ));
+            }
+            if matches!(link.kind, LinkFaultKind::Hang(d) if d.is_zero()) {
+                return Err(SipError::Config(
+                    "FaultPlan: link hang of 0ns would be a no-op; \
+                     give the hang a duration or drop the fault"
+                        .into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-operator-thread fault progress: counts incoming batches and
+/// reports when the armed fault should fire. Fires at most once.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    spec: Option<FaultSpec>,
+    batches: u64,
+    fired: bool,
+}
+
+impl FaultState {
+    /// Arm `spec` (or nothing).
+    pub fn new(spec: Option<FaultSpec>) -> Self {
+        FaultState {
+            spec,
+            batches: 0,
+            fired: false,
+        }
+    }
+
+    /// Account for one incoming batch; returns the fault to fire now, if
+    /// its threshold has been crossed. The check is two branches when no
+    /// fault is armed.
+    pub fn on_batch(&mut self) -> Option<FaultKind> {
+        let spec = self.spec.as_ref()?;
+        if self.fired {
+            return None;
+        }
+        if self.batches >= spec.after_batches {
+            self.fired = true;
+            return Some(spec.kind.clone());
+        }
+        self.batches += 1;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_arms_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.spec_for(3, "HashJoin"), None);
+        let mut state = FaultState::new(None);
+        for _ in 0..10 {
+            assert_eq!(state.on_batch(), None);
+        }
+    }
+
+    #[test]
+    fn op_fault_wins_over_kind_fault() {
+        let plan = FaultPlan::none()
+            .with_kind_fault("Filter", 0, FaultKind::Error)
+            .with_op_fault(7, 2, FaultKind::Panic);
+        assert_eq!(
+            plan.spec_for(7, "Filter").unwrap().kind,
+            FaultKind::Panic,
+            "id targeting beats kind targeting"
+        );
+        assert_eq!(plan.spec_for(8, "Filter").unwrap().kind, FaultKind::Error);
+        assert_eq!(plan.spec_for(8, "Scan"), None);
+    }
+
+    #[test]
+    fn fault_fires_once_after_threshold() {
+        let mut state = FaultState::new(Some(FaultSpec {
+            kind: FaultKind::Error,
+            after_batches: 2,
+        }));
+        assert_eq!(state.on_batch(), None);
+        assert_eq!(state.on_batch(), None);
+        assert_eq!(state.on_batch(), Some(FaultKind::Error));
+        assert_eq!(state.on_batch(), None, "a fault fires at most once");
+    }
+
+    #[test]
+    fn zero_threshold_fires_immediately() {
+        let mut state = FaultState::new(Some(FaultSpec {
+            kind: FaultKind::Panic,
+            after_batches: 0,
+        }));
+        assert_eq!(state.on_batch(), Some(FaultKind::Panic));
+    }
+
+    #[test]
+    fn degenerate_faults_are_rejected_at_config_time() {
+        let stall = FaultPlan::none().with_kind_fault("Scan", 0, FaultKind::Stall(Duration::ZERO));
+        assert_eq!(stall.validate().unwrap_err().layer(), "config");
+        let link = FaultPlan::none().with_link_fault(LinkFault {
+            after_batches: 1,
+            kind: LinkFaultKind::Drop,
+            fail_times: 0,
+        });
+        assert_eq!(link.validate().unwrap_err().layer(), "config");
+        let ok = FaultPlan::none()
+            .with_kind_fault("Scan", 1, FaultKind::Stall(Duration::from_millis(1)))
+            .with_link_fault(LinkFault {
+                after_batches: 1,
+                kind: LinkFaultKind::Drop,
+                fail_times: 2,
+            });
+        assert!(ok.validate().is_ok());
+    }
+}

@@ -12,6 +12,7 @@
 pub mod context;
 pub mod delay;
 pub mod exec;
+pub mod fault;
 pub mod metrics;
 pub mod monitor;
 pub(crate) mod operators;
@@ -26,6 +27,7 @@ pub mod testkit;
 pub use context::{ExecContext, ExecOptions, Msg, PartitionMap};
 pub use delay::DelayModel;
 pub use exec::{execute, execute_baseline, execute_ctx, QueryOutput};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, LinkFault, LinkFaultKind};
 pub use metrics::{
     ExecMetrics, FilterStat, MetricsHub, OpMetrics, OpMetricsSnapshot, PartitionSnapshot,
 };

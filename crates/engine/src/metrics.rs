@@ -204,6 +204,10 @@ pub struct ExecMetrics {
     pub filter_events: Vec<FilterEvent>,
     /// Per-filter ROI at query end (probed/dropped/footprint).
     pub filter_stats: Vec<FilterStat>,
+    /// True when the run was cancelled (first failure, deadline, or an
+    /// explicit cancel): the counters are a coherent snapshot of the work
+    /// done *before* teardown, not a complete accounting of the query.
+    pub cancelled: bool,
 }
 
 impl ExecMetrics {
@@ -333,6 +337,17 @@ impl MetricsHub {
     /// into the per-operator snapshots (deterministic: the drain orders
     /// traces by `(op, partition)` and all merge ops are sums).
     pub fn finish(&self, wall_time: Duration, rows_out: u64) -> ExecMetrics {
+        self.finish_with(wall_time, rows_out, false)
+    }
+
+    /// [`MetricsHub::finish`] for a run that may have been torn down
+    /// early. A cancelled run legitimately violates the
+    /// one-Compute-span-per-batch attribution invariant (an operator can
+    /// die between its emitter's nested flush record and the enclosing
+    /// Compute span's end), so with `cancelled` the nested subtraction
+    /// clamps without asserting or counting underflow — the metrics are
+    /// flagged [`ExecMetrics::cancelled`] instead.
+    pub fn finish_with(&self, wall_time: Duration, rows_out: u64, cancelled: bool) -> ExecMetrics {
         let mut per_op: Vec<OpMetricsSnapshot> = self
             .ops
             .iter()
@@ -372,12 +387,12 @@ impl MetricsHub {
         for (i, (m, &n)) in per_op.iter_mut().zip(nested.iter()).enumerate() {
             let c = Phase::Compute as usize;
             debug_assert!(
-                n <= m.phase_nanos[c],
+                cancelled || n <= m.phase_nanos[c],
                 "op {i}: nested emitter time {n}ns exceeds its Compute total {}ns \
                  (a span escaped the one-Compute-span-per-batch invariant)",
                 m.phase_nanos[c]
             );
-            if n > m.phase_nanos[c] {
+            if n > m.phase_nanos[c] && !cancelled {
                 attribution_underflow += 1;
             }
             m.phase_nanos[c] = m.phase_nanos[c].saturating_sub(n);
@@ -397,6 +412,7 @@ impl MetricsHub {
             spans: snap.events,
             filter_events: snap.filters,
             filter_stats: Vec::new(),
+            cancelled,
         }
     }
 }
@@ -534,6 +550,28 @@ mod tests {
             assert_eq!(m.attribution_underflow, 1);
             assert_eq!(m.per_op[0].phase(Phase::Compute), 0);
         }
+    }
+
+    #[test]
+    fn cancelled_finish_clamps_underflow_quietly() {
+        // The same impossible trace as above, but for a cancelled run —
+        // an operator that died mid-batch legitimately leaves nested time
+        // with no enclosing Compute span. The cancelled finish must not
+        // assert and must not count the clamp as an attribution bug; the
+        // `cancelled` flag is the caveat instead.
+        let hub = MetricsHub::with_trace(1, TraceLevel::Ops);
+        let mut em = hub.trace.tracer(0, None);
+        let s = em.begin();
+        std::thread::sleep(Duration::from_millis(1));
+        em.end(Phase::ChannelSend, s);
+        em.add_nested(s);
+        em.flush();
+        let m = hub.finish_with(Duration::ZERO, 0, true);
+        assert!(m.cancelled);
+        assert_eq!(m.attribution_underflow, 0);
+        assert_eq!(m.per_op[0].phase(Phase::Compute), 0);
+        // And a normal finish still reports not-cancelled.
+        assert!(!MetricsHub::new(1).finish(Duration::ZERO, 0).cancelled);
     }
 
     #[test]

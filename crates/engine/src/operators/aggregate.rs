@@ -9,7 +9,7 @@
 //! pass per batch; the group probe compares values positionally, so the
 //! per-row path neither re-hashes nor clones a key.
 
-use super::{count_in, msg_rows, Emitter};
+use super::{count_in, msg_rows, Emitter, OpGuard};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::{BoundAgg, PhysKind};
@@ -77,6 +77,9 @@ pub(crate) fn run_aggregate(
     let mut rows_in = 0u64;
     let mut collector = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
+    // The build loop has no emitter (aggregation is blocking), so the
+    // guard is the only per-batch cancellation check on this path.
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     let mut digests = DigestBuffer::default();
 
@@ -84,7 +87,10 @@ pub(crate) fn run_aggregate(
         let t_recv = tr.begin();
         let msg = input.recv();
         tr.end(Phase::ChannelRecv, t_recv);
-        let Some(batch) = msg_rows(msg) else { break };
+        let Some(batch) = msg_rows(ctx, op, msg)? else {
+            break;
+        };
+        guard.on_batch()?;
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
         // One hash pass over the group columns for the whole batch — shared
@@ -222,6 +228,7 @@ pub(crate) fn run_distinct(
     let mut collector = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     let mut digests = DigestBuffer::default();
 
@@ -229,7 +236,10 @@ pub(crate) fn run_distinct(
         let t_recv = tr.begin();
         let msg = input.recv();
         tr.end(Phase::ChannelRecv, t_recv);
-        let Some(batch) = msg_rows(msg) else { break };
+        let Some(batch) = msg_rows(ctx, op, msg)? else {
+            break;
+        };
+        guard.on_batch()?;
         count_in(ctx, op, 0, batch.len());
         rows_in += batch.len() as u64;
         let t0 = tr.begin();

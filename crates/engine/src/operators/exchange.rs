@@ -20,7 +20,7 @@
 //! pass per batch feeds both the partition check and (when a filter probes
 //! the partition column — the common AIP case) the tap stack.
 
-use super::{count_in, Emitter};
+use super::{count_in, Emitter, OpGuard};
 use crate::context::{ExecContext, Msg};
 use crate::physical::PhysKind;
 use crate::taps::TapKernel;
@@ -48,6 +48,7 @@ pub(crate) fn run_exchange(
     // The tap runs here, fused with the ownership kernel, so the emitter
     // must not apply it a second time.
     let mut emitter = Emitter::passthrough(ctx, op, out).outside_compute();
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     let mut kernel = TapKernel::new();
     let mut kept = 0u64;
@@ -64,6 +65,7 @@ pub(crate) fn run_exchange(
         // row survives).
         match msg {
             Ok(Msg::Batch(mut batch)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, batch.len());
                 kernel.begin(batch.len());
                 let t0 = tr.begin();
@@ -85,6 +87,7 @@ pub(crate) fn run_exchange(
                 emitter.flush()?;
             }
             Ok(Msg::Cols(batch)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, batch.len());
                 kernel.begin(batch.len());
                 let t0 = tr.begin();
@@ -103,7 +106,8 @@ pub(crate) fn run_exchange(
                 tr.add(Phase::Compute, t_cmp);
                 emitter.push_cols(kept_batch)?;
             }
-            Ok(Msg::Eof) | Err(_) => break,
+            Ok(Msg::Eof) => break,
+            Err(_) => return Err(ctx.disconnect_err(op)),
         }
         if emitter.cancelled() {
             // Downstream hung up: stop pulling so upstream winds down too.
@@ -135,6 +139,7 @@ pub(crate) fn run_merge(
         return Err(exec_err!("run_merge on {}", node.kind.name()));
     }
     let mut emitter = Emitter::new(ctx, op, out).outside_compute();
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     // Indices of inputs that have not yet reached EOF. The Select session
     // is registered once per *live-set change* (EOF), not per batch —
@@ -157,6 +162,7 @@ pub(crate) fn run_merge(
             tr.end(Phase::ChannelRecv, t_recv);
             match msg {
                 Ok(Msg::Batch(batch)) => {
+                    guard.on_batch()?;
                     count_in(ctx, op, 0, batch.len());
                     emitter.push_rows(batch.rows)?;
                     emitter.flush()?;
@@ -168,16 +174,22 @@ pub(crate) fn run_merge(
                     }
                 }
                 Ok(Msg::Cols(batch)) => {
+                    guard.on_batch()?;
                     count_in(ctx, op, 0, batch.len());
                     emitter.push_cols(batch)?;
                     if emitter.cancelled() {
                         break 'rebuild;
                     }
                 }
-                Ok(Msg::Eof) | Err(_) => {
+                Ok(Msg::Eof) => {
                     live.remove(slot);
                     continue 'rebuild;
                 }
+                // One partition's stream died without Eof: the whole
+                // union is unsalvageable. Erroring (instead of quietly
+                // removing the slot, as the old code did) is what keeps
+                // a panicked partition from producing a partial result.
+                Err(_) => return Err(ctx.disconnect_err(op)),
             }
         }
     }

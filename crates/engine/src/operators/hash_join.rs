@@ -15,7 +15,7 @@
 //! opposite table is dropped and arriving tuples on that side become
 //! probe-only.
 
-use super::{count_in, msg_rows, Emitter};
+use super::{count_in, msg_rows, Emitter, OpGuard};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::PhysKind;
@@ -139,6 +139,7 @@ pub(crate) fn run_hash_join(
     let mut sides = [Side::new(lk), Side::new(rk)];
     let mut collectors = [ctx.take_collector(op, 0), ctx.take_collector(op, 1)];
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     let metrics = ctx.hub.op(op);
     // One digest pass per arriving batch; the buffer is reused across
@@ -161,8 +162,9 @@ pub(crate) fn run_hash_join(
         tr.end(Phase::ChannelRecv, t_recv);
         // Join state is row-shaped (buckets of buffered rows); columnar
         // input converts to rows at this seam.
-        match msg_rows(msg) {
+        match msg_rows(ctx, op, msg)? {
             Some(batch) => {
+                guard.on_batch()?;
                 count_in(ctx, op, idx, batch.len());
                 sides[idx].rows_in += batch.len() as u64;
                 // Both sides hash the same key-value sequence, so this

@@ -18,8 +18,10 @@ pub(crate) mod shuffle;
 pub(crate) mod stateless;
 
 use crate::context::{ExecContext, Msg};
+use crate::fault::{FaultKind, FaultState};
 use crate::taps::TapKernel;
 use crossbeam::channel::Sender;
+use sip_common::error::ExecFailure;
 use sip_common::trace::{OpTracer, Phase};
 use sip_common::{Batch, ColumnarBatch, OpId, Result, Row, Value};
 use std::sync::atomic::Ordering;
@@ -224,6 +226,20 @@ impl<'a> Emitter<'a> {
             self.buf.clear();
             return Ok(());
         }
+        // The per-batch cancellation check: every streaming operator
+        // passes through here once per batch, so a tripped token (first
+        // failure elsewhere, deadline, explicit cancel) tears the
+        // pipeline down within one batch of work per operator. Two
+        // relaxed atomic loads when untripped — the `cancel-gate` cell
+        // of the kernels figure holds this to the noise floor.
+        if self.ctx.cancel.is_cancelled() {
+            let reason = self
+                .ctx
+                .cancel
+                .reason()
+                .unwrap_or_else(|| "query cancelled".into());
+            return Err(self.ctx.attributed(self.op, reason, ExecFailure::Cancelled));
+        }
         if self.buf.is_empty() {
             return Ok(());
         }
@@ -303,15 +319,75 @@ pub(crate) fn key_of(row: &Row, positions: &[usize]) -> Option<(u64, Vec<Value>)
 
 /// Normalize a received message to a row batch at the row seams (stateful
 /// operators, the root sink, remote feeds): columnar payloads materialize
-/// rows on receipt, `Eof`/disconnect end the stream.
+/// rows on receipt, a clean `Eof` ends the stream (`Ok(None)`), and a
+/// disconnect without `Eof` — the upstream operator died — is a hard
+/// attributed error, never a quiet end-of-stream.
 #[inline]
 pub(crate) fn msg_rows(
+    ctx: &ExecContext,
+    op: OpId,
     msg: std::result::Result<Msg, crossbeam::channel::RecvError>,
-) -> Option<Batch> {
+) -> Result<Option<Batch>> {
     match msg {
-        Ok(Msg::Batch(b)) => Some(b),
-        Ok(Msg::Cols(c)) => Some(c.to_batch()),
-        Ok(Msg::Eof) | Err(_) => None,
+        Ok(Msg::Batch(b)) => Ok(Some(b)),
+        Ok(Msg::Cols(c)) => Ok(Some(c.to_batch())),
+        Ok(Msg::Eof) => Ok(None),
+        Err(_) => Err(ctx.disconnect_err(op)),
+    }
+}
+
+/// Per-operator lifecycle guard: advances the injected-fault state and
+/// checks the shared cancellation token, once per incoming batch. Two
+/// branches + two atomic loads when no fault is armed and the token is
+/// untripped.
+pub(crate) struct OpGuard<'a> {
+    ctx: &'a Arc<ExecContext>,
+    op: OpId,
+    faults: FaultState,
+}
+
+impl<'a> OpGuard<'a> {
+    pub(crate) fn new(ctx: &'a Arc<ExecContext>, op: OpId) -> Self {
+        OpGuard {
+            faults: ctx.arm_fault(op),
+            ctx,
+            op,
+        }
+    }
+
+    /// Call once per incoming batch (receive side — the `Emitter` covers
+    /// the send side, but blocking builds may buffer many batches before
+    /// their first emit, and a consumer-less fault would otherwise go
+    /// unchecked until emission).
+    #[inline]
+    pub(crate) fn on_batch(&mut self) -> Result<()> {
+        if let Some(kind) = self.faults.on_batch() {
+            self.fire(kind)?;
+        }
+        self.ctx.check_cancel(self.op)
+    }
+
+    fn fire(&self, kind: FaultKind) -> Result<()> {
+        match kind {
+            FaultKind::Panic => panic!(
+                "injected fault: panic at op {} ({})",
+                self.op,
+                self.ctx.plan.node(self.op).kind.name()
+            ),
+            FaultKind::Error => Err(self.ctx.attributed(
+                self.op,
+                "injected fault: operator error",
+                ExecFailure::Error,
+            )),
+            FaultKind::Stall(d) => {
+                // A cancellable stall: the follow-up check_cancel in
+                // on_batch converts a mid-stall cancellation (e.g. the
+                // deadline this stall was injected to blow) into the
+                // operator's exit.
+                self.ctx.cancel.sleep_cancellable(d);
+                Ok(())
+            }
+        }
     }
 }
 
@@ -479,6 +555,45 @@ mod tests {
             rows_out_at_cancel
         );
         e.finish().unwrap();
+    }
+
+    #[test]
+    fn tripped_token_fails_the_emitter_per_batch() {
+        let ctx = scan_ctx(2);
+        let op = OpId(0);
+        let (tx, _rx) = crossbeam::channel::bounded(4);
+        let mut e = Emitter::new(&ctx, op, tx);
+        e.push(Row::new(vec![Value::Int(0)])).unwrap();
+        ctx.cancel.cancel("test cancel");
+        let err = e.flush().unwrap_err();
+        assert_eq!(
+            err.exec_class(),
+            Some(sip_common::ExecFailure::Cancelled),
+            "a tripped token must surface as an attributed Cancelled error"
+        );
+        assert!(err.message().contains("test cancel"));
+    }
+
+    #[test]
+    fn op_guard_fires_injected_error_with_attribution() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let rows: Vec<Row> = (0..8).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let mut c = Catalog::new();
+        c.add(Table::new("t", schema, vec![], vec![], rows).unwrap());
+        let mut q = QueryBuilder::new(&c);
+        let t = q.scan("t", "t", &["k"]).unwrap();
+        let plan = lower(t.plan(), q.attrs().clone(), &c).unwrap();
+        let ctx = ExecContext::new(
+            Arc::new(plan),
+            crate::context::ExecOptions::default().with_faults(
+                crate::fault::FaultPlan::none().with_kind_fault("Scan", 1, FaultKind::Error),
+            ),
+        );
+        let mut guard = OpGuard::new(&ctx, OpId(0));
+        assert!(guard.on_batch().is_ok(), "one clean batch first");
+        let err = guard.on_batch().unwrap_err();
+        assert_eq!(err.exec_class(), Some(sip_common::ExecFailure::Error));
+        assert!(err.to_string().contains("op 0"));
     }
 
     #[test]

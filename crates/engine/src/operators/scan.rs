@@ -1,6 +1,6 @@
 //! Table scans with delay simulation, plus external-source forwarding.
 
-use super::{count_in, Emitter};
+use super::{count_in, Emitter, OpGuard};
 use crate::context::{ExecContext, Msg};
 use crate::delay::DelayState;
 use crate::physical::PhysKind;
@@ -44,6 +44,7 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
         .cloned()
         .map(DelayState::new);
     let mut emitter = Emitter::new(ctx, op, out).outside_compute();
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     let batch = ctx.options.batch_size;
     let mut digests = DigestBuffer::default();
@@ -55,6 +56,7 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
         if emitter.cancelled() {
             break;
         }
+        guard.on_batch()?;
         let n = batch.min(total - offset);
         let t0 = tr.begin();
         let mut chunk = source.slice(offset, n).select_columns(&cols);
@@ -89,8 +91,10 @@ pub(crate) fn run_scan(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -> Re
         offset += n;
         if let Some(d) = delay.as_mut() {
             let pause = d.advance(chunk.len() as u64);
-            if !pause.is_zero() {
-                std::thread::sleep(pause);
+            // A cancellable sleep: a slow simulated source must not hold
+            // a failed or deadline-blown query open for its full delay.
+            if !pause.is_zero() && !ctx.cancel.sleep_cancellable(pause) {
+                return ctx.check_cancel(op);
             }
         }
         // Emit at batch granularity so delays interleave with consumption.
@@ -113,6 +117,7 @@ pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -
         .remove(&op.0)
         .ok_or_else(|| exec_err!("no external input registered for {op}"))?;
     let mut emitter = Emitter::new(ctx, op, out).outside_compute();
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     loop {
         let t0 = tr.begin();
@@ -120,15 +125,20 @@ pub(crate) fn run_external(ctx: &Arc<ExecContext>, op: OpId, out: Sender<Msg>) -
         tr.end(Phase::ChannelRecv, t0);
         match msg {
             Ok(Msg::Batch(b)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, b.len());
                 emitter.push_rows(b.rows)?;
                 emitter.flush()?;
             }
             Ok(Msg::Cols(c)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, c.len());
                 emitter.push_cols(c)?;
             }
-            Ok(Msg::Eof) | Err(_) => break,
+            Ok(Msg::Eof) => break,
+            // The feeder died mid-stream (link failure past its retry
+            // budget, feeder panic): hard error, not end-of-data.
+            Err(_) => return Err(ctx.disconnect_err(op)),
         }
     }
     emitter.finish()?;

@@ -11,7 +11,7 @@
 //! membership checks compare key values positionally against the stored
 //! build keys, so the probe path never materializes a key vector.
 
-use super::{count_in, msg_rows, Emitter};
+use super::{count_in, msg_rows, Emitter, OpGuard};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::{CompletionEvent, ExecMonitor, StateView};
 use crate::physical::PhysKind;
@@ -123,6 +123,7 @@ pub(crate) fn run_semi_join(
     let mut collector_probe = ctx.take_collector(op, 0);
     let metrics = ctx.hub.op(op);
     let mut emitter = Emitter::new(ctx, op, out);
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     // Reused per-batch digest scratch, one per input (key column sets
     // differ).
@@ -144,8 +145,9 @@ pub(crate) fn run_semi_join(
         tr.end(Phase::ChannelRecv, t_recv);
         // Both the build set and the pending buffer are row-shaped;
         // columnar input converts to rows at this seam.
-        match (is_build, msg_rows(msg)) {
+        match (is_build, msg_rows(ctx, op, msg)?) {
             (true, Some(batch)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 1, batch.len());
                 build_rows_in += batch.len() as u64;
                 let t0 = tr.begin();
@@ -185,6 +187,7 @@ pub(crate) fn run_semi_join(
                 emitter.flush()?;
             }
             (false, Some(batch)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, batch.len());
                 let t0 = tr.begin();
                 probe_digests.compute(&batch.rows, &probe_keys);

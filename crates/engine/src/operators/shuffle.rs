@@ -19,7 +19,7 @@
 //! acyclic at any channel capacity, including the capacity-1 stress
 //! configuration the property tests run.
 
-use super::{count_in, Emitter};
+use super::{count_in, Emitter, OpGuard};
 use crate::context::{ExecContext, Msg};
 use crate::monitor::ExecMonitor;
 use crate::physical::{PhysKind, SaltRole, SaltSpec};
@@ -128,6 +128,7 @@ pub(crate) fn run_shuffle_write(
         .map(|tx| Emitter::passthrough(ctx, op, tx))
         .collect();
     let mut kernel = TapKernel::new();
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     let mut route: Vec<SelVec> = (0..dop as usize).map(|_| SelVec::default()).collect();
     let mut owners: Vec<u32> = Vec::new();
@@ -156,6 +157,7 @@ pub(crate) fn run_shuffle_write(
         // gathers and stay columnar on the mesh.
         match msg {
             Ok(Msg::Batch(batch)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, batch.len());
                 kernel.begin(batch.len());
                 let t0 = tr.begin();
@@ -192,6 +194,7 @@ pub(crate) fn run_shuffle_write(
                 tr.add(Phase::Compute, t_deal);
             }
             Ok(Msg::Cols(batch)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, batch.len());
                 kernel.begin(batch.len());
                 let t0 = tr.begin();
@@ -227,7 +230,8 @@ pub(crate) fn run_shuffle_write(
                 }
                 tr.add(Phase::Compute, t_deal);
             }
-            Ok(Msg::Eof) | Err(_) => break,
+            Ok(Msg::Eof) => break,
+            Err(_) => return Err(ctx.disconnect_err(op)),
         }
         if emitters.iter().all(|e| e.cancelled()) {
             // Every reader hung up (query failed/cancelled downstream):
@@ -282,6 +286,7 @@ pub(crate) fn run_shuffle_read(
         .take_shuffle_receivers(mesh, partition)
         .ok_or_else(|| exec_err!("mesh {mesh} partition {partition} has no receivers"))?;
     let mut emitter = Emitter::new(ctx, op, out).outside_compute();
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     // Same live-set select loop as Merge: re-register only when an input
     // reaches EOF, never per batch.
@@ -303,6 +308,7 @@ pub(crate) fn run_shuffle_read(
             tr.end(Phase::ChannelRecv, t_recv);
             match msg {
                 Ok(Msg::Batch(batch)) => {
+                    guard.on_batch()?;
                     count_in(ctx, op, 0, batch.len());
                     emitter.push_rows(batch.rows)?;
                     emitter.flush()?;
@@ -314,16 +320,21 @@ pub(crate) fn run_shuffle_read(
                     }
                 }
                 Ok(Msg::Cols(batch)) => {
+                    guard.on_batch()?;
                     count_in(ctx, op, 0, batch.len());
                     emitter.push_cols(batch)?;
                     if emitter.cancelled() {
                         break 'rebuild;
                     }
                 }
-                Ok(Msg::Eof) | Err(_) => {
+                Ok(Msg::Eof) => {
                     live.remove(slot);
                     continue 'rebuild;
                 }
+                // A writer died mid-stream without Eof: the union across
+                // this mesh partition is incomplete — hard error, not a
+                // quiet live-set shrink.
+                Err(_) => return Err(ctx.disconnect_err(op)),
             }
         }
     }

@@ -12,7 +12,7 @@
 //! convert the batch to rows and take the row path — same results, same
 //! error behavior.
 
-use super::{count_in, Emitter};
+use super::{count_in, Emitter, OpGuard};
 use crate::context::{ExecContext, Msg};
 use crate::physical::PhysKind;
 use crossbeam::channel::{Receiver, Sender};
@@ -33,6 +33,7 @@ pub(crate) fn run_filter(
         other => return Err(exec_err!("run_filter on {}", other.name())),
     };
     let mut emitter = Emitter::new(ctx, op, out).outside_compute();
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     let mut sel = SelVec::default();
     let mut mask: Vec<bool> = Vec::new();
@@ -53,6 +54,7 @@ pub(crate) fn run_filter(
         tr.end(Phase::ChannelRecv, t0);
         match msg {
             Ok(Msg::Batch(mut b)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, b.len());
                 let t0 = tr.begin();
                 filter_rows(&mut b, &mut sel)?;
@@ -61,6 +63,7 @@ pub(crate) fn run_filter(
                 emitter.flush()?;
             }
             Ok(Msg::Cols(c)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, c.len());
                 let t0 = tr.begin();
                 if eval_predicate_mask(&pred, &c, &mut mask) {
@@ -85,7 +88,8 @@ pub(crate) fn run_filter(
                     emitter.flush()?;
                 }
             }
-            Ok(Msg::Eof) | Err(_) => break,
+            Ok(Msg::Eof) => break,
+            Err(_) => return Err(ctx.disconnect_err(op)),
         }
         if emitter.cancelled() {
             break;
@@ -117,6 +121,7 @@ pub(crate) fn run_project(
         })
         .collect();
     let mut emitter = Emitter::new(ctx, op, out).outside_compute();
+    let mut guard = OpGuard::new(ctx, op);
     let mut tr = ctx.tracer(op);
     let project_rows = |rows: &[Row]| -> Result<Vec<Row>> {
         let mut out_rows = Vec::with_capacity(rows.len());
@@ -135,6 +140,7 @@ pub(crate) fn run_project(
         tr.end(Phase::ChannelRecv, t0);
         match msg {
             Ok(Msg::Batch(b)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, b.len());
                 let t0 = tr.begin();
                 let rows = project_rows(&b.rows)?;
@@ -143,6 +149,7 @@ pub(crate) fn run_project(
                 emitter.flush()?;
             }
             Ok(Msg::Cols(c)) => {
+                guard.on_batch()?;
                 count_in(ctx, op, 0, c.len());
                 match &selection {
                     Some(cols) => {
@@ -160,7 +167,8 @@ pub(crate) fn run_project(
                     }
                 }
             }
-            Ok(Msg::Eof) | Err(_) => break,
+            Ok(Msg::Eof) => break,
+            Err(_) => return Err(ctx.disconnect_err(op)),
         }
         if emitter.cancelled() {
             break;

@@ -115,6 +115,10 @@ pub struct QueryProfile {
     /// emitter time exceeded the Compute total). Should always be 0; a
     /// nonzero value flags under-reported compute in `phase_nanos`.
     pub attribution_underflow: u64,
+    /// Whether the query was cancelled (failure, deadline, or external
+    /// cancel) before completing. A cancelled profile is still coherent —
+    /// its counters snapshot the work done up to teardown.
+    pub cancelled: bool,
     /// Degree of parallelism (1 for serial runs).
     pub dop: u32,
     /// Whole-plan nanoseconds per phase.
@@ -202,6 +206,7 @@ impl QueryProfile {
             filters_injected: metrics.filters_injected,
             aip_dropped_total: metrics.aip_dropped_total,
             attribution_underflow: metrics.attribution_underflow,
+            cancelled: metrics.cancelled,
             dop: map.map_or(1, |pm| pm.dop),
             phase_totals: metrics.phase_totals(),
             ops,
@@ -242,6 +247,7 @@ impl QueryProfile {
             "  \"attribution_underflow\": {},",
             self.attribution_underflow
         );
+        let _ = writeln!(out, "  \"cancelled\": {},", self.cancelled);
         let _ = writeln!(out, "  \"dop\": {},", self.dop);
         let _ = writeln!(out, "  \"phase_names\": {},", json_phase_names());
         let _ = writeln!(

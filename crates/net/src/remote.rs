@@ -7,8 +7,8 @@ use sip_common::trace::{FilterEvent, FilterEventKind};
 use sip_common::{OpId, Result, SipError};
 use sip_core::{AipConfig, CostBased, FeedForward, QuerySpec, Strategy};
 use sip_engine::{
-    execute_ctx, ExecContext, ExecMonitor, ExecOptions, Msg, NoopMonitor, PhysKind, PhysPlan,
-    QueryOutput, TapKernel,
+    execute_ctx, ExecContext, ExecMonitor, ExecOptions, LinkFaultKind, Msg, NoopMonitor, PhysKind,
+    PhysPlan, QueryOutput, TapKernel,
 };
 use sip_optimizer::CostModel;
 use sip_plan::PredicateIndex;
@@ -22,14 +22,23 @@ pub struct RemoteConfig {
     pub remote_tables: Vec<String>,
     /// The master ↔ site link.
     pub link: LinkSpec,
+    /// How many reconnect attempts a feeder makes when the link drops
+    /// (an injected [`sip_engine::LinkFault`]) before giving up and
+    /// failing the query.
+    pub max_retries: u32,
+    /// Pause between reconnect attempts (the feeder also re-pays the
+    /// link's connection latency on each retry).
+    pub retry_backoff: std::time::Duration,
 }
 
 impl RemoteConfig {
-    /// One remote table over a link.
+    /// One remote table over a link, with a small default retry budget.
     pub fn new(table: impl Into<String>, link: LinkSpec) -> Self {
         RemoteConfig {
             remote_tables: vec![table.into()],
             link,
+            max_retries: 3,
+            retry_backoff: std::time::Duration::from_millis(5),
         }
     }
 }
@@ -47,12 +56,33 @@ pub struct NetStats {
     pub filter_bytes: AtomicU64,
     /// Filters shipped.
     pub filters_shipped: AtomicU64,
+    /// Link failures observed (injected drops and hangs).
+    pub link_failures: AtomicU64,
+    /// Reconnect attempts made after link drops.
+    pub retries: AtomicU64,
 }
 
 impl NetStats {
     /// Total bytes over the link in both directions.
     pub fn total_bytes(&self) -> u64 {
         self.row_bytes.load(Ordering::Relaxed) + self.filter_bytes.load(Ordering::Relaxed)
+    }
+
+    /// An owned copy of the current counter values. Unlike
+    /// `Arc::try_unwrap(..).unwrap_or_default()` — which silently zeroes
+    /// every counter whenever any clone of the handle is still alive —
+    /// this is correct regardless of who else holds the stats.
+    pub fn snapshot(&self) -> NetStats {
+        let copy = |a: &AtomicU64| AtomicU64::new(a.load(Ordering::Relaxed));
+        NetStats {
+            row_bytes: copy(&self.row_bytes),
+            rows_shipped: copy(&self.rows_shipped),
+            rows_pruned_remote: copy(&self.rows_pruned_remote),
+            filter_bytes: copy(&self.filter_bytes),
+            filters_shipped: copy(&self.filters_shipped),
+            link_failures: copy(&self.link_failures),
+            retries: copy(&self.retries),
+        }
     }
 }
 
@@ -102,9 +132,10 @@ pub fn run_distributed(
     for (feed, tx) in receivers {
         let ctx = Arc::clone(&ctx);
         let stats = Arc::clone(&stats);
+        let retry = (remote.max_retries, remote.retry_backoff);
         let link = remote.link;
         feeder_handles.push(std::thread::spawn(move || {
-            feed_remote_scan(&ctx, &stats, feed, link, tx);
+            feed_remote_scan(&ctx, &stats, feed, link, retry, tx);
         }));
     }
 
@@ -125,11 +156,24 @@ pub fn run_distributed(
             )
         }
     };
-    let output = execute_ctx(Arc::clone(&ctx), monitor)?;
+    // Join the feeders even when the query failed (on the failure path
+    // their channel receivers are gone, so sends fail and they return
+    // promptly) — no thread outlives the run.
+    let result = execute_ctx(Arc::clone(&ctx), monitor);
+    let mut feeder_panicked = false;
     for h in feeder_handles {
-        let _ = h.join();
+        if h.join().is_err() {
+            feeder_panicked = true;
+        }
     }
-    let net = Arc::try_unwrap(stats).unwrap_or_default();
+    let net = stats.snapshot();
+    let output = result?;
+    if feeder_panicked {
+        // The engine saw a clean stream (or the disconnect error above
+        // took the early return) — a panicked feeder must still fail the
+        // run rather than vanish into a discarded join result.
+        return Err(SipError::Net("remote feeder thread panicked".into()));
+    }
     Ok(DistributedRun { output, net })
 }
 
@@ -187,13 +231,25 @@ fn feed_remote_scan(
     stats: &NetStats,
     feed: RemoteFeed,
     link: LinkSpec,
+    (max_retries, retry_backoff): (u32, std::time::Duration),
     tx: crossbeam::channel::Sender<Msg>,
 ) {
     let tap = &ctx.taps[feed.op.index()];
     let mut known_filters = 0usize;
     let mut kernel = TapKernel::new();
-    // Connection setup latency.
-    std::thread::sleep(link.latency);
+    // Injected link fault, if any. `acked` counts batches the master has
+    // accepted (a bounded send that returned Ok *is* the ack); a dropped
+    // link re-feeds from the first unacked batch, which the feeder still
+    // holds — no replay buffer needed.
+    let fault = ctx.options.faults.link.clone();
+    let mut fault_remaining = fault.as_ref().map_or(0, |f| f.fail_times);
+    let mut retries_used = 0u32;
+    let mut acked = 0u64;
+    // Connection setup latency (cancellable: a feeder must not hold a
+    // failed or deadline-blown query open for its full simulated delay).
+    if !ctx.cancel.sleep_cancellable(link.latency) {
+        return;
+    }
     let batch_size = ctx.options.batch_size;
     let source = feed.table.columns();
     let total = source.len();
@@ -216,7 +272,12 @@ fn feed_remote_scan(
                     keys: f.set.n_keys(),
                     bytes,
                 });
-                std::thread::sleep(link.transfer_time(bytes) + link.latency);
+                if !ctx
+                    .cancel
+                    .sleep_cancellable(link.transfer_time(bytes) + link.latency)
+                {
+                    return;
+                }
             }
             known_filters = filters.len();
         }
@@ -237,14 +298,62 @@ fn feed_remote_scan(
         if batch.is_empty() {
             continue;
         }
-        let bytes = batch.size_bytes() as u64;
-        stats.row_bytes.fetch_add(bytes, Ordering::Relaxed);
-        stats
-            .rows_shipped
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        std::thread::sleep(link.transfer_time(bytes));
-        if tx.send(Msg::Cols(batch)).is_err() {
-            return; // master cancelled
+        // Deliver the batch, riding out injected link faults with bounded
+        // retry + backoff.
+        loop {
+            if ctx.cancel.is_cancelled() {
+                return;
+            }
+            if let Some(f) = &fault {
+                if acked >= f.after_batches && fault_remaining > 0 {
+                    fault_remaining -= 1;
+                    stats.link_failures.fetch_add(1, Ordering::Relaxed);
+                    match f.kind {
+                        LinkFaultKind::Drop => {
+                            if retries_used >= max_retries {
+                                // Out of budget: record the root cause and
+                                // hang up *without* Eof — the consumer's
+                                // disconnect error is the symptom; this
+                                // Net error is what the query reports.
+                                ctx.fail(SipError::Net(format!(
+                                    "remote link for {} dropped; gave up after {retries_used} \
+                                     reconnect attempts",
+                                    feed.table.name()
+                                )));
+                                return;
+                            }
+                            retries_used += 1;
+                            stats.retries.fetch_add(1, Ordering::Relaxed);
+                            // Backoff, then re-pay the connection latency
+                            // and re-send from the first unacked batch.
+                            if !ctx.cancel.sleep_cancellable(retry_backoff)
+                                || !ctx.cancel.sleep_cancellable(link.latency)
+                            {
+                                return;
+                            }
+                            continue;
+                        }
+                        LinkFaultKind::Hang(d) => {
+                            if !ctx.cancel.sleep_cancellable(d) {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            let bytes = batch.size_bytes() as u64;
+            if !ctx.cancel.sleep_cancellable(link.transfer_time(bytes)) {
+                return;
+            }
+            stats.row_bytes.fetch_add(bytes, Ordering::Relaxed);
+            stats
+                .rows_shipped
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            if tx.send(Msg::Cols(batch)).is_err() {
+                return; // master hung up (query failed or cancelled)
+            }
+            acked += 1;
+            break;
         }
     }
     let _ = tx.send(Msg::Eof);
@@ -352,5 +461,117 @@ mod tests {
             &RemoteConfig::new("part_does_not_appear", fast_link()),
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn dropped_link_retries_within_budget_and_recovers() {
+        use sip_engine::{FaultPlan, LinkFault};
+        let c = catalog();
+        let spec = build_query("Q3A", &c).unwrap();
+        let local = run_query(
+            &spec,
+            &c,
+            Strategy::Baseline,
+            ExecOptions::default(),
+            &AipConfig::paper(),
+        )
+        .unwrap();
+        // Two drops after the first acked batch, against the default
+        // budget of three reconnects: the feeder re-sends the unacked
+        // batch and the query completes exactly.
+        let opts =
+            ExecOptions::default().with_faults(FaultPlan::none().with_link_fault(LinkFault {
+                after_batches: 1,
+                kind: LinkFaultKind::Drop,
+                fail_times: 2,
+            }));
+        let run = run_distributed(
+            &spec,
+            &c,
+            Strategy::Baseline,
+            opts,
+            &AipConfig::paper(),
+            &RemoteConfig::new("partsupp", fast_link()),
+        )
+        .unwrap();
+        assert_eq!(
+            canonical(&run.output.rows),
+            canonical(&local.rows),
+            "retried run diverged from local"
+        );
+        // Every feeder of the plan fires its own copy of the fault: two
+        // drops each, and every drop is ridden out by exactly one
+        // reconnect.
+        let failures = run.net.link_failures.load(Ordering::Relaxed);
+        let retries = run.net.retries.load(Ordering::Relaxed);
+        assert!(failures >= 2, "fault never fired (failures {failures})");
+        assert_eq!(retries, failures, "each drop must cost one reconnect");
+        // Re-sends must not double-count shipped rows: the ack counter
+        // only advances on successful delivery.
+        assert!(run.net.rows_shipped.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn permanently_dead_link_fails_with_net_error_after_retries() {
+        use sip_engine::{FaultPlan, LinkFault};
+        let c = catalog();
+        let spec = build_query("Q3A", &c).unwrap();
+        let opts =
+            ExecOptions::default().with_faults(FaultPlan::none().with_link_fault(LinkFault {
+                after_batches: 0,
+                kind: LinkFaultKind::Drop,
+                fail_times: u32::MAX,
+            }));
+        let err = run_distributed(
+            &spec,
+            &c,
+            Strategy::Baseline,
+            opts,
+            &AipConfig::paper(),
+            &RemoteConfig::new("partsupp", fast_link()),
+        )
+        .unwrap_err();
+        // The root-cause Net error must win over the downstream
+        // disconnect symptom.
+        assert_eq!(err.layer(), "net", "wrong layer for {err}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("gave up") && msg.contains("partsupp"),
+            "error must name the dead link and the exhausted budget: {msg}"
+        );
+    }
+
+    #[test]
+    fn hanging_link_recovers_without_retries() {
+        use sip_engine::{FaultPlan, LinkFault};
+        let c = catalog();
+        let spec = build_query("Q3A", &c).unwrap();
+        let local = run_query(
+            &spec,
+            &c,
+            Strategy::Baseline,
+            ExecOptions::default(),
+            &AipConfig::paper(),
+        )
+        .unwrap();
+        let opts =
+            ExecOptions::default().with_faults(FaultPlan::none().with_link_fault(LinkFault {
+                after_batches: 1,
+                kind: LinkFaultKind::Hang(std::time::Duration::from_millis(2)),
+                fail_times: 2,
+            }));
+        let run = run_distributed(
+            &spec,
+            &c,
+            Strategy::Baseline,
+            opts,
+            &AipConfig::paper(),
+            &RemoteConfig::new("partsupp", fast_link()),
+        )
+        .unwrap();
+        assert_eq!(canonical(&run.output.rows), canonical(&local.rows));
+        // A hang delays delivery but never re-connects.
+        assert!(run.net.link_failures.load(Ordering::Relaxed) >= 2);
+        assert_eq!(run.net.retries.load(Ordering::Relaxed), 0);
     }
 }

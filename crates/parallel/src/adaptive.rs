@@ -181,6 +181,8 @@ impl AdaptiveExec {
             merge_fanin: options.merge_fanin,
             external_inputs: Default::default(),
             trace_level: options.trace_level,
+            deadline: options.deadline,
+            faults: options.faults.clone(),
         };
         let exec1 = PartitionedExec::with_config(self.dop, self.config.partition.clone());
         let t0 = std::time::Instant::now();
