@@ -90,14 +90,19 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --timeout-ms: {e}"))?,
                 )
             }
+            "--retries" => {
+                config.retries = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --retries: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--figure all|table1|fig1|fig2|fig5|fig6|fig9|fig10|fig13|\
-overhead|scaling|skew|adaptive|kernels|admit|columnar|ablation-sets|ablation-fpr|\
+overhead|scaling|skew|adaptive|kernels|admit|columnar|recovery|ablation-sets|ablation-fpr|\
 ablation-minmax] \
 [--sf F] \
 [--repeats N] [--seed S] [--batch-size N] [--channel-capacity N] [--dop N] \
-[--merge-fanin N] [--timeout-ms N] [--json DIR]\n\n\
+[--merge-fanin N] [--timeout-ms N] [--retries N] [--json DIR]\n\n\
   --batch-size N        rows per engine batch (default 1024); also the\n\
                         batch the `kernels`/`admit` micro-figures sweep\n\
   --channel-capacity N  bounded-channel backpressure window, in batches\n\
@@ -110,6 +115,9 @@ ablation-minmax] \
   --timeout-ms N        per-query deadline in milliseconds; a run past it\n\
                         fails with `deadline exceeded` plus per-phase\n\
                         time shares (default: no deadline; 0 is rejected)\n\
+  --retries N           retry budget (total attempts) for the recovery\n\
+                        layer: fragment replay, whole-run retry, stage\n\
+                        checkpoints (default 0 = fail-fast, no recovery)\n\
   --json DIR            also write BENCH_<figure>.json per measured\n\
                         figure into DIR (created if missing)\n\
   --profile DIR         run the span-traced query profiles (Q4A at dop\n\
@@ -276,6 +284,9 @@ fn main() -> ExitCode {
     });
     run_figures(&sel, "columnar", json, cfg, &mut failed, || {
         harness.columnar().map(|r| vec![r])
+    });
+    run_figures(&sel, "recovery", json, cfg, &mut failed, || {
+        harness.recovery().map(|r| vec![r])
     });
     run_figures(&sel, "ablation-sets", json, cfg, &mut failed, || {
         harness.ablation_sets().map(|r| vec![r])

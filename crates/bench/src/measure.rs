@@ -30,6 +30,11 @@ pub struct ExperimentConfig {
     /// deadline. A run past the deadline fails with `deadline exceeded`
     /// plus its per-phase time shares.
     pub timeout_ms: Option<u64>,
+    /// Retry budget (`--retries`): total attempts per failure site for
+    /// the recovery layer — fragment replay, whole-run retry, and stage
+    /// checkpoints all draw from this policy. 0 disables recovery
+    /// (fail-fast, the pre-recovery behavior).
+    pub retries: u32,
 }
 
 impl Default for ExperimentConfig {
@@ -43,6 +48,7 @@ impl Default for ExperimentConfig {
             dop: 4,
             merge_fanin: 0,
             timeout_ms: None,
+            retries: 0,
         }
     }
 }
@@ -56,6 +62,9 @@ impl ExperimentConfig {
         opts.merge_fanin = self.merge_fanin;
         if let Some(ms) = self.timeout_ms {
             opts = opts.with_deadline(std::time::Duration::from_millis(ms));
+        }
+        if self.retries > 0 {
+            opts = opts.with_retry(sip_common::retry::RetryPolicy::with_attempts(self.retries));
         }
         opts.validate()?;
         Ok(opts)

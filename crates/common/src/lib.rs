@@ -20,6 +20,7 @@ pub mod hash;
 pub mod ids;
 pub mod json;
 pub mod kernel;
+pub mod retry;
 pub mod row;
 pub mod schema;
 pub mod sketch;
@@ -33,6 +34,7 @@ pub use error::{ExecFailure, Result, SipError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{AttrId, OpId, SiteId, TableId};
 pub use kernel::{DigestBuffer, DigestCache, SelVec};
+pub use retry::{RetryPolicy, RetryState};
 pub use row::{Batch, Row};
 pub use schema::{DataType, Field, Schema};
 pub use sketch::{SketchEntry, SpaceSaving};

@@ -366,6 +366,12 @@ fn publish_and_inject_partitioned(
 impl ExecMonitor for FeedForward {
     fn on_query_start(&self, ctx: &Arc<ExecContext>) {
         let plan = &ctx.plan;
+        // Per-partition working sets are keyed by operator index, which is
+        // per-plan; residue from an earlier run of this controller (a failed
+        // attempt the recovery layer is retrying, or another stage of an
+        // adaptive query) would let a stale partial set complete this run's
+        // OR-merge early and inject a filter missing whole partitions.
+        self.shared.partial_sets.lock().clear();
         let cands = Arc::new(Candidates::compute(plan, &self.shared.eq));
         // Static estimates size the Bloom filters; feed-forward collects no
         // runtime statistics (§IV-A).

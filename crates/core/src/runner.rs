@@ -6,8 +6,8 @@ use crate::feedforward::FeedForward;
 use sip_common::Result;
 use sip_data::Catalog;
 use sip_engine::{
-    execute, execute_baseline, lower, ExecMonitor, ExecOptions, NoopMonitor, PartitionMap,
-    PhysPlan, QueryOutput,
+    execute_with_recovery, lower, ExecMonitor, ExecOptions, NoopMonitor, PartitionMap, PhysPlan,
+    QueryOutput,
 };
 use sip_optimizer::{magic_rewrite, CostModel};
 use sip_parallel::PartitionedExec;
@@ -92,19 +92,20 @@ pub fn run_query(
     aip: &AipConfig,
 ) -> Result<QueryOutput> {
     let phys = Arc::new(spec.lower(catalog, strategy)?);
-    match strategy {
-        Strategy::Baseline | Strategy::Magic => execute_baseline(phys, options),
+    let monitor: Arc<dyn ExecMonitor> = match strategy {
+        Strategy::Baseline | Strategy::Magic => Arc::new(NoopMonitor),
         Strategy::FeedForward => {
             let eq = PredicateIndex::build(&spec.plan).eq;
-            let ff = FeedForward::new(eq, aip.clone());
-            execute(phys, ff, options)
+            FeedForward::new(eq, aip.clone())
         }
         Strategy::CostBased => {
             let eq = PredicateIndex::build(&spec.plan).eq;
-            let cb = CostBased::new(eq, aip.clone(), CostModel::default());
-            execute(phys, cb, options)
+            CostBased::new(eq, aip.clone(), CostModel::default())
         }
-    }
+    };
+    // Serial runs share the recovery path: with no retry policy in the
+    // options this is exactly the old fail-fast `execute`.
+    execute_with_recovery(phys, monitor, options)
 }
 
 /// Execute a query under a strategy with `dop`-way hash-partition

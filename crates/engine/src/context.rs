@@ -10,6 +10,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sip_common::cancel::CancelToken;
 use sip_common::error::ExecFailure;
+use sip_common::retry::RetryPolicy;
 use sip_common::trace::{OpTracer, TraceLevel};
 use sip_common::{AttrId, Batch, FxHashMap, FxHashSet, OpId, SipError};
 use std::sync::atomic::Ordering;
@@ -181,6 +182,12 @@ pub struct ExecOptions {
     /// Injected faults for chaos testing ([`FaultPlan::none`] by
     /// default — the per-batch check is two branches when empty).
     pub faults: FaultPlan,
+    /// Recovery policy. `None` (the default) keeps PR 9's fail-fast
+    /// behavior: the first failure kills the query. `Some(policy)`
+    /// enables the recovery layer — fragment replay below shuffle
+    /// seams, run-level retry, stage-checkpoint recovery, and (when the
+    /// policy carries a `speculation_quantum`) straggler speculation.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for ExecOptions {
@@ -195,6 +202,7 @@ impl Default for ExecOptions {
             trace_level: TraceLevel::default(),
             deadline: None,
             faults: FaultPlan::none(),
+            retry: None,
         }
     }
 }
@@ -244,6 +252,9 @@ impl ExecOptions {
             }
         }
         self.faults.validate()?;
+        if let Some(policy) = &self.retry {
+            policy.validate()?;
+        }
         for (binding, model) in &self.delays {
             model.validate().map_err(|e| {
                 sip_common::SipError::Config(format!("delay model for {binding:?}: {e}"))
@@ -274,6 +285,34 @@ impl ExecOptions {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Enable the recovery layer under `policy`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// A fresh copy of these options for a retry attempt. Everything is
+    /// cloned — including the fault plan, whose fire ledger is *shared*
+    /// (an Arc), so bounded chaos faults stay exhausted across attempts
+    /// — except `external_inputs`: those channels were taken by the
+    /// failed run's threads and cannot be replayed, so recovery scopes
+    /// must not be offered contexts that had any (see
+    /// [`crate::exec::execute_with_recovery`]).
+    pub fn fresh_clone(&self) -> ExecOptions {
+        ExecOptions {
+            batch_size: self.batch_size,
+            channel_capacity: self.channel_capacity,
+            delays: self.delays.clone(),
+            collect_rows: self.collect_rows,
+            merge_fanin: self.merge_fanin,
+            external_inputs: Mutex::new(FxHashMap::default()),
+            trace_level: self.trace_level,
+            deadline: self.deadline,
+            faults: self.faults.clone(),
+            retry: self.retry.clone(),
+        }
     }
 
     /// Look up the delay for a scan.
@@ -389,6 +428,36 @@ impl ExecContext {
         })
     }
 
+    /// Build an isolated *fragment view* of this context for one
+    /// recovery attempt: same plan and partition structure, but a fresh
+    /// metrics hub, cancel token, error slots, and collectors, the
+    /// caller's taps (frozen per-attempt filter copies), and no shuffle
+    /// meshes — fragment members are stateless chain operators whose
+    /// output the recovery supervisor forwards across the mesh seam
+    /// itself. The view's options are a [`ExecOptions::fresh_clone`]
+    /// with the deadline cleared: the *global* token enforces the run
+    /// deadline (its expiry tears the seam down), and a per-view
+    /// deadline would restart the clock on every attempt.
+    pub(crate) fn fragment_view(self: &Arc<Self>, taps: Vec<FilterTap>) -> Arc<ExecContext> {
+        let n = self.plan.nodes.len();
+        debug_assert_eq!(taps.len(), n);
+        let mut options = self.options.fresh_clone();
+        options.deadline = None;
+        Arc::new(ExecContext {
+            hub: MetricsHub::with_trace(n, options.trace_level),
+            taps,
+            plan: Arc::clone(&self.plan),
+            options,
+            partitions: self.partitions.clone(),
+            cancel: CancelToken::new(),
+            errors: Mutex::new(ErrorSlots::default()),
+            collectors: Mutex::new(FxHashMap::default()),
+            shuffle_tx: Mutex::new(FxHashMap::default()),
+            shuffle_rx: Mutex::new(FxHashMap::default()),
+            mesh_writers_left: FxHashMap::default(),
+        })
+    }
+
     /// Attribute `message` to `op`: attach the operator's kind name and
     /// (when partition-parallel) its partition.
     pub fn attributed(&self, op: OpId, message: impl Into<String>, class: ExecFailure) -> SipError {
@@ -457,7 +526,7 @@ impl ExecContext {
             return FaultState::default();
         }
         let kind_name = self.plan.node(op).kind.name();
-        FaultState::new(self.options.faults.spec_for(op.0, kind_name))
+        self.options.faults.arm(op.0, kind_name)
     }
 
     /// Materialize every shuffle mesh in the plan as a `writers × dop`

@@ -32,7 +32,7 @@ use crate::operators;
 use crate::physical::{PhysKind, PhysPlan};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sip_common::error::ExecFailure;
-use sip_common::{Result, Row, SipError};
+use sip_common::{OpId, Result, Row, SipError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
@@ -97,6 +97,90 @@ fn with_deadline_detail(e: SipError, metrics: &ExecMetrics) -> SipError {
     }
 }
 
+/// Spawn one operator thread against `ctx` — the global run context, or
+/// a recovery fragment view (the recovery layer replays *the same
+/// operator implementations* it supervises, so a replayed fragment is
+/// byte-identical to a clean run by construction).
+///
+/// Contains panics: an uncontained panic closes this thread's channels,
+/// which the consumer would otherwise have no way to distinguish from a
+/// clean EOF. The channel endpoints are owned by the closure, so they
+/// drop during the unwind either way — what `catch_unwind` buys is the
+/// attributed error recorded *before* anyone can misread the hangup.
+pub(crate) fn spawn_operator(
+    ctx: &Arc<ExecContext>,
+    monitor: &Arc<dyn ExecMonitor>,
+    op: OpId,
+    mut ins: Vec<Receiver<Msg>>,
+    out: Sender<Msg>,
+) -> std::thread::JoinHandle<()> {
+    let ctx = Arc::clone(ctx);
+    let monitor = Arc::clone(monitor);
+    let kind_name = ctx.plan.node(op).kind.name();
+    std::thread::Builder::new()
+        .name(format!("sip-{op}-{kind_name}"))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| match &ctx.plan.node(op).kind {
+                PhysKind::Scan { .. } => operators::scan::run_scan(&ctx, op, out),
+                PhysKind::ExternalSource { .. } => operators::scan::run_external(&ctx, op, out),
+                PhysKind::Filter { .. } => {
+                    operators::stateless::run_filter(&ctx, op, ins.remove(0), out)
+                }
+                PhysKind::Project { .. } => {
+                    operators::stateless::run_project(&ctx, op, ins.remove(0), out)
+                }
+                PhysKind::HashJoin { .. } => {
+                    let right = ins.remove(1);
+                    let left = ins.remove(0);
+                    operators::hash_join::run_hash_join(&ctx, &monitor, op, left, right, out)
+                }
+                PhysKind::Aggregate { .. } => {
+                    operators::aggregate::run_aggregate(&ctx, &monitor, op, ins.remove(0), out)
+                }
+                PhysKind::Distinct => {
+                    operators::aggregate::run_distinct(&ctx, &monitor, op, ins.remove(0), out)
+                }
+                PhysKind::SemiJoin { .. } => {
+                    let build = ins.remove(1);
+                    let probe = ins.remove(0);
+                    operators::semi_join::run_semi_join(&ctx, &monitor, op, probe, build, out)
+                }
+                PhysKind::Exchange { .. } => {
+                    operators::exchange::run_exchange(&ctx, op, ins.remove(0), out)
+                }
+                PhysKind::Merge => operators::exchange::run_merge(&ctx, op, ins, out),
+                PhysKind::ShuffleWrite { .. } => {
+                    operators::shuffle::run_shuffle_write(&ctx, &monitor, op, ins.remove(0), out)
+                }
+                PhysKind::ShuffleRead { .. } => {
+                    operators::shuffle::run_shuffle_read(&ctx, op, ins, out)
+                }
+            }));
+            match result {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    // Attribute bare exec errors to this operator;
+                    // other layers (expr, net, ...) and already-
+                    // attributed errors pass through unchanged.
+                    let e = match e {
+                        SipError::Exec(m) => ctx.attributed(op, m, ExecFailure::Error),
+                        other => other,
+                    };
+                    ctx.fail(e);
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    ctx.fail(ctx.attributed(
+                        op,
+                        format!("operator thread panicked: {msg}"),
+                        ExecFailure::Panic,
+                    ));
+                }
+            }
+        })
+        .expect("spawn operator thread")
+}
+
 /// Execute with a caller-constructed context — used by the distributed
 /// harness, whose simulated remote sites need shared access to the taps
 /// (so shipped filters can be applied *before* transmission).
@@ -120,92 +204,48 @@ pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Resu
         .take()
         .expect("root receiver present");
 
+    // Recovery: below every shuffle-mesh writer, the stateless source
+    // chain (`Scan → Filter/Project*`) is a replayable *fragment*. With a
+    // retry policy installed those operators do not spawn here — each
+    // fragment gets a supervisor thread that re-executes the chain in
+    // isolated views until it delivers, committing batches exactly once
+    // at the writer-input seam.
+    let fragments = if ctx.options.retry.is_some() {
+        crate::recovery::fragments(&plan)
+    } else {
+        Vec::new()
+    };
+    let mut fragment_member = vec![false; plan.nodes.len()];
+    for frag in &fragments {
+        for op in &frag.ops {
+            fragment_member[op.index()] = true;
+        }
+    }
+
     let mut handles = Vec::with_capacity(plan.nodes.len());
     for node in &plan.nodes {
         let op = node.id;
+        if fragment_member[op.index()] {
+            continue;
+        }
         let out = senders[op.index()].take().expect("sender unused");
-        let mut ins: Vec<Receiver<Msg>> = node
+        let ins: Vec<Receiver<Msg>> = node
             .inputs
             .iter()
             .map(|c| receivers[c.index()].take().expect("input receiver unused"))
             .collect();
-        let ctx = Arc::clone(&ctx);
-        let monitor = Arc::clone(&monitor);
-        let kind_name = node.kind.name();
-        let handle = std::thread::Builder::new()
-            .name(format!("sip-{op}-{kind_name}"))
-            .spawn(move || {
-                // Contain panics: an uncontained panic closes this
-                // thread's channels, which the consumer would otherwise
-                // have no way to distinguish from a clean EOF. The
-                // channel endpoints are owned by this closure, so they
-                // drop during the unwind either way — what `catch_unwind`
-                // buys is the attributed error recorded *before* anyone
-                // can misread the hangup.
-                let result = catch_unwind(AssertUnwindSafe(|| match &ctx.plan.node(op).kind {
-                    PhysKind::Scan { .. } => operators::scan::run_scan(&ctx, op, out),
-                    PhysKind::ExternalSource { .. } => operators::scan::run_external(&ctx, op, out),
-                    PhysKind::Filter { .. } => {
-                        operators::stateless::run_filter(&ctx, op, ins.remove(0), out)
-                    }
-                    PhysKind::Project { .. } => {
-                        operators::stateless::run_project(&ctx, op, ins.remove(0), out)
-                    }
-                    PhysKind::HashJoin { .. } => {
-                        let right = ins.remove(1);
-                        let left = ins.remove(0);
-                        operators::hash_join::run_hash_join(&ctx, &monitor, op, left, right, out)
-                    }
-                    PhysKind::Aggregate { .. } => {
-                        operators::aggregate::run_aggregate(&ctx, &monitor, op, ins.remove(0), out)
-                    }
-                    PhysKind::Distinct => {
-                        operators::aggregate::run_distinct(&ctx, &monitor, op, ins.remove(0), out)
-                    }
-                    PhysKind::SemiJoin { .. } => {
-                        let build = ins.remove(1);
-                        let probe = ins.remove(0);
-                        operators::semi_join::run_semi_join(&ctx, &monitor, op, probe, build, out)
-                    }
-                    PhysKind::Exchange { .. } => {
-                        operators::exchange::run_exchange(&ctx, op, ins.remove(0), out)
-                    }
-                    PhysKind::Merge => operators::exchange::run_merge(&ctx, op, ins, out),
-                    PhysKind::ShuffleWrite { .. } => operators::shuffle::run_shuffle_write(
-                        &ctx,
-                        &monitor,
-                        op,
-                        ins.remove(0),
-                        out,
-                    ),
-                    PhysKind::ShuffleRead { .. } => {
-                        operators::shuffle::run_shuffle_read(&ctx, op, ins, out)
-                    }
-                }));
-                match result {
-                    Ok(Ok(())) => {}
-                    Ok(Err(e)) => {
-                        // Attribute bare exec errors to this operator;
-                        // other layers (expr, net, ...) and already-
-                        // attributed errors pass through unchanged.
-                        let e = match e {
-                            SipError::Exec(m) => ctx.attributed(op, m, ExecFailure::Error),
-                            other => other,
-                        };
-                        ctx.fail(e);
-                    }
-                    Err(payload) => {
-                        let msg = panic_message(payload);
-                        ctx.fail(ctx.attributed(
-                            op,
-                            format!("operator thread panicked: {msg}"),
-                            ExecFailure::Panic,
-                        ));
-                    }
-                }
-            })
-            .expect("spawn operator thread");
-        handles.push(handle);
+        handles.push(spawn_operator(&ctx, &monitor, op, ins, out));
+    }
+    for frag in fragments {
+        let seam = senders[frag.top.index()]
+            .take()
+            .expect("fragment seam sender unused");
+        handles.push(crate::recovery::spawn_fragment_supervisor(
+            Arc::clone(&ctx),
+            Arc::clone(&monitor),
+            frag,
+            seam,
+        ));
     }
     drop(senders);
     drop(receivers);
@@ -281,4 +321,18 @@ pub fn execute_ctx(ctx: Arc<ExecContext>, monitor: Arc<dyn ExecMonitor>) -> Resu
 /// Convenience: execute with no monitor (pure baseline).
 pub fn execute_baseline(plan: Arc<PhysPlan>, options: ExecOptions) -> Result<QueryOutput> {
     execute(plan, Arc::new(crate::monitor::NoopMonitor), options)
+}
+
+/// [`execute`] under the options' retry policy: failures the policy
+/// covers (and fragment replay inside the run did not already heal) are
+/// retried whole-run from the deterministic sources, up to the budget.
+/// With no policy installed this is exactly [`execute`].
+pub fn execute_with_recovery(
+    plan: Arc<PhysPlan>,
+    monitor: Arc<dyn ExecMonitor>,
+    options: ExecOptions,
+) -> Result<QueryOutput> {
+    crate::recovery::run_with_recovery(options, |opts| {
+        execute(Arc::clone(&plan), Arc::clone(&monitor), opts)
+    })
 }

@@ -19,6 +19,7 @@ pub(crate) mod operators;
 pub mod oracle;
 pub mod physical;
 pub mod profile;
+pub mod recovery;
 pub mod report;
 pub mod taps;
 #[doc(hidden)]
@@ -26,7 +27,7 @@ pub mod testkit;
 
 pub use context::{ExecContext, ExecOptions, Msg, PartitionMap};
 pub use delay::DelayModel;
-pub use exec::{execute, execute_baseline, execute_ctx, QueryOutput};
+pub use exec::{execute, execute_baseline, execute_ctx, execute_with_recovery, QueryOutput};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, LinkFault, LinkFaultKind};
 pub use metrics::{
     ExecMetrics, FilterStat, MetricsHub, OpMetrics, OpMetricsSnapshot, PartitionSnapshot,
@@ -39,6 +40,7 @@ pub use physical::{
     lower, BoundAgg, PhysKind, PhysNode, PhysPlan, SaltRole, SaltSpec, ScanPartition,
 };
 pub use profile::{QueryProfile, PROFILE_SCHEMA};
+pub use recovery::run_with_recovery;
 pub use report::{explain_analyze, explain_analyze_profiled};
 pub use sip_common::trace::TraceLevel;
 pub use sip_filter::SaltedKeys;

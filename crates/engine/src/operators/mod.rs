@@ -26,6 +26,7 @@ use sip_common::trace::{OpTracer, Phase};
 use sip_common::{Batch, ColumnarBatch, OpId, Result, Row, Value};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Buffers output rows, applies this operator's filter tap once per batch
 /// (as a batch kernel over shared digest buffers), updates metrics, and
@@ -386,6 +387,21 @@ impl<'a> OpGuard<'a> {
                 // operator's exit.
                 self.ctx.cancel.sleep_cancellable(d);
                 Ok(())
+            }
+            FaultKind::Hang => {
+                // A wedged operator: sleep until this run's token trips
+                // (failure elsewhere, deadline, or a recovery supervisor
+                // cancelling a superseded attempt), then exit as
+                // cancelled. Only speculation, deadlines, or cancel get
+                // a query past this fault.
+                self.ctx
+                    .cancel
+                    .sleep_cancellable(Duration::from_secs(86_400));
+                Err(self.ctx.attributed(
+                    self.op,
+                    "injected fault: operator hung until cancelled",
+                    ExecFailure::Cancelled,
+                ))
             }
         }
     }

@@ -42,6 +42,11 @@ pub struct OpProfile {
     pub aip_dropped: u64,
     /// Peak buffered bytes.
     pub state_peak: u64,
+    /// Fragment retry rounds this operator was re-executed in.
+    pub retries: u64,
+    /// Speculative duplicate attempts launched for this operator's
+    /// fragment (straggler speculation).
+    pub speculated: u64,
     /// Nanoseconds attributed per [`Phase`] (zero with tracing off).
     pub phase_nanos: [u64; N_PHASES],
     /// Spans recorded per [`Phase`].
@@ -119,6 +124,11 @@ pub struct QueryProfile {
     /// cancel) before completing. A cancelled profile is still coherent —
     /// its counters snapshot the work done up to teardown.
     pub cancelled: bool,
+    /// Whether any recovery (fragment replay, whole-run retry, or
+    /// straggler speculation) healed a failure on the way to this result.
+    pub recovered: bool,
+    /// Run-level attempts the result took (1 = first try succeeded).
+    pub attempts: u32,
     /// Degree of parallelism (1 for serial runs).
     pub dop: u32,
     /// Whole-plan nanoseconds per phase.
@@ -184,6 +194,8 @@ impl QueryProfile {
                 aip_probed: m.aip_probed,
                 aip_dropped: m.aip_dropped,
                 state_peak: m.state_peak,
+                retries: m.retries,
+                speculated: m.speculated,
                 phase_nanos: m.phase_nanos,
                 phase_counts: m.phase_counts,
                 routed: m.routed.clone(),
@@ -207,6 +219,8 @@ impl QueryProfile {
             aip_dropped_total: metrics.aip_dropped_total,
             attribution_underflow: metrics.attribution_underflow,
             cancelled: metrics.cancelled,
+            recovered: metrics.recovered,
+            attempts: metrics.attempts,
             dop: map.map_or(1, |pm| pm.dop),
             phase_totals: metrics.phase_totals(),
             ops,
@@ -248,6 +262,8 @@ impl QueryProfile {
             self.attribution_underflow
         );
         let _ = writeln!(out, "  \"cancelled\": {},", self.cancelled);
+        let _ = writeln!(out, "  \"recovered\": {},", self.recovered);
+        let _ = writeln!(out, "  \"attempts\": {},", self.attempts);
         let _ = writeln!(out, "  \"dop\": {},", self.dop);
         let _ = writeln!(out, "  \"phase_names\": {},", json_phase_names());
         let _ = writeln!(
@@ -261,8 +277,9 @@ impl QueryProfile {
                 out,
                 "    {{\"op\": {}, \"kind\": {}, \"partition\": {}, \"rows_in\": {}, \
 \"batches_in\": {}, \"rows_out\": {}, \"aip_probed\": {}, \"aip_dropped\": {}, \
-\"state_peak\": {}, \"phase_nanos\": {}, \"phase_counts\": {}, \"busy_nanos\": {}, \
-\"routed\": {}, \"hot_keys_observed\": {}, \"occupancy_mean\": {}}}",
+\"state_peak\": {}, \"retries\": {}, \"speculated\": {}, \"phase_nanos\": {}, \
+\"phase_counts\": {}, \"busy_nanos\": {}, \"routed\": {}, \"hot_keys_observed\": {}, \
+\"occupancy_mean\": {}}}",
                 o.op,
                 json_str(&o.kind),
                 json_opt_u32(o.partition),
@@ -272,6 +289,8 @@ impl QueryProfile {
                 o.aip_probed,
                 o.aip_dropped,
                 o.state_peak,
+                o.retries,
+                o.speculated,
                 json_u64s(&o.phase_nanos),
                 json_u64s(&o.phase_counts),
                 o.busy_nanos(),

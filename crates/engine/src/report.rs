@@ -42,6 +42,13 @@ pub fn explain_analyze_profiled(
         profile.filters_injected,
         profile.aip_dropped_total,
     );
+    if profile.recovered {
+        let _ = writeln!(
+            out,
+            "recovery: result healed by retry/speculation (run attempts {})",
+            profile.attempts,
+        );
+    }
     let busy_total: u64 = profile.phase_totals.iter().sum();
     if busy_total > 0 {
         let _ = writeln!(
@@ -111,9 +118,17 @@ fn fmt_node(plan: &PhysPlan, profile: &QueryProfile, op: OpId, depth: usize, out
         Some(q) => format!(" | out-queue avg {q:.1}"),
         None => String::new(),
     };
+    let recovery = if o.retries > 0 || o.speculated > 0 {
+        format!(
+            " | recovery retries={} speculated={}",
+            o.retries, o.speculated
+        )
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "{pad}{} {}{}: {}out={}{}{}{}{}{}",
+        "{pad}{} {}{}: {}out={}{}{}{}{}{}{}",
         node.id,
         part,
         node.kind.name(),
@@ -124,6 +139,7 @@ fn fmt_node(plan: &PhysPlan, profile: &QueryProfile, op: OpId, depth: usize, out
         phases,
         routing,
         occupancy,
+        recovery,
     );
     for &c in &node.inputs {
         fmt_node(plan, profile, c, depth + 1, out);

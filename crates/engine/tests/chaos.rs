@@ -11,12 +11,14 @@
 //! with the failing operator's identity attached.
 
 use crossbeam::channel::bounded;
+use sip_common::retry::{is_exhausted, RetryPolicy};
 use sip_common::{ExecFailure, Row, Value};
 use sip_data::{Catalog, Table};
 use sip_engine::testkit::TraceProbe;
 use sip_engine::{
-    canonical, execute, execute_baseline, execute_oracle, lower, ExecContext, ExecMonitor,
-    ExecOptions, FaultKind, FaultPlan, Msg, QueryOutput, QueryProfile, TraceLevel,
+    canonical, execute, execute_baseline, execute_oracle, execute_with_recovery, lower,
+    ExecContext, ExecMonitor, ExecOptions, FaultKind, FaultPlan, Msg, NoopMonitor, QueryOutput,
+    QueryProfile, TraceLevel,
 };
 use sip_expr::AggFunc;
 use sip_plan::QueryBuilder;
@@ -299,6 +301,165 @@ fn faulted_runs_leak_no_threads() {
     assert_eq!(
         before, after,
         "every faulted run must join all its operator threads"
+    );
+}
+
+/// A retry policy fast enough for tests: microsecond backoff, three
+/// attempts total.
+fn test_retry(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        base_backoff: Duration::from_micros(200),
+        ..RetryPolicy::with_attempts(attempts)
+    }
+}
+
+#[test]
+fn whole_run_retry_heals_bounded_faults_byte_identically() {
+    let c = small_catalog(500);
+    let plan = join_agg_plan(&c);
+    let expected = canonical(&execute_oracle(&plan).unwrap());
+    for kind_name in ["Scan", "HashJoin", "Aggregate"] {
+        for fault in [FaultKind::Panic, FaultKind::Error] {
+            // The fault fires exactly once (shared ledger), so attempt 2
+            // runs clean.
+            let opts = small_batches()
+                .with_faults(FaultPlan::none().with_kind_fault_times(
+                    kind_name,
+                    1,
+                    fault.clone(),
+                    1,
+                ))
+                .with_retry(test_retry(3));
+            let out = execute_with_recovery(Arc::clone(&plan), Arc::new(NoopMonitor), opts)
+                .unwrap_or_else(|e| panic!("{kind_name}/{fault:?} must recover, got: {e}"));
+            assert_eq!(
+                canonical(&out.rows),
+                expected,
+                "{kind_name}/{fault:?} recovered run diverged from oracle"
+            );
+            assert!(
+                out.metrics.recovered,
+                "{kind_name}/{fault:?} must flag recovery"
+            );
+            assert_eq!(out.metrics.attempts, 2, "{kind_name}/{fault:?} attempts");
+        }
+    }
+}
+
+#[test]
+fn retry_budget_exhaustion_names_the_policy() {
+    let c = small_catalog(500);
+    let plan = join_agg_plan(&c);
+    // Unlimited fault: every attempt dies the same way.
+    let opts = small_batches()
+        .with_faults(FaultPlan::none().with_kind_fault("HashJoin", 1, FaultKind::Error))
+        .with_retry(test_retry(3));
+    let err = execute_with_recovery(plan, Arc::new(NoopMonitor), opts).unwrap_err();
+    assert!(
+        is_exhausted(&err),
+        "exhaustion must carry the marker: {err}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("RetryPolicy exhausted after 3/3 attempts"),
+        "error must name the spent budget: {msg}"
+    );
+    assert_eq!(err.exec_class(), Some(ExecFailure::Error));
+    assert!(
+        msg.contains("HashJoin"),
+        "attribution must survive exhaustion marking: {msg}"
+    );
+}
+
+#[test]
+fn non_retryable_classes_fail_on_first_attempt() {
+    let c = small_catalog(500);
+    let plan = join_agg_plan(&c);
+    // Panics declared non-retryable: the policy must not spend attempts.
+    let policy = RetryPolicy {
+        retry_panic: false,
+        ..test_retry(5)
+    };
+    let opts = small_batches()
+        .with_faults(FaultPlan::none().with_kind_fault_times("Scan", 1, FaultKind::Panic, 1))
+        .with_retry(policy);
+    let err = execute_with_recovery(plan, Arc::new(NoopMonitor), opts).unwrap_err();
+    assert_eq!(err.exec_class(), Some(ExecFailure::Panic));
+    assert!(
+        !is_exhausted(&err),
+        "a non-retryable failure is not budget exhaustion: {err}"
+    );
+}
+
+#[test]
+fn cancellation_and_deadlines_are_never_retried() {
+    let c = small_catalog(500);
+    let plan = join_agg_plan(&c);
+    let opts = small_batches()
+        .with_deadline(Duration::from_millis(50))
+        .with_faults(FaultPlan::none().with_kind_fault(
+            "Scan",
+            1,
+            FaultKind::Stall(Duration::from_secs(30)),
+        ))
+        .with_retry(test_retry(5));
+    let start = std::time::Instant::now();
+    let err = execute_with_recovery(plan, Arc::new(NoopMonitor), opts).unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(
+        err.to_string().contains("deadline exceeded"),
+        "deadline must win: {err}"
+    );
+    assert!(
+        !is_exhausted(&err),
+        "a deadline is not a retry budget: {err}"
+    );
+    // One deadline, not five: the run was not re-attempted.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "cancelled runs must not burn retry attempts, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn recovered_profile_reports_attempts() {
+    let c = small_catalog(500);
+    let plan = join_agg_plan(&c);
+    let opts = small_batches()
+        .with_faults(FaultPlan::none().with_kind_fault_times("Aggregate", 1, FaultKind::Error, 1))
+        .with_retry(test_retry(3));
+    let out = execute_with_recovery(Arc::clone(&plan), Arc::new(NoopMonitor), opts).unwrap();
+    let profile = QueryProfile::from_run(&plan, &out.metrics, None);
+    assert!(profile.recovered);
+    assert_eq!(profile.attempts, 2);
+    let json = profile.to_json();
+    assert!(
+        json.contains("\"recovered\": true") && json.contains("\"attempts\": 2"),
+        "profile JSON must carry the recovery outcome: {json}"
+    );
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn recovered_runs_leak_no_threads() {
+    let c = small_catalog(500);
+    let plan = join_agg_plan(&c);
+    let _ = execute_baseline(Arc::clone(&plan), small_batches());
+    let before = thread_count();
+    for kind_name in ["Scan", "HashJoin", "Aggregate"] {
+        let heal = small_batches()
+            .with_faults(FaultPlan::none().with_kind_fault_times(kind_name, 1, FaultKind::Panic, 1))
+            .with_retry(test_retry(3));
+        assert!(execute_with_recovery(Arc::clone(&plan), Arc::new(NoopMonitor), heal).is_ok());
+        let exhaust = small_batches()
+            .with_faults(FaultPlan::none().with_kind_fault(kind_name, 1, FaultKind::Error))
+            .with_retry(test_retry(2));
+        assert!(execute_with_recovery(Arc::clone(&plan), Arc::new(NoopMonitor), exhaust).is_err());
+    }
+    let after = thread_count();
+    assert_eq!(
+        before, after,
+        "every retried run must join all threads of every attempt"
     );
 }
 

@@ -3,6 +3,8 @@
 
 use crate::link::LinkSpec;
 use crossbeam::channel::bounded;
+use sip_common::error::ExecFailure;
+use sip_common::retry::{RetryPolicy, RetryState};
 use sip_common::trace::{FilterEvent, FilterEventKind};
 use sip_common::{OpId, Result, SipError};
 use sip_core::{AipConfig, CostBased, FeedForward, QuerySpec, Strategy};
@@ -22,23 +24,26 @@ pub struct RemoteConfig {
     pub remote_tables: Vec<String>,
     /// The master ↔ site link.
     pub link: LinkSpec,
-    /// How many reconnect attempts a feeder makes when the link drops
-    /// (an injected [`sip_engine::LinkFault`]) before giving up and
-    /// failing the query.
-    pub max_retries: u32,
-    /// Pause between reconnect attempts (the feeder also re-pays the
-    /// link's connection latency on each retry).
-    pub retry_backoff: std::time::Duration,
+    /// Reconnect policy when the link drops (an injected
+    /// [`sip_engine::LinkFault`]): exponential backoff between reconnect
+    /// attempts (the feeder also re-pays the link's connection latency
+    /// on each), giving up and failing the query when the budget is
+    /// spent. Shares [`sip_common::retry::RetryPolicy`] with the
+    /// engine's recovery layer.
+    pub retry: RetryPolicy,
 }
 
 impl RemoteConfig {
-    /// One remote table over a link, with a small default retry budget.
+    /// One remote table over a link, with a small default retry budget
+    /// (three reconnects, 5ms base backoff).
     pub fn new(table: impl Into<String>, link: LinkSpec) -> Self {
         RemoteConfig {
             remote_tables: vec![table.into()],
             link,
-            max_retries: 3,
-            retry_backoff: std::time::Duration::from_millis(5),
+            retry: RetryPolicy {
+                base_backoff: std::time::Duration::from_millis(5),
+                ..RetryPolicy::with_attempts(4)
+            },
         }
     }
 }
@@ -132,7 +137,9 @@ pub fn run_distributed(
     for (feed, tx) in receivers {
         let ctx = Arc::clone(&ctx);
         let stats = Arc::clone(&stats);
-        let retry = (remote.max_retries, remote.retry_backoff);
+        // Per-feeder reseed: independent jitter streams, still
+        // deterministic for a given plan.
+        let retry = remote.retry.clone().reseeded(u64::from(feed.op.0));
         let link = remote.link;
         feeder_handles.push(std::thread::spawn(move || {
             feed_remote_scan(&ctx, &stats, feed, link, retry, tx);
@@ -231,7 +238,7 @@ fn feed_remote_scan(
     stats: &NetStats,
     feed: RemoteFeed,
     link: LinkSpec,
-    (max_retries, retry_backoff): (u32, std::time::Duration),
+    retry: RetryPolicy,
     tx: crossbeam::channel::Sender<Msg>,
 ) {
     let tap = &ctx.taps[feed.op.index()];
@@ -240,10 +247,11 @@ fn feed_remote_scan(
     // Injected link fault, if any. `acked` counts batches the master has
     // accepted (a bounded send that returned Ok *is* the ack); a dropped
     // link re-feeds from the first unacked batch, which the feeder still
-    // holds — no replay buffer needed.
+    // holds — no replay buffer needed. The reconnect budget spans the
+    // whole stream (one flaky link, however many drops).
     let fault = ctx.options.faults.link.clone();
     let mut fault_remaining = fault.as_ref().map_or(0, |f| f.fail_times);
-    let mut retries_used = 0u32;
+    let mut state = RetryState::new(retry);
     let mut acked = 0u64;
     // Connection setup latency (cancellable: a feeder must not hold a
     // failed or deadline-blown query open for its full simulated delay).
@@ -309,30 +317,34 @@ fn feed_remote_scan(
                     fault_remaining -= 1;
                     stats.link_failures.fetch_add(1, Ordering::Relaxed);
                     match f.kind {
-                        LinkFaultKind::Drop => {
-                            if retries_used >= max_retries {
+                        LinkFaultKind::Drop => match state.again(ExecFailure::Error) {
+                            Some(backoff) => {
+                                stats.retries.fetch_add(1, Ordering::Relaxed);
+                                // Backoff, then re-pay the connection
+                                // latency and re-send from the first
+                                // unacked batch.
+                                if !ctx.cancel.sleep_cancellable(backoff)
+                                    || !ctx.cancel.sleep_cancellable(link.latency)
+                                {
+                                    return;
+                                }
+                                continue;
+                            }
+                            None => {
                                 // Out of budget: record the root cause and
                                 // hang up *without* Eof — the consumer's
                                 // disconnect error is the symptom; this
-                                // Net error is what the query reports.
-                                ctx.fail(SipError::Net(format!(
-                                    "remote link for {} dropped; gave up after {retries_used} \
+                                // Net error (naming the exhausted policy)
+                                // is what the query reports.
+                                let reconnects = state.attempt() - 1;
+                                ctx.fail(state.give_up(SipError::Net(format!(
+                                    "remote link for {} dropped; gave up after {reconnects} \
                                      reconnect attempts",
                                     feed.table.name()
-                                )));
+                                ))));
                                 return;
                             }
-                            retries_used += 1;
-                            stats.retries.fetch_add(1, Ordering::Relaxed);
-                            // Backoff, then re-pay the connection latency
-                            // and re-send from the first unacked batch.
-                            if !ctx.cancel.sleep_cancellable(retry_backoff)
-                                || !ctx.cancel.sleep_cancellable(link.latency)
-                            {
-                                return;
-                            }
-                            continue;
-                        }
+                        },
                         LinkFaultKind::Hang(d) => {
                             if !ctx.cancel.sleep_cancellable(d) {
                                 return;
@@ -538,6 +550,12 @@ mod tests {
         assert!(
             msg.contains("gave up") && msg.contains("partsupp"),
             "error must name the dead link and the exhausted budget: {msg}"
+        );
+        // The shared retry machinery marks the error exhausted, so an
+        // outer recovery scope never re-spends its own budget on it.
+        assert!(
+            sip_common::retry::is_exhausted(&err),
+            "link exhaustion must carry the RetryPolicy marker: {msg}"
         );
     }
 

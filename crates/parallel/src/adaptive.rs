@@ -81,6 +81,11 @@ pub struct AdaptiveReport {
     /// Share of stage-1 rows held by the heaviest single key of any
     /// column (exact, from the materialized table's statistics).
     pub hot_share: f64,
+    /// Attempts stage 1 took under the retry policy (1 = first try).
+    pub stage1_attempts: u32,
+    /// Attempts stage 2 took. A stage-2 retry restarts from the
+    /// materialized `__stage1` checkpoint — stage 1 is never re-run.
+    pub stage2_attempts: u32,
     /// Human-readable decision trace, one line per decision.
     pub decisions: Vec<String>,
 }
@@ -171,24 +176,23 @@ impl AdaptiveExec {
         // Stage 1: run the subtree partition-parallel, collecting rows.
         // The caller's options are reserved for stage 2 (`ExecOptions`
         // owns channel state and is deliberately not `Clone`), so stage 1
-        // re-assembles the shareable fields around forced row collection.
+        // runs on a fresh clone with forced row collection.
         let stage1_plan = Arc::new(extract_stage1(&plan, &sub, split)?);
-        let stage1_opts = ExecOptions {
-            batch_size: options.batch_size,
-            channel_capacity: options.channel_capacity,
-            delays: options.delays.clone(),
-            collect_rows: true,
-            merge_fanin: options.merge_fanin,
-            external_inputs: Default::default(),
-            trace_level: options.trace_level,
-            deadline: options.deadline,
-            faults: options.faults.clone(),
-        };
+        let mut stage1_opts = options.fresh_clone();
+        stage1_opts.collect_rows = true;
         let exec1 = PartitionedExec::with_config(self.dop, self.config.partition.clone());
         let t0 = std::time::Instant::now();
         let (out1, _map1) = exec1.execute(stage1_plan, Arc::clone(&monitor), stage1_opts)?;
         report.stage1_wall = t0.elapsed();
         report.stage1_rows = out1.rows.len() as u64;
+        report.stage1_attempts = out1.metrics.attempts;
+        let stage1_recovered = out1.metrics.recovered;
+        if stage1_recovered {
+            report.decisions.push(format!(
+                "stage 1 recovered (attempt {}); output checkpointed as __stage1",
+                out1.metrics.attempts
+            ));
+        }
 
         // Materialize: `Table::new` computes exact per-column statistics
         // over the intermediate rows — the free, exact histogram every
@@ -220,7 +224,18 @@ materialized as __stage1 with exact stats (hot share {:.2})",
         // exact statistics through the ordinary planning paths.
         let stage2_plan = Arc::new(replace_subtree(&plan, &sub, split, table)?);
         let exec2 = PartitionedExec::with_config(dop2, self.config.partition.clone());
-        let (out2, map2) = exec2.execute(stage2_plan, monitor, options)?;
+        let (mut out2, map2) = exec2.execute(stage2_plan, monitor, options)?;
+        report.stage2_attempts = out2.metrics.attempts;
+        if out2.metrics.recovered {
+            report.decisions.push(format!(
+                "stage 2 recovered (attempt {}) from the __stage1 checkpoint; stage 1 not re-run",
+                out2.metrics.attempts
+            ));
+        }
+        // The query recovered if either stage did; attempts reports the
+        // deeper of the two stages' retry depths.
+        out2.metrics.recovered |= stage1_recovered;
+        out2.metrics.attempts = out2.metrics.attempts.max(report.stage1_attempts);
         Ok((out2, map2, report))
     }
 

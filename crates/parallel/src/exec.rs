@@ -4,8 +4,8 @@ use crate::partition::{partition_plan_cfg, PartitionError};
 use crate::shuffle::PartitionConfig;
 use sip_common::Result;
 use sip_engine::{
-    execute, execute_ctx, ExecContext, ExecMonitor, ExecOptions, PartitionMap, PhysPlan,
-    QueryOutput,
+    execute_ctx, execute_with_recovery, run_with_recovery, ExecContext, ExecMonitor, ExecOptions,
+    PartitionMap, PhysPlan, QueryOutput,
 };
 use std::sync::Arc;
 
@@ -74,10 +74,18 @@ impl PartitionedExec {
         }
         match partition_plan_cfg(&plan, self.dop, &cfg) {
             Ok((expanded, map)) => {
-                let ctx = ExecContext::new_partitioned(expanded, options, Arc::clone(&map));
-                Ok((execute_ctx(ctx, monitor)?, Some(map)))
+                // Run-level recovery scope: the expanded plan and partition
+                // map are reused verbatim across attempts (expansion is
+                // deterministic), so a retried run replays the exact same
+                // physical plan from its sources.
+                let out = run_with_recovery(options, |opts| {
+                    let ctx =
+                        ExecContext::new_partitioned(Arc::clone(&expanded), opts, Arc::clone(&map));
+                    execute_ctx(ctx, Arc::clone(&monitor))
+                })?;
+                Ok((out, Some(map)))
             }
-            Err(_) => Ok((execute(plan, monitor, options)?, None)),
+            Err(_) => Ok((execute_with_recovery(plan, monitor, options)?, None)),
         }
     }
 }

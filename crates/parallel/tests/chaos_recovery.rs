@@ -1,0 +1,373 @@
+//! Chaos suite for the recovery layer: partition-fragment replay at the
+//! shuffle mesh, whole-run retry, stage-checkpoint recovery, and
+//! straggler speculation.
+//!
+//! The recovery contract sharpens PR 9's fail-fast invariant: a
+//! retryable failure *below* the configured budget must yield a result
+//! **byte-identical to the serial oracle** with `recovered: true` and
+//! accurate attempt counts; a failure *above* the budget must yield a
+//! clean attributed error naming the exhausted `RetryPolicy`. Never a
+//! partial `Ok`, never duplicate rows — replayed fragments commit at
+//! the mesh seam exactly once.
+
+use sip_common::retry::{is_exhausted, RetryPolicy};
+use sip_common::{ExecFailure, OpId, Row, Value};
+use sip_core::{run_query_dop, AipConfig, Strategy};
+use sip_data::{generate, Catalog, Table, TpchConfig};
+use sip_engine::{
+    canonical, execute_ctx, execute_oracle, lower, ExecContext, ExecOptions, FaultKind, FaultPlan,
+    NoopMonitor, PhysKind, PhysPlan,
+};
+use sip_parallel::{partition_plan_cfg, AdaptiveExec, PartitionConfig, SaltConfig};
+use sip_queries::build_query;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn catalog() -> Catalog {
+    generate(&TpchConfig {
+        scale_factor: 0.004,
+        seed: 0x5EED,
+        zipf_z: 0.5,
+    })
+    .unwrap()
+}
+
+fn salt_forced() -> PartitionConfig {
+    PartitionConfig {
+        salt: SaltConfig {
+            enabled: true,
+            hot_factor: 0.0005,
+            max_hot_keys: 256,
+            replicate_coverage: 1.1,
+            force: true,
+        },
+        ..PartitionConfig::default()
+    }
+}
+
+/// A retry policy fast enough for tests.
+fn test_retry(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        base_backoff: Duration::from_micros(200),
+        ..RetryPolicy::with_attempts(attempts)
+    }
+}
+
+/// A scan at the bottom of a replayable fragment (a single-consumer
+/// `Scan → (Filter|Project)*` chain under a `ShuffleWrite`), if the
+/// expanded plan has one. Mirrors the engine's fragment detection so the
+/// tests can aim faults at exactly the ops the supervisor replays.
+fn fragment_scan_op(plan: &PhysPlan) -> Option<OpId> {
+    let mut consumers = vec![0u32; plan.nodes.len()];
+    for n in &plan.nodes {
+        for c in &n.inputs {
+            consumers[c.index()] += 1;
+        }
+    }
+    for n in &plan.nodes {
+        if !matches!(n.kind, PhysKind::ShuffleWrite { .. }) {
+            continue;
+        }
+        let mut cur = n.inputs[0];
+        loop {
+            if consumers[cur.index()] != 1 || plan.root == cur {
+                break;
+            }
+            match &plan.node(cur).kind {
+                PhysKind::Filter { .. } | PhysKind::Project { .. } => {
+                    cur = plan.node(cur).inputs[0]
+                }
+                PhysKind::Scan { .. } => return Some(cur),
+                _ => break,
+            }
+        }
+    }
+    None
+}
+
+/// Fragment replay in-place: a bounded fault on a mesh source chain is
+/// healed by re-executing just that fragment — no whole-run retry
+/// (`attempts` stays 1), exactly-once seam commit, byte-identical rows.
+#[test]
+fn fragment_replay_heals_mesh_source_faults_in_place() {
+    let catalog = catalog();
+    let spec = build_query("Q4A", &catalog).unwrap();
+    let phys = Arc::new(spec.lower(&catalog, Strategy::Baseline).unwrap());
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    let cfg = salt_forced();
+    for dop in [2u32, 4] {
+        let (expanded, map) = partition_plan_cfg(&phys, dop, &cfg).unwrap();
+        let scan = fragment_scan_op(&expanded)
+            .unwrap_or_else(|| panic!("dop {dop}: expanded plan has no replayable fragment"));
+        for fault in [FaultKind::Panic, FaultKind::Error] {
+            let opts = ExecOptions::default()
+                .with_faults(FaultPlan::none().with_op_fault_times(scan.0, 0, fault.clone(), 1))
+                .with_retry(test_retry(3));
+            let ctx = ExecContext::new_partitioned(Arc::clone(&expanded), opts, Arc::clone(&map));
+            let out = execute_ctx(ctx, Arc::new(NoopMonitor))
+                .unwrap_or_else(|e| panic!("dop {dop} {fault:?}@op{scan}: must recover, got {e}"));
+            assert_eq!(
+                canonical(&out.rows),
+                expected,
+                "dop {dop} {fault:?}@op{scan}: replayed fragment diverged (duplicate or lost rows)"
+            );
+            assert!(out.metrics.recovered, "dop {dop} {fault:?}: recovered flag");
+            assert_eq!(
+                out.metrics.attempts, 1,
+                "dop {dop} {fault:?}: fragment replay must not count as a whole-run attempt"
+            );
+            let m = &out.metrics.per_op[scan.index()];
+            assert!(
+                m.retries > 0,
+                "dop {dop} {fault:?}: faulted fragment op must report its retry"
+            );
+        }
+    }
+}
+
+/// Above the fragment budget: a clean attributed error naming the
+/// exhausted `RetryPolicy` — never a partial `Ok`.
+#[test]
+fn fragment_budget_exhaustion_is_clean_and_attributed() {
+    let catalog = catalog();
+    let spec = build_query("Q4A", &catalog).unwrap();
+    let phys = Arc::new(spec.lower(&catalog, Strategy::Baseline).unwrap());
+    let (expanded, map) = partition_plan_cfg(&phys, 4, &salt_forced()).unwrap();
+    let scan = fragment_scan_op(&expanded).unwrap();
+    // Unlimited fault: every fragment attempt dies; budget of two.
+    let opts = ExecOptions::default()
+        .with_faults(FaultPlan::none().with_op_fault(scan.0, 0, FaultKind::Error))
+        .with_retry(test_retry(2));
+    let ctx = ExecContext::new_partitioned(expanded, opts, map);
+    let err = execute_ctx(ctx, Arc::new(NoopMonitor)).unwrap_err();
+    assert_eq!(err.layer(), "exec", "wrong layer: {err}");
+    assert_eq!(err.exec_class(), Some(ExecFailure::Error));
+    assert!(err.is_primary(), "symptom won over root cause: {err}");
+    assert!(
+        is_exhausted(&err),
+        "must carry the exhaustion marker: {err}"
+    );
+    assert!(
+        err.to_string()
+            .contains("RetryPolicy exhausted after 2/2 attempts"),
+        "must name the spent budget: {err}"
+    );
+}
+
+/// Straggler speculation: a fragment stalled past the quantum gets a
+/// speculative duplicate; the first finisher commits at the seam gate,
+/// exactly once.
+#[test]
+fn straggler_speculation_first_finisher_wins() {
+    let catalog = catalog();
+    let spec = build_query("Q4A", &catalog).unwrap();
+    let phys = Arc::new(spec.lower(&catalog, Strategy::Baseline).unwrap());
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    let (expanded, map) = partition_plan_cfg(&phys, 4, &salt_forced()).unwrap();
+    let scan = fragment_scan_op(&expanded).unwrap();
+    for stall in [
+        FaultKind::Stall(Duration::from_secs(5)),
+        FaultKind::Hang, // sleeps until cancelled: only speculation gets past it
+    ] {
+        let opts = ExecOptions::default()
+            .with_faults(FaultPlan::none().with_op_fault_times(scan.0, 0, stall.clone(), 1))
+            .with_retry(test_retry(2).with_speculation(Duration::from_millis(25)));
+        let ctx = ExecContext::new_partitioned(Arc::clone(&expanded), opts, Arc::clone(&map));
+        let start = std::time::Instant::now();
+        let out = execute_ctx(ctx, Arc::new(NoopMonitor))
+            .unwrap_or_else(|e| panic!("{stall:?}: speculation must rescue the run, got {e}"));
+        let elapsed = start.elapsed();
+        assert_eq!(
+            canonical(&out.rows),
+            expected,
+            "{stall:?}: speculative duplicate double-committed or lost rows"
+        );
+        assert!(out.metrics.recovered, "{stall:?}: recovered flag");
+        let m = &out.metrics.per_op[scan.index()];
+        assert!(
+            m.speculated > 0,
+            "{stall:?}: stalled fragment op must report the speculation"
+        );
+        assert!(
+            elapsed < Duration::from_secs(4),
+            "{stall:?}: the speculative duplicate must win long before the stall \
+             ends, took {elapsed:?}"
+        );
+    }
+}
+
+/// The full-path sweep: bounded faults at every present kind × dop
+/// {1, 2, 4}, all healed below budget into byte-identical results with
+/// accurate attempt counts.
+#[test]
+fn bounded_faults_across_dop_heal_byte_identically() {
+    let catalog = catalog();
+    let spec = build_query("EX", &catalog).unwrap();
+    let phys = spec.lower(&catalog, Strategy::Baseline).unwrap();
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+    for dop in [1u32, 2, 4] {
+        for (kind_name, fault) in [
+            ("Scan", FaultKind::Panic),
+            ("HashJoin", FaultKind::Error),
+            ("Aggregate", FaultKind::Panic),
+        ] {
+            let opts = ExecOptions::default()
+                .with_faults(FaultPlan::none().with_kind_fault_times(kind_name, 1, fault, 1))
+                .with_retry(test_retry(3));
+            let (out, _) = run_query_dop(
+                &spec,
+                &catalog,
+                Strategy::FeedForward,
+                opts,
+                &AipConfig::paper(),
+                dop,
+            )
+            .unwrap_or_else(|e| panic!("EX dop {dop} {kind_name}: must heal, got {e}"));
+            assert_eq!(
+                canonical(&out.rows),
+                expected,
+                "EX dop {dop} {kind_name}: recovered run diverged"
+            );
+            assert!(out.metrics.recovered, "EX dop {dop} {kind_name}: flag");
+        }
+    }
+}
+
+/// Stage-checkpoint recovery: a fault that fires only in stage 2 of an
+/// adaptive run is retried from the materialized `__stage1` table —
+/// stage 1 runs exactly once.
+#[test]
+fn adaptive_stage2_retries_from_the_stage1_checkpoint() {
+    use sip_common::{DataType, Field, Schema};
+    use sip_expr::AggFunc;
+    use sip_plan::QueryBuilder;
+    // join (stateful) under aggregate (stateful): the split lands at the
+    // join, so the Aggregate exists only in stage 2.
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Int),
+    ]);
+    let rows: Vec<Row> = (0..4000)
+        .map(|i| Row::new(vec![Value::Int(i % 31), Value::Int(i)]))
+        .collect();
+    let mut c = Catalog::new();
+    c.add(Table::new("t", schema.clone(), vec![], vec![], rows.clone()).unwrap());
+    c.add(Table::new("u", schema, vec![], vec![], rows).unwrap());
+    let mut q = QueryBuilder::new(&c);
+    let t = q.scan("t", "t", &["k", "v"]).unwrap();
+    let u = q.scan("u", "u", &["k", "v"]).unwrap();
+    let j = q.join(t, u, &[("t.k", "u.k")]).unwrap();
+    let agg = {
+        let v = j.col("t.v").unwrap();
+        q.aggregate(j, &["t.k"], &[(AggFunc::Sum, v, "s")]).unwrap()
+    };
+    let phys = Arc::new(lower(agg.plan(), q.attrs().clone(), &c).unwrap());
+    let expected = canonical(&execute_oracle(&phys).unwrap());
+
+    let opts = ExecOptions::default()
+        .with_faults(FaultPlan::none().with_kind_fault_times("Aggregate", 1, FaultKind::Error, 1))
+        .with_retry(test_retry(3));
+    let exec = AdaptiveExec::new(4);
+    let (out, _, report) = exec
+        .execute(Arc::clone(&phys), Arc::new(NoopMonitor), opts)
+        .unwrap();
+    assert!(report.adapted, "plan must split for checkpoint recovery");
+    assert_eq!(
+        canonical(&out.rows),
+        expected,
+        "recovered adaptive run diverged"
+    );
+    assert!(out.metrics.recovered);
+    assert_eq!(
+        report.stage1_attempts, 1,
+        "stage 1 must run exactly once: {:?}",
+        report.decisions
+    );
+    assert_eq!(
+        report.stage2_attempts, 2,
+        "stage 2 must retry from the checkpoint: {:?}",
+        report.decisions
+    );
+    assert!(
+        report
+            .decisions
+            .iter()
+            .any(|d| d.contains("__stage1 checkpoint")),
+        "decision trace must record the checkpoint recovery: {:?}",
+        report.decisions
+    );
+    assert_eq!(
+        out.metrics.attempts, 2,
+        "deepest stage retry depth surfaces"
+    );
+}
+
+/// Count this process's live threads via /proc (Linux-only).
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap()
+}
+
+/// Recovery must reap every thread of every attempt: healed runs,
+/// exhausted runs, and speculative losers alike.
+#[cfg(target_os = "linux")]
+#[test]
+fn recovery_paths_leak_no_threads() {
+    let catalog = catalog();
+    let spec = build_query("Q4A", &catalog).unwrap();
+    let phys = Arc::new(spec.lower(&catalog, Strategy::Baseline).unwrap());
+    let (expanded, map) = partition_plan_cfg(&phys, 4, &salt_forced()).unwrap();
+    let scan = fragment_scan_op(&expanded).unwrap();
+    // Warm up so lazily-spawned runtime threads don't count as leaks.
+    {
+        let ctx = ExecContext::new_partitioned(
+            Arc::clone(&expanded),
+            ExecOptions::default(),
+            Arc::clone(&map),
+        );
+        let _ = execute_ctx(ctx, Arc::new(NoopMonitor));
+    }
+    let before = thread_count();
+    let cases: Vec<(ExecOptions, bool)> = vec![
+        // Healed fragment replay.
+        (
+            ExecOptions::default()
+                .with_faults(FaultPlan::none().with_op_fault_times(scan.0, 0, FaultKind::Panic, 1))
+                .with_retry(test_retry(3)),
+            true,
+        ),
+        // Exhausted budget.
+        (
+            ExecOptions::default()
+                .with_faults(FaultPlan::none().with_op_fault(scan.0, 0, FaultKind::Error))
+                .with_retry(test_retry(2)),
+            false,
+        ),
+        // Speculation over a hung loser.
+        (
+            ExecOptions::default()
+                .with_faults(FaultPlan::none().with_op_fault_times(scan.0, 0, FaultKind::Hang, 1))
+                .with_retry(test_retry(2).with_speculation(Duration::from_millis(25))),
+            true,
+        ),
+    ];
+    for (opts, must_succeed) in cases {
+        let ctx = ExecContext::new_partitioned(Arc::clone(&expanded), opts, Arc::clone(&map));
+        let result = execute_ctx(ctx, Arc::new(NoopMonitor));
+        assert_eq!(
+            result.is_ok(),
+            must_succeed,
+            "unexpected outcome: {result:?}"
+        );
+    }
+    let after = thread_count();
+    assert_eq!(
+        before, after,
+        "recovery must join every attempt's threads (including speculative losers)"
+    );
+}
